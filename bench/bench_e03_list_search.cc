@@ -1,0 +1,82 @@
+// E03 — Section 4(2): searching in an unordered list.
+//
+// Paper claim: sort M once in O(|M| log |M|) as preprocessing; then every
+// membership query answers by binary search in O(log |M|). Expected shape:
+// scan grows linearly, binary search stays logarithmic.
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "index/sorted_column.h"
+#include "storage/generator.h"
+
+namespace {
+
+using pitract::CostMeter;
+using pitract::Rng;
+
+std::vector<int64_t> MakeList(int64_t n) {
+  Rng rng(42);
+  return pitract::storage::GenerateList(n, 2 * n, &rng);
+}
+
+void BM_LinearScan(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  auto list = MakeList(n);
+  Rng rng(7);
+  CostMeter meter;
+  for (auto _ : state) {
+    int64_t needle =
+        static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(2 * n)));
+    bool found = false;
+    int64_t touched = 0;
+    for (int64_t v : list) {
+      ++touched;
+      if (v == needle) {
+        found = true;
+        break;
+      }
+    }
+    meter.AddSerial(touched);
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["model_work_per_query"] =
+      static_cast<double>(meter.work()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_LinearScan)->RangeMultiplier(4)->Range(1 << 14, 1 << 22);
+
+void BM_BinarySearch(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  auto list = MakeList(n);
+  auto sorted = pitract::index::SortedColumn::Build(
+      {list.data(), list.size()}, nullptr);
+  Rng rng(7);
+  CostMeter meter;
+  for (auto _ : state) {
+    int64_t needle =
+        static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(2 * n)));
+    benchmark::DoNotOptimize(sorted.Contains(needle, &meter));
+  }
+  state.counters["model_work_per_query"] =
+      static_cast<double>(meter.work()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_BinarySearch)->RangeMultiplier(4)->Range(1 << 14, 1 << 22);
+
+void BM_Preprocess_Sort(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  auto list = MakeList(n);
+  for (auto _ : state) {
+    CostMeter meter;
+    auto sorted = pitract::index::SortedColumn::Build(
+        {list.data(), list.size()}, &meter);
+    benchmark::DoNotOptimize(sorted.size());
+  }
+}
+BENCHMARK(BM_Preprocess_Sort)->RangeMultiplier(16)->Range(1 << 14, 1 << 22);
+
+}  // namespace
+
+PITRACT_BENCH_MAIN(
+    "E03 | Section 4(2): list membership. Expected shape: scan ~ n,\n"
+    "      binary search ~ log n after an O(n log n) one-time sort.")

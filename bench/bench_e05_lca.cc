@@ -1,0 +1,114 @@
+// E05 — Section 4(4): lowest common ancestors (Bender et al. [5]).
+//
+// Paper claim: trees/DAGs can be preprocessed (Euler tour + RMQ for trees,
+// all-pairs tables for DAGs, the latter in O(|G|^3)) so that LCA(u, v)
+// answers in O(1). Expected shape: naive upward walks grow with depth;
+// preprocessed probes are flat.
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "lca/dag_lca.h"
+#include "lca/tree_lca.h"
+
+namespace {
+
+using pitract::CostMeter;
+using pitract::Rng;
+namespace graph = pitract::graph;
+namespace lca = pitract::lca;
+
+std::vector<graph::NodeId> DeepTree(int64_t n) {
+  Rng rng(42);
+  std::vector<graph::NodeId> parent(static_cast<size_t>(n), -1);
+  for (int64_t i = 1; i < n; ++i) {
+    parent[static_cast<size_t>(i)] =
+        rng.NextBool(0.9)
+            ? static_cast<graph::NodeId>(i - 1)
+            : static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(i)));
+  }
+  return parent;
+}
+
+void BM_TreeNaiveWalk(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  auto naive = lca::NaiveTreeLca::Build(DeepTree(n));
+  Rng rng(7);
+  CostMeter meter;
+  for (auto _ : state) {
+    auto u = static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(n)));
+    auto v = static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(n)));
+    benchmark::DoNotOptimize(naive->Query(u, v, &meter));
+  }
+  state.counters["model_work_per_query"] =
+      static_cast<double>(meter.work()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_TreeNaiveWalk)->RangeMultiplier(4)->Range(1 << 10, 1 << 18);
+
+void BM_TreeEulerRmq(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  auto euler = lca::EulerTourLca::Build(DeepTree(n), nullptr);
+  Rng rng(7);
+  CostMeter meter;
+  for (auto _ : state) {
+    auto u = static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(n)));
+    auto v = static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(n)));
+    benchmark::DoNotOptimize(euler->Query(u, v, &meter));
+  }
+  state.counters["model_work_per_query"] =
+      static_cast<double>(meter.work()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_TreeEulerRmq)->RangeMultiplier(4)->Range(1 << 10, 1 << 18);
+
+void BM_DagOnline(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  Rng rng(42);
+  graph::Graph g = graph::RandomDag(n, 3 * n, &rng);
+  auto online = lca::OnlineDagLca::Build(g);
+  CostMeter meter;
+  for (auto _ : state) {
+    auto u = static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(n)));
+    auto v = static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(n)));
+    benchmark::DoNotOptimize(online->Query(u, v, &meter));
+  }
+  state.counters["model_work_per_query"] =
+      static_cast<double>(meter.work()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_DagOnline)->RangeMultiplier(2)->Range(1 << 6, 1 << 9);
+
+void BM_DagAllPairsProbe(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  Rng rng(42);
+  graph::Graph g = graph::RandomDag(n, 3 * n, &rng);
+  auto all_pairs = lca::AllPairsDagLca::Build(g, nullptr);
+  CostMeter meter;
+  for (auto _ : state) {
+    auto u = static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(n)));
+    auto v = static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(n)));
+    benchmark::DoNotOptimize(all_pairs->Query(u, v, &meter));
+  }
+  state.counters["model_work_per_query"] =
+      static_cast<double>(meter.work()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_DagAllPairsProbe)->RangeMultiplier(2)->Range(1 << 6, 1 << 9);
+
+void BM_Preprocess_DagAllPairs(benchmark::State& state) {
+  const auto n = static_cast<graph::NodeId>(state.range(0));
+  Rng rng(42);
+  graph::Graph g = graph::RandomDag(n, 3 * n, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lca::AllPairsDagLca::Build(g, nullptr));
+  }
+}
+BENCHMARK(BM_Preprocess_DagAllPairs)->RangeMultiplier(2)->Range(1 << 6, 1 << 9);
+
+}  // namespace
+
+PITRACT_BENCH_MAIN(
+    "E05 | Section 4(4): LCA. Expected shape: naive tree walks ~ depth,\n"
+    "      Euler-tour+RMQ probes O(1); DAG all-pairs preprocessing is heavy\n"
+    "      PTIME but buys O(1) probes.")

@@ -1,0 +1,75 @@
+// E06 — Examples 2/5 & Section 6: breadth-depth search.
+//
+// Paper claim: BDS is P-complete, yet after Π(G) = one full search (PTIME),
+// "whether ⟨M, (u,v)⟩ ∈ S' can be decided by binary searches on M, in
+// O(log |M|) time". Expected shape: the online baseline re-runs the search
+// per query (~ n + m); oracle queries stay logarithmic/flat.
+
+#include "bds/bds.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace {
+
+using pitract::CostMeter;
+using pitract::Rng;
+namespace graph = pitract::graph;
+namespace bds = pitract::bds;
+
+graph::Graph MakeGraph(int64_t n) {
+  Rng rng(42);
+  return graph::ErdosRenyi(static_cast<graph::NodeId>(n), 3 * n,
+                           /*directed=*/false, &rng);
+}
+
+void BM_OnlinePerQuery(benchmark::State& state) {
+  auto g = MakeGraph(state.range(0));
+  Rng rng(7);
+  CostMeter meter;
+  for (auto _ : state) {
+    auto u = static_cast<graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(g.num_nodes())));
+    auto v = static_cast<graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(g.num_nodes())));
+    benchmark::DoNotOptimize(bds::BdsVisitedBeforeOnline(g, u, v, &meter));
+  }
+  state.counters["model_work_per_query"] =
+      static_cast<double>(meter.work()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_OnlinePerQuery)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
+
+void BM_OracleQuery(benchmark::State& state) {
+  auto g = MakeGraph(state.range(0));
+  auto oracle = bds::BdsOracle::Build(g, nullptr);
+  oracle.set_charge_binary_search(true);
+  Rng rng(7);
+  CostMeter meter;
+  for (auto _ : state) {
+    auto u = static_cast<graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(g.num_nodes())));
+    auto v = static_cast<graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(g.num_nodes())));
+    benchmark::DoNotOptimize(oracle.VisitedBefore(u, v, &meter));
+  }
+  state.counters["model_work_per_query"] =
+      static_cast<double>(meter.work()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_OracleQuery)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
+
+void BM_Preprocess_FullSearch(benchmark::State& state) {
+  auto g = MakeGraph(state.range(0));
+  for (auto _ : state) {
+    CostMeter meter;
+    benchmark::DoNotOptimize(bds::BdsOracle::Build(g, &meter));
+  }
+}
+BENCHMARK(BM_Preprocess_FullSearch)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
+
+}  // namespace
+
+PITRACT_BENCH_MAIN(
+    "E06 | Examples 2/5: BDS (P-complete). Expected shape: per-query online\n"
+    "      search ~ (n + m); after one PTIME search, queries are O(log n).")

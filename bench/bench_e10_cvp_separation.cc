@@ -1,0 +1,117 @@
+// E10 — Section 4(8) & Theorem 9: CVP under two factorizations.
+//
+// Paper claim: under Υ0 (data part = ε) preprocessing cannot help — Π(ε) is
+// a constant — so query answering carries the full P-complete evaluation;
+// under a data-carrying re-factorization, one PTIME pass makes every probe
+// O(1) (the ΠT⁰Q ⊊ P separation made visible). Expected shape: Υ0 query
+// depth grows linearly with circuit size; re-factorized probes stay flat.
+
+#include "bench_util.h"
+#include "circuit/generators.h"
+#include "common/rng.h"
+#include "core/problems.h"
+
+namespace {
+
+using pitract::CostMeter;
+using pitract::Rng;
+namespace circuit = pitract::circuit;
+namespace core = pitract::core;
+
+circuit::CvpInstance MakeDeepInstance(int64_t gates) {
+  Rng rng(42);
+  circuit::CircuitGenOptions options;
+  options.num_inputs = 16;
+  options.num_gates = static_cast<int32_t>(gates);
+  options.deep = true;
+  return circuit::RandomCvpInstance(options, &rng);
+}
+
+void BM_Y0_EvaluatePerQuery(benchmark::State& state) {
+  auto instance = MakeDeepInstance(state.range(0));
+  auto witness = core::CvpEmptyDataWitness();
+  auto prepared = witness.preprocess("", nullptr);
+  if (!prepared.ok()) {
+    state.SkipWithError("preprocess failed");
+    return;
+  }
+  const std::string query = core::MakeCvpInstanceString(instance);
+  CostMeter meter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(witness.answer(*prepared, query, &meter));
+  }
+  state.counters["model_depth_per_query"] =
+      static_cast<double>(meter.depth()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Y0_EvaluatePerQuery)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
+
+void BM_Refactorized_GateProbe(benchmark::State& state) {
+  auto instance = MakeDeepInstance(state.range(0));
+  auto witness = core::GvpWitness();
+  auto data = core::GvpFactorization().pi1(
+      core::MakeGvpInstance(instance, instance.circuit.output()));
+  if (!data.ok()) {
+    state.SkipWithError("factorization failed");
+    return;
+  }
+  auto prepared = witness.preprocess(*data, nullptr);
+  if (!prepared.ok()) {
+    state.SkipWithError("preprocess failed");
+    return;
+  }
+  Rng rng(7);
+  CostMeter meter;
+  for (auto _ : state) {
+    auto gate = static_cast<circuit::GateId>(
+        rng.NextBelow(static_cast<uint64_t>(instance.circuit.num_gates())));
+    benchmark::DoNotOptimize(
+        witness.answer(*prepared, std::to_string(gate), &meter));
+  }
+  state.counters["model_depth_per_query"] =
+      static_cast<double>(meter.depth()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Refactorized_GateProbe)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
+
+void BM_Preprocess_EvaluateAll(benchmark::State& state) {
+  auto instance = MakeDeepInstance(state.range(0));
+  for (auto _ : state) {
+    CostMeter meter;
+    benchmark::DoNotOptimize(
+        instance.circuit.EvaluateAll(instance.assignment, &meter));
+  }
+}
+BENCHMARK(BM_Preprocess_EvaluateAll)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
+
+void BM_ShallowCircuit_IsAlreadyNC(benchmark::State& state) {
+  // Contrast: an NC-style shallow circuit evaluates in polylog depth even
+  // without preprocessing — NC ⊆ ΠT⁰Q needs no help.
+  Rng rng(42);
+  circuit::CircuitGenOptions options;
+  options.num_inputs = 16;
+  options.num_gates = static_cast<int32_t>(state.range(0));
+  options.deep = false;
+  auto instance = circuit::RandomCvpInstance(options, &rng);
+  CostMeter meter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        instance.circuit.Evaluate(instance.assignment, &meter));
+  }
+  state.counters["model_depth_per_query"] =
+      static_cast<double>(meter.depth()) /
+      static_cast<double>(state.iterations());
+  state.counters["circuit_depth"] =
+      static_cast<double>(instance.circuit.Depth());
+}
+BENCHMARK(BM_ShallowCircuit_IsAlreadyNC)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 16);
+
+}  // namespace
+
+PITRACT_BENCH_MAIN(
+    "E10 | Theorem 9 separation: CVP under Y0 (preprocess nothing) pays the\n"
+    "      whole evaluation per query (depth ~ gates); the re-factorized\n"
+    "      class answers O(1) after one PTIME pass. Shallow (NC) circuits\n"
+    "      are cheap either way.")

@@ -1,0 +1,76 @@
+// F1 — Figure 1: two factorizations of L_BDS.
+//
+// Paper claim (the figure's two branches): Υ_BDS = (π₁ = G, π₂ = (u,v))
+// preprocesses G only and answers in logarithmic time — Π-tractable; Υ′
+// puts everything in the query part, preprocesses nothing, and answering
+// stays PTIME — not Π-tractable. Expected shape: identical instances,
+// wildly different per-query costs, equal answers.
+
+#include "bds/bds.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/problems.h"
+#include "graph/generators.h"
+
+namespace {
+
+using pitract::CostMeter;
+using pitract::Rng;
+namespace graph = pitract::graph;
+
+graph::Graph MakeGraph(int64_t n) {
+  Rng rng(42);
+  return graph::ErdosRenyi(static_cast<graph::NodeId>(n), 3 * n,
+                           /*directed=*/false, &rng);
+}
+
+void BM_UpsilonBds_PreprocessGraph(benchmark::State& state) {
+  // Figure 1 left branch: Π(G) = visit order; answering = binary searches.
+  auto g = MakeGraph(state.range(0));
+  auto oracle = pitract::bds::BdsOracle::Build(g, nullptr);
+  oracle.set_charge_binary_search(true);
+  Rng rng(7);
+  CostMeter meter;
+  for (auto _ : state) {
+    auto u = static_cast<graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(g.num_nodes())));
+    auto v = static_cast<graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(g.num_nodes())));
+    benchmark::DoNotOptimize(oracle.VisitedBefore(u, v, &meter));
+  }
+  state.counters["model_depth_per_query"] =
+      static_cast<double>(meter.depth()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_UpsilonBds_PreprocessGraph)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 16);
+
+void BM_UpsilonPrime_PreprocessNothing(benchmark::State& state) {
+  // Figure 1 right branch: the whole instance is query; every query pays
+  // the full search.
+  auto g = MakeGraph(state.range(0));
+  Rng rng(7);
+  CostMeter meter;
+  for (auto _ : state) {
+    auto u = static_cast<graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(g.num_nodes())));
+    auto v = static_cast<graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(g.num_nodes())));
+    benchmark::DoNotOptimize(
+        pitract::bds::BdsVisitedBeforeOnline(g, u, v, &meter));
+  }
+  state.counters["model_depth_per_query"] =
+      static_cast<double>(meter.depth()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_UpsilonPrime_PreprocessNothing)
+    ->RangeMultiplier(4)
+    ->Range(1 << 10, 1 << 16);
+
+}  // namespace
+
+PITRACT_BENCH_MAIN(
+    "F1 | Figure 1: the same BDS decision language under two factorizations.\n"
+    "     Y_BDS (preprocess G): logarithmic-time answering -> Pi-tractable.\n"
+    "     Y' (preprocess nothing): PTIME answering -> not Pi-tractable.")

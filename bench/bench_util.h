@@ -1,0 +1,22 @@
+#ifndef PITRACT_BENCH_BENCH_UTIL_H_
+#define PITRACT_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+/// Every experiment binary prints the paper claim it regenerates before the
+/// measured series, so bench_output.txt reads as paper-vs-measured.
+#define PITRACT_BENCH_MAIN(header)                     \
+  int main(int argc, char** argv) {                    \
+    std::printf("%s\n", header);                       \
+    ::benchmark::Initialize(&argc, argv);              \
+    if (::benchmark::ReportUnrecognizedArguments(argc, \
+                                                 argv)) \
+      return 1;                                        \
+    ::benchmark::RunSpecifiedBenchmarks();             \
+    ::benchmark::Shutdown();                           \
+    return 0;                                          \
+  }
+
+#endif  // PITRACT_BENCH_BENCH_UTIL_H_

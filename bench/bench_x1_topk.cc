@@ -1,0 +1,115 @@
+// X1 — Section 8(5) extension: top-k with early termination.
+//
+// Paper pointer: "top-k query answering with early termination [14] may be
+// made Π-tractable, which finds top-k answers in Q(D) without computing
+// the entire Q(D)". After PTIME preprocessing (per-attribute sorted
+// lists), Fagin's Threshold Algorithm answers exactly while touching a
+// data-skew-dependent prefix. Expected shape: scan work ~ n always; TA
+// work sublinear on skewed data, reverting toward linear on adversarial
+// (anti-correlated) data — but always exact.
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "storage/generator.h"
+#include "topk/threshold.h"
+
+namespace {
+
+using pitract::CostMeter;
+using pitract::Rng;
+namespace topk = pitract::topk;
+
+pitract::storage::Relation MakeScores(int64_t n, double zipf) {
+  Rng rng(42);
+  pitract::storage::RelationGenOptions options;
+  options.num_rows = n;
+  options.num_columns = 2;
+  options.value_range = 100000;
+  options.zipf_theta = zipf;
+  return pitract::storage::GenerateIntRelation(options, &rng);
+}
+
+void BM_ScanTopK(benchmark::State& state) {
+  auto rel = MakeScores(state.range(0), 1.1);
+  CostMeter meter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        topk::ThresholdIndex::TopKByScan(rel, {0, 1}, {2, 3}, 10, &meter));
+  }
+  state.counters["model_work_per_query"] =
+      static_cast<double>(meter.work()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_ScanTopK)->RangeMultiplier(4)->Range(1 << 12, 1 << 18);
+
+void BM_ThresholdAlgorithm_Skewed(benchmark::State& state) {
+  auto rel = MakeScores(state.range(0), 1.1);
+  auto index = topk::ThresholdIndex::Build(rel, {0, 1}, nullptr);
+  if (!index.ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  CostMeter meter;
+  int64_t depth = 0;
+  for (auto _ : state) {
+    auto result = index->TopK({2, 3}, 10, &meter);
+    if (result.ok()) depth = result->stop_depth;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["model_work_per_query"] =
+      static_cast<double>(meter.work()) /
+      static_cast<double>(state.iterations());
+  state.counters["stop_depth"] = static_cast<double>(depth);
+}
+BENCHMARK(BM_ThresholdAlgorithm_Skewed)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 18);
+
+void BM_ThresholdAlgorithm_Uniform(benchmark::State& state) {
+  auto rel = MakeScores(state.range(0), 0.0);
+  auto index = topk::ThresholdIndex::Build(rel, {0, 1}, nullptr);
+  if (!index.ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  CostMeter meter;
+  int64_t depth = 0;
+  for (auto _ : state) {
+    auto result = index->TopK({2, 3}, 10, &meter);
+    if (result.ok()) depth = result->stop_depth;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["model_work_per_query"] =
+      static_cast<double>(meter.work()) /
+      static_cast<double>(state.iterations());
+  state.counters["stop_depth"] = static_cast<double>(depth);
+}
+BENCHMARK(BM_ThresholdAlgorithm_Uniform)
+    ->RangeMultiplier(4)
+    ->Range(1 << 12, 1 << 18);
+
+void BM_KSweep(benchmark::State& state) {
+  auto rel = MakeScores(1 << 16, 1.1);
+  auto index = topk::ThresholdIndex::Build(rel, {0, 1}, nullptr);
+  if (!index.ok()) {
+    state.SkipWithError("build failed");
+    return;
+  }
+  const int k = static_cast<int>(state.range(0));
+  CostMeter meter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->TopK({1, 1}, k, &meter));
+  }
+  state.counters["model_work_per_query"] =
+      static_cast<double>(meter.work()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_KSweep)->RangeMultiplier(4)->Range(1, 1 << 10);
+
+}  // namespace
+
+PITRACT_BENCH_MAIN(
+    "X1 | Section 8(5) extension: top-k with early termination (Fagin's TA,\n"
+    "     the paper's [14]). Expected shape: scan ~ n; TA sublinear on\n"
+    "     skewed data (stop_depth << n), degrading gracefully on uniform\n"
+    "     data; cost grows mildly with k.")

@@ -1,0 +1,133 @@
+// X3 — ablations for the design choices DESIGN.md calls out.
+//
+// (a) B+-tree fanout: node geometry trades probe depth against per-node
+//     binary-search width; the cost model should show a shallow optimum
+//     (wall time) while model depth decreases monotonically with fanout.
+// (b) Build path: sorted bulk-load vs. repeated root-to-leaf inserts — the
+//     classic reason preprocessing pipelines sort first.
+// (c) BDS oracle accounting: the paper's O(log |M|) binary-search bound vs.
+//     the O(1) inverted rank array actually stored — the implementation
+//     strictly dominates the paper's stated cost.
+
+#include <algorithm>
+#include <vector>
+
+#include "bds/bds.h"
+#include "bench_util.h"
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "index/bptree.h"
+
+namespace {
+
+using pitract::CostMeter;
+using pitract::Rng;
+
+std::vector<std::pair<int64_t, int64_t>> MakeEntries(int64_t n) {
+  Rng rng(42);
+  std::vector<std::pair<int64_t, int64_t>> entries;
+  for (int64_t i = 0; i < n; ++i) {
+    entries.emplace_back(
+        static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(4 * n))), i);
+  }
+  return entries;
+}
+
+void BM_FanoutSweep_Probe(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  const int64_t n = 1 << 18;
+  auto entries = MakeEntries(n);
+  std::sort(entries.begin(), entries.end());
+  pitract::index::BPlusTreeOptions options;
+  options.max_leaf_entries = fanout;
+  options.max_internal_children = fanout;
+  pitract::index::BPlusTree tree(options);
+  if (!tree.BulkLoad(entries).ok()) {
+    state.SkipWithError("bulk load failed");
+    return;
+  }
+  Rng rng(7);
+  CostMeter meter;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.PointExists(
+        static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(4 * n))),
+        &meter));
+  }
+  state.counters["model_depth_per_query"] =
+      static_cast<double>(meter.depth()) /
+      static_cast<double>(state.iterations());
+  state.counters["tree_height"] = tree.Stats().height;
+}
+BENCHMARK(BM_FanoutSweep_Probe)->RangeMultiplier(2)->Range(4, 512);
+
+void BM_Build_BulkLoad(benchmark::State& state) {
+  auto entries = MakeEntries(state.range(0));
+  std::sort(entries.begin(), entries.end());
+  for (auto _ : state) {
+    pitract::index::BPlusTree tree;
+    benchmark::DoNotOptimize(tree.BulkLoad(entries));
+  }
+}
+BENCHMARK(BM_Build_BulkLoad)->RangeMultiplier(4)->Range(1 << 12, 1 << 18);
+
+void BM_Build_RepeatedInsert(benchmark::State& state) {
+  auto entries = MakeEntries(state.range(0));
+  for (auto _ : state) {
+    pitract::index::BPlusTree tree;
+    for (const auto& [key, payload] : entries) {
+      tree.Insert(key, payload);
+    }
+    benchmark::DoNotOptimize(tree.size());
+  }
+}
+BENCHMARK(BM_Build_RepeatedInsert)->RangeMultiplier(4)->Range(1 << 12, 1 << 18);
+
+void BM_BdsOracle_RankArray(benchmark::State& state) {
+  Rng rng(42);
+  auto g = pitract::graph::ErdosRenyi(
+      static_cast<pitract::graph::NodeId>(state.range(0)), 3 * state.range(0),
+      false, &rng);
+  auto oracle = pitract::bds::BdsOracle::Build(g, nullptr);
+  CostMeter meter;
+  for (auto _ : state) {
+    auto u = static_cast<pitract::graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(g.num_nodes())));
+    auto v = static_cast<pitract::graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(g.num_nodes())));
+    benchmark::DoNotOptimize(oracle.VisitedBefore(u, v, &meter));
+  }
+  state.counters["model_depth_per_query"] =
+      static_cast<double>(meter.depth()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_BdsOracle_RankArray)->RangeMultiplier(16)->Range(1 << 10, 1 << 16);
+
+void BM_BdsOracle_BinarySearchAccounting(benchmark::State& state) {
+  Rng rng(42);
+  auto g = pitract::graph::ErdosRenyi(
+      static_cast<pitract::graph::NodeId>(state.range(0)), 3 * state.range(0),
+      false, &rng);
+  auto oracle = pitract::bds::BdsOracle::Build(g, nullptr);
+  oracle.set_charge_binary_search(true);
+  CostMeter meter;
+  for (auto _ : state) {
+    auto u = static_cast<pitract::graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(g.num_nodes())));
+    auto v = static_cast<pitract::graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(g.num_nodes())));
+    benchmark::DoNotOptimize(oracle.VisitedBefore(u, v, &meter));
+  }
+  state.counters["model_depth_per_query"] =
+      static_cast<double>(meter.depth()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_BdsOracle_BinarySearchAccounting)
+    ->RangeMultiplier(16)
+    ->Range(1 << 10, 1 << 16);
+
+}  // namespace
+
+PITRACT_BENCH_MAIN(
+    "X3 | Design ablations: B+-tree fanout (depth vs node width),\n"
+    "     bulk-load vs repeated insert (why preprocessing sorts first),\n"
+    "     and BDS oracle rank-array O(1) vs the paper's O(log|M|) bound.")

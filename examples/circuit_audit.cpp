@@ -1,0 +1,105 @@
+// Making CVP tractable: factorizations, reductions and transported
+// witnesses — the Sections 5–7 machinery driven end to end.
+//
+// 1. Shows the Theorem 9 separation empirically: under Υ0 (data = ε)
+//    preprocessing cannot help and each CVP query pays the full circuit
+//    depth; under the data-carrying re-factorization the answers are O(1)
+//    after one PTIME evaluation pass.
+// 2. Runs the verified reduction chain Member ≤ Conn ≤ BDS through the
+//    Lemma 2 composition and answers list-membership queries with the BDS
+//    witness pulled back by Lemma 3 — the Theorem 5 pipeline.
+//
+// Run:  ./build/examples/circuit_audit [num_gates]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "circuit/generators.h"
+#include "common/rng.h"
+#include "core/problems.h"
+#include "core/reduction.h"
+
+int main(int argc, char** argv) {
+  using pitract::CostMeter;
+  namespace core = pitract::core;
+  const int32_t num_gates = argc > 1 ? std::atoi(argv[1]) : 20000;
+
+  std::printf("== pitract: making CVP tractable via re-factorization ==\n\n");
+
+  pitract::Rng rng(13);
+  pitract::circuit::CircuitGenOptions options;
+  options.num_inputs = 16;
+  options.num_gates = num_gates;
+  options.deep = true;
+  auto instance = pitract::circuit::RandomCvpInstance(options, &rng);
+  std::printf("circuit: %d gates, depth %" PRId64 " (deliberately sequential)\n\n",
+              instance.circuit.num_gates(), instance.circuit.Depth());
+
+  // --- Theorem 9 side: factorization Y0 exposes nothing for preprocessing.
+  core::PiWitness y0 = core::CvpEmptyDataWitness();
+  auto prepared_nothing = y0.preprocess("", nullptr);
+  if (!prepared_nothing.ok()) return 1;
+  CostMeter y0_cost;
+  const int kQueries = 32;
+  for (int qi = 0; qi < kQueries; ++qi) {
+    auto answer = y0.answer(*prepared_nothing,
+                            core::MakeCvpInstanceString(instance), &y0_cost);
+    if (!answer.ok()) return 1;
+  }
+  std::printf("Y0 factorization (pi1 = epsilon): %d queries cost depth %" PRId64
+              "\n  -> every query re-evaluates the circuit; preprocessing "
+              "cannot help (Theorem 9)\n\n",
+              kQueries, y0_cost.depth());
+
+  // --- Corollary 6 side: the data-carrying factorization of GVP.
+  core::PiWitness gvp = core::GvpWitness();
+  auto gvp_data = core::GvpFactorization().pi1(
+      core::MakeGvpInstance(instance, instance.circuit.output()));
+  if (!gvp_data.ok()) return 1;
+  CostMeter preprocess_cost;
+  auto prepared = gvp.preprocess(*gvp_data, &preprocess_cost);
+  if (!prepared.ok()) return 1;
+  CostMeter gvp_cost;
+  for (int qi = 0; qi < kQueries; ++qi) {
+    auto gate = static_cast<pitract::circuit::GateId>(
+        rng.NextBelow(static_cast<uint64_t>(instance.circuit.num_gates())));
+    auto answer =
+        gvp.answer(*prepared, std::to_string(gate), &gvp_cost);
+    if (!answer.ok()) return 1;
+  }
+  std::printf("re-factorized (data = circuit+inputs): one PTIME pass "
+              "(work %" PRId64 "), then %d queries cost depth %" PRId64 "\n"
+              "  -> O(1) per query; CVP made Pi-tractable (Corollary 6)\n\n",
+              preprocess_cost.work(), kQueries, gvp_cost.depth());
+
+  // --- The Theorem 5 pipeline: Member <= Conn <= BDS, composed & transported.
+  std::printf("Lemma 2/3 pipeline: list membership answered by a BDS oracle\n");
+  auto composed =
+      core::Compose(core::MemberToConnReduction(), core::ConnToBdsReduction());
+  auto witness = core::Transport(composed, core::BdsWitness());
+  std::vector<int64_t> watchlist;
+  for (int i = 0; i < 200; ++i) {
+    watchlist.push_back(static_cast<int64_t>(rng.NextBelow(500)));
+  }
+  int correct = 0;
+  core::DecisionProblem member = core::ListMembershipProblem();
+  for (int trial = 0; trial < 100; ++trial) {
+    int64_t probe = static_cast<int64_t>(rng.NextBelow(500));
+    std::string x = core::MakeMemberInstance(500, watchlist, probe);
+    auto data = composed.source_factorization.pi1(x);
+    auto query = composed.source_factorization.pi2(x);
+    if (!data.ok() || !query.ok()) return 1;
+    auto prepared_bds = witness.preprocess(*data, nullptr);
+    if (!prepared_bds.ok()) return 1;
+    auto fast = witness.answer(*prepared_bds, *query, nullptr);
+    auto reference = member.contains(x);
+    if (!fast.ok() || !reference.ok()) return 1;
+    if (*fast == *reference) ++correct;
+  }
+  std::printf("  100/100 membership queries routed through BDS: %d correct\n",
+              correct);
+  std::printf("  (reduction: list -> star graph -> renumbered BDS instance; "
+              "witness: visit-order ranks)\n");
+  return correct == 100 ? 0 : 1;
+}

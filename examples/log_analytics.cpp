@@ -1,0 +1,113 @@
+// Log analytics with materialized views and bounded incremental maintenance.
+//
+// The Section 4(6)/(7) scenario: an append-only event log is preprocessed
+// into (a) a view catalog (count + partitioned range views) so dashboards
+// never scan the base relation, and (b) a Δ-maintained index whose upkeep
+// cost tracks |ΔD|, not |D|. Every view answer is cross-checked against a
+// base-relation scan.
+//
+// Run:  ./build/examples/log_analytics [num_events]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "incremental/delta_index.h"
+#include "storage/generator.h"
+#include "views/views.h"
+
+int main(int argc, char** argv) {
+  using pitract::CostMeter;
+  const int64_t num_events = argc > 1 ? std::atoll(argv[1]) : 200000;
+
+  std::printf("== pitract: log analytics over views ==\n\n");
+
+  pitract::Rng rng(11);
+  pitract::storage::Relation log =
+      pitract::storage::GenerateLogRelation(num_events, /*num_levels=*/4,
+                                            /*num_codes=*/64, &rng);
+  std::printf("D: %" PRId64 " log events (ts, level, code), %.1f MB\n\n",
+              log.num_rows(), static_cast<double>(log.EstimateBytes()) / 1e6);
+
+  // Preprocess: materialize the views (PTIME, one-time).
+  pitract::views::ViewCatalog catalog;
+  CostMeter view_cost;
+  if (!catalog.AddCountView(log, "code", &view_cost).ok() ||
+      !catalog.AddCountView(log, "level", &view_cost).ok() ||
+      !catalog.AddRangeView(log, "level", "ts", &view_cost).ok()) {
+    std::fprintf(stderr, "view materialization failed\n");
+    return 1;
+  }
+  std::printf("V(D): 3 views, %.2f MB (%.1f%% of D), built with %" PRId64
+              " ops\n\n",
+              static_cast<double>(catalog.EstimateBytes()) / 1e6,
+              100.0 * static_cast<double>(catalog.EstimateBytes()) /
+                  static_cast<double>(log.EstimateBytes()),
+              view_cost.work());
+
+  // Dashboard queries answered from views only, validated against scans.
+  CostMeter views_cost, scan_cost;
+  for (int trial = 0; trial < 100; ++trial) {
+    pitract::views::ViewQuery q;
+    if (rng.NextBool()) {
+      q.kind = pitract::views::ViewQuery::Kind::kCountByKey;
+      q.key_column = rng.NextBool() ? "code" : "level";
+      q.key = static_cast<int64_t>(rng.NextBelow(64));
+    } else {
+      q.kind = pitract::views::ViewQuery::Kind::kExistsInRange;
+      q.key_column = "level";
+      q.range_column = "ts";
+      q.key = static_cast<int64_t>(rng.NextBelow(4));
+      q.lo = static_cast<int64_t>(rng.NextBelow(
+          static_cast<uint64_t>(3 * num_events)));
+      q.hi = q.lo + 5000;
+    }
+    auto fast = catalog.Answer(q, &views_cost);
+    auto slow = pitract::views::ViewCatalog::AnswerByScan(log, q, &scan_cost);
+    if (!fast.ok() || !slow.ok() || *fast != *slow) {
+      std::fprintf(stderr, "view/scan mismatch!\n");
+      return 1;
+    }
+  }
+  std::printf("100 dashboard queries:\n");
+  std::printf("  from views: %" PRId64 " ops  |  from scans: %" PRId64
+              " ops  (%.0fx)\n\n",
+              views_cost.work(), scan_cost.work(),
+              static_cast<double>(scan_cost.work()) /
+                  static_cast<double>(views_cost.work() ? views_cost.work() : 1));
+
+  // Incremental maintenance: stream Δ-batches into the code index.
+  auto code_column = log.Int64Column(2);
+  std::vector<std::pair<int64_t, int64_t>> entries;
+  for (size_t row = 0; row < code_column->size(); ++row) {
+    entries.emplace_back((*code_column)[row], static_cast<int64_t>(row));
+  }
+  auto index = pitract::incremental::DeltaMaintainedIndex::Build(entries, nullptr);
+  if (!index.ok()) {
+    std::fprintf(stderr, "index build failed\n");
+    return 1;
+  }
+  CostMeter delta_cost, rebuild_cost;
+  int64_t next_row = log.num_rows();
+  for (int batch = 0; batch < 10; ++batch) {
+    std::vector<pitract::incremental::Delta> deltas;
+    for (int i = 0; i < 100; ++i) {
+      pitract::incremental::Delta d;
+      d.op = pitract::incremental::Delta::Op::kInsert;
+      d.key = static_cast<int64_t>(rng.NextBelow(64));
+      d.row_id = next_row++;
+      deltas.push_back(d);
+    }
+    if (!index->ApplyDelta(deltas, &delta_cost).ok()) return 1;
+    // What a from-scratch preprocessing of D ⊕ ΔD would have cost:
+    rebuild_cost.AddSerial(index->size() * 18);  // n log n at n ≈ |D|
+  }
+  std::printf("10 delta-batches of 100 inserts each:\n");
+  std::printf("  incremental maintenance: %" PRId64 " ops (grows with |dD|)\n",
+              delta_cost.work());
+  std::printf("  rebuild-from-scratch:    %" PRId64 " ops (grows with |D|)\n",
+              rebuild_cost.work());
+  std::printf("  -> bounded incremental preprocessing, Section 4(7)\n");
+  return 0;
+}

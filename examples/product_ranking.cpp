@@ -1,0 +1,92 @@
+// Product ranking: CSV ingestion + top-k with early termination.
+//
+// The Section 8(5) scenario on an external dataset: load a product catalog
+// from CSV, preprocess per-attribute sorted lists (PTIME), then serve
+// weighted top-k ranking queries with Fagin's Threshold Algorithm —
+// touching only a prefix of the lists instead of scanning the catalog.
+//
+// Run:  ./build/examples/product_ranking [num_products]
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.h"
+#include "storage/csv.h"
+#include "storage/generator.h"
+#include "topk/threshold.h"
+
+int main(int argc, char** argv) {
+  using pitract::CostMeter;
+  const int64_t num_products = argc > 1 ? std::atoll(argv[1]) : 100000;
+
+  std::printf("== pitract: top-k product ranking with early termination ==\n\n");
+
+  // Synthesize a catalog, round-trip it through CSV to show the ingestion
+  // path a downstream user would take with real data.
+  pitract::Rng rng(21);
+  pitract::storage::RelationGenOptions options;
+  options.num_rows = num_products;
+  options.num_columns = 3;  // popularity, rating, freshness
+  options.value_range = 100000;
+  options.zipf_theta = 1.1;  // sales popularity is heavy-tailed
+  pitract::storage::Relation catalog =
+      pitract::storage::GenerateIntRelation(options, &rng);
+  std::string csv_blob = pitract::storage::csv::Write(catalog);
+  auto loaded = pitract::storage::csv::Read(csv_blob);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "CSV round trip failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("catalog: %" PRId64 " products via CSV (%.1f MB serialized)\n\n",
+              loaded->num_rows(), static_cast<double>(csv_blob.size()) / 1e6);
+
+  // Preprocess: per-attribute descending lists.
+  CostMeter preprocess_cost;
+  auto index =
+      pitract::topk::ThresholdIndex::Build(*loaded, {0, 1, 2}, &preprocess_cost);
+  if (!index.ok()) {
+    std::fprintf(stderr, "index build failed\n");
+    return 1;
+  }
+  std::printf("Pi(D): 3 sorted lists, %" PRId64 " ops (one-time)\n\n",
+              preprocess_cost.work());
+
+  // Serve ranking queries under different weightings.
+  struct Scenario {
+    const char* name;
+    std::vector<int64_t> weights;
+  };
+  const Scenario scenarios[] = {
+      {"bestsellers      (popularity-heavy)", {5, 1, 1}},
+      {"critics' choice  (rating-heavy)", {1, 5, 1}},
+      {"new & notable    (freshness-heavy)", {1, 1, 5}},
+  };
+  for (const auto& scenario : scenarios) {
+    CostMeter ta_cost, scan_cost;
+    auto ta = index->TopK(scenario.weights, 10, &ta_cost);
+    auto scan = pitract::topk::ThresholdIndex::TopKByScan(
+        *loaded, {0, 1, 2}, scenario.weights, 10, &scan_cost);
+    if (!ta.ok() || !scan.ok()) return 1;
+    for (size_t i = 0; i < ta->objects.size(); ++i) {
+      if (ta->objects[i].score != scan->objects[i].score) {
+        std::fprintf(stderr, "MISMATCH in %s\n", scenario.name);
+        return 1;
+      }
+    }
+    std::printf("%s\n", scenario.name);
+    std::printf("  top product id=%" PRId64 " score=%" PRId64
+                " | stopped at depth %" PRId64 "/%" PRId64 "\n",
+                ta->objects.front().object_id, ta->objects.front().score,
+                ta->stop_depth, loaded->num_rows());
+    std::printf("  TA work %" PRId64 " ops vs scan %" PRId64
+                " ops (%.0fx), answers identical\n",
+                ta_cost.work(), scan_cost.work(),
+                static_cast<double>(scan_cost.work()) /
+                    static_cast<double>(ta_cost.work() ? ta_cost.work() : 1));
+  }
+  std::printf("\n-> top-k with early termination: exact answers without\n"
+              "   computing the entire Q(D) (paper, Section 8(5)).\n");
+  return 0;
+}

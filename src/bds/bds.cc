@@ -1,0 +1,170 @@
+#include "bds/bds.h"
+
+#include <algorithm>
+
+#include "ncsim/ncsim.h"
+
+namespace pitract {
+namespace bds {
+
+namespace {
+
+/// Shared search core. Marks nodes in BDS order, invoking visit(node) for
+/// each; stops early when visit() returns false. Returns arcs+nodes touched.
+template <typename Visit>
+int64_t RunBds(const graph::Graph& g,
+               const std::vector<graph::NodeId>& numbering, Visit&& visit) {
+  const graph::NodeId n = g.num_nodes();
+  const bool identity = numbering.empty();
+
+  // number_of[v]: the vertex number; by_number[k]: node with number k.
+  std::vector<graph::NodeId> by_number;
+  if (!identity) {
+    by_number.assign(static_cast<size_t>(n), 0);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      by_number[static_cast<size_t>(numbering[static_cast<size_t>(v)])] = v;
+    }
+  }
+  auto number_of = [&](graph::NodeId v) {
+    return identity ? v : numbering[static_cast<size_t>(v)];
+  };
+  auto node_with_number = [&](graph::NodeId k) {
+    return identity ? k : by_number[static_cast<size_t>(k)];
+  };
+
+  std::vector<bool> visited(static_cast<size_t>(n), false);
+  std::vector<graph::NodeId> stack;
+  std::vector<graph::NodeId> nbrs_sorted;
+  int64_t work = 0;
+
+  for (graph::NodeId start_num = 0; start_num < n; ++start_num) {
+    graph::NodeId start = node_with_number(start_num);
+    ++work;
+    if (visited[static_cast<size_t>(start)]) continue;
+    visited[static_cast<size_t>(start)] = true;
+    if (!visit(start)) return work;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      graph::NodeId u = stack.back();
+      stack.pop_back();
+      ++work;
+      // Gather unvisited neighbours in numbering order.
+      auto nbrs = g.OutNeighbors(u);
+      nbrs_sorted.assign(nbrs.begin(), nbrs.end());
+      work += static_cast<int64_t>(nbrs_sorted.size());
+      if (!identity) {
+        std::sort(nbrs_sorted.begin(), nbrs_sorted.end(),
+                  [&](graph::NodeId a, graph::NodeId b) {
+                    return number_of(a) < number_of(b);
+                  });
+      }
+      // Visit (mark) in increasing numbering order...
+      size_t first_new = stack.size();
+      for (graph::NodeId v : nbrs_sorted) {
+        if (visited[static_cast<size_t>(v)]) continue;
+        visited[static_cast<size_t>(v)] = true;
+        if (!visit(v)) return work;
+        stack.push_back(v);
+      }
+      // ...then reverse the newly pushed run so the smallest-numbered
+      // neighbour sits on top of the stack ("pushed in reverse order").
+      std::reverse(stack.begin() + static_cast<long>(first_new), stack.end());
+    }
+  }
+  return work;
+}
+
+}  // namespace
+
+std::vector<graph::NodeId> BdsVisitOrder(
+    const graph::Graph& g, const std::vector<graph::NodeId>& numbering,
+    CostMeter* meter) {
+  std::vector<graph::NodeId> order;
+  order.reserve(static_cast<size_t>(g.num_nodes()));
+  int64_t work = RunBds(g, numbering, [&](graph::NodeId v) {
+    order.push_back(v);
+    return true;
+  });
+  if (meter != nullptr) {
+    meter->AddSerial(work);
+    meter->AddBytesRead(work * static_cast<int64_t>(sizeof(graph::NodeId)));
+    meter->AddBytesWritten(g.num_nodes() *
+                           static_cast<int64_t>(sizeof(graph::NodeId)));
+  }
+  return order;
+}
+
+std::vector<graph::NodeId> BdsVisitOrder(const graph::Graph& g,
+                                         CostMeter* meter) {
+  return BdsVisitOrder(g, {}, meter);
+}
+
+Result<bool> BdsVisitedBeforeOnline(const graph::Graph& g, graph::NodeId u,
+                                    graph::NodeId v, CostMeter* meter) {
+  const graph::NodeId n = g.num_nodes();
+  if (u < 0 || u >= n || v < 0 || v >= n) {
+    return Status::OutOfRange("node id out of range");
+  }
+  if (u == v) {
+    if (meter != nullptr) meter->AddSerial(1);
+    return false;
+  }
+  bool u_first = false;
+  int64_t work = RunBds(g, {}, [&](graph::NodeId w) {
+    if (w == u) {
+      u_first = true;
+      return false;
+    }
+    if (w == v) {
+      u_first = false;
+      return false;
+    }
+    return true;
+  });
+  if (meter != nullptr) {
+    meter->AddSerial(work);
+    meter->AddBytesRead(work * static_cast<int64_t>(sizeof(graph::NodeId)));
+  }
+  return u_first;
+}
+
+BdsOracle BdsOracle::Build(const graph::Graph& g,
+                           const std::vector<graph::NodeId>& numbering,
+                           CostMeter* meter) {
+  BdsOracle oracle;
+  oracle.order_ = BdsVisitOrder(g, numbering, meter);
+  oracle.rank_.assign(oracle.order_.size(), 0);
+  for (size_t pos = 0; pos < oracle.order_.size(); ++pos) {
+    oracle.rank_[static_cast<size_t>(oracle.order_[pos])] =
+        static_cast<int64_t>(pos);
+  }
+  if (meter != nullptr) {
+    meter->AddSerial(static_cast<int64_t>(oracle.order_.size()));
+  }
+  return oracle;
+}
+
+BdsOracle BdsOracle::Build(const graph::Graph& g, CostMeter* meter) {
+  return Build(g, {}, meter);
+}
+
+Result<bool> BdsOracle::VisitedBefore(graph::NodeId u, graph::NodeId v,
+                                      CostMeter* meter) const {
+  const auto n = num_nodes();
+  if (u < 0 || u >= n || v < 0 || v >= n) {
+    return Status::OutOfRange("node id out of range");
+  }
+  if (meter != nullptr) {
+    if (charge_binary_search_) {
+      ncsim::ChargeBinarySearch(meter, n);
+      ncsim::ChargeBinarySearch(meter, n);
+    } else {
+      meter->AddSerial(2);
+      meter->AddBytesRead(2 * static_cast<int64_t>(sizeof(int64_t)));
+    }
+  }
+  return rank_[static_cast<size_t>(u)] < rank_[static_cast<size_t>(v)];
+}
+
+}  // namespace bds
+}  // namespace pitract

@@ -1,0 +1,81 @@
+#ifndef PITRACT_BDS_BDS_H_
+#define PITRACT_BDS_BDS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cost_meter.h"
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace pitract {
+namespace bds {
+
+/// Breadth-Depth Search (Example 2; P-complete per Greenlaw–Hoover–Ruzzo,
+/// the paper's [21]).
+///
+/// Semantics, following the paper's description: the search starts at the
+/// smallest-numbered unvisited node s; it visits (marks) all of s's
+/// unvisited neighbours in numbering order, pushing them onto a stack in
+/// *reverse* numbering order (so the smallest-numbered neighbour ends on
+/// top); it then continues with the node popped from the top of the stack,
+/// which plays the role of s. When the stack empties with unvisited nodes
+/// remaining, the search restarts at the smallest unvisited node. The BDS
+/// decision problem asks: is u visited before v?
+///
+/// The vertex numbering is the node id order unless an explicit permutation
+/// is supplied (`numbering[node] = its number`).
+
+/// Runs the full search and returns the visit order M — the paper's
+/// preprocessing function Π(G) of Example 5. O(n + m) work, charged to
+/// `meter`.
+std::vector<graph::NodeId> BdsVisitOrder(const graph::Graph& g,
+                                         const std::vector<graph::NodeId>& numbering,
+                                         CostMeter* meter);
+
+/// Identity-numbering convenience overload.
+std::vector<graph::NodeId> BdsVisitOrder(const graph::Graph& g,
+                                         CostMeter* meter);
+
+/// The no-preprocessing baseline: run the search only until the earlier of
+/// u, v is marked (still Θ(n + m) in the worst case — BDS is inherently
+/// sequential, which is exactly why the paper preprocesses it).
+Result<bool> BdsVisitedBeforeOnline(const graph::Graph& g, graph::NodeId u,
+                                    graph::NodeId v, CostMeter* meter);
+
+/// Preprocessed oracle over the visit order M (Example 5): after Π(G) = M,
+/// "whether ⟨M, (u, v)⟩ ∈ S' can be decided by binary searches on M, in
+/// O(log |M|) time". We store the rank array (the inverted list), so a
+/// query is two O(1) probes; `charge_binary_search` mode bills the paper's
+/// O(log |M|) cost instead, for faithful cost-model experiments.
+class BdsOracle {
+ public:
+  /// Preprocesses g under the given (or identity) numbering.
+  static BdsOracle Build(const graph::Graph& g,
+                         const std::vector<graph::NodeId>& numbering,
+                         CostMeter* meter);
+  static BdsOracle Build(const graph::Graph& g, CostMeter* meter);
+
+  /// Was u visited strictly before v?
+  Result<bool> VisitedBefore(graph::NodeId u, graph::NodeId v,
+                             CostMeter* meter) const;
+
+  const std::vector<graph::NodeId>& visit_order() const { return order_; }
+  graph::NodeId num_nodes() const {
+    return static_cast<graph::NodeId>(order_.size());
+  }
+
+  /// When true, queries charge O(log |M|) (the paper's binary-search bound)
+  /// instead of the O(1) rank-array probe cost.
+  void set_charge_binary_search(bool on) { charge_binary_search_ = on; }
+
+ private:
+  std::vector<graph::NodeId> order_;  // M: position -> node
+  std::vector<int64_t> rank_;         // node -> position in M
+  bool charge_binary_search_ = false;
+};
+
+}  // namespace bds
+}  // namespace pitract
+
+#endif  // PITRACT_BDS_BDS_H_

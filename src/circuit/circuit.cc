@@ -1,0 +1,294 @@
+#include "circuit/circuit.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+
+namespace pitract {
+namespace circuit {
+
+std::string GateTypeName(GateType type) {
+  switch (type) {
+    case GateType::kInput:
+      return "input";
+    case GateType::kConstFalse:
+      return "const0";
+    case GateType::kConstTrue:
+      return "const1";
+    case GateType::kNot:
+      return "not";
+    case GateType::kAnd:
+      return "and";
+    case GateType::kOr:
+      return "or";
+    case GateType::kNand:
+      return "nand";
+  }
+  return "unknown";
+}
+
+GateId Circuit::AddInput() {
+  Gate g;
+  g.type = GateType::kInput;
+  g.input_ordinal = num_inputs_++;
+  gates_.push_back(g);
+  return static_cast<GateId>(gates_.size() - 1);
+}
+
+GateId Circuit::AddConst(bool value) {
+  Gate g;
+  g.type = value ? GateType::kConstTrue : GateType::kConstFalse;
+  gates_.push_back(g);
+  return static_cast<GateId>(gates_.size() - 1);
+}
+
+GateId Circuit::AddNot(GateId a) {
+  Gate g;
+  g.type = GateType::kNot;
+  g.lhs = a;
+  gates_.push_back(g);
+  return static_cast<GateId>(gates_.size() - 1);
+}
+
+GateId Circuit::AddBinary(GateType type, GateId a, GateId b) {
+  Gate g;
+  g.type = type;
+  g.lhs = a;
+  g.rhs = b;
+  gates_.push_back(g);
+  return static_cast<GateId>(gates_.size() - 1);
+}
+
+Status Circuit::Validate() const {
+  for (GateId id = 0; id < num_gates(); ++id) {
+    const Gate& g = gates_[static_cast<size_t>(id)];
+    auto check_operand = [&](GateId op) {
+      return op >= 0 && op < id;
+    };
+    switch (g.type) {
+      case GateType::kInput:
+        if (g.input_ordinal < 0 || g.input_ordinal >= num_inputs_) {
+          return Status::Internal("bad input ordinal at gate " +
+                                  std::to_string(id));
+        }
+        break;
+      case GateType::kConstFalse:
+      case GateType::kConstTrue:
+        break;
+      case GateType::kNot:
+        if (!check_operand(g.lhs)) {
+          return Status::Internal("bad NOT operand at gate " +
+                                  std::to_string(id));
+        }
+        break;
+      case GateType::kAnd:
+      case GateType::kOr:
+      case GateType::kNand:
+        if (!check_operand(g.lhs) || !check_operand(g.rhs)) {
+          return Status::Internal("bad binary operand at gate " +
+                                  std::to_string(id));
+        }
+        break;
+    }
+  }
+  if (output_ < 0 || output_ >= num_gates()) {
+    return Status::Internal("output gate unset or out of range");
+  }
+  return Status::OK();
+}
+
+bool Circuit::IsMonotone() const {
+  return std::none_of(gates_.begin(), gates_.end(), [](const Gate& g) {
+    return g.type == GateType::kNot || g.type == GateType::kNand;
+  });
+}
+
+bool Circuit::IsNandOnly() const {
+  return std::all_of(gates_.begin(), gates_.end(), [](const Gate& g) {
+    return g.type == GateType::kInput || g.type == GateType::kConstFalse ||
+           g.type == GateType::kConstTrue || g.type == GateType::kNand;
+  });
+}
+
+Result<std::vector<char>> Circuit::EvaluateAll(
+    const std::vector<char>& assignment, CostMeter* meter) const {
+  if (static_cast<int32_t>(assignment.size()) != num_inputs_) {
+    return Status::InvalidArgument(
+        "assignment size " + std::to_string(assignment.size()) +
+        " != num_inputs " + std::to_string(num_inputs_));
+  }
+  PITRACT_RETURN_IF_ERROR(Validate());
+  std::vector<char> value(gates_.size(), 0);
+  std::vector<int64_t> level(gates_.size(), 0);
+  int64_t max_level = 0;
+  for (GateId id = 0; id < num_gates(); ++id) {
+    const Gate& g = gates_[static_cast<size_t>(id)];
+    const size_t i = static_cast<size_t>(id);
+    switch (g.type) {
+      case GateType::kInput:
+        value[i] = assignment[static_cast<size_t>(g.input_ordinal)];
+        break;
+      case GateType::kConstFalse:
+        value[i] = 0;
+        break;
+      case GateType::kConstTrue:
+        value[i] = 1;
+        break;
+      case GateType::kNot:
+        value[i] = value[static_cast<size_t>(g.lhs)] ? 0 : 1;
+        level[i] = level[static_cast<size_t>(g.lhs)] + 1;
+        break;
+      case GateType::kAnd:
+        value[i] = (value[static_cast<size_t>(g.lhs)] &&
+                    value[static_cast<size_t>(g.rhs)])
+                       ? 1
+                       : 0;
+        level[i] = std::max(level[static_cast<size_t>(g.lhs)],
+                            level[static_cast<size_t>(g.rhs)]) +
+                   1;
+        break;
+      case GateType::kOr:
+        value[i] = (value[static_cast<size_t>(g.lhs)] ||
+                    value[static_cast<size_t>(g.rhs)])
+                       ? 1
+                       : 0;
+        level[i] = std::max(level[static_cast<size_t>(g.lhs)],
+                            level[static_cast<size_t>(g.rhs)]) +
+                   1;
+        break;
+      case GateType::kNand:
+        value[i] = (value[static_cast<size_t>(g.lhs)] &&
+                    value[static_cast<size_t>(g.rhs)])
+                       ? 0
+                       : 1;
+        level[i] = std::max(level[static_cast<size_t>(g.lhs)],
+                            level[static_cast<size_t>(g.rhs)]) +
+                   1;
+        break;
+    }
+    max_level = std::max(max_level, level[i]);
+  }
+  if (meter != nullptr) {
+    // Parallel circuit evaluation: work = #gates, span = level depth.
+    meter->AddParallel(num_gates(), max_level + 1);
+    meter->AddBytesRead(num_gates() * static_cast<int64_t>(sizeof(Gate)));
+  }
+  return value;
+}
+
+Result<bool> Circuit::Evaluate(const std::vector<char>& assignment,
+                               CostMeter* meter) const {
+  auto values = EvaluateAll(assignment, meter);
+  if (!values.ok()) return values.status();
+  return (*values)[static_cast<size_t>(output_)] != 0;
+}
+
+int64_t Circuit::Depth() const {
+  std::vector<int64_t> level(gates_.size(), 0);
+  int64_t max_level = 0;
+  for (GateId id = 0; id < num_gates(); ++id) {
+    const Gate& g = gates_[static_cast<size_t>(id)];
+    const size_t i = static_cast<size_t>(id);
+    switch (g.type) {
+      case GateType::kNot:
+        level[i] = level[static_cast<size_t>(g.lhs)] + 1;
+        break;
+      case GateType::kAnd:
+      case GateType::kOr:
+      case GateType::kNand:
+        level[i] = std::max(level[static_cast<size_t>(g.lhs)],
+                            level[static_cast<size_t>(g.rhs)]) +
+                   1;
+        break;
+      default:
+        break;
+    }
+    max_level = std::max(max_level, level[i]);
+  }
+  return max_level;
+}
+
+std::string Circuit::Encode() const {
+  // Flat tuple sequence: type, lhs, rhs, ordinal per gate.
+  std::vector<int64_t> flat;
+  flat.reserve(gates_.size() * 4 + 2);
+  for (const Gate& g : gates_) {
+    flat.push_back(static_cast<int64_t>(g.type));
+    flat.push_back(g.lhs);
+    flat.push_back(g.rhs);
+    flat.push_back(g.input_ordinal);
+  }
+  return codec::EncodeFields(
+      {std::to_string(output_), codec::EncodeInts(flat)});
+}
+
+Result<Circuit> Circuit::Decode(std::string_view encoded) {
+  auto fields = codec::DecodeFields(encoded);
+  if (!fields.ok()) return fields.status();
+  if (fields->size() != 2) {
+    return Status::InvalidArgument("circuit encoding needs 2 fields");
+  }
+  auto output_field = codec::DecodeInts((*fields)[0]);
+  if (!output_field.ok()) return output_field.status();
+  if (output_field->size() != 1) {
+    return Status::InvalidArgument("bad output field");
+  }
+  auto flat = codec::DecodeInts((*fields)[1]);
+  if (!flat.ok()) return flat.status();
+  if (flat->size() % 4 != 0) {
+    return Status::InvalidArgument("gate tuple stream not a multiple of 4");
+  }
+  Circuit c;
+  for (size_t i = 0; i < flat->size(); i += 4) {
+    Gate g;
+    int64_t type = (*flat)[i];
+    if (type < 0 || type > static_cast<int64_t>(GateType::kNand)) {
+      return Status::InvalidArgument("bad gate type " + std::to_string(type));
+    }
+    g.type = static_cast<GateType>(type);
+    g.lhs = static_cast<GateId>((*flat)[i + 1]);
+    g.rhs = static_cast<GateId>((*flat)[i + 2]);
+    g.input_ordinal = static_cast<int32_t>((*flat)[i + 3]);
+    if (g.type == GateType::kInput) {
+      c.num_inputs_ = std::max(c.num_inputs_, g.input_ordinal + 1);
+    }
+    c.gates_.push_back(g);
+  }
+  c.output_ = static_cast<GateId>((*output_field)[0]);
+  PITRACT_RETURN_IF_ERROR(c.Validate());
+  return c;
+}
+
+std::string CvpInstance::Encode() const {
+  std::string bits(assignment.size(), '0');
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i]) bits[i] = '1';
+  }
+  return codec::EncodeFields({circuit.Encode(), bits});
+}
+
+Result<CvpInstance> CvpInstance::Decode(std::string_view encoded) {
+  auto fields = codec::DecodeFields(encoded);
+  if (!fields.ok()) return fields.status();
+  if (fields->size() != 2) {
+    return Status::InvalidArgument("CVP instance needs 2 fields");
+  }
+  auto c = Circuit::Decode((*fields)[0]);
+  if (!c.ok()) return c.status();
+  CvpInstance instance;
+  instance.circuit = std::move(c).value();
+  for (char bit : (*fields)[1]) {
+    if (bit != '0' && bit != '1') {
+      return Status::InvalidArgument("bad assignment bit");
+    }
+    instance.assignment.push_back(bit == '1' ? 1 : 0);
+  }
+  if (static_cast<int32_t>(instance.assignment.size()) !=
+      instance.circuit.num_inputs()) {
+    return Status::InvalidArgument("assignment/input arity mismatch");
+  }
+  return instance;
+}
+
+}  // namespace circuit
+}  // namespace pitract

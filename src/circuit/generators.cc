@@ -1,0 +1,60 @@
+#include "circuit/generators.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pitract {
+namespace circuit {
+
+Circuit RandomCircuit(const CircuitGenOptions& options, Rng* rng) {
+  assert(options.num_inputs >= 1 && options.num_gates >= 1);
+  Circuit c;
+  for (int32_t i = 0; i < options.num_inputs; ++i) c.AddInput();
+  for (int32_t g = 0; g < options.num_gates; ++g) {
+    const GateId hi = c.num_gates();  // operands from [lo, hi)
+    GateId lo = 0;
+    if (options.deep) {
+      lo = std::max<GateId>(0, hi - options.locality_window);
+    }
+    auto pick = [&]() {
+      return static_cast<GateId>(
+          lo + static_cast<GateId>(rng->NextBelow(
+                   static_cast<uint64_t>(hi - lo))));
+    };
+    if (rng->NextBool(options.not_probability)) {
+      c.AddNot(pick());
+    } else if (rng->NextBool(0.5)) {
+      c.AddAnd(pick(), pick());
+    } else {
+      c.AddOr(pick(), pick());
+    }
+  }
+  c.set_output(c.num_gates() - 1);
+  return c;
+}
+
+CvpInstance RandomCvpInstance(const CircuitGenOptions& options, Rng* rng) {
+  CvpInstance instance;
+  instance.circuit = RandomCircuit(options, rng);
+  instance.assignment.resize(static_cast<size_t>(options.num_inputs));
+  for (auto& bit : instance.assignment) bit = rng->NextBool() ? 1 : 0;
+  return instance;
+}
+
+Circuit ChainCircuit(int32_t n, Rng* rng) {
+  assert(n >= 1);
+  Circuit c;
+  GateId x = c.AddInput();
+  GateId y = c.AddInput();
+  GateId prev = c.AddOr(x, y);
+  for (int32_t i = 1; i < n; ++i) {
+    GateId other = rng->NextBool() ? x : y;
+    prev = rng->NextBool() ? c.AddAnd(prev, other) : c.AddOr(prev, other);
+    if (rng->NextBool(0.25)) prev = c.AddNot(prev);
+  }
+  c.set_output(prev);
+  return c;
+}
+
+}  // namespace circuit
+}  // namespace pitract

@@ -1,0 +1,36 @@
+#ifndef PITRACT_CIRCUIT_GENERATORS_H_
+#define PITRACT_CIRCUIT_GENERATORS_H_
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+
+namespace pitract {
+namespace circuit {
+
+/// Random CVP workloads (deterministic in the Rng seed).
+struct CircuitGenOptions {
+  int32_t num_inputs = 8;
+  int32_t num_gates = 64;  // non-input gates
+  /// Probability of a NOT gate (otherwise AND/OR evenly split).
+  double not_probability = 0.2;
+  /// When true, operands are drawn from the most recent `locality_window`
+  /// gates, producing deep, sequential-looking circuits; when false they
+  /// are drawn uniformly, producing shallow circuits.
+  bool deep = false;
+  int32_t locality_window = 4;
+};
+
+/// Random circuit per the options; the output is the last gate.
+Circuit RandomCircuit(const CircuitGenOptions& options, Rng* rng);
+
+/// Random CVP instance: random circuit + uniform assignment.
+CvpInstance RandomCvpInstance(const CircuitGenOptions& options, Rng* rng);
+
+/// A deliberately deep "chain" circuit of n alternating gates — the
+/// worst case for parallel evaluation (depth = n).
+Circuit ChainCircuit(int32_t n, Rng* rng);
+
+}  // namespace circuit
+}  // namespace pitract
+
+#endif  // PITRACT_CIRCUIT_GENERATORS_H_

@@ -1,0 +1,123 @@
+#include "circuit/transforms.h"
+
+namespace pitract {
+namespace circuit {
+
+Result<Circuit> ToNandOnly(const Circuit& c) {
+  PITRACT_RETURN_IF_ERROR(c.Validate());
+  Circuit out;
+  // Map original gate id -> id in the rewritten circuit.
+  std::vector<GateId> mapped(static_cast<size_t>(c.num_gates()), -1);
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    const Gate& g = c.gate(id);
+    GateId a = g.lhs >= 0 ? mapped[static_cast<size_t>(g.lhs)] : -1;
+    GateId b = g.rhs >= 0 ? mapped[static_cast<size_t>(g.rhs)] : -1;
+    GateId m = -1;
+    switch (g.type) {
+      case GateType::kInput:
+        m = out.AddInput();
+        break;
+      case GateType::kConstFalse:
+        m = out.AddConst(false);
+        break;
+      case GateType::kConstTrue:
+        m = out.AddConst(true);
+        break;
+      case GateType::kNot:
+        // ¬a = NAND(a, a)
+        m = out.AddNand(a, a);
+        break;
+      case GateType::kAnd: {
+        // a ∧ b = ¬NAND(a, b)
+        GateId nand = out.AddNand(a, b);
+        m = out.AddNand(nand, nand);
+        break;
+      }
+      case GateType::kOr: {
+        // a ∨ b = NAND(¬a, ¬b)
+        GateId na = out.AddNand(a, a);
+        GateId nb = out.AddNand(b, b);
+        m = out.AddNand(na, nb);
+        break;
+      }
+      case GateType::kNand:
+        m = out.AddNand(a, b);
+        break;
+    }
+    mapped[static_cast<size_t>(id)] = m;
+  }
+  out.set_output(mapped[static_cast<size_t>(c.output())]);
+  return out;
+}
+
+Result<Circuit> ToMonotoneDoubleRail(const Circuit& c) {
+  PITRACT_RETURN_IF_ERROR(c.Validate());
+  Circuit out;
+  // Double-rail inputs first: original input ordinal i becomes out-inputs
+  // 2i (positive rail) and 2i+1 (negative rail).
+  std::vector<GateId> input_pos(static_cast<size_t>(c.num_inputs()));
+  std::vector<GateId> input_neg(static_cast<size_t>(c.num_inputs()));
+  for (int32_t i = 0; i < c.num_inputs(); ++i) {
+    input_pos[static_cast<size_t>(i)] = out.AddInput();
+    input_neg[static_cast<size_t>(i)] = out.AddInput();
+  }
+  // pos/neg rails per original gate.
+  std::vector<GateId> pos(static_cast<size_t>(c.num_gates()), -1);
+  std::vector<GateId> neg(static_cast<size_t>(c.num_gates()), -1);
+  for (GateId id = 0; id < c.num_gates(); ++id) {
+    const Gate& g = c.gate(id);
+    const size_t i = static_cast<size_t>(id);
+    switch (g.type) {
+      case GateType::kInput:
+        pos[i] = input_pos[static_cast<size_t>(g.input_ordinal)];
+        neg[i] = input_neg[static_cast<size_t>(g.input_ordinal)];
+        break;
+      case GateType::kConstFalse:
+        pos[i] = out.AddConst(false);
+        neg[i] = out.AddConst(true);
+        break;
+      case GateType::kConstTrue:
+        pos[i] = out.AddConst(true);
+        neg[i] = out.AddConst(false);
+        break;
+      case GateType::kNot:
+        // de Morgan rail swap — no negation gate needed.
+        pos[i] = neg[static_cast<size_t>(g.lhs)];
+        neg[i] = pos[static_cast<size_t>(g.lhs)];
+        break;
+      case GateType::kAnd:
+        pos[i] = out.AddAnd(pos[static_cast<size_t>(g.lhs)],
+                            pos[static_cast<size_t>(g.rhs)]);
+        neg[i] = out.AddOr(neg[static_cast<size_t>(g.lhs)],
+                           neg[static_cast<size_t>(g.rhs)]);
+        break;
+      case GateType::kOr:
+        pos[i] = out.AddOr(pos[static_cast<size_t>(g.lhs)],
+                           pos[static_cast<size_t>(g.rhs)]);
+        neg[i] = out.AddAnd(neg[static_cast<size_t>(g.lhs)],
+                            neg[static_cast<size_t>(g.rhs)]);
+        break;
+      case GateType::kNand:
+        pos[i] = out.AddOr(neg[static_cast<size_t>(g.lhs)],
+                           neg[static_cast<size_t>(g.rhs)]);
+        neg[i] = out.AddAnd(pos[static_cast<size_t>(g.lhs)],
+                            pos[static_cast<size_t>(g.rhs)]);
+        break;
+    }
+  }
+  out.set_output(pos[static_cast<size_t>(c.output())]);
+  return out;
+}
+
+std::vector<char> DoubleRailAssignment(const std::vector<char>& assignment) {
+  std::vector<char> doubled;
+  doubled.reserve(assignment.size() * 2);
+  for (char bit : assignment) {
+    doubled.push_back(bit ? 1 : 0);
+    doubled.push_back(bit ? 0 : 1);
+  }
+  return doubled;
+}
+
+}  // namespace circuit
+}  // namespace pitract

@@ -1,0 +1,32 @@
+#ifndef PITRACT_CIRCUIT_TRANSFORMS_H_
+#define PITRACT_CIRCUIT_TRANSFORMS_H_
+
+#include "circuit/circuit.h"
+#include "common/result.h"
+
+namespace pitract {
+namespace circuit {
+
+/// Local-replacement circuit transformations. These are the textbook NC
+/// (constant-depth, gate-local) reductions between CVP variants that
+/// Section 5's reduction machinery is exercised with: each gate is rewritten
+/// independently of all others, so the transformation is computable in
+/// constant parallel time with one processor per gate.
+
+/// Rewrites every AND/OR/NOT gate into NAND gates (CVP ≤ NANDCVP).
+/// The result computes the same function on the same inputs.
+Result<Circuit> ToNandOnly(const Circuit& c);
+
+/// Double-rail monotonization (CVP ≤ MCVP): produces a circuit over
+/// 2·num_inputs inputs — input i of the original becomes the pair
+/// (2i: xᵢ, 2i+1: ¬xᵢ) — containing only AND/OR gates, whose output equals
+/// the original output when the doubled assignment is consistent.
+Result<Circuit> ToMonotoneDoubleRail(const Circuit& c);
+
+/// Expands an assignment x to its double-rail form (x₀, ¬x₀, x₁, ¬x₁, ...).
+std::vector<char> DoubleRailAssignment(const std::vector<char>& assignment);
+
+}  // namespace circuit
+}  // namespace pitract
+
+#endif  // PITRACT_CIRCUIT_TRANSFORMS_H_

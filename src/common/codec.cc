@@ -1,0 +1,127 @@
+#include "common/codec.h"
+
+#include <charconv>
+
+namespace pitract {
+namespace codec {
+
+std::string Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '\\' || c == '#' || c == '@') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+Result<std::string> Unescape(std::string_view escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    char c = escaped[i];
+    if (c == '\\') {
+      if (i + 1 >= escaped.size()) {
+        return Status::InvalidArgument("dangling escape at end of input");
+      }
+      out.push_back(escaped[++i]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EncodeFields(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back('#');
+    out += Escape(fields[i]);
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> DecodeFields(std::string_view encoded) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (size_t i = 0; i < encoded.size(); ++i) {
+    char c = encoded[i];
+    if (c == '\\') {
+      if (i + 1 >= encoded.size()) {
+        return Status::InvalidArgument("dangling escape in field encoding");
+      }
+      current.push_back(encoded[++i]);
+    } else if (c == '#') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string EncodeInts(const std::vector<int64_t>& values) {
+  std::string out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+Result<std::vector<int64_t>> DecodeInts(std::string_view encoded) {
+  std::vector<int64_t> values;
+  if (encoded.empty()) return values;
+  size_t pos = 0;
+  while (pos <= encoded.size()) {
+    size_t comma = encoded.find(',', pos);
+    std::string_view token = encoded.substr(
+        pos, comma == std::string_view::npos ? std::string_view::npos
+                                             : comma - pos);
+    int64_t value = 0;
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      return Status::InvalidArgument("malformed integer token: '" +
+                                     std::string(token) + "'");
+    }
+    values.push_back(value);
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return values;
+}
+
+std::string PadPair(std::string_view first, std::string_view second) {
+  std::string out = Escape(first);
+  out.push_back('@');
+  out += Escape(second);
+  return out;
+}
+
+Result<std::pair<std::string, std::string>> UnpadPair(
+    std::string_view padded) {
+  // Find the single unescaped '@'.
+  size_t at = std::string_view::npos;
+  for (size_t i = 0; i < padded.size(); ++i) {
+    if (padded[i] == '\\') {
+      ++i;  // Skip the escaped character.
+    } else if (padded[i] == '@') {
+      at = i;
+      break;
+    }
+  }
+  if (at == std::string_view::npos) {
+    return Status::InvalidArgument("no padding symbol '@' found");
+  }
+  auto first = Unescape(padded.substr(0, at));
+  if (!first.ok()) return first.status();
+  auto second = Unescape(padded.substr(at + 1));
+  if (!second.ok()) return second.status();
+  return std::make_pair(std::move(first).value(), std::move(second).value());
+}
+
+}  // namespace codec
+}  // namespace pitract

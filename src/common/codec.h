@@ -1,0 +1,54 @@
+#ifndef PITRACT_COMMON_CODEC_H_
+#define PITRACT_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace pitract {
+
+/// Σ*-string codec.
+///
+/// Section 3 of the paper encodes databases D and queries Q as strings over a
+/// finite alphabet Σ "with necessary delimiters". The core factorization and
+/// reduction machinery (src/core) is defined over such strings, so this codec
+/// provides the delimiting/escaping conventions used throughout:
+///
+///  * '#' separates fields (the paper's own delimiter in `D#Q`),
+///  * '@' is the Lemma 2 padding symbol ("a special symbol that is not used
+///    anywhere else") — guaranteed unused because payload occurrences are
+///    escaped,
+///  * '\\' escapes itself and both delimiters.
+namespace codec {
+
+/// Escapes '\\', '#' and '@' in `raw` so the result is delimiter-free.
+std::string Escape(std::string_view raw);
+
+/// Inverse of Escape. Fails on dangling escapes.
+Result<std::string> Unescape(std::string_view escaped);
+
+/// Joins fields with '#', escaping each. Round-trips via DecodeFields.
+std::string EncodeFields(const std::vector<std::string>& fields);
+
+/// Splits a '#'-joined encoding back into unescaped fields.
+Result<std::vector<std::string>> DecodeFields(std::string_view encoded);
+
+/// Compact textual encoding of an int64 sequence ("3,1,4,..." after Escape).
+std::string EncodeInts(const std::vector<int64_t>& values);
+
+/// Inverse of EncodeInts. Fails on malformed numerals.
+Result<std::vector<int64_t>> DecodeInts(std::string_view encoded);
+
+/// Lemma 2 padding: σ(x) = π₁(x) @ π₂(x). Escapes both parts, joins on '@'.
+std::string PadPair(std::string_view first, std::string_view second);
+
+/// Splits a PadPair encoding on its single unescaped '@'.
+Result<std::pair<std::string, std::string>> UnpadPair(std::string_view padded);
+
+}  // namespace codec
+}  // namespace pitract
+
+#endif  // PITRACT_COMMON_CODEC_H_

@@ -1,0 +1,21 @@
+#include "common/cost_meter.h"
+
+#include <sstream>
+
+namespace pitract {
+
+std::string Cost::ToString() const {
+  std::ostringstream os;
+  os << "{work=" << work << ", depth=" << depth << "}";
+  return os.str();
+}
+
+std::string CostMeter::ToString() const {
+  std::ostringstream os;
+  os << "{work=" << cost_.work << ", depth=" << cost_.depth
+     << ", bytes_read=" << bytes_read_ << ", bytes_written=" << bytes_written_
+     << "}";
+  return os.str();
+}
+
+}  // namespace pitract

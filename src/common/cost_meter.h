@@ -1,0 +1,87 @@
+#ifndef PITRACT_COMMON_COST_METER_H_
+#define PITRACT_COMMON_COST_METER_H_
+
+#include <cstdint>
+#include <string>
+
+namespace pitract {
+
+/// Abstract cost of a computation in the work/depth (a.k.a. work/span) model.
+///
+/// `work`  — total number of unit operations over all processors; the
+///           sequential-time proxy (PTIME bounds are stated on work).
+/// `depth` — length of the critical path; the PRAM-time proxy. The paper's
+///           "NC" claim for online query answering is, operationally,
+///           "depth is O(log^k |D|)" — which the ncsim executor measures.
+struct Cost {
+  int64_t work = 0;
+  int64_t depth = 0;
+
+  Cost() = default;
+  Cost(int64_t w, int64_t d) : work(w), depth(d) {}
+
+  /// Sequential composition: work and depth both add.
+  Cost& operator+=(const Cost& other) {
+    work += other.work;
+    depth += other.depth;
+    return *this;
+  }
+  friend Cost operator+(Cost a, const Cost& b) { return a += b; }
+
+  friend bool operator==(const Cost& a, const Cost& b) {
+    return a.work == b.work && a.depth == b.depth;
+  }
+
+  std::string ToString() const;
+};
+
+/// Accumulates Cost for one computation, plus byte-level I/O counters that
+/// the storage layer charges (scanned vs. touched bytes make Example 1's
+/// "1.9 days vs. seconds" arithmetic reproducible).
+class CostMeter {
+ public:
+  CostMeter() = default;
+
+  /// Charges `ops` sequential unit operations (work += ops, depth += ops).
+  void AddSerial(int64_t ops) {
+    cost_.work += ops;
+    cost_.depth += ops;
+  }
+
+  /// Charges a parallel block that performed `total_work` operations with
+  /// critical path `span` (work += total_work, depth += span).
+  void AddParallel(int64_t total_work, int64_t span) {
+    cost_.work += total_work;
+    cost_.depth += span;
+  }
+
+  /// Merges a sub-computation that ran *sequentially after* prior charges.
+  void AddSequential(const Cost& sub) { cost_ += sub; }
+
+  /// Byte-level counters (storage-layer accounting).
+  void AddBytesRead(int64_t n) { bytes_read_ += n; }
+  void AddBytesWritten(int64_t n) { bytes_written_ += n; }
+
+  const Cost& cost() const { return cost_; }
+  int64_t work() const { return cost_.work; }
+  int64_t depth() const { return cost_.depth; }
+  int64_t bytes_read() const { return bytes_read_; }
+  int64_t bytes_written() const { return bytes_written_; }
+
+  void Reset() {
+    cost_ = Cost();
+    bytes_read_ = 0;
+    bytes_written_ = 0;
+  }
+
+  std::string ToString() const;
+
+ private:
+  Cost cost_;
+  int64_t bytes_read_ = 0;
+  int64_t bytes_written_ = 0;
+};
+
+}  // namespace pitract
+
+#endif  // PITRACT_COMMON_COST_METER_H_

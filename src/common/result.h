@@ -1,0 +1,82 @@
+#ifndef PITRACT_COMMON_RESULT_H_
+#define PITRACT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace pitract {
+
+/// A value-or-error type: either holds a T (and an OK status) or a non-OK
+/// Status. Mirrors arrow::Result / absl::StatusOr.
+///
+/// Usage:
+///   Result<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   Use(*r);
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit by design, mirroring
+  /// absl::StatusOr, so `return value;` works in functions returning
+  /// Result<T>).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  /// Constructs a Result holding an error. `status` must not be OK.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors. Must only be called when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value, or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace pitract
+
+/// Assigns the value of a Result expression to `lhs`, or early-returns its
+/// status. `lhs` may include a declaration, e.g.
+///   PITRACT_ASSIGN_OR_RETURN(auto tree, BuildTree(g));
+#define PITRACT_ASSIGN_OR_RETURN(lhs, rexpr)                     \
+  PITRACT_ASSIGN_OR_RETURN_IMPL_(                                \
+      PITRACT_RESULT_CONCAT_(_pitract_result, __LINE__), lhs, rexpr)
+
+#define PITRACT_RESULT_CONCAT_INNER_(x, y) x##y
+#define PITRACT_RESULT_CONCAT_(x, y) PITRACT_RESULT_CONCAT_INNER_(x, y)
+#define PITRACT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#endif  // PITRACT_COMMON_RESULT_H_

@@ -1,0 +1,93 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace pitract {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  assert(bound > 0);
+  // Debiased modulo via rejection on the top chunk.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(span == 0 ? Next() : NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+uint64_t Rng::NextZipf(uint64_t n, double theta) {
+  assert(n > 0);
+  if (theta <= 0.0) return NextBelow(n);
+  if (zipf_n_ != n || zipf_theta_ != theta) {
+    zipf_n_ = n;
+    zipf_theta_ = theta;
+    zipf_zetan_ = 0.0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      zipf_zetan_ += 1.0 / std::pow(static_cast<double>(i), theta);
+    }
+  }
+  const double alpha = 1.0 / (1.0 - theta);
+  const double zeta2 = 1.0 + std::pow(0.5, theta);
+  const double eta =
+      (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+      (1.0 - zeta2 / zipf_zetan_);
+  const double u = NextDouble();
+  const double uz = u * zipf_zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta)) return 1;
+  uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n) * std::pow(eta * u - eta + 1.0, alpha));
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+std::vector<int64_t> Rng::Permutation(int64_t n) {
+  std::vector<int64_t> p(static_cast<size_t>(n));
+  std::iota(p.begin(), p.end(), int64_t{0});
+  Shuffle(&p);
+  return p;
+}
+
+}  // namespace pitract

@@ -1,0 +1,61 @@
+#ifndef PITRACT_COMMON_RNG_H_
+#define PITRACT_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace pitract {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256** with a
+/// splitmix64-seeded state). All workload generators in the repository draw
+/// from this type so that every test and benchmark is reproducible from its
+/// seed alone.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with success probability p.
+  bool NextBool(double p = 0.5);
+
+  /// Zipf-distributed rank in [0, n) with exponent `theta` (theta=0 is
+  /// uniform; larger is more skewed). Uses the Gray et al. rejection-free
+  /// inverse-CDF approximation common in database benchmarking (YCSB-style).
+  uint64_t NextZipf(uint64_t n, double theta);
+
+  /// Fisher–Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// A uniformly random permutation of [0, n).
+  std::vector<int64_t> Permutation(int64_t n);
+
+ private:
+  uint64_t state_[4];
+  // Cached zipf normalization (recomputed when (n, theta) changes).
+  uint64_t zipf_n_ = 0;
+  double zipf_theta_ = -1.0;
+  double zipf_zetan_ = 0.0;
+};
+
+}  // namespace pitract
+
+#endif  // PITRACT_COMMON_RNG_H_

@@ -1,0 +1,85 @@
+#ifndef PITRACT_COMMON_STATUS_H_
+#define PITRACT_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+
+namespace pitract {
+
+/// Canonical error space for all fallible pitract operations.
+///
+/// The library follows the database-engine convention (RocksDB/Arrow style):
+/// no exceptions cross an API boundary; fallible operations return a Status
+/// (or a Result<T>, see result.h) that callers must inspect.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kAlreadyExists = 5,
+  kUnimplemented = 6,
+  kInternal = 7,
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error value. Cheap to copy when OK (no message allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace pitract
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK. The database-engine early-return idiom.
+#define PITRACT_RETURN_IF_ERROR(expr)                \
+  do {                                               \
+    ::pitract::Status _pitract_status = (expr);      \
+    if (!_pitract_status.ok()) return _pitract_status; \
+  } while (false)
+
+#endif  // PITRACT_COMMON_STATUS_H_

@@ -1,0 +1,39 @@
+#ifndef PITRACT_COMMON_TIMER_H_
+#define PITRACT_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace pitract {
+
+/// Monotonic wall-clock stopwatch for coarse timings in examples and
+/// experiment harnesses (benchmarks proper use google-benchmark's timing).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+  double ElapsedMicros() const {
+    return static_cast<double>(ElapsedNanos()) / 1e3;
+  }
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedNanos()) / 1e6;
+  }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) / 1e9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace pitract
+
+#endif  // PITRACT_COMMON_TIMER_H_

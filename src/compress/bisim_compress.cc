@@ -1,0 +1,117 @@
+#include "compress/bisim_compress.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace pitract {
+namespace compress {
+
+Result<BisimCompressed> BisimCompressed::Build(
+    const graph::Graph& g, const std::vector<int32_t>& labels,
+    CostMeter* meter) {
+  const graph::NodeId n = g.num_nodes();
+  if (static_cast<graph::NodeId>(labels.size()) != n) {
+    return Status::InvalidArgument("labels size != num_nodes");
+  }
+  BisimCompressed bc;
+  bc.block_.assign(static_cast<size_t>(n), 0);
+
+  // Initial partition: by label.
+  {
+    std::map<int32_t, graph::NodeId> label_block;
+    graph::NodeId next = 0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      auto [it, inserted] =
+          label_block.try_emplace(labels[static_cast<size_t>(v)], next);
+      if (inserted) ++next;
+      bc.block_[static_cast<size_t>(v)] = it->second;
+    }
+  }
+
+  // Signature refinement to fixpoint.
+  int64_t work = 0;
+  for (;;) {
+    // signature(v) = (block(v), sorted distinct successor blocks).
+    std::map<std::pair<graph::NodeId, std::vector<graph::NodeId>>,
+             graph::NodeId>
+        sig_block;
+    std::vector<graph::NodeId> next_block(static_cast<size_t>(n), 0);
+    graph::NodeId next = 0;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      std::vector<graph::NodeId> succ;
+      for (graph::NodeId w : g.OutNeighbors(v)) {
+        succ.push_back(bc.block_[static_cast<size_t>(w)]);
+      }
+      std::sort(succ.begin(), succ.end());
+      succ.erase(std::unique(succ.begin(), succ.end()), succ.end());
+      work += static_cast<int64_t>(succ.size()) + 1;
+      auto key = std::make_pair(bc.block_[static_cast<size_t>(v)],
+                                std::move(succ));
+      auto [it, inserted] = sig_block.try_emplace(std::move(key), next);
+      if (inserted) ++next;
+      next_block[static_cast<size_t>(v)] = it->second;
+    }
+    bool changed = next_block != bc.block_;
+    bc.block_ = std::move(next_block);
+    if (!changed) break;
+  }
+
+  // Quotient graph + block labels.
+  graph::NodeId num_blocks = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    num_blocks = std::max<graph::NodeId>(num_blocks,
+                                         bc.block_[static_cast<size_t>(v)] + 1);
+  }
+  bc.block_label_.assign(static_cast<size_t>(num_blocks), 0);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    bc.block_label_[static_cast<size_t>(bc.block_[static_cast<size_t>(v)])] =
+        labels[static_cast<size_t>(v)];
+    for (graph::NodeId w : g.OutNeighbors(v)) {
+      edges.emplace_back(bc.block_[static_cast<size_t>(v)],
+                         bc.block_[static_cast<size_t>(w)]);
+      ++work;
+    }
+  }
+  bc.quotient_ = std::move(graph::Graph::FromEdges(num_blocks, edges,
+                                                   /*directed=*/true))
+                     .value();
+  if (meter != nullptr) {
+    meter->AddSerial(work + n);
+    meter->AddBytesWritten(bc.quotient_.EstimateBytes());
+  }
+  return bc;
+}
+
+bool BisimCompressed::HasLabelPath(const std::vector<int32_t>& labels,
+                                   CostMeter* meter) const {
+  if (labels.empty()) return true;
+  const graph::NodeId k = num_blocks();
+  std::vector<bool> current(static_cast<size_t>(k), false);
+  int64_t work = 0;
+  for (graph::NodeId b = 0; b < k; ++b) {
+    current[static_cast<size_t>(b)] =
+        block_label_[static_cast<size_t>(b)] == labels[0];
+    ++work;
+  }
+  for (size_t step = 1; step < labels.size(); ++step) {
+    std::vector<bool> next(static_cast<size_t>(k), false);
+    for (graph::NodeId b = 0; b < k; ++b) {
+      if (!current[static_cast<size_t>(b)]) continue;
+      for (graph::NodeId c : quotient_.OutNeighbors(b)) {
+        ++work;
+        if (block_label_[static_cast<size_t>(c)] == labels[step]) {
+          next[static_cast<size_t>(c)] = true;
+        }
+      }
+    }
+    current = std::move(next);
+  }
+  if (meter != nullptr) meter->AddSerial(work);
+  return std::any_of(current.begin(), current.end(),
+                     [](bool b) { return b; });
+}
+
+}  // namespace compress
+}  // namespace pitract

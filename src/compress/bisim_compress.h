@@ -1,0 +1,67 @@
+#ifndef PITRACT_COMPRESS_BISIM_COMPRESS_H_
+#define PITRACT_COMPRESS_BISIM_COMPRESS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cost_meter.h"
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace pitract {
+namespace compress {
+
+/// Query-preserving compression for graph-pattern queries (Section 4(5),
+/// second family in Fan et al. [16]): compress a node-labelled digraph to
+/// its maximum-bisimulation quotient. Bounded-simulation/pattern queries
+/// are invariant under bisimulation, so the quotient answers them exactly
+/// while being (often much) smaller.
+///
+/// The partition is computed by signature refinement: blocks start as label
+/// classes and split on the multiset of successor blocks until fixpoint —
+/// O(m · rounds), rounds <= n.
+class BisimCompressed {
+ public:
+  /// Compresses labelled graph (g, labels); |labels| must equal n.
+  static Result<BisimCompressed> Build(const graph::Graph& g,
+                                       const std::vector<int32_t>& labels,
+                                       CostMeter* meter);
+
+  /// Block id of an original node.
+  graph::NodeId BlockOf(graph::NodeId v) const {
+    return block_[static_cast<size_t>(v)];
+  }
+  /// Label of a block (well-defined: blocks are label-homogeneous).
+  int32_t BlockLabel(graph::NodeId block) const {
+    return block_label_[static_cast<size_t>(block)];
+  }
+
+  /// The quotient graph (one node per bisimulation block).
+  const graph::Graph& quotient() const { return quotient_; }
+  graph::NodeId num_blocks() const { return quotient_.num_nodes(); }
+  graph::NodeId original_nodes() const {
+    return static_cast<graph::NodeId>(block_.size());
+  }
+  double NodeRatio() const {
+    return original_nodes() == 0
+               ? 1.0
+               : static_cast<double>(num_blocks()) /
+                     static_cast<double>(original_nodes());
+  }
+
+  /// Pattern probe answered on the quotient only: does any path with label
+  /// sequence `labels` start at a node labelled labels[0]? (A small but
+  /// representative bisimulation-invariant query family.)
+  bool HasLabelPath(const std::vector<int32_t>& labels,
+                    CostMeter* meter) const;
+
+ private:
+  std::vector<graph::NodeId> block_;       // node -> block id
+  std::vector<int32_t> block_label_;       // block -> label
+  graph::Graph quotient_;
+};
+
+}  // namespace compress
+}  // namespace pitract
+
+#endif  // PITRACT_COMPRESS_BISIM_COMPRESS_H_

@@ -1,0 +1,119 @@
+#include "compress/reach_compress.h"
+
+#include <map>
+#include <utility>
+
+#include "graph/algos.h"
+
+namespace pitract {
+namespace compress {
+
+ReachCompressed ReachCompressed::Build(const graph::Graph& g,
+                                       CostMeter* meter) {
+  ReachCompressed rc;
+  const graph::NodeId n = g.num_nodes();
+  rc.node_class_.assign(static_cast<size_t>(n), 0);
+  if (n == 0) {
+    rc.class_reach_ =
+        reach::ReachabilityMatrix::Build(rc.compressed_, nullptr);
+    return rc;
+  }
+
+  // (i) SCC condensation.
+  graph::SccResult scc = graph::StronglyConnectedComponents(g);
+  rc.node_scc_ = scc.component;
+  graph::Graph dag = graph::Condense(g, scc);
+  const graph::NodeId k = scc.num_components;
+
+  // (ii) Non-reflexive ancestor/descendant signatures on the DAG.
+  //
+  // Why merging equal-signature DAG nodes is sound (DESIGN.md §3):
+  //  * two comparable DAG nodes can never share signatures — if x reaches
+  //    y != x then y ∈ desc(x) = desc(y) would make the DAG cyclic — so a
+  //    class is an antichain and intra-class queries answer false;
+  //  * across classes, every member of a class shares its desc (resp. anc)
+  //    set, so a class-level path exists iff a member-level path does.
+  int64_t work = 0;
+  std::vector<reach::Bitset> desc(static_cast<size_t>(k), reach::Bitset(k));
+  std::vector<reach::Bitset> anc(static_cast<size_t>(k), reach::Bitset(k));
+  {
+    CostMeter closure_meter;
+    reach::ReachabilityMatrix fwd =
+        reach::ReachabilityMatrix::Build(dag, &closure_meter);
+    graph::Graph rev = dag.Reversed();
+    reach::ReachabilityMatrix bwd =
+        reach::ReachabilityMatrix::Build(rev, &closure_meter);
+    for (graph::NodeId a = 0; a < k; ++a) {
+      for (graph::NodeId b = 0; b < k; ++b) {
+        if (a == b) continue;  // non-reflexive
+        if (fwd.Reachable(a, b, nullptr)) desc[static_cast<size_t>(a)].Set(b);
+        if (bwd.Reachable(a, b, nullptr)) anc[static_cast<size_t>(a)].Set(b);
+      }
+    }
+    work += closure_meter.work() + static_cast<int64_t>(k) * k;
+  }
+
+  // Group DAG nodes by (anc, desc) signature.
+  std::map<std::pair<std::vector<uint64_t>, std::vector<uint64_t>>,
+           graph::NodeId>
+      classes;
+  rc.scc_class_.assign(static_cast<size_t>(k), -1);
+  graph::NodeId num_classes = 0;
+  for (graph::NodeId c = 0; c < k; ++c) {
+    auto key = std::make_pair(anc[static_cast<size_t>(c)].words(),
+                              desc[static_cast<size_t>(c)].words());
+    auto [it, inserted] = classes.try_emplace(std::move(key), num_classes);
+    if (inserted) ++num_classes;
+    rc.scc_class_[static_cast<size_t>(c)] = it->second;
+    work += k / 32 + 1;
+  }
+  for (graph::NodeId v = 0; v < n; ++v) {
+    rc.node_class_[static_cast<size_t>(v)] =
+        rc.scc_class_[static_cast<size_t>(rc.node_scc_[static_cast<size_t>(v)])];
+  }
+
+  // (iii) Class-level DAG (deduplicated; intra-class arcs cannot exist
+  // because classes are antichains).
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> class_edges;
+  for (graph::NodeId c = 0; c < k; ++c) {
+    for (graph::NodeId d : dag.OutNeighbors(c)) {
+      class_edges.emplace_back(rc.scc_class_[static_cast<size_t>(c)],
+                               rc.scc_class_[static_cast<size_t>(d)]);
+      ++work;
+    }
+  }
+  rc.compressed_ = std::move(graph::Graph::FromEdges(num_classes, class_edges,
+                                                     /*directed=*/true))
+                       .value();
+
+  // (iv) Oracle on the (small) compressed DAG.
+  CostMeter oracle_meter;
+  rc.class_reach_ =
+      reach::ReachabilityMatrix::Build(rc.compressed_, &oracle_meter);
+  work += oracle_meter.work();
+
+  if (meter != nullptr) {
+    meter->AddSerial(work);
+    meter->AddBytesWritten(rc.compressed_.EstimateBytes());
+  }
+  return rc;
+}
+
+Result<bool> ReachCompressed::Reachable(graph::NodeId u, graph::NodeId v,
+                                        CostMeter* meter) const {
+  const auto n = original_nodes();
+  if (u < 0 || u >= n || v < 0 || v >= n) {
+    return Status::OutOfRange("node id out of range");
+  }
+  if (meter != nullptr) meter->AddSerial(2);
+  const graph::NodeId su = node_scc_[static_cast<size_t>(u)];
+  const graph::NodeId sv = node_scc_[static_cast<size_t>(v)];
+  if (su == sv) return true;
+  const graph::NodeId cu = scc_class_[static_cast<size_t>(su)];
+  const graph::NodeId cv = scc_class_[static_cast<size_t>(sv)];
+  if (cu == cv) return false;  // antichain class
+  return class_reach_.Reachable(cu, cv, meter);
+}
+
+}  // namespace compress
+}  // namespace pitract

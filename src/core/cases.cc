@@ -1,0 +1,642 @@
+#include <algorithm>
+#include <optional>
+
+#include "bds/bds.h"
+#include "circuit/generators.h"
+#include "common/rng.h"
+#include "compress/reach_compress.h"
+#include "core/query_class.h"
+#include "graph/algos.h"
+#include "graph/generators.h"
+#include "index/bptree.h"
+#include "index/sorted_column.h"
+#include "kernel/vertex_cover.h"
+#include "lca/tree_lca.h"
+#include "ncsim/ncsim.h"
+#include "reach/reachability.h"
+#include "rmq/rmq.h"
+#include "storage/generator.h"
+
+namespace pitract {
+namespace core {
+namespace {
+
+constexpr int kQueriesPerCase = 48;
+
+// ---------------------------------------------------------------------------
+// Example 1 / Section 4(1): point selection, B+-tree vs. linear scan.
+// ---------------------------------------------------------------------------
+class PointSelectionCase : public QueryClassCase {
+ public:
+  std::string name() const override { return "point-selection"; }
+  std::string paper_anchor() const override { return "Example 1, S4(1)"; }
+
+  Status Generate(int64_t n, uint64_t seed) override {
+    Rng rng(seed);
+    storage::RelationGenOptions options;
+    options.num_rows = n;
+    options.num_columns = 1;
+    options.value_range = 2 * n;
+    relation_ = storage::GenerateIntRelation(options, &rng);
+    queries_.clear();
+    for (int i = 0; i < kQueriesPerCase; ++i) {
+      // ~half hits, ~half misses.
+      if (i % 2 == 0) {
+        auto col = relation_.Int64Column(0);
+        queries_.push_back(
+            (*col)[static_cast<size_t>(rng.NextBelow(static_cast<uint64_t>(n)))]);
+      } else {
+        queries_.push_back(static_cast<int64_t>(
+            rng.NextBelow(static_cast<uint64_t>(2 * n))));
+      }
+    }
+    tree_.reset();
+    return Status::OK();
+  }
+
+  Status Preprocess(CostMeter* meter) override {
+    auto col = relation_.Int64Column(0);
+    if (!col.ok()) return col.status();
+    std::vector<std::pair<int64_t, int64_t>> entries;
+    entries.reserve(col->size());
+    for (size_t row = 0; row < col->size(); ++row) {
+      entries.emplace_back((*col)[row], static_cast<int64_t>(row));
+    }
+    std::sort(entries.begin(), entries.end());
+    tree_ = std::make_unique<index::BPlusTree>();
+    PITRACT_RETURN_IF_ERROR(tree_->BulkLoad(entries));
+    if (meter != nullptr) {
+      const auto n = static_cast<int64_t>(entries.size());
+      meter->AddSerial(n * (ncsim::CeilLog2(n < 1 ? 1 : n) + 1));
+      meter->AddBytesWritten(n * 16);
+    }
+    return Status::OK();
+  }
+
+  Result<bool> AnswerPrepared(int qi, CostMeter* meter) const override {
+    if (tree_ == nullptr) return Status::FailedPrecondition("not preprocessed");
+    return tree_->PointExists(queries_[static_cast<size_t>(qi)], meter);
+  }
+
+  Result<bool> AnswerBaseline(int qi, CostMeter* meter) const override {
+    return relation_.ScanPointExists(0, queries_[static_cast<size_t>(qi)],
+                                     meter);
+  }
+
+  int num_queries() const override {
+    return static_cast<int>(queries_.size());
+  }
+
+ private:
+  storage::Relation relation_;
+  std::vector<int64_t> queries_;
+  std::unique_ptr<index::BPlusTree> tree_;
+};
+
+// ---------------------------------------------------------------------------
+// Section 4(1): range selection.
+// ---------------------------------------------------------------------------
+class RangeSelectionCase : public QueryClassCase {
+ public:
+  std::string name() const override { return "range-selection"; }
+  std::string paper_anchor() const override { return "S4(1)"; }
+
+  Status Generate(int64_t n, uint64_t seed) override {
+    Rng rng(seed);
+    storage::RelationGenOptions options;
+    options.num_rows = n;
+    options.num_columns = 1;
+    options.value_range = 8 * n;  // sparse: many empty ranges
+    relation_ = storage::GenerateIntRelation(options, &rng);
+    queries_.clear();
+    for (int i = 0; i < kQueriesPerCase; ++i) {
+      int64_t lo =
+          static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(8 * n)));
+      queries_.emplace_back(lo, lo + static_cast<int64_t>(rng.NextBelow(4)));
+    }
+    tree_.reset();
+    return Status::OK();
+  }
+
+  Status Preprocess(CostMeter* meter) override {
+    auto col = relation_.Int64Column(0);
+    if (!col.ok()) return col.status();
+    std::vector<std::pair<int64_t, int64_t>> entries;
+    entries.reserve(col->size());
+    for (size_t row = 0; row < col->size(); ++row) {
+      entries.emplace_back((*col)[row], static_cast<int64_t>(row));
+    }
+    std::sort(entries.begin(), entries.end());
+    tree_ = std::make_unique<index::BPlusTree>();
+    PITRACT_RETURN_IF_ERROR(tree_->BulkLoad(entries));
+    if (meter != nullptr) {
+      const auto n = static_cast<int64_t>(entries.size());
+      meter->AddSerial(n * (ncsim::CeilLog2(n < 1 ? 1 : n) + 1));
+    }
+    return Status::OK();
+  }
+
+  Result<bool> AnswerPrepared(int qi, CostMeter* meter) const override {
+    if (tree_ == nullptr) return Status::FailedPrecondition("not preprocessed");
+    const auto& [lo, hi] = queries_[static_cast<size_t>(qi)];
+    return tree_->RangeExists(lo, hi, meter);
+  }
+
+  Result<bool> AnswerBaseline(int qi, CostMeter* meter) const override {
+    const auto& [lo, hi] = queries_[static_cast<size_t>(qi)];
+    return relation_.ScanRangeExists(0, lo, hi, meter);
+  }
+
+  int num_queries() const override {
+    return static_cast<int>(queries_.size());
+  }
+
+ private:
+  storage::Relation relation_;
+  std::vector<std::pair<int64_t, int64_t>> queries_;
+  std::unique_ptr<index::BPlusTree> tree_;
+};
+
+// ---------------------------------------------------------------------------
+// Section 4(2): searching in a list.
+// ---------------------------------------------------------------------------
+class ListMembershipCase : public QueryClassCase {
+ public:
+  std::string name() const override { return "list-membership"; }
+  std::string paper_anchor() const override { return "S4(2)"; }
+
+  Status Generate(int64_t n, uint64_t seed) override {
+    Rng rng(seed);
+    list_ = storage::GenerateList(n, 2 * n, &rng);
+    queries_.clear();
+    for (int i = 0; i < kQueriesPerCase; ++i) {
+      if (i % 2 == 0) {
+        queries_.push_back(
+            list_[static_cast<size_t>(rng.NextBelow(list_.size()))]);
+      } else {
+        queries_.push_back(
+            static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(2 * n))));
+      }
+    }
+    sorted_.reset();
+    return Status::OK();
+  }
+
+  Status Preprocess(CostMeter* meter) override {
+    sorted_ = index::SortedColumn::Build(
+        std::span<const int64_t>(list_.data(), list_.size()), meter);
+    return Status::OK();
+  }
+
+  Result<bool> AnswerPrepared(int qi, CostMeter* meter) const override {
+    if (!sorted_.has_value()) {
+      return Status::FailedPrecondition("not preprocessed");
+    }
+    return sorted_->Contains(queries_[static_cast<size_t>(qi)], meter);
+  }
+
+  Result<bool> AnswerBaseline(int qi, CostMeter* meter) const override {
+    const int64_t target = queries_[static_cast<size_t>(qi)];
+    int64_t scanned = 0;
+    bool found = false;
+    for (int64_t v : list_) {
+      ++scanned;
+      if (v == target) {
+        found = true;
+        break;
+      }
+    }
+    if (meter != nullptr) {
+      meter->AddSerial(scanned);
+      meter->AddBytesRead(scanned * 8);
+    }
+    return found;
+  }
+
+  int num_queries() const override {
+    return static_cast<int>(queries_.size());
+  }
+
+ private:
+  std::vector<int64_t> list_;
+  std::vector<int64_t> queries_;
+  std::optional<index::SortedColumn> sorted_;
+};
+
+// ---------------------------------------------------------------------------
+// Example 3: reachability, TC matrix vs. per-query BFS.
+// ---------------------------------------------------------------------------
+class ReachabilityCase : public QueryClassCase {
+ public:
+  std::string name() const override { return "graph-reachability"; }
+  std::string paper_anchor() const override { return "Example 3 (GAP)"; }
+
+  Status Generate(int64_t n, uint64_t seed) override {
+    Rng rng(seed);
+    g_ = graph::ErdosRenyi(static_cast<graph::NodeId>(n), 4 * n,
+                           /*directed=*/true, &rng);
+    queries_.clear();
+    for (int i = 0; i < kQueriesPerCase; ++i) {
+      queries_.emplace_back(
+          static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(n))),
+          static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(n))));
+    }
+    matrix_.reset();
+    return Status::OK();
+  }
+
+  Status Preprocess(CostMeter* meter) override {
+    matrix_ = reach::ReachabilityMatrix::Build(g_, meter);
+    return Status::OK();
+  }
+
+  Result<bool> AnswerPrepared(int qi, CostMeter* meter) const override {
+    if (!matrix_.has_value()) {
+      return Status::FailedPrecondition("not preprocessed");
+    }
+    const auto& [s, t] = queries_[static_cast<size_t>(qi)];
+    return matrix_->Reachable(s, t, meter);
+  }
+
+  Result<bool> AnswerBaseline(int qi, CostMeter* meter) const override {
+    const auto& [s, t] = queries_[static_cast<size_t>(qi)];
+    return graph::BfsReachable(g_, s, t, meter);
+  }
+
+  int num_queries() const override {
+    return static_cast<int>(queries_.size());
+  }
+
+ private:
+  graph::Graph g_;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> queries_;
+  std::optional<reach::ReachabilityMatrix> matrix_;
+};
+
+// ---------------------------------------------------------------------------
+// Section 4(3): RMQ threshold decision ("is min(A[i..j]) <= c?").
+// ---------------------------------------------------------------------------
+class RmqThresholdCase : public QueryClassCase {
+ public:
+  std::string name() const override { return "range-minimum"; }
+  std::string paper_anchor() const override { return "S4(3) [18]"; }
+
+  Status Generate(int64_t n, uint64_t seed) override {
+    Rng rng(seed);
+    values_.resize(static_cast<size_t>(n));
+    for (auto& v : values_) {
+      v = static_cast<int64_t>(rng.NextBelow(1 << 20));
+    }
+    queries_.clear();
+    for (int i = 0; i < kQueriesPerCase; ++i) {
+      int64_t a = static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(n)));
+      int64_t b = static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(n)));
+      if (a > b) std::swap(a, b);
+      queries_.push_back({a, b, static_cast<int64_t>(rng.NextBelow(1 << 20))});
+    }
+    block_rmq_.reset();
+    return Status::OK();
+  }
+
+  Status Preprocess(CostMeter* meter) override {
+    block_rmq_ = rmq::BlockRmq::Build(values_, meter);
+    return Status::OK();
+  }
+
+  Result<bool> AnswerPrepared(int qi, CostMeter* meter) const override {
+    if (!block_rmq_.has_value()) {
+      return Status::FailedPrecondition("not preprocessed");
+    }
+    const auto& q = queries_[static_cast<size_t>(qi)];
+    PITRACT_ASSIGN_OR_RETURN(int64_t pos, block_rmq_->Query(q.lo, q.hi, meter));
+    return values_[static_cast<size_t>(pos)] <= q.threshold;
+  }
+
+  Result<bool> AnswerBaseline(int qi, CostMeter* meter) const override {
+    const auto& q = queries_[static_cast<size_t>(qi)];
+    rmq::NaiveRmq naive(values_);
+    PITRACT_ASSIGN_OR_RETURN(int64_t pos, naive.Query(q.lo, q.hi, meter));
+    return values_[static_cast<size_t>(pos)] <= q.threshold;
+  }
+
+  int num_queries() const override {
+    return static_cast<int>(queries_.size());
+  }
+
+ private:
+  struct RmqQuery {
+    int64_t lo;
+    int64_t hi;
+    int64_t threshold;
+  };
+  std::vector<int64_t> values_;
+  std::vector<RmqQuery> queries_;
+  std::optional<rmq::BlockRmq> block_rmq_;
+};
+
+// ---------------------------------------------------------------------------
+// Section 4(4): tree LCA decision ("is LCA(u, v) = w?") on a deep tree.
+// ---------------------------------------------------------------------------
+class TreeLcaCase : public QueryClassCase {
+ public:
+  std::string name() const override { return "tree-lca"; }
+  std::string paper_anchor() const override { return "S4(4) [5]"; }
+
+  Status Generate(int64_t n, uint64_t seed) override {
+    Rng rng(seed);
+    // Mostly-path tree: depth Θ(n), so the naive upward walk is Θ(n) and
+    // the contrast with the O(1) Euler-tour oracle is visible.
+    parent_.assign(static_cast<size_t>(n), -1);
+    for (int64_t i = 1; i < n; ++i) {
+      parent_[static_cast<size_t>(i)] =
+          rng.NextBool(0.9)
+              ? static_cast<graph::NodeId>(i - 1)
+              : static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(i)));
+    }
+    auto naive = lca::NaiveTreeLca::Build(parent_);
+    if (!naive.ok()) return naive.status();
+    naive_ = std::move(naive).value();
+    queries_.clear();
+    for (int i = 0; i < kQueriesPerCase; ++i) {
+      auto u = static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(n)));
+      auto v = static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(n)));
+      auto w = naive_->Query(u, v, nullptr);
+      if (!w.ok()) return w.status();
+      // Half the queries ask the true LCA, half a perturbed node.
+      graph::NodeId claim = *w;
+      if (i % 2 == 1) {
+        claim = static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(n)));
+      }
+      queries_.push_back({u, v, claim});
+    }
+    euler_.reset();
+    return Status::OK();
+  }
+
+  Status Preprocess(CostMeter* meter) override {
+    auto built = lca::EulerTourLca::Build(parent_, meter);
+    if (!built.ok()) return built.status();
+    euler_ = std::move(built).value();
+    return Status::OK();
+  }
+
+  Result<bool> AnswerPrepared(int qi, CostMeter* meter) const override {
+    if (!euler_.has_value()) {
+      return Status::FailedPrecondition("not preprocessed");
+    }
+    const auto& q = queries_[static_cast<size_t>(qi)];
+    PITRACT_ASSIGN_OR_RETURN(graph::NodeId w, euler_->Query(q.u, q.v, meter));
+    return w == q.claim;
+  }
+
+  Result<bool> AnswerBaseline(int qi, CostMeter* meter) const override {
+    const auto& q = queries_[static_cast<size_t>(qi)];
+    PITRACT_ASSIGN_OR_RETURN(graph::NodeId w, naive_->Query(q.u, q.v, meter));
+    return w == q.claim;
+  }
+
+  int num_queries() const override {
+    return static_cast<int>(queries_.size());
+  }
+
+ private:
+  struct LcaQuery {
+    graph::NodeId u;
+    graph::NodeId v;
+    graph::NodeId claim;
+  };
+  std::vector<graph::NodeId> parent_;
+  std::optional<lca::NaiveTreeLca> naive_;
+  std::optional<lca::EulerTourLca> euler_;
+  std::vector<LcaQuery> queries_;
+};
+
+// ---------------------------------------------------------------------------
+// Examples 2/5: BDS order queries.
+// ---------------------------------------------------------------------------
+class BdsCase : public QueryClassCase {
+ public:
+  std::string name() const override { return "breadth-depth-search"; }
+  std::string paper_anchor() const override { return "Examples 2/5, S6"; }
+
+  Status Generate(int64_t n, uint64_t seed) override {
+    Rng rng(seed);
+    g_ = graph::ErdosRenyi(static_cast<graph::NodeId>(n), 3 * n,
+                           /*directed=*/false, &rng);
+    queries_.clear();
+    for (int i = 0; i < kQueriesPerCase; ++i) {
+      queries_.emplace_back(
+          static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(n))),
+          static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(n))));
+    }
+    oracle_.reset();
+    return Status::OK();
+  }
+
+  Status Preprocess(CostMeter* meter) override {
+    oracle_ = bds::BdsOracle::Build(g_, meter);
+    oracle_->set_charge_binary_search(true);  // the paper's O(log |M|) mode
+    return Status::OK();
+  }
+
+  Result<bool> AnswerPrepared(int qi, CostMeter* meter) const override {
+    if (!oracle_.has_value()) {
+      return Status::FailedPrecondition("not preprocessed");
+    }
+    const auto& [u, v] = queries_[static_cast<size_t>(qi)];
+    return oracle_->VisitedBefore(u, v, meter);
+  }
+
+  Result<bool> AnswerBaseline(int qi, CostMeter* meter) const override {
+    const auto& [u, v] = queries_[static_cast<size_t>(qi)];
+    return bds::BdsVisitedBeforeOnline(g_, u, v, meter);
+  }
+
+  int num_queries() const override {
+    return static_cast<int>(queries_.size());
+  }
+
+ private:
+  graph::Graph g_;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> queries_;
+  std::optional<bds::BdsOracle> oracle_;
+};
+
+// ---------------------------------------------------------------------------
+// Section 4(8) + Theorem 9: CVP under the two factorizations.
+// ---------------------------------------------------------------------------
+class GateValueCase : public QueryClassCase {
+ public:
+  std::string name() const override { return "cvp-refactorized"; }
+  std::string paper_anchor() const override { return "S4(8), S6"; }
+
+  Status Generate(int64_t n, uint64_t seed) override {
+    Rng rng(seed);
+    circuit::CircuitGenOptions options;
+    options.num_inputs = 8;
+    options.num_gates = static_cast<int32_t>(n);
+    options.deep = true;  // depth Θ(n): sequential evaluation is unavoidable
+    instance_ = circuit::RandomCvpInstance(options, &rng);
+    queries_.clear();
+    for (int i = 0; i < kQueriesPerCase; ++i) {
+      queries_.push_back(static_cast<circuit::GateId>(
+          rng.NextBelow(static_cast<uint64_t>(instance_.circuit.num_gates()))));
+    }
+    values_.reset();
+    return Status::OK();
+  }
+
+  Status Preprocess(CostMeter* meter) override {
+    auto values = instance_.circuit.EvaluateAll(instance_.assignment, meter);
+    if (!values.ok()) return values.status();
+    values_ = std::move(values).value();
+    return Status::OK();
+  }
+
+  Result<bool> AnswerPrepared(int qi, CostMeter* meter) const override {
+    if (!values_.has_value()) {
+      return Status::FailedPrecondition("not preprocessed");
+    }
+    if (meter != nullptr) {
+      meter->AddSerial(1);
+      meter->AddBytesRead(1);
+    }
+    return (*values_)[static_cast<size_t>(queries_[static_cast<size_t>(qi)])] !=
+           0;
+  }
+
+  Result<bool> AnswerBaseline(int qi, CostMeter* meter) const override {
+    // Y0-style: evaluate the whole circuit for every query.
+    auto values = instance_.circuit.EvaluateAll(instance_.assignment, meter);
+    if (!values.ok()) return values.status();
+    return (*values)[static_cast<size_t>(queries_[static_cast<size_t>(qi)])] !=
+           0;
+  }
+
+  int num_queries() const override {
+    return static_cast<int>(queries_.size());
+  }
+
+ private:
+  circuit::CvpInstance instance_;
+  std::vector<circuit::GateId> queries_;
+  std::optional<std::vector<char>> values_;
+};
+
+// ---------------------------------------------------------------------------
+// Section 4(5): compressed reachability.
+// ---------------------------------------------------------------------------
+class CompressedReachCase : public QueryClassCase {
+ public:
+  std::string name() const override { return "compressed-reachability"; }
+  std::string paper_anchor() const override { return "S4(5) [16]"; }
+
+  Status Generate(int64_t n, uint64_t seed) override {
+    Rng rng(seed);
+    g_ = graph::ErdosRenyi(static_cast<graph::NodeId>(n), 2 * n,
+                           /*directed=*/true, &rng);
+    queries_.clear();
+    for (int i = 0; i < kQueriesPerCase; ++i) {
+      queries_.emplace_back(
+          static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(n))),
+          static_cast<graph::NodeId>(rng.NextBelow(static_cast<uint64_t>(n))));
+    }
+    compressed_.reset();
+    return Status::OK();
+  }
+
+  Status Preprocess(CostMeter* meter) override {
+    compressed_ = compress::ReachCompressed::Build(g_, meter);
+    return Status::OK();
+  }
+
+  Result<bool> AnswerPrepared(int qi, CostMeter* meter) const override {
+    if (!compressed_.has_value()) {
+      return Status::FailedPrecondition("not preprocessed");
+    }
+    const auto& [s, t] = queries_[static_cast<size_t>(qi)];
+    return compressed_->Reachable(s, t, meter);
+  }
+
+  Result<bool> AnswerBaseline(int qi, CostMeter* meter) const override {
+    const auto& [s, t] = queries_[static_cast<size_t>(qi)];
+    return graph::BfsReachable(g_, s, t, meter);
+  }
+
+  int num_queries() const override {
+    return static_cast<int>(queries_.size());
+  }
+
+ private:
+  graph::Graph g_;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> queries_;
+  std::optional<compress::ReachCompressed> compressed_;
+};
+
+// ---------------------------------------------------------------------------
+// Section 4(9): vertex cover with fixed K, kernelized vs. direct.
+// ---------------------------------------------------------------------------
+class VertexCoverCase : public QueryClassCase {
+ public:
+  std::string name() const override { return "vertex-cover-k"; }
+  std::string paper_anchor() const override { return "S4(9) [19,20]"; }
+
+  Status Generate(int64_t n, uint64_t seed) override {
+    Rng rng(seed);
+    // Sparse graph plus a small planted cover keeps instances nontrivial.
+    g_ = graph::ErdosRenyi(static_cast<graph::NodeId>(n), n / 2,
+                           /*directed=*/false, &rng);
+    kernel_.reset();
+    return Status::OK();
+  }
+
+  Status Preprocess(CostMeter* meter) override {
+    auto kernel = kernel::BussKernelize(g_, kK, meter);
+    if (!kernel.ok()) return kernel.status();
+    kernel_ = std::move(kernel).value();
+    return Status::OK();
+  }
+
+  Result<bool> AnswerPrepared(int /*qi*/, CostMeter* meter) const override {
+    if (!kernel_.has_value()) {
+      return Status::FailedPrecondition("not preprocessed");
+    }
+    if (kernel_->decided.has_value()) {
+      if (meter != nullptr) meter->AddSerial(1);
+      return *kernel_->decided;
+    }
+    return kernel::VertexCoverSearch(kernel_->edges, kernel_->remaining_k,
+                                     meter);
+  }
+
+  Result<bool> AnswerBaseline(int /*qi*/, CostMeter* meter) const override {
+    return kernel::HasVertexCoverDirect(g_, kK, meter);
+  }
+
+  int num_queries() const override { return 1; }
+
+ private:
+  static constexpr int kK = 8;
+  graph::Graph g_;
+  std::optional<kernel::BussKernel> kernel_;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<QueryClassCase>> MakeAllCases() {
+  std::vector<std::unique_ptr<QueryClassCase>> cases;
+  cases.push_back(std::make_unique<PointSelectionCase>());
+  cases.push_back(std::make_unique<RangeSelectionCase>());
+  cases.push_back(std::make_unique<ListMembershipCase>());
+  cases.push_back(std::make_unique<ReachabilityCase>());
+  cases.push_back(std::make_unique<RmqThresholdCase>());
+  cases.push_back(std::make_unique<TreeLcaCase>());
+  cases.push_back(std::make_unique<BdsCase>());
+  cases.push_back(std::make_unique<GateValueCase>());
+  cases.push_back(std::make_unique<CompressedReachCase>());
+  cases.push_back(std::make_unique<VertexCoverCase>());
+  return cases;
+}
+
+}  // namespace core
+}  // namespace pitract

@@ -1,0 +1,107 @@
+#include "core/classifier.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace pitract {
+namespace core {
+
+double LogLogSlope(const std::vector<std::pair<double, double>>& xy) {
+  if (xy.size() < 2) return 0.0;
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  double n = 0;
+  for (const auto& [x, y] : xy) {
+    if (x <= 0) continue;
+    const double lx = std::log(x);
+    const double ly = std::log(y < 1 ? 1 : y);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    n += 1;
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0) return 0.0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+Result<Classification> Classify(QueryClassCase* query_class,
+                                const std::vector<int64_t>& sizes,
+                                uint64_t seed) {
+  Classification c;
+  c.name = query_class->name();
+  c.paper_anchor = query_class->paper_anchor();
+  for (int64_t n : sizes) {
+    PITRACT_RETURN_IF_ERROR(query_class->Generate(n, seed));
+    CostMeter pre;
+    PITRACT_RETURN_IF_ERROR(query_class->Preprocess(&pre));
+    SweepPoint point;
+    point.n = n;
+    point.preprocess_work = pre.work();
+    double prepared_total = 0;
+    double baseline_total = 0;
+    const int queries = query_class->num_queries();
+    for (int qi = 0; qi < queries; ++qi) {
+      CostMeter prepared_meter;
+      auto a = query_class->AnswerPrepared(qi, &prepared_meter);
+      if (!a.ok()) return a.status();
+      CostMeter baseline_meter;
+      auto b = query_class->AnswerBaseline(qi, &baseline_meter);
+      if (!b.ok()) return b.status();
+      if (*a != *b) {
+        return Status::Internal(
+            c.name + ": prepared and baseline answers disagree at n=" +
+            std::to_string(n) + " qi=" + std::to_string(qi));
+      }
+      prepared_total += static_cast<double>(prepared_meter.depth());
+      baseline_total += static_cast<double>(baseline_meter.depth());
+    }
+    point.prepared_depth = prepared_total / queries;
+    point.baseline_depth = baseline_total / queries;
+    c.points.push_back(point);
+  }
+
+  std::vector<std::pair<double, double>> pre_xy;
+  std::vector<std::pair<double, double>> prep_xy;
+  std::vector<std::pair<double, double>> base_xy;
+  for (const auto& p : c.points) {
+    pre_xy.emplace_back(static_cast<double>(p.n),
+                        static_cast<double>(p.preprocess_work));
+    prep_xy.emplace_back(static_cast<double>(p.n), p.prepared_depth);
+    base_xy.emplace_back(static_cast<double>(p.n), p.baseline_depth);
+  }
+  c.preprocess_degree = LogLogSlope(pre_xy);
+  c.prepared_slope = LogLogSlope(prep_xy);
+  c.baseline_slope = LogLogSlope(base_xy);
+  c.prepared_polylog = c.prepared_slope < kPolylogSlopeThreshold;
+  c.baseline_polylog = c.baseline_slope < kPolylogSlopeThreshold;
+  // "PTIME" preprocessing: any fixed polynomial degree qualifies; flag only
+  // blatantly super-polynomial growth (degree > 6 would mean the fit broke).
+  c.pi_tractable = c.prepared_polylog && c.preprocess_degree < 6.0;
+  return c;
+}
+
+std::string LandscapeReport(const std::vector<Classification>& rows) {
+  std::ostringstream os;
+  os << "Figure 2 landscape (empirical): NC <= PiT0Q <= P\n";
+  os << "----------------------------------------------------------------------------------------------\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-26s %-18s %10s %10s %10s  %s\n",
+                "query class", "paper", "pre-deg", "ans-slope", "base-slope",
+                "verdict");
+  os << line;
+  os << "----------------------------------------------------------------------------------------------\n";
+  for (const auto& c : rows) {
+    std::snprintf(line, sizeof(line), "%-26s %-18s %10.2f %10.3f %10.3f  %s\n",
+                  c.name.c_str(), c.paper_anchor.c_str(), c.preprocess_degree,
+                  c.prepared_slope, c.baseline_slope,
+                  c.pi_tractable
+                      ? "in PiT0Q (polylog after PTIME preprocessing)"
+                      : "NOT PiT0Q under this factorization");
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace core
+}  // namespace pitract

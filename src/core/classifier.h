@@ -1,0 +1,61 @@
+#ifndef PITRACT_CORE_CLASSIFIER_H_
+#define PITRACT_CORE_CLASSIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/query_class.h"
+
+namespace pitract {
+namespace core {
+
+/// One measured point of a doubling sweep.
+struct SweepPoint {
+  int64_t n = 0;
+  int64_t preprocess_work = 0;
+  double prepared_depth = 0;   // mean over the query batch
+  double baseline_depth = 0;   // mean over the query batch
+};
+
+/// Empirical Π-tractability classification of one query class — the
+/// executable rendering of "Q ∈ ΠT⁰Q":
+///  * `preprocess_degree`  — least-squares log-log slope of preprocessing
+///    work vs n; PTIME shows up as a small constant degree;
+///  * `prepared_slope` / `baseline_slope` — log-log slopes of per-query
+///    *depth*; an NC answering step has slope ≈ 0 (its depth is polylog, so
+///    depth ratios vanish against size ratios), a linear-time step slope ≈ 1.
+struct Classification {
+  std::string name;
+  std::string paper_anchor;
+  std::vector<SweepPoint> points;
+  double preprocess_degree = 0;
+  double prepared_slope = 0;
+  double baseline_slope = 0;
+  bool prepared_polylog = false;
+  bool baseline_polylog = false;
+  /// PTIME preprocessing + polylog answering = the Definition 1 criteria.
+  bool pi_tractable = false;
+};
+
+/// Slope threshold under which a depth curve is declared polylog. A true
+/// O(log^k n) curve has slope ~ k/ln(n) -> 0; a polynomial n^e keeps slope
+/// e. 0.35 cleanly separates the two at the sweep sizes used here.
+inline constexpr double kPolylogSlopeThreshold = 0.35;
+
+/// Runs the doubling sweep and classifies. Queries are averaged per point.
+Result<Classification> Classify(QueryClassCase* query_class,
+                                const std::vector<int64_t>& sizes,
+                                uint64_t seed);
+
+/// Formats classifications as the Figure 2 landscape table.
+std::string LandscapeReport(const std::vector<Classification>& rows);
+
+/// Least-squares slope of log(y) against log(x); helper exposed for tests.
+double LogLogSlope(const std::vector<std::pair<double, double>>& xy);
+
+}  // namespace core
+}  // namespace pitract
+
+#endif  // PITRACT_CORE_CLASSIFIER_H_

@@ -1,0 +1,103 @@
+#include "core/factorization.h"
+
+#include "common/codec.h"
+
+namespace pitract {
+namespace core {
+
+Factorization TrivialFactorization() {
+  Factorization f;
+  f.name = "Y_triv";
+  f.pi1 = [](const std::string& x) -> Result<std::string> { return x; };
+  f.pi2 = [](const std::string& x) -> Result<std::string> { return x; };
+  f.rho = [](const std::string& data,
+             const std::string& query) -> Result<std::string> {
+    if (data != query) {
+      return Status::InvalidArgument(
+          "trivial factorization requires identical halves");
+    }
+    return data;
+  };
+  return f;
+}
+
+Factorization EmptyDataFactorization() {
+  Factorization f;
+  f.name = "Y0";
+  f.pi1 = [](const std::string&) -> Result<std::string> {
+    return std::string();
+  };
+  f.pi2 = [](const std::string& x) -> Result<std::string> { return x; };
+  f.rho = [](const std::string& data,
+             const std::string& query) -> Result<std::string> {
+    if (!data.empty()) {
+      return Status::InvalidArgument("Y0 expects an empty data part");
+    }
+    return query;
+  };
+  return f;
+}
+
+Factorization EmptyQueryFactorization() {
+  Factorization f;
+  f.name = "Y0'";
+  f.pi1 = [](const std::string& x) -> Result<std::string> { return x; };
+  f.pi2 = [](const std::string&) -> Result<std::string> {
+    return std::string();
+  };
+  f.rho = [](const std::string& data,
+             const std::string& query) -> Result<std::string> {
+    if (!query.empty()) {
+      return Status::InvalidArgument("Y0' expects an empty query part");
+    }
+    return data;
+  };
+  return f;
+}
+
+Factorization FieldSplitFactorization(std::string name, int query_fields) {
+  Factorization f;
+  f.name = std::move(name);
+  f.pi1 = [query_fields](const std::string& x) -> Result<std::string> {
+    auto fields = codec::DecodeFields(x);
+    if (!fields.ok()) return fields.status();
+    if (static_cast<int>(fields->size()) < query_fields) {
+      return Status::InvalidArgument("instance has too few fields");
+    }
+    fields->resize(fields->size() - static_cast<size_t>(query_fields));
+    return codec::EncodeFields(*fields);
+  };
+  f.pi2 = [query_fields](const std::string& x) -> Result<std::string> {
+    auto fields = codec::DecodeFields(x);
+    if (!fields.ok()) return fields.status();
+    if (static_cast<int>(fields->size()) < query_fields) {
+      return Status::InvalidArgument("instance has too few fields");
+    }
+    std::vector<std::string> tail(
+        fields->end() - static_cast<long>(query_fields), fields->end());
+    return codec::EncodeFields(tail);
+  };
+  f.rho = [](const std::string& data,
+             const std::string& query) -> Result<std::string> {
+    if (data.empty()) return query;
+    if (query.empty()) return data;
+    return data + "#" + query;
+  };
+  return f;
+}
+
+Status VerifyFactorization(const Factorization& f, const std::string& x) {
+  auto data = f.pi1(x);
+  if (!data.ok()) return data.status();
+  auto query = f.pi2(x);
+  if (!query.ok()) return query.status();
+  auto restored = f.rho(*data, *query);
+  if (!restored.ok()) return restored.status();
+  if (*restored != x) {
+    return Status::Internal("factorization law violated: rho(pi1, pi2) != x");
+  }
+  return Status::OK();
+}
+
+}  // namespace core
+}  // namespace pitract

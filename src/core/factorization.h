@@ -1,0 +1,55 @@
+#ifndef PITRACT_CORE_FACTORIZATION_H_
+#define PITRACT_CORE_FACTORIZATION_H_
+
+#include <functional>
+#include <string>
+
+#include "common/result.h"
+
+namespace pitract {
+namespace core {
+
+/// The paper's Section 3 objects, executable at the Σ*-string level.
+///
+/// An *instance* of a decision problem is a string x ∈ Σ* (see
+/// common/codec.h for the delimiter conventions). A *factorization*
+/// Υ = (π₁, π₂, ρ) splits instances into a data part D = π₁(x) and a query
+/// part Q = π₂(x), with ρ restoring x = ρ(π₁(x), π₂(x)). All three
+/// functions are NC-computable in the paper; here they are required to be
+/// cheap per-symbol transformations (every concrete factorization in
+/// src/core is a field split or a relabeling).
+struct Factorization {
+  /// Display name ("Υ_BDS", "Υ_triv", "Υ0", ...).
+  std::string name;
+  /// π₁: instance -> data part.
+  std::function<Result<std::string>(const std::string& x)> pi1;
+  /// π₂: instance -> query part.
+  std::function<Result<std::string>(const std::string& x)> pi2;
+  /// ρ: (data, query) -> instance.
+  std::function<Result<std::string>(const std::string& data,
+                                    const std::string& query)>
+      rho;
+};
+
+/// The trivial factorization of Example/Theorem 5's hardness direction:
+/// π₁(x) = π₂(x) = x and ρ(x, x) = x. (ρ fails if the halves disagree.)
+Factorization TrivialFactorization();
+
+/// The Section 7 separation factorization Υ0: π₁(x) = ε, π₂(x) = x —
+/// nothing is exposed for preprocessing.
+Factorization EmptyDataFactorization();
+
+/// The dual Υ0′ of Proposition 10: π₁(x) = x, π₂(x) = ε.
+Factorization EmptyQueryFactorization();
+
+/// A general "split on the last `query_fields` #-fields" factorization:
+/// π₁ keeps the leading fields (data), π₂ the trailing ones (query).
+Factorization FieldSplitFactorization(std::string name, int query_fields);
+
+/// Checks the factorization law ρ(π₁(x), π₂(x)) == x on one instance.
+Status VerifyFactorization(const Factorization& f, const std::string& x);
+
+}  // namespace core
+}  // namespace pitract
+
+#endif  // PITRACT_CORE_FACTORIZATION_H_

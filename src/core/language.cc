@@ -1,0 +1,43 @@
+#include "core/language.h"
+
+namespace pitract {
+namespace core {
+
+Status VerifyWitnessOnInstance(const LanguageOfPairs& s, const PiWitness& w,
+                               const std::string& x) {
+  auto expected = s.problem().contains(x);
+  if (!expected.ok()) return expected.status();
+  auto data = s.factorization().pi1(x);
+  if (!data.ok()) return data.status();
+  auto query = s.factorization().pi2(x);
+  if (!query.ok()) return query.status();
+  CostMeter meter;
+  auto prepared = w.preprocess(*data, &meter);
+  if (!prepared.ok()) return prepared.status();
+  auto actual = w.answer(*prepared, *query, &meter);
+  if (!actual.ok()) return actual.status();
+  if (*actual != *expected) {
+    return Status::Internal("witness disagrees with reference semantics on '" +
+                            x + "'");
+  }
+  return Status::OK();
+}
+
+PiWitness ApplyRewriting(const QueryRewriter& rewriter,
+                         const PiWitness& base) {
+  PiWitness w;
+  w.name = base.name + " with " + rewriter.name;
+  w.preprocess = base.preprocess;
+  auto lambda = rewriter.lambda;
+  auto answer = base.answer;
+  w.answer = [lambda, answer](const std::string& prepared,
+                              const std::string& query, CostMeter* meter) {
+    auto rewritten = lambda(query);
+    if (!rewritten.ok()) return Result<bool>(rewritten.status());
+    return answer(prepared, *rewritten, meter);
+  };
+  return w;
+}
+
+}  // namespace core
+}  // namespace pitract

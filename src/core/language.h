@@ -1,0 +1,92 @@
+#ifndef PITRACT_CORE_LANGUAGE_H_
+#define PITRACT_CORE_LANGUAGE_H_
+
+#include <functional>
+#include <string>
+
+#include "common/cost_meter.h"
+#include "common/result.h"
+#include "core/factorization.h"
+
+namespace pitract {
+namespace core {
+
+/// A decision problem L ⊆ Σ* with an executable membership test (the
+/// "reference semantics" used to verify every construction in this module).
+struct DecisionProblem {
+  std::string name;
+  /// x ∈ L?
+  std::function<Result<bool>(const std::string& x)> contains;
+};
+
+/// The language of pairs S(L, Υ) = {⟨π₁(x), π₂(x)⟩ | x ∈ L}: membership of
+/// a pair is decided by restoring the instance and asking L (Proposition 1
+/// makes this sound — the restored instance is unique).
+class LanguageOfPairs {
+ public:
+  LanguageOfPairs(DecisionProblem problem, Factorization factorization)
+      : problem_(std::move(problem)),
+        factorization_(std::move(factorization)) {}
+
+  /// ⟨data, query⟩ ∈ S(L, Υ)?
+  Result<bool> Contains(const std::string& data,
+                        const std::string& query) const {
+    auto x = factorization_.rho(data, query);
+    if (!x.ok()) return x.status();
+    return problem_.contains(*x);
+  }
+
+  const DecisionProblem& problem() const { return problem_; }
+  const Factorization& factorization() const { return factorization_; }
+
+ private:
+  DecisionProblem problem_;
+  Factorization factorization_;
+};
+
+/// A Π-tractability witness for a language of pairs S (Definition 1): a
+/// PTIME preprocessing function Π and a language S′ decidable in NC, given
+/// here as an `answer` function over (Π(D), Q).
+///
+/// Cost-accounting contract: `preprocess` charges its full PTIME work;
+/// `answer` charges only the *conceptual probe cost* of S′-membership (e.g.
+/// the two binary searches of Example 5) — string decode overhead is
+/// harness bookkeeping and is excluded, since a deployed engine would hold
+/// the preprocessed structure in memory (the typed cases in core/cases.h
+/// measure exactly that deployed form).
+struct PiWitness {
+  std::string name;
+  /// Π: data part -> preprocessed structure D′ (string-encoded).
+  std::function<Result<std::string>(const std::string& data, CostMeter*)>
+      preprocess;
+  /// S′ membership: ⟨Π(D), Q⟩ -> bool.
+  std::function<Result<bool>(const std::string& preprocessed,
+                             const std::string& query, CostMeter*)>
+      answer;
+};
+
+/// End-to-end check of Definition 1 on one instance: x ∈ L must equal
+/// answer(Π(π₁(x)), π₂(x)).
+Status VerifyWitnessOnInstance(const LanguageOfPairs& s, const PiWitness& w,
+                               const std::string& x);
+
+/// The generalized setting sketched under Definition 1: "one may consider
+/// ... a query rewriting function λ : Q → Q′, and revise Definition 1 such
+/// that ⟨D, Q⟩ ∈ S iff ⟨Π(D), λ(Q)⟩ ∈ S′ ... as long as λ is a PTIME
+/// computable function, it is still feasible to answer queries of Q on big
+/// data." λ is a per-query rewrite (e.g. predicate normalization); the
+/// data side is untouched.
+struct QueryRewriter {
+  std::string name;
+  std::function<Result<std::string>(const std::string& query)> lambda;
+};
+
+/// Builds the revised-Definition-1 witness: Π unchanged, answering maps
+/// each query through λ before consulting S′.
+PiWitness ApplyRewriting(const QueryRewriter& rewriter,
+                         const PiWitness& base);
+
+}  // namespace core
+}  // namespace pitract
+
+#endif  // PITRACT_CORE_LANGUAGE_H_

@@ -1,0 +1,625 @@
+#include "core/problems.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "bds/bds.h"
+#include "circuit/transforms.h"
+#include "common/codec.h"
+#include "graph/algos.h"
+#include "ncsim/ncsim.h"
+
+namespace pitract {
+namespace core {
+
+namespace {
+
+/// Decodes a single int64 field.
+Result<int64_t> DecodeInt(const std::string& field) {
+  auto ints = codec::DecodeInts(field);
+  if (!ints.ok()) return ints.status();
+  if (ints->size() != 1) {
+    return Status::InvalidArgument("expected one integer, got " +
+                                   std::to_string(ints->size()));
+  }
+  return (*ints)[0];
+}
+
+Result<std::vector<std::string>> DecodeExactly(const std::string& x,
+                                               size_t n,
+                                               const std::string& what) {
+  auto fields = codec::DecodeFields(x);
+  if (!fields.ok()) return fields.status();
+  if (fields->size() != n) {
+    return Status::InvalidArgument(what + " expects " + std::to_string(n) +
+                                   " fields, got " +
+                                   std::to_string(fields->size()));
+  }
+  return fields;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Problems (reference semantics)
+// ---------------------------------------------------------------------------
+
+DecisionProblem ListMembershipProblem() {
+  DecisionProblem p;
+  p.name = "L_member";
+  p.contains = [](const std::string& x) -> Result<bool> {
+    auto fields = DecodeExactly(x, 3, "L_member");
+    if (!fields.ok()) return fields.status();
+    auto list = codec::DecodeInts((*fields)[1]);
+    if (!list.ok()) return list.status();
+    auto e = DecodeInt((*fields)[2]);
+    if (!e.ok()) return e.status();
+    return std::find(list->begin(), list->end(), *e) != list->end();
+  };
+  return p;
+}
+
+DecisionProblem ConnectivityProblem() {
+  DecisionProblem p;
+  p.name = "L_conn";
+  p.contains = [](const std::string& x) -> Result<bool> {
+    auto fields = DecodeExactly(x, 3, "L_conn");
+    if (!fields.ok()) return fields.status();
+    auto g = graph::Graph::Decode((*fields)[0]);
+    if (!g.ok()) return g.status();
+    auto s = DecodeInt((*fields)[1]);
+    if (!s.ok()) return s.status();
+    auto t = DecodeInt((*fields)[2]);
+    if (!t.ok()) return t.status();
+    if (*s < 0 || *s >= g->num_nodes() || *t < 0 || *t >= g->num_nodes()) {
+      return Status::OutOfRange("endpoint out of range");
+    }
+    return graph::BfsReachable(*g, static_cast<graph::NodeId>(*s),
+                               static_cast<graph::NodeId>(*t), nullptr);
+  };
+  return p;
+}
+
+DecisionProblem BdsProblem() {
+  DecisionProblem p;
+  p.name = "L_bds";
+  p.contains = [](const std::string& x) -> Result<bool> {
+    auto fields = DecodeExactly(x, 3, "L_bds");
+    if (!fields.ok()) return fields.status();
+    auto g = graph::Graph::Decode((*fields)[0]);
+    if (!g.ok()) return g.status();
+    auto u = DecodeInt((*fields)[1]);
+    if (!u.ok()) return u.status();
+    auto v = DecodeInt((*fields)[2]);
+    if (!v.ok()) return v.status();
+    return bds::BdsVisitedBeforeOnline(*g, static_cast<graph::NodeId>(*u),
+                                       static_cast<graph::NodeId>(*v),
+                                       nullptr);
+  };
+  return p;
+}
+
+DecisionProblem CvpProblem() {
+  DecisionProblem p;
+  p.name = "L_cvp";
+  p.contains = [](const std::string& x) -> Result<bool> {
+    auto instance = circuit::CvpInstance::Decode(x);
+    if (!instance.ok()) return instance.status();
+    return instance->circuit.Evaluate(instance->assignment, nullptr);
+  };
+  return p;
+}
+
+DecisionProblem GateValueProblem() {
+  DecisionProblem p;
+  p.name = "L_gvp";
+  p.contains = [](const std::string& x) -> Result<bool> {
+    auto fields = DecodeExactly(x, 3, "L_gvp");
+    if (!fields.ok()) return fields.status();
+    auto instance = circuit::CvpInstance::Decode(
+        codec::EncodeFields({(*fields)[0], (*fields)[1]}));
+    if (!instance.ok()) return instance.status();
+    auto gate = DecodeInt((*fields)[2]);
+    if (!gate.ok()) return gate.status();
+    if (*gate < 0 || *gate >= instance->circuit.num_gates()) {
+      return Status::OutOfRange("gate id out of range");
+    }
+    auto values = instance->circuit.EvaluateAll(instance->assignment, nullptr);
+    if (!values.ok()) return values.status();
+    return (*values)[static_cast<size_t>(*gate)] != 0;
+  };
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Instance builders
+// ---------------------------------------------------------------------------
+
+std::string MakeMemberInstance(int64_t universe,
+                               const std::vector<int64_t>& list, int64_t e) {
+  return codec::EncodeFields({std::to_string(universe),
+                              codec::EncodeInts(list), std::to_string(e)});
+}
+
+std::string MakeConnInstance(const graph::Graph& g, graph::NodeId s,
+                             graph::NodeId t) {
+  return codec::EncodeFields(
+      {g.Encode(), std::to_string(s), std::to_string(t)});
+}
+
+std::string MakeBdsInstance(const graph::Graph& g, graph::NodeId u,
+                            graph::NodeId v) {
+  return codec::EncodeFields(
+      {g.Encode(), std::to_string(u), std::to_string(v)});
+}
+
+std::string MakeCvpInstanceString(const circuit::CvpInstance& instance) {
+  return instance.Encode();
+}
+
+std::string MakeGvpInstance(const circuit::CvpInstance& instance,
+                            circuit::GateId gate) {
+  auto fields = codec::DecodeFields(instance.Encode());
+  // CvpInstance::Encode always yields [circuit, bits].
+  return codec::EncodeFields(
+      {(*fields)[0], (*fields)[1], std::to_string(gate)});
+}
+
+// ---------------------------------------------------------------------------
+// Factorizations
+// ---------------------------------------------------------------------------
+
+Factorization MemberFactorization() {
+  return FieldSplitFactorization("Y_member", /*query_fields=*/1);
+}
+Factorization ConnFactorization() {
+  return FieldSplitFactorization("Y_conn", /*query_fields=*/2);
+}
+Factorization BdsFactorization() {
+  return FieldSplitFactorization("Y_BDS", /*query_fields=*/2);
+}
+Factorization CvpCircuitDataFactorization() {
+  return FieldSplitFactorization("Y_cvp_circ", /*query_fields=*/1);
+}
+Factorization GvpFactorization() {
+  return FieldSplitFactorization("Y_gvp", /*query_fields=*/1);
+}
+
+// ---------------------------------------------------------------------------
+// Witnesses
+// ---------------------------------------------------------------------------
+
+PiWitness MemberWitness() {
+  PiWitness w;
+  w.name = "sort+binary-search";
+  w.preprocess = [](const std::string& data,
+                    CostMeter* meter) -> Result<std::string> {
+    auto fields = DecodeExactly(data, 2, "member data");
+    if (!fields.ok()) return fields.status();
+    auto list = codec::DecodeInts((*fields)[1]);
+    if (!list.ok()) return list.status();
+    std::sort(list->begin(), list->end());
+    if (meter != nullptr) {
+      const auto n = static_cast<int64_t>(list->size());
+      meter->AddSerial(n * (ncsim::CeilLog2(n < 1 ? 1 : n) + 1));
+    }
+    return codec::EncodeInts(*list);
+  };
+  w.answer = [](const std::string& prepared, const std::string& query,
+                CostMeter* meter) -> Result<bool> {
+    auto sorted = codec::DecodeInts(prepared);
+    if (!sorted.ok()) return sorted.status();
+    auto e = DecodeInt(query);
+    if (!e.ok()) return e.status();
+    ncsim::ChargeBinarySearch(meter, static_cast<int64_t>(sorted->size()));
+    return std::binary_search(sorted->begin(), sorted->end(), *e);
+  };
+  return w;
+}
+
+PiWitness ConnWitness() {
+  PiWitness w;
+  w.name = "component-labels";
+  w.preprocess = [](const std::string& data,
+                    CostMeter* meter) -> Result<std::string> {
+    auto fields = DecodeExactly(data, 1, "conn data");
+    if (!fields.ok()) return fields.status();
+    auto g = graph::Graph::Decode((*fields)[0]);
+    if (!g.ok()) return g.status();
+    auto comp = graph::ConnectedComponents(*g);
+    if (meter != nullptr) meter->AddSerial(g->num_nodes() + g->num_edges());
+    std::vector<int64_t> labels(comp.component.begin(), comp.component.end());
+    return codec::EncodeInts(labels);
+  };
+  w.answer = [](const std::string& prepared, const std::string& query,
+                CostMeter* meter) -> Result<bool> {
+    auto labels = codec::DecodeInts(prepared);
+    if (!labels.ok()) return labels.status();
+    auto q = codec::DecodeFields(query);
+    if (!q.ok()) return q.status();
+    if (q->size() != 2) {
+      return Status::InvalidArgument("conn query expects 2 fields");
+    }
+    auto s = DecodeInt((*q)[0]);
+    if (!s.ok()) return s.status();
+    auto t = DecodeInt((*q)[1]);
+    if (!t.ok()) return t.status();
+    if (*s < 0 || *s >= static_cast<int64_t>(labels->size()) || *t < 0 ||
+        *t >= static_cast<int64_t>(labels->size())) {
+      return Status::OutOfRange("endpoint out of range");
+    }
+    if (meter != nullptr) meter->AddSerial(2);
+    return (*labels)[static_cast<size_t>(*s)] ==
+           (*labels)[static_cast<size_t>(*t)];
+  };
+  return w;
+}
+
+PiWitness BdsWitness() {
+  PiWitness w;
+  w.name = "BDS-order (Example 5)";
+  w.preprocess = [](const std::string& data,
+                    CostMeter* meter) -> Result<std::string> {
+    auto fields = DecodeExactly(data, 1, "bds data");
+    if (!fields.ok()) return fields.status();
+    auto g = graph::Graph::Decode((*fields)[0]);
+    if (!g.ok()) return g.status();
+    // Π(G): run the breadth-depth search once; store the rank of each node
+    // in the visit order M (the inverted list).
+    auto order = bds::BdsVisitOrder(*g, meter);
+    std::vector<int64_t> rank(order.size(), 0);
+    for (size_t pos = 0; pos < order.size(); ++pos) {
+      rank[static_cast<size_t>(order[pos])] = static_cast<int64_t>(pos);
+    }
+    return codec::EncodeInts(rank);
+  };
+  w.answer = [](const std::string& prepared, const std::string& query,
+                CostMeter* meter) -> Result<bool> {
+    auto rank = codec::DecodeInts(prepared);
+    if (!rank.ok()) return rank.status();
+    auto q = codec::DecodeFields(query);
+    if (!q.ok()) return q.status();
+    if (q->size() != 2) {
+      return Status::InvalidArgument("bds query expects 2 fields");
+    }
+    auto u = DecodeInt((*q)[0]);
+    if (!u.ok()) return u.status();
+    auto v = DecodeInt((*q)[1]);
+    if (!v.ok()) return v.status();
+    if (*u < 0 || *u >= static_cast<int64_t>(rank->size()) || *v < 0 ||
+        *v >= static_cast<int64_t>(rank->size())) {
+      return Status::OutOfRange("node id out of range");
+    }
+    // The paper's bound: two binary searches on M, O(log |M|).
+    ncsim::ChargeBinarySearch(meter, static_cast<int64_t>(rank->size()));
+    ncsim::ChargeBinarySearch(meter, static_cast<int64_t>(rank->size()));
+    return (*rank)[static_cast<size_t>(*u)] < (*rank)[static_cast<size_t>(*v)];
+  };
+  return w;
+}
+
+PiWitness GvpWitness() {
+  PiWitness w;
+  w.name = "evaluate-all-gates";
+  w.preprocess = [](const std::string& data,
+                    CostMeter* meter) -> Result<std::string> {
+    auto instance = circuit::CvpInstance::Decode(data);
+    if (!instance.ok()) return instance.status();
+    auto values = instance->circuit.EvaluateAll(instance->assignment, meter);
+    if (!values.ok()) return values.status();
+    std::string bitmap(values->size(), '0');
+    for (size_t i = 0; i < values->size(); ++i) {
+      if ((*values)[i]) bitmap[i] = '1';
+    }
+    return bitmap;
+  };
+  w.answer = [](const std::string& prepared, const std::string& query,
+                CostMeter* meter) -> Result<bool> {
+    auto gate = DecodeInt(query);
+    if (!gate.ok()) return gate.status();
+    if (*gate < 0 || *gate >= static_cast<int64_t>(prepared.size())) {
+      return Status::OutOfRange("gate id out of range");
+    }
+    if (meter != nullptr) {
+      meter->AddSerial(1);
+      meter->AddBytesRead(1);
+    }
+    return prepared[static_cast<size_t>(*gate)] == '1';
+  };
+  return w;
+}
+
+PiWitness CvpEmptyDataWitness() {
+  PiWitness w;
+  w.name = "Y0: preprocess nothing, evaluate per query";
+  w.preprocess = [](const std::string& data,
+                    CostMeter* meter) -> Result<std::string> {
+    if (!data.empty()) {
+      return Status::InvalidArgument("Y0 data part must be empty");
+    }
+    // Π(ε) is a constant function — there is nothing to preprocess, which
+    // is precisely why this factorization cannot make CVP Π-tractable
+    // (Theorem 9).
+    if (meter != nullptr) meter->AddSerial(1);
+    return std::string();
+  };
+  w.answer = [](const std::string& prepared, const std::string& query,
+                CostMeter* meter) -> Result<bool> {
+    if (!prepared.empty()) {
+      return Status::InvalidArgument("Y0 preprocessed part must be empty");
+    }
+    auto instance = circuit::CvpInstance::Decode(query);
+    if (!instance.ok()) return instance.status();
+    return instance->circuit.Evaluate(instance->assignment, meter);
+  };
+  return w;
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+NcFactorReduction MemberToConnReduction() {
+  NcFactorReduction r;
+  r.name = "member<=conn";
+  r.source_factorization = MemberFactorization();
+  r.target_factorization = ConnFactorization();
+  // α: (U, M) -> star graph with root 0 and value nodes 1..U; value m is
+  // attached iff m ∈ M. A per-element (NC) map.
+  r.alpha = [](const std::string& data) -> Result<std::string> {
+    auto fields = DecodeExactly(data, 2, "member data");
+    if (!fields.ok()) return fields.status();
+    auto universe = DecodeInt((*fields)[0]);
+    if (!universe.ok()) return universe.status();
+    auto list = codec::DecodeInts((*fields)[1]);
+    if (!list.ok()) return list.status();
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+    edges.reserve(list->size());
+    for (int64_t m : *list) {
+      if (m < 0 || m >= *universe) {
+        return Status::OutOfRange("list element outside universe");
+      }
+      edges.emplace_back(0, static_cast<graph::NodeId>(1 + m));
+    }
+    auto g = graph::Graph::FromEdges(
+        static_cast<graph::NodeId>(*universe + 1), edges,
+        /*directed=*/false);
+    if (!g.ok()) return g.status();
+    return codec::EncodeFields({g->Encode()});
+  };
+  // β: e -> (0, 1 + e), touching only the query part.
+  r.beta = [](const std::string& query) -> Result<std::string> {
+    auto e = DecodeInt(query);
+    if (!e.ok()) return e.status();
+    if (*e < 0) return Status::OutOfRange("negative element");
+    return codec::EncodeFields({"0", std::to_string(1 + *e)});
+  };
+  return r;
+}
+
+namespace {
+
+/// The ConnToBds renumbering: s -> 0, the fresh isolated witness node is 1,
+/// every other original node i -> i + 2 if i < s else i + 1.
+graph::NodeId RenumberForBds(graph::NodeId i, graph::NodeId s) {
+  if (i == s) return 0;
+  return i < s ? i + 2 : i + 1;
+}
+
+}  // namespace
+
+NcFactorReduction ConnToBdsReduction() {
+  NcFactorReduction r;
+  r.name = "conn<=bds";
+  r.source_factorization = TrivialFactorization();
+  r.target_factorization = BdsFactorization();
+  // α sees the whole CONN instance (trivial factorization — the shape of
+  // Theorem 5's hardness construction) and emits the renumbered graph plus
+  // the isolated witness node.
+  r.alpha = [](const std::string& x) -> Result<std::string> {
+    auto fields = DecodeExactly(x, 3, "conn instance");
+    if (!fields.ok()) return fields.status();
+    auto g = graph::Graph::Decode((*fields)[0]);
+    if (!g.ok()) return g.status();
+    auto s = DecodeInt((*fields)[1]);
+    if (!s.ok()) return s.status();
+    const auto source = static_cast<graph::NodeId>(*s);
+    if (source < 0 || source >= g->num_nodes()) {
+      return Status::OutOfRange("source out of range");
+    }
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+    for (const auto& [a, b] : g->Edges()) {
+      edges.emplace_back(RenumberForBds(a, source),
+                         RenumberForBds(b, source));
+    }
+    auto mapped = graph::Graph::FromEdges(g->num_nodes() + 1, edges,
+                                          /*directed=*/false);
+    if (!mapped.ok()) return mapped.status();
+    return codec::EncodeFields({mapped->Encode()});
+  };
+  // β also sees the whole instance and emits (t', witness): the BDS of the
+  // renumbered graph exhausts comp(s) starting at node 0, then restarts at
+  // the isolated node 1 — so conn(s, t) iff t' is visited before node 1.
+  r.beta = [](const std::string& x) -> Result<std::string> {
+    auto fields = DecodeExactly(x, 3, "conn instance");
+    if (!fields.ok()) return fields.status();
+    auto s = DecodeInt((*fields)[1]);
+    if (!s.ok()) return s.status();
+    auto t = DecodeInt((*fields)[2]);
+    if (!t.ok()) return t.status();
+    const auto mapped_t = RenumberForBds(static_cast<graph::NodeId>(*t),
+                                         static_cast<graph::NodeId>(*s));
+    return codec::EncodeFields({std::to_string(mapped_t), "1"});
+  };
+  return r;
+}
+
+namespace {
+
+/// The data part produced by CvpCircuitDataFactorization is the circuit
+/// encoding wrapped as a single (escaped) field; unwrap before decoding.
+Result<circuit::Circuit> DecodeCircuitDataPart(const std::string& data) {
+  auto fields = DecodeExactly(data, 1, "cvp data part");
+  if (!fields.ok()) return fields.status();
+  return circuit::Circuit::Decode((*fields)[0]);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// λ-rewriting: predicate selection (remark under Definition 1)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr int64_t kPredEq = 0;
+constexpr int64_t kPredLe = 1;
+constexpr int64_t kPredGe = 2;
+constexpr int64_t kPredBetween = 3;
+constexpr int64_t kIntervalMin = std::numeric_limits<int64_t>::min();
+constexpr int64_t kIntervalMax = std::numeric_limits<int64_t>::max();
+
+/// Normalizes "op,a(,b)" to the closed interval [lo, hi].
+Result<std::pair<int64_t, int64_t>> PredicateToInterval(
+    const std::string& predicate) {
+  auto parts = codec::DecodeInts(predicate);
+  if (!parts.ok()) return parts.status();
+  if (parts->empty()) return Status::InvalidArgument("empty predicate");
+  const int64_t op = (*parts)[0];
+  switch (op) {
+    case kPredEq:
+      if (parts->size() != 2) {
+        return Status::InvalidArgument("eq predicate needs 1 argument");
+      }
+      return std::make_pair((*parts)[1], (*parts)[1]);
+    case kPredLe:
+      if (parts->size() != 2) {
+        return Status::InvalidArgument("le predicate needs 1 argument");
+      }
+      return std::make_pair(kIntervalMin, (*parts)[1]);
+    case kPredGe:
+      if (parts->size() != 2) {
+        return Status::InvalidArgument("ge predicate needs 1 argument");
+      }
+      return std::make_pair((*parts)[1], kIntervalMax);
+    case kPredBetween:
+      if (parts->size() != 3) {
+        return Status::InvalidArgument("between predicate needs 2 arguments");
+      }
+      return std::make_pair((*parts)[1], (*parts)[2]);
+    default:
+      return Status::InvalidArgument("unknown predicate op " +
+                                     std::to_string(op));
+  }
+}
+
+}  // namespace
+
+DecisionProblem PredicateSelectionProblem() {
+  DecisionProblem p;
+  p.name = "L_sel";
+  p.contains = [](const std::string& x) -> Result<bool> {
+    auto fields = DecodeExactly(x, 3, "L_sel");
+    if (!fields.ok()) return fields.status();
+    auto list = codec::DecodeInts((*fields)[1]);
+    if (!list.ok()) return list.status();
+    auto interval = PredicateToInterval((*fields)[2]);
+    if (!interval.ok()) return interval.status();
+    for (int64_t m : *list) {
+      if (m >= interval->first && m <= interval->second) return true;
+    }
+    return false;
+  };
+  return p;
+}
+
+std::string MakeSelectionInstance(int64_t universe,
+                                  const std::vector<int64_t>& list,
+                                  const std::vector<int64_t>& predicate) {
+  return codec::EncodeFields({std::to_string(universe),
+                              codec::EncodeInts(list),
+                              codec::EncodeInts(predicate)});
+}
+
+Factorization SelectionFactorization() {
+  return FieldSplitFactorization("Y_sel", /*query_fields=*/1);
+}
+
+QueryRewriter IntervalNormalizingRewriter() {
+  QueryRewriter r;
+  r.name = "lambda: predicate -> interval";
+  r.lambda = [](const std::string& query) -> Result<std::string> {
+    auto interval = PredicateToInterval(query);
+    if (!interval.ok()) return interval.status();
+    return codec::EncodeInts({interval->first, interval->second});
+  };
+  return r;
+}
+
+PiWitness IntervalWitness() {
+  PiWitness w;
+  w.name = "sorted-list interval probe";
+  // Same Π as the membership witness: sort once.
+  w.preprocess = MemberWitness().preprocess;
+  w.answer = [](const std::string& prepared, const std::string& query,
+                CostMeter* meter) -> Result<bool> {
+    auto sorted = codec::DecodeInts(prepared);
+    if (!sorted.ok()) return sorted.status();
+    auto bounds = codec::DecodeInts(query);
+    if (!bounds.ok()) return bounds.status();
+    if (bounds->size() != 2) {
+      return Status::InvalidArgument("interval query needs 2 bounds");
+    }
+    const int64_t lo = (*bounds)[0];
+    const int64_t hi = (*bounds)[1];
+    if (lo > hi) return false;
+    ncsim::ChargeBinarySearch(meter, static_cast<int64_t>(sorted->size()));
+    auto it = std::lower_bound(sorted->begin(), sorted->end(), lo);
+    return it != sorted->end() && *it <= hi;
+  };
+  return w;
+}
+
+FReduction CvpToNandFReduction() {
+  FReduction r;
+  r.name = "cvp<=nandcvp";
+  r.alpha = [](const std::string& data) -> Result<std::string> {
+    auto c = DecodeCircuitDataPart(data);
+    if (!c.ok()) return c.status();
+    auto nand = circuit::ToNandOnly(*c);
+    if (!nand.ok()) return nand.status();
+    return codec::EncodeFields({nand->Encode()});
+  };
+  r.beta = [](const std::string& query) -> Result<std::string> {
+    return query;  // the assignment is unchanged
+  };
+  return r;
+}
+
+FReduction CvpToMonotoneFReduction() {
+  FReduction r;
+  r.name = "cvp<=mcvp";
+  r.alpha = [](const std::string& data) -> Result<std::string> {
+    auto c = DecodeCircuitDataPart(data);
+    if (!c.ok()) return c.status();
+    auto mono = circuit::ToMonotoneDoubleRail(*c);
+    if (!mono.ok()) return mono.status();
+    return codec::EncodeFields({mono->Encode()});
+  };
+  r.beta = [](const std::string& query) -> Result<std::string> {
+    std::string doubled;
+    doubled.reserve(query.size() * 2);
+    for (char bit : query) {
+      if (bit != '0' && bit != '1') {
+        return Status::InvalidArgument("bad assignment bit");
+      }
+      doubled.push_back(bit);
+      doubled.push_back(bit == '1' ? '0' : '1');
+    }
+    return doubled;
+  };
+  return r;
+}
+
+}  // namespace core
+}  // namespace pitract

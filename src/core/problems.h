@@ -1,0 +1,118 @@
+#ifndef PITRACT_CORE_PROBLEMS_H_
+#define PITRACT_CORE_PROBLEMS_H_
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "core/language.h"
+#include "core/reduction.h"
+#include "graph/graph.h"
+
+namespace pitract {
+namespace core {
+
+/// Concrete Σ*-level decision problems, their canonical factorizations,
+/// Π-tractability witnesses, and the reduction chain of Sections 5–6.
+///
+/// Instance encodings (fields joined per common/codec.h):
+///   L_member : [U, M, e]          — does e appear in list M (values < U)?
+///   L_conn   : [G, s, t]          — are s, t connected in undirected G?
+///   L_bds    : [G, u, v]          — is u visited before v in the BDS of G?
+///   L_cvp    : [circuit, bits]    — does the circuit output true on bits?
+///   L_gvp    : [circuit, bits, g] — does gate g evaluate to true? (the
+///                                   "gate value" generalization of CVP whose
+///                                   data-carrying factorization makes CVP
+///                                   Π-tractable, mirroring Example 5)
+
+// --- problems -------------------------------------------------------------
+
+DecisionProblem ListMembershipProblem();
+DecisionProblem ConnectivityProblem();
+DecisionProblem BdsProblem();
+DecisionProblem CvpProblem();
+DecisionProblem GateValueProblem();
+
+// --- instance builders ----------------------------------------------------
+
+std::string MakeMemberInstance(int64_t universe,
+                               const std::vector<int64_t>& list, int64_t e);
+std::string MakeConnInstance(const graph::Graph& g, graph::NodeId s,
+                             graph::NodeId t);
+std::string MakeBdsInstance(const graph::Graph& g, graph::NodeId u,
+                            graph::NodeId v);
+std::string MakeCvpInstanceString(const circuit::CvpInstance& instance);
+std::string MakeGvpInstance(const circuit::CvpInstance& instance,
+                            circuit::GateId gate);
+
+// --- canonical factorizations ----------------------------------------------
+
+/// Υ_member: data = (U, M), query = e.
+Factorization MemberFactorization();
+/// Υ_conn: data = G, query = (s, t).
+Factorization ConnFactorization();
+/// Υ_BDS of Example 4: data = G, query = (u, v).
+Factorization BdsFactorization();
+/// data = circuit, query = assignment (used by the CVP F-reductions).
+Factorization CvpCircuitDataFactorization();
+/// Υ for GVP: data = (circuit, bits), query = gate id.
+Factorization GvpFactorization();
+
+// --- Π-tractability witnesses (Definition 1) --------------------------------
+
+/// Sort M once; binary-search membership (Section 4(2)).
+PiWitness MemberWitness();
+/// Precompute connected components; O(1) label comparison.
+PiWitness ConnWitness();
+/// Example 5: Π(G) = the BDS visit order M; answer via searches on M.
+PiWitness BdsWitness();
+/// Evaluate all gates once; O(1) gate-value probe (Section 4(8)).
+PiWitness GvpWitness();
+/// The Section 7 non-witness: under Υ0 the data part is ε, so Π has
+/// nothing to preprocess and `answer` must evaluate the whole circuit per
+/// query — correct, but with depth Θ(circuit depth), i.e. *not* NC for deep
+/// circuits. Theorem 9's separation, executable.
+PiWitness CvpEmptyDataWitness();
+
+// --- the reduction chain of Sections 5–6 -----------------------------------
+
+/// L_member ≤NC_fa L_conn with honestly split parts: α maps the list to a
+/// star graph (data only), β maps the element to a node pair (query only).
+NcFactorReduction MemberToConnReduction();
+
+/// L_conn ≤NC_fa L_bds in the shape of Theorem 5's hardness proof: the
+/// source side uses the *trivial* factorization (π₁ = π₂ = identity), and
+/// α/β renumber the graph so the source node is 0 and a fresh isolated
+/// witness node is 1 — connectivity(s, t) iff t is BDS-visited before the
+/// witness node.
+NcFactorReduction ConnToBdsReduction();
+
+// --- the λ-rewriting setting (remark under Definition 1) --------------------
+
+/// L_sel: instances [U, M, predicate] — does any m ∈ M satisfy the
+/// predicate? Predicates are one comma-encoded field "op,a(,b)" with
+/// op ∈ {0: =a, 1: <=a, 2: >=a, 3: between a b}.
+DecisionProblem PredicateSelectionProblem();
+std::string MakeSelectionInstance(int64_t universe,
+                                  const std::vector<int64_t>& list,
+                                  const std::vector<int64_t>& predicate);
+/// data = (U, M), query = predicate.
+Factorization SelectionFactorization();
+/// λ: normalizes every predicate to a closed interval "lo,hi".
+QueryRewriter IntervalNormalizingRewriter();
+/// Base witness over rewritten queries: sorted list + binary searches for
+/// interval emptiness. Compose with the rewriter via ApplyRewriting to get
+/// the revised-Definition-1 witness for L_sel.
+PiWitness IntervalWitness();
+
+// --- F-reductions (Section 7) ------------------------------------------------
+
+/// CVP ≤NC_F NAND-CVP: gate-local rewrite on the data part only.
+FReduction CvpToNandFReduction();
+/// CVP ≤NC_F monotone CVP: double-rail rewrite; β doubles the assignment.
+FReduction CvpToMonotoneFReduction();
+
+}  // namespace core
+}  // namespace pitract
+
+#endif  // PITRACT_CORE_PROBLEMS_H_

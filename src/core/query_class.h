@@ -1,0 +1,49 @@
+#ifndef PITRACT_CORE_QUERY_CLASS_H_
+#define PITRACT_CORE_QUERY_CLASS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/cost_meter.h"
+#include "common/result.h"
+
+namespace pitract {
+namespace core {
+
+/// A registered query class in its *deployed* (typed, in-memory) form: a
+/// workload generator, the PTIME preprocessing step Π, the online answering
+/// step over the preprocessed structure, and the no-preprocessing baseline
+/// the paper contrasts against.
+///
+/// This is the measurement-side twin of the Σ*-level PiWitness: witnesses
+/// pin down the formal semantics (and are what the reduction machinery
+/// manipulates); cases pin down the costs (work/depth per ncsim) that the
+/// classifier and the benchmarks sweep.
+class QueryClassCase {
+ public:
+  virtual ~QueryClassCase() = default;
+
+  virtual std::string name() const = 0;
+  /// Where in the paper this class appears ("Example 1", "Section 4(3)",...).
+  virtual std::string paper_anchor() const = 0;
+
+  /// (Re)generates a data instance of size ~n plus a query batch.
+  virtual Status Generate(int64_t n, uint64_t seed) = 0;
+  /// Π: preprocesses the current data. Charges PTIME cost to `meter`.
+  virtual Status Preprocess(CostMeter* meter) = 0;
+  /// Answers query `qi` using the preprocessed structure (the NC step).
+  virtual Result<bool> AnswerPrepared(int qi, CostMeter* meter) const = 0;
+  /// Answers query `qi` from the raw data (the baseline).
+  virtual Result<bool> AnswerBaseline(int qi, CostMeter* meter) const = 0;
+  virtual int num_queries() const = 0;
+};
+
+/// All registered cases (the rows of the Figure 2 landscape bench).
+std::vector<std::unique_ptr<QueryClassCase>> MakeAllCases();
+
+}  // namespace core
+}  // namespace pitract
+
+#endif  // PITRACT_CORE_QUERY_CLASS_H_

@@ -1,0 +1,67 @@
+#ifndef PITRACT_CORE_REDUCTION_H_
+#define PITRACT_CORE_REDUCTION_H_
+
+#include <functional>
+#include <string>
+
+#include "core/language.h"
+
+namespace pitract {
+namespace core {
+
+/// An NC-factor reduction L1 ≤NC_fa L2 (Definition 4): factorizations Υ1 of
+/// L1 and Υ2 of L2 plus NC maps α (data part) and β (query part) with
+///   ⟨D, Q⟩ ∈ S(L1, Υ1)  ⟺  ⟨α(D), β(Q)⟩ ∈ S(L2, Υ2).
+struct NcFactorReduction {
+  std::string name;
+  Factorization source_factorization;  // Υ1
+  Factorization target_factorization;  // Υ2
+  std::function<Result<std::string>(const std::string& data)> alpha;
+  std::function<Result<std::string>(const std::string& query)> beta;
+};
+
+/// An F-reduction S1 ≤NC_F S2 (Definition 7): maps on fixed languages of
+/// pairs, *no* re-factorization involved.
+struct FReduction {
+  std::string name;
+  std::function<Result<std::string>(const std::string& data)> alpha;
+  std::function<Result<std::string>(const std::string& query)> beta;
+};
+
+/// Lemma 2, executable: composes L1 ≤NC_fa L2 and L2 ≤NC_fa L3 into
+/// L1 ≤NC_fa L3 via the proof's padding construction — the composed
+/// reduction re-factorizes L1 with σ(x) = π₁(x) @ π₂(x) on *both* sides
+/// (the '@' is the reserved padding symbol of common/codec.h), so that the
+/// composed α/β can reassemble the intermediate L2 instance from either
+/// part alone.
+NcFactorReduction Compose(const NcFactorReduction& r12,
+                          const NcFactorReduction& r23);
+
+/// F-reduction transitivity (first half of Lemma 8): plain composition.
+FReduction ComposeF(const FReduction& r12, const FReduction& r23);
+
+/// Lemma 3, executable: transports a Π-tractability witness for
+/// S(L2, Υ2) backwards across L1 ≤NC_fa L2, yielding the witness for L1
+/// with Π′ = Π ∘ α and S″-membership (D′, Q) ↦ answer(D′, β(Q)). The same
+/// construction proves the ΠT⁰Q-compatibility half of Lemma 8 when applied
+/// to an F-reduction.
+PiWitness Transport(const NcFactorReduction& r, const PiWitness& w2);
+PiWitness TransportF(const FReduction& r, const PiWitness& w2);
+
+/// Definition 4 check on one instance x of L1 (sound by Proposition 1):
+///   l1.contains(x) must equal S(L2,Υ2).Contains(α(π₁(x)), β(π₂(x))).
+Status VerifyReductionOnInstance(const DecisionProblem& l1,
+                                 const NcFactorReduction& r,
+                                 const DecisionProblem& l2,
+                                 const std::string& x);
+
+/// Definition 7 check for F-reductions on a source pair.
+Status VerifyFReductionOnPair(const LanguageOfPairs& s1, const FReduction& r,
+                              const LanguageOfPairs& s2,
+                              const std::string& data,
+                              const std::string& query);
+
+}  // namespace core
+}  // namespace pitract
+
+#endif  // PITRACT_CORE_REDUCTION_H_

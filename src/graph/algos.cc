@@ -1,0 +1,245 @@
+#include "graph/algos.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace pitract {
+namespace graph {
+
+std::vector<int64_t> BfsDistances(const Graph& g, NodeId source,
+                                  CostMeter* meter) {
+  std::vector<int64_t> dist(static_cast<size_t>(g.num_nodes()), -1);
+  std::deque<NodeId> queue;
+  dist[static_cast<size_t>(source)] = 0;
+  queue.push_back(source);
+  int64_t work = 0;
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    ++work;
+    for (NodeId v : g.OutNeighbors(u)) {
+      ++work;
+      if (dist[static_cast<size_t>(v)] < 0) {
+        dist[static_cast<size_t>(v)] = dist[static_cast<size_t>(u)] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  if (meter != nullptr) {
+    meter->AddSerial(work);
+    meter->AddBytesRead(work * static_cast<int64_t>(sizeof(NodeId)));
+  }
+  return dist;
+}
+
+bool BfsReachable(const Graph& g, NodeId source, NodeId target,
+                  CostMeter* meter) {
+  if (source == target) {
+    if (meter != nullptr) meter->AddSerial(1);
+    return true;
+  }
+  std::vector<bool> seen(static_cast<size_t>(g.num_nodes()), false);
+  std::deque<NodeId> queue;
+  seen[static_cast<size_t>(source)] = true;
+  queue.push_back(source);
+  int64_t work = 0;
+  bool found = false;
+  while (!queue.empty() && !found) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    ++work;
+    for (NodeId v : g.OutNeighbors(u)) {
+      ++work;
+      if (v == target) {
+        found = true;
+        break;
+      }
+      if (!seen[static_cast<size_t>(v)]) {
+        seen[static_cast<size_t>(v)] = true;
+        queue.push_back(v);
+      }
+    }
+  }
+  if (meter != nullptr) {
+    meter->AddSerial(work);
+    meter->AddBytesRead(work * static_cast<int64_t>(sizeof(NodeId)));
+  }
+  return found;
+}
+
+std::vector<NodeId> DfsPreorder(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<NodeId> preorder;
+  preorder.reserve(static_cast<size_t>(n));
+  std::vector<bool> visited(static_cast<size_t>(n), false);
+  // Each stack frame tracks the next neighbour index to explore.
+  std::vector<std::pair<NodeId, size_t>> stack;
+  for (NodeId start = 0; start < n; ++start) {
+    if (visited[static_cast<size_t>(start)]) continue;
+    visited[static_cast<size_t>(start)] = true;
+    preorder.push_back(start);
+    stack.emplace_back(start, 0);
+    while (!stack.empty()) {
+      auto& [u, next] = stack.back();
+      auto nbrs = g.OutNeighbors(u);
+      if (next >= nbrs.size()) {
+        stack.pop_back();
+        continue;
+      }
+      NodeId v = nbrs[next++];
+      if (!visited[static_cast<size_t>(v)]) {
+        visited[static_cast<size_t>(v)] = true;
+        preorder.push_back(v);
+        stack.emplace_back(v, 0);
+      }
+    }
+  }
+  return preorder;
+}
+
+SccResult StronglyConnectedComponents(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  SccResult result;
+  result.component.assign(static_cast<size_t>(n), -1);
+
+  std::vector<NodeId> index(static_cast<size_t>(n), -1);
+  std::vector<NodeId> lowlink(static_cast<size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<size_t>(n), false);
+  std::vector<NodeId> tarjan_stack;
+  NodeId next_index = 0;
+
+  struct Frame {
+    NodeId node;
+    size_t next_neighbor;
+  };
+  std::vector<Frame> call_stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[static_cast<size_t>(root)] != -1) continue;
+    call_stack.push_back({root, 0});
+    index[static_cast<size_t>(root)] = next_index;
+    lowlink[static_cast<size_t>(root)] = next_index;
+    ++next_index;
+    tarjan_stack.push_back(root);
+    on_stack[static_cast<size_t>(root)] = true;
+
+    while (!call_stack.empty()) {
+      Frame& frame = call_stack.back();
+      NodeId u = frame.node;
+      auto nbrs = g.OutNeighbors(u);
+      if (frame.next_neighbor < nbrs.size()) {
+        NodeId v = nbrs[frame.next_neighbor++];
+        if (index[static_cast<size_t>(v)] == -1) {
+          index[static_cast<size_t>(v)] = next_index;
+          lowlink[static_cast<size_t>(v)] = next_index;
+          ++next_index;
+          tarjan_stack.push_back(v);
+          on_stack[static_cast<size_t>(v)] = true;
+          call_stack.push_back({v, 0});
+        } else if (on_stack[static_cast<size_t>(v)]) {
+          lowlink[static_cast<size_t>(u)] = std::min(
+              lowlink[static_cast<size_t>(u)], index[static_cast<size_t>(v)]);
+        }
+        continue;
+      }
+      // u is finished.
+      if (lowlink[static_cast<size_t>(u)] == index[static_cast<size_t>(u)]) {
+        // u roots a component; pop it.
+        for (;;) {
+          NodeId w = tarjan_stack.back();
+          tarjan_stack.pop_back();
+          on_stack[static_cast<size_t>(w)] = false;
+          result.component[static_cast<size_t>(w)] = result.num_components;
+          if (w == u) break;
+        }
+        ++result.num_components;
+      }
+      call_stack.pop_back();
+      if (!call_stack.empty()) {
+        NodeId parent = call_stack.back().node;
+        lowlink[static_cast<size_t>(parent)] =
+            std::min(lowlink[static_cast<size_t>(parent)],
+                     lowlink[static_cast<size_t>(u)]);
+      }
+    }
+  }
+  return result;
+}
+
+Graph Condense(const Graph& g, const SccResult& scc) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    NodeId cu = scc.component[static_cast<size_t>(u)];
+    for (NodeId v : g.OutNeighbors(u)) {
+      NodeId cv = scc.component[static_cast<size_t>(v)];
+      if (cu != cv) edges.emplace_back(cu, cv);
+    }
+  }
+  auto result = Graph::FromEdges(scc.num_components, edges, /*directed=*/true,
+                                 /*dedup=*/true);
+  // Component ids are valid by construction; FromEdges cannot fail here.
+  return std::move(result).value();
+}
+
+TopoResult TopologicalSort(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  TopoResult result;
+  std::vector<int64_t> indegree(static_cast<size_t>(n), 0);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : g.OutNeighbors(u)) {
+      ++indegree[static_cast<size_t>(v)];
+    }
+  }
+  // Min-id-first Kahn: deterministic order for tests.
+  std::vector<NodeId> ready;
+  for (NodeId u = 0; u < n; ++u) {
+    if (indegree[static_cast<size_t>(u)] == 0) ready.push_back(u);
+  }
+  // Process as a sorted queue (ready is sorted; insertions keep rough order
+  // via heap semantics — use make_heap on > for min-heap).
+  auto cmp = [](NodeId a, NodeId b) { return a > b; };
+  std::make_heap(ready.begin(), ready.end(), cmp);
+  result.order.reserve(static_cast<size_t>(n));
+  while (!ready.empty()) {
+    std::pop_heap(ready.begin(), ready.end(), cmp);
+    NodeId u = ready.back();
+    ready.pop_back();
+    result.order.push_back(u);
+    for (NodeId v : g.OutNeighbors(u)) {
+      if (--indegree[static_cast<size_t>(v)] == 0) {
+        ready.push_back(v);
+        std::push_heap(ready.begin(), ready.end(), cmp);
+      }
+    }
+  }
+  result.is_dag = static_cast<NodeId>(result.order.size()) == n;
+  if (!result.is_dag) result.order.clear();
+  return result;
+}
+
+ComponentsResult ConnectedComponents(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  ComponentsResult result;
+  result.component.assign(static_cast<size_t>(n), -1);
+  std::deque<NodeId> queue;
+  for (NodeId start = 0; start < n; ++start) {
+    if (result.component[static_cast<size_t>(start)] != -1) continue;
+    NodeId comp = result.num_components++;
+    result.component[static_cast<size_t>(start)] = comp;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      for (NodeId v : g.OutNeighbors(u)) {
+        if (result.component[static_cast<size_t>(v)] == -1) {
+          result.component[static_cast<size_t>(v)] = comp;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace graph
+}  // namespace pitract

@@ -1,0 +1,58 @@
+#ifndef PITRACT_GRAPH_ALGOS_H_
+#define PITRACT_GRAPH_ALGOS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cost_meter.h"
+#include "graph/graph.h"
+
+namespace pitract {
+namespace graph {
+
+/// Breadth-first search from `source`. Returns dist[] with -1 for
+/// unreachable nodes. Charges the meter one unit per scanned arc plus one
+/// per visited node (the "linear scan of the data" baseline of Example 3).
+std::vector<int64_t> BfsDistances(const Graph& g, NodeId source,
+                                  CostMeter* meter = nullptr);
+
+/// Is there a path source -> target? Early-exits but charges actual work.
+bool BfsReachable(const Graph& g, NodeId source, NodeId target,
+                  CostMeter* meter = nullptr);
+
+/// Iterative DFS preorder over the whole graph (restarts at the smallest
+/// unvisited node; children visited in sorted id order).
+std::vector<NodeId> DfsPreorder(const Graph& g);
+
+/// Strongly connected components by Tarjan's algorithm (iterative — safe on
+/// deep graphs). Returns comp[], components numbered in *reverse
+/// topological* order of the condensation (comp id of u <= comp id of v
+/// whenever v -> u is an edge of the condensation).
+struct SccResult {
+  std::vector<NodeId> component;  // node -> component id
+  NodeId num_components = 0;
+};
+SccResult StronglyConnectedComponents(const Graph& g);
+
+/// The condensation DAG of `g`: one node per SCC, deduplicated edges.
+/// Component ids follow StronglyConnectedComponents.
+Graph Condense(const Graph& g, const SccResult& scc);
+
+/// Kahn topological sort. Fails (returns empty + ok=false) on cycles.
+struct TopoResult {
+  bool is_dag = false;
+  std::vector<NodeId> order;  // topological order when is_dag
+};
+TopoResult TopologicalSort(const Graph& g);
+
+/// Connected components of an undirected graph.
+struct ComponentsResult {
+  std::vector<NodeId> component;  // node -> component id
+  NodeId num_components = 0;
+};
+ComponentsResult ConnectedComponents(const Graph& g);
+
+}  // namespace graph
+}  // namespace pitract
+
+#endif  // PITRACT_GRAPH_ALGOS_H_

@@ -1,0 +1,114 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pitract {
+namespace graph {
+
+namespace {
+Graph MustBuild(NodeId n, const std::vector<std::pair<NodeId, NodeId>>& edges,
+                bool directed) {
+  auto g = Graph::FromEdges(n, edges, directed);
+  assert(g.ok());
+  return std::move(g).value();
+}
+}  // namespace
+
+Graph ErdosRenyi(NodeId n, int64_t m, bool directed, Rng* rng) {
+  assert(n > 0);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    NodeId u = static_cast<NodeId>(rng->NextBelow(static_cast<uint64_t>(n)));
+    NodeId v = static_cast<NodeId>(rng->NextBelow(static_cast<uint64_t>(n)));
+    if (u == v) continue;
+    edges.emplace_back(u, v);
+  }
+  return MustBuild(n, edges, directed);
+}
+
+Graph RandomDag(NodeId n, int64_t m, Rng* rng) {
+  assert(n > 1);
+  // Random topological relabeling keeps id order uninformative.
+  std::vector<int64_t> label = rng->Permutation(n);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    NodeId a = static_cast<NodeId>(rng->NextBelow(static_cast<uint64_t>(n)));
+    NodeId b = static_cast<NodeId>(rng->NextBelow(static_cast<uint64_t>(n)));
+    if (a == b) continue;
+    // Orient along the hidden topological order.
+    NodeId u = a;
+    NodeId v = b;
+    if (label[static_cast<size_t>(a)] > label[static_cast<size_t>(b)]) {
+      std::swap(u, v);
+    }
+    edges.emplace_back(u, v);
+  }
+  return MustBuild(n, edges, /*directed=*/true);
+}
+
+std::vector<NodeId> RandomParentArray(NodeId n, Rng* rng) {
+  assert(n > 0);
+  std::vector<NodeId> parent(static_cast<size_t>(n), -1);
+  for (NodeId i = 1; i < n; ++i) {
+    parent[static_cast<size_t>(i)] =
+        static_cast<NodeId>(rng->NextBelow(static_cast<uint64_t>(i)));
+  }
+  return parent;
+}
+
+Graph RandomTree(NodeId n, Rng* rng, bool directed_down) {
+  auto parent = RandomParentArray(n, rng);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(static_cast<size_t>(n) - 1);
+  for (NodeId i = 1; i < n; ++i) {
+    edges.emplace_back(parent[static_cast<size_t>(i)], i);
+  }
+  return MustBuild(n, edges, directed_down);
+}
+
+Graph PreferentialAttachment(NodeId n, int edges_per_node, Rng* rng) {
+  assert(n > 1 && edges_per_node >= 1);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  // `endpoints` holds each edge endpoint once; sampling uniformly from it is
+  // sampling proportional to degree.
+  std::vector<NodeId> endpoints;
+  edges.emplace_back(0, 1);
+  endpoints.push_back(0);
+  endpoints.push_back(1);
+  for (NodeId u = 2; u < n; ++u) {
+    for (int e = 0; e < edges_per_node; ++e) {
+      NodeId target =
+          endpoints[static_cast<size_t>(rng->NextBelow(endpoints.size()))];
+      if (target == u) continue;
+      edges.emplace_back(u, target);
+      endpoints.push_back(u);
+      endpoints.push_back(target);
+    }
+  }
+  return MustBuild(n, edges, /*directed=*/false);
+}
+
+Graph Path(NodeId n, bool directed) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  return MustBuild(n, edges, directed);
+}
+
+Graph Cycle(NodeId n, bool directed) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 0; i + 1 < n; ++i) edges.emplace_back(i, i + 1);
+  if (n > 1) edges.emplace_back(n - 1, 0);
+  return MustBuild(n, edges, directed);
+}
+
+Graph Star(NodeId n, bool directed) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 1; i < n; ++i) edges.emplace_back(0, i);
+  return MustBuild(n, edges, directed);
+}
+
+}  // namespace graph
+}  // namespace pitract

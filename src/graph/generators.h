@@ -1,0 +1,46 @@
+#ifndef PITRACT_GRAPH_GENERATORS_H_
+#define PITRACT_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace pitract {
+namespace graph {
+
+/// Synthetic graph workloads (deterministic in the Rng seed).
+///
+/// These stand in for the social-network and web graphs of the compression
+/// literature the paper cites (see DESIGN.md §2): Erdős–Rényi for uniform
+/// structure, preferential attachment for the heavy-tailed degree skew that
+/// makes query-preserving compression effective.
+
+/// G(n, m): m arcs drawn uniformly (dedup'd; m is an upper bound on the
+/// realized arc count).
+Graph ErdosRenyi(NodeId n, int64_t m, bool directed, Rng* rng);
+
+/// Random DAG: m arcs u -> v with u < v under a random relabeling.
+Graph RandomDag(NodeId n, int64_t m, Rng* rng);
+
+/// Uniform random recursive tree on n nodes (node i attaches to a uniform
+/// parent < i), undirected unless `directed_down`.
+Graph RandomTree(NodeId n, Rng* rng, bool directed_down = false);
+
+/// Rooted random tree as a parent array (parent[0] == -1).
+std::vector<NodeId> RandomParentArray(NodeId n, Rng* rng);
+
+/// Preferential-attachment (Barabási–Albert style) undirected graph: each
+/// new node attaches to `edges_per_node` existing nodes with probability
+/// proportional to degree.
+Graph PreferentialAttachment(NodeId n, int edges_per_node, Rng* rng);
+
+/// Simple deterministic shapes used by unit tests.
+Graph Path(NodeId n, bool directed);
+Graph Cycle(NodeId n, bool directed);
+Graph Star(NodeId n, bool directed);
+
+}  // namespace graph
+}  // namespace pitract
+
+#endif  // PITRACT_GRAPH_GENERATORS_H_

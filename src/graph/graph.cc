@@ -1,0 +1,154 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+
+namespace pitract {
+namespace graph {
+
+Result<Graph> Graph::FromEdges(
+    NodeId num_nodes, const std::vector<std::pair<NodeId, NodeId>>& edges,
+    bool directed, bool dedup) {
+  for (const auto& [u, v] : edges) {
+    if (u < 0 || u >= num_nodes || v < 0 || v >= num_nodes) {
+      return Status::InvalidArgument(
+          "edge (" + std::to_string(u) + ", " + std::to_string(v) +
+          ") out of range for n=" + std::to_string(num_nodes));
+    }
+  }
+  Graph g;
+  g.num_nodes_ = num_nodes;
+  g.directed_ = directed;
+
+  // Materialize arcs (both directions for undirected graphs).
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  arcs.reserve(edges.size() * (directed ? 1 : 2));
+  for (const auto& [u, v] : edges) {
+    arcs.emplace_back(u, v);
+    if (!directed && u != v) arcs.emplace_back(v, u);
+  }
+  std::sort(arcs.begin(), arcs.end());
+  if (dedup) {
+    arcs.erase(std::unique(arcs.begin(), arcs.end()), arcs.end());
+  }
+
+  g.offsets_.assign(static_cast<size_t>(num_nodes) + 1, 0);
+  for (const auto& [u, v] : arcs) {
+    (void)v;
+    ++g.offsets_[static_cast<size_t>(u) + 1];
+  }
+  for (size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adj_.reserve(arcs.size());
+  for (const auto& [u, v] : arcs) {
+    (void)u;
+    g.adj_.push_back(v);
+  }
+  if (directed) {
+    g.num_edges_ = static_cast<int64_t>(arcs.size());
+  } else {
+    // Count undirected edges once: self-loops appear once in `arcs`,
+    // ordinary edges twice.
+    int64_t self_loops = 0;
+    for (const auto& [u, v] : arcs) {
+      if (u == v) ++self_loops;
+    }
+    g.num_edges_ = (static_cast<int64_t>(arcs.size()) - self_loops) / 2 +
+                   self_loops;
+  }
+  return g;
+}
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+Graph Graph::Reversed() const {
+  if (!directed_) return *this;
+  Graph g;
+  g.num_nodes_ = num_nodes_;
+  g.directed_ = true;
+  g.num_edges_ = 0;
+  g.offsets_.assign(static_cast<size_t>(num_nodes_) + 1, 0);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (NodeId v : OutNeighbors(u)) {
+      ++g.offsets_[static_cast<size_t>(v) + 1];
+    }
+  }
+  for (size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adj_.resize(adj_.size());
+  std::vector<int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (NodeId v : OutNeighbors(u)) {
+      g.adj_[static_cast<size_t>(cursor[static_cast<size_t>(v)]++)] = u;
+    }
+  }
+  g.num_edges_ = static_cast<int64_t>(g.adj_.size());
+  // Adjacency lists built by the counting pass are sorted because source
+  // nodes are visited in increasing order.
+  return g;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::Edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    for (NodeId v : OutNeighbors(u)) {
+      if (directed_ || u <= v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+std::string Graph::Encode() const {
+  std::vector<int64_t> flat;
+  auto edges = Edges();
+  flat.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    flat.push_back(u);
+    flat.push_back(v);
+  }
+  return codec::EncodeFields({std::to_string(num_nodes_),
+                              directed_ ? "d" : "u",
+                              codec::EncodeInts(flat)});
+}
+
+Result<Graph> Graph::Decode(std::string_view encoded) {
+  auto fields = codec::DecodeFields(encoded);
+  if (!fields.ok()) return fields.status();
+  if (fields->size() != 3) {
+    return Status::InvalidArgument("graph encoding needs 3 fields");
+  }
+  auto n_field = codec::DecodeInts((*fields)[0]);
+  if (!n_field.ok()) return n_field.status();
+  if (n_field->size() != 1) {
+    return Status::InvalidArgument("bad node count");
+  }
+  bool directed;
+  if ((*fields)[1] == "d") {
+    directed = true;
+  } else if ((*fields)[1] == "u") {
+    directed = false;
+  } else {
+    return Status::InvalidArgument("bad directedness tag: " + (*fields)[1]);
+  }
+  auto flat = codec::DecodeInts((*fields)[2]);
+  if (!flat.ok()) return flat.status();
+  if (flat->size() % 2 != 0) {
+    return Status::InvalidArgument("odd edge-endpoint count");
+  }
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(flat->size() / 2);
+  for (size_t i = 0; i < flat->size(); i += 2) {
+    edges.emplace_back(static_cast<NodeId>((*flat)[i]),
+                       static_cast<NodeId>((*flat)[i + 1]));
+  }
+  return FromEdges(static_cast<NodeId>((*n_field)[0]), edges, directed);
+}
+
+}  // namespace graph
+}  // namespace pitract

@@ -1,0 +1,83 @@
+#include "incremental/delta_index.h"
+
+#include <algorithm>
+
+#include "ncsim/ncsim.h"
+
+namespace pitract {
+namespace incremental {
+
+Result<DeltaMaintainedIndex> DeltaMaintainedIndex::Build(
+    std::vector<std::pair<int64_t, int64_t>> entries, CostMeter* meter) {
+  DeltaMaintainedIndex index;
+  index.entries_ = std::move(entries);
+  std::vector<std::pair<int64_t, int64_t>> sorted = index.entries_;
+  std::sort(sorted.begin(), sorted.end());
+  PITRACT_RETURN_IF_ERROR(index.tree_.BulkLoad(sorted));
+  if (meter != nullptr) {
+    const auto n = static_cast<int64_t>(sorted.size());
+    meter->AddSerial(n * (ncsim::CeilLog2(n < 1 ? 1 : n) + 1));
+    meter->AddBytesWritten(n * 16);
+  }
+  return index;
+}
+
+Status DeltaMaintainedIndex::ApplyDelta(const std::vector<Delta>& batch,
+                                        CostMeter* meter) {
+  const int64_t n = tree_.size() < 1 ? 1 : tree_.size();
+  for (const Delta& d : batch) {
+    if (d.op == Delta::Op::kInsert) {
+      tree_.Insert(d.key, d.row_id);
+      entries_.emplace_back(d.key, d.row_id);
+    } else {
+      PITRACT_RETURN_IF_ERROR(tree_.Delete(d.key, d.row_id));
+      auto it = std::find(entries_.begin(), entries_.end(),
+                          std::make_pair(d.key, d.row_id));
+      if (it != entries_.end()) {
+        *it = entries_.back();
+        entries_.pop_back();
+      }
+    }
+    if (meter != nullptr) {
+      // One root-to-leaf traversal per change.
+      meter->AddSerial(ncsim::CeilLog2(n) + 1);
+      meter->AddBytesWritten(16);
+    }
+  }
+  return Status::OK();
+}
+
+Status DeltaMaintainedIndex::RebuildWith(const std::vector<Delta>& batch,
+                                         CostMeter* meter) {
+  for (const Delta& d : batch) {
+    if (d.op == Delta::Op::kInsert) {
+      entries_.emplace_back(d.key, d.row_id);
+    } else {
+      auto it = std::find(entries_.begin(), entries_.end(),
+                          std::make_pair(d.key, d.row_id));
+      if (it == entries_.end()) {
+        return Status::NotFound("delete of absent entry");
+      }
+      *it = entries_.back();
+      entries_.pop_back();
+    }
+  }
+  std::vector<std::pair<int64_t, int64_t>> sorted = entries_;
+  std::sort(sorted.begin(), sorted.end());
+  index::BPlusTree fresh;
+  PITRACT_RETURN_IF_ERROR(fresh.BulkLoad(sorted));
+  tree_ = std::move(fresh);
+  if (meter != nullptr) {
+    const auto n = static_cast<int64_t>(sorted.size());
+    meter->AddSerial(n * (ncsim::CeilLog2(n < 1 ? 1 : n) + 1));
+    meter->AddBytesWritten(n * 16);
+  }
+  return Status::OK();
+}
+
+bool DeltaMaintainedIndex::PointExists(int64_t key, CostMeter* meter) const {
+  return tree_.PointExists(key, meter);
+}
+
+}  // namespace incremental
+}  // namespace pitract

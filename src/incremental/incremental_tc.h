@@ -1,0 +1,60 @@
+#ifndef PITRACT_INCREMENTAL_INCREMENTAL_TC_H_
+#define PITRACT_INCREMENTAL_INCREMENTAL_TC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cost_meter.h"
+#include "common/result.h"
+#include "graph/graph.h"
+#include "reach/reachability.h"
+
+namespace pitract {
+namespace incremental {
+
+/// Bounded incremental transitive closure under edge insertions (Section
+/// 4(7) and the incremental-preprocessing discussion of Section 1, after
+/// Ramalingam–Reps [35] and Italiano's incremental TC).
+///
+/// The closure bit-matrix is maintained in place. Inserting (u, v) updates
+/// only rows of nodes x with x ⇝ u that actually gain descendants, and the
+/// update cost is Θ(affected rows · row words) — a function of |CHANGED|
+/// (the number of newly reachable pairs), *not* of |D|. The per-operation
+/// counters expose exactly the quantities Ramalingam–Reps analyse, so the
+/// E09 benchmark can plot cost against |CHANGED|.
+class IncrementalTransitiveClosure {
+ public:
+  /// Initializes the closure of `g` from scratch (the paper's "evaluate
+  /// once as preprocessing" step).
+  static IncrementalTransitiveClosure Build(const graph::Graph& g,
+                                            CostMeter* meter);
+
+  /// Starts from n isolated nodes.
+  explicit IncrementalTransitiveClosure(graph::NodeId n);
+
+  /// Inserts an edge and incrementally maintains the closure.
+  /// Returns the number of newly reachable pairs (|CHANGED| for this op).
+  Result<int64_t> InsertEdge(graph::NodeId u, graph::NodeId v,
+                             CostMeter* meter);
+
+  /// O(1) closure probe (reflexive).
+  Result<bool> Reachable(graph::NodeId u, graph::NodeId v,
+                         CostMeter* meter) const;
+
+  graph::NodeId num_nodes() const { return n_; }
+  int64_t NumReachablePairs() const;
+
+  /// Work spent by the last InsertEdge (unit ops), for boundedness plots.
+  int64_t last_insert_work() const { return last_insert_work_; }
+
+ private:
+  graph::NodeId n_ = 0;
+  std::vector<reach::Bitset> desc_;  // desc_[u]: nodes reachable from u
+  std::vector<reach::Bitset> anc_;   // anc_[v]: nodes reaching v
+  int64_t last_insert_work_ = 0;
+};
+
+}  // namespace incremental
+}  // namespace pitract
+
+#endif  // PITRACT_INCREMENTAL_INCREMENTAL_TC_H_

@@ -1,0 +1,73 @@
+#include "incremental/union_find.h"
+
+#include <numeric>
+
+namespace pitract {
+namespace incremental {
+
+UnionFind::UnionFind(int64_t n)
+    : parent_(static_cast<size_t>(n)),
+      rank_(static_cast<size_t>(n), 0),
+      num_components_(n) {
+  std::iota(parent_.begin(), parent_.end(), int64_t{0});
+}
+
+Status UnionFind::CheckIndex(int64_t a) const {
+  if (a < 0 || a >= num_elements()) {
+    return Status::OutOfRange("element " + std::to_string(a) +
+                              " outside [0, " +
+                              std::to_string(num_elements()) + ")");
+  }
+  return Status::OK();
+}
+
+int64_t UnionFind::FindRoot(int64_t a, CostMeter* meter) const {
+  int64_t root = a;
+  int64_t steps = 0;
+  while (parent_[static_cast<size_t>(root)] != root) {
+    root = parent_[static_cast<size_t>(root)];
+    ++steps;
+  }
+  // Path compression.
+  int64_t cur = a;
+  while (parent_[static_cast<size_t>(cur)] != root) {
+    int64_t next = parent_[static_cast<size_t>(cur)];
+    parent_[static_cast<size_t>(cur)] = root;
+    cur = next;
+  }
+  if (meter != nullptr) meter->AddSerial(steps + 1);
+  return root;
+}
+
+Result<bool> UnionFind::Union(int64_t a, int64_t b, CostMeter* meter) {
+  PITRACT_RETURN_IF_ERROR(CheckIndex(a));
+  PITRACT_RETURN_IF_ERROR(CheckIndex(b));
+  int64_t ra = FindRoot(a, meter);
+  int64_t rb = FindRoot(b, meter);
+  if (ra == rb) return false;
+  if (rank_[static_cast<size_t>(ra)] < rank_[static_cast<size_t>(rb)]) {
+    std::swap(ra, rb);
+  }
+  parent_[static_cast<size_t>(rb)] = ra;
+  if (rank_[static_cast<size_t>(ra)] == rank_[static_cast<size_t>(rb)]) {
+    ++rank_[static_cast<size_t>(ra)];
+  }
+  --num_components_;
+  if (meter != nullptr) meter->AddSerial(1);
+  return true;
+}
+
+Result<bool> UnionFind::Connected(int64_t a, int64_t b,
+                                  CostMeter* meter) const {
+  PITRACT_RETURN_IF_ERROR(CheckIndex(a));
+  PITRACT_RETURN_IF_ERROR(CheckIndex(b));
+  return FindRoot(a, meter) == FindRoot(b, meter);
+}
+
+Result<int64_t> UnionFind::Find(int64_t a, CostMeter* meter) const {
+  PITRACT_RETURN_IF_ERROR(CheckIndex(a));
+  return FindRoot(a, meter);
+}
+
+}  // namespace incremental
+}  // namespace pitract

@@ -1,0 +1,112 @@
+#include "index/hash_index.h"
+
+#include <cassert>
+
+namespace pitract {
+namespace index {
+
+namespace {
+int64_t NextPowerOfTwo(int64_t n) {
+  int64_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+HashIndex::HashIndex(int64_t expected_keys) {
+  int64_t cap = NextPowerOfTwo(expected_keys * 2);
+  if (cap < 16) cap = 16;
+  slots_.resize(static_cast<size_t>(cap));
+}
+
+uint64_t HashIndex::Mix(int64_t key) {
+  // splitmix64 finalizer — strong enough for adversarial-free workloads.
+  uint64_t z = static_cast<uint64_t>(key) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+int64_t HashIndex::FindSlot(int64_t key, CostMeter* meter) const {
+  const uint64_t mask = slots_.size() - 1;
+  uint64_t idx = Mix(key) & mask;
+  int64_t first_tombstone = -1;
+  for (;;) {
+    if (meter != nullptr) {
+      meter->AddSerial(1);
+      meter->AddBytesRead(static_cast<int64_t>(sizeof(Slot)));
+    }
+    const Slot& slot = slots_[idx];
+    if (slot.count == 0) {
+      // Empty: key absent; report insertion point (prefer a tombstone).
+      return first_tombstone >= 0 ? first_tombstone
+                                  : static_cast<int64_t>(idx);
+    }
+    if (slot.count == -1) {
+      if (first_tombstone < 0) first_tombstone = static_cast<int64_t>(idx);
+    } else if (slot.key == key) {
+      return static_cast<int64_t>(idx);
+    }
+    idx = (idx + 1) & mask;
+  }
+}
+
+void HashIndex::Insert(int64_t key) {
+  if ((num_slots_used_ + num_tombstones_ + 1) * 10 >
+      static_cast<int64_t>(slots_.size()) * 7) {
+    Grow();
+  }
+  int64_t idx = FindSlot(key, nullptr);
+  Slot& slot = slots_[static_cast<size_t>(idx)];
+  if (slot.count > 0 && slot.key == key) {
+    ++slot.count;
+  } else {
+    if (slot.count == -1) --num_tombstones_;
+    slot.key = key;
+    slot.count = 1;
+    ++num_slots_used_;
+  }
+  ++num_entries_;
+}
+
+bool HashIndex::Erase(int64_t key) {
+  int64_t idx = FindSlot(key, nullptr);
+  Slot& slot = slots_[static_cast<size_t>(idx)];
+  if (slot.count <= 0 || slot.key != key) return false;
+  --slot.count;
+  --num_entries_;
+  if (slot.count == 0) {
+    slot.count = -1;  // tombstone
+    --num_slots_used_;
+    ++num_tombstones_;
+  }
+  return true;
+}
+
+bool HashIndex::Contains(int64_t key, CostMeter* meter) const {
+  int64_t idx = FindSlot(key, meter);
+  const Slot& slot = slots_[static_cast<size_t>(idx)];
+  return slot.count > 0 && slot.key == key;
+}
+
+int64_t HashIndex::Count(int64_t key, CostMeter* meter) const {
+  int64_t idx = FindSlot(key, meter);
+  const Slot& slot = slots_[static_cast<size_t>(idx)];
+  return (slot.count > 0 && slot.key == key) ? slot.count : 0;
+}
+
+void HashIndex::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  num_tombstones_ = 0;
+  const uint64_t mask = slots_.size() - 1;
+  for (const Slot& slot : old) {
+    if (slot.count <= 0) continue;
+    uint64_t idx = Mix(slot.key) & mask;
+    while (slots_[idx].count != 0) idx = (idx + 1) & mask;
+    slots_[idx] = slot;
+  }
+}
+
+}  // namespace index
+}  // namespace pitract

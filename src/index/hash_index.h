@@ -1,0 +1,56 @@
+#ifndef PITRACT_INDEX_HASH_INDEX_H_
+#define PITRACT_INDEX_HASH_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cost_meter.h"
+
+namespace pitract {
+namespace index {
+
+/// Open-addressing (linear probing) hash multiset of int64 keys with
+/// multiplicity counts. Complements the B+-tree as an O(1)-expected probe
+/// structure for point-selection preprocessing (Example 1 works with any
+/// index that answers membership in polylog time; hashing answers it in
+/// expected O(1)).
+class HashIndex {
+ public:
+  explicit HashIndex(int64_t expected_keys = 16);
+
+  /// Adds one occurrence of `key`.
+  void Insert(int64_t key);
+
+  /// Removes one occurrence; returns false if the key is absent.
+  bool Erase(int64_t key);
+
+  /// Does the set contain `key`? Charges expected-O(1) probe cost.
+  bool Contains(int64_t key, CostMeter* meter) const;
+
+  /// Number of occurrences of `key`.
+  int64_t Count(int64_t key, CostMeter* meter) const;
+
+  int64_t size() const { return num_entries_; }
+  int64_t num_distinct() const { return num_slots_used_; }
+  int64_t capacity() const { return static_cast<int64_t>(slots_.size()); }
+
+ private:
+  struct Slot {
+    int64_t key = 0;
+    int64_t count = 0;  // 0 = empty, -1 = tombstone.
+  };
+
+  static uint64_t Mix(int64_t key);
+  int64_t FindSlot(int64_t key, CostMeter* meter) const;
+  void Grow();
+
+  std::vector<Slot> slots_;
+  int64_t num_entries_ = 0;
+  int64_t num_slots_used_ = 0;  // distinct live keys
+  int64_t num_tombstones_ = 0;
+};
+
+}  // namespace index
+}  // namespace pitract
+
+#endif  // PITRACT_INDEX_HASH_INDEX_H_

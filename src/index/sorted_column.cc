@@ -1,0 +1,49 @@
+#include "index/sorted_column.h"
+
+#include <algorithm>
+
+#include "ncsim/ncsim.h"
+
+namespace pitract {
+namespace index {
+
+SortedColumn SortedColumn::Build(std::span<const int64_t> values,
+                                 CostMeter* meter) {
+  SortedColumn col;
+  col.sorted_.assign(values.begin(), values.end());
+  std::sort(col.sorted_.begin(), col.sorted_.end());
+  if (meter != nullptr) {
+    const int64_t n = static_cast<int64_t>(values.size());
+    const int64_t lg = ncsim::CeilLog2(n < 1 ? 1 : n);
+    meter->AddSerial(n * (lg + 1));  // O(n log n) comparison sort.
+    meter->AddBytesRead(n * static_cast<int64_t>(sizeof(int64_t)));
+    meter->AddBytesWritten(n * static_cast<int64_t>(sizeof(int64_t)));
+  }
+  return col;
+}
+
+bool SortedColumn::Contains(int64_t value, CostMeter* meter) const {
+  ncsim::ChargeBinarySearch(meter, size());
+  return std::binary_search(sorted_.begin(), sorted_.end(), value);
+}
+
+bool SortedColumn::ContainsInRange(int64_t lo, int64_t hi,
+                                   CostMeter* meter) const {
+  if (lo > hi) return false;
+  ncsim::ChargeBinarySearch(meter, size());
+  auto it = std::lower_bound(sorted_.begin(), sorted_.end(), lo);
+  return it != sorted_.end() && *it <= hi;
+}
+
+int64_t SortedColumn::CountInRange(int64_t lo, int64_t hi,
+                                   CostMeter* meter) const {
+  if (lo > hi) return 0;
+  ncsim::ChargeBinarySearch(meter, size());
+  ncsim::ChargeBinarySearch(meter, size());
+  auto first = std::lower_bound(sorted_.begin(), sorted_.end(), lo);
+  auto last = std::upper_bound(sorted_.begin(), sorted_.end(), hi);
+  return static_cast<int64_t>(last - first);
+}
+
+}  // namespace index
+}  // namespace pitract

@@ -1,0 +1,43 @@
+#ifndef PITRACT_INDEX_SORTED_COLUMN_H_
+#define PITRACT_INDEX_SORTED_COLUMN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/cost_meter.h"
+
+namespace pitract {
+namespace index {
+
+/// A sorted copy of a column with binary-search probes — the preprocessing
+/// structure of Section 4(2) ("sort M in O(|M| log |M|), then decide
+/// membership via binary search in O(log |M|)").
+class SortedColumn {
+ public:
+  SortedColumn() = default;
+
+  /// Builds the structure by sorting a copy of `values`; charges the meter
+  /// the O(n log n) comparison work of the sort (preprocessing cost Π).
+  static SortedColumn Build(std::span<const int64_t> values, CostMeter* meter);
+
+  /// Binary-search membership probe: O(log n), charged to the meter.
+  bool Contains(int64_t value, CostMeter* meter) const;
+
+  /// Any element in [lo, hi]? O(log n), charged to the meter.
+  bool ContainsInRange(int64_t lo, int64_t hi, CostMeter* meter) const;
+
+  /// Number of elements in [lo, hi]. O(log n).
+  int64_t CountInRange(int64_t lo, int64_t hi, CostMeter* meter) const;
+
+  int64_t size() const { return static_cast<int64_t>(sorted_.size()); }
+  const std::vector<int64_t>& values() const { return sorted_; }
+
+ private:
+  std::vector<int64_t> sorted_;
+};
+
+}  // namespace index
+}  // namespace pitract
+
+#endif  // PITRACT_INDEX_SORTED_COLUMN_H_

@@ -1,0 +1,187 @@
+#include "kernel/vertex_cover.h"
+
+#include <algorithm>
+#include <map>
+
+namespace pitract {
+namespace kernel {
+
+Result<BussKernel> BussKernelize(const graph::Graph& g, int k,
+                                 CostMeter* meter) {
+  if (g.directed()) {
+    return Status::InvalidArgument("vertex cover is defined on undirected graphs");
+  }
+  if (k < 0) {
+    return Status::InvalidArgument("k must be >= 0");
+  }
+  BussKernel kernel;
+  kernel.remaining_k = k;
+
+  // Mutable adjacency (undirected edges stored once per endpoint).
+  const graph::NodeId n = g.num_nodes();
+  std::vector<std::vector<graph::NodeId>> adj(static_cast<size_t>(n));
+  std::vector<int64_t> degree(static_cast<size_t>(n), 0);
+  int64_t work = 0;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (graph::NodeId v : g.OutNeighbors(u)) {
+      if (u == v) continue;  // a self-loop forces u; treat below
+      adj[static_cast<size_t>(u)].push_back(v);
+      ++degree[static_cast<size_t>(u)];
+      ++work;
+    }
+  }
+  std::vector<bool> removed(static_cast<size_t>(n), false);
+
+  auto remove_vertex = [&](graph::NodeId u) {
+    removed[static_cast<size_t>(u)] = true;
+    for (graph::NodeId v : adj[static_cast<size_t>(u)]) {
+      if (!removed[static_cast<size_t>(v)]) {
+        --degree[static_cast<size_t>(v)];
+      }
+      ++work;
+    }
+    degree[static_cast<size_t>(u)] = 0;
+  };
+
+  // Self-loops force their vertex into the cover.
+  for (graph::NodeId u = 0; u < n; ++u) {
+    if (g.HasEdge(u, u)) {
+      if (kernel.remaining_k == 0) {
+        kernel.decided = false;
+        if (meter != nullptr) meter->AddSerial(work);
+        return kernel;
+      }
+      remove_vertex(u);
+      --kernel.remaining_k;
+      ++kernel.forced;
+    }
+  }
+
+  // High-degree rule to fixpoint.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (graph::NodeId u = 0; u < n; ++u) {
+      ++work;
+      if (removed[static_cast<size_t>(u)]) continue;
+      if (degree[static_cast<size_t>(u)] > kernel.remaining_k) {
+        if (kernel.remaining_k == 0) {
+          kernel.decided = false;
+          if (meter != nullptr) meter->AddSerial(work);
+          return kernel;
+        }
+        remove_vertex(u);
+        --kernel.remaining_k;
+        ++kernel.forced;
+        progress = true;
+      }
+    }
+  }
+
+  // Collect surviving edges; apply the edge-count bound.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> survivors;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    if (removed[static_cast<size_t>(u)]) continue;
+    for (graph::NodeId v : adj[static_cast<size_t>(u)]) {
+      ++work;
+      if (v <= u || removed[static_cast<size_t>(v)]) continue;
+      survivors.emplace_back(u, v);
+    }
+  }
+  const int64_t bound = static_cast<int64_t>(kernel.remaining_k) *
+                        static_cast<int64_t>(kernel.remaining_k);
+  if (static_cast<int64_t>(survivors.size()) > bound) {
+    kernel.decided = false;
+    if (meter != nullptr) meter->AddSerial(work);
+    return kernel;
+  }
+  if (survivors.empty()) {
+    kernel.decided = true;
+    if (meter != nullptr) meter->AddSerial(work);
+    return kernel;
+  }
+
+  // Remap surviving vertices to a compact id space.
+  std::map<graph::NodeId, graph::NodeId> remap;
+  for (const auto& [u, v] : survivors) {
+    remap.try_emplace(u, 0);
+    remap.try_emplace(v, 0);
+  }
+  graph::NodeId next = 0;
+  for (auto& [orig, packed] : remap) {
+    (void)orig;
+    packed = next++;
+  }
+  kernel.num_kernel_nodes = next;
+  kernel.edges.reserve(survivors.size());
+  for (const auto& [u, v] : survivors) {
+    kernel.edges.emplace_back(remap[u], remap[v]);
+    ++work;
+  }
+  if (meter != nullptr) {
+    meter->AddSerial(work);
+    meter->AddBytesWritten(static_cast<int64_t>(kernel.edges.size()) * 8);
+  }
+  return kernel;
+}
+
+namespace {
+
+bool SearchRec(std::vector<std::pair<graph::NodeId, graph::NodeId>> edges,
+               int k, int64_t* work) {
+  ++*work;
+  if (edges.empty()) return true;
+  if (k == 0) return false;
+  auto [u, v] = edges.front();
+  // Branch: u in the cover, or v in the cover.
+  for (graph::NodeId pick : {u, v}) {
+    std::vector<std::pair<graph::NodeId, graph::NodeId>> rest;
+    rest.reserve(edges.size());
+    for (const auto& e : edges) {
+      ++*work;
+      if (e.first != pick && e.second != pick) rest.push_back(e);
+    }
+    if (SearchRec(std::move(rest), k - 1, work)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool VertexCoverSearch(
+    const std::vector<std::pair<graph::NodeId, graph::NodeId>>& edges, int k,
+    CostMeter* meter) {
+  int64_t work = 0;
+  bool answer = SearchRec(edges, k, &work);
+  if (meter != nullptr) meter->AddSerial(work);
+  return answer;
+}
+
+Result<bool> HasVertexCoverKernelized(const graph::Graph& g, int k,
+                                      CostMeter* meter) {
+  PITRACT_ASSIGN_OR_RETURN(BussKernel kernel, BussKernelize(g, k, meter));
+  if (kernel.decided.has_value()) return *kernel.decided;
+  return VertexCoverSearch(kernel.edges, kernel.remaining_k, meter);
+}
+
+Result<bool> HasVertexCoverDirect(const graph::Graph& g, int k,
+                                  CostMeter* meter) {
+  if (g.directed()) {
+    return Status::InvalidArgument("vertex cover is defined on undirected graphs");
+  }
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  for (graph::NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (graph::NodeId v : g.OutNeighbors(u)) {
+      if (u == v) {
+        edges.emplace_back(u, v);  // self-loop: only u itself covers it
+      } else if (u < v) {
+        edges.emplace_back(u, v);
+      }
+    }
+  }
+  if (meter != nullptr) meter->AddSerial(static_cast<int64_t>(edges.size()));
+  return VertexCoverSearch(edges, k, meter);
+}
+
+}  // namespace kernel
+}  // namespace pitract

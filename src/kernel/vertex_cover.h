@@ -1,0 +1,58 @@
+#ifndef PITRACT_KERNEL_VERTEX_COVER_H_
+#define PITRACT_KERNEL_VERTEX_COVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/cost_meter.h"
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace pitract {
+namespace kernel {
+
+/// Vertex Cover with Buss kernelization (Section 4(9)): VC is NP-complete,
+/// but for fixed K its instances "can be preprocessed by Buss'
+/// kernelization in O(|E|) time, such that ... it is in O(1) time to decide
+/// whether there exists a vertex cover of size K or less" — O(1) meaning
+/// independent of |G|, as the kernel size depends on K alone.
+
+/// Result of Buss kernelization.
+struct BussKernel {
+  /// When set, the rules alone decided the instance.
+  std::optional<bool> decided;
+  /// Otherwise: the reduced instance. Kernel has <= k*k edges and
+  /// <= k*k + k non-isolated vertices.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  graph::NodeId num_kernel_nodes = 0;
+  int remaining_k = 0;
+  /// Vertices forced into the cover by the high-degree rule.
+  int forced = 0;
+};
+
+/// Applies Buss' rules to (g, k): (1) a vertex of degree > k must be in
+/// every size-<=k cover — take it, decrement k; (2) drop isolated vertices;
+/// (3) if more than k*k' edges remain, reject. O(|E|) work charged to meter.
+Result<BussKernel> BussKernelize(const graph::Graph& g, int k,
+                                 CostMeter* meter);
+
+/// Bounded search tree decision on an edge list: is there a cover of size
+/// <= k? O(2^k · |E|) — on a kernel, independent of the original |G|.
+bool VertexCoverSearch(
+    const std::vector<std::pair<graph::NodeId, graph::NodeId>>& edges, int k,
+    CostMeter* meter);
+
+/// Full pipeline: kernelize, then search the kernel.
+Result<bool> HasVertexCoverKernelized(const graph::Graph& g, int k,
+                                      CostMeter* meter);
+
+/// Baseline without kernelization: bounded search tree on the whole graph
+/// (cost scales with |G|).
+Result<bool> HasVertexCoverDirect(const graph::Graph& g, int k,
+                                  CostMeter* meter);
+
+}  // namespace kernel
+}  // namespace pitract
+
+#endif  // PITRACT_KERNEL_VERTEX_COVER_H_

@@ -1,0 +1,155 @@
+#include "lca/dag_lca.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "graph/algos.h"
+
+namespace pitract {
+namespace lca {
+
+Result<std::vector<int64_t>> LongestPathDepths(const graph::Graph& g) {
+  graph::TopoResult topo = graph::TopologicalSort(g);
+  if (!topo.is_dag) {
+    return Status::InvalidArgument("graph is not acyclic");
+  }
+  std::vector<int64_t> depth(static_cast<size_t>(g.num_nodes()), 0);
+  for (graph::NodeId u : topo.order) {
+    for (graph::NodeId v : g.OutNeighbors(u)) {
+      depth[static_cast<size_t>(v)] = std::max(
+          depth[static_cast<size_t>(v)], depth[static_cast<size_t>(u)] + 1);
+    }
+  }
+  return depth;
+}
+
+// ---------------------------------------------------------------------------
+// AllPairsDagLca
+// ---------------------------------------------------------------------------
+
+Result<AllPairsDagLca> AllPairsDagLca::Build(const graph::Graph& g,
+                                             CostMeter* meter) {
+  auto depth = LongestPathDepths(g);
+  if (!depth.ok()) return depth.status();
+  const graph::NodeId n = g.num_nodes();
+
+  // anc[v] = bitset of (reflexive) ancestors of v = nodes reaching v,
+  // computed as the forward closure of the reverse graph.
+  graph::Graph rev = g.Reversed();
+  CostMeter closure_meter;
+  reach::ReachabilityMatrix to_anc =
+      reach::ReachabilityMatrix::Build(rev, &closure_meter);
+  std::vector<reach::Bitset> anc(static_cast<size_t>(n),
+                                 reach::Bitset(n));
+  for (graph::NodeId v = 0; v < n; ++v) {
+    for (graph::NodeId w = 0; w < n; ++w) {
+      if (to_anc.Reachable(v, w, nullptr)) {
+        anc[static_cast<size_t>(v)].Set(w);
+      }
+    }
+  }
+
+  AllPairsDagLca lca;
+  lca.num_nodes_ = n;
+  lca.lca_.assign(static_cast<size_t>(n) * static_cast<size_t>(n), -1);
+  int64_t work = closure_meter.work() + static_cast<int64_t>(n) * n;
+  // For each pair, scan the intersection of ancestor sets for the deepest
+  // common ancestor (smallest id wins ties).
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (graph::NodeId v = u; v < n; ++v) {
+      graph::NodeId best = -1;
+      int64_t best_depth = -1;
+      for (graph::NodeId w = 0; w < n; ++w) {
+        if (anc[static_cast<size_t>(u)].Test(w) &&
+            anc[static_cast<size_t>(v)].Test(w) &&
+            (*depth)[static_cast<size_t>(w)] > best_depth) {
+          best = w;
+          best_depth = (*depth)[static_cast<size_t>(w)];
+        }
+      }
+      lca.lca_[static_cast<size_t>(u) * static_cast<size_t>(n) +
+               static_cast<size_t>(v)] = best;
+      lca.lca_[static_cast<size_t>(v) * static_cast<size_t>(n) +
+               static_cast<size_t>(u)] = best;
+      work += n;
+    }
+  }
+  if (meter != nullptr) {
+    meter->AddSerial(work);
+    meter->AddBytesWritten(static_cast<int64_t>(lca.lca_.size()) *
+                           static_cast<int64_t>(sizeof(graph::NodeId)));
+  }
+  return lca;
+}
+
+Result<graph::NodeId> AllPairsDagLca::Query(graph::NodeId u, graph::NodeId v,
+                                            CostMeter* meter) const {
+  if (u < 0 || u >= num_nodes_ || v < 0 || v >= num_nodes_) {
+    return Status::OutOfRange("node id out of range");
+  }
+  if (meter != nullptr) {
+    meter->AddSerial(1);
+    meter->AddBytesRead(static_cast<int64_t>(sizeof(graph::NodeId)));
+  }
+  return lca_[static_cast<size_t>(u) * static_cast<size_t>(num_nodes_) +
+              static_cast<size_t>(v)];
+}
+
+// ---------------------------------------------------------------------------
+// OnlineDagLca
+// ---------------------------------------------------------------------------
+
+Result<OnlineDagLca> OnlineDagLca::Build(const graph::Graph& g) {
+  auto depth = LongestPathDepths(g);
+  if (!depth.ok()) return depth.status();
+  OnlineDagLca lca;
+  lca.reversed_ = g.Reversed();
+  lca.depth_ = std::move(depth).value();
+  return lca;
+}
+
+Result<graph::NodeId> OnlineDagLca::Query(graph::NodeId u, graph::NodeId v,
+                                          CostMeter* meter) const {
+  const graph::NodeId n = num_nodes();
+  if (u < 0 || u >= n || v < 0 || v >= n) {
+    return Status::OutOfRange("node id out of range");
+  }
+  // Reverse-BFS ancestor sets (reflexive), charged per touched arc.
+  auto ancestors = [&](graph::NodeId s) {
+    std::vector<bool> seen(static_cast<size_t>(n), false);
+    std::deque<graph::NodeId> queue;
+    seen[static_cast<size_t>(s)] = true;
+    queue.push_back(s);
+    int64_t work = 0;
+    while (!queue.empty()) {
+      graph::NodeId x = queue.front();
+      queue.pop_front();
+      ++work;
+      for (graph::NodeId y : reversed_.OutNeighbors(x)) {
+        ++work;
+        if (!seen[static_cast<size_t>(y)]) {
+          seen[static_cast<size_t>(y)] = true;
+          queue.push_back(y);
+        }
+      }
+    }
+    if (meter != nullptr) meter->AddSerial(work);
+    return seen;
+  };
+  std::vector<bool> anc_u = ancestors(u);
+  std::vector<bool> anc_v = ancestors(v);
+  graph::NodeId best = -1;
+  int64_t best_depth = -1;
+  for (graph::NodeId w = 0; w < n; ++w) {
+    if (anc_u[static_cast<size_t>(w)] && anc_v[static_cast<size_t>(w)] &&
+        depth_[static_cast<size_t>(w)] > best_depth) {
+      best = w;
+      best_depth = depth_[static_cast<size_t>(w)];
+    }
+  }
+  if (meter != nullptr) meter->AddSerial(n);
+  return best;
+}
+
+}  // namespace lca
+}  // namespace pitract

@@ -1,0 +1,67 @@
+#ifndef PITRACT_LCA_DAG_LCA_H_
+#define PITRACT_LCA_DAG_LCA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cost_meter.h"
+#include "common/result.h"
+#include "graph/graph.h"
+#include "reach/reachability.h"
+
+namespace pitract {
+namespace lca {
+
+/// Lowest common ancestors in DAGs (Section 4(4)): "G can be preprocessed by
+/// computing LCA for all pairs of nodes in O(|G|^3) time; then LCA(u, v) can
+/// be found in O(1) time" (Bender et al. [5]).
+///
+/// A DAG node may have several LCAs; following the all-pairs representative
+/// convention we return the common ancestor of *maximum depth* (depth =
+/// longest path from any source), breaking ties toward the smallest node id.
+/// Ancestry is reflexive (u is an ancestor of u). Queries with no common
+/// ancestor answer -1.
+class AllPairsDagLca {
+ public:
+  /// Preprocesses the DAG (fails on cyclic input); PTIME cost to `meter`.
+  static Result<AllPairsDagLca> Build(const graph::Graph& g, CostMeter* meter);
+
+  /// O(1) matrix lookup.
+  Result<graph::NodeId> Query(graph::NodeId u, graph::NodeId v,
+                              CostMeter* meter) const;
+
+  graph::NodeId num_nodes() const { return num_nodes_; }
+  int64_t EstimateBytes() const {
+    return static_cast<int64_t>(lca_.size()) *
+           static_cast<int64_t>(sizeof(graph::NodeId));
+  }
+
+ private:
+  graph::NodeId num_nodes_ = 0;
+  std::vector<graph::NodeId> lca_;  // row-major n x n
+};
+
+/// No-preprocessing baseline: per query, intersect the ancestor sets found
+/// by two reverse-BFS traversals and take the deepest — O(n + m) per query.
+class OnlineDagLca {
+ public:
+  static Result<OnlineDagLca> Build(const graph::Graph& g);
+
+  Result<graph::NodeId> Query(graph::NodeId u, graph::NodeId v,
+                              CostMeter* meter) const;
+
+  graph::NodeId num_nodes() const { return reversed_.num_nodes(); }
+  const std::vector<int64_t>& depths() const { return depth_; }
+
+ private:
+  graph::Graph reversed_;
+  std::vector<int64_t> depth_;  // longest-path depth from sources
+};
+
+/// Longest-path depth from any in-degree-0 node, or an error on cycles.
+Result<std::vector<int64_t>> LongestPathDepths(const graph::Graph& g);
+
+}  // namespace lca
+}  // namespace pitract
+
+#endif  // PITRACT_LCA_DAG_LCA_H_

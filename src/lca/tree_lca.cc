@@ -1,0 +1,183 @@
+#include "lca/tree_lca.h"
+
+#include <algorithm>
+
+namespace pitract {
+namespace lca {
+
+Result<std::vector<int64_t>> ComputeDepths(
+    const std::vector<graph::NodeId>& parent) {
+  const auto n = static_cast<graph::NodeId>(parent.size());
+  if (n == 0) return Status::InvalidArgument("empty parent array");
+  int roots = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    graph::NodeId p = parent[static_cast<size_t>(v)];
+    if (p == -1) {
+      ++roots;
+    } else if (p < 0 || p >= n) {
+      return Status::InvalidArgument("parent out of range at node " +
+                                     std::to_string(v));
+    }
+  }
+  if (roots != 1) {
+    return Status::InvalidArgument("expected exactly 1 root, found " +
+                                   std::to_string(roots));
+  }
+  std::vector<int64_t> depth(static_cast<size_t>(n), -1);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (depth[static_cast<size_t>(v)] >= 0) continue;
+    // Walk to the first node with a known depth (or the root), then unwind.
+    std::vector<graph::NodeId> chain;
+    graph::NodeId cur = v;
+    while (cur != -1 && depth[static_cast<size_t>(cur)] < 0) {
+      chain.push_back(cur);
+      if (static_cast<int64_t>(chain.size()) > n) {
+        return Status::InvalidArgument("cycle detected in parent array");
+      }
+      cur = parent[static_cast<size_t>(cur)];
+    }
+    int64_t base = cur == -1 ? -1 : depth[static_cast<size_t>(cur)];
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      depth[static_cast<size_t>(*it)] = ++base;
+    }
+  }
+  return depth;
+}
+
+// ---------------------------------------------------------------------------
+// NaiveTreeLca
+// ---------------------------------------------------------------------------
+
+Result<NaiveTreeLca> NaiveTreeLca::Build(std::vector<graph::NodeId> parent) {
+  auto depth = ComputeDepths(parent);
+  if (!depth.ok()) return depth.status();
+  NaiveTreeLca lca;
+  lca.parent_ = std::move(parent);
+  lca.depth_ = std::move(depth).value();
+  return lca;
+}
+
+Result<graph::NodeId> NaiveTreeLca::Query(graph::NodeId u, graph::NodeId v,
+                                          CostMeter* meter) const {
+  const auto n = num_nodes();
+  if (u < 0 || u >= n || v < 0 || v >= n) {
+    return Status::OutOfRange("node id out of range");
+  }
+  int64_t steps = 0;
+  while (depth_[static_cast<size_t>(u)] > depth_[static_cast<size_t>(v)]) {
+    u = parent_[static_cast<size_t>(u)];
+    ++steps;
+  }
+  while (depth_[static_cast<size_t>(v)] > depth_[static_cast<size_t>(u)]) {
+    v = parent_[static_cast<size_t>(v)];
+    ++steps;
+  }
+  while (u != v) {
+    u = parent_[static_cast<size_t>(u)];
+    v = parent_[static_cast<size_t>(v)];
+    steps += 2;
+  }
+  if (meter != nullptr) {
+    meter->AddSerial(steps + 1);
+    meter->AddBytesRead((steps + 1) * static_cast<int64_t>(sizeof(graph::NodeId)));
+  }
+  return u;
+}
+
+// ---------------------------------------------------------------------------
+// EulerTourLca
+// ---------------------------------------------------------------------------
+
+Result<EulerTourLca> EulerTourLca::Build(std::vector<graph::NodeId> parent,
+                                         CostMeter* meter) {
+  auto depth = ComputeDepths(parent);
+  if (!depth.ok()) return depth.status();
+  const auto n = static_cast<graph::NodeId>(parent.size());
+
+  // Children lists in ascending order (CSR-style, counting sort by parent).
+  std::vector<int64_t> child_offset(static_cast<size_t>(n) + 1, 0);
+  graph::NodeId root = -1;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    graph::NodeId p = parent[static_cast<size_t>(v)];
+    if (p == -1) {
+      root = v;
+    } else {
+      ++child_offset[static_cast<size_t>(p) + 1];
+    }
+  }
+  for (size_t i = 1; i < child_offset.size(); ++i) {
+    child_offset[i] += child_offset[i - 1];
+  }
+  std::vector<graph::NodeId> children(static_cast<size_t>(n) - 1);
+  {
+    std::vector<int64_t> cursor(child_offset.begin(), child_offset.end() - 1);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      graph::NodeId p = parent[static_cast<size_t>(v)];
+      if (p != -1) {
+        children[static_cast<size_t>(cursor[static_cast<size_t>(p)]++)] = v;
+      }
+    }
+  }
+
+  EulerTourLca lca;
+  lca.num_nodes_ = n;
+  lca.first_.assign(static_cast<size_t>(n), -1);
+  std::vector<int64_t> tour_depths;
+  lca.euler_.reserve(2 * static_cast<size_t>(n));
+  tour_depths.reserve(2 * static_cast<size_t>(n));
+
+  // Iterative Euler tour: emit a node on entry and after each child returns.
+  struct Frame {
+    graph::NodeId node;
+    int64_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root, child_offset[static_cast<size_t>(root)]});
+  lca.first_[static_cast<size_t>(root)] = 0;
+  lca.euler_.push_back(root);
+  tour_depths.push_back((*depth)[static_cast<size_t>(root)]);
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    if (frame.next_child <
+        child_offset[static_cast<size_t>(frame.node) + 1]) {
+      graph::NodeId child = children[static_cast<size_t>(frame.next_child++)];
+      lca.first_[static_cast<size_t>(child)] =
+          static_cast<int64_t>(lca.euler_.size());
+      lca.euler_.push_back(child);
+      tour_depths.push_back((*depth)[static_cast<size_t>(child)]);
+      stack.push_back({child, child_offset[static_cast<size_t>(child)]});
+    } else {
+      stack.pop_back();
+      if (!stack.empty()) {
+        lca.euler_.push_back(stack.back().node);
+        tour_depths.push_back((*depth)[static_cast<size_t>(stack.back().node)]);
+      }
+    }
+  }
+
+  CostMeter rmq_meter;
+  lca.depth_rmq_ = rmq::BlockRmq::Build(std::move(tour_depths), &rmq_meter);
+  if (meter != nullptr) {
+    meter->AddSerial(2 * n);
+    meter->AddSequential(rmq_meter.cost());
+    meter->AddBytesWritten(rmq_meter.bytes_written() +
+                           2 * n * static_cast<int64_t>(sizeof(graph::NodeId)));
+  }
+  return lca;
+}
+
+Result<graph::NodeId> EulerTourLca::Query(graph::NodeId u, graph::NodeId v,
+                                          CostMeter* meter) const {
+  if (u < 0 || u >= num_nodes_ || v < 0 || v >= num_nodes_) {
+    return Status::OutOfRange("node id out of range");
+  }
+  int64_t l = first_[static_cast<size_t>(u)];
+  int64_t r = first_[static_cast<size_t>(v)];
+  if (l > r) std::swap(l, r);
+  PITRACT_ASSIGN_OR_RETURN(int64_t pos, depth_rmq_.Query(l, r, meter));
+  if (meter != nullptr) meter->AddSerial(2);
+  return euler_[static_cast<size_t>(pos)];
+}
+
+}  // namespace lca
+}  // namespace pitract

@@ -1,0 +1,68 @@
+#ifndef PITRACT_LCA_TREE_LCA_H_
+#define PITRACT_LCA_TREE_LCA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/cost_meter.h"
+#include "common/result.h"
+#include "graph/graph.h"
+#include "rmq/rmq.h"
+
+namespace pitract {
+namespace lca {
+
+/// Lowest common ancestors in rooted trees (Section 4(4), citing Bender et
+/// al. [5]). A tree is given as a parent array with parent[root] == -1.
+/// There is no ordering requirement on ids; Build validates that the array
+/// describes one rooted tree (single root, no cycles).
+
+/// Baseline without preprocessing: equalize depths, then walk both nodes up
+/// — O(depth) per query.
+class NaiveTreeLca {
+ public:
+  static Result<NaiveTreeLca> Build(std::vector<graph::NodeId> parent);
+
+  Result<graph::NodeId> Query(graph::NodeId u, graph::NodeId v,
+                              CostMeter* meter) const;
+
+  graph::NodeId num_nodes() const {
+    return static_cast<graph::NodeId>(parent_.size());
+  }
+  const std::vector<int64_t>& depths() const { return depth_; }
+
+ private:
+  std::vector<graph::NodeId> parent_;
+  std::vector<int64_t> depth_;
+};
+
+/// Preprocessed oracle: Euler tour + range-minimum over tour depths, using
+/// the Fischer–Heun BlockRmq — O(n) preprocessing, O(1) per query.
+class EulerTourLca {
+ public:
+  static Result<EulerTourLca> Build(std::vector<graph::NodeId> parent,
+                                    CostMeter* meter);
+
+  /// O(1): RMQ over the depth array between first occurrences.
+  Result<graph::NodeId> Query(graph::NodeId u, graph::NodeId v,
+                              CostMeter* meter) const;
+
+  graph::NodeId num_nodes() const { return num_nodes_; }
+  int64_t tour_length() const { return static_cast<int64_t>(euler_.size()); }
+
+ private:
+  graph::NodeId num_nodes_ = 0;
+  std::vector<graph::NodeId> euler_;   // 2n - 1 tour entries
+  std::vector<int64_t> first_;         // node -> first tour position
+  rmq::BlockRmq depth_rmq_ = rmq::BlockRmq::Build({}, nullptr);
+};
+
+/// Validates a parent array (exactly one root, no cycles) and returns
+/// per-node depths. Shared by both implementations.
+Result<std::vector<int64_t>> ComputeDepths(
+    const std::vector<graph::NodeId>& parent);
+
+}  // namespace lca
+}  // namespace pitract
+
+#endif  // PITRACT_LCA_TREE_LCA_H_

@@ -1,0 +1,18 @@
+#include "ncsim/ncsim.h"
+
+namespace pitract {
+namespace ncsim {
+
+int64_t CeilLog2(int64_t n) {
+  if (n <= 1) return 0;
+  int64_t lg = 0;
+  int64_t v = n - 1;
+  while (v > 0) {
+    v >>= 1;
+    ++lg;
+  }
+  return lg;
+}
+
+}  // namespace ncsim
+}  // namespace pitract

@@ -1,0 +1,158 @@
+#ifndef PITRACT_NCSIM_NCSIM_H_
+#define PITRACT_NCSIM_NCSIM_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/cost_meter.h"
+
+namespace pitract {
+namespace ncsim {
+
+/// ncsim — a deterministic PRAM cost-model executor.
+///
+/// The paper defines online query answering to be feasible on big data when
+/// it is in NC: O(log^k n) time on a PRAM with n^O(1) processors. Rather
+/// than emulating processors, ncsim executes fork/join programs sequentially
+/// while charging them in the work/depth model (Blelloch; Brent's theorem
+/// links depth to PRAM time). A computation whose measured *depth* grows
+/// polylogarithmically in the input size is an NC computation in the sense
+/// used by the paper; one whose depth grows polynomially is not.
+///
+/// Accounting rules (EREW-style fork/join tree):
+///  * sequential unit op:            work += 1,  depth += 1
+///  * ParallelFor over n bodies:     work += Σ work_i + n,
+///                                   depth += max depth_i + ceil(log2 n) + 1
+///  * ParallelReduce over n leaves:  additionally (n-1) combines of unit
+///                                   work arranged in a ceil(log2 n)-deep tree
+///
+/// The "+ ceil(log2 n) + 1" term charges the fork/join spawn tree, so even a
+/// constant-work body costs Θ(log n) depth — the honest PRAM price the
+/// paper's O(log |D|) bounds already absorb.
+
+/// ceil(log2(n)) for n >= 1; 0 for n <= 1.
+int64_t CeilLog2(int64_t n);
+
+/// Contract note: the ParallelFor/Map/Reduce/Any/Scan primitives require a
+/// non-null meter — they exist to account cost, and call sites always own
+/// one. Query-layer entry points (index probes, oracles, witnesses) accept
+/// nullptr and skip charging; ChargeBinarySearch below follows that
+/// convention.
+
+/// Executes body(i, &sub_meter) for i in [0, n), charging `meter` with the
+/// parallel composition of the sub-costs.
+template <typename Body>
+void ParallelFor(CostMeter* meter, int64_t n, Body&& body) {
+  if (n <= 0) return;
+  int64_t total_work = 0;
+  int64_t max_depth = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    CostMeter sub;
+    body(i, &sub);
+    total_work += sub.work();
+    if (sub.depth() > max_depth) max_depth = sub.depth();
+    meter->AddBytesRead(sub.bytes_read());
+    meter->AddBytesWritten(sub.bytes_written());
+  }
+  meter->AddParallel(total_work + n, max_depth + CeilLog2(n) + 1);
+}
+
+/// Parallel map: out[i] = map(i, &sub_meter) for i in [0, n).
+template <typename T, typename Map>
+std::vector<T> ParallelMap(CostMeter* meter, int64_t n, Map&& map) {
+  std::vector<T> out;
+  out.reserve(static_cast<size_t>(n));
+  if (n <= 0) return out;
+  int64_t total_work = 0;
+  int64_t max_depth = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    CostMeter sub;
+    out.push_back(map(i, &sub));
+    total_work += sub.work();
+    if (sub.depth() > max_depth) max_depth = sub.depth();
+    meter->AddBytesRead(sub.bytes_read());
+    meter->AddBytesWritten(sub.bytes_written());
+  }
+  meter->AddParallel(total_work + n, max_depth + CeilLog2(n) + 1);
+  return out;
+}
+
+/// Parallel reduction: combine(map(0), map(1), ..., map(n-1)) over a binary
+/// combining tree. `combine` is charged one unit of work per application and
+/// the tree contributes ceil(log2 n) depth.
+template <typename T, typename Map, typename Combine>
+T ParallelReduce(CostMeter* meter, int64_t n, T identity, Map&& map,
+                 Combine&& combine) {
+  if (n <= 0) {
+    return identity;
+  }
+  int64_t total_work = 0;
+  int64_t max_depth = 0;
+  T acc = identity;
+  for (int64_t i = 0; i < n; ++i) {
+    CostMeter sub;
+    T leaf = map(i, &sub);
+    acc = combine(std::move(acc), std::move(leaf));
+    total_work += sub.work();
+    if (sub.depth() > max_depth) max_depth = sub.depth();
+    meter->AddBytesRead(sub.bytes_read());
+    meter->AddBytesWritten(sub.bytes_written());
+  }
+  const int64_t lg = CeilLog2(n);
+  meter->AddParallel(total_work + n + (n - 1), max_depth + 2 * lg + 1);
+  return acc;
+}
+
+/// Parallel logical-OR over n predicate evaluations — the workhorse of
+/// Boolean query answering ("does any tuple match?"). Short-circuits the
+/// *execution* for speed but charges the full parallel cost, because a PRAM
+/// evaluates all leaves simultaneously.
+template <typename Pred>
+bool ParallelAny(CostMeter* meter, int64_t n, Pred&& pred) {
+  if (n <= 0) return false;
+  int64_t total_work = 0;
+  int64_t max_depth = 0;
+  bool found = false;
+  for (int64_t i = 0; i < n; ++i) {
+    CostMeter sub;
+    if (pred(i, &sub)) found = true;
+    total_work += sub.work();
+    if (sub.depth() > max_depth) max_depth = sub.depth();
+  }
+  const int64_t lg = CeilLog2(n);
+  meter->AddParallel(total_work + n + (n - 1), max_depth + 2 * lg + 1);
+  return found;
+}
+
+/// Work-efficient exclusive prefix "sum" under an associative `op`.
+/// Charges the standard two-sweep cost: work 2n, depth 2 ceil(log2 n) + 2.
+template <typename T, typename Op>
+std::vector<T> ParallelScanExclusive(CostMeter* meter,
+                                     const std::vector<T>& in, T identity,
+                                     Op&& op) {
+  std::vector<T> out(in.size());
+  T acc = identity;
+  for (size_t i = 0; i < in.size(); ++i) {
+    out[i] = acc;
+    acc = op(acc, in[i]);
+  }
+  const int64_t n = static_cast<int64_t>(in.size());
+  if (n > 0) {
+    meter->AddParallel(2 * n, 2 * CeilLog2(n) + 2);
+  }
+  return out;
+}
+
+/// Charges a textbook parallel binary search over a sorted range of size n:
+/// depth O(log n) (and the same work on a single processor). No-op on a
+/// null meter, like every other charging hook.
+inline void ChargeBinarySearch(CostMeter* meter, int64_t n) {
+  if (meter == nullptr) return;
+  meter->AddSerial(CeilLog2(n < 1 ? 1 : n) + 1);
+}
+
+}  // namespace ncsim
+}  // namespace pitract
+
+#endif  // PITRACT_NCSIM_NCSIM_H_

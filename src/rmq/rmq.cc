@@ -1,0 +1,243 @@
+#include "rmq/rmq.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "ncsim/ncsim.h"
+
+namespace pitract {
+namespace rmq {
+
+namespace {
+
+Status CheckRange(int64_t i, int64_t j, int64_t n) {
+  if (i < 0 || j >= n || i > j) {
+    return Status::OutOfRange("bad RMQ range [" + std::to_string(i) + ", " +
+                              std::to_string(j) + "] for n=" +
+                              std::to_string(n));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// NaiveRmq
+// ---------------------------------------------------------------------------
+
+Result<int64_t> NaiveRmq::Query(int64_t i, int64_t j, CostMeter* meter) const {
+  PITRACT_RETURN_IF_ERROR(CheckRange(i, j, size()));
+  int64_t best = i;
+  for (int64_t k = i + 1; k <= j; ++k) {
+    if (values_[static_cast<size_t>(k)] < values_[static_cast<size_t>(best)]) {
+      best = k;
+    }
+  }
+  if (meter != nullptr) {
+    meter->AddSerial(j - i + 1);
+    meter->AddBytesRead((j - i + 1) * static_cast<int64_t>(sizeof(int64_t)));
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// SparseTableRmq
+// ---------------------------------------------------------------------------
+
+SparseTableRmq SparseTableRmq::Build(std::vector<int64_t> values,
+                                     CostMeter* meter) {
+  SparseTableRmq rmq;
+  rmq.values_ = std::move(values);
+  const int64_t n = rmq.size();
+  rmq.floor_log2_.assign(static_cast<size_t>(n) + 1, 0);
+  for (int64_t len = 2; len <= n; ++len) {
+    rmq.floor_log2_[static_cast<size_t>(len)] =
+        rmq.floor_log2_[static_cast<size_t>(len / 2)] + 1;
+  }
+  if (n == 0) return rmq;
+
+  rmq.table_.emplace_back(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) rmq.table_[0][static_cast<size_t>(i)] = i;
+  int64_t total_cells = n;
+  for (int k = 1; (int64_t{1} << k) <= n; ++k) {
+    const int64_t len = int64_t{1} << k;
+    const int64_t half = len >> 1;
+    const int64_t rows = n - len + 1;
+    std::vector<int64_t> row(static_cast<size_t>(rows));
+    for (int64_t i = 0; i < rows; ++i) {
+      int64_t a = rmq.table_[static_cast<size_t>(k - 1)][static_cast<size_t>(i)];
+      int64_t b = rmq.table_[static_cast<size_t>(k - 1)]
+                            [static_cast<size_t>(i + half)];
+      // Leftmost tie-break: keep `a` unless `b` is strictly smaller.
+      row[static_cast<size_t>(i)] =
+          rmq.values_[static_cast<size_t>(b)] <
+                  rmq.values_[static_cast<size_t>(a)]
+              ? b
+              : a;
+    }
+    total_cells += rows;
+    rmq.table_.push_back(std::move(row));
+  }
+  if (meter != nullptr) {
+    meter->AddSerial(total_cells);
+    meter->AddBytesWritten(total_cells *
+                           static_cast<int64_t>(sizeof(int64_t)));
+  }
+  return rmq;
+}
+
+Result<int64_t> SparseTableRmq::Query(int64_t i, int64_t j,
+                                      CostMeter* meter) const {
+  PITRACT_RETURN_IF_ERROR(CheckRange(i, j, size()));
+  const int64_t len = j - i + 1;
+  const int k = floor_log2_[static_cast<size_t>(len)];
+  const int64_t a = table_[static_cast<size_t>(k)][static_cast<size_t>(i)];
+  const int64_t b = table_[static_cast<size_t>(k)]
+                          [static_cast<size_t>(j - (int64_t{1} << k) + 1)];
+  if (meter != nullptr) {
+    meter->AddSerial(4);
+    meter->AddBytesRead(4 * static_cast<int64_t>(sizeof(int64_t)));
+  }
+  return values_[static_cast<size_t>(b)] < values_[static_cast<size_t>(a)] ? b
+                                                                           : a;
+}
+
+int64_t SparseTableRmq::EstimateBytes() const {
+  int64_t cells = 0;
+  for (const auto& row : table_) cells += static_cast<int64_t>(row.size());
+  return cells * static_cast<int64_t>(sizeof(int64_t));
+}
+
+// ---------------------------------------------------------------------------
+// BlockRmq (Fischer–Heun)
+// ---------------------------------------------------------------------------
+
+uint32_t BlockRmq::Signature(const std::vector<int64_t>& values, int64_t lo,
+                             int64_t hi) {
+  // Simulate the Cartesian-tree stack; emit 1 per push, 0 per pop. Equal
+  // push/pop words <=> equal tree shapes <=> identical range-argmin
+  // structure (Fischer–Heun).
+  uint32_t sig = 0;
+  int bit = 0;
+  std::vector<int64_t> stack;
+  for (int64_t k = lo; k < hi; ++k) {
+    while (!stack.empty() && stack.back() > values[static_cast<size_t>(k)]) {
+      stack.pop_back();
+      ++bit;  // append 0
+    }
+    stack.push_back(values[static_cast<size_t>(k)]);
+    sig |= uint32_t{1} << bit;
+    ++bit;
+  }
+  return sig;
+}
+
+BlockRmq BlockRmq::Build(std::vector<int64_t> values, CostMeter* meter) {
+  BlockRmq rmq;
+  rmq.values_ = std::move(values);
+  const int64_t n = rmq.size();
+  int b = static_cast<int>(ncsim::CeilLog2(n < 2 ? 2 : n) / 4);
+  if (b < 1) b = 1;
+  if (b > 12) b = 12;  // Signatures must fit the 32-bit key.
+  rmq.block_size_ = b;
+  rmq.num_blocks_ = n == 0 ? 0 : (n + b - 1) / b;
+
+  int64_t work = n;
+  std::vector<int64_t> block_min_values;
+  block_min_values.reserve(static_cast<size_t>(rmq.num_blocks_));
+  rmq.block_min_index_.reserve(static_cast<size_t>(rmq.num_blocks_));
+  rmq.block_signature_.reserve(static_cast<size_t>(rmq.num_blocks_));
+
+  for (int64_t blk = 0; blk < rmq.num_blocks_; ++blk) {
+    const int64_t lo = blk * b;
+    const int64_t hi = std::min<int64_t>(lo + b, n);
+    const int len = static_cast<int>(hi - lo);
+    const uint32_t key =
+        (Signature(rmq.values_, lo, hi) << 5) | static_cast<uint32_t>(len);
+    rmq.block_signature_.push_back(key);
+    auto [it, inserted] = rmq.in_block_tables_.try_emplace(key);
+    if (inserted) {
+      // Materialize the len x len argmin table from this representative.
+      auto& table = it->second;
+      table.assign(static_cast<size_t>(len) * static_cast<size_t>(len), 0);
+      for (int qi = 0; qi < len; ++qi) {
+        int best = qi;
+        for (int qj = qi; qj < len; ++qj) {
+          if (rmq.values_[static_cast<size_t>(lo + qj)] <
+              rmq.values_[static_cast<size_t>(lo + best)]) {
+            best = qj;
+          }
+          table[static_cast<size_t>(qi * len + qj)] =
+              static_cast<int8_t>(best);
+        }
+      }
+      work += len * len;
+    }
+    // Block minimum for the spanning sparse table.
+    int64_t best = lo;
+    for (int64_t k = lo + 1; k < hi; ++k) {
+      if (rmq.values_[static_cast<size_t>(k)] <
+          rmq.values_[static_cast<size_t>(best)]) {
+        best = k;
+      }
+    }
+    block_min_values.push_back(rmq.values_[static_cast<size_t>(best)]);
+    rmq.block_min_index_.push_back(best);
+  }
+
+  rmq.block_mins_ = SparseTableRmq::Build(std::move(block_min_values), nullptr);
+  work += rmq.num_blocks_ *
+          (ncsim::CeilLog2(rmq.num_blocks_ < 1 ? 1 : rmq.num_blocks_) + 1);
+  if (meter != nullptr) {
+    meter->AddSerial(work);
+    meter->AddBytesWritten(work);
+  }
+  return rmq;
+}
+
+Result<int64_t> BlockRmq::InBlockQuery(int64_t block, int64_t i, int64_t j,
+                                       CostMeter* meter) const {
+  const int64_t lo = block * block_size_;
+  const int64_t hi = std::min<int64_t>(lo + block_size_, size());
+  const int len = static_cast<int>(hi - lo);
+  const auto it = in_block_tables_.find(block_signature_[static_cast<size_t>(block)]);
+  if (it == in_block_tables_.end()) {
+    return Status::Internal("missing in-block table");
+  }
+  if (meter != nullptr) meter->AddSerial(2);
+  return lo + it->second[static_cast<size_t>(i * len + j)];
+}
+
+Result<int64_t> BlockRmq::Query(int64_t i, int64_t j, CostMeter* meter) const {
+  PITRACT_RETURN_IF_ERROR(CheckRange(i, j, size()));
+  const int64_t bi = i / block_size_;
+  const int64_t bj = j / block_size_;
+  if (bi == bj) {
+    return InBlockQuery(bi, i % block_size_, j % block_size_, meter);
+  }
+  // Suffix of bi.
+  const int64_t bi_hi = std::min<int64_t>((bi + 1) * block_size_, size());
+  PITRACT_ASSIGN_OR_RETURN(
+      int64_t best,
+      InBlockQuery(bi, i % block_size_, (bi_hi - 1) % block_size_, meter));
+  // Whole blocks strictly between.
+  if (bi + 1 <= bj - 1) {
+    PITRACT_ASSIGN_OR_RETURN(int64_t min_block,
+                             block_mins_.Query(bi + 1, bj - 1, meter));
+    const int64_t mid = block_min_index_[static_cast<size_t>(min_block)];
+    if (values_[static_cast<size_t>(mid)] < values_[static_cast<size_t>(best)]) {
+      best = mid;
+    }
+  }
+  // Prefix of bj.
+  PITRACT_ASSIGN_OR_RETURN(int64_t tail,
+                           InBlockQuery(bj, 0, j % block_size_, meter));
+  if (values_[static_cast<size_t>(tail)] < values_[static_cast<size_t>(best)]) {
+    best = tail;
+  }
+  if (meter != nullptr) meter->AddSerial(4);
+  return best;
+}
+
+}  // namespace rmq
+}  // namespace pitract

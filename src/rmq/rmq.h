@@ -1,0 +1,96 @@
+#ifndef PITRACT_RMQ_RMQ_H_
+#define PITRACT_RMQ_RMQ_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cost_meter.h"
+#include "common/result.h"
+
+namespace pitract {
+namespace rmq {
+
+/// Range-minimum queries on a static array (Section 4(3), citing
+/// Fischer–Heun [18]): RMQ_A(i, j) = position of the (leftmost) minimum of
+/// A[i..j], inclusive. Three implementations with one contract:
+///
+///   * NaiveRmq      — no preprocessing, O(j - i) per query (the baseline);
+///   * SparseTableRmq— O(n log n) preprocessing, O(1) per query;
+///   * BlockRmq      — Fischer–Heun block decomposition: O(n) preprocessing
+///                     (Cartesian-tree signatures for in-block tables +
+///                     sparse table over block minima), O(1) per query.
+///
+/// All three break ties to the left, so results are comparable bit-for-bit.
+
+class NaiveRmq {
+ public:
+  explicit NaiveRmq(std::vector<int64_t> values)
+      : values_(std::move(values)) {}
+
+  /// O(j - i + 1) scan. Fails on an empty/invalid range.
+  Result<int64_t> Query(int64_t i, int64_t j, CostMeter* meter) const;
+
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+
+ private:
+  std::vector<int64_t> values_;
+};
+
+class SparseTableRmq {
+ public:
+  /// O(n log n) table build; preprocessing cost charged to `meter`.
+  static SparseTableRmq Build(std::vector<int64_t> values, CostMeter* meter);
+
+  /// O(1): two overlapping power-of-two windows.
+  Result<int64_t> Query(int64_t i, int64_t j, CostMeter* meter) const;
+
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+  int64_t EstimateBytes() const;
+
+ private:
+  /// table_[k][i] = index of min in values_[i, i + 2^k).
+  std::vector<int64_t> values_;
+  std::vector<std::vector<int64_t>> table_;
+  std::vector<int> floor_log2_;  // floor(log2(len)) lookup, len in [1, n]
+};
+
+class BlockRmq {
+ public:
+  /// Fischer–Heun build: O(n) work (plus signature-table memoization).
+  static BlockRmq Build(std::vector<int64_t> values, CostMeter* meter);
+
+  /// O(1): suffix + spanning blocks + prefix.
+  Result<int64_t> Query(int64_t i, int64_t j, CostMeter* meter) const;
+
+  int64_t size() const { return static_cast<int64_t>(values_.size()); }
+  int block_size() const { return block_size_; }
+  /// Number of distinct Cartesian-tree signatures materialized (<= 4^b).
+  int64_t num_signatures() const {
+    return static_cast<int64_t>(in_block_tables_.size());
+  }
+
+ private:
+  /// Cartesian-tree signature of values[lo, hi): the 2b-bit push/pop word.
+  static uint32_t Signature(const std::vector<int64_t>& values, int64_t lo,
+                            int64_t hi);
+
+  Result<int64_t> InBlockQuery(int64_t block, int64_t i, int64_t j,
+                               CostMeter* meter) const;
+
+  std::vector<int64_t> values_;
+  int block_size_ = 1;
+  int64_t num_blocks_ = 0;
+  /// Per block: signature id into in_block_tables_.
+  std::vector<uint32_t> block_signature_;
+  /// signature -> flattened b*b table of in-block argmin offsets.
+  std::unordered_map<uint32_t, std::vector<int8_t>> in_block_tables_;
+  /// Sparse table over (block-min value, block-min index).
+  SparseTableRmq block_mins_ = SparseTableRmq::Build({}, nullptr);
+  std::vector<int64_t> block_min_index_;  // block -> global argmin index
+};
+
+}  // namespace rmq
+}  // namespace pitract
+
+#endif  // PITRACT_RMQ_RMQ_H_

@@ -1,0 +1,171 @@
+#include "storage/csv.h"
+
+#include <charconv>
+
+namespace pitract {
+namespace storage {
+namespace csv {
+
+namespace {
+
+bool NeedsQuoting(std::string_view field) {
+  return field.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void AppendField(std::string* out, std::string_view field) {
+  if (!NeedsQuoting(field)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+/// Splits one CSV document into records of unescaped fields.
+Result<std::vector<std::vector<std::string>>> Parse(std::string_view text) {
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_started = false;
+  size_t i = 0;
+  auto end_field = [&]() {
+    record.push_back(std::move(field));
+    field.clear();
+    field_started = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+  };
+  while (i < text.size()) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"') {
+      if (field_started && !field.empty()) {
+        return Status::InvalidArgument("quote inside unquoted field at byte " +
+                                       std::to_string(i));
+      }
+      in_quotes = true;
+      field_started = true;
+    } else if (c == ',') {
+      end_field();
+    } else if (c == '\n') {
+      end_record();
+    } else if (c == '\r') {
+      // Tolerate CRLF.
+    } else {
+      field.push_back(c);
+      field_started = true;
+    }
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted field");
+  }
+  // Flush a final record without trailing newline.
+  if (field_started || !field.empty() || !record.empty()) {
+    end_record();
+  }
+  return records;
+}
+
+}  // namespace
+
+std::string Write(const Relation& relation) {
+  std::string out;
+  const Schema& schema = relation.schema();
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out.push_back(',');
+    AppendField(&out, schema.column(c).name + ":" +
+                          ValueTypeName(schema.column(c).type));
+  }
+  out.push_back('\n');
+  for (int64_t row = 0; row < relation.num_rows(); ++row) {
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out.push_back(',');
+      if (schema.column(c).type == ValueType::kInt64) {
+        AppendField(&out, std::to_string(*relation.GetInt64(row, c)));
+      } else {
+        AppendField(&out, *relation.GetString(row, c));
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<Relation> Read(std::string_view text) {
+  auto records = Parse(text);
+  if (!records.ok()) return records.status();
+  if (records->empty()) {
+    return Status::InvalidArgument("missing CSV header");
+  }
+  // Header: "name:type" per column.
+  std::vector<ColumnDef> defs;
+  for (const std::string& header_field : (*records)[0]) {
+    size_t colon = header_field.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("header field '" + header_field +
+                                     "' lacks a :type suffix");
+    }
+    ColumnDef def;
+    def.name = header_field.substr(0, colon);
+    std::string type = header_field.substr(colon + 1);
+    if (type == "int64") {
+      def.type = ValueType::kInt64;
+    } else if (type == "string") {
+      def.type = ValueType::kString;
+    } else {
+      return Status::InvalidArgument("unknown column type '" + type + "'");
+    }
+    defs.push_back(std::move(def));
+  }
+  Relation relation{Schema(std::move(defs))};
+  for (size_t r = 1; r < records->size(); ++r) {
+    const auto& record = (*records)[r];
+    if (static_cast<int>(record.size()) != relation.num_columns()) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(r) + " has " +
+          std::to_string(record.size()) + " fields, expected " +
+          std::to_string(relation.num_columns()));
+    }
+    std::vector<Value> row;
+    for (int c = 0; c < relation.num_columns(); ++c) {
+      const std::string& cell = record[static_cast<size_t>(c)];
+      if (relation.schema().column(c).type == ValueType::kInt64) {
+        int64_t value = 0;
+        auto [ptr, ec] =
+            std::from_chars(cell.data(), cell.data() + cell.size(), value);
+        if (ec != std::errc() || ptr != cell.data() + cell.size()) {
+          return Status::InvalidArgument("bad int64 cell '" + cell +
+                                         "' in row " + std::to_string(r));
+        }
+        row.emplace_back(value);
+      } else {
+        row.emplace_back(cell);
+      }
+    }
+    PITRACT_RETURN_IF_ERROR(relation.AppendRow(row));
+  }
+  return relation;
+}
+
+}  // namespace csv
+}  // namespace storage
+}  // namespace pitract

@@ -1,0 +1,33 @@
+#ifndef PITRACT_STORAGE_CSV_H_
+#define PITRACT_STORAGE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace pitract {
+namespace storage {
+
+/// RFC-4180-style CSV interchange for relations, so external datasets can
+/// be loaded into the engine and results exported.
+///
+/// Dialect: comma separator, '\n' record terminator, double-quote quoting
+/// with "" escaping. The first record is the header "name:type,..." with
+/// type in {int64, string}.
+namespace csv {
+
+/// Serializes the relation (header + rows).
+std::string Write(const Relation& relation);
+
+/// Parses a CSV document produced by Write (or hand-written in the same
+/// dialect). Fails with InvalidArgument on ragged rows, bad numerals,
+/// unterminated quotes or unknown types.
+Result<Relation> Read(std::string_view text);
+
+}  // namespace csv
+}  // namespace storage
+}  // namespace pitract
+
+#endif  // PITRACT_STORAGE_CSV_H_

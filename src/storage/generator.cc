@@ -1,0 +1,64 @@
+#include "storage/generator.h"
+
+#include <cassert>
+
+namespace pitract {
+namespace storage {
+
+Relation GenerateIntRelation(const RelationGenOptions& options, Rng* rng) {
+  std::vector<ColumnDef> defs;
+  defs.reserve(static_cast<size_t>(options.num_columns));
+  for (int c = 0; c < options.num_columns; ++c) {
+    defs.push_back({"c" + std::to_string(c), ValueType::kInt64});
+  }
+  Relation rel{Schema(std::move(defs))};
+  std::vector<int64_t> row(static_cast<size_t>(options.num_columns));
+  for (int64_t i = 0; i < options.num_rows; ++i) {
+    for (int c = 0; c < options.num_columns; ++c) {
+      uint64_t v =
+          options.zipf_theta > 0.0
+              ? rng->NextZipf(static_cast<uint64_t>(options.value_range),
+                              options.zipf_theta)
+              : rng->NextBelow(static_cast<uint64_t>(options.value_range));
+      row[static_cast<size_t>(c)] = static_cast<int64_t>(v);
+    }
+    Status s = rel.AppendIntRow(row);
+    assert(s.ok());
+    (void)s;
+  }
+  return rel;
+}
+
+Relation GenerateLogRelation(int64_t num_rows, int64_t num_levels,
+                             int64_t num_codes, Rng* rng) {
+  Relation rel{Schema({{"ts", ValueType::kInt64},
+                       {"level", ValueType::kInt64},
+                       {"code", ValueType::kInt64}})};
+  int64_t ts = 0;
+  for (int64_t i = 0; i < num_rows; ++i) {
+    ts += 1 + static_cast<int64_t>(rng->NextBelow(4));
+    std::vector<int64_t> row = {
+        ts,
+        static_cast<int64_t>(rng->NextZipf(
+            static_cast<uint64_t>(num_levels), 0.9)),
+        static_cast<int64_t>(rng->NextBelow(
+            static_cast<uint64_t>(num_codes)))};
+    Status s = rel.AppendIntRow(row);
+    assert(s.ok());
+    (void)s;
+  }
+  return rel;
+}
+
+std::vector<int64_t> GenerateList(int64_t n, int64_t value_range, Rng* rng) {
+  std::vector<int64_t> list;
+  list.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    list.push_back(
+        static_cast<int64_t>(rng->NextBelow(static_cast<uint64_t>(value_range))));
+  }
+  return list;
+}
+
+}  // namespace storage
+}  // namespace pitract

@@ -1,0 +1,39 @@
+#ifndef PITRACT_STORAGE_GENERATOR_H_
+#define PITRACT_STORAGE_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/relation.h"
+
+namespace pitract {
+namespace storage {
+
+/// Synthetic relation workloads. All generators are deterministic in the
+/// Rng seed (see DESIGN.md §5: every experiment is reproducible).
+struct RelationGenOptions {
+  int64_t num_rows = 1 << 16;
+  int num_columns = 2;
+  /// Values are drawn from [0, value_range).
+  int64_t value_range = 1 << 20;
+  /// Zipf skew per column; 0 means uniform.
+  double zipf_theta = 0.0;
+};
+
+/// All-int64 relation with columns named "c0", "c1", ....
+Relation GenerateIntRelation(const RelationGenOptions& options, Rng* rng);
+
+/// An append-only "log" relation (ts, level, code) with monotone timestamps —
+/// the workload of the views/incremental experiments (E08/E09).
+Relation GenerateLogRelation(int64_t num_rows, int64_t num_levels,
+                             int64_t num_codes, Rng* rng);
+
+/// An unordered list of integers (the §4(2) "searching in a list" data),
+/// drawn uniformly from [0, value_range).
+std::vector<int64_t> GenerateList(int64_t n, int64_t value_range, Rng* rng);
+
+}  // namespace storage
+}  // namespace pitract
+
+#endif  // PITRACT_STORAGE_GENERATOR_H_

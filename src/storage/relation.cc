@@ -1,0 +1,267 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+
+#include "common/codec.h"
+
+namespace pitract {
+namespace storage {
+
+std::string ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+Relation::Relation(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(static_cast<size_t>(schema_.num_columns()));
+}
+
+Status Relation::AppendRow(const std::vector<Value>& row) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity " + std::to_string(row.size()) +
+                                   " != schema arity " +
+                                   std::to_string(schema_.num_columns()));
+  }
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    if (row[static_cast<size_t>(c)].type() != schema_.column(c).type) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     schema_.column(c).name);
+    }
+  }
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    const Value& v = row[static_cast<size_t>(c)];
+    auto& col = columns_[static_cast<size_t>(c)];
+    if (v.is_int64()) {
+      col.ints.push_back(v.int64());
+    } else {
+      col.strings.push_back(v.string());
+    }
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status Relation::AppendIntRow(const std::vector<int64_t>& row) {
+  if (static_cast<int>(row.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    if (schema_.column(c).type != ValueType::kInt64) {
+      return Status::InvalidArgument("AppendIntRow on non-int64 column " +
+                                     schema_.column(c).name);
+    }
+  }
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    columns_[static_cast<size_t>(c)].ints.push_back(row[static_cast<size_t>(c)]);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+Status Relation::CheckCell(int64_t row, int col, ValueType expected) const {
+  if (col < 0 || col >= schema_.num_columns()) {
+    return Status::OutOfRange("column index " + std::to_string(col));
+  }
+  if (row < 0 || row >= num_rows_) {
+    return Status::OutOfRange("row index " + std::to_string(row));
+  }
+  if (schema_.column(col).type != expected) {
+    return Status::InvalidArgument("column " + schema_.column(col).name +
+                                   " is not " + ValueTypeName(expected));
+  }
+  return Status::OK();
+}
+
+Result<int64_t> Relation::GetInt64(int64_t row, int col) const {
+  PITRACT_RETURN_IF_ERROR(CheckCell(row, col, ValueType::kInt64));
+  return columns_[static_cast<size_t>(col)].ints[static_cast<size_t>(row)];
+}
+
+Result<std::string> Relation::GetString(int64_t row, int col) const {
+  PITRACT_RETURN_IF_ERROR(CheckCell(row, col, ValueType::kString));
+  return columns_[static_cast<size_t>(col)].strings[static_cast<size_t>(row)];
+}
+
+Result<Value> Relation::GetValue(int64_t row, int col) const {
+  if (col < 0 || col >= schema_.num_columns()) {
+    return Status::OutOfRange("column index " + std::to_string(col));
+  }
+  if (schema_.column(col).type == ValueType::kInt64) {
+    auto v = GetInt64(row, col);
+    if (!v.ok()) return v.status();
+    return Value(*v);
+  }
+  auto v = GetString(row, col);
+  if (!v.ok()) return v.status();
+  return Value(std::move(v).value());
+}
+
+Result<std::span<const int64_t>> Relation::Int64Column(int col) const {
+  if (col < 0 || col >= schema_.num_columns()) {
+    return Status::OutOfRange("column index " + std::to_string(col));
+  }
+  if (schema_.column(col).type != ValueType::kInt64) {
+    return Status::InvalidArgument("column " + schema_.column(col).name +
+                                   " is not int64");
+  }
+  const auto& ints = columns_[static_cast<size_t>(col)].ints;
+  return std::span<const int64_t>(ints.data(), ints.size());
+}
+
+Result<bool> Relation::ScanPointExists(int col, int64_t v,
+                                       CostMeter* meter) const {
+  auto column = Int64Column(col);
+  if (!column.ok()) return column.status();
+  bool found = false;
+  for (int64_t x : *column) {
+    if (x == v) {
+      found = true;
+      // A correct sequential scan may stop at the first hit; the bytes
+      // already charged reflect the touched prefix.
+      break;
+    }
+  }
+  // Worst-case (and miss-case) cost is the full column; charge what was
+  // actually touched so hit-heavy workloads are not overbilled.
+  const int64_t touched =
+      found ? static_cast<int64_t>(std::find(column->begin(), column->end(), v) -
+                                   column->begin()) +
+                  1
+            : static_cast<int64_t>(column->size());
+  if (meter != nullptr) {
+    meter->AddSerial(touched);
+    meter->AddBytesRead(touched * static_cast<int64_t>(sizeof(int64_t)));
+  }
+  return found;
+}
+
+Result<bool> Relation::ScanRangeExists(int col, int64_t lo, int64_t hi,
+                                       CostMeter* meter) const {
+  auto column = Int64Column(col);
+  if (!column.ok()) return column.status();
+  bool found = false;
+  int64_t touched = 0;
+  for (int64_t x : *column) {
+    ++touched;
+    if (x >= lo && x <= hi) {
+      found = true;
+      break;
+    }
+  }
+  if (meter != nullptr) {
+    meter->AddSerial(touched);
+    meter->AddBytesRead(touched * static_cast<int64_t>(sizeof(int64_t)));
+  }
+  return found;
+}
+
+int64_t Relation::EstimateBytes() const {
+  int64_t bytes = 0;
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    const auto& col = columns_[static_cast<size_t>(c)];
+    bytes += static_cast<int64_t>(col.ints.size() * sizeof(int64_t));
+    for (const auto& s : col.strings) {
+      bytes += static_cast<int64_t>(s.size());
+    }
+  }
+  return bytes;
+}
+
+std::string Relation::Encode() const {
+  std::vector<std::string> fields;
+  // Header: column descriptors "name:type".
+  std::string header;
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    if (c > 0) header += ";";
+    header += schema_.column(c).name + ":" +
+              (schema_.column(c).type == ValueType::kInt64 ? "i" : "s");
+  }
+  fields.push_back(header);
+  fields.push_back(std::to_string(num_rows_));
+  for (int c = 0; c < schema_.num_columns(); ++c) {
+    const auto& col = columns_[static_cast<size_t>(c)];
+    if (schema_.column(c).type == ValueType::kInt64) {
+      fields.push_back(codec::EncodeInts(col.ints));
+    } else {
+      // Strings are themselves field-encoded to nest safely.
+      fields.push_back(codec::EncodeFields(col.strings));
+    }
+  }
+  return codec::EncodeFields(fields);
+}
+
+Result<Relation> Relation::Decode(std::string_view encoded) {
+  auto fields = codec::DecodeFields(encoded);
+  if (!fields.ok()) return fields.status();
+  if (fields->size() < 2) {
+    return Status::InvalidArgument("relation encoding too short");
+  }
+  // Parse header.
+  std::vector<ColumnDef> defs;
+  const std::string& header = (*fields)[0];
+  size_t pos = 0;
+  while (pos < header.size()) {
+    size_t semi = header.find(';', pos);
+    std::string desc = header.substr(
+        pos, semi == std::string::npos ? std::string::npos : semi - pos);
+    size_t colon = desc.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("bad column descriptor: " + desc);
+    }
+    ColumnDef def;
+    def.name = desc.substr(0, colon);
+    std::string t = desc.substr(colon + 1);
+    if (t == "i") {
+      def.type = ValueType::kInt64;
+    } else if (t == "s") {
+      def.type = ValueType::kString;
+    } else {
+      return Status::InvalidArgument("bad column type tag: " + t);
+    }
+    defs.push_back(std::move(def));
+    if (semi == std::string::npos) break;
+    pos = semi + 1;
+  }
+  if (header.empty()) defs.clear();
+  Relation rel{Schema(std::move(defs))};
+  auto rows = codec::DecodeInts((*fields)[1]);
+  if (!rows.ok()) return rows.status();
+  if (rows->size() != 1) {
+    return Status::InvalidArgument("bad row-count field");
+  }
+  rel.num_rows_ = (*rows)[0];
+  if (static_cast<int>(fields->size()) != 2 + rel.schema_.num_columns()) {
+    return Status::InvalidArgument("column payload count mismatch");
+  }
+  for (int c = 0; c < rel.schema_.num_columns(); ++c) {
+    auto& col = rel.columns_[static_cast<size_t>(c)];
+    const std::string& payload = (*fields)[static_cast<size_t>(2 + c)];
+    if (rel.schema_.column(c).type == ValueType::kInt64) {
+      auto ints = codec::DecodeInts(payload);
+      if (!ints.ok()) return ints.status();
+      if (static_cast<int64_t>(ints->size()) != rel.num_rows_) {
+        return Status::InvalidArgument("int column length mismatch");
+      }
+      col.ints = std::move(ints).value();
+    } else {
+      auto strs = codec::DecodeFields(payload);
+      if (!strs.ok()) return strs.status();
+      if (rel.num_rows_ == 0 && strs->size() == 1 && (*strs)[0].empty()) {
+        col.strings.clear();
+      } else if (static_cast<int64_t>(strs->size()) != rel.num_rows_) {
+        return Status::InvalidArgument("string column length mismatch");
+      } else {
+        col.strings = std::move(strs).value();
+      }
+    }
+  }
+  return rel;
+}
+
+}  // namespace storage
+}  // namespace pitract

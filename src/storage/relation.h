@@ -1,0 +1,79 @@
+#ifndef PITRACT_STORAGE_RELATION_H_
+#define PITRACT_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/cost_meter.h"
+#include "common/result.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace pitract {
+namespace storage {
+
+/// An in-memory columnar relation instance D of some schema R.
+///
+/// Columns are stored as typed vectors (int64 or string). Scans charge the
+/// supplied CostMeter per touched cell and per touched byte so that the
+/// Example 1 arithmetic (linear scan of |D| vs. O(log |D|) index probes) is
+/// reproducible from the meters alone.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  int64_t num_rows() const { return num_rows_; }
+  int num_columns() const { return schema_.num_columns(); }
+
+  /// Appends one row. Fails if arity or any cell type mismatches the schema.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Appends one all-integer row (fast path; schema must be all-int64).
+  Status AppendIntRow(const std::vector<int64_t>& row);
+
+  /// Cell accessors. Bounds/type violations fail with a Status.
+  Result<int64_t> GetInt64(int64_t row, int col) const;
+  Result<std::string> GetString(int64_t row, int col) const;
+  Result<Value> GetValue(int64_t row, int col) const;
+
+  /// Zero-copy view of an int64 column. Fails on type mismatch.
+  Result<std::span<const int64_t>> Int64Column(int col) const;
+
+  /// Full-scan predicate: does any row have row[col] == v? Charges the meter
+  /// one unit of work per scanned cell plus the bytes touched — the paper's
+  /// "naive evaluation requires a linear scan of D".
+  Result<bool> ScanPointExists(int col, int64_t v, CostMeter* meter) const;
+
+  /// Full-scan range predicate: any row with lo <= row[col] <= hi?
+  Result<bool> ScanRangeExists(int col, int64_t lo, int64_t hi,
+                               CostMeter* meter) const;
+
+  /// Approximate in-memory footprint in bytes (the |D| in Example 1).
+  int64_t EstimateBytes() const;
+
+  /// Σ*-encoding of the relation (schema + rows), per Section 3's string
+  /// representation of databases. Round-trips via Decode.
+  std::string Encode() const;
+  static Result<Relation> Decode(std::string_view encoded);
+
+ private:
+  struct ColumnData {
+    std::vector<int64_t> ints;
+    std::vector<std::string> strings;
+  };
+
+  Status CheckCell(int64_t row, int col, ValueType expected) const;
+
+  Schema schema_;
+  std::vector<ColumnData> columns_;
+  int64_t num_rows_ = 0;
+};
+
+}  // namespace storage
+}  // namespace pitract
+
+#endif  // PITRACT_STORAGE_RELATION_H_

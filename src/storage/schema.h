@@ -1,0 +1,66 @@
+#ifndef PITRACT_STORAGE_SCHEMA_H_
+#define PITRACT_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace pitract {
+namespace storage {
+
+/// A named, typed column of a relation schema.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+};
+
+/// An ordered list of column definitions (a relation schema R).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column named `name`, or -1 when absent.
+  int FindColumn(std::string_view name) const {
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (columns_[i].name == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  std::string ToString() const {
+    std::string out = "(";
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += columns_[i].name + ":" + ValueTypeName(columns_[i].type);
+    }
+    out += ")";
+    return out;
+  }
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    if (a.columns_.size() != b.columns_.size()) return false;
+    for (size_t i = 0; i < a.columns_.size(); ++i) {
+      if (a.columns_[i].name != b.columns_[i].name ||
+          a.columns_[i].type != b.columns_[i].type) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace storage
+}  // namespace pitract
+
+#endif  // PITRACT_STORAGE_SCHEMA_H_

@@ -1,0 +1,55 @@
+#ifndef PITRACT_STORAGE_VALUE_H_
+#define PITRACT_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace pitract {
+namespace storage {
+
+/// Column/value type tags. The engine is deliberately small: 64-bit integers
+/// cover the paper's selection workloads; strings cover identifiers.
+enum class ValueType {
+  kInt64 = 0,
+  kString = 1,
+};
+
+std::string ValueTypeName(ValueType type);
+
+/// A dynamically typed cell value.
+class Value {
+ public:
+  Value() : rep_(int64_t{0}) {}
+  explicit Value(int64_t v) : rep_(v) {}
+  explicit Value(std::string v) : rep_(std::move(v)) {}
+
+  ValueType type() const {
+    return std::holds_alternative<int64_t>(rep_) ? ValueType::kInt64
+                                                 : ValueType::kString;
+  }
+  bool is_int64() const { return type() == ValueType::kInt64; }
+  bool is_string() const { return type() == ValueType::kString; }
+
+  int64_t int64() const { return std::get<int64_t>(rep_); }
+  const std::string& string() const { return std::get<std::string>(rep_); }
+
+  std::string ToString() const {
+    return is_int64() ? std::to_string(int64()) : string();
+  }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.rep_ == b.rep_;
+  }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.rep_ < b.rep_;
+  }
+
+ private:
+  std::variant<int64_t, std::string> rep_;
+};
+
+}  // namespace storage
+}  // namespace pitract
+
+#endif  // PITRACT_STORAGE_VALUE_H_

@@ -1,0 +1,197 @@
+#include "topk/threshold.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "ncsim/ncsim.h"
+
+namespace pitract {
+namespace topk {
+
+namespace {
+
+/// "a is strictly better than b": higher score, then smaller object id.
+bool Better(const ScoredObject& a, const ScoredObject& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.object_id < b.object_id;
+}
+
+/// Min-heap of the current best k (top() = the worst of the best).
+struct WorstOnTop {
+  bool operator()(const ScoredObject& a, const ScoredObject& b) const {
+    return Better(a, b);
+  }
+};
+
+Status CheckQuery(size_t num_attributes, const std::vector<int64_t>& weights,
+                  int k) {
+  if (weights.size() != num_attributes) {
+    return Status::InvalidArgument("expected " +
+                                   std::to_string(num_attributes) +
+                                   " weights, got " +
+                                   std::to_string(weights.size()));
+  }
+  for (int64_t w : weights) {
+    if (w < 0) {
+      return Status::InvalidArgument(
+          "threshold algorithm requires a monotone aggregate: "
+          "weights must be non-negative");
+    }
+  }
+  if (k < 1) return Status::InvalidArgument("k must be >= 1");
+  return Status::OK();
+}
+
+std::vector<ScoredObject> DrainHeap(
+    std::priority_queue<ScoredObject, std::vector<ScoredObject>, WorstOnTop>*
+        heap) {
+  std::vector<ScoredObject> out;
+  out.resize(heap->size());
+  for (size_t i = heap->size(); i > 0; --i) {
+    out[i - 1] = heap->top();
+    heap->pop();
+  }
+  // Heap drains worst-first; reversing gives best-first.
+  return out;
+}
+
+}  // namespace
+
+Result<ThresholdIndex> ThresholdIndex::Build(const storage::Relation& relation,
+                                             const std::vector<int>& columns,
+                                             CostMeter* meter) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("need at least one scored column");
+  }
+  ThresholdIndex index;
+  index.num_objects_ = relation.num_rows();
+  for (int col : columns) {
+    auto values = relation.Int64Column(col);
+    if (!values.ok()) return values.status();
+    SortedList list;
+    list.entries.reserve(values->size());
+    for (size_t row = 0; row < values->size(); ++row) {
+      list.entries.emplace_back((*values)[row], static_cast<int64_t>(row));
+    }
+    // Descending by value; ascending id among equals for determinism.
+    std::sort(list.entries.begin(), list.entries.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    index.columns_.emplace_back(values->begin(), values->end());
+    index.lists_.push_back(std::move(list));
+  }
+  if (meter != nullptr) {
+    const int64_t n = relation.num_rows();
+    const int64_t m = static_cast<int64_t>(columns.size());
+    meter->AddSerial(m * n * (ncsim::CeilLog2(n < 1 ? 1 : n) + 1));
+    meter->AddBytesWritten(2 * m * n * 8);
+  }
+  return index;
+}
+
+Result<TopKResult> ThresholdIndex::TopK(const std::vector<int64_t>& weights,
+                                        int k, CostMeter* meter) const {
+  PITRACT_RETURN_IF_ERROR(CheckQuery(lists_.size(), weights, k));
+  TopKResult result;
+  const int64_t n = num_objects_;
+  const size_t m = lists_.size();
+  if (n == 0) return result;
+
+  std::vector<bool> seen(static_cast<size_t>(n), false);
+  std::priority_queue<ScoredObject, std::vector<ScoredObject>, WorstOnTop>
+      heap;
+  const int64_t heap_log =
+      ncsim::CeilLog2(static_cast<int64_t>(k) + 1) + 1;
+
+  auto full_score = [&](int64_t object) {
+    int64_t score = 0;
+    for (size_t attr = 0; attr < m; ++attr) {
+      score += weights[attr] *
+               columns_[attr][static_cast<size_t>(object)];
+    }
+    return score;
+  };
+
+  for (int64_t depth = 0; depth < n; ++depth) {
+    // Sorted access on every list at this depth.
+    int64_t threshold = 0;
+    for (size_t attr = 0; attr < m; ++attr) {
+      const auto& [value, object] =
+          lists_[attr].entries[static_cast<size_t>(depth)];
+      ++result.sorted_accesses;
+      if (meter != nullptr) {
+        meter->AddSerial(1);
+        meter->AddBytesRead(16);
+      }
+      threshold += weights[attr] * value;
+      if (seen[static_cast<size_t>(object)]) continue;
+      seen[static_cast<size_t>(object)] = true;
+      // Random access completes the object's remaining attributes.
+      result.random_accesses += static_cast<int64_t>(m) - 1;
+      if (meter != nullptr) {
+        meter->AddSerial(static_cast<int64_t>(m) - 1);
+        meter->AddBytesRead((static_cast<int64_t>(m) - 1) * 8);
+        meter->AddSerial(heap_log);
+      }
+      ScoredObject candidate{object, full_score(object)};
+      if (static_cast<int>(heap.size()) < k) {
+        heap.push(candidate);
+      } else if (Better(candidate, heap.top())) {
+        heap.pop();
+        heap.push(candidate);
+      }
+    }
+    result.stop_depth = depth + 1;
+    // Threshold test: nothing unseen can beat the current k-th best.
+    if (static_cast<int>(heap.size()) == k && heap.top().score >= threshold) {
+      break;
+    }
+  }
+
+  result.objects = DrainHeap(&heap);
+  return result;
+}
+
+Result<TopKResult> ThresholdIndex::TopKByScan(
+    const storage::Relation& relation, const std::vector<int>& columns,
+    const std::vector<int64_t>& weights, int k, CostMeter* meter) {
+  PITRACT_RETURN_IF_ERROR(CheckQuery(columns.size(), weights, k));
+  std::vector<std::span<const int64_t>> cols;
+  for (int col : columns) {
+    auto values = relation.Int64Column(col);
+    if (!values.ok()) return values.status();
+    cols.push_back(*values);
+  }
+  TopKResult result;
+  std::priority_queue<ScoredObject, std::vector<ScoredObject>, WorstOnTop>
+      heap;
+  const int64_t heap_log =
+      ncsim::CeilLog2(static_cast<int64_t>(k) + 1) + 1;
+  for (int64_t row = 0; row < relation.num_rows(); ++row) {
+    int64_t score = 0;
+    for (size_t attr = 0; attr < cols.size(); ++attr) {
+      score += weights[attr] * cols[attr][static_cast<size_t>(row)];
+    }
+    if (meter != nullptr) {
+      meter->AddSerial(static_cast<int64_t>(cols.size()) + heap_log);
+      meter->AddBytesRead(static_cast<int64_t>(cols.size()) * 8);
+    }
+    ScoredObject candidate{row, score};
+    if (static_cast<int>(heap.size()) < k) {
+      heap.push(candidate);
+    } else if (Better(candidate, heap.top())) {
+      heap.pop();
+      heap.push(candidate);
+    }
+  }
+  result.sorted_accesses = relation.num_rows() *
+                           static_cast<int64_t>(columns.size());
+  result.stop_depth = relation.num_rows();
+  result.objects = DrainHeap(&heap);
+  return result;
+}
+
+}  // namespace topk
+}  // namespace pitract

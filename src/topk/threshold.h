@@ -1,0 +1,86 @@
+#ifndef PITRACT_TOPK_THRESHOLD_H_
+#define PITRACT_TOPK_THRESHOLD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/cost_meter.h"
+#include "common/result.h"
+#include "storage/relation.h"
+
+namespace pitract {
+namespace topk {
+
+/// Top-k query answering with early termination — the Section 8(5) open
+/// direction ("under certain conditions, top-k query answering with early
+/// termination [14] may be made Π-tractable"), prototyped with Fagin's
+/// Threshold Algorithm (Fagin–Lotem–Naor, the paper's [14]).
+///
+/// Preprocessing Π(D): one descending sorted list per scored attribute
+/// (PTIME). Online: TA performs lock-step sorted access over the lists,
+/// random access to complete each seen object, and stops as soon as the
+/// k-th best score reaches the threshold τ = f(last values seen under
+/// sorted access). On skewed data this touches a small prefix of each list
+/// — sublinear in |D| — while remaining exact for monotone aggregates.
+
+/// One result object.
+struct ScoredObject {
+  int64_t object_id = 0;
+  int64_t score = 0;
+
+  friend bool operator==(const ScoredObject& a, const ScoredObject& b) {
+    return a.object_id == b.object_id && a.score == b.score;
+  }
+};
+
+/// Answer plus the access counters Fagin's analysis is stated in.
+struct TopKResult {
+  /// Descending by score; ties broken toward smaller object id.
+  std::vector<ScoredObject> objects;
+  int64_t sorted_accesses = 0;
+  int64_t random_accesses = 0;
+  /// Depth reached in the sorted lists before the threshold fired.
+  int64_t stop_depth = 0;
+};
+
+/// The preprocessed structure: per-attribute descending lists + columns
+/// for random access.
+class ThresholdIndex {
+ public:
+  /// Builds sorted lists over the given int64 columns of `relation`.
+  /// Charges the O(m · n log n) preprocessing to `meter`.
+  static Result<ThresholdIndex> Build(const storage::Relation& relation,
+                                      const std::vector<int>& columns,
+                                      CostMeter* meter);
+
+  /// Exact top-k under score(o) = Σ_i weights[i] · column_i(o).
+  /// Weights must be non-negative (monotonicity is what makes the
+  /// threshold sound). k must be >= 1.
+  Result<TopKResult> TopK(const std::vector<int64_t>& weights, int k,
+                          CostMeter* meter) const;
+
+  int num_attributes() const { return static_cast<int>(lists_.size()); }
+  int64_t num_objects() const { return num_objects_; }
+
+  /// Baseline without preprocessing: scan all rows, aggregate, select.
+  static Result<TopKResult> TopKByScan(const storage::Relation& relation,
+                                       const std::vector<int>& columns,
+                                       const std::vector<int64_t>& weights,
+                                       int k, CostMeter* meter);
+
+ private:
+  struct SortedList {
+    // Descending by value; (value, object_id).
+    std::vector<std::pair<int64_t, int64_t>> entries;
+  };
+
+  int64_t num_objects_ = 0;
+  std::vector<SortedList> lists_;                 // one per attribute
+  std::vector<std::vector<int64_t>> columns_;     // random access: attr -> row
+};
+
+}  // namespace topk
+}  // namespace pitract
+
+#endif  // PITRACT_TOPK_THRESHOLD_H_

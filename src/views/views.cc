@@ -1,0 +1,212 @@
+#include "views/views.h"
+
+#include <algorithm>
+
+namespace pitract {
+namespace views {
+
+// ---------------------------------------------------------------------------
+// CountView
+// ---------------------------------------------------------------------------
+
+Result<CountView> CountView::Materialize(const storage::Relation& base,
+                                         const std::string& key_column,
+                                         CostMeter* meter) {
+  int col = base.schema().FindColumn(key_column);
+  if (col < 0) {
+    return Status::InvalidArgument("no column named " + key_column);
+  }
+  auto keys = base.Int64Column(col);
+  if (!keys.ok()) return keys.status();
+  CountView view;
+  view.key_column_ = key_column;
+  for (int64_t k : *keys) ++view.counts_[k];
+  if (meter != nullptr) {
+    meter->AddSerial(base.num_rows());
+    meter->AddBytesRead(base.num_rows() *
+                        static_cast<int64_t>(sizeof(int64_t)));
+    meter->AddBytesWritten(view.EstimateBytes());
+  }
+  return view;
+}
+
+int64_t CountView::Count(int64_t key, CostMeter* meter) const {
+  if (meter != nullptr) {
+    meter->AddSerial(1);
+    meter->AddBytesRead(16);
+  }
+  auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+// ---------------------------------------------------------------------------
+// PartitionedRangeView
+// ---------------------------------------------------------------------------
+
+Result<PartitionedRangeView> PartitionedRangeView::Materialize(
+    const storage::Relation& base, const std::string& key_column,
+    const std::string& range_column, CostMeter* meter) {
+  int key_col = base.schema().FindColumn(key_column);
+  int range_col = base.schema().FindColumn(range_column);
+  if (key_col < 0 || range_col < 0) {
+    return Status::InvalidArgument("missing view column");
+  }
+  auto keys = base.Int64Column(key_col);
+  if (!keys.ok()) return keys.status();
+  auto values = base.Int64Column(range_col);
+  if (!values.ok()) return values.status();
+
+  std::unordered_map<int64_t, std::vector<int64_t>> buckets;
+  for (int64_t row = 0; row < base.num_rows(); ++row) {
+    buckets[(*keys)[static_cast<size_t>(row)]].push_back(
+        (*values)[static_cast<size_t>(row)]);
+  }
+  PartitionedRangeView view;
+  view.key_column_ = key_column;
+  view.range_column_ = range_column;
+  int64_t sort_work = 0;
+  for (auto& [key, bucket] : buckets) {
+    CostMeter sub;
+    view.partitions_.emplace(
+        key, index::SortedColumn::Build(
+                 std::span<const int64_t>(bucket.data(), bucket.size()),
+                 &sub));
+    sort_work += sub.work();
+  }
+  if (meter != nullptr) {
+    meter->AddSerial(base.num_rows() + sort_work);
+    meter->AddBytesRead(2 * base.num_rows() *
+                        static_cast<int64_t>(sizeof(int64_t)));
+    meter->AddBytesWritten(view.EstimateBytes());
+  }
+  return view;
+}
+
+bool PartitionedRangeView::ExistsInRange(int64_t key, int64_t lo, int64_t hi,
+                                         CostMeter* meter) const {
+  if (meter != nullptr) meter->AddSerial(1);
+  auto it = partitions_.find(key);
+  if (it == partitions_.end()) return false;
+  return it->second.ContainsInRange(lo, hi, meter);
+}
+
+int64_t PartitionedRangeView::EstimateBytes() const {
+  int64_t bytes = 0;
+  for (const auto& [key, partition] : partitions_) {
+    (void)key;
+    bytes += partition.size() * static_cast<int64_t>(sizeof(int64_t)) + 16;
+  }
+  return bytes;
+}
+
+// ---------------------------------------------------------------------------
+// ViewCatalog
+// ---------------------------------------------------------------------------
+
+Status ViewCatalog::AddCountView(const storage::Relation& base,
+                                 const std::string& key_column,
+                                 CostMeter* meter) {
+  auto view = CountView::Materialize(base, key_column, meter);
+  if (!view.ok()) return view.status();
+  count_views_.push_back(std::move(view).value());
+  return Status::OK();
+}
+
+Status ViewCatalog::AddRangeView(const storage::Relation& base,
+                                 const std::string& key_column,
+                                 const std::string& range_column,
+                                 CostMeter* meter) {
+  auto view =
+      PartitionedRangeView::Materialize(base, key_column, range_column, meter);
+  if (!view.ok()) return view.status();
+  range_views_.push_back(std::move(view).value());
+  return Status::OK();
+}
+
+Result<int64_t> ViewCatalog::Answer(const ViewQuery& query,
+                                    CostMeter* meter) const {
+  switch (query.kind) {
+    case ViewQuery::Kind::kCountByKey:
+      for (const auto& view : count_views_) {
+        if (view.key_column() == query.key_column) {
+          return view.Count(query.key, meter);
+        }
+      }
+      return Status::FailedPrecondition(
+          "no count view materialized over column " + query.key_column);
+    case ViewQuery::Kind::kExistsInRange:
+      for (const auto& view : range_views_) {
+        if (view.key_column() == query.key_column &&
+            view.range_column() == query.range_column) {
+          return view.ExistsInRange(query.key, query.lo, query.hi, meter) ? 1
+                                                                          : 0;
+        }
+      }
+      return Status::FailedPrecondition(
+          "no range view materialized over (" + query.key_column + ", " +
+          query.range_column + ")");
+  }
+  return Status::Internal("unhandled query kind");
+}
+
+Result<int64_t> ViewCatalog::AnswerByScan(const storage::Relation& base,
+                                          const ViewQuery& query,
+                                          CostMeter* meter) {
+  int key_col = base.schema().FindColumn(query.key_column);
+  if (key_col < 0) {
+    return Status::InvalidArgument("no column named " + query.key_column);
+  }
+  auto keys = base.Int64Column(key_col);
+  if (!keys.ok()) return keys.status();
+  switch (query.kind) {
+    case ViewQuery::Kind::kCountByKey: {
+      int64_t count = 0;
+      for (int64_t k : *keys) {
+        if (k == query.key) ++count;
+      }
+      if (meter != nullptr) {
+        meter->AddSerial(base.num_rows());
+        meter->AddBytesRead(base.num_rows() *
+                            static_cast<int64_t>(sizeof(int64_t)));
+      }
+      return count;
+    }
+    case ViewQuery::Kind::kExistsInRange: {
+      int range_col = base.schema().FindColumn(query.range_column);
+      if (range_col < 0) {
+        return Status::InvalidArgument("no column named " +
+                                       query.range_column);
+      }
+      auto values = base.Int64Column(range_col);
+      if (!values.ok()) return values.status();
+      int64_t scanned = 0;
+      bool found = false;
+      for (int64_t row = 0; row < base.num_rows(); ++row) {
+        ++scanned;
+        if ((*keys)[static_cast<size_t>(row)] == query.key &&
+            (*values)[static_cast<size_t>(row)] >= query.lo &&
+            (*values)[static_cast<size_t>(row)] <= query.hi) {
+          found = true;
+          break;
+        }
+      }
+      if (meter != nullptr) {
+        meter->AddSerial(scanned);
+        meter->AddBytesRead(2 * scanned *
+                            static_cast<int64_t>(sizeof(int64_t)));
+      }
+      return found ? 1 : 0;
+    }
+  }
+  return Status::Internal("unhandled query kind");
+}
+
+int64_t ViewCatalog::EstimateBytes() const {
+  int64_t bytes = 0;
+  for (const auto& view : count_views_) bytes += view.EstimateBytes();
+  for (const auto& view : range_views_) bytes += view.EstimateBytes();
+  return bytes;
+}
+
+}  // namespace views
+}  // namespace pitract

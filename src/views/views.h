@@ -1,0 +1,112 @@
+#ifndef PITRACT_VIEWS_VIEWS_H_
+#define PITRACT_VIEWS_VIEWS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/cost_meter.h"
+#include "common/result.h"
+#include "index/sorted_column.h"
+#include "storage/relation.h"
+
+namespace pitract {
+namespace views {
+
+/// Query answering using views (Section 4(6), after [23, 30]): materialize
+/// a set V of views over a relation D in PTIME (preprocessing), then answer
+/// queries by *rewriting them over V(D) only* — the base relation is never
+/// touched at query time. A query that no view covers is rejected, which is
+/// the executable form of the "Q can be answered using V" precondition.
+
+/// The query fragment the catalog can serve.
+struct ViewQuery {
+  enum class Kind {
+    /// COUNT of rows with key_column == key.
+    kCountByKey,
+    /// Does any row with key_column == key have range_column in [lo, hi]?
+    kExistsInRange,
+  };
+  Kind kind = Kind::kCountByKey;
+  std::string key_column;
+  int64_t key = 0;
+  std::string range_column;
+  int64_t lo = 0;
+  int64_t hi = 0;
+};
+
+/// A materialized group-by-count view: key column -> row count.
+class CountView {
+ public:
+  static Result<CountView> Materialize(const storage::Relation& base,
+                                       const std::string& key_column,
+                                       CostMeter* meter);
+
+  /// O(1) expected.
+  int64_t Count(int64_t key, CostMeter* meter) const;
+
+  const std::string& key_column() const { return key_column_; }
+  int64_t EstimateBytes() const {
+    return static_cast<int64_t>(counts_.size()) * 16;
+  }
+
+ private:
+  std::string key_column_;
+  std::unordered_map<int64_t, int64_t> counts_;
+};
+
+/// A materialized partitioned-sorted view: for each key, the sorted values
+/// of a second column — answers key-constrained range predicates in
+/// O(log n) without the base relation.
+class PartitionedRangeView {
+ public:
+  static Result<PartitionedRangeView> Materialize(
+      const storage::Relation& base, const std::string& key_column,
+      const std::string& range_column, CostMeter* meter);
+
+  /// O(log partition) probe.
+  bool ExistsInRange(int64_t key, int64_t lo, int64_t hi,
+                     CostMeter* meter) const;
+
+  const std::string& key_column() const { return key_column_; }
+  const std::string& range_column() const { return range_column_; }
+  int64_t EstimateBytes() const;
+
+ private:
+  std::string key_column_;
+  std::string range_column_;
+  std::unordered_map<int64_t, index::SortedColumn> partitions_;
+};
+
+/// The view catalog: owns materialized views and performs query rewriting.
+/// Answer() fails with FailedPrecondition when no view covers the query —
+/// never silently falling back to the base relation.
+class ViewCatalog {
+ public:
+  /// Materializes both view kinds for the given column pairs.
+  Status AddCountView(const storage::Relation& base,
+                      const std::string& key_column, CostMeter* meter);
+  Status AddRangeView(const storage::Relation& base,
+                      const std::string& key_column,
+                      const std::string& range_column, CostMeter* meter);
+
+  /// Rewrites and answers `query` using views only.
+  Result<int64_t> Answer(const ViewQuery& query, CostMeter* meter) const;
+
+  /// The same query answered by scanning `base` (the no-views baseline).
+  static Result<int64_t> AnswerByScan(const storage::Relation& base,
+                                      const ViewQuery& query,
+                                      CostMeter* meter);
+
+  int64_t EstimateBytes() const;
+
+ private:
+  std::vector<CountView> count_views_;
+  std::vector<PartitionedRangeView> range_views_;
+};
+
+}  // namespace views
+}  // namespace pitract
+
+#endif  // PITRACT_VIEWS_VIEWS_H_

@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "bds/bds.h"
+#include "common/rng.h"
+#include "graph/algos.h"
+#include "graph/generators.h"
+
+namespace pitract {
+namespace bds {
+namespace {
+
+graph::Graph U(graph::NodeId n,
+               const std::vector<std::pair<graph::NodeId, graph::NodeId>>& e) {
+  auto g = graph::Graph::FromEdges(n, e, /*directed=*/false);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(BdsOrderTest, StarVisitsChildrenInNumberOrder) {
+  graph::Graph g = U(4, {{0, 1}, {0, 2}, {0, 3}});
+  auto order = BdsVisitOrder(g, nullptr);
+  EXPECT_EQ(order, (std::vector<graph::NodeId>{0, 1, 2, 3}));
+}
+
+TEST(BdsOrderTest, HandComputedStackDiscipline) {
+  // Visit 0, mark {4, 5}; stack top is the smaller-numbered 4. Pop 4, mark
+  // 1. Pop 1 (nothing), pop 5, mark 2. Restart at isolated 3.
+  graph::Graph g = U(6, {{0, 4}, {0, 5}, {4, 1}, {5, 2}});
+  auto order = BdsVisitOrder(g, nullptr);
+  EXPECT_EQ(order, (std::vector<graph::NodeId>{0, 4, 5, 1, 2, 3}));
+}
+
+TEST(BdsOrderTest, DiffersFromBfsAndDfs) {
+  // BDS: 0,1,2,3,4,5 — BFS gives 0,1,2,3,5,4 and DFS gives 0,1,3,4,2,5.
+  graph::Graph g = U(6, {{0, 1}, {0, 2}, {1, 3}, {3, 4}, {2, 5}});
+  auto order = BdsVisitOrder(g, nullptr);
+  EXPECT_EQ(order, (std::vector<graph::NodeId>{0, 1, 2, 3, 4, 5}));
+  EXPECT_NE(order, graph::DfsPreorder(g));
+}
+
+TEST(BdsOrderTest, OrderIsAPermutation) {
+  Rng rng(80);
+  graph::Graph g = graph::ErdosRenyi(200, 500, false, &rng);
+  auto order = BdsVisitOrder(g, nullptr);
+  std::set<graph::NodeId> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), 200u);
+}
+
+TEST(BdsOrderTest, ComponentsAreContiguousBlocks) {
+  Rng rng(81);
+  graph::Graph g = graph::ErdosRenyi(150, 120, false, &rng);  // sparse
+  auto comp = graph::ConnectedComponents(g);
+  auto order = BdsVisitOrder(g, nullptr);
+  // Once a component is left it is never re-entered.
+  std::set<graph::NodeId> closed;
+  graph::NodeId current = comp.component[static_cast<size_t>(order[0])];
+  for (graph::NodeId v : order) {
+    graph::NodeId c = comp.component[static_cast<size_t>(v)];
+    if (c != current) {
+      EXPECT_EQ(closed.count(c), 0u) << "component re-entered";
+      closed.insert(current);
+      current = c;
+    }
+  }
+}
+
+TEST(BdsOrderTest, ExplicitNumberingChangesTheSearch) {
+  graph::Graph g = U(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto identity_order = BdsVisitOrder(g, nullptr);
+  // Reverse numbering: node 3 gets number 0, so the search starts there.
+  std::vector<graph::NodeId> numbering = {3, 2, 1, 0};
+  auto reversed_order = BdsVisitOrder(g, numbering, nullptr);
+  EXPECT_EQ(identity_order.front(), 0);
+  EXPECT_EQ(reversed_order.front(), 3);
+  EXPECT_NE(identity_order, reversed_order);
+}
+
+TEST(BdsOrderTest, NumberingPermutationStillVisitsAll) {
+  Rng rng(82);
+  graph::Graph g = graph::ErdosRenyi(64, 128, false, &rng);
+  auto perm64 = rng.Permutation(64);
+  std::vector<graph::NodeId> numbering(perm64.begin(), perm64.end());
+  auto order = BdsVisitOrder(g, numbering, nullptr);
+  std::set<graph::NodeId> seen(order.begin(), order.end());
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(BdsOnlineTest, MatchesFullOrder) {
+  Rng rng(83);
+  graph::Graph g = graph::ErdosRenyi(80, 200, false, &rng);
+  auto order = BdsVisitOrder(g, nullptr);
+  std::vector<int64_t> rank(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    rank[static_cast<size_t>(order[i])] = static_cast<int64_t>(i);
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    auto u = static_cast<graph::NodeId>(rng.NextBelow(80));
+    auto v = static_cast<graph::NodeId>(rng.NextBelow(80));
+    CostMeter m;
+    auto online = BdsVisitedBeforeOnline(g, u, v, &m);
+    ASSERT_TRUE(online.ok());
+    EXPECT_EQ(*online, rank[static_cast<size_t>(u)] <
+                           rank[static_cast<size_t>(v)]);
+  }
+}
+
+TEST(BdsOnlineTest, SelfQueryIsFalse) {
+  graph::Graph g = U(3, {{0, 1}, {1, 2}});
+  auto r = BdsVisitedBeforeOnline(g, 1, 1, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r) << "strictly-before is irreflexive";
+}
+
+TEST(BdsOnlineTest, RejectsBadIds) {
+  graph::Graph g = U(3, {{0, 1}});
+  EXPECT_FALSE(BdsVisitedBeforeOnline(g, 0, 5, nullptr).ok());
+  EXPECT_FALSE(BdsVisitedBeforeOnline(g, -1, 0, nullptr).ok());
+}
+
+TEST(BdsOracleTest, MatchesOnline) {
+  Rng rng(84);
+  graph::Graph g = graph::ErdosRenyi(100, 250, false, &rng);
+  CostMeter pre;
+  BdsOracle oracle = BdsOracle::Build(g, &pre);
+  EXPECT_GT(pre.work(), 0);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto u = static_cast<graph::NodeId>(rng.NextBelow(100));
+    auto v = static_cast<graph::NodeId>(rng.NextBelow(100));
+    CostMeter m;
+    auto fast = oracle.VisitedBefore(u, v, &m);
+    auto slow = BdsVisitedBeforeOnline(g, u, v, nullptr);
+    ASSERT_TRUE(fast.ok() && slow.ok());
+    EXPECT_EQ(*fast, *slow) << "u=" << u << " v=" << v;
+  }
+}
+
+TEST(BdsOracleTest, QueryCostModes) {
+  Rng rng(85);
+  graph::Graph g = graph::ErdosRenyi(1 << 12, 1 << 13, false, &rng);
+  BdsOracle oracle = BdsOracle::Build(g, nullptr);
+  CostMeter constant_mode;
+  ASSERT_TRUE(oracle.VisitedBefore(1, 2, &constant_mode).ok());
+  EXPECT_EQ(constant_mode.depth(), 2) << "rank-array probes";
+  oracle.set_charge_binary_search(true);
+  CostMeter log_mode;
+  ASSERT_TRUE(oracle.VisitedBefore(1, 2, &log_mode).ok());
+  EXPECT_EQ(log_mode.depth(), 2 * (12 + 1)) << "the paper's O(log|M|) bound";
+}
+
+TEST(BdsOracleTest, PreprocessingBeatsPerQuerySearch) {
+  Rng rng(86);
+  graph::Graph g = graph::ErdosRenyi(1 << 12, 3 << 12, false, &rng);
+  BdsOracle oracle = BdsOracle::Build(g, nullptr);
+  CostMeter fast, slow;
+  ASSERT_TRUE(oracle.VisitedBefore(7, 9, &fast).ok());
+  ASSERT_TRUE(BdsVisitedBeforeOnline(g, 7, 9, &slow).ok());
+  EXPECT_GT(slow.depth(), 100 * fast.depth())
+      << "Example 5's whole point: the search runs once, not per query";
+}
+
+}  // namespace
+}  // namespace bds
+}  // namespace pitract

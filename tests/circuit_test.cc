@@ -1,0 +1,246 @@
+#include <gtest/gtest.h>
+
+#include "circuit/circuit.h"
+#include "circuit/generators.h"
+#include "circuit/transforms.h"
+#include "common/rng.h"
+
+namespace pitract {
+namespace circuit {
+namespace {
+
+/// Builds (x0 AND x1) OR (NOT x2).
+Circuit SampleCircuit() {
+  Circuit c;
+  GateId x0 = c.AddInput();
+  GateId x1 = c.AddInput();
+  GateId x2 = c.AddInput();
+  GateId a = c.AddAnd(x0, x1);
+  GateId n = c.AddNot(x2);
+  c.set_output(c.AddOr(a, n));
+  return c;
+}
+
+bool Expected(bool x0, bool x1, bool x2) { return (x0 && x1) || !x2; }
+
+TEST(CircuitTest, EvaluatesTruthTable) {
+  Circuit c = SampleCircuit();
+  ASSERT_TRUE(c.Validate().ok());
+  for (int bits = 0; bits < 8; ++bits) {
+    std::vector<char> assignment = {static_cast<char>(bits & 1),
+                                    static_cast<char>((bits >> 1) & 1),
+                                    static_cast<char>((bits >> 2) & 1)};
+    auto value = c.Evaluate(assignment, nullptr);
+    ASSERT_TRUE(value.ok());
+    EXPECT_EQ(*value, Expected(assignment[0], assignment[1], assignment[2]))
+        << "bits=" << bits;
+  }
+}
+
+TEST(CircuitTest, ConstantsAndNand) {
+  Circuit c;
+  GateId t = c.AddConst(true);
+  GateId f = c.AddConst(false);
+  c.set_output(c.AddNand(t, f));
+  auto v = c.Evaluate({}, nullptr);
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(*v);
+  Circuit c2;
+  GateId t2 = c2.AddConst(true);
+  c2.set_output(c2.AddNand(t2, t2));
+  EXPECT_FALSE(*c2.Evaluate({}, nullptr));
+}
+
+TEST(CircuitTest, ValidateCatchesForwardReference) {
+  Circuit c;
+  GateId x = c.AddInput();
+  c.set_output(c.AddAnd(x, 5));  // operand 5 does not precede the gate
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(CircuitTest, ValidateCatchesMissingOutput) {
+  Circuit c;
+  c.AddInput();
+  EXPECT_FALSE(c.Validate().ok());
+}
+
+TEST(CircuitTest, EvaluateRejectsWrongArity) {
+  Circuit c = SampleCircuit();
+  EXPECT_FALSE(c.Evaluate({1, 0}, nullptr).ok());
+  EXPECT_FALSE(c.Evaluate({1, 0, 1, 1}, nullptr).ok());
+}
+
+TEST(CircuitTest, DepthOfChainIsLinear) {
+  Rng rng(90);
+  Circuit chain = ChainCircuit(100, &rng);
+  EXPECT_GE(chain.Depth(), 100);
+  CostMeter m;
+  ASSERT_TRUE(chain.Evaluate({1, 0}, &m).ok());
+  EXPECT_GE(m.depth(), 100) << "deep circuits cost linear parallel time";
+}
+
+TEST(CircuitTest, ShallowCircuitHasShallowDepthCharge) {
+  Rng rng(91);
+  CircuitGenOptions options;
+  options.num_inputs = 16;
+  options.num_gates = 4096;
+  options.deep = false;  // operands drawn uniformly => depth O(log gates)
+  Circuit c = RandomCircuit(options, &rng);
+  EXPECT_LT(c.Depth(), 64);
+  CostMeter m;
+  std::vector<char> assignment(16, 1);
+  ASSERT_TRUE(c.Evaluate(assignment, &m).ok());
+  EXPECT_LT(m.depth(), 80);
+  EXPECT_GE(m.work(), 4096);
+}
+
+TEST(CircuitTest, EncodeDecodeRoundTrip) {
+  Rng rng(92);
+  CircuitGenOptions options;
+  options.num_inputs = 6;
+  options.num_gates = 64;
+  for (int trial = 0; trial < 10; ++trial) {
+    Circuit c = RandomCircuit(options, &rng);
+    auto back = Circuit::Decode(c.Encode());
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(back->num_gates(), c.num_gates());
+    EXPECT_EQ(back->num_inputs(), c.num_inputs());
+    EXPECT_EQ(back->output(), c.output());
+    // Semantics must survive the round trip.
+    for (int probe = 0; probe < 8; ++probe) {
+      std::vector<char> assignment(6);
+      for (auto& bit : assignment) bit = rng.NextBool() ? 1 : 0;
+      EXPECT_EQ(*back->Evaluate(assignment, nullptr),
+                *c.Evaluate(assignment, nullptr));
+    }
+  }
+}
+
+TEST(CircuitTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Circuit::Decode("garbage").ok());
+  EXPECT_FALSE(Circuit::Decode("").ok());
+}
+
+TEST(CvpInstanceTest, RoundTrip) {
+  Rng rng(93);
+  CvpInstance instance = RandomCvpInstance({}, &rng);
+  auto back = CvpInstance::Decode(instance.Encode());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->assignment, instance.assignment);
+  EXPECT_EQ(*back->circuit.Evaluate(back->assignment, nullptr),
+            *instance.circuit.Evaluate(instance.assignment, nullptr));
+}
+
+TEST(CvpInstanceTest, DecodeRejectsArityMismatch) {
+  Rng rng(94);
+  CvpInstance instance = RandomCvpInstance({}, &rng);
+  std::string encoded = instance.Encode();
+  encoded.pop_back();  // drop one assignment bit
+  EXPECT_FALSE(CvpInstance::Decode(encoded).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Transforms: exhaustive equivalence on small circuits, randomized on big.
+// ---------------------------------------------------------------------------
+
+class TransformPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TransformPropertyTest, NandRewritePreservesFunctionExhaustively) {
+  Rng rng(GetParam());
+  CircuitGenOptions options;
+  options.num_inputs = 5;
+  options.num_gates = 40;
+  Circuit c = RandomCircuit(options, &rng);
+  auto nand = ToNandOnly(c);
+  ASSERT_TRUE(nand.ok());
+  EXPECT_TRUE(nand->IsNandOnly());
+  ASSERT_TRUE(nand->Validate().ok());
+  for (int bits = 0; bits < 32; ++bits) {
+    std::vector<char> assignment(5);
+    for (int i = 0; i < 5; ++i) assignment[static_cast<size_t>(i)] = (bits >> i) & 1;
+    EXPECT_EQ(*nand->Evaluate(assignment, nullptr),
+              *c.Evaluate(assignment, nullptr))
+        << "bits=" << bits;
+  }
+}
+
+TEST_P(TransformPropertyTest, MonotoneDoubleRailPreservesFunction) {
+  Rng rng(GetParam() + 1000);
+  CircuitGenOptions options;
+  options.num_inputs = 5;
+  options.num_gates = 40;
+  options.not_probability = 0.35;
+  Circuit c = RandomCircuit(options, &rng);
+  auto mono = ToMonotoneDoubleRail(c);
+  ASSERT_TRUE(mono.ok());
+  EXPECT_TRUE(mono->IsMonotone());
+  ASSERT_TRUE(mono->Validate().ok());
+  EXPECT_EQ(mono->num_inputs(), 10);
+  for (int bits = 0; bits < 32; ++bits) {
+    std::vector<char> assignment(5);
+    for (int i = 0; i < 5; ++i) assignment[static_cast<size_t>(i)] = (bits >> i) & 1;
+    EXPECT_EQ(*mono->Evaluate(DoubleRailAssignment(assignment), nullptr),
+              *c.Evaluate(assignment, nullptr))
+        << "bits=" << bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransformPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(TransformTest, NandOfNandIsStable) {
+  Rng rng(95);
+  Circuit c = RandomCircuit({}, &rng);
+  auto once = ToNandOnly(c);
+  ASSERT_TRUE(once.ok());
+  auto twice = ToNandOnly(*once);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(twice->num_gates(), once->num_gates())
+      << "NAND-only circuits pass through unchanged";
+}
+
+TEST(TransformTest, DoubleRailAssignmentInterleaves) {
+  auto doubled = DoubleRailAssignment({1, 0});
+  EXPECT_EQ(doubled, (std::vector<char>{1, 0, 0, 1}));
+}
+
+TEST(TransformTest, MonotoneCircuitIsMonotoneInItsInputs) {
+  // Semantic monotonicity check: flipping any double-rail "positive" input
+  // 0 -> 1 (with its rail partner fixed) never flips the output 1 -> 0.
+  Rng rng(96);
+  CircuitGenOptions options;
+  options.num_inputs = 4;
+  options.num_gates = 30;
+  Circuit c = RandomCircuit(options, &rng);
+  auto mono = ToMonotoneDoubleRail(c);
+  ASSERT_TRUE(mono.ok());
+  for (int bits = 0; bits < 16; ++bits) {
+    std::vector<char> base(8);
+    for (int i = 0; i < 8; ++i) base[static_cast<size_t>(i)] = (bits >> (i % 4)) & 1;
+    auto before = mono->Evaluate(base, nullptr);
+    ASSERT_TRUE(before.ok());
+    for (int i = 0; i < 8; ++i) {
+      if (base[static_cast<size_t>(i)] == 1) continue;
+      auto raised = base;
+      raised[static_cast<size_t>(i)] = 1;
+      auto after = mono->Evaluate(raised, nullptr);
+      ASSERT_TRUE(after.ok());
+      EXPECT_GE(*after, *before) << "raising an input lowered the output";
+    }
+  }
+}
+
+TEST(GeneratorTest, DeepOptionProducesDeepCircuits) {
+  Rng rng(97);
+  CircuitGenOptions shallow_options, deep_options;
+  shallow_options.num_gates = deep_options.num_gates = 2000;
+  shallow_options.deep = false;
+  deep_options.deep = true;
+  Circuit shallow = RandomCircuit(shallow_options, &rng);
+  Circuit deep = RandomCircuit(deep_options, &rng);
+  EXPECT_GT(deep.Depth(), 10 * shallow.Depth());
+}
+
+}  // namespace
+}  // namespace circuit
+}  // namespace pitract

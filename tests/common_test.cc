@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/codec.h"
+#include "common/cost_meter.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace pitract {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing key 42");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing key 42");
+  EXPECT_EQ(s.ToString(), "NotFound: missing key 42");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::Internal("x"), Status::Internal("x"));
+  EXPECT_FALSE(Status::Internal("x") == Status::Internal("y"));
+  EXPECT_FALSE(Status::Internal("x") == Status::InvalidArgument("x"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= static_cast<int>(StatusCode::kInternal); ++code) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(code)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::OutOfRange("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  PITRACT_ASSIGN_OR_RETURN(int half, Half(x));
+  return Half(half);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto ok = Quarter(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+  auto bad = Quarter(6);  // 6/2 = 3, odd
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// CostMeter
+// ---------------------------------------------------------------------------
+
+TEST(CostMeterTest, SerialAddsWorkAndDepth) {
+  CostMeter m;
+  m.AddSerial(5);
+  m.AddSerial(3);
+  EXPECT_EQ(m.work(), 8);
+  EXPECT_EQ(m.depth(), 8);
+}
+
+TEST(CostMeterTest, ParallelAddsSpanOnly) {
+  CostMeter m;
+  m.AddParallel(/*total_work=*/100, /*span=*/4);
+  EXPECT_EQ(m.work(), 100);
+  EXPECT_EQ(m.depth(), 4);
+}
+
+TEST(CostMeterTest, SequentialCompositionAddsBoth) {
+  Cost a{10, 2};
+  Cost b{5, 3};
+  Cost c = a + b;
+  EXPECT_EQ(c.work, 15);
+  EXPECT_EQ(c.depth, 5);
+}
+
+TEST(CostMeterTest, ResetClearsEverything) {
+  CostMeter m;
+  m.AddSerial(4);
+  m.AddBytesRead(100);
+  m.AddBytesWritten(50);
+  m.Reset();
+  EXPECT_EQ(m.work(), 0);
+  EXPECT_EQ(m.depth(), 0);
+  EXPECT_EQ(m.bytes_read(), 0);
+  EXPECT_EQ(m.bytes_written(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicInSeed) {
+  Rng a(42), b(42), c(43);
+  bool all_equal = true;
+  bool any_diff_from_c = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.Next();
+    uint64_t vb = b.Next();
+    uint64_t vc = c.Next();
+    all_equal &= va == vb;
+    any_diff_from_c |= va != vc;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_diff_from_c);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.NextInRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u) << "all 7 values should occur";
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ZipfIsSkewed) {
+  Rng rng(13);
+  int64_t low_ranks = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.NextZipf(1000, 0.9) < 10) ++low_ranks;
+  }
+  // Under uniform sampling P(rank < 10) = 1%; zipf(0.9) concentrates far
+  // more mass there.
+  EXPECT_GT(low_ranks, kDraws / 20);
+}
+
+TEST(RngTest, PermutationIsAPermutation) {
+  Rng rng(17);
+  auto p = rng.Permutation(100);
+  std::set<int64_t> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 99);
+}
+
+// ---------------------------------------------------------------------------
+// codec
+// ---------------------------------------------------------------------------
+
+TEST(CodecTest, EscapeRoundTrip) {
+  const std::string nasty = "a#b@c\\d##@@";
+  auto back = codec::Unescape(codec::Escape(nasty));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, nasty);
+}
+
+TEST(CodecTest, EscapedStringHasNoBareDelimiters) {
+  const std::string escaped = codec::Escape("x#y@z");
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    if (escaped[i] == '#' || escaped[i] == '@') {
+      ASSERT_GT(i, 0u);
+      EXPECT_EQ(escaped[i - 1], '\\');
+    }
+  }
+}
+
+TEST(CodecTest, FieldsRoundTrip) {
+  std::vector<std::string> fields = {"plain", "with#hash", "with@at",
+                                     "back\\slash", ""};
+  auto back = codec::DecodeFields(codec::EncodeFields(fields));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, fields);
+}
+
+TEST(CodecTest, NestedFieldEncodingsRoundTrip) {
+  std::string inner = codec::EncodeFields({"a", "b#c"});
+  auto outer = codec::DecodeFields(codec::EncodeFields({inner, "tail"}));
+  ASSERT_TRUE(outer.ok());
+  ASSERT_EQ(outer->size(), 2u);
+  EXPECT_EQ((*outer)[0], inner);
+  auto inner_back = codec::DecodeFields((*outer)[0]);
+  ASSERT_TRUE(inner_back.ok());
+  EXPECT_EQ((*inner_back)[1], "b#c");
+}
+
+TEST(CodecTest, IntsRoundTrip) {
+  std::vector<int64_t> values = {0, -1, 42, 9223372036854775807LL,
+                                 -9223372036854775807LL};
+  auto back = codec::DecodeInts(codec::EncodeInts(values));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, values);
+}
+
+TEST(CodecTest, EmptyIntsRoundTrip) {
+  auto back = codec::DecodeInts(codec::EncodeInts({}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(CodecTest, MalformedIntsRejected) {
+  EXPECT_FALSE(codec::DecodeInts("1,two,3").ok());
+  EXPECT_FALSE(codec::DecodeInts("1,,3").ok());
+}
+
+TEST(CodecTest, DanglingEscapeRejected) {
+  EXPECT_FALSE(codec::Unescape("abc\\").ok());
+  EXPECT_FALSE(codec::DecodeFields("abc\\").ok());
+}
+
+TEST(CodecTest, PadPairRoundTrip) {
+  auto back = codec::UnpadPair(codec::PadPair("left@x", "right#y"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->first, "left@x");
+  EXPECT_EQ(back->second, "right#y");
+}
+
+TEST(CodecTest, PadPairWithEmptyParts) {
+  auto back = codec::UnpadPair(codec::PadPair("", ""));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->first, "");
+  EXPECT_EQ(back->second, "");
+}
+
+TEST(CodecTest, UnpadWithoutPadSymbolFails) {
+  EXPECT_FALSE(codec::UnpadPair("no-symbol-here").ok());
+}
+
+// Property sweep: random strings survive Escape/Unescape and PadPair.
+class CodecPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CodecPropertyTest, RandomRoundTrips) {
+  Rng rng(GetParam());
+  const char alphabet[] = "ab#@\\,01";
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string left, right;
+    for (uint64_t i = rng.NextBelow(20); i > 0; --i) {
+      left.push_back(alphabet[rng.NextBelow(sizeof(alphabet) - 1)]);
+    }
+    for (uint64_t i = rng.NextBelow(20); i > 0; --i) {
+      right.push_back(alphabet[rng.NextBelow(sizeof(alphabet) - 1)]);
+    }
+    auto pair_back = codec::UnpadPair(codec::PadPair(left, right));
+    ASSERT_TRUE(pair_back.ok());
+    EXPECT_EQ(pair_back->first, left);
+    EXPECT_EQ(pair_back->second, right);
+    auto fields_back = codec::DecodeFields(codec::EncodeFields({left, right}));
+    ASSERT_TRUE(fields_back.ok());
+    EXPECT_EQ((*fields_back)[0], left);
+    EXPECT_EQ((*fields_back)[1], right);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace pitract

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "compress/bisim_compress.h"
+#include "compress/reach_compress.h"
+#include "graph/algos.h"
+#include "graph/generators.h"
+
+namespace pitract {
+namespace compress {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reachability-preserving compression
+// ---------------------------------------------------------------------------
+
+TEST(ReachCompressTest, SccsCollapse) {
+  // A 3-cycle followed by a tail compresses the cycle into one class.
+  auto g = graph::Graph::FromEdges(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}}, true);
+  ASSERT_TRUE(g.ok());
+  auto rc = ReachCompressed::Build(*g, nullptr);
+  EXPECT_LE(rc.compressed().num_nodes(), 2);
+  EXPECT_TRUE(*rc.Reachable(0, 3, nullptr));
+  EXPECT_TRUE(*rc.Reachable(1, 0, nullptr));
+  EXPECT_FALSE(*rc.Reachable(3, 0, nullptr));
+}
+
+TEST(ReachCompressTest, ParallelSiblingsMergeButStayUnreachable) {
+  // b and b' both sit between a and c: equal ancestor/descendant sets, so
+  // they merge — yet reach(b, b') must remain false.
+  auto g = graph::Graph::FromEdges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, true);
+  ASSERT_TRUE(g.ok());
+  auto rc = ReachCompressed::Build(*g, nullptr);
+  EXPECT_EQ(rc.compressed().num_nodes(), 3) << "a, {b, b'}, c";
+  EXPECT_FALSE(*rc.Reachable(1, 2, nullptr));
+  EXPECT_FALSE(*rc.Reachable(2, 1, nullptr));
+  EXPECT_TRUE(*rc.Reachable(1, 3, nullptr));
+  EXPECT_TRUE(*rc.Reachable(0, 3, nullptr));
+}
+
+TEST(ReachCompressTest, StarCompressesHard) {
+  // All leaves of a directed out-star share (anc, desc) signatures.
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  for (graph::NodeId i = 1; i < 100; ++i) edges.emplace_back(0, i);
+  auto g = graph::Graph::FromEdges(100, edges, true);
+  ASSERT_TRUE(g.ok());
+  auto rc = ReachCompressed::Build(*g, nullptr);
+  EXPECT_EQ(rc.compressed().num_nodes(), 2) << "root class + leaf class";
+  EXPECT_LT(rc.NodeRatio(), 0.05);
+}
+
+TEST(ReachCompressTest, EmptyAndSingleton) {
+  auto empty = graph::Graph::FromEdges(0, {}, true);
+  ASSERT_TRUE(empty.ok());
+  auto rc_empty = ReachCompressed::Build(*empty, nullptr);
+  EXPECT_EQ(rc_empty.compressed().num_nodes(), 0);
+  auto one = graph::Graph::FromEdges(1, {}, true);
+  ASSERT_TRUE(one.ok());
+  auto rc_one = ReachCompressed::Build(*one, nullptr);
+  EXPECT_TRUE(*rc_one.Reachable(0, 0, nullptr));
+}
+
+struct CompressParam {
+  uint64_t seed;
+  graph::NodeId n;
+  int64_t m;
+};
+
+class ReachCompressPropertyTest
+    : public ::testing::TestWithParam<CompressParam> {};
+
+TEST_P(ReachCompressPropertyTest, PreservesEveryReachabilityAnswer) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  graph::Graph g = graph::ErdosRenyi(param.n, param.m, true, &rng);
+  CostMeter pre;
+  auto rc = ReachCompressed::Build(g, &pre);
+  EXPECT_GT(pre.work(), 0);
+  EXPECT_LE(rc.compressed().num_nodes(), g.num_nodes());
+  // Exhaustive on small graphs: the compression must be *query preserving*.
+  for (graph::NodeId u = 0; u < param.n; ++u) {
+    for (graph::NodeId v = 0; v < param.n; ++v) {
+      auto fast = rc.Reachable(u, v, nullptr);
+      ASSERT_TRUE(fast.ok());
+      EXPECT_EQ(*fast, graph::BfsReachable(g, u, v, nullptr))
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, ReachCompressPropertyTest,
+    ::testing::Values(CompressParam{1, 20, 10}, CompressParam{2, 20, 40},
+                      CompressParam{3, 40, 30}, CompressParam{4, 40, 120},
+                      CompressParam{5, 60, 60}, CompressParam{6, 25, 200}));
+
+TEST(ReachCompressTest, LayeredGraphsCompressByRole) {
+  // A layered crawl graph (complete bipartite between consecutive layers):
+  // every node in a layer has identical ancestor/descendant sets, so the
+  // compression collapses each layer to one class — the "many nodes play
+  // the same reachability role" effect that Fan et al. exploit on web and
+  // social graphs.
+  const int kLayers = 8;
+  const int kWidth = 32;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  for (int layer = 0; layer + 1 < kLayers; ++layer) {
+    for (int a = 0; a < kWidth; ++a) {
+      for (int b = 0; b < kWidth; ++b) {
+        edges.emplace_back(layer * kWidth + a, (layer + 1) * kWidth + b);
+      }
+    }
+  }
+  auto g = graph::Graph::FromEdges(kLayers * kWidth, edges, true);
+  ASSERT_TRUE(g.ok());
+  auto rc = ReachCompressed::Build(*g, nullptr);
+  EXPECT_EQ(rc.compressed().num_nodes(), kLayers);
+  EXPECT_LT(rc.NodeRatio(), 0.05);
+  // Spot-check preserved answers across the layer boundary.
+  EXPECT_TRUE(*rc.Reachable(0, kLayers * kWidth - 1, nullptr));
+  EXPECT_FALSE(*rc.Reachable(kWidth, 0, nullptr));
+  EXPECT_FALSE(*rc.Reachable(0, 1, nullptr)) << "same layer: incomparable";
+}
+
+TEST(ReachCompressTest, PowerLawGraphsStayExactEvenWhenIncompressible) {
+  Rng rng(100);
+  // Orienting a preferential-attachment graph along node ids yields a DAG
+  // whose 2-random-hub attachments give nearly distinct signatures — a
+  // worst case for this compression. Exactness must still hold.
+  graph::Graph undirected = graph::PreferentialAttachment(300, 2, &rng);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> arcs;
+  for (auto [u, v] : undirected.Edges()) {
+    arcs.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  auto g = graph::Graph::FromEdges(300, arcs, true);
+  ASSERT_TRUE(g.ok());
+  auto rc = ReachCompressed::Build(*g, nullptr);
+  EXPECT_LE(rc.NodeRatio(), 1.0);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto u = static_cast<graph::NodeId>(rng.NextBelow(300));
+    auto v = static_cast<graph::NodeId>(rng.NextBelow(300));
+    EXPECT_EQ(*rc.Reachable(u, v, nullptr),
+              graph::BfsReachable(*g, u, v, nullptr));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bisimulation compression
+// ---------------------------------------------------------------------------
+
+TEST(BisimTest, LabelsSeedThePartition) {
+  auto g = graph::Graph::FromEdges(4, {}, true);
+  ASSERT_TRUE(g.ok());
+  auto bc = BisimCompressed::Build(*g, {7, 7, 8, 8}, nullptr);
+  ASSERT_TRUE(bc.ok());
+  EXPECT_EQ(bc->num_blocks(), 2);
+  EXPECT_EQ(bc->BlockOf(0), bc->BlockOf(1));
+  EXPECT_NE(bc->BlockOf(0), bc->BlockOf(2));
+}
+
+TEST(BisimTest, SuccessorStructureSplits) {
+  // 0 -> 2, 1 -> 3; labels: 0,1 alike; 2 has label A, 3 label B. Then 0 and
+  // 1 must split because their successors' blocks differ.
+  auto g = graph::Graph::FromEdges(4, {{0, 2}, {1, 3}}, true);
+  ASSERT_TRUE(g.ok());
+  auto bc = BisimCompressed::Build(*g, {0, 0, 1, 2}, nullptr);
+  ASSERT_TRUE(bc.ok());
+  EXPECT_NE(bc->BlockOf(0), bc->BlockOf(1));
+}
+
+TEST(BisimTest, RejectsLabelArityMismatch) {
+  auto g = graph::Graph::FromEdges(3, {}, true);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(BisimCompressed::Build(*g, {1, 2}, nullptr).ok());
+}
+
+class BisimPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BisimPropertyTest, PartitionIsABisimulation) {
+  Rng rng(GetParam());
+  graph::Graph g = graph::ErdosRenyi(60, 150, true, &rng);
+  std::vector<int32_t> labels(60);
+  for (auto& l : labels) l = static_cast<int32_t>(rng.NextBelow(3));
+  auto bc = BisimCompressed::Build(g, labels, nullptr);
+  ASSERT_TRUE(bc.ok());
+  // Bisimulation property: same block => same label, and the *sets* of
+  // successor blocks coincide.
+  for (graph::NodeId u = 0; u < 60; ++u) {
+    for (graph::NodeId v = 0; v < 60; ++v) {
+      if (bc->BlockOf(u) != bc->BlockOf(v)) continue;
+      EXPECT_EQ(labels[static_cast<size_t>(u)], labels[static_cast<size_t>(v)]);
+      std::set<graph::NodeId> su, sv;
+      for (auto w : g.OutNeighbors(u)) su.insert(bc->BlockOf(w));
+      for (auto w : g.OutNeighbors(v)) sv.insert(bc->BlockOf(w));
+      EXPECT_EQ(su, sv) << "u=" << u << " v=" << v;
+    }
+  }
+  // Maximality on the quotient: no two distinct blocks could merge.
+  const graph::Graph& q = bc->quotient();
+  for (graph::NodeId a = 0; a < q.num_nodes(); ++a) {
+    for (graph::NodeId b = a + 1; b < q.num_nodes(); ++b) {
+      if (bc->BlockLabel(a) != bc->BlockLabel(b)) continue;
+      std::set<graph::NodeId> sa(q.OutNeighbors(a).begin(),
+                                 q.OutNeighbors(a).end());
+      std::set<graph::NodeId> sb(q.OutNeighbors(b).begin(),
+                                 q.OutNeighbors(b).end());
+      EXPECT_NE(sa, sb) << "blocks " << a << " and " << b
+                        << " are bisimilar but were not merged";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BisimPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(BisimTest, HasLabelPathMatchesOriginalGraph) {
+  Rng rng(101);
+  graph::Graph g = graph::ErdosRenyi(40, 100, true, &rng);
+  std::vector<int32_t> labels(40);
+  for (auto& l : labels) l = static_cast<int32_t>(rng.NextBelow(3));
+  auto bc = BisimCompressed::Build(g, labels, nullptr);
+  ASSERT_TRUE(bc.ok());
+  // Reference: label-path existence on the original graph.
+  auto reference = [&](const std::vector<int32_t>& path) {
+    std::vector<bool> current(40);
+    for (graph::NodeId v = 0; v < 40; ++v) {
+      current[static_cast<size_t>(v)] = labels[static_cast<size_t>(v)] == path[0];
+    }
+    for (size_t step = 1; step < path.size(); ++step) {
+      std::vector<bool> next(40, false);
+      for (graph::NodeId v = 0; v < 40; ++v) {
+        if (!current[static_cast<size_t>(v)]) continue;
+        for (auto w : g.OutNeighbors(v)) {
+          if (labels[static_cast<size_t>(w)] == path[step]) {
+            next[static_cast<size_t>(w)] = true;
+          }
+        }
+      }
+      current = std::move(next);
+    }
+    for (bool b : current) {
+      if (b) return true;
+    }
+    return false;
+  };
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<int32_t> path;
+    for (uint64_t len = 1 + rng.NextBelow(4); len > 0; --len) {
+      path.push_back(static_cast<int32_t>(rng.NextBelow(3)));
+    }
+    CostMeter m;
+    EXPECT_EQ(bc->HasLabelPath(path, &m), reference(path));
+  }
+}
+
+TEST(BisimTest, UniformLabelsOnRegularStructureCompress) {
+  // A long directed cycle with constant labels is bisimilar to one block.
+  graph::Graph g = graph::Cycle(64, true);
+  std::vector<int32_t> labels(64, 1);
+  auto bc = BisimCompressed::Build(g, labels, nullptr);
+  ASSERT_TRUE(bc.ok());
+  EXPECT_EQ(bc->num_blocks(), 1);
+  EXPECT_LT(bc->NodeRatio(), 0.05);
+}
+
+}  // namespace
+}  // namespace compress
+}  // namespace pitract

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/query_class.h"
+
+namespace pitract {
+namespace core {
+namespace {
+
+/// Contract tests for the typed query-class registry: every registered
+/// case must honour the QueryClassCase protocol the classifier and the
+/// benchmark harness rely on.
+
+class RegistryCaseTest : public ::testing::TestWithParam<int> {
+ protected:
+  std::unique_ptr<QueryClassCase> GetCase() {
+    auto cases = MakeAllCases();
+    return std::move(cases[static_cast<size_t>(GetParam())]);
+  }
+};
+
+TEST_P(RegistryCaseTest, HasIdentity) {
+  auto c = GetCase();
+  EXPECT_FALSE(c->name().empty());
+  EXPECT_FALSE(c->paper_anchor().empty());
+}
+
+TEST_P(RegistryCaseTest, AnswerBeforePreprocessFailsCleanly) {
+  auto c = GetCase();
+  ASSERT_TRUE(c->Generate(1 << 7, /*seed=*/3).ok());
+  auto answer = c->AnswerPrepared(0, nullptr);
+  EXPECT_FALSE(answer.ok())
+      << c->name() << " must reject prepared answering before Preprocess";
+  EXPECT_EQ(answer.status().code(), StatusCode::kFailedPrecondition);
+  // The baseline needs no preprocessing.
+  EXPECT_TRUE(c->AnswerBaseline(0, nullptr).ok());
+}
+
+TEST_P(RegistryCaseTest, PreparedAgreesWithBaselineOnEveryQuery) {
+  auto c = GetCase();
+  ASSERT_TRUE(c->Generate(1 << 8, /*seed=*/4).ok());
+  ASSERT_TRUE(c->Preprocess(nullptr).ok());
+  ASSERT_GE(c->num_queries(), 1);
+  for (int qi = 0; qi < c->num_queries(); ++qi) {
+    auto fast = c->AnswerPrepared(qi, nullptr);
+    auto slow = c->AnswerBaseline(qi, nullptr);
+    ASSERT_TRUE(fast.ok()) << c->name() << " qi=" << qi << ": "
+                           << fast.status().ToString();
+    ASSERT_TRUE(slow.ok()) << c->name() << " qi=" << qi;
+    EXPECT_EQ(*fast, *slow) << c->name() << " qi=" << qi;
+  }
+}
+
+TEST_P(RegistryCaseTest, RegenerationIsDeterministicInSeed) {
+  auto c = GetCase();
+  auto answers_for = [&](uint64_t seed) {
+    EXPECT_TRUE(c->Generate(1 << 7, seed).ok());
+    EXPECT_TRUE(c->Preprocess(nullptr).ok());
+    std::vector<bool> answers;
+    for (int qi = 0; qi < c->num_queries(); ++qi) {
+      auto a = c->AnswerPrepared(qi, nullptr);
+      EXPECT_TRUE(a.ok());
+      answers.push_back(a.ok() && *a);
+    }
+    return answers;
+  };
+  auto first = answers_for(9);
+  auto again = answers_for(9);
+  auto other = answers_for(10);
+  EXPECT_EQ(first, again) << c->name() << " must be reproducible";
+  (void)other;  // different seeds may or may not differ; just must not crash
+}
+
+TEST_P(RegistryCaseTest, PreprocessChargesPositiveWork) {
+  auto c = GetCase();
+  ASSERT_TRUE(c->Generate(1 << 8, /*seed=*/6).ok());
+  CostMeter meter;
+  ASSERT_TRUE(c->Preprocess(&meter).ok());
+  EXPECT_GT(meter.work(), 0) << c->name();
+}
+
+TEST_P(RegistryCaseTest, PreparedQueriesAreCheaperInDepthAtScale) {
+  auto c = GetCase();
+  ASSERT_TRUE(c->Generate(1 << 9, /*seed=*/7).ok());
+  ASSERT_TRUE(c->Preprocess(nullptr).ok());
+  double prepared = 0;
+  double baseline = 0;
+  for (int qi = 0; qi < c->num_queries(); ++qi) {
+    CostMeter pm, bm;
+    ASSERT_TRUE(c->AnswerPrepared(qi, &pm).ok());
+    ASSERT_TRUE(c->AnswerBaseline(qi, &bm).ok());
+    prepared += static_cast<double>(pm.depth());
+    baseline += static_cast<double>(bm.depth());
+  }
+  EXPECT_LT(prepared, baseline)
+      << c->name() << ": preprocessing must pay off on average";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, RegistryCaseTest,
+                         ::testing::Range(0, 10),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           auto cases = MakeAllCases();
+                           std::string name =
+                               cases[static_cast<size_t>(info.param)]->name();
+                           for (char& c : name) {
+                             if (c == '-') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(RegistryTest, NamesAreUniqueAndStable) {
+  auto cases = MakeAllCases();
+  EXPECT_EQ(cases.size(), 10u);
+  std::set<std::string> names;
+  for (const auto& c : cases) {
+    EXPECT_TRUE(names.insert(c->name()).second)
+        << "duplicate case name " << c->name();
+  }
+  EXPECT_TRUE(names.count("point-selection"));
+  EXPECT_TRUE(names.count("breadth-depth-search"));
+  EXPECT_TRUE(names.count("cvp-refactorized"));
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace pitract

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/classifier.h"
+#include "core/query_class.h"
+
+namespace pitract {
+namespace core {
+namespace {
+
+const std::vector<int64_t> kSweep = {1 << 8, 1 << 9, 1 << 10, 1 << 11};
+
+std::unique_ptr<QueryClassCase> FindCase(const std::string& name) {
+  for (auto& c : MakeAllCases()) {
+    if (c->name() == name) return std::move(c);
+  }
+  return nullptr;
+}
+
+TEST(LogLogSlopeTest, RecoversPolynomialDegrees) {
+  std::vector<std::pair<double, double>> linear, quadratic, constant;
+  for (double n : {256.0, 512.0, 1024.0, 2048.0}) {
+    linear.emplace_back(n, 3 * n);
+    quadratic.emplace_back(n, 0.5 * n * n);
+    constant.emplace_back(n, 7.0);
+  }
+  EXPECT_NEAR(LogLogSlope(linear), 1.0, 0.01);
+  EXPECT_NEAR(LogLogSlope(quadratic), 2.0, 0.01);
+  EXPECT_NEAR(LogLogSlope(constant), 0.0, 0.01);
+}
+
+TEST(LogLogSlopeTest, LogCurveIsBelowThreshold) {
+  std::vector<std::pair<double, double>> logs;
+  for (double n : {256.0, 512.0, 1024.0, 2048.0, 4096.0}) {
+    logs.emplace_back(n, std::log2(n));
+  }
+  EXPECT_LT(LogLogSlope(logs), kPolylogSlopeThreshold);
+}
+
+TEST(LogLogSlopeTest, DegenerateInputs) {
+  EXPECT_EQ(LogLogSlope({}), 0.0);
+  EXPECT_EQ(LogLogSlope({{100.0, 5.0}}), 0.0);
+}
+
+TEST(ClassifierTest, PointSelectionIsPiTractable) {
+  auto c = FindCase("point-selection");
+  ASSERT_NE(c, nullptr);
+  auto result = Classify(c.get(), kSweep, /*seed=*/1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->pi_tractable);
+  EXPECT_TRUE(result->prepared_polylog);
+  EXPECT_FALSE(result->baseline_polylog)
+      << "the linear scan must not look polylog";
+  EXPECT_GT(result->baseline_slope, 0.6);
+  EXPECT_LE(result->preprocess_degree, 2.0);
+}
+
+TEST(ClassifierTest, ListMembershipIsPiTractable) {
+  auto c = FindCase("list-membership");
+  ASSERT_NE(c, nullptr);
+  auto result = Classify(c.get(), kSweep, 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->pi_tractable);
+  EXPECT_FALSE(result->baseline_polylog);
+}
+
+TEST(ClassifierTest, ReachabilityIsPiTractable) {
+  auto c = FindCase("graph-reachability");
+  ASSERT_NE(c, nullptr);
+  auto result = Classify(c.get(), kSweep, 3);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->pi_tractable);
+  EXPECT_NEAR(result->prepared_slope, 0.0, 0.05) << "O(1) matrix probes";
+}
+
+TEST(ClassifierTest, BdsIsPiTractableAfterPreprocessing) {
+  auto c = FindCase("breadth-depth-search");
+  ASSERT_NE(c, nullptr);
+  auto result = Classify(c.get(), kSweep, 4);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->pi_tractable)
+      << "Example 5: P-complete BDS becomes polylog with preprocessing";
+  EXPECT_FALSE(result->baseline_polylog)
+      << "without preprocessing every query re-runs the search";
+}
+
+TEST(ClassifierTest, RefactorizedCvpIsPiTractableButY0BaselineIsNot) {
+  auto c = FindCase("cvp-refactorized");
+  ASSERT_NE(c, nullptr);
+  auto result = Classify(c.get(), kSweep, 5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->pi_tractable)
+      << "Corollary 6 direction: the data-carrying factorization works";
+  EXPECT_FALSE(result->baseline_polylog)
+      << "Theorem 9 direction: under Y0 the per-query evaluation stays deep";
+  EXPECT_GT(result->baseline_slope, 0.8);
+}
+
+TEST(ClassifierTest, EveryRegisteredCaseClassifies) {
+  // Smoke sweep across the whole registry at small sizes; Classify itself
+  // asserts prepared/baseline answer agreement on every query.
+  const std::vector<int64_t> tiny = {1 << 7, 1 << 8, 1 << 9};
+  auto cases = MakeAllCases();
+  std::vector<Classification> rows;
+  for (auto& c : cases) {
+    auto result = Classify(c.get(), tiny, 6);
+    ASSERT_TRUE(result.ok()) << c->name() << ": " << result.status().ToString();
+    rows.push_back(*result);
+  }
+  EXPECT_EQ(rows.size(), cases.size());
+  std::string report = LandscapeReport(rows);
+  for (const auto& row : rows) {
+    EXPECT_NE(report.find(row.name), std::string::npos);
+  }
+}
+
+TEST(ClassifierTest, SweepPointsAreRecorded) {
+  auto c = FindCase("range-minimum");
+  ASSERT_NE(c, nullptr);
+  auto result = Classify(c.get(), kSweep, 7);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->points.size(), kSweep.size());
+  for (size_t i = 0; i < kSweep.size(); ++i) {
+    EXPECT_EQ(result->points[i].n, kSweep[i]);
+    EXPECT_GT(result->points[i].preprocess_work, 0);
+    EXPECT_GT(result->points[i].baseline_depth,
+              result->points[i].prepared_depth);
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace pitract

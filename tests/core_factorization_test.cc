@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "common/codec.h"
+#include "common/rng.h"
+#include "core/factorization.h"
+#include "core/language.h"
+#include "core/problems.h"
+#include "graph/generators.h"
+
+namespace pitract {
+namespace core {
+namespace {
+
+TEST(FactorizationTest, TrivialLaw) {
+  Factorization f = TrivialFactorization();
+  EXPECT_TRUE(VerifyFactorization(f, "any#instance@string").ok());
+  EXPECT_EQ(*f.pi1("x"), "x");
+  EXPECT_EQ(*f.pi2("x"), "x");
+  EXPECT_FALSE(f.rho("a", "b").ok()) << "halves must agree";
+}
+
+TEST(FactorizationTest, EmptyDataLaw) {
+  Factorization f = EmptyDataFactorization();
+  EXPECT_TRUE(VerifyFactorization(f, "whole-instance").ok());
+  EXPECT_EQ(*f.pi1("whole-instance"), "");
+  EXPECT_EQ(*f.pi2("whole-instance"), "whole-instance");
+  EXPECT_FALSE(f.rho("not-empty", "q").ok());
+}
+
+TEST(FactorizationTest, EmptyQueryLaw) {
+  Factorization f = EmptyQueryFactorization();
+  EXPECT_TRUE(VerifyFactorization(f, "whole-instance").ok());
+  EXPECT_EQ(*f.pi2("whole-instance"), "");
+}
+
+TEST(FactorizationTest, FieldSplit) {
+  Factorization f = FieldSplitFactorization("Y_test", 2);
+  const std::string x = codec::EncodeFields({"data1", "data2", "q1", "q2"});
+  EXPECT_TRUE(VerifyFactorization(f, x).ok());
+  EXPECT_EQ(*f.pi1(x), codec::EncodeFields({"data1", "data2"}));
+  EXPECT_EQ(*f.pi2(x), codec::EncodeFields({"q1", "q2"}));
+}
+
+TEST(FactorizationTest, FieldSplitWithEscapedDelimiters) {
+  Factorization f = FieldSplitFactorization("Y_test", 1);
+  const std::string x = codec::EncodeFields({"da#ta", "que@ry"});
+  ASSERT_TRUE(VerifyFactorization(f, x).ok());
+  auto q = f.pi2(x);
+  ASSERT_TRUE(q.ok());
+  auto decoded = codec::DecodeFields(*q);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ((*decoded)[0], "que@ry");
+}
+
+TEST(FactorizationTest, FieldSplitTooFewFields) {
+  Factorization f = FieldSplitFactorization("Y_test", 5);
+  EXPECT_FALSE(f.pi1(codec::EncodeFields({"only", "two"})).ok());
+}
+
+TEST(FactorizationTest, CanonicalProblemFactorizationsSatisfyLaw) {
+  Rng rng(140);
+  graph::Graph g = graph::ErdosRenyi(20, 40, false, &rng);
+  EXPECT_TRUE(
+      VerifyFactorization(ConnFactorization(), MakeConnInstance(g, 1, 2)).ok());
+  EXPECT_TRUE(
+      VerifyFactorization(BdsFactorization(), MakeBdsInstance(g, 3, 4)).ok());
+  EXPECT_TRUE(VerifyFactorization(MemberFactorization(),
+                                  MakeMemberInstance(10, {1, 2, 3}, 2))
+                  .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Languages of pairs / Proposition 1
+// ---------------------------------------------------------------------------
+
+TEST(LanguageOfPairsTest, MembershipViaRestore) {
+  LanguageOfPairs s(ListMembershipProblem(), MemberFactorization());
+  const std::string yes = MakeMemberInstance(10, {1, 5, 7}, 5);
+  const std::string no = MakeMemberInstance(10, {1, 5, 7}, 6);
+  auto data_yes = s.factorization().pi1(yes);
+  auto query_yes = s.factorization().pi2(yes);
+  ASSERT_TRUE(data_yes.ok() && query_yes.ok());
+  EXPECT_TRUE(*s.Contains(*data_yes, *query_yes));
+  auto data_no = s.factorization().pi1(no);
+  auto query_no = s.factorization().pi2(no);
+  EXPECT_FALSE(*s.Contains(*data_no, *query_no));
+}
+
+TEST(LanguageOfPairsTest, Proposition1RestoresUniqueInstance) {
+  // ρ(π₁(x), π₂(x)) must reproduce x exactly, so pair membership is
+  // instance membership (Proposition 1).
+  Rng rng(141);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int64_t> list;
+    for (uint64_t i = rng.NextBelow(8); i > 0; --i) {
+      list.push_back(static_cast<int64_t>(rng.NextBelow(20)));
+    }
+    std::string x = MakeMemberInstance(20, list, static_cast<int64_t>(rng.NextBelow(20)));
+    Factorization f = MemberFactorization();
+    auto restored = f.rho(*f.pi1(x), *f.pi2(x));
+    ASSERT_TRUE(restored.ok());
+    EXPECT_EQ(*restored, x);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reference problem semantics
+// ---------------------------------------------------------------------------
+
+TEST(ProblemsTest, MemberSemantics) {
+  auto p = ListMembershipProblem();
+  EXPECT_TRUE(*p.contains(MakeMemberInstance(10, {3, 1, 4}, 4)));
+  EXPECT_FALSE(*p.contains(MakeMemberInstance(10, {3, 1, 4}, 5)));
+  EXPECT_FALSE(*p.contains(MakeMemberInstance(10, {}, 0)));
+  EXPECT_FALSE(p.contains("garbage").ok());
+}
+
+TEST(ProblemsTest, ConnSemantics) {
+  auto g = graph::Graph::FromEdges(4, {{0, 1}, {2, 3}}, false);
+  ASSERT_TRUE(g.ok());
+  auto p = ConnectivityProblem();
+  EXPECT_TRUE(*p.contains(MakeConnInstance(*g, 0, 1)));
+  EXPECT_FALSE(*p.contains(MakeConnInstance(*g, 0, 2)));
+  EXPECT_TRUE(*p.contains(MakeConnInstance(*g, 3, 3)));
+  EXPECT_FALSE(p.contains(MakeConnInstance(*g, 0, 9)).ok());
+}
+
+TEST(ProblemsTest, BdsSemantics) {
+  auto g = graph::Graph::FromEdges(6, {{0, 4}, {0, 5}, {4, 1}, {5, 2}}, false);
+  ASSERT_TRUE(g.ok());
+  auto p = BdsProblem();
+  // Visit order is 0, 4, 5, 1, 2, 3 (see bds_test).
+  EXPECT_TRUE(*p.contains(MakeBdsInstance(*g, 4, 5)));
+  EXPECT_TRUE(*p.contains(MakeBdsInstance(*g, 2, 3)));
+  EXPECT_FALSE(*p.contains(MakeBdsInstance(*g, 1, 5)));
+  EXPECT_FALSE(*p.contains(MakeBdsInstance(*g, 3, 3)));
+}
+
+TEST(ProblemsTest, CvpAndGvpSemantics) {
+  circuit::Circuit c;
+  auto x0 = c.AddInput();
+  auto x1 = c.AddInput();
+  auto a = c.AddAnd(x0, x1);
+  c.set_output(a);
+  circuit::CvpInstance instance;
+  instance.circuit = c;
+  instance.assignment = {1, 1};
+  EXPECT_TRUE(*CvpProblem().contains(MakeCvpInstanceString(instance)));
+  instance.assignment = {1, 0};
+  EXPECT_FALSE(*CvpProblem().contains(MakeCvpInstanceString(instance)));
+  // GVP can probe inner gates.
+  EXPECT_TRUE(*GateValueProblem().contains(MakeGvpInstance(instance, x0)));
+  EXPECT_FALSE(*GateValueProblem().contains(MakeGvpInstance(instance, a)));
+  EXPECT_FALSE(GateValueProblem().contains(MakeGvpInstance(instance, 99)).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace pitract

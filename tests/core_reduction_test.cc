@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "circuit/generators.h"
+#include "common/codec.h"
+#include "common/rng.h"
+#include "core/problems.h"
+#include "core/reduction.h"
+#include "graph/generators.h"
+
+namespace pitract {
+namespace core {
+namespace {
+
+std::string RandomMemberInstance(Rng* rng, int64_t universe) {
+  std::vector<int64_t> list;
+  for (uint64_t i = 1 + rng->NextBelow(12); i > 0; --i) {
+    list.push_back(
+        static_cast<int64_t>(rng->NextBelow(static_cast<uint64_t>(universe))));
+  }
+  return MakeMemberInstance(
+      universe, list,
+      static_cast<int64_t>(rng->NextBelow(static_cast<uint64_t>(universe))));
+}
+
+std::string RandomConnInstance(Rng* rng, graph::NodeId n, int64_t m) {
+  graph::Graph g = graph::ErdosRenyi(n, m, /*directed=*/false, rng);
+  auto s = static_cast<graph::NodeId>(rng->NextBelow(static_cast<uint64_t>(n)));
+  auto t = static_cast<graph::NodeId>(rng->NextBelow(static_cast<uint64_t>(n)));
+  return MakeConnInstance(g, s, t);
+}
+
+// ---------------------------------------------------------------------------
+// Definition 4: the concrete reductions preserve membership.
+// ---------------------------------------------------------------------------
+
+TEST(MemberToConnTest, PreservesMembershipOnRandomInstances) {
+  Rng rng(150);
+  auto r = MemberToConnReduction();
+  auto l1 = ListMembershipProblem();
+  auto l2 = ConnectivityProblem();
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string x = RandomMemberInstance(&rng, 16);
+    EXPECT_TRUE(VerifyReductionOnInstance(l1, r, l2, x).ok())
+        << "instance: " << x;
+  }
+}
+
+TEST(MemberToConnTest, EmptyListMapsToNoAnswer) {
+  auto r = MemberToConnReduction();
+  EXPECT_TRUE(VerifyReductionOnInstance(ListMembershipProblem(), r,
+                                        ConnectivityProblem(),
+                                        MakeMemberInstance(5, {}, 3))
+                  .ok());
+}
+
+TEST(MemberToConnTest, AlphaTouchesOnlyData) {
+  // α must be a pure function of the data part: same list, different query
+  // element => identical mapped graphs.
+  auto r = MemberToConnReduction();
+  auto d = FieldSplitFactorization("Y", 1).pi1(MakeMemberInstance(8, {1, 2}, 1));
+  ASSERT_TRUE(d.ok());
+  auto g1 = r.alpha(*d);
+  auto g2 = r.alpha(*d);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  EXPECT_EQ(*g1, *g2);
+}
+
+TEST(ConnToBdsTest, PreservesMembershipOnRandomInstances) {
+  Rng rng(151);
+  auto r = ConnToBdsReduction();
+  auto l1 = ConnectivityProblem();
+  auto l2 = BdsProblem();
+  for (int trial = 0; trial < 40; ++trial) {
+    // Sparse graphs: plenty of disconnected pairs.
+    std::string x = RandomConnInstance(&rng, 24, 12);
+    EXPECT_TRUE(VerifyReductionOnInstance(l1, r, l2, x).ok())
+        << "instance: " << x;
+  }
+  for (int trial = 0; trial < 40; ++trial) {
+    // Dense graphs: mostly connected pairs.
+    std::string x = RandomConnInstance(&rng, 24, 60);
+    EXPECT_TRUE(VerifyReductionOnInstance(l1, r, l2, x).ok());
+  }
+}
+
+TEST(ConnToBdsTest, SourceEqualsTargetNode) {
+  Rng rng(152);
+  graph::Graph g = graph::ErdosRenyi(10, 15, false, &rng);
+  EXPECT_TRUE(VerifyReductionOnInstance(ConnectivityProblem(),
+                                        ConnToBdsReduction(), BdsProblem(),
+                                        MakeConnInstance(g, 4, 4))
+                  .ok());
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 2: composition through the padding construction.
+// ---------------------------------------------------------------------------
+
+TEST(ComposeTest, MemberThroughConnToBds) {
+  Rng rng(153);
+  auto composed = Compose(MemberToConnReduction(), ConnToBdsReduction());
+  auto l1 = ListMembershipProblem();
+  auto l3 = BdsProblem();
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string x = RandomMemberInstance(&rng, 12);
+    EXPECT_TRUE(VerifyReductionOnInstance(l1, composed, l3, x).ok())
+        << "instance: " << x;
+  }
+}
+
+TEST(ComposeTest, PaddedFactorizationSatisfiesLaw) {
+  auto composed = Compose(MemberToConnReduction(), ConnToBdsReduction());
+  const std::string x = MakeMemberInstance(6, {0, 3}, 3);
+  EXPECT_TRUE(VerifyFactorization(composed.source_factorization, x).ok());
+  // Both parts carry the padded instance.
+  auto d = composed.source_factorization.pi1(x);
+  auto q = composed.source_factorization.pi2(x);
+  ASSERT_TRUE(d.ok() && q.ok());
+  EXPECT_EQ(*d, *q) << "σ₁ = σ₂ in the Lemma 2 construction";
+}
+
+TEST(ComposeTest, ThreeWayAssociativeBehaviour) {
+  // Compose twice with an identity-on-BDS reduction; answers must persist.
+  NcFactorReduction identity;
+  identity.name = "bds-id";
+  identity.source_factorization = BdsFactorization();
+  identity.target_factorization = BdsFactorization();
+  identity.alpha = [](const std::string& d) -> Result<std::string> {
+    return d;
+  };
+  identity.beta = [](const std::string& q) -> Result<std::string> {
+    return q;
+  };
+  Rng rng(154);
+  auto chained =
+      Compose(Compose(MemberToConnReduction(), ConnToBdsReduction()), identity);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string x = RandomMemberInstance(&rng, 10);
+    EXPECT_TRUE(VerifyReductionOnInstance(ListMembershipProblem(), chained,
+                                          BdsProblem(), x)
+                    .ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// F-reductions (Definition 7 / Lemma 8).
+// ---------------------------------------------------------------------------
+
+TEST(FReductionTest, CvpToNandPreservesPairs) {
+  Rng rng(155);
+  auto r = CvpToNandFReduction();
+  LanguageOfPairs s1(CvpProblem(), CvpCircuitDataFactorization());
+  LanguageOfPairs s2(CvpProblem(), CvpCircuitDataFactorization());
+  for (int trial = 0; trial < 30; ++trial) {
+    circuit::CircuitGenOptions options;
+    options.num_inputs = 6;
+    options.num_gates = 32;
+    auto instance = circuit::RandomCvpInstance(options, &rng);
+    auto x = MakeCvpInstanceString(instance);
+    auto d = s1.factorization().pi1(x);
+    auto q = s1.factorization().pi2(x);
+    ASSERT_TRUE(d.ok() && q.ok());
+    EXPECT_TRUE(VerifyFReductionOnPair(s1, r, s2, *d, *q).ok());
+  }
+}
+
+TEST(FReductionTest, CvpToMonotonePreservesPairs) {
+  Rng rng(156);
+  auto r = CvpToMonotoneFReduction();
+  LanguageOfPairs s1(CvpProblem(), CvpCircuitDataFactorization());
+  LanguageOfPairs s2(CvpProblem(), CvpCircuitDataFactorization());
+  for (int trial = 0; trial < 30; ++trial) {
+    circuit::CircuitGenOptions options;
+    options.num_inputs = 5;
+    options.num_gates = 24;
+    options.not_probability = 0.4;
+    auto instance = circuit::RandomCvpInstance(options, &rng);
+    auto x = MakeCvpInstanceString(instance);
+    auto d = s1.factorization().pi1(x);
+    auto q = s1.factorization().pi2(x);
+    ASSERT_TRUE(d.ok() && q.ok());
+    EXPECT_TRUE(VerifyFReductionOnPair(s1, r, s2, *d, *q).ok());
+  }
+}
+
+TEST(FReductionTest, ComposeFChainsBothMaps) {
+  // NAND then monotone: the composed F-reduction still preserves answers.
+  Rng rng(157);
+  auto r = ComposeF(CvpToNandFReduction(), CvpToMonotoneFReduction());
+  LanguageOfPairs s(CvpProblem(), CvpCircuitDataFactorization());
+  for (int trial = 0; trial < 20; ++trial) {
+    circuit::CircuitGenOptions options;
+    options.num_inputs = 4;
+    options.num_gates = 16;
+    auto instance = circuit::RandomCvpInstance(options, &rng);
+    auto x = MakeCvpInstanceString(instance);
+    auto d = s.factorization().pi1(x);
+    auto q = s.factorization().pi2(x);
+    ASSERT_TRUE(d.ok() && q.ok());
+    EXPECT_TRUE(VerifyFReductionOnPair(s, r, s, *d, *q).ok());
+  }
+}
+
+TEST(ReductionTest, BrokenReductionIsDetected) {
+  // Sanity-check the verifier itself: a wrong β must be flagged.
+  auto r = MemberToConnReduction();
+  r.beta = [](const std::string&) -> Result<std::string> {
+    return codec::EncodeFields({"0", "0"});  // always asks conn(0, 0) = true
+  };
+  Rng rng(158);
+  int failures = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    std::string x = RandomMemberInstance(&rng, 16);
+    if (!VerifyReductionOnInstance(ListMembershipProblem(), r,
+                                   ConnectivityProblem(), x)
+             .ok()) {
+      ++failures;
+    }
+  }
+  EXPECT_GT(failures, 0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace pitract

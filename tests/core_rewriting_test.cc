@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/codec.h"
+#include "common/rng.h"
+#include "core/problems.h"
+
+namespace pitract {
+namespace core {
+namespace {
+
+std::vector<int64_t> RandomPredicate(Rng* rng, int64_t universe) {
+  switch (rng->NextBelow(4)) {
+    case 0:
+      return {0, rng->NextInRange(0, universe)};  // eq
+    case 1:
+      return {1, rng->NextInRange(-2, universe)};  // le
+    case 2:
+      return {2, rng->NextInRange(0, universe + 2)};  // ge
+    default: {
+      int64_t a = rng->NextInRange(0, universe);
+      int64_t b = rng->NextInRange(0, universe);
+      return {3, std::min(a, b), std::max(a, b)};  // between
+    }
+  }
+}
+
+TEST(RewritingTest, SelectionProblemSemantics) {
+  auto p = PredicateSelectionProblem();
+  const std::vector<int64_t> list = {3, 7, 10};
+  EXPECT_TRUE(*p.contains(MakeSelectionInstance(16, list, {0, 7})));
+  EXPECT_FALSE(*p.contains(MakeSelectionInstance(16, list, {0, 8})));
+  EXPECT_TRUE(*p.contains(MakeSelectionInstance(16, list, {1, 3})));
+  EXPECT_FALSE(*p.contains(MakeSelectionInstance(16, list, {1, 2})));
+  EXPECT_TRUE(*p.contains(MakeSelectionInstance(16, list, {2, 10})));
+  EXPECT_FALSE(*p.contains(MakeSelectionInstance(16, list, {2, 11})));
+  EXPECT_TRUE(*p.contains(MakeSelectionInstance(16, list, {3, 4, 8})));
+  EXPECT_FALSE(*p.contains(MakeSelectionInstance(16, list, {3, 4, 6})));
+  EXPECT_FALSE(p.contains(MakeSelectionInstance(16, list, {9, 1})).ok())
+      << "unknown op rejected";
+  EXPECT_FALSE(p.contains(MakeSelectionInstance(16, list, {3, 4})).ok())
+      << "between needs two arguments";
+}
+
+TEST(RewritingTest, LambdaNormalizesPredicates) {
+  auto rewriter = IntervalNormalizingRewriter();
+  auto eq = rewriter.lambda(codec::EncodeInts({0, 5}));
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ(*codec::DecodeInts(*eq), (std::vector<int64_t>{5, 5}));
+  auto between = rewriter.lambda(codec::EncodeInts({3, 2, 9}));
+  ASSERT_TRUE(between.ok());
+  EXPECT_EQ(*codec::DecodeInts(*between), (std::vector<int64_t>{2, 9}));
+  EXPECT_FALSE(rewriter.lambda("junk").ok());
+}
+
+TEST(RewritingTest, RevisedDefinition1WitnessIsCorrect) {
+  // The paper's generalized setting: ⟨D, Q⟩ ∈ S iff ⟨Π(D), λ(Q)⟩ ∈ S′.
+  Rng rng(40);
+  auto witness =
+      ApplyRewriting(IntervalNormalizingRewriter(), IntervalWitness());
+  LanguageOfPairs s(PredicateSelectionProblem(), SelectionFactorization());
+  for (int trial = 0; trial < 120; ++trial) {
+    std::vector<int64_t> list;
+    for (uint64_t i = rng.NextBelow(12); i > 0; --i) {
+      list.push_back(rng.NextInRange(0, 20));
+    }
+    std::string x =
+        MakeSelectionInstance(20, list, RandomPredicate(&rng, 20));
+    EXPECT_TRUE(VerifyWitnessOnInstance(s, witness, x).ok()) << x;
+  }
+}
+
+TEST(RewritingTest, AnswerDepthStaysLogarithmicThroughLambda) {
+  Rng rng(41);
+  auto witness =
+      ApplyRewriting(IntervalNormalizingRewriter(), IntervalWitness());
+  std::vector<int64_t> big_list;
+  for (int64_t i = 0; i < (1 << 12); ++i) {
+    big_list.push_back(static_cast<int64_t>(rng.NextBelow(1 << 16)));
+  }
+  auto data = SelectionFactorization().pi1(
+      MakeSelectionInstance(1 << 16, big_list, {0, 0}));
+  ASSERT_TRUE(data.ok());
+  auto prepared = witness.preprocess(*data, nullptr);
+  ASSERT_TRUE(prepared.ok());
+  CostMeter m;
+  ASSERT_TRUE(
+      witness.answer(*prepared, codec::EncodeInts({3, 10, 5000}), &m).ok());
+  EXPECT_LE(m.depth(), 2 * (12 + 2))
+      << "λ adds only the rewrite, answering stays O(log n)";
+}
+
+TEST(RewritingTest, RewriterErrorsPropagate) {
+  auto witness =
+      ApplyRewriting(IntervalNormalizingRewriter(), IntervalWitness());
+  auto prepared = witness.preprocess(
+      *SelectionFactorization().pi1(MakeSelectionInstance(4, {1}, {0, 1})),
+      nullptr);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_FALSE(witness.answer(*prepared, "not-a-predicate", nullptr).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace pitract

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "circuit/generators.h"
+#include "common/codec.h"
+#include "common/rng.h"
+#include "core/problems.h"
+#include "core/reduction.h"
+#include "graph/generators.h"
+
+namespace pitract {
+namespace core {
+namespace {
+
+std::string RandomMemberInstance(Rng* rng, int64_t universe) {
+  std::vector<int64_t> list;
+  for (uint64_t i = 1 + rng->NextBelow(12); i > 0; --i) {
+    list.push_back(
+        static_cast<int64_t>(rng->NextBelow(static_cast<uint64_t>(universe))));
+  }
+  return MakeMemberInstance(
+      universe, list,
+      static_cast<int64_t>(rng->NextBelow(static_cast<uint64_t>(universe))));
+}
+
+// ---------------------------------------------------------------------------
+// Definition 1: each witness implements its language of pairs.
+// ---------------------------------------------------------------------------
+
+TEST(WitnessTest, MemberWitnessCorrect) {
+  Rng rng(160);
+  LanguageOfPairs s(ListMembershipProblem(), MemberFactorization());
+  PiWitness w = MemberWitness();
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string x = RandomMemberInstance(&rng, 20);
+    EXPECT_TRUE(VerifyWitnessOnInstance(s, w, x).ok()) << x;
+  }
+}
+
+TEST(WitnessTest, ConnWitnessCorrect) {
+  Rng rng(161);
+  LanguageOfPairs s(ConnectivityProblem(), ConnFactorization());
+  PiWitness w = ConnWitness();
+  for (int trial = 0; trial < 30; ++trial) {
+    graph::Graph g = graph::ErdosRenyi(20, 15, false, &rng);
+    auto a = static_cast<graph::NodeId>(rng.NextBelow(20));
+    auto b = static_cast<graph::NodeId>(rng.NextBelow(20));
+    EXPECT_TRUE(VerifyWitnessOnInstance(s, w, MakeConnInstance(g, a, b)).ok());
+  }
+}
+
+TEST(WitnessTest, BdsWitnessCorrect) {
+  Rng rng(162);
+  LanguageOfPairs s(BdsProblem(), BdsFactorization());
+  PiWitness w = BdsWitness();
+  for (int trial = 0; trial < 30; ++trial) {
+    graph::Graph g = graph::ErdosRenyi(24, 40, false, &rng);
+    auto a = static_cast<graph::NodeId>(rng.NextBelow(24));
+    auto b = static_cast<graph::NodeId>(rng.NextBelow(24));
+    EXPECT_TRUE(VerifyWitnessOnInstance(s, w, MakeBdsInstance(g, a, b)).ok());
+  }
+}
+
+TEST(WitnessTest, GvpWitnessCorrect) {
+  Rng rng(163);
+  LanguageOfPairs s(GateValueProblem(), GvpFactorization());
+  PiWitness w = GvpWitness();
+  for (int trial = 0; trial < 30; ++trial) {
+    circuit::CircuitGenOptions options;
+    options.num_inputs = 5;
+    options.num_gates = 32;
+    auto instance = circuit::RandomCvpInstance(options, &rng);
+    auto gate = static_cast<circuit::GateId>(
+        rng.NextBelow(static_cast<uint64_t>(instance.circuit.num_gates())));
+    EXPECT_TRUE(
+        VerifyWitnessOnInstance(s, w, MakeGvpInstance(instance, gate)).ok());
+  }
+}
+
+TEST(WitnessTest, CvpEmptyDataWitnessCorrectButDeep) {
+  Rng rng(164);
+  LanguageOfPairs s(CvpProblem(), EmptyDataFactorization());
+  PiWitness w = CvpEmptyDataWitness();
+  circuit::CircuitGenOptions options;
+  options.num_gates = 512;
+  options.deep = true;
+  for (int trial = 0; trial < 10; ++trial) {
+    auto instance = circuit::RandomCvpInstance(options, &rng);
+    std::string x = MakeCvpInstanceString(instance);
+    EXPECT_TRUE(VerifyWitnessOnInstance(s, w, x).ok());
+  }
+  // The Theorem 9 point: under Y0 the *query step* carries the whole
+  // evaluation — its depth grows with the circuit, unlike every real
+  // witness above.
+  auto shallow_instance = circuit::RandomCvpInstance(
+      {.num_inputs = 8, .num_gates = 64, .deep = true}, &rng);
+  auto deep_instance = circuit::RandomCvpInstance(
+      {.num_inputs = 8, .num_gates = 4096, .deep = true}, &rng);
+  CostMeter shallow_m, deep_m;
+  auto pre = w.preprocess("", nullptr);
+  ASSERT_TRUE(pre.ok());
+  ASSERT_TRUE(
+      w.answer(*pre, MakeCvpInstanceString(shallow_instance), &shallow_m).ok());
+  ASSERT_TRUE(
+      w.answer(*pre, MakeCvpInstanceString(deep_instance), &deep_m).ok());
+  EXPECT_GT(deep_m.depth(), 10 * shallow_m.depth());
+}
+
+TEST(WitnessTest, BdsWitnessAnswerDepthIsLogarithmic) {
+  Rng rng(165);
+  PiWitness w = BdsWitness();
+  graph::Graph g = graph::ErdosRenyi(1 << 10, 1 << 11, false, &rng);
+  auto data = BdsFactorization().pi1(MakeBdsInstance(g, 0, 1));
+  ASSERT_TRUE(data.ok());
+  auto prepared = w.preprocess(*data, nullptr);
+  ASSERT_TRUE(prepared.ok());
+  CostMeter m;
+  ASSERT_TRUE(w.answer(*prepared, codec::EncodeFields({"5", "9"}), &m).ok());
+  EXPECT_EQ(m.depth(), 2 * (10 + 1)) << "two binary searches on |M| = 2^10";
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 3: transported witnesses answer the source problem.
+// ---------------------------------------------------------------------------
+
+TEST(TransportTest, BdsWitnessSolvesConnectivity) {
+  Rng rng(166);
+  auto transported = Transport(ConnToBdsReduction(), BdsWitness());
+  LanguageOfPairs s(ConnectivityProblem(), TrivialFactorization());
+  for (int trial = 0; trial < 30; ++trial) {
+    graph::Graph g = graph::ErdosRenyi(20, 18, false, &rng);
+    auto a = static_cast<graph::NodeId>(rng.NextBelow(20));
+    auto b = static_cast<graph::NodeId>(rng.NextBelow(20));
+    std::string x = MakeConnInstance(g, a, b);
+    EXPECT_TRUE(VerifyWitnessOnInstance(s, transported, x).ok()) << x;
+  }
+}
+
+TEST(TransportTest, ComposedReductionSolvesMembershipThroughBds) {
+  // Member ≤ Conn ≤ BDS (Lemma 2), then Lemma 3 pulls the BDS witness all
+  // the way back: list membership answered by a breadth-depth search rank
+  // array. This is the Theorem 5 pipeline end to end.
+  Rng rng(167);
+  auto composed = Compose(MemberToConnReduction(), ConnToBdsReduction());
+  auto witness = Transport(composed, BdsWitness());
+  LanguageOfPairs s(ListMembershipProblem(), composed.source_factorization);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string x = RandomMemberInstance(&rng, 12);
+    EXPECT_TRUE(VerifyWitnessOnInstance(s, witness, x).ok()) << x;
+  }
+}
+
+TEST(TransportTest, TransportFPullsWitnessAcrossFReduction) {
+  // GVP-style: answer original CVP pairs through the NAND-rewritten
+  // circuit using the generic TransportF plumbing with a CVP witness on
+  // the target side.
+  Rng rng(168);
+  PiWitness nand_side;
+  nand_side.name = "evaluate-nand-circuit";
+  nand_side.preprocess = [](const std::string& data,
+                            CostMeter*) -> Result<std::string> {
+    return data;  // keep the circuit
+  };
+  nand_side.answer = [](const std::string& prepared, const std::string& query,
+                        CostMeter* meter) -> Result<bool> {
+    // `prepared` is the circuit wrapped as a single data field.
+    auto fields = codec::DecodeFields(prepared);
+    if (!fields.ok()) return fields.status();
+    if (fields->size() != 1) {
+      return Status::InvalidArgument("expected a single circuit field");
+    }
+    auto c = circuit::Circuit::Decode((*fields)[0]);
+    if (!c.ok()) return c.status();
+    std::vector<char> assignment;
+    for (char bit : query) assignment.push_back(bit == '1' ? 1 : 0);
+    return c->Evaluate(assignment, meter);
+  };
+  auto transported = TransportF(CvpToNandFReduction(), nand_side);
+  LanguageOfPairs s(CvpProblem(), CvpCircuitDataFactorization());
+  for (int trial = 0; trial < 20; ++trial) {
+    circuit::CircuitGenOptions options;
+    options.num_inputs = 5;
+    options.num_gates = 24;
+    auto instance = circuit::RandomCvpInstance(options, &rng);
+    std::string x = MakeCvpInstanceString(instance);
+    EXPECT_TRUE(VerifyWitnessOnInstance(s, transported, x).ok());
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace pitract

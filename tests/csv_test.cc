@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/csv.h"
+#include "storage/generator.h"
+
+namespace pitract {
+namespace storage {
+namespace {
+
+TEST(CsvTest, WriteReadRoundTripMixedTypes) {
+  Relation rel{Schema(
+      {{"id", ValueType::kInt64}, {"name", ValueType::kString}})};
+  ASSERT_TRUE(rel.AppendRow({Value(int64_t{1}), Value(std::string("plain"))}).ok());
+  ASSERT_TRUE(
+      rel.AppendRow({Value(int64_t{-2}), Value(std::string("with,comma"))}).ok());
+  ASSERT_TRUE(rel.AppendRow({Value(int64_t{3}),
+                             Value(std::string("quote\"and\nnewline"))})
+                  .ok());
+  auto back = csv::Read(csv::Write(rel));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_rows(), 3);
+  EXPECT_TRUE(back->schema() == rel.schema());
+  EXPECT_EQ(*back->GetString(1, 1), "with,comma");
+  EXPECT_EQ(*back->GetString(2, 1), "quote\"and\nnewline");
+  EXPECT_EQ(*back->GetInt64(1, 0), -2);
+}
+
+TEST(CsvTest, HandWrittenDocument) {
+  const std::string text =
+      "ts:int64,msg:string\n"
+      "100,hello\n"
+      "200,\"a,b\"\n";
+  auto rel = csv::Read(text);
+  ASSERT_TRUE(rel.ok()) << rel.status().ToString();
+  EXPECT_EQ(rel->num_rows(), 2);
+  EXPECT_EQ(*rel->GetInt64(1, 0), 200);
+  EXPECT_EQ(*rel->GetString(1, 1), "a,b");
+}
+
+TEST(CsvTest, CrLfTolerated) {
+  auto rel = csv::Read("a:int64\r\n1\r\n2\r\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->num_rows(), 2);
+}
+
+TEST(CsvTest, MissingTrailingNewlineTolerated) {
+  auto rel = csv::Read("a:int64\n7");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->num_rows(), 1);
+  EXPECT_EQ(*rel->GetInt64(0, 0), 7);
+}
+
+TEST(CsvTest, RejectsMalformedInput) {
+  EXPECT_FALSE(csv::Read("").ok()) << "missing header";
+  EXPECT_FALSE(csv::Read("a\n1\n").ok()) << "header without type";
+  EXPECT_FALSE(csv::Read("a:float\n1\n").ok()) << "unknown type";
+  EXPECT_FALSE(csv::Read("a:int64\nnot-a-number\n").ok());
+  EXPECT_FALSE(csv::Read("a:int64,b:int64\n1\n").ok()) << "ragged row";
+  EXPECT_FALSE(csv::Read("a:string\n\"unterminated\n").ok());
+}
+
+TEST(CsvTest, EmptyRelationRoundTrips) {
+  Relation rel{Schema({{"x", ValueType::kInt64}})};
+  auto back = csv::Read(csv::Write(rel));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_rows(), 0);
+  EXPECT_EQ(back->num_columns(), 1);
+}
+
+TEST(CsvTest, GeneratedRelationRoundTrips) {
+  Rng rng(7);
+  RelationGenOptions options;
+  options.num_rows = 200;
+  options.num_columns = 3;
+  Relation rel = GenerateIntRelation(options, &rng);
+  auto back = csv::Read(csv::Write(rel));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Encode(), rel.Encode());
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace pitract

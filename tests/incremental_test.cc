@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "incremental/delta_index.h"
+#include "incremental/incremental_tc.h"
+#include "reach/reachability.h"
+
+namespace pitract {
+namespace incremental {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Incremental transitive closure
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalTcTest, PathBuiltEdgeByEdge) {
+  IncrementalTransitiveClosure tc(5);
+  CostMeter m;
+  EXPECT_EQ(*tc.InsertEdge(0, 1, &m), 1);  // (0,1)
+  EXPECT_EQ(*tc.InsertEdge(1, 2, &m), 2);  // (1,2), (0,2)
+  EXPECT_EQ(*tc.InsertEdge(2, 3, &m), 3);  // (2,3), (1,3), (0,3)
+  EXPECT_TRUE(*tc.Reachable(0, 3, &m));
+  EXPECT_FALSE(*tc.Reachable(3, 0, &m));
+  EXPECT_EQ(tc.NumReachablePairs(), 5 + 3 + 2 + 1);  // reflexive + new
+}
+
+TEST(IncrementalTcTest, RedundantInsertIsConstantWork) {
+  IncrementalTransitiveClosure tc(100);
+  ASSERT_TRUE(tc.InsertEdge(0, 1, nullptr).ok());
+  ASSERT_TRUE(tc.InsertEdge(1, 2, nullptr).ok());
+  auto changed = tc.InsertEdge(0, 2, nullptr);  // already implied
+  ASSERT_TRUE(changed.ok());
+  EXPECT_EQ(*changed, 0);
+  EXPECT_EQ(tc.last_insert_work(), 1)
+      << "bounded incremental: no-op changes cost O(1)";
+}
+
+TEST(IncrementalTcTest, CycleMakesEverythingMutual) {
+  IncrementalTransitiveClosure tc(4);
+  for (graph::NodeId i = 0; i < 4; ++i) {
+    ASSERT_TRUE(tc.InsertEdge(i, (i + 1) % 4, nullptr).ok());
+  }
+  for (graph::NodeId u = 0; u < 4; ++u) {
+    for (graph::NodeId v = 0; v < 4; ++v) {
+      EXPECT_TRUE(*tc.Reachable(u, v, nullptr));
+    }
+  }
+}
+
+TEST(IncrementalTcTest, RejectsBadIds) {
+  IncrementalTransitiveClosure tc(3);
+  EXPECT_FALSE(tc.InsertEdge(0, 3, nullptr).ok());
+  EXPECT_FALSE(tc.Reachable(-1, 0, nullptr).ok());
+}
+
+struct TcParam {
+  uint64_t seed;
+  graph::NodeId n;
+  int inserts;
+};
+
+class IncrementalTcPropertyTest : public ::testing::TestWithParam<TcParam> {};
+
+TEST_P(IncrementalTcPropertyTest, AgreesWithFromScratchClosure) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  IncrementalTransitiveClosure tc(param.n);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  for (int step = 0; step < param.inserts; ++step) {
+    auto u = static_cast<graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(param.n)));
+    auto v = static_cast<graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(param.n)));
+    auto before = tc.NumReachablePairs();
+    auto changed = tc.InsertEdge(u, v, nullptr);
+    ASSERT_TRUE(changed.ok());
+    EXPECT_EQ(tc.NumReachablePairs(), before + *changed)
+        << "|CHANGED| accounting must be exact";
+    edges.emplace_back(u, v);
+    if (step % 10 == 9) {
+      // Differential check against a from-scratch closure.
+      auto g = graph::Graph::FromEdges(param.n, edges, true);
+      ASSERT_TRUE(g.ok());
+      auto matrix = reach::ReachabilityMatrix::Build(*g);
+      for (int probe = 0; probe < 50; ++probe) {
+        auto a = static_cast<graph::NodeId>(
+            rng.NextBelow(static_cast<uint64_t>(param.n)));
+        auto b = static_cast<graph::NodeId>(
+            rng.NextBelow(static_cast<uint64_t>(param.n)));
+        ASSERT_EQ(*tc.Reachable(a, b, nullptr),
+                  matrix.Reachable(a, b, nullptr))
+            << "a=" << a << " b=" << b << " after " << step + 1 << " inserts";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Runs, IncrementalTcPropertyTest,
+                         ::testing::Values(TcParam{1, 20, 60},
+                                           TcParam{2, 40, 100},
+                                           TcParam{3, 60, 80},
+                                           TcParam{4, 30, 200}));
+
+TEST(IncrementalTcTest, BuildFromGraphMatchesMatrix) {
+  Rng rng(110);
+  graph::Graph g = graph::ErdosRenyi(50, 150, true, &rng);
+  auto tc = IncrementalTransitiveClosure::Build(g, nullptr);
+  auto matrix = reach::ReachabilityMatrix::Build(g);
+  for (graph::NodeId u = 0; u < 50; ++u) {
+    for (graph::NodeId v = 0; v < 50; ++v) {
+      EXPECT_EQ(*tc.Reachable(u, v, nullptr), matrix.Reachable(u, v, nullptr));
+    }
+  }
+}
+
+TEST(IncrementalTcTest, WorkTracksChangedPairsNotGraphSize) {
+  // Insert a far-apart edge into a big, mostly-disconnected graph: the
+  // affected region is two nodes, so work must stay near-constant even
+  // though n is large.
+  IncrementalTransitiveClosure tc(2000);
+  ASSERT_TRUE(tc.InsertEdge(0, 1, nullptr).ok());
+  int64_t small_work = tc.last_insert_work();
+  ASSERT_TRUE(tc.InsertEdge(1500, 1501, nullptr).ok());
+  EXPECT_LE(tc.last_insert_work(), 2 * small_work + 64);
+}
+
+// ---------------------------------------------------------------------------
+// Delta-maintained index
+// ---------------------------------------------------------------------------
+
+TEST(DeltaIndexTest, ApplyDeltaMatchesRebuild) {
+  Rng rng(120);
+  std::vector<std::pair<int64_t, int64_t>> entries;
+  for (int64_t i = 0; i < 500; ++i) {
+    entries.emplace_back(static_cast<int64_t>(rng.NextBelow(1000)), i);
+  }
+  auto incremental = DeltaMaintainedIndex::Build(entries, nullptr);
+  auto rebuilt = DeltaMaintainedIndex::Build(entries, nullptr);
+  ASSERT_TRUE(incremental.ok() && rebuilt.ok());
+
+  std::multiset<int64_t> reference;
+  for (const auto& [k, v] : entries) {
+    (void)v;
+    reference.insert(k);
+  }
+  int64_t next_row = 500;
+  for (int batch = 0; batch < 20; ++batch) {
+    std::vector<Delta> deltas;
+    for (int i = 0; i < 10; ++i) {
+      Delta d;
+      d.op = Delta::Op::kInsert;
+      d.key = static_cast<int64_t>(rng.NextBelow(1000));
+      d.row_id = next_row++;
+      reference.insert(d.key);
+      deltas.push_back(d);
+    }
+    CostMeter inc_m, reb_m;
+    ASSERT_TRUE(incremental->ApplyDelta(deltas, &inc_m).ok());
+    ASSERT_TRUE(rebuilt->RebuildWith(deltas, &reb_m).ok());
+    EXPECT_LT(inc_m.work(), reb_m.work())
+        << "Δ-maintenance must undercut the rebuild";
+    ASSERT_TRUE(incremental->Validate().ok());
+    for (int probe = 0; probe < 30; ++probe) {
+      int64_t key = static_cast<int64_t>(rng.NextBelow(1000));
+      CostMeter m;
+      bool expect = reference.count(key) > 0;
+      EXPECT_EQ(incremental->PointExists(key, &m), expect);
+      EXPECT_EQ(rebuilt->PointExists(key, &m), expect);
+    }
+  }
+}
+
+TEST(DeltaIndexTest, DeletesMaintained) {
+  std::vector<std::pair<int64_t, int64_t>> entries = {
+      {1, 100}, {2, 200}, {3, 300}};
+  auto index = DeltaMaintainedIndex::Build(entries, nullptr);
+  ASSERT_TRUE(index.ok());
+  std::vector<Delta> batch;
+  Delta del;
+  del.op = Delta::Op::kDelete;
+  del.key = 2;
+  del.row_id = 200;
+  batch.push_back(del);
+  ASSERT_TRUE(index->ApplyDelta(batch, nullptr).ok());
+  CostMeter m;
+  EXPECT_FALSE(index->PointExists(2, &m));
+  EXPECT_TRUE(index->PointExists(1, &m));
+  EXPECT_EQ(index->size(), 2);
+  // Deleting an absent entry fails loudly.
+  EXPECT_FALSE(index->ApplyDelta(batch, nullptr).ok());
+}
+
+TEST(DeltaIndexTest, DeltaCostIsIndependentOfDataSize) {
+  std::vector<std::pair<int64_t, int64_t>> small_entries, large_entries;
+  for (int64_t i = 0; i < 1 << 8; ++i) small_entries.emplace_back(i, i);
+  for (int64_t i = 0; i < 1 << 16; ++i) large_entries.emplace_back(i, i);
+  auto small = DeltaMaintainedIndex::Build(small_entries, nullptr);
+  auto large = DeltaMaintainedIndex::Build(large_entries, nullptr);
+  ASSERT_TRUE(small.ok() && large.ok());
+  std::vector<Delta> batch;
+  for (int i = 0; i < 16; ++i) {
+    Delta d;
+    d.op = Delta::Op::kInsert;
+    d.key = -i;
+    d.row_id = i;
+    batch.push_back(d);
+  }
+  CostMeter small_m, large_m;
+  ASSERT_TRUE(small->ApplyDelta(batch, &small_m).ok());
+  ASSERT_TRUE(large->ApplyDelta(batch, &large_m).ok());
+  // 256x more data, cost may only grow by the log factor (~2x).
+  EXPECT_LT(large_m.work(), 3 * small_m.work());
+}
+
+}  // namespace
+}  // namespace incremental
+}  // namespace pitract

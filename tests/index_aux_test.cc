@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "index/hash_index.h"
+#include "index/sorted_column.h"
+
+namespace pitract {
+namespace index {
+namespace {
+
+// ---------------------------------------------------------------------------
+// HashIndex
+// ---------------------------------------------------------------------------
+
+TEST(HashIndexTest, InsertContainsErase) {
+  HashIndex idx;
+  CostMeter m;
+  EXPECT_FALSE(idx.Contains(42, &m));
+  idx.Insert(42);
+  EXPECT_TRUE(idx.Contains(42, &m));
+  EXPECT_EQ(idx.Count(42, &m), 1);
+  idx.Insert(42);
+  EXPECT_EQ(idx.Count(42, &m), 2);
+  EXPECT_TRUE(idx.Erase(42));
+  EXPECT_EQ(idx.Count(42, &m), 1);
+  EXPECT_TRUE(idx.Erase(42));
+  EXPECT_FALSE(idx.Contains(42, &m));
+  EXPECT_FALSE(idx.Erase(42));
+}
+
+TEST(HashIndexTest, GrowthKeepsContents) {
+  HashIndex idx(4);
+  for (int64_t i = 0; i < 10000; ++i) idx.Insert(i * 7919);
+  CostMeter m;
+  for (int64_t i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(idx.Contains(i * 7919, &m)) << i;
+  }
+  EXPECT_FALSE(idx.Contains(-1, &m));
+  EXPECT_EQ(idx.size(), 10000);
+  EXPECT_EQ(idx.num_distinct(), 10000);
+}
+
+TEST(HashIndexTest, TombstonesDoNotBreakProbing) {
+  HashIndex idx(4);
+  // Insert a colliding cluster, erase the middle, then find the tail.
+  for (int64_t i = 0; i < 100; ++i) idx.Insert(i);
+  for (int64_t i = 20; i < 80; ++i) EXPECT_TRUE(idx.Erase(i));
+  CostMeter m;
+  for (int64_t i = 0; i < 20; ++i) EXPECT_TRUE(idx.Contains(i, &m));
+  for (int64_t i = 20; i < 80; ++i) EXPECT_FALSE(idx.Contains(i, &m));
+  for (int64_t i = 80; i < 100; ++i) EXPECT_TRUE(idx.Contains(i, &m));
+  // Reinsertion reuses tombstones.
+  for (int64_t i = 20; i < 80; ++i) idx.Insert(i);
+  for (int64_t i = 0; i < 100; ++i) EXPECT_TRUE(idx.Contains(i, &m));
+}
+
+TEST(HashIndexTest, RandomizedAgainstReference) {
+  Rng rng(99);
+  HashIndex idx;
+  std::unordered_map<int64_t, int64_t> reference;
+  for (int step = 0; step < 20000; ++step) {
+    int64_t key = static_cast<int64_t>(rng.NextBelow(500));
+    if (rng.NextBool(0.6)) {
+      idx.Insert(key);
+      ++reference[key];
+    } else {
+      bool erased = idx.Erase(key);
+      auto it = reference.find(key);
+      bool expect = it != reference.end() && it->second > 0;
+      EXPECT_EQ(erased, expect);
+      if (expect && --it->second == 0) reference.erase(it);
+    }
+  }
+  CostMeter m;
+  for (int64_t key = 0; key < 500; ++key) {
+    auto it = reference.find(key);
+    EXPECT_EQ(idx.Count(key, &m), it == reference.end() ? 0 : it->second);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SortedColumn
+// ---------------------------------------------------------------------------
+
+TEST(SortedColumnTest, BuildSortsAndCharges) {
+  std::vector<int64_t> values = {5, 1, 4, 1, 3};
+  CostMeter m;
+  auto col = SortedColumn::Build({values.data(), values.size()}, &m);
+  EXPECT_GT(m.work(), 0);
+  EXPECT_EQ(col.values(), (std::vector<int64_t>{1, 1, 3, 4, 5}));
+}
+
+TEST(SortedColumnTest, ContainsAndRanges) {
+  std::vector<int64_t> values = {10, 20, 30, 40, 50};
+  CostMeter m;
+  auto col = SortedColumn::Build({values.data(), values.size()}, nullptr);
+  EXPECT_TRUE(col.Contains(30, &m));
+  EXPECT_FALSE(col.Contains(35, &m));
+  EXPECT_TRUE(col.ContainsInRange(31, 40, &m));
+  EXPECT_FALSE(col.ContainsInRange(31, 39, &m));
+  EXPECT_FALSE(col.ContainsInRange(40, 31, &m)) << "inverted range";
+  EXPECT_EQ(col.CountInRange(15, 45, &m), 3);
+  EXPECT_EQ(col.CountInRange(0, 100, &m), 5);
+  EXPECT_EQ(col.CountInRange(11, 19, &m), 0);
+}
+
+TEST(SortedColumnTest, EmptyColumn) {
+  CostMeter m;
+  auto col = SortedColumn::Build({}, &m);
+  EXPECT_FALSE(col.Contains(1, &m));
+  EXPECT_EQ(col.CountInRange(0, 10, &m), 0);
+}
+
+TEST(SortedColumnTest, ProbeDepthLogarithmic) {
+  std::vector<int64_t> small(1 << 8), large(1 << 18);
+  for (size_t i = 0; i < small.size(); ++i) small[i] = static_cast<int64_t>(i);
+  for (size_t i = 0; i < large.size(); ++i) large[i] = static_cast<int64_t>(i);
+  auto small_col = SortedColumn::Build({small.data(), small.size()}, nullptr);
+  auto large_col = SortedColumn::Build({large.data(), large.size()}, nullptr);
+  CostMeter ms, ml;
+  small_col.Contains(7, &ms);
+  large_col.Contains(7, &ml);
+  EXPECT_LT(ml.depth(), 3 * ms.depth());
+}
+
+class SortedColumnPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SortedColumnPropertyTest, MatchesLinearScan) {
+  Rng rng(GetParam());
+  std::vector<int64_t> values;
+  for (int i = 0; i < 300; ++i) {
+    values.push_back(static_cast<int64_t>(rng.NextBelow(100)));
+  }
+  auto col = SortedColumn::Build({values.data(), values.size()}, nullptr);
+  std::multiset<int64_t> reference(values.begin(), values.end());
+  CostMeter m;
+  for (int64_t probe = -5; probe < 105; ++probe) {
+    EXPECT_EQ(col.Contains(probe, &m), reference.count(probe) > 0) << probe;
+  }
+  for (int trial = 0; trial < 100; ++trial) {
+    int64_t lo = rng.NextInRange(-10, 110);
+    int64_t hi = rng.NextInRange(-10, 110);
+    // Distance is only well-defined when the range is non-inverted.
+    int64_t expected =
+        lo > hi ? 0
+                : static_cast<int64_t>(std::distance(
+                      reference.lower_bound(lo), reference.upper_bound(hi)));
+    EXPECT_EQ(col.CountInRange(lo, hi, &m), expected)
+        << "[" << lo << "," << hi << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SortedColumnPropertyTest,
+                         ::testing::Values(21, 22, 23, 24));
+
+}  // namespace
+}  // namespace index
+}  // namespace pitract

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/bptree.h"
+
+namespace pitract {
+namespace index {
+namespace {
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_TRUE(tree.empty());
+  CostMeter m;
+  EXPECT_FALSE(tree.PointExists(1, &m));
+  EXPECT_FALSE(tree.RangeExists(0, 100, &m));
+  EXPECT_EQ(tree.RangeCount(0, 100, &m), 0);
+  EXPECT_FALSE(tree.Begin().Valid());
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(BPlusTreeTest, SingleEntry) {
+  BPlusTree tree;
+  tree.Insert(5, 50);
+  CostMeter m;
+  EXPECT_TRUE(tree.PointExists(5, &m));
+  EXPECT_FALSE(tree.PointExists(4, &m));
+  EXPECT_EQ(tree.Lookup(5, &m), std::vector<int64_t>{50});
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(BPlusTreeTest, SplitsGrowHeight) {
+  BPlusTreeOptions options;
+  options.max_leaf_entries = 4;
+  options.max_internal_children = 4;
+  BPlusTree tree(options);
+  for (int64_t i = 0; i < 100; ++i) tree.Insert(i, i);
+  EXPECT_GE(tree.Stats().height, 3);
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  CostMeter m;
+  for (int64_t i = 0; i < 100; ++i) {
+    EXPECT_TRUE(tree.PointExists(i, &m)) << i;
+  }
+  EXPECT_FALSE(tree.PointExists(100, &m));
+}
+
+TEST(BPlusTreeTest, DuplicateKeys) {
+  BPlusTreeOptions options;
+  options.max_leaf_entries = 4;
+  options.max_internal_children = 4;
+  BPlusTree tree(options);
+  for (int64_t p = 0; p < 50; ++p) tree.Insert(7, p);
+  tree.Insert(6, 0);
+  tree.Insert(8, 0);
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  CostMeter m;
+  auto payloads = tree.Lookup(7, &m);
+  EXPECT_EQ(payloads.size(), 50u);
+  EXPECT_EQ(tree.RangeCount(7, 7, &m), 50);
+  EXPECT_TRUE(tree.PointExists(7, &m));
+}
+
+TEST(BPlusTreeTest, DeleteSimple) {
+  BPlusTree tree;
+  tree.Insert(1, 10);
+  tree.Insert(2, 20);
+  EXPECT_TRUE(tree.Delete(1, 10).ok());
+  CostMeter m;
+  EXPECT_FALSE(tree.PointExists(1, &m));
+  EXPECT_TRUE(tree.PointExists(2, &m));
+  EXPECT_FALSE(tree.Delete(1, 10).ok()) << "double delete must fail";
+  EXPECT_FALSE(tree.Delete(2, 99).ok()) << "payload must match";
+}
+
+TEST(BPlusTreeTest, DeleteTriggersMergesAndKeepsInvariants) {
+  BPlusTreeOptions options;
+  options.max_leaf_entries = 4;
+  options.max_internal_children = 4;
+  BPlusTree tree(options);
+  const int64_t kN = 500;
+  for (int64_t i = 0; i < kN; ++i) tree.Insert(i, i);
+  // Delete everything in an adversarial (alternating ends) order.
+  int64_t lo = 0, hi = kN - 1;
+  while (lo <= hi) {
+    ASSERT_TRUE(tree.Delete(lo, lo).ok()) << lo;
+    if (lo != hi) ASSERT_TRUE(tree.Delete(hi, hi).ok()) << hi;
+    ASSERT_TRUE(tree.Validate().ok())
+        << "after deleting " << lo << "/" << hi << ": "
+        << tree.Validate().ToString();
+    ++lo;
+    --hi;
+  }
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.Stats().height, 1);
+}
+
+TEST(BPlusTreeTest, BulkLoadMatchesInserts) {
+  std::vector<std::pair<int64_t, int64_t>> entries;
+  for (int64_t i = 0; i < 1000; ++i) entries.emplace_back(i * 3, i);
+  BPlusTree bulk;
+  ASSERT_TRUE(bulk.BulkLoad(entries).ok());
+  ASSERT_TRUE(bulk.Validate().ok()) << bulk.Validate().ToString();
+  CostMeter m;
+  for (int64_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bulk.PointExists(i * 3, &m));
+    EXPECT_FALSE(bulk.PointExists(i * 3 + 1, &m));
+  }
+}
+
+TEST(BPlusTreeTest, BulkLoadRejectsUnsorted) {
+  BPlusTree tree;
+  EXPECT_FALSE(tree.BulkLoad({{3, 0}, {1, 0}}).ok());
+}
+
+TEST(BPlusTreeTest, BulkLoadEmpty) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.BulkLoad({}).ok());
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(BPlusTreeTest, IteratorWalksSortedOrder) {
+  BPlusTreeOptions options;
+  options.max_leaf_entries = 8;
+  options.max_internal_children = 8;
+  BPlusTree tree(options);
+  Rng rng(11);
+  std::multiset<int64_t> reference;
+  for (int i = 0; i < 500; ++i) {
+    int64_t key = static_cast<int64_t>(rng.NextBelow(200));
+    tree.Insert(key, i);
+    reference.insert(key);
+  }
+  std::vector<int64_t> walked;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    walked.push_back(it.key());
+  }
+  EXPECT_TRUE(std::is_sorted(walked.begin(), walked.end()));
+  EXPECT_EQ(walked.size(), reference.size());
+}
+
+TEST(BPlusTreeTest, SeekFirstFindsLowerBound) {
+  BPlusTree tree;
+  for (int64_t i = 0; i < 100; ++i) tree.Insert(i * 10, i);
+  auto it = tree.SeekFirst(55);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 60);
+  it = tree.SeekFirst(990);
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key(), 990);
+  it = tree.SeekFirst(991);
+  EXPECT_FALSE(it.Valid());
+}
+
+TEST(BPlusTreeTest, RangeQueries) {
+  BPlusTree tree;
+  for (int64_t i = 0; i < 1000; ++i) tree.Insert(i, i);
+  CostMeter m;
+  EXPECT_EQ(tree.RangeCount(100, 199, &m), 100);
+  EXPECT_TRUE(tree.RangeExists(500, 500, &m));
+  EXPECT_FALSE(tree.RangeExists(1000, 2000, &m));
+  EXPECT_EQ(tree.RangeCount(990, 5000, &m), 10);
+  EXPECT_EQ(tree.RangeCount(10, 5, &m), 0) << "inverted range is empty";
+}
+
+TEST(BPlusTreeTest, ProbeDepthIsLogarithmic) {
+  BPlusTree small, large;
+  for (int64_t i = 0; i < 1 << 10; ++i) small.Insert(i, i);
+  for (int64_t i = 0; i < 1 << 17; ++i) large.Insert(i, i);
+  CostMeter small_m, large_m;
+  small.PointExists(123, &small_m);
+  large.PointExists(123456, &large_m);
+  // 128x more data must cost far less than 128x more depth — the Example 1
+  // separation. Allow generous slack: depth ratio below 4.
+  EXPECT_LT(large_m.depth(), 4 * small_m.depth())
+      << "small=" << small_m.depth() << " large=" << large_m.depth();
+}
+
+// Randomized differential test against std::multimap. Parameterized over
+// (seed, fanout) so narrow trees exercise deep split/merge chains.
+struct FuzzParam {
+  uint64_t seed;
+  int fanout;
+};
+
+class BPlusTreeFuzzTest : public ::testing::TestWithParam<FuzzParam> {};
+
+TEST_P(BPlusTreeFuzzTest, MatchesReferenceUnderRandomOps) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  BPlusTreeOptions options;
+  options.max_leaf_entries = param.fanout;
+  options.max_internal_children = param.fanout;
+  BPlusTree tree(options);
+  std::multimap<int64_t, int64_t> reference;
+
+  for (int step = 0; step < 3000; ++step) {
+    const uint64_t dice = rng.NextBelow(10);
+    const int64_t key = static_cast<int64_t>(rng.NextBelow(300));
+    if (dice < 6 || reference.empty()) {
+      const int64_t payload = static_cast<int64_t>(rng.NextBelow(1000));
+      tree.Insert(key, payload);
+      reference.emplace(key, payload);
+    } else if (dice < 9) {
+      // Delete a (key, payload) that exists.
+      auto it = reference.lower_bound(key);
+      if (it == reference.end()) it = reference.begin();
+      ASSERT_TRUE(tree.Delete(it->first, it->second).ok());
+      reference.erase(it);
+    } else {
+      // Probe.
+      CostMeter m;
+      EXPECT_EQ(tree.PointExists(key, &m), reference.count(key) > 0);
+      const int64_t lo = key - 5;
+      const int64_t hi = key + 5;
+      auto lower = reference.lower_bound(lo);
+      auto upper = reference.upper_bound(hi);
+      EXPECT_EQ(tree.RangeCount(lo, hi, &m),
+                static_cast<int64_t>(std::distance(lower, upper)));
+    }
+    if (step % 250 == 0) {
+      ASSERT_TRUE(tree.Validate().ok())
+          << "step " << step << ": " << tree.Validate().ToString();
+      ASSERT_EQ(tree.size(), static_cast<int64_t>(reference.size()));
+    }
+  }
+  ASSERT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  // Final sweep: contents must match exactly.
+  std::vector<std::pair<int64_t, int64_t>> tree_contents;
+  for (auto it = tree.Begin(); it.Valid(); it.Next()) {
+    tree_contents.emplace_back(it.key(), it.payload());
+  }
+  std::vector<std::pair<int64_t, int64_t>> ref_contents(reference.begin(),
+                                                        reference.end());
+  std::sort(tree_contents.begin(), tree_contents.end());
+  std::sort(ref_contents.begin(), ref_contents.end());
+  EXPECT_EQ(tree_contents, ref_contents);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndFanouts, BPlusTreeFuzzTest,
+    ::testing::Values(FuzzParam{1, 4}, FuzzParam{2, 4}, FuzzParam{3, 5},
+                      FuzzParam{4, 8}, FuzzParam{5, 16}, FuzzParam{6, 64},
+                      FuzzParam{7, 4}, FuzzParam{8, 6}));
+
+}  // namespace
+}  // namespace index
+}  // namespace pitract

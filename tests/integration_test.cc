@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/codec.h"
+#include "common/rng.h"
+#include "compress/reach_compress.h"
+#include "core/problems.h"
+#include "core/reduction.h"
+#include "incremental/incremental_tc.h"
+#include "incremental/union_find.h"
+#include "index/bptree.h"
+#include "storage/csv.h"
+#include "storage/generator.h"
+#include "topk/threshold.h"
+#include "views/views.h"
+
+namespace pitract {
+namespace {
+
+/// Cross-module pipelines: each test exercises a realistic end-to-end path
+/// through several libraries, the way the examples do, with assertions.
+
+TEST(IntegrationTest, CsvToBPlusTreeToPointSelection) {
+  // CSV ingestion -> columnar relation -> B+-tree preprocessing -> queries
+  // agreeing with relation scans.
+  Rng rng(201);
+  storage::RelationGenOptions options;
+  options.num_rows = 2000;
+  options.num_columns = 2;
+  options.value_range = 500;
+  storage::Relation original = storage::GenerateIntRelation(options, &rng);
+  auto relation = storage::csv::Read(storage::csv::Write(original));
+  ASSERT_TRUE(relation.ok());
+
+  auto column = relation->Int64Column(0);
+  ASSERT_TRUE(column.ok());
+  std::vector<std::pair<int64_t, int64_t>> entries;
+  for (size_t row = 0; row < column->size(); ++row) {
+    entries.emplace_back((*column)[row], static_cast<int64_t>(row));
+  }
+  std::sort(entries.begin(), entries.end());
+  index::BPlusTree tree;
+  ASSERT_TRUE(tree.BulkLoad(entries).ok());
+  ASSERT_TRUE(tree.Validate().ok());
+
+  for (int64_t probe = -5; probe < 505; probe += 7) {
+    CostMeter scan_m, tree_m;
+    auto scanned = relation->ScanPointExists(0, probe, &scan_m);
+    ASSERT_TRUE(scanned.ok());
+    EXPECT_EQ(tree.PointExists(probe, &tree_m), *scanned) << probe;
+  }
+}
+
+TEST(IntegrationTest, GraphStringCodecThroughReductionPipeline) {
+  // graph -> Σ* encoding -> the full Theorem 5 pipeline -> answers match
+  // direct membership, end to end over the wire format.
+  Rng rng(202);
+  auto composed = core::Compose(core::MemberToConnReduction(),
+                                core::ConnToBdsReduction());
+  auto witness = core::Transport(composed, core::BdsWitness());
+  auto member = core::ListMembershipProblem();
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int64_t> list;
+    for (uint64_t i = 1 + rng.NextBelow(15); i > 0; --i) {
+      list.push_back(static_cast<int64_t>(rng.NextBelow(30)));
+    }
+    std::string x = core::MakeMemberInstance(
+        30, list, static_cast<int64_t>(rng.NextBelow(30)));
+    core::LanguageOfPairs s(member, composed.source_factorization);
+    EXPECT_TRUE(core::VerifyWitnessOnInstance(s, witness, x).ok());
+  }
+}
+
+TEST(IntegrationTest, IncrementalClosureFeedsCompression) {
+  // Maintain a closure incrementally, then compress the final graph; the
+  // two independently-built oracles must agree everywhere.
+  Rng rng(203);
+  const graph::NodeId n = 40;
+  incremental::IncrementalTransitiveClosure tc(n);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  for (int step = 0; step < 90; ++step) {
+    auto u = static_cast<graph::NodeId>(rng.NextBelow(n));
+    auto v = static_cast<graph::NodeId>(rng.NextBelow(n));
+    ASSERT_TRUE(tc.InsertEdge(u, v, nullptr).ok());
+    edges.emplace_back(u, v);
+  }
+  auto g = graph::Graph::FromEdges(n, edges, /*directed=*/true);
+  ASSERT_TRUE(g.ok());
+  auto compressed = compress::ReachCompressed::Build(*g, nullptr);
+  for (graph::NodeId u = 0; u < n; ++u) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(*tc.Reachable(u, v, nullptr),
+                *compressed.Reachable(u, v, nullptr))
+          << u << "->" << v;
+    }
+  }
+}
+
+TEST(IntegrationTest, UnionFindMaintainsConnWitnessAnswers) {
+  // Incremental preprocessing maintenance (§1): a union-find updated per
+  // edge must keep answering exactly like the from-scratch ConnWitness.
+  Rng rng(204);
+  const graph::NodeId n = 60;
+  incremental::UnionFind uf(n);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  auto witness = core::ConnWitness();
+  for (int batch = 0; batch < 5; ++batch) {
+    for (int i = 0; i < 15; ++i) {
+      auto a = static_cast<graph::NodeId>(rng.NextBelow(n));
+      auto b = static_cast<graph::NodeId>(rng.NextBelow(n));
+      ASSERT_TRUE(uf.Union(a, b, nullptr).ok());
+      edges.emplace_back(a, b);
+    }
+    auto g = graph::Graph::FromEdges(n, edges, /*directed=*/false);
+    ASSERT_TRUE(g.ok());
+    auto data = core::ConnFactorization().pi1(core::MakeConnInstance(*g, 0, 1));
+    ASSERT_TRUE(data.ok());
+    auto prepared = witness.preprocess(*data, nullptr);
+    ASSERT_TRUE(prepared.ok());
+    for (int probe = 0; probe < 30; ++probe) {
+      auto u = static_cast<graph::NodeId>(rng.NextBelow(n));
+      auto v = static_cast<graph::NodeId>(rng.NextBelow(n));
+      auto fast = uf.Connected(u, v, nullptr);
+      auto slow = witness.answer(
+          *prepared,
+          codec::EncodeFields({std::to_string(u), std::to_string(v)}),
+          nullptr);
+      ASSERT_TRUE(fast.ok() && slow.ok());
+      EXPECT_EQ(*fast, *slow);
+    }
+  }
+}
+
+TEST(IntegrationTest, ViewsAndTopKOverOneLogRelation) {
+  // One dataset, two preprocessing strategies: a view catalog for counts
+  // and a TA index for ranking; both validated against scans.
+  Rng rng(205);
+  storage::Relation log = storage::GenerateLogRelation(3000, 4, 16, &rng);
+  views::ViewCatalog catalog;
+  ASSERT_TRUE(catalog.AddCountView(log, "code", nullptr).ok());
+  for (int64_t code = 0; code < 16; ++code) {
+    views::ViewQuery q;
+    q.kind = views::ViewQuery::Kind::kCountByKey;
+    q.key_column = "code";
+    q.key = code;
+    auto fast = catalog.Answer(q, nullptr);
+    auto slow = views::ViewCatalog::AnswerByScan(log, q, nullptr);
+    ASSERT_TRUE(fast.ok() && slow.ok());
+    EXPECT_EQ(*fast, *slow);
+  }
+  auto index = topk::ThresholdIndex::Build(log, {0, 2}, nullptr);
+  ASSERT_TRUE(index.ok());
+  auto ta = index->TopK({1, 100}, 5, nullptr);
+  auto scan = topk::ThresholdIndex::TopKByScan(log, {0, 2}, {1, 100}, 5,
+                                               nullptr);
+  ASSERT_TRUE(ta.ok() && scan.ok());
+  ASSERT_EQ(ta->objects.size(), scan->objects.size());
+  for (size_t i = 0; i < ta->objects.size(); ++i) {
+    EXPECT_EQ(ta->objects[i].score, scan->objects[i].score);
+  }
+}
+
+TEST(IntegrationTest, RewrittenSelectionOverCsvData) {
+  // CSV -> list column -> λ-rewritten predicate selection witness.
+  auto relation = storage::csv::Read(
+      "v:int64\n12\n5\n40\n7\n22\n");
+  ASSERT_TRUE(relation.ok());
+  auto column = relation->Int64Column(0);
+  ASSERT_TRUE(column.ok());
+  std::vector<int64_t> list(column->begin(), column->end());
+  auto witness = core::ApplyRewriting(core::IntervalNormalizingRewriter(),
+                                      core::IntervalWitness());
+  core::LanguageOfPairs s(core::PredicateSelectionProblem(),
+                          core::SelectionFactorization());
+  EXPECT_TRUE(core::VerifyWitnessOnInstance(
+                  s, witness, core::MakeSelectionInstance(64, list, {3, 20, 30}))
+                  .ok());
+  EXPECT_TRUE(core::VerifyWitnessOnInstance(
+                  s, witness, core::MakeSelectionInstance(64, list, {0, 8}))
+                  .ok());
+}
+
+}  // namespace
+}  // namespace pitract

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+#include "kernel/vertex_cover.h"
+
+namespace pitract {
+namespace kernel {
+namespace {
+
+/// Exhaustive reference: try every vertex subset of size <= k (n <= ~20).
+bool BruteForceVc(const graph::Graph& g, int k) {
+  auto edges = g.Edges();
+  const graph::NodeId n = g.num_nodes();
+  // Iterate subsets via combinations with pruning on popcount.
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    if (__builtin_popcountll(mask) > k) continue;
+    bool covers = true;
+    for (const auto& [u, v] : edges) {
+      if (((mask >> u) & 1) == 0 && ((mask >> v) & 1) == 0) {
+        covers = false;
+        break;
+      }
+    }
+    if (covers) return true;
+  }
+  return false;
+}
+
+TEST(BussKernelTest, TriangleNeedsTwo) {
+  auto g = graph::Graph::FromEdges(3, {{0, 1}, {1, 2}, {0, 2}}, false);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(*HasVertexCoverKernelized(*g, 1, nullptr));
+  EXPECT_TRUE(*HasVertexCoverKernelized(*g, 2, nullptr));
+}
+
+TEST(BussKernelTest, StarIsCoveredByCenter) {
+  graph::Graph g = graph::Star(50, false);
+  CostMeter m;
+  auto kernel = BussKernelize(g, 1, &m);
+  ASSERT_TRUE(kernel.ok());
+  // Degree-49 center > k=1, so the rule forces it and decides the instance.
+  ASSERT_TRUE(kernel->decided.has_value());
+  EXPECT_TRUE(*kernel->decided);
+  EXPECT_EQ(kernel->forced, 1);
+}
+
+TEST(BussKernelTest, EmptyGraphIsCoveredByNothing) {
+  auto g = graph::Graph::FromEdges(5, {}, false);
+  ASSERT_TRUE(g.ok());
+  auto kernel = BussKernelize(*g, 0, nullptr);
+  ASSERT_TRUE(kernel.ok());
+  ASSERT_TRUE(kernel->decided.has_value());
+  EXPECT_TRUE(*kernel->decided);
+}
+
+TEST(BussKernelTest, SelfLoopForcesVertex) {
+  auto g = graph::Graph::FromEdges(3, {{0, 0}, {1, 2}}, false);
+  ASSERT_TRUE(g.ok());
+  EXPECT_FALSE(*HasVertexCoverKernelized(*g, 1, nullptr))
+      << "loop takes the whole budget, edge (1,2) remains";
+  EXPECT_TRUE(*HasVertexCoverKernelized(*g, 2, nullptr));
+}
+
+TEST(BussKernelTest, KernelRespectsSizeBound) {
+  Rng rng(130);
+  graph::Graph g = graph::ErdosRenyi(200, 300, false, &rng);
+  for (int k = 2; k <= 10; k += 2) {
+    auto kernel = BussKernelize(g, k, nullptr);
+    ASSERT_TRUE(kernel.ok());
+    if (kernel->decided.has_value()) continue;
+    EXPECT_LE(static_cast<int64_t>(kernel->edges.size()),
+              static_cast<int64_t>(kernel->remaining_k) * kernel->remaining_k);
+    EXPECT_LE(kernel->num_kernel_nodes,
+              kernel->remaining_k * kernel->remaining_k + kernel->remaining_k);
+  }
+}
+
+TEST(BussKernelTest, RejectsDirectedGraphs) {
+  graph::Graph g = graph::Path(3, /*directed=*/true);
+  EXPECT_FALSE(BussKernelize(g, 2, nullptr).ok());
+  EXPECT_FALSE(HasVertexCoverDirect(g, 2, nullptr).ok());
+}
+
+TEST(BussKernelTest, NegativeKRejected) {
+  graph::Graph g = graph::Path(3, false);
+  EXPECT_FALSE(BussKernelize(g, -1, nullptr).ok());
+}
+
+struct VcParam {
+  uint64_t seed;
+  graph::NodeId n;
+  int64_t m;
+  int k;
+};
+
+class VertexCoverPropertyTest : public ::testing::TestWithParam<VcParam> {};
+
+TEST_P(VertexCoverPropertyTest, KernelizedMatchesDirectAndBruteForce) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  graph::Graph g = graph::ErdosRenyi(param.n, param.m, false, &rng);
+  auto kernelized = HasVertexCoverKernelized(g, param.k, nullptr);
+  auto direct = HasVertexCoverDirect(g, param.k, nullptr);
+  ASSERT_TRUE(kernelized.ok() && direct.ok());
+  EXPECT_EQ(*kernelized, *direct);
+  EXPECT_EQ(*kernelized, BruteForceVc(g, param.k));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, VertexCoverPropertyTest,
+    ::testing::Values(VcParam{1, 12, 15, 3}, VcParam{2, 12, 15, 5},
+                      VcParam{3, 15, 20, 4}, VcParam{4, 15, 30, 6},
+                      VcParam{5, 18, 20, 5}, VcParam{6, 18, 36, 8},
+                      VcParam{7, 10, 45, 4}, VcParam{8, 10, 45, 7},
+                      VcParam{9, 16, 8, 2}, VcParam{10, 20, 25, 6}));
+
+TEST(BussKernelTest, AnswerCostIndependentOfGraphSizeAfterKernel) {
+  // The Section 4(9) claim: with K fixed, after O(|E|) preprocessing the
+  // decision costs O(1) — i.e. independent of |G|.
+  Rng rng(131);
+  const int k = 6;
+  graph::Graph small = graph::ErdosRenyi(200, 100, false, &rng);
+  graph::Graph large = graph::ErdosRenyi(20000, 10000, false, &rng);
+  auto ks = BussKernelize(small, k, nullptr);
+  auto kl = BussKernelize(large, k, nullptr);
+  ASSERT_TRUE(ks.ok() && kl.ok());
+  auto answer_cost = [&](const BussKernel& kernel) {
+    CostMeter m;
+    if (!kernel.decided.has_value()) {
+      VertexCoverSearch(kernel.edges, kernel.remaining_k, &m);
+    }
+    return m.work() + 1;
+  };
+  // Both kernels are bounded by f(k), so costs are within a constant band.
+  EXPECT_LT(answer_cost(*kl), 100 * answer_cost(*ks) + 1000);
+}
+
+}  // namespace
+}  // namespace kernel
+}  // namespace pitract

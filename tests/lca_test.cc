@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/algos.h"
+#include "graph/generators.h"
+#include "lca/dag_lca.h"
+#include "lca/tree_lca.h"
+#include "reach/reachability.h"
+
+namespace pitract {
+namespace lca {
+namespace {
+
+TEST(ComputeDepthsTest, ValidatesShape) {
+  EXPECT_FALSE(ComputeDepths({}).ok()) << "empty";
+  EXPECT_FALSE(ComputeDepths({-1, -1}).ok()) << "two roots";
+  EXPECT_FALSE(ComputeDepths({0, 5}).ok()) << "parent out of range";
+  EXPECT_FALSE(ComputeDepths({1, 0}).ok()) << "cycle, no root";
+  auto ok = ComputeDepths({-1, 0, 1, 1});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, (std::vector<int64_t>{0, 1, 2, 2}));
+}
+
+TEST(NaiveTreeLcaTest, SmallTree) {
+  //      0
+  //     / \
+  //    1   2
+  //   / \
+  //  3   4
+  auto lca = NaiveTreeLca::Build({-1, 0, 0, 1, 1});
+  ASSERT_TRUE(lca.ok());
+  CostMeter m;
+  EXPECT_EQ(*lca->Query(3, 4, &m), 1);
+  EXPECT_EQ(*lca->Query(3, 2, &m), 0);
+  EXPECT_EQ(*lca->Query(1, 3, &m), 1) << "ancestor of itself";
+  EXPECT_EQ(*lca->Query(4, 4, &m), 4);
+  EXPECT_FALSE(lca->Query(0, 9, &m).ok());
+}
+
+TEST(EulerTourLcaTest, SmallTree) {
+  auto lca = EulerTourLca::Build({-1, 0, 0, 1, 1}, nullptr);
+  ASSERT_TRUE(lca.ok());
+  CostMeter m;
+  EXPECT_EQ(*lca->Query(3, 4, &m), 1);
+  EXPECT_EQ(*lca->Query(3, 2, &m), 0);
+  EXPECT_EQ(*lca->Query(1, 3, &m), 1);
+  EXPECT_EQ(*lca->Query(4, 4, &m), 4);
+  EXPECT_EQ(lca->tour_length(), 9) << "Euler tour has 2n-1 entries";
+}
+
+TEST(EulerTourLcaTest, SingleNode) {
+  auto lca = EulerTourLca::Build({-1}, nullptr);
+  ASSERT_TRUE(lca.ok());
+  EXPECT_EQ(*lca->Query(0, 0, nullptr), 0);
+}
+
+TEST(EulerTourLcaTest, RootNotNodeZero) {
+  // Root is node 2: 2 -> {0, 1}.
+  auto lca = EulerTourLca::Build({2, 2, -1}, nullptr);
+  ASSERT_TRUE(lca.ok());
+  EXPECT_EQ(*lca->Query(0, 1, nullptr), 2);
+}
+
+struct TreeParam {
+  uint64_t seed;
+  graph::NodeId n;
+};
+
+class TreeLcaAgreementTest : public ::testing::TestWithParam<TreeParam> {};
+
+TEST_P(TreeLcaAgreementTest, EulerMatchesNaive) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  auto parent = graph::RandomParentArray(param.n, &rng);
+  auto naive = NaiveTreeLca::Build(parent);
+  auto euler = EulerTourLca::Build(parent, nullptr);
+  ASSERT_TRUE(naive.ok());
+  ASSERT_TRUE(euler.ok());
+  for (int trial = 0; trial < 300; ++trial) {
+    auto u = static_cast<graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(param.n)));
+    auto v = static_cast<graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(param.n)));
+    CostMeter m;
+    EXPECT_EQ(*euler->Query(u, v, &m), *naive->Query(u, v, &m))
+        << "u=" << u << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Trees, TreeLcaAgreementTest,
+                         ::testing::Values(TreeParam{1, 2}, TreeParam{2, 10},
+                                           TreeParam{3, 100},
+                                           TreeParam{4, 1000},
+                                           TreeParam{5, 5000}));
+
+TEST(EulerTourLcaTest, ConstantQueryDepth) {
+  Rng rng(70);
+  // Deep path-like trees: the naive walk is linear, Euler stays O(1).
+  std::vector<graph::NodeId> small_parent(1 << 10), large_parent(1 << 16);
+  small_parent[0] = -1;
+  large_parent[0] = -1;
+  for (size_t i = 1; i < small_parent.size(); ++i) {
+    small_parent[i] = static_cast<graph::NodeId>(i - 1);
+  }
+  for (size_t i = 1; i < large_parent.size(); ++i) {
+    large_parent[i] = static_cast<graph::NodeId>(i - 1);
+  }
+  auto small = EulerTourLca::Build(small_parent, nullptr);
+  auto large = EulerTourLca::Build(large_parent, nullptr);
+  ASSERT_TRUE(small.ok() && large.ok());
+  CostMeter cs, cl;
+  ASSERT_TRUE(small->Query(5, 1000, &cs).ok());
+  ASSERT_TRUE(large->Query(5, 60000, &cl).ok());
+  EXPECT_LE(cl.depth(), cs.depth() + 4);
+
+  auto naive = NaiveTreeLca::Build(large_parent);
+  ASSERT_TRUE(naive.ok());
+  CostMeter cn;
+  ASSERT_TRUE(naive->Query(5, 60000, &cn).ok());
+  EXPECT_GT(cn.depth(), 100 * cl.depth()) << "baseline walks the whole path";
+}
+
+// ---------------------------------------------------------------------------
+// DAG LCA
+// ---------------------------------------------------------------------------
+
+TEST(DagLcaTest, DiamondHasDeepestCommonAncestor) {
+  //   0 -> 1 -> 3, 0 -> 2 -> 3: LCA(1,2)=0, LCA(3,3)=3, LCA(1,3)=1.
+  auto g = graph::Graph::FromEdges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, true);
+  ASSERT_TRUE(g.ok());
+  auto lca = AllPairsDagLca::Build(*g, nullptr);
+  ASSERT_TRUE(lca.ok());
+  EXPECT_EQ(*lca->Query(1, 2, nullptr), 0);
+  EXPECT_EQ(*lca->Query(3, 3, nullptr), 3);
+  EXPECT_EQ(*lca->Query(1, 3, nullptr), 1);
+}
+
+TEST(DagLcaTest, NoCommonAncestorIsMinusOne) {
+  auto g = graph::Graph::FromEdges(4, {{0, 1}, {2, 3}}, true);
+  ASSERT_TRUE(g.ok());
+  auto lca = AllPairsDagLca::Build(*g, nullptr);
+  ASSERT_TRUE(lca.ok());
+  EXPECT_EQ(*lca->Query(1, 3, nullptr), -1);
+}
+
+TEST(DagLcaTest, RejectsCyclicInput) {
+  auto g = graph::Cycle(4, true);
+  EXPECT_FALSE(AllPairsDagLca::Build(g, nullptr).ok());
+  EXPECT_FALSE(OnlineDagLca::Build(g).ok());
+}
+
+struct DagParam {
+  uint64_t seed;
+  graph::NodeId n;
+  int64_t m;
+};
+
+class DagLcaAgreementTest : public ::testing::TestWithParam<DagParam> {};
+
+TEST_P(DagLcaAgreementTest, AllPairsMatchesOnline) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  graph::Graph g = graph::RandomDag(param.n, param.m, &rng);
+  auto all_pairs = AllPairsDagLca::Build(g, nullptr);
+  auto online = OnlineDagLca::Build(g);
+  ASSERT_TRUE(all_pairs.ok());
+  ASSERT_TRUE(online.ok());
+  for (int trial = 0; trial < 150; ++trial) {
+    auto u = static_cast<graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(param.n)));
+    auto v = static_cast<graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(param.n)));
+    CostMeter m;
+    EXPECT_EQ(*all_pairs->Query(u, v, &m), *online->Query(u, v, &m))
+        << "u=" << u << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Dags, DagLcaAgreementTest,
+                         ::testing::Values(DagParam{1, 10, 15},
+                                           DagParam{2, 30, 60},
+                                           DagParam{3, 50, 200},
+                                           DagParam{4, 80, 80}));
+
+TEST(DagLcaTest, ResultIsACommonAncestorOfMaxDepth) {
+  // Semantic property: the answer must be an ancestor of both endpoints and
+  // no strictly deeper common ancestor may exist.
+  Rng rng(71);
+  graph::Graph g = graph::RandomDag(40, 100, &rng);
+  auto lca = AllPairsDagLca::Build(g, nullptr);
+  auto depths = LongestPathDepths(g);
+  ASSERT_TRUE(lca.ok() && depths.ok());
+  reach::ReachabilityMatrix reach_matrix = reach::ReachabilityMatrix::Build(g);
+  for (graph::NodeId u = 0; u < 40; u += 3) {
+    for (graph::NodeId v = 0; v < 40; v += 5) {
+      graph::NodeId w = *lca->Query(u, v, nullptr);
+      int64_t best_depth = -1;
+      graph::NodeId expected = -1;
+      for (graph::NodeId cand = 0; cand < 40; ++cand) {
+        if (reach_matrix.Reachable(cand, u, nullptr) &&
+            reach_matrix.Reachable(cand, v, nullptr) &&
+            (*depths)[static_cast<size_t>(cand)] > best_depth) {
+          best_depth = (*depths)[static_cast<size_t>(cand)];
+          expected = cand;
+        }
+      }
+      if (expected == -1) {
+        EXPECT_EQ(w, -1);
+      } else {
+        ASSERT_NE(w, -1);
+        EXPECT_TRUE(reach_matrix.Reachable(w, u, nullptr));
+        EXPECT_TRUE(reach_matrix.Reachable(w, v, nullptr));
+        EXPECT_EQ((*depths)[static_cast<size_t>(w)], best_depth);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lca
+}  // namespace pitract

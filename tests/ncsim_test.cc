@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ncsim/ncsim.h"
+
+namespace pitract {
+namespace ncsim {
+namespace {
+
+TEST(CeilLog2Test, KnownValues) {
+  EXPECT_EQ(CeilLog2(0), 0);
+  EXPECT_EQ(CeilLog2(1), 0);
+  EXPECT_EQ(CeilLog2(2), 1);
+  EXPECT_EQ(CeilLog2(3), 2);
+  EXPECT_EQ(CeilLog2(4), 2);
+  EXPECT_EQ(CeilLog2(5), 3);
+  EXPECT_EQ(CeilLog2(1024), 10);
+  EXPECT_EQ(CeilLog2(1025), 11);
+}
+
+TEST(ParallelForTest, DepthIsMaxPlusSpawnTree) {
+  CostMeter m;
+  // 8 bodies of depth i: max depth 7, spawn tree log2(8)=3, +1.
+  ParallelFor(&m, 8, [](int64_t i, CostMeter* sub) { sub->AddSerial(i); });
+  EXPECT_EQ(m.depth(), 7 + 3 + 1);
+  // work = sum(0..7) + n = 28 + 8.
+  EXPECT_EQ(m.work(), 28 + 8);
+}
+
+TEST(ParallelForTest, EmptyRangeChargesNothing) {
+  CostMeter m;
+  ParallelFor(&m, 0, [](int64_t, CostMeter* sub) { sub->AddSerial(100); });
+  EXPECT_EQ(m.work(), 0);
+  EXPECT_EQ(m.depth(), 0);
+}
+
+TEST(ParallelForTest, ConstantBodiesGiveLogDepth) {
+  // The central NC accounting property: n-way parallel constant work has
+  // Θ(log n) depth, not Θ(n).
+  CostMeter small, large;
+  ParallelFor(&small, 1 << 10,
+              [](int64_t, CostMeter* sub) { sub->AddSerial(1); });
+  ParallelFor(&large, 1 << 20,
+              [](int64_t, CostMeter* sub) { sub->AddSerial(1); });
+  EXPECT_EQ(small.depth(), 1 + 10 + 1);
+  EXPECT_EQ(large.depth(), 1 + 20 + 1);
+  // Depth doubled (log-linear), work grew 1024x.
+  EXPECT_GT(large.work(), 1000 * small.work());
+}
+
+TEST(ParallelForTest, NestingComposesDepths) {
+  CostMeter m;
+  ParallelFor(&m, 4, [](int64_t, CostMeter* outer_sub) {
+    ParallelFor(outer_sub, 4,
+                [](int64_t, CostMeter* inner_sub) { inner_sub->AddSerial(2); });
+  });
+  // Inner: depth 2 + 2 + 1 = 5; outer: 5 + 2 + 1 = 8.
+  EXPECT_EQ(m.depth(), 8);
+}
+
+TEST(ParallelMapTest, ProducesValuesAndCharges) {
+  CostMeter m;
+  auto out = ParallelMap<int64_t>(&m, 5, [](int64_t i, CostMeter* sub) {
+    sub->AddSerial(1);
+    return i * i;
+  });
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out[4], 16);
+  EXPECT_EQ(m.depth(), 1 + CeilLog2(5) + 1);
+}
+
+TEST(ParallelReduceTest, SumsWithTreeDepth) {
+  CostMeter m;
+  int64_t total = ParallelReduce<int64_t>(
+      &m, 16, 0,
+      [](int64_t i, CostMeter* sub) {
+        sub->AddSerial(1);
+        return i;
+      },
+      [](int64_t a, int64_t b) { return a + b; });
+  EXPECT_EQ(total, 120);
+  EXPECT_EQ(m.depth(), 1 + 2 * 4 + 1);  // map depth + 2*log(16) + 1
+  EXPECT_EQ(m.work(), 16 + 16 + 15);    // leaf work + spawn + combines
+}
+
+TEST(ParallelReduceTest, EmptyReturnsIdentity) {
+  CostMeter m;
+  int64_t total = ParallelReduce<int64_t>(
+      &m, 0, -7, [](int64_t, CostMeter*) { return 0; },
+      [](int64_t a, int64_t b) { return a + b; });
+  EXPECT_EQ(total, -7);
+  EXPECT_EQ(m.work(), 0);
+}
+
+TEST(ParallelAnyTest, FindsWitnessAndChargesFullParallelCost) {
+  CostMeter m;
+  bool found = ParallelAny(&m, 1024, [](int64_t i, CostMeter* sub) {
+    sub->AddSerial(1);
+    return i == 3;  // early witness
+  });
+  EXPECT_TRUE(found);
+  // A PRAM evaluates all leaves: work reflects all 1024 predicates.
+  EXPECT_GE(m.work(), 1024);
+  EXPECT_LE(m.depth(), 1 + 2 * 10 + 1);
+}
+
+TEST(ParallelAnyTest, AllFalse) {
+  CostMeter m;
+  EXPECT_FALSE(
+      ParallelAny(&m, 64, [](int64_t, CostMeter* sub) {
+        sub->AddSerial(1);
+        return false;
+      }));
+}
+
+TEST(ScanTest, ExclusivePrefixSums) {
+  CostMeter m;
+  std::vector<int64_t> in = {1, 2, 3, 4};
+  auto out = ParallelScanExclusive<int64_t>(
+      &m, in, 0, [](int64_t a, int64_t b) { return a + b; });
+  EXPECT_EQ(out, (std::vector<int64_t>{0, 1, 3, 6}));
+  EXPECT_EQ(m.depth(), 2 * CeilLog2(4) + 2);
+  EXPECT_EQ(m.work(), 8);
+}
+
+TEST(ChargeBinarySearchTest, LogDepth) {
+  CostMeter m;
+  ChargeBinarySearch(&m, 1 << 20);
+  EXPECT_EQ(m.depth(), 21);
+  m.Reset();
+  ChargeBinarySearch(&m, 1);
+  EXPECT_EQ(m.depth(), 1);
+}
+
+// Parameterized law: for any n, ParallelFor's depth with unit bodies is
+// exactly 1 + CeilLog2(n) + 1 and its work is 2n.
+class ParallelForLawTest : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ParallelForLawTest, UnitBodyLaw) {
+  const int64_t n = GetParam();
+  CostMeter m;
+  ParallelFor(&m, n, [](int64_t, CostMeter* sub) { sub->AddSerial(1); });
+  EXPECT_EQ(m.depth(), 1 + CeilLog2(n) + 1);
+  EXPECT_EQ(m.work(), 2 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ParallelForLawTest,
+                         ::testing::Values(1, 2, 3, 7, 8, 9, 100, 1000, 4096));
+
+}  // namespace
+}  // namespace ncsim
+}  // namespace pitract

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/algos.h"
+#include "graph/generators.h"
+#include "reach/reachability.h"
+
+namespace pitract {
+namespace reach {
+namespace {
+
+TEST(BitsetTest, SetTestClear) {
+  Bitset b(130);
+  EXPECT_FALSE(b.Test(0));
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3);
+  b.Clear(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2);
+}
+
+TEST(BitsetTest, UnionWithReportsChange) {
+  Bitset a(100), b(100);
+  a.Set(3);
+  b.Set(70);
+  EXPECT_TRUE(a.UnionWith(b));
+  EXPECT_TRUE(a.Test(3));
+  EXPECT_TRUE(a.Test(70));
+  EXPECT_FALSE(a.UnionWith(b)) << "idempotent union reports no change";
+}
+
+TEST(ReachabilityMatrixTest, PathGraph) {
+  graph::Graph g = graph::Path(6, /*directed=*/true);
+  auto m = ReachabilityMatrix::Build(g);
+  CostMeter meter;
+  EXPECT_TRUE(m.Reachable(0, 5, &meter));
+  EXPECT_TRUE(m.Reachable(2, 2, &meter)) << "reflexive by convention";
+  EXPECT_FALSE(m.Reachable(5, 0, &meter));
+  EXPECT_FALSE(m.Reachable(3, 1, &meter));
+}
+
+TEST(ReachabilityMatrixTest, CycleReachesEverything) {
+  graph::Graph g = graph::Cycle(5, /*directed=*/true);
+  auto m = ReachabilityMatrix::Build(g);
+  for (graph::NodeId u = 0; u < 5; ++u) {
+    for (graph::NodeId v = 0; v < 5; ++v) {
+      EXPECT_TRUE(m.Reachable(u, v, nullptr));
+    }
+  }
+  EXPECT_EQ(m.NumReachablePairs(), 25);
+}
+
+TEST(ReachabilityMatrixTest, EmptyGraph) {
+  auto g = graph::Graph::FromEdges(3, {}, true);
+  ASSERT_TRUE(g.ok());
+  auto m = ReachabilityMatrix::Build(*g);
+  EXPECT_TRUE(m.Reachable(1, 1, nullptr));
+  EXPECT_FALSE(m.Reachable(0, 1, nullptr));
+  EXPECT_EQ(m.NumReachablePairs(), 3);
+}
+
+TEST(ReachabilityMatrixTest, QueryIsConstantDepth) {
+  Rng rng(50);
+  graph::Graph small = graph::ErdosRenyi(64, 128, true, &rng);
+  graph::Graph large = graph::ErdosRenyi(1024, 4096, true, &rng);
+  auto ms = ReachabilityMatrix::Build(small);
+  auto ml = ReachabilityMatrix::Build(large);
+  CostMeter cs, cl;
+  ms.Reachable(1, 2, &cs);
+  ml.Reachable(1, 2, &cl);
+  EXPECT_EQ(cs.depth(), cl.depth()) << "O(1) probes regardless of |G|";
+}
+
+// Differential sweep: matrix must agree with per-query BFS on random
+// digraphs of several densities.
+struct ReachParam {
+  uint64_t seed;
+  graph::NodeId n;
+  int64_t m;
+};
+
+class ReachabilityPropertyTest : public ::testing::TestWithParam<ReachParam> {};
+
+TEST_P(ReachabilityPropertyTest, MatchesBfs) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  graph::Graph g = graph::ErdosRenyi(param.n, param.m, true, &rng);
+  auto matrix = ReachabilityMatrix::Build(g);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto u = static_cast<graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(param.n)));
+    auto v = static_cast<graph::NodeId>(
+        rng.NextBelow(static_cast<uint64_t>(param.n)));
+    EXPECT_EQ(matrix.Reachable(u, v, nullptr),
+              graph::BfsReachable(g, u, v, nullptr))
+        << "u=" << u << " v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Graphs, ReachabilityPropertyTest,
+    ::testing::Values(ReachParam{1, 30, 20}, ReachParam{2, 30, 60},
+                      ReachParam{3, 60, 240}, ReachParam{4, 100, 100},
+                      ReachParam{5, 100, 500}, ReachParam{6, 200, 150}));
+
+TEST(ReachabilityMatrixTest, NumReachablePairsCountsNodePairs) {
+  // Two-node cycle plus a tail: {0<->1} -> 2.
+  auto g = graph::Graph::FromEdges(3, {{0, 1}, {1, 0}, {1, 2}}, true);
+  ASSERT_TRUE(g.ok());
+  auto m = ReachabilityMatrix::Build(*g);
+  // 0 reaches {0,1,2}, 1 reaches {0,1,2}, 2 reaches {2} = 7 pairs.
+  EXPECT_EQ(m.NumReachablePairs(), 7);
+}
+
+}  // namespace
+}  // namespace reach
+}  // namespace pitract

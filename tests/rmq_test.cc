@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "rmq/rmq.h"
+
+namespace pitract {
+namespace rmq {
+namespace {
+
+TEST(NaiveRmqTest, FindsLeftmostMin) {
+  NaiveRmq rmq({5, 2, 8, 2, 9});
+  CostMeter m;
+  auto r = rmq.Query(0, 4, &m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 1) << "ties break left";
+  EXPECT_EQ(m.work(), 5);
+}
+
+TEST(NaiveRmqTest, RejectsBadRanges) {
+  NaiveRmq rmq({1, 2, 3});
+  CostMeter m;
+  EXPECT_FALSE(rmq.Query(2, 1, &m).ok());
+  EXPECT_FALSE(rmq.Query(-1, 1, &m).ok());
+  EXPECT_FALSE(rmq.Query(0, 3, &m).ok());
+}
+
+TEST(SparseTableRmqTest, SingleElement) {
+  CostMeter m;
+  auto rmq = SparseTableRmq::Build({42}, &m);
+  auto r = rmq.Query(0, 0, &m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 0);
+}
+
+TEST(SparseTableRmqTest, KnownArray) {
+  CostMeter m;
+  auto rmq = SparseTableRmq::Build({9, 3, 7, 1, 8, 1, 2}, &m);
+  EXPECT_EQ(*rmq.Query(0, 6, &m), 3);
+  EXPECT_EQ(*rmq.Query(4, 6, &m), 5);
+  EXPECT_EQ(*rmq.Query(3, 5, &m), 3) << "ties break left";
+  EXPECT_EQ(*rmq.Query(2, 2, &m), 2);
+}
+
+TEST(SparseTableRmqTest, QueryIsConstantDepth) {
+  Rng rng(60);
+  std::vector<int64_t> small(1 << 8), large(1 << 16);
+  for (auto& v : small) v = static_cast<int64_t>(rng.NextBelow(1000));
+  for (auto& v : large) v = static_cast<int64_t>(rng.NextBelow(1000));
+  auto rs = SparseTableRmq::Build(small, nullptr);
+  auto rl = SparseTableRmq::Build(large, nullptr);
+  CostMeter cs, cl;
+  ASSERT_TRUE(rs.Query(10, 200, &cs).ok());
+  ASSERT_TRUE(rl.Query(10, 60000, &cl).ok());
+  EXPECT_EQ(cs.depth(), cl.depth());
+}
+
+TEST(BlockRmqTest, EmptyAndTiny) {
+  CostMeter m;
+  auto empty = BlockRmq::Build({}, &m);
+  EXPECT_FALSE(empty.Query(0, 0, &m).ok());
+  auto one = BlockRmq::Build({7}, &m);
+  EXPECT_EQ(*one.Query(0, 0, &m), 0);
+}
+
+TEST(BlockRmqTest, SignatureSharingKeepsTablesSmall) {
+  // A periodic array re-uses block signatures: far fewer tables than
+  // blocks.
+  std::vector<int64_t> values;
+  for (int i = 0; i < 10000; ++i) values.push_back(i % 7);
+  CostMeter m;
+  auto rmq = BlockRmq::Build(values, &m);
+  EXPECT_GT(rmq.size() / rmq.block_size(), 4 * rmq.num_signatures())
+      << "blocks=" << rmq.size() / rmq.block_size()
+      << " signatures=" << rmq.num_signatures();
+}
+
+struct RmqParam {
+  uint64_t seed;
+  int64_t n;
+  int64_t value_range;  // small ranges force many ties
+};
+
+class RmqAgreementTest : public ::testing::TestWithParam<RmqParam> {};
+
+TEST_P(RmqAgreementTest, AllThreeImplementationsAgree) {
+  const auto param = GetParam();
+  Rng rng(param.seed);
+  std::vector<int64_t> values(static_cast<size_t>(param.n));
+  for (auto& v : values) {
+    v = static_cast<int64_t>(
+        rng.NextBelow(static_cast<uint64_t>(param.value_range)));
+  }
+  NaiveRmq naive(values);
+  auto sparse = SparseTableRmq::Build(values, nullptr);
+  auto block = BlockRmq::Build(values, nullptr);
+  for (int trial = 0; trial < 400; ++trial) {
+    int64_t i = static_cast<int64_t>(
+        rng.NextBelow(static_cast<uint64_t>(param.n)));
+    int64_t j = static_cast<int64_t>(
+        rng.NextBelow(static_cast<uint64_t>(param.n)));
+    if (i > j) std::swap(i, j);
+    CostMeter m;
+    auto expected = naive.Query(i, j, &m);
+    auto s = sparse.Query(i, j, &m);
+    auto b = block.Query(i, j, &m);
+    ASSERT_TRUE(expected.ok() && s.ok() && b.ok());
+    EXPECT_EQ(*s, *expected) << "sparse [" << i << "," << j << "]";
+    EXPECT_EQ(*b, *expected) << "block [" << i << "," << j << "]";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arrays, RmqAgreementTest,
+    ::testing::Values(RmqParam{1, 10, 5}, RmqParam{2, 100, 3},
+                      RmqParam{3, 1000, 1000000}, RmqParam{4, 1000, 2},
+                      RmqParam{5, 4096, 10}, RmqParam{6, 5000, 100},
+                      RmqParam{7, 65536, 1000}, RmqParam{8, 17, 4}));
+
+TEST(BlockRmqTest, AdjacentBlockBoundaries) {
+  // Exercise every (i, j) with small n to hit all boundary cases:
+  // in-block, adjacent-block, and spanning queries.
+  Rng rng(61);
+  std::vector<int64_t> values(257);
+  for (auto& v : values) v = static_cast<int64_t>(rng.NextBelow(32));
+  NaiveRmq naive(values);
+  auto block = BlockRmq::Build(values, nullptr);
+  for (int64_t i = 0; i < 257; ++i) {
+    for (int64_t j = i; j < 257; ++j) {
+      CostMeter m;
+      ASSERT_EQ(*block.Query(i, j, &m), *naive.Query(i, j, &m))
+          << "[" << i << "," << j << "]";
+    }
+  }
+}
+
+TEST(BlockRmqTest, ConstantQueryDepthAcrossSizes) {
+  Rng rng(62);
+  std::vector<int64_t> small(1 << 10), large(1 << 18);
+  for (auto& v : small) v = static_cast<int64_t>(rng.NextBelow(100));
+  for (auto& v : large) v = static_cast<int64_t>(rng.NextBelow(100));
+  auto rs = BlockRmq::Build(small, nullptr);
+  auto rl = BlockRmq::Build(large, nullptr);
+  CostMeter cs, cl;
+  ASSERT_TRUE(rs.Query(3, 1000, &cs).ok());
+  ASSERT_TRUE(rl.Query(3, 250000, &cl).ok());
+  EXPECT_LE(cl.depth(), cs.depth() + 4) << "O(1) queries";
+}
+
+TEST(BlockRmqTest, LinearPreprocessingBeatsSparseTable) {
+  Rng rng(63);
+  std::vector<int64_t> values(1 << 16);
+  for (auto& v : values) v = static_cast<int64_t>(rng.NextBelow(1 << 20));
+  CostMeter sparse_m, block_m;
+  SparseTableRmq::Build(values, &sparse_m);
+  BlockRmq::Build(values, &block_m);
+  EXPECT_LT(block_m.work(), sparse_m.work())
+      << "Fischer-Heun O(n) must undercut the O(n log n) table";
+}
+
+}  // namespace
+}  // namespace rmq
+}  // namespace pitract

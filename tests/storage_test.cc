@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/generator.h"
+#include "storage/relation.h"
+
+namespace pitract {
+namespace storage {
+namespace {
+
+Relation TwoColumnRelation() {
+  Relation rel{Schema({{"id", ValueType::kInt64}, {"name", ValueType::kString}})};
+  EXPECT_TRUE(rel.AppendRow({Value(int64_t{1}), Value(std::string("ada"))}).ok());
+  EXPECT_TRUE(rel.AppendRow({Value(int64_t{2}), Value(std::string("grace"))}).ok());
+  return rel;
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema schema({{"a", ValueType::kInt64}, {"b", ValueType::kString}});
+  EXPECT_EQ(schema.FindColumn("a"), 0);
+  EXPECT_EQ(schema.FindColumn("b"), 1);
+  EXPECT_EQ(schema.FindColumn("c"), -1);
+  EXPECT_EQ(schema.ToString(), "(a:int64, b:string)");
+}
+
+TEST(RelationTest, AppendAndGet) {
+  Relation rel = TwoColumnRelation();
+  EXPECT_EQ(rel.num_rows(), 2);
+  auto id = rel.GetInt64(1, 0);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 2);
+  auto name = rel.GetString(0, 1);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "ada");
+}
+
+TEST(RelationTest, TypeAndArityErrors) {
+  Relation rel = TwoColumnRelation();
+  EXPECT_FALSE(rel.AppendRow({Value(int64_t{3})}).ok());
+  EXPECT_FALSE(
+      rel.AppendRow({Value(std::string("x")), Value(std::string("y"))}).ok());
+  EXPECT_FALSE(rel.GetInt64(0, 1).ok());   // wrong type
+  EXPECT_FALSE(rel.GetInt64(5, 0).ok());   // row out of range
+  EXPECT_FALSE(rel.GetInt64(0, 9).ok());   // column out of range
+  EXPECT_FALSE(rel.AppendIntRow({1, 2}).ok());  // string column present
+}
+
+TEST(RelationTest, ScanPointExistsChargesTouchedPrefix) {
+  Relation rel{Schema({{"v", ValueType::kInt64}})};
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(rel.AppendIntRow({i}).ok());
+  }
+  CostMeter hit_meter;
+  auto hit = rel.ScanPointExists(0, 5, &hit_meter);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(*hit);
+  EXPECT_EQ(hit_meter.work(), 6);  // positions 0..5
+
+  CostMeter miss_meter;
+  auto miss = rel.ScanPointExists(0, 1000, &miss_meter);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(*miss);
+  EXPECT_EQ(miss_meter.work(), 100);  // full scan on miss
+  EXPECT_EQ(miss_meter.bytes_read(), 100 * 8);
+}
+
+TEST(RelationTest, ScanRangeExists) {
+  Relation rel{Schema({{"v", ValueType::kInt64}})};
+  for (int64_t i = 0; i < 50; ++i) {
+    ASSERT_TRUE(rel.AppendIntRow({i * 10}).ok());
+  }
+  CostMeter m;
+  auto in = rel.ScanRangeExists(0, 101, 109, &m);
+  ASSERT_TRUE(in.ok());
+  EXPECT_FALSE(*in);
+  auto found = rel.ScanRangeExists(0, 100, 110, &m);
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(*found);
+}
+
+TEST(RelationTest, EncodeDecodeRoundTripIntColumns) {
+  Rng rng(3);
+  RelationGenOptions options;
+  options.num_rows = 64;
+  options.num_columns = 3;
+  Relation rel = GenerateIntRelation(options, &rng);
+  auto back = Relation::Decode(rel.Encode());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_rows(), rel.num_rows());
+  ASSERT_TRUE(back->schema() == rel.schema());
+  for (int64_t row = 0; row < rel.num_rows(); ++row) {
+    for (int col = 0; col < rel.num_columns(); ++col) {
+      EXPECT_EQ(*back->GetInt64(row, col), *rel.GetInt64(row, col));
+    }
+  }
+}
+
+TEST(RelationTest, EncodeDecodeRoundTripStringColumns) {
+  Relation rel = TwoColumnRelation();
+  auto back = Relation::Decode(rel.Encode());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(*back->GetString(1, 1), "grace");
+}
+
+TEST(RelationTest, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Relation::Decode("not-a-relation").ok());
+  EXPECT_FALSE(Relation::Decode("").ok());
+}
+
+TEST(GeneratorTest, UniformRelationShape) {
+  Rng rng(5);
+  RelationGenOptions options;
+  options.num_rows = 1000;
+  options.num_columns = 2;
+  options.value_range = 100;
+  Relation rel = GenerateIntRelation(options, &rng);
+  EXPECT_EQ(rel.num_rows(), 1000);
+  EXPECT_EQ(rel.num_columns(), 2);
+  auto col = rel.Int64Column(0);
+  ASSERT_TRUE(col.ok());
+  for (int64_t v : *col) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(GeneratorTest, LogRelationTimestampsMonotone) {
+  Rng rng(6);
+  Relation rel = GenerateLogRelation(500, 4, 32, &rng);
+  auto ts = rel.Int64Column(0);
+  ASSERT_TRUE(ts.ok());
+  for (size_t i = 1; i < ts->size(); ++i) {
+    EXPECT_GT((*ts)[i], (*ts)[i - 1]);
+  }
+  auto level = rel.Int64Column(1);
+  ASSERT_TRUE(level.ok());
+  for (int64_t v : *level) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 4);
+  }
+}
+
+TEST(GeneratorTest, DeterministicInSeed) {
+  Rng rng_a(7), rng_b(7);
+  RelationGenOptions options;
+  options.num_rows = 128;
+  Relation a = GenerateIntRelation(options, &rng_a);
+  Relation b = GenerateIntRelation(options, &rng_b);
+  EXPECT_EQ(a.Encode(), b.Encode());
+}
+
+TEST(GeneratorTest, ZipfRelationIsSkewed) {
+  Rng rng(8);
+  RelationGenOptions options;
+  options.num_rows = 5000;
+  options.num_columns = 1;
+  options.value_range = 1000;
+  options.zipf_theta = 0.9;
+  Relation rel = GenerateIntRelation(options, &rng);
+  auto col = rel.Int64Column(0);
+  ASSERT_TRUE(col.ok());
+  int64_t low = 0;
+  for (int64_t v : *col) {
+    if (v < 10) ++low;
+  }
+  EXPECT_GT(low, rel.num_rows() / 20);
+}
+
+}  // namespace
+}  // namespace storage
+}  // namespace pitract

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "storage/generator.h"
+#include "topk/threshold.h"
+
+namespace pitract {
+namespace topk {
+namespace {
+
+storage::Relation MakeScores(int64_t rows, int cols, double zipf,
+                             uint64_t seed) {
+  Rng rng(seed);
+  storage::RelationGenOptions options;
+  options.num_rows = rows;
+  options.num_columns = cols;
+  options.value_range = 10000;
+  options.zipf_theta = zipf;
+  return storage::GenerateIntRelation(options, &rng);
+}
+
+TEST(ThresholdIndexTest, TinyHandComputed) {
+  storage::Relation rel{storage::Schema(
+      {{"a", storage::ValueType::kInt64}, {"b", storage::ValueType::kInt64}})};
+  // Scores (w = 1,1): obj0 = 9, obj1 = 11, obj2 = 5, obj3 = 11.
+  ASSERT_TRUE(rel.AppendIntRow({4, 5}).ok());
+  ASSERT_TRUE(rel.AppendIntRow({10, 1}).ok());
+  ASSERT_TRUE(rel.AppendIntRow({2, 3}).ok());
+  ASSERT_TRUE(rel.AppendIntRow({3, 8}).ok());
+  auto index = ThresholdIndex::Build(rel, {0, 1}, nullptr);
+  ASSERT_TRUE(index.ok());
+  auto top2 = index->TopK({1, 1}, 2, nullptr);
+  ASSERT_TRUE(top2.ok());
+  ASSERT_EQ(top2->objects.size(), 2u);
+  // Ties (11, 11) break toward the smaller id.
+  EXPECT_EQ(top2->objects[0], (ScoredObject{1, 11}));
+  EXPECT_EQ(top2->objects[1], (ScoredObject{3, 11}));
+}
+
+TEST(ThresholdIndexTest, WeightsScaleScores) {
+  storage::Relation rel{storage::Schema(
+      {{"a", storage::ValueType::kInt64}, {"b", storage::ValueType::kInt64}})};
+  ASSERT_TRUE(rel.AppendIntRow({10, 0}).ok());
+  ASSERT_TRUE(rel.AppendIntRow({0, 10}).ok());
+  auto index = ThresholdIndex::Build(rel, {0, 1}, nullptr);
+  ASSERT_TRUE(index.ok());
+  auto a_heavy = index->TopK({5, 1}, 1, nullptr);
+  ASSERT_TRUE(a_heavy.ok());
+  EXPECT_EQ(a_heavy->objects[0].object_id, 0);
+  auto b_heavy = index->TopK({1, 5}, 1, nullptr);
+  ASSERT_TRUE(b_heavy.ok());
+  EXPECT_EQ(b_heavy->objects[0].object_id, 1);
+}
+
+TEST(ThresholdIndexTest, RejectsBadQueries) {
+  auto rel = MakeScores(10, 2, 0.0, 1);
+  auto index = ThresholdIndex::Build(rel, {0, 1}, nullptr);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->TopK({1}, 1, nullptr).ok()) << "weight arity";
+  EXPECT_FALSE(index->TopK({1, -1}, 1, nullptr).ok()) << "negative weight";
+  EXPECT_FALSE(index->TopK({1, 1}, 0, nullptr).ok()) << "k = 0";
+  EXPECT_FALSE(ThresholdIndex::Build(rel, {}, nullptr).ok()) << "no columns";
+  EXPECT_FALSE(ThresholdIndex::Build(rel, {7}, nullptr).ok()) << "bad column";
+}
+
+TEST(ThresholdIndexTest, KLargerThanNReturnsEverything) {
+  auto rel = MakeScores(5, 2, 0.0, 2);
+  auto index = ThresholdIndex::Build(rel, {0, 1}, nullptr);
+  ASSERT_TRUE(index.ok());
+  auto all = index->TopK({1, 1}, 50, nullptr);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->objects.size(), 5u);
+  for (size_t i = 1; i < all->objects.size(); ++i) {
+    EXPECT_FALSE(all->objects[i].score > all->objects[i - 1].score);
+  }
+}
+
+/// Top-k answers are unique only up to ties at the k-th boundary: TA may
+/// legitimately return a different equal-scored object than the scan.
+/// Equivalence therefore means: identical score sequences, distinct ids,
+/// and every reported (id, score) pair correct under recomputation.
+void ExpectEquivalentTopK(const storage::Relation& rel,
+                          const std::vector<int>& columns,
+                          const std::vector<int64_t>& weights,
+                          const TopKResult& ta, const TopKResult& scan) {
+  ASSERT_EQ(ta.objects.size(), scan.objects.size());
+  std::set<int64_t> ids;
+  for (size_t i = 0; i < ta.objects.size(); ++i) {
+    EXPECT_EQ(ta.objects[i].score, scan.objects[i].score) << "position " << i;
+    EXPECT_TRUE(ids.insert(ta.objects[i].object_id).second)
+        << "duplicate object in answer";
+    int64_t recomputed = 0;
+    for (size_t attr = 0; attr < columns.size(); ++attr) {
+      auto v = rel.GetInt64(ta.objects[i].object_id, columns[attr]);
+      ASSERT_TRUE(v.ok());
+      recomputed += weights[attr] * *v;
+    }
+    EXPECT_EQ(recomputed, ta.objects[i].score);
+  }
+}
+
+struct TopKParam {
+  uint64_t seed;
+  int64_t rows;
+  int cols;
+  int k;
+  double zipf;
+};
+
+class ThresholdAgreementTest : public ::testing::TestWithParam<TopKParam> {};
+
+TEST_P(ThresholdAgreementTest, MatchesScanBaseline) {
+  const auto p = GetParam();
+  auto rel = MakeScores(p.rows, p.cols, p.zipf, p.seed);
+  std::vector<int> columns;
+  for (int c = 0; c < p.cols; ++c) columns.push_back(c);
+  std::vector<int64_t> weights;
+  Rng rng(p.seed * 7);
+  for (int c = 0; c < p.cols; ++c) {
+    weights.push_back(static_cast<int64_t>(1 + rng.NextBelow(5)));
+  }
+  auto index = ThresholdIndex::Build(rel, columns, nullptr);
+  ASSERT_TRUE(index.ok());
+  CostMeter ta_meter, scan_meter;
+  auto ta = index->TopK(weights, p.k, &ta_meter);
+  auto scan =
+      ThresholdIndex::TopKByScan(rel, columns, weights, p.k, &scan_meter);
+  ASSERT_TRUE(ta.ok() && scan.ok());
+  ExpectEquivalentTopK(rel, columns, weights, *ta, *scan);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, ThresholdAgreementTest,
+    ::testing::Values(TopKParam{1, 100, 2, 5, 0.0},
+                      TopKParam{2, 500, 3, 10, 0.0},
+                      TopKParam{3, 1000, 2, 1, 0.8},
+                      TopKParam{4, 1000, 4, 25, 0.9},
+                      TopKParam{5, 2000, 3, 7, 0.5},
+                      TopKParam{6, 64, 2, 64, 0.0},
+                      TopKParam{7, 3000, 2, 3, 1.2}));
+
+TEST(ThresholdIndexTest, EarlyTerminationOnSkewedData) {
+  // On heavy-tailed data the threshold fires after a small prefix — the
+  // Section 8(5) "find top-k without computing the entire Q(D)" effect.
+  auto rel = MakeScores(20000, 2, 1.1, 9);
+  auto index = ThresholdIndex::Build(rel, {0, 1}, nullptr);
+  ASSERT_TRUE(index.ok());
+  auto top10 = index->TopK({1, 1}, 10, nullptr);
+  ASSERT_TRUE(top10.ok());
+  EXPECT_LT(top10->stop_depth, 20000 / 4)
+      << "TA should stop far before exhausting the lists";
+  EXPECT_LT(top10->sorted_accesses + top10->random_accesses, 2 * 20000);
+}
+
+TEST(ThresholdIndexTest, AccessCostBeatsScanOnSkewedData) {
+  auto rel = MakeScores(20000, 2, 1.1, 10);
+  auto index = ThresholdIndex::Build(rel, {0, 1}, nullptr);
+  ASSERT_TRUE(index.ok());
+  CostMeter ta_meter, scan_meter;
+  ASSERT_TRUE(index->TopK({2, 3}, 10, &ta_meter).ok());
+  ASSERT_TRUE(
+      ThresholdIndex::TopKByScan(rel, {0, 1}, {2, 3}, 10, &scan_meter).ok());
+  EXPECT_LT(ta_meter.work() * 4, scan_meter.work());
+}
+
+TEST(ThresholdIndexTest, WorstCaseStillExact) {
+  // Anti-correlated attributes are TA's worst case: it may need deep
+  // probing, but must stay exact.
+  storage::Relation rel{storage::Schema(
+      {{"a", storage::ValueType::kInt64}, {"b", storage::ValueType::kInt64}})};
+  const int64_t n = 500;
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(rel.AppendIntRow({i, n - i}).ok());
+  }
+  auto index = ThresholdIndex::Build(rel, {0, 1}, nullptr);
+  ASSERT_TRUE(index.ok());
+  auto ta = index->TopK({1, 1}, 5, nullptr);
+  auto scan = ThresholdIndex::TopKByScan(rel, {0, 1}, {1, 1}, 5, nullptr);
+  ASSERT_TRUE(ta.ok() && scan.ok());
+  ExpectEquivalentTopK(rel, {0, 1}, {1, 1}, *ta, *scan);
+}
+
+TEST(ThresholdIndexTest, ZeroWeightIgnoresAttribute) {
+  auto rel = MakeScores(300, 2, 0.0, 11);
+  auto index = ThresholdIndex::Build(rel, {0, 1}, nullptr);
+  ASSERT_TRUE(index.ok());
+  auto ta = index->TopK({1, 0}, 5, nullptr);
+  auto scan = ThresholdIndex::TopKByScan(rel, {0, 1}, {1, 0}, 5, nullptr);
+  ASSERT_TRUE(ta.ok() && scan.ok());
+  ExpectEquivalentTopK(rel, {0, 1}, {1, 0}, *ta, *scan);
+}
+
+}  // namespace
+}  // namespace topk
+}  // namespace pitract

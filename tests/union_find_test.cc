@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/algos.h"
+#include "graph/generators.h"
+#include "incremental/union_find.h"
+
+namespace pitract {
+namespace incremental {
+namespace {
+
+TEST(UnionFindTest, StartsFullySeparated) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5);
+  CostMeter m;
+  EXPECT_FALSE(*uf.Connected(0, 1, &m));
+  EXPECT_TRUE(*uf.Connected(3, 3, &m));
+}
+
+TEST(UnionFindTest, UnionMergesAndReportsChange) {
+  UnionFind uf(4);
+  CostMeter m;
+  EXPECT_TRUE(*uf.Union(0, 1, &m));
+  EXPECT_TRUE(*uf.Union(2, 3, &m));
+  EXPECT_FALSE(*uf.Connected(0, 2, &m));
+  EXPECT_TRUE(*uf.Union(1, 2, &m));
+  EXPECT_TRUE(*uf.Connected(0, 3, &m));
+  EXPECT_EQ(uf.num_components(), 1);
+  EXPECT_FALSE(*uf.Union(0, 3, &m)) << "no-op union reports no change";
+}
+
+TEST(UnionFindTest, RejectsOutOfRange) {
+  UnionFind uf(3);
+  EXPECT_FALSE(uf.Union(0, 3, nullptr).ok());
+  EXPECT_FALSE(uf.Connected(-1, 0, nullptr).ok());
+  EXPECT_FALSE(uf.Find(99, nullptr).ok());
+}
+
+TEST(UnionFindTest, FindReturnsCanonicalRepresentative) {
+  UnionFind uf(6);
+  ASSERT_TRUE(uf.Union(0, 1, nullptr).ok());
+  ASSERT_TRUE(uf.Union(1, 2, nullptr).ok());
+  auto r0 = uf.Find(0, nullptr);
+  auto r2 = uf.Find(2, nullptr);
+  ASSERT_TRUE(r0.ok() && r2.ok());
+  EXPECT_EQ(*r0, *r2);
+  auto r5 = uf.Find(5, nullptr);
+  EXPECT_NE(*r0, *r5);
+}
+
+TEST(UnionFindTest, PathCompressionShortensLaterQueries) {
+  // Build a long chain, query the far end twice: the second find must be
+  // much cheaper — the bounded incremental flavor of the structure.
+  const int64_t n = 4096;
+  UnionFind uf(n);
+  for (int64_t i = 0; i + 1 < n; ++i) {
+    ASSERT_TRUE(uf.Union(i, i + 1, nullptr).ok());
+  }
+  CostMeter first, second;
+  ASSERT_TRUE(uf.Find(n - 1, &first).ok());
+  ASSERT_TRUE(uf.Find(n - 1, &second).ok());
+  EXPECT_LE(second.work(), 2);
+  EXPECT_LE(first.work(), 64) << "union-by-rank keeps trees shallow";
+}
+
+class UnionFindPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnionFindPropertyTest, AgreesWithBfsConnectivity) {
+  Rng rng(GetParam());
+  const graph::NodeId n = 80;
+  UnionFind uf(n);
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> edges;
+  for (int step = 0; step < 120; ++step) {
+    auto a = static_cast<graph::NodeId>(rng.NextBelow(n));
+    auto b = static_cast<graph::NodeId>(rng.NextBelow(n));
+    ASSERT_TRUE(uf.Union(a, b, nullptr).ok());
+    edges.emplace_back(a, b);
+    if (step % 20 == 19) {
+      auto g = graph::Graph::FromEdges(n, edges, /*directed=*/false);
+      ASSERT_TRUE(g.ok());
+      auto comp = graph::ConnectedComponents(*g);
+      EXPECT_EQ(uf.num_components(), comp.num_components);
+      for (int probe = 0; probe < 40; ++probe) {
+        auto u = static_cast<graph::NodeId>(rng.NextBelow(n));
+        auto v = static_cast<graph::NodeId>(rng.NextBelow(n));
+        EXPECT_EQ(*uf.Connected(u, v, nullptr),
+                  comp.component[static_cast<size_t>(u)] ==
+                      comp.component[static_cast<size_t>(v)]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionFindPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(UnionFindTest, IncrementalMaintenanceOfConnWitness) {
+  // The Section 1 incremental-preprocessing story for connectivity: an
+  // edge insertion updates the preprocessed structure in near-O(1) rather
+  // than re-running the O(n + m) component pass.
+  const int64_t n = 1 << 14;
+  UnionFind uf(n);
+  Rng rng(5);
+  for (int64_t i = 0; i < n / 2; ++i) {
+    ASSERT_TRUE(
+        uf.Union(static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(n))),
+                 static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(n))),
+                 nullptr)
+            .ok());
+  }
+  CostMeter delta;
+  ASSERT_TRUE(uf.Union(1, 2, &delta).ok());
+  EXPECT_LT(delta.work(), 128) << "far below the O(n + m) recompute";
+}
+
+}  // namespace
+}  // namespace incremental
+}  // namespace pitract

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "storage/generator.h"
+#include "views/views.h"
+
+namespace pitract {
+namespace views {
+namespace {
+
+storage::Relation MakeLog(int64_t rows, uint64_t seed) {
+  Rng rng(seed);
+  return storage::GenerateLogRelation(rows, /*num_levels=*/4,
+                                      /*num_codes=*/32, &rng);
+}
+
+TEST(CountViewTest, CountsMatchScan) {
+  storage::Relation base = MakeLog(2000, 1);
+  CostMeter pre;
+  auto view = CountView::Materialize(base, "level", &pre);
+  ASSERT_TRUE(view.ok());
+  EXPECT_GT(pre.work(), 0);
+  for (int64_t level = 0; level < 5; ++level) {
+    ViewQuery q;
+    q.kind = ViewQuery::Kind::kCountByKey;
+    q.key_column = "level";
+    q.key = level;
+    CostMeter m;
+    auto scanned = ViewCatalog::AnswerByScan(base, q, &m);
+    ASSERT_TRUE(scanned.ok());
+    CostMeter vm;
+    EXPECT_EQ(view->Count(level, &vm), *scanned);
+    EXPECT_LT(vm.depth(), m.depth()) << "view probe beats the scan";
+  }
+}
+
+TEST(CountViewTest, MissingColumnRejected) {
+  storage::Relation base = MakeLog(10, 2);
+  EXPECT_FALSE(CountView::Materialize(base, "nope", nullptr).ok());
+}
+
+TEST(PartitionedRangeViewTest, MatchesScan) {
+  storage::Relation base = MakeLog(3000, 3);
+  auto view = PartitionedRangeView::Materialize(base, "level", "ts", nullptr);
+  ASSERT_TRUE(view.ok());
+  Rng rng(4);
+  for (int trial = 0; trial < 200; ++trial) {
+    ViewQuery q;
+    q.kind = ViewQuery::Kind::kExistsInRange;
+    q.key_column = "level";
+    q.range_column = "ts";
+    q.key = static_cast<int64_t>(rng.NextBelow(5));
+    q.lo = static_cast<int64_t>(rng.NextBelow(9000));
+    q.hi = q.lo + static_cast<int64_t>(rng.NextBelow(500));
+    CostMeter m;
+    auto scanned = ViewCatalog::AnswerByScan(base, q, &m);
+    ASSERT_TRUE(scanned.ok());
+    CostMeter vm;
+    EXPECT_EQ(view->ExistsInRange(q.key, q.lo, q.hi, &vm) ? 1 : 0, *scanned);
+  }
+}
+
+TEST(ViewCatalogTest, RewritesToTheRightView) {
+  storage::Relation base = MakeLog(1000, 5);
+  ViewCatalog catalog;
+  ASSERT_TRUE(catalog.AddCountView(base, "code", nullptr).ok());
+  ASSERT_TRUE(catalog.AddCountView(base, "level", nullptr).ok());
+  ASSERT_TRUE(catalog.AddRangeView(base, "level", "ts", nullptr).ok());
+
+  ViewQuery count_q;
+  count_q.kind = ViewQuery::Kind::kCountByKey;
+  count_q.key_column = "code";
+  count_q.key = 7;
+  CostMeter m;
+  auto via_views = catalog.Answer(count_q, &m);
+  auto via_scan = ViewCatalog::AnswerByScan(base, count_q, &m);
+  ASSERT_TRUE(via_views.ok() && via_scan.ok());
+  EXPECT_EQ(*via_views, *via_scan);
+
+  ViewQuery range_q;
+  range_q.kind = ViewQuery::Kind::kExistsInRange;
+  range_q.key_column = "level";
+  range_q.range_column = "ts";
+  range_q.key = 0;
+  range_q.lo = 0;
+  range_q.hi = 1'000'000;
+  auto range_ans = catalog.Answer(range_q, &m);
+  ASSERT_TRUE(range_ans.ok());
+  EXPECT_EQ(*range_ans, 1);
+}
+
+TEST(ViewCatalogTest, UncoveredQueryFailsPrecondition) {
+  storage::Relation base = MakeLog(100, 6);
+  ViewCatalog catalog;
+  ASSERT_TRUE(catalog.AddCountView(base, "level", nullptr).ok());
+  ViewQuery q;
+  q.kind = ViewQuery::Kind::kCountByKey;
+  q.key_column = "code";  // no view over code
+  auto answer = catalog.Answer(q, nullptr);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kFailedPrecondition);
+
+  ViewQuery rq;
+  rq.kind = ViewQuery::Kind::kExistsInRange;
+  rq.key_column = "level";
+  rq.range_column = "code";  // range view is over ts, not code
+  EXPECT_EQ(catalog.Answer(rq, nullptr).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ViewCatalogTest, ViewsAreSmallerThanBaseForAggregates) {
+  storage::Relation base = MakeLog(50000, 7);
+  ViewCatalog catalog;
+  ASSERT_TRUE(catalog.AddCountView(base, "level", nullptr).ok());
+  // 4 levels of counts vs 50k rows: V(D) << D.
+  EXPECT_LT(catalog.EstimateBytes() * 100, base.EstimateBytes());
+}
+
+class ViewsPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ViewsPropertyTest, CatalogAgreesWithScansEverywhere) {
+  storage::Relation base = MakeLog(1500, GetParam());
+  ViewCatalog catalog;
+  ASSERT_TRUE(catalog.AddCountView(base, "code", nullptr).ok());
+  ASSERT_TRUE(catalog.AddRangeView(base, "code", "ts", nullptr).ok());
+  Rng rng(GetParam() * 31);
+  for (int trial = 0; trial < 150; ++trial) {
+    ViewQuery q;
+    if (rng.NextBool()) {
+      q.kind = ViewQuery::Kind::kCountByKey;
+      q.key_column = "code";
+      q.key = static_cast<int64_t>(rng.NextBelow(40));
+    } else {
+      q.kind = ViewQuery::Kind::kExistsInRange;
+      q.key_column = "code";
+      q.range_column = "ts";
+      q.key = static_cast<int64_t>(rng.NextBelow(40));
+      q.lo = rng.NextInRange(-100, 5000);
+      q.hi = q.lo + rng.NextInRange(0, 800);
+    }
+    CostMeter m;
+    auto fast = catalog.Answer(q, &m);
+    auto slow = ViewCatalog::AnswerByScan(base, q, &m);
+    ASSERT_TRUE(fast.ok() && slow.ok());
+    EXPECT_EQ(*fast, *slow);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViewsPropertyTest,
+                         ::testing::Values(11, 12, 13, 14));
+
+}  // namespace
+}  // namespace views
+}  // namespace pitract
