@@ -6,6 +6,8 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "engine/builtins.h"
+#include "engine/engine.h"
 #include "index/sorted_column.h"
 #include "storage/generator.h"
 
@@ -74,6 +76,34 @@ void BM_Preprocess_Sort(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Preprocess_Sort)->RangeMultiplier(16)->Range(1 << 14, 1 << 22);
+
+void BM_EngineTypedBatch(benchmark::State& state) {
+  // The same workload driven through the engine's typed path: each
+  // iteration answers the registered list-membership case's whole query
+  // batch via QueryEngine::AnswerTypedBatch. The typed cache makes every
+  // iteration after the first prepare-free (pi_runs_total stays 1).
+  pitract::engine::QueryEngine engine;
+  if (!pitract::engine::RegisterBuiltins(&engine).ok()) {
+    state.SkipWithError("RegisterBuiltins failed");
+    return;
+  }
+  int64_t pi_runs = 0;
+  int64_t queries = 0;
+  for (auto _ : state) {
+    auto batch = engine.AnswerTypedBatch("list-membership", state.range(0),
+                                         /*seed=*/1);
+    if (!batch.ok()) {
+      state.SkipWithError("AnswerTypedBatch failed");
+      return;
+    }
+    pi_runs += batch->prepare_runs;
+    queries += static_cast<int64_t>(batch->answers.size());
+    benchmark::DoNotOptimize(batch->answers);
+  }
+  state.counters["pi_runs_total"] = static_cast<double>(pi_runs);
+  state.counters["queries_answered"] = static_cast<double>(queries);
+}
+BENCHMARK(BM_EngineTypedBatch)->RangeMultiplier(16)->Range(1 << 14, 1 << 22);
 
 }  // namespace
 

@@ -10,6 +10,8 @@
 #include "circuit/generators.h"
 #include "common/rng.h"
 #include "core/problems.h"
+#include "engine/builtins.h"
+#include "engine/engine.h"
 
 namespace {
 
@@ -29,7 +31,12 @@ circuit::CvpInstance MakeDeepInstance(int64_t gates) {
 
 void BM_Y0_EvaluatePerQuery(benchmark::State& state) {
   auto instance = MakeDeepInstance(state.range(0));
-  auto witness = core::CvpEmptyDataWitness();
+  auto entry = pitract::engine::DefaultEngine().Find("cvp-empty-data");
+  if (!entry.ok()) {
+    state.SkipWithError("cvp-empty-data not registered");
+    return;
+  }
+  const auto& witness = (*entry)->witness;
   auto prepared = witness.preprocess("", nullptr);
   if (!prepared.ok()) {
     state.SkipWithError("preprocess failed");
@@ -48,8 +55,13 @@ BENCHMARK(BM_Y0_EvaluatePerQuery)->RangeMultiplier(4)->Range(1 << 10, 1 << 16);
 
 void BM_Refactorized_GateProbe(benchmark::State& state) {
   auto instance = MakeDeepInstance(state.range(0));
-  auto witness = core::GvpWitness();
-  auto data = core::GvpFactorization().pi1(
+  auto entry = pitract::engine::DefaultEngine().Find("cvp-refactorized");
+  if (!entry.ok()) {
+    state.SkipWithError("cvp-refactorized not registered");
+    return;
+  }
+  const auto& witness = (*entry)->witness;
+  auto data = (*entry)->factorization.pi1(
       core::MakeGvpInstance(instance, instance.circuit.output()));
   if (!data.ok()) {
     state.SkipWithError("factorization failed");

@@ -1,25 +1,53 @@
 // F2 — Figure 2: the class landscape NC ⊆ ΠT⁰Q ⊆ P (= ΠTP = ΠTQ).
 //
 // The paper's figure relates ΠT⁰Q, ΠTP and ΠTQ. This harness regenerates
-// it *empirically*: every registered query class is swept over doubling
-// data sizes, its preprocessing work is fitted to a polynomial degree and
-// its per-query depth curve classified as polylog or not. Classes land in
-// ΠT⁰Q exactly when PTIME preprocessing yields polylog answering — and the
-// printed verdicts reproduce the figure's containments:
+// it *empirically*: every typed query class in the engine registry is swept
+// over doubling data sizes, its preprocessing work is fitted to a
+// polynomial degree and its per-query depth curve classified as polylog or
+// not. Classes land in ΠT⁰Q exactly when PTIME preprocessing yields polylog
+// answering — and the printed verdicts reproduce the figure's containments:
 //  * every case's *baseline* (no preprocessing) is PTIME — all rows live in P;
 //  * the preprocessed answerers are polylog — those factorizations are in ΠT⁰Q;
 //  * cvp-refactorized demonstrates ΠTQ: P-complete CVP enters via
 //    re-factorization (Corollary 6), while its Υ0 baseline column stays
 //    polynomial (Theorem 9's separation).
+//
+// Besides the table, one JSON line per (case, n) is appended to
+// BENCH_f2_landscape.json (or argv[1]) so trajectories accumulate across
+// runs.
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/classifier.h"
-#include "core/query_class.h"
+#include "engine/builtins.h"
+#include "engine/engine.h"
 
-int main() {
+namespace {
+
+void EmitJsonLine(std::FILE* out, const pitract::core::Classification& row,
+                  const pitract::core::SweepPoint& point) {
+  std::fprintf(out,
+               "{\"bench\":\"f2_landscape\",\"case\":\"%s\","
+               "\"anchor\":\"%s\",\"n\":%lld,\"preprocess_work\":%lld,"
+               "\"prepared_depth\":%.3f,\"baseline_depth\":%.3f,"
+               "\"preprocess_degree\":%.3f,\"prepared_slope\":%.3f,"
+               "\"baseline_slope\":%.3f,\"pi_tractable\":%s}\n",
+               row.name.c_str(), row.paper_anchor.c_str(),
+               static_cast<long long>(point.n),
+               static_cast<long long>(point.preprocess_work),
+               point.prepared_depth, point.baseline_depth,
+               row.preprocess_degree, row.prepared_slope, row.baseline_slope,
+               row.pi_tractable ? "true" : "false");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   std::printf(
-      "F2 | Figure 2 landscape, regenerated empirically.\n"
+      "F2 | Figure 2 landscape, regenerated empirically through the engine "
+      "registry.\n"
       "     pre-deg:   log-log slope of preprocessing work vs n (PTIME degree)\n"
       "     ans-slope: log-log slope of per-query depth after preprocessing\n"
       "                (polylog curves flatten below %.2f)\n"
@@ -28,19 +56,48 @@ int main() {
 
   const std::vector<int64_t> sizes = {1 << 8, 1 << 9, 1 << 10, 1 << 11,
                                       1 << 12};
-  auto cases = pitract::core::MakeAllCases();
+  auto& engine = pitract::engine::DefaultEngine();
   std::vector<pitract::core::Classification> rows;
-  for (auto& query_class : cases) {
-    auto result = pitract::core::Classify(query_class.get(), sizes, /*seed=*/1);
+  for (const std::string& name : engine.Names()) {
+    auto entry = engine.Find(name);
+    if (!entry.ok() || !(*entry)->make_case) continue;  // Σ*-only entries
+    auto query_class = engine.MakeCase(name);
+    if (!query_class.ok()) {
+      std::fprintf(stderr, "case construction for %s failed: %s\n",
+                   name.c_str(), query_class.status().ToString().c_str());
+      return 1;
+    }
+    auto result =
+        pitract::core::Classify(query_class->get(), sizes, /*seed=*/1);
     if (!result.ok()) {
-      std::fprintf(stderr, "classification of %s failed: %s\n",
-                   query_class->name().c_str(),
+      std::fprintf(stderr, "classification of %s failed: %s\n", name.c_str(),
                    result.status().ToString().c_str());
       return 1;
     }
     rows.push_back(*result);
   }
   std::printf("%s\n", pitract::core::LandscapeReport(rows).c_str());
+
+  // One JSON line per (case, n): append so BENCH_*.json trajectories
+  // accumulate across runs.
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_f2_landscape.json";
+  std::FILE* json = std::fopen(json_path, "a");
+  if (json == nullptr) {
+    std::fprintf(stderr, "warning: cannot open %s for append; JSON lines go "
+                 "to stdout only\n", json_path);
+  }
+  size_t lines = 0;
+  for (const auto& row : rows) {
+    for (const auto& point : row.points) {
+      EmitJsonLine(stdout, row, point);
+      if (json != nullptr) EmitJsonLine(json, row, point);
+      ++lines;
+    }
+  }
+  if (json != nullptr) {
+    std::fclose(json);
+    std::printf("\n(appended %zu JSON lines to %s)\n", lines, json_path);
+  }
 
   // The Figure 2 containment, checked.
   int in_pit0q = 0;

@@ -14,7 +14,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/query_class.h"
+#include "engine/builtins.h"
+#include "engine/engine.h"
 
 int main() {
   std::printf(
@@ -26,7 +27,11 @@ int main() {
   std::printf(
       "--------------------------------------------------------------------"
       "--------------------\n");
-  for (auto& query_class : pitract::core::MakeAllCases()) {
+  auto& engine = pitract::engine::DefaultEngine();
+  for (const std::string& name : engine.Names()) {
+    auto case_or = engine.MakeCase(name);
+    if (!case_or.ok()) continue;  // Σ*-only entry: no deployed form to sweep
+    auto& query_class = *case_or;
     for (int64_t n : sizes) {
       if (query_class->name() == "graph-reachability" && n > (1 << 13)) {
         continue;  // closure matrix memory at 2^16 nodes exceeds the demo box

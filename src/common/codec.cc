@@ -62,6 +62,22 @@ Result<std::vector<std::string>> DecodeFields(std::string_view encoded) {
   return fields;
 }
 
+std::optional<std::vector<std::string_view>> DecodeFieldsView(
+    std::string_view encoded) {
+  if (encoded.find('\\') != std::string_view::npos) return std::nullopt;
+  std::vector<std::string_view> fields;
+  size_t pos = 0;
+  while (true) {
+    size_t hash = encoded.find('#', pos);
+    if (hash == std::string_view::npos) {
+      fields.push_back(encoded.substr(pos));
+      return fields;
+    }
+    fields.push_back(encoded.substr(pos, hash - pos));
+    pos = hash + 1;
+  }
+}
+
 std::string EncodeInts(const std::vector<int64_t>& values) {
   std::string out;
   for (size_t i = 0; i < values.size(); ++i) {

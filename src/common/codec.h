@@ -2,6 +2,7 @@
 #define PITRACT_COMMON_CODEC_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -35,6 +36,14 @@ std::string EncodeFields(const std::vector<std::string>& fields);
 
 /// Splits a '#'-joined encoding back into unescaped fields.
 Result<std::vector<std::string>> DecodeFields(std::string_view encoded);
+
+/// Zero-copy fast path of DecodeFields for the common escape-free case:
+/// splits on '#' into string_view slices of `encoded` with no per-field
+/// copies. Returns std::nullopt whenever `encoded` contains an escape
+/// character (callers fall back to the copying DecodeFields). The views
+/// alias `encoded` and are valid only while its storage lives.
+std::optional<std::vector<std::string_view>> DecodeFieldsView(
+    std::string_view encoded);
 
 /// Compact textual encoding of an int64 sequence ("3,1,4,..." after Escape).
 std::string EncodeInts(const std::vector<int64_t>& values);

@@ -621,21 +621,45 @@ class VertexCoverCase : public QueryClassCase {
   std::optional<kernel::BussKernel> kernel_;
 };
 
+struct CaseFactory {
+  const char* name;
+  std::unique_ptr<QueryClassCase> (*make)();
+};
+
+template <typename Case>
+std::unique_ptr<QueryClassCase> Make() {
+  return std::make_unique<Case>();
+}
+
+// Names must match each case's name() — core_cases_test covers the set.
+constexpr CaseFactory kCaseFactories[] = {
+    {"point-selection", Make<PointSelectionCase>},
+    {"range-selection", Make<RangeSelectionCase>},
+    {"list-membership", Make<ListMembershipCase>},
+    {"graph-reachability", Make<ReachabilityCase>},
+    {"range-minimum", Make<RmqThresholdCase>},
+    {"tree-lca", Make<TreeLcaCase>},
+    {"breadth-depth-search", Make<BdsCase>},
+    {"cvp-refactorized", Make<GateValueCase>},
+    {"compressed-reachability", Make<CompressedReachCase>},
+    {"vertex-cover-k", Make<VertexCoverCase>},
+};
+
 }  // namespace
 
 std::vector<std::unique_ptr<QueryClassCase>> MakeAllCases() {
   std::vector<std::unique_ptr<QueryClassCase>> cases;
-  cases.push_back(std::make_unique<PointSelectionCase>());
-  cases.push_back(std::make_unique<RangeSelectionCase>());
-  cases.push_back(std::make_unique<ListMembershipCase>());
-  cases.push_back(std::make_unique<ReachabilityCase>());
-  cases.push_back(std::make_unique<RmqThresholdCase>());
-  cases.push_back(std::make_unique<TreeLcaCase>());
-  cases.push_back(std::make_unique<BdsCase>());
-  cases.push_back(std::make_unique<GateValueCase>());
-  cases.push_back(std::make_unique<CompressedReachCase>());
-  cases.push_back(std::make_unique<VertexCoverCase>());
+  for (const auto& factory : kCaseFactories) {
+    cases.push_back(factory.make());
+  }
   return cases;
+}
+
+std::unique_ptr<QueryClassCase> MakeCaseByName(std::string_view name) {
+  for (const auto& factory : kCaseFactories) {
+    if (name == factory.name) return factory.make();
+  }
+  return nullptr;
 }
 
 }  // namespace core

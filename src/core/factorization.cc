@@ -55,10 +55,54 @@ Factorization EmptyQueryFactorization() {
   return f;
 }
 
+namespace {
+
+/// Escape-free fast path shared by π₁/π₂: with no escapes, re-encoding the
+/// kept fields is exactly a substring of x, so the split is a single copy.
+/// Returns true (and sets *out) when the fast path applied.
+bool FastFieldSplit(const std::string& x, int query_fields, bool keep_head,
+                    Result<std::string>* out) {
+  // Decline on '@' too: the copying path re-escapes it, so the raw
+  // substring would differ byte-for-byte on (hand-made) inputs carrying an
+  // unescaped padding symbol.
+  if (x.find('@') != std::string::npos) return false;
+  auto views = codec::DecodeFieldsView(x);
+  if (!views.has_value()) return false;
+  if (static_cast<int>(views->size()) < query_fields) {
+    *out = Status::InvalidArgument("instance has too few fields");
+    return true;
+  }
+  const size_t split = views->size() - static_cast<size_t>(query_fields);
+  if (keep_head) {
+    if (split == 0) {
+      *out = std::string();
+      return true;
+    }
+    const std::string_view& last_kept = (*views)[split - 1];
+    const size_t end = static_cast<size_t>(
+        last_kept.data() + last_kept.size() - x.data());
+    *out = x.substr(0, end);
+  } else {
+    if (split == views->size()) {
+      *out = std::string();
+      return true;
+    }
+    const std::string_view& first_kept = (*views)[split];
+    *out = x.substr(static_cast<size_t>(first_kept.data() - x.data()));
+  }
+  return true;
+}
+
+}  // namespace
+
 Factorization FieldSplitFactorization(std::string name, int query_fields) {
   Factorization f;
   f.name = std::move(name);
   f.pi1 = [query_fields](const std::string& x) -> Result<std::string> {
+    Result<std::string> fast = std::string();
+    if (FastFieldSplit(x, query_fields, /*keep_head=*/true, &fast)) {
+      return fast;
+    }
     auto fields = codec::DecodeFields(x);
     if (!fields.ok()) return fields.status();
     if (static_cast<int>(fields->size()) < query_fields) {
@@ -68,6 +112,10 @@ Factorization FieldSplitFactorization(std::string name, int query_fields) {
     return codec::EncodeFields(*fields);
   };
   f.pi2 = [query_fields](const std::string& x) -> Result<std::string> {
+    Result<std::string> fast = std::string();
+    if (FastFieldSplit(x, query_fields, /*keep_head=*/false, &fast)) {
+      return fast;
+    }
     auto fields = codec::DecodeFields(x);
     if (!fields.ok()) return fields.status();
     if (static_cast<int>(fields->size()) < query_fields) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/cost_meter.h"
@@ -42,6 +43,10 @@ class QueryClassCase {
 
 /// All registered cases (the rows of the Figure 2 landscape bench).
 std::vector<std::unique_ptr<QueryClassCase>> MakeAllCases();
+
+/// A single case by its `name()`, or nullptr if unknown. The engine layer
+/// uses this as the typed-case factory behind each registry entry.
+std::unique_ptr<QueryClassCase> MakeCaseByName(std::string_view name);
 
 }  // namespace core
 }  // namespace pitract

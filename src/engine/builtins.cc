@@ -1,0 +1,144 @@
+#include "engine/builtins.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "circuit/circuit.h"
+#include "common/codec.h"
+#include "core/problems.h"
+
+namespace pitract {
+namespace engine {
+
+namespace {
+
+ProblemEntry LanguageEntry(std::string name, std::string anchor,
+                           core::DecisionProblem problem,
+                           core::Factorization factorization,
+                           core::PiWitness witness) {
+  ProblemEntry entry;
+  entry.name = std::move(name);
+  entry.paper_anchor = std::move(anchor);
+  entry.has_language = true;
+  entry.problem = std::move(problem);
+  entry.factorization = std::move(factorization);
+  entry.witness = std::move(witness);
+  return entry;
+}
+
+/// Witness for CVP pairs under the circuit-data factorization: Π keeps the
+/// circuit, answering evaluates it on the assignment. Correct but *not* NC
+/// for deep circuits — it exists as the Lemma 8 target so cvp-via-nand can
+/// be transported through the registry.
+core::PiWitness CircuitEvalWitness() {
+  core::PiWitness w;
+  w.name = "keep-circuit+evaluate";
+  w.preprocess = [](const std::string& data,
+                    CostMeter* meter) -> Result<std::string> {
+    if (meter != nullptr) meter->AddSerial(1);
+    return data;
+  };
+  w.answer = [](const std::string& prepared, const std::string& query,
+                CostMeter* meter) -> Result<bool> {
+    auto fields = codec::DecodeFields(prepared);
+    if (!fields.ok()) return fields.status();
+    if (fields->size() != 1) {
+      return Status::InvalidArgument("expected a single circuit field");
+    }
+    auto c = circuit::Circuit::Decode((*fields)[0]);
+    if (!c.ok()) return c.status();
+    std::vector<char> assignment;
+    assignment.reserve(query.size());
+    for (char bit : query) assignment.push_back(bit == '1' ? 1 : 0);
+    return c->Evaluate(assignment, meter);
+  };
+  return w;
+}
+
+}  // namespace
+
+Status RegisterBuiltins(QueryEngine* engine) {
+  // Every typed query class registers under its own name; the three with
+  // Σ*-level twins carry the full Definition 1 artifact set.
+  for (auto& typed_case : core::MakeAllCases()) {
+    ProblemEntry entry;
+    entry.name = typed_case->name();
+    entry.paper_anchor = typed_case->paper_anchor();
+    const std::string case_name = entry.name;
+    entry.make_case = [case_name] { return core::MakeCaseByName(case_name); };
+    if (case_name == "list-membership") {
+      entry.has_language = true;
+      entry.problem = core::ListMembershipProblem();
+      entry.factorization = core::MemberFactorization();
+      entry.witness = core::MemberWitness();
+    } else if (case_name == "breadth-depth-search") {
+      entry.has_language = true;
+      entry.problem = core::BdsProblem();
+      entry.factorization = core::BdsFactorization();
+      entry.witness = core::BdsWitness();
+    } else if (case_name == "cvp-refactorized") {
+      entry.has_language = true;
+      entry.problem = core::GateValueProblem();
+      entry.factorization = core::GvpFactorization();
+      entry.witness = core::GvpWitness();
+    }
+    PITRACT_RETURN_IF_ERROR(engine->Register(std::move(entry)));
+  }
+
+  // Σ*-only problems.
+  PITRACT_RETURN_IF_ERROR(engine->Register(
+      LanguageEntry("connectivity", "S4(2), Theorem 5",
+                    core::ConnectivityProblem(), core::ConnFactorization(),
+                    core::ConnWitness())));
+  PITRACT_RETURN_IF_ERROR(engine->Register(
+      LanguageEntry("cvp-empty-data", "Theorem 9", core::CvpProblem(),
+                    core::EmptyDataFactorization(),
+                    core::CvpEmptyDataWitness())));
+  PITRACT_RETURN_IF_ERROR(engine->Register(LanguageEntry(
+      "predicate-selection", "Definition 1 remark (λ-rewriting)",
+      core::PredicateSelectionProblem(), core::SelectionFactorization(),
+      core::ApplyRewriting(core::IntervalNormalizingRewriter(),
+                           core::IntervalWitness()))));
+  PITRACT_RETURN_IF_ERROR(engine->Register(
+      LanguageEntry("cvp-nand-eval", "Section 7", core::CvpProblem(),
+                    core::CvpCircuitDataFactorization(),
+                    CircuitEvalWitness())));
+
+  // The reduction chain, routed through the registry: each derived entry
+  // *looks up* its target's witness and transports it.
+  PITRACT_RETURN_IF_ERROR(engine->RegisterViaReduction(
+      "member-via-conn", "Lemma 3", core::ListMembershipProblem(),
+      core::MemberToConnReduction(), "connectivity"));
+  PITRACT_RETURN_IF_ERROR(engine->RegisterViaReduction(
+      "connectivity-via-bds", "Theorem 5", core::ConnectivityProblem(),
+      core::ConnToBdsReduction(), "breadth-depth-search"));
+  PITRACT_RETURN_IF_ERROR(engine->RegisterViaReduction(
+      "member-via-bds", "Theorem 5 (Lemma 2 composition)",
+      core::ListMembershipProblem(),
+      core::Compose(core::MemberToConnReduction(),
+                    core::ConnToBdsReduction()),
+      "breadth-depth-search"));
+  PITRACT_RETURN_IF_ERROR(engine->RegisterViaFReduction(
+      "cvp-via-nand", "Lemma 8", core::CvpProblem(),
+      core::CvpCircuitDataFactorization(), core::CvpToNandFReduction(),
+      "cvp-nand-eval"));
+  return Status::OK();
+}
+
+QueryEngine& DefaultEngine() {
+  static QueryEngine* engine = [] {
+    auto* e = new QueryEngine();
+    Status status = RegisterBuiltins(e);
+    if (!status.ok()) {
+      std::fprintf(stderr, "RegisterBuiltins failed: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+    return e;
+  }();
+  return *engine;
+}
+
+}  // namespace engine
+}  // namespace pitract

@@ -1,0 +1,26 @@
+#ifndef PITRACT_ENGINE_BUILTINS_H_
+#define PITRACT_ENGINE_BUILTINS_H_
+
+#include "common/status.h"
+#include "engine/engine.h"
+
+namespace pitract {
+namespace engine {
+
+/// Registers every built-in problem into `engine` under one name each:
+///
+///  * all typed query classes of core/cases.cc (the Figure 2 rows), with
+///    Σ*-level language artifacts attached where they exist
+///    (list-membership, breadth-depth-search, cvp-refactorized);
+///  * the Σ*-only problems (connectivity, cvp-empty-data,
+///    predicate-selection with its λ-rewriting witness, cvp-nand-eval);
+///  * the reduction chain of Sections 5–7, routed *through the registry*:
+///    member-via-conn, connectivity-via-bds, member-via-bds and
+///    cvp-via-nand look their target witness up and transport it (Lemma 3 /
+///    Lemma 8) instead of re-plumbing it by hand.
+Status RegisterBuiltins(QueryEngine* engine);
+
+}  // namespace engine
+}  // namespace pitract
+
+#endif  // PITRACT_ENGINE_BUILTINS_H_

@@ -1,0 +1,274 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pitract {
+namespace engine {
+
+Result<BatchResult> RunBatch(BatchPath* path) {
+  BatchResult result;
+  CostMeter prepare_meter;
+  auto outcome = path->Prepare(&prepare_meter);
+  if (!outcome.ok()) return outcome.status();
+  result.prepare_runs = outcome->ran_pi ? 1 : 0;
+  result.cache_hit = outcome->cache_hit;
+  result.prepare_cost = prepare_meter.cost();
+
+  const int n = path->num_queries();
+  result.answers.reserve(static_cast<size_t>(n));
+  CostMeter answer_meter;
+  for (int qi = 0; qi < n; ++qi) {
+    auto answer = path->AnswerOne(qi, &answer_meter);
+    if (!answer.ok()) return answer.status();
+    result.answers.push_back(*answer);
+  }
+  result.answer_cost = answer_meter.cost();
+  return result;
+}
+
+namespace {
+
+/// Σ*-string path: Π through the PreparedStore, answers via the witness.
+class WitnessBatchPath : public BatchPath {
+ public:
+  WitnessBatchPath(const ProblemEntry& entry, PreparedStore* store,
+                   const std::string& data,
+                   std::span<const std::string> queries)
+      : entry_(entry), store_(store), data_(data), queries_(queries) {}
+
+  Result<PrepareOutcome> Prepare(CostMeter* meter) override {
+    bool hit = false;
+    auto prepared = store_->GetOrCompute(
+        entry_.name, entry_.witness.name, data_,
+        [this](CostMeter* m) { return entry_.witness.preprocess(data_, m); },
+        meter, &hit);
+    if (!prepared.ok()) return prepared.status();
+    prepared_ = std::move(prepared).value();
+    return PrepareOutcome{/*ran_pi=*/!hit, /*cache_hit=*/hit};
+  }
+
+  Result<bool> AnswerOne(int qi, CostMeter* meter) override {
+    return entry_.witness.answer(*prepared_, queries_[static_cast<size_t>(qi)],
+                                 meter);
+  }
+
+  int num_queries() const override {
+    return static_cast<int>(queries_.size());
+  }
+
+ private:
+  const ProblemEntry& entry_;
+  PreparedStore* store_;
+  const std::string& data_;
+  std::span<const std::string> queries_;
+  std::shared_ptr<const std::string> prepared_;
+};
+
+/// Typed path: the deployed in-memory case behind the same interface.
+class TypedCaseBatchPath : public BatchPath {
+ public:
+  TypedCaseBatchPath(core::QueryClassCase* instance, bool already_prepared)
+      : instance_(instance), already_prepared_(already_prepared) {}
+
+  Result<PrepareOutcome> Prepare(CostMeter* meter) override {
+    if (already_prepared_) {
+      if (meter != nullptr) meter->AddSerial(1);  // the cache probe
+      return PrepareOutcome{/*ran_pi=*/false, /*cache_hit=*/true};
+    }
+    PITRACT_RETURN_IF_ERROR(instance_->Preprocess(meter));
+    return PrepareOutcome{/*ran_pi=*/true, /*cache_hit=*/false};
+  }
+
+  Result<bool> AnswerOne(int qi, CostMeter* meter) override {
+    return instance_->AnswerPrepared(qi, meter);
+  }
+
+  int num_queries() const override { return instance_->num_queries(); }
+
+ private:
+  core::QueryClassCase* instance_;
+  bool already_prepared_;
+};
+
+}  // namespace
+
+QueryEngine::QueryEngine(size_t store_capacity, size_t typed_capacity)
+    : store_(store_capacity), typed_capacity_(typed_capacity) {}
+
+Status QueryEngine::Register(ProblemEntry entry) {
+  if (entry.name.empty()) {
+    return Status::InvalidArgument("problem entry needs a name");
+  }
+  if (!entry.has_language && !entry.make_case) {
+    return Status::InvalidArgument("entry '" + entry.name +
+                                   "' registers neither a language nor a "
+                                   "typed case");
+  }
+  auto [it, inserted] = entries_.emplace(entry.name, std::move(entry));
+  if (!inserted) {
+    return Status::AlreadyExists("problem '" + it->first +
+                                 "' already registered");
+  }
+  return Status::OK();
+}
+
+Status QueryEngine::RegisterViaReduction(std::string name,
+                                         std::string paper_anchor,
+                                         core::DecisionProblem source,
+                                         const core::NcFactorReduction& r,
+                                         std::string_view target) {
+  auto target_entry = Find(target);
+  if (!target_entry.ok()) return target_entry.status();
+  if (!(*target_entry)->has_language) {
+    return Status::FailedPrecondition("reduction target '" +
+                                      std::string(target) +
+                                      "' has no Σ*-level witness");
+  }
+  if ((*target_entry)->factorization.name != r.target_factorization.name) {
+    return Status::InvalidArgument(
+        "reduction '" + r.name + "' targets factorization " +
+        r.target_factorization.name + " but '" + std::string(target) +
+        "' is registered under " + (*target_entry)->factorization.name);
+  }
+  ProblemEntry entry;
+  entry.name = std::move(name);
+  entry.paper_anchor = std::move(paper_anchor);
+  entry.has_language = true;
+  entry.problem = std::move(source);
+  entry.factorization = r.source_factorization;
+  entry.witness = core::Transport(r, (*target_entry)->witness);
+  return Register(std::move(entry));
+}
+
+Status QueryEngine::RegisterViaFReduction(
+    std::string name, std::string paper_anchor, core::DecisionProblem source,
+    core::Factorization source_factorization, const core::FReduction& r,
+    std::string_view target) {
+  auto target_entry = Find(target);
+  if (!target_entry.ok()) return target_entry.status();
+  if (!(*target_entry)->has_language) {
+    return Status::FailedPrecondition("F-reduction target '" +
+                                      std::string(target) +
+                                      "' has no Σ*-level witness");
+  }
+  ProblemEntry entry;
+  entry.name = std::move(name);
+  entry.paper_anchor = std::move(paper_anchor);
+  entry.has_language = true;
+  entry.problem = std::move(source);
+  entry.factorization = std::move(source_factorization);
+  entry.witness = core::TransportF(r, (*target_entry)->witness);
+  return Register(std::move(entry));
+}
+
+Result<const ProblemEntry*> QueryEngine::Find(std::string_view name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no problem registered as '" + std::string(name) +
+                            "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> QueryEngine::Names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+Result<BatchResult> QueryEngine::AnswerBatch(
+    std::string_view problem, const std::string& data,
+    std::span<const std::string> queries) {
+  auto entry = Find(problem);
+  if (!entry.ok()) return entry.status();
+  if (!(*entry)->has_language) {
+    return Status::FailedPrecondition("problem '" + std::string(problem) +
+                                      "' has no Σ*-level witness");
+  }
+  WitnessBatchPath path(**entry, &store_, data, queries);
+  return RunBatch(&path);
+}
+
+Result<bool> QueryEngine::Answer(std::string_view problem,
+                                 const std::string& data,
+                                 const std::string& query, CostMeter* meter) {
+  auto batch = AnswerBatch(problem, data, std::span<const std::string>(&query, 1));
+  if (!batch.ok()) return batch.status();
+  if (meter != nullptr) {
+    meter->AddSequential(batch->prepare_cost);
+    meter->AddSequential(batch->answer_cost);
+  }
+  return static_cast<bool>(batch->answers[0]);
+}
+
+Result<bool> QueryEngine::AnswerInstance(std::string_view problem,
+                                         const std::string& x,
+                                         CostMeter* meter) {
+  auto entry = Find(problem);
+  if (!entry.ok()) return entry.status();
+  if (!(*entry)->has_language) {
+    return Status::FailedPrecondition("problem '" + std::string(problem) +
+                                      "' has no Σ*-level witness");
+  }
+  PITRACT_ASSIGN_OR_RETURN(std::string data, (*entry)->factorization.pi1(x));
+  PITRACT_ASSIGN_OR_RETURN(std::string query, (*entry)->factorization.pi2(x));
+  return Answer(problem, data, query, meter);
+}
+
+Result<BatchResult> QueryEngine::AnswerTypedBatch(std::string_view problem,
+                                                  int64_t n, uint64_t seed) {
+  auto entry = Find(problem);
+  if (!entry.ok()) return entry.status();
+  if (!(*entry)->make_case) {
+    return Status::FailedPrecondition("problem '" + std::string(problem) +
+                                      "' has no typed case");
+  }
+  std::string key = std::string(problem) + '\x1f' + std::to_string(n) +
+                    '\x1f' + std::to_string(seed);
+  auto slot = std::find_if(typed_cache_.begin(), typed_cache_.end(),
+                           [&key](const TypedSlot& s) { return s.key == key; });
+  if (slot != typed_cache_.end()) {
+    // Cached slots are always prepared: insertion happens below only after
+    // a fully successful batch.
+    typed_cache_.splice(typed_cache_.begin(), typed_cache_, slot);
+    TypedCaseBatchPath path(slot->instance.get(), /*already_prepared=*/true);
+    return RunBatch(&path);
+  }
+  TypedSlot fresh;
+  fresh.key = std::move(key);
+  fresh.instance = (*entry)->make_case();
+  if (fresh.instance == nullptr) {
+    return Status::Internal("typed case factory for '" + std::string(problem) +
+                            "' returned null");
+  }
+  PITRACT_RETURN_IF_ERROR(fresh.instance->Generate(n, seed));
+  TypedCaseBatchPath path(fresh.instance.get(), /*already_prepared=*/false);
+  auto result = RunBatch(&path);
+  if (!result.ok()) return result.status();  // never cache a failed prepare
+  typed_cache_.push_front(std::move(fresh));
+  if (typed_capacity_ > 0) {  // 0 = unbounded, like the PreparedStore
+    while (typed_cache_.size() > typed_capacity_) typed_cache_.pop_back();
+  }
+  return result;
+}
+
+Result<std::unique_ptr<core::QueryClassCase>> QueryEngine::MakeCase(
+    std::string_view problem) const {
+  auto entry = Find(problem);
+  if (!entry.ok()) return entry.status();
+  if (!(*entry)->make_case) {
+    return Status::FailedPrecondition("problem '" + std::string(problem) +
+                                      "' has no typed case");
+  }
+  auto instance = (*entry)->make_case();
+  if (instance == nullptr) {
+    return Status::Internal("typed case factory for '" + std::string(problem) +
+                            "' returned null");
+  }
+  return instance;
+}
+
+}  // namespace engine
+}  // namespace pitract

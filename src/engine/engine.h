@@ -1,0 +1,169 @@
+#ifndef PITRACT_ENGINE_ENGINE_H_
+#define PITRACT_ENGINE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/cost_meter.h"
+#include "common/result.h"
+#include "core/language.h"
+#include "core/query_class.h"
+#include "core/reduction.h"
+#include "engine/prepared_store.h"
+
+namespace pitract {
+namespace engine {
+
+/// One registered problem: the Σ*-level artifacts of Definition 1
+/// (reference semantics, factorization Υ, Π-tractability witness) plus,
+/// when the deployed in-memory form exists, its typed-case factory. Both
+/// execution paths answer through the engine under this one name.
+struct ProblemEntry {
+  std::string name;
+  std::string paper_anchor;
+
+  /// Σ*-string path (absent for measurement-only typed classes).
+  bool has_language = false;
+  core::DecisionProblem problem;
+  core::Factorization factorization;
+  core::PiWitness witness;
+
+  /// Typed path (absent for Σ*-only entries such as reduced problems).
+  std::function<std::unique_ptr<core::QueryClassCase>()> make_case;
+};
+
+/// What Prepare did for this batch.
+struct PrepareOutcome {
+  bool ran_pi = false;     // Π actually executed
+  bool cache_hit = false;  // the prepared structure was served from a cache
+};
+
+/// Aggregate of one prepare-once/answer-many batch.
+struct BatchResult {
+  std::vector<bool> answers;
+  /// Cost charged by Π this batch — zero(ish) when served from cache.
+  Cost prepare_cost;
+  /// Summed answering cost over the whole batch.
+  Cost answer_cost;
+  int64_t prepare_runs = 0;  // 0 or 1: how many times Π executed
+  bool cache_hit = false;
+};
+
+/// The single prepare-once/answer-many contract that both execution paths
+/// (the Σ*-string witness path and the typed deployed-case path) implement.
+/// `RunBatch` is the one driver loop: Prepare exactly once, then answer
+/// every query against the prepared structure, aggregating costs.
+class BatchPath {
+ public:
+  virtual ~BatchPath() = default;
+  /// Ensures the prepared structure exists, reusing a cached one when
+  /// possible; charges Π's cost to `meter` only when Π actually ran.
+  virtual Result<PrepareOutcome> Prepare(CostMeter* meter) = 0;
+  /// Answers the qi-th query of the batch (the NC step).
+  virtual Result<bool> AnswerOne(int qi, CostMeter* meter) = 0;
+  virtual int num_queries() const = 0;
+};
+
+/// Drives a BatchPath through prepare-once/answer-many with per-batch
+/// CostMeter aggregation.
+Result<BatchResult> RunBatch(BatchPath* path);
+
+/// The prepare-once/answer-many engine: a registry of problems, a
+/// PreparedStore for Σ*-level Π(D) structures, a small cache of typed
+/// cases, and the batch answering API both paths share.
+class QueryEngine {
+ public:
+  /// `store_capacity` bounds the PreparedStore and `typed_capacity` the
+  /// typed-case cache; 0 means unbounded for both.
+  explicit QueryEngine(size_t store_capacity = 0, size_t typed_capacity = 8);
+
+  // --- registry ------------------------------------------------------------
+
+  Status Register(ProblemEntry entry);
+
+  /// Registers `name` as a problem Π-tractable *by reduction* (Theorem 5):
+  /// the target's witness is looked up in this registry and transported
+  /// backwards across `r` per Lemma 3 — never re-plumbed by hand. Fails if
+  /// the target is unknown or its registered factorization does not match
+  /// the reduction's target factorization.
+  Status RegisterViaReduction(std::string name, std::string paper_anchor,
+                              core::DecisionProblem source,
+                              const core::NcFactorReduction& r,
+                              std::string_view target);
+
+  /// Same for an F-reduction (Lemma 8's ΠT⁰Q-compatibility half). An
+  /// FReduction carries no factorizations, so the source's Υ is explicit.
+  Status RegisterViaFReduction(std::string name, std::string paper_anchor,
+                               core::DecisionProblem source,
+                               core::Factorization source_factorization,
+                               const core::FReduction& r,
+                               std::string_view target);
+
+  Result<const ProblemEntry*> Find(std::string_view name) const;
+  /// Registered names in registration-stable (sorted) order.
+  std::vector<std::string> Names() const;
+
+  // --- Σ*-string path ------------------------------------------------------
+
+  /// Answers a batch of queries against one data part: Π(data) is fetched
+  /// from (or inserted into) the PreparedStore, then every query runs the
+  /// witness's NC answer step.
+  Result<BatchResult> AnswerBatch(std::string_view problem,
+                                  const std::string& data,
+                                  std::span<const std::string> queries);
+
+  /// Single-query convenience; still routed through the PreparedStore, so a
+  /// warm store answers without re-running Π. Prepare+answer costs are
+  /// charged to `meter`.
+  Result<bool> Answer(std::string_view problem, const std::string& data,
+                      const std::string& query, CostMeter* meter = nullptr);
+
+  /// Splits a whole instance x with the registered factorization and
+  /// answers ⟨π₁(x), π₂(x)⟩ — the Definition 1 round trip.
+  Result<bool> AnswerInstance(std::string_view problem, const std::string& x,
+                              CostMeter* meter = nullptr);
+
+  // --- typed path ----------------------------------------------------------
+
+  /// Runs the registered typed case for (problem, n, seed) through the same
+  /// prepare-once/answer-many loop. Cases are cached per (problem, n, seed),
+  /// so repeated batches against the same generated data reuse the prepared
+  /// structure (prepare_runs == 0, cache_hit == true).
+  Result<BatchResult> AnswerTypedBatch(std::string_view problem, int64_t n,
+                                       uint64_t seed);
+
+  /// Fresh (unprepared) typed case instance for callers that drive the
+  /// QueryClassCase interface directly (classifier sweeps, baselines).
+  Result<std::unique_ptr<core::QueryClassCase>> MakeCase(
+      std::string_view problem) const;
+
+  PreparedStore& store() { return store_; }
+  const PreparedStore& store() const { return store_; }
+
+ private:
+  struct TypedSlot {
+    std::string key;
+    std::unique_ptr<core::QueryClassCase> instance;
+  };
+
+  std::map<std::string, ProblemEntry, std::less<>> entries_;
+  PreparedStore store_;
+  const size_t typed_capacity_;
+  std::list<TypedSlot> typed_cache_;  // front = most recently used
+};
+
+/// The process-wide engine with every built-in problem registered (see
+/// engine/builtins.h).
+QueryEngine& DefaultEngine();
+
+}  // namespace engine
+}  // namespace pitract
+
+#endif  // PITRACT_ENGINE_ENGINE_H_

@@ -1,0 +1,107 @@
+#include "engine/prepared_store.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pitract {
+namespace engine {
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (unsigned char c : bytes) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::string PreparedStore::MakeKey(std::string_view problem,
+                                   std::string_view witness,
+                                   std::string_view data) {
+  // '\x1f' (unit separator) cannot collide with the codec alphabet, so the
+  // concatenation is injective.
+  std::string key;
+  key.reserve(problem.size() + witness.size() + data.size() + 2);
+  key.append(problem);
+  key.push_back('\x1f');
+  key.append(witness);
+  key.push_back('\x1f');
+  key.append(data);
+  return key;
+}
+
+Result<std::shared_ptr<const std::string>> PreparedStore::GetOrCompute(
+    std::string_view problem, std::string_view witness, std::string_view data,
+    const ComputeFn& compute, CostMeter* meter, bool* hit) {
+  std::string key = MakeKey(problem, witness, data);
+  const uint64_t digest = Fnv1a64(key);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(digest);
+  if (it != entries_.end() && it->second.key == key) {
+    ++stats_.hits;
+    it->second.last_used = ++tick_;
+    if (meter != nullptr) meter->AddSerial(1);  // the digest probe
+    if (hit != nullptr) *hit = true;
+    return it->second.prepared;
+  }
+  ++stats_.misses;
+  if (hit != nullptr) *hit = false;
+  auto prepared = compute(meter);
+  if (!prepared.ok()) return prepared.status();
+  Entry entry;
+  entry.key = std::move(key);
+  entry.prepared =
+      std::make_shared<const std::string>(std::move(prepared).value());
+  entry.last_used = ++tick_;
+  auto result = entry.prepared;
+  if (it != entries_.end()) {
+    it->second = std::move(entry);  // digest collision: replace, stay correct
+  } else {
+    entries_.emplace(digest, std::move(entry));
+    EvictIfNeededLocked();
+  }
+  return result;
+}
+
+bool PreparedStore::Contains(std::string_view problem, std::string_view witness,
+                             std::string_view data) const {
+  std::string key = MakeKey(problem, witness, data);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(Fnv1a64(key));
+  return it != entries_.end() && it->second.key == key;
+}
+
+PreparedStore::Stats PreparedStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+size_t PreparedStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void PreparedStore::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+void PreparedStore::ResetStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = Stats();
+}
+
+void PreparedStore::EvictIfNeededLocked() {
+  if (max_entries_ == 0) return;
+  while (entries_.size() > max_entries_) {
+    auto victim = std::min_element(
+        entries_.begin(), entries_.end(), [](const auto& a, const auto& b) {
+          return a.second.last_used < b.second.last_used;
+        });
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace engine
+}  // namespace pitract

@@ -1,0 +1,87 @@
+#ifndef PITRACT_ENGINE_PREPARED_STORE_H_
+#define PITRACT_ENGINE_PREPARED_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/cost_meter.h"
+#include "common/result.h"
+
+namespace pitract {
+namespace engine {
+
+/// 64-bit FNV-1a digest used for content addressing.
+uint64_t Fnv1a64(std::string_view bytes);
+
+/// Content-addressed cache of preprocessed structures: a digest of
+/// (problem, witness, data part) maps to Π(D), so repeated queries against
+/// the same data never re-run Π — Definition 1's one-time/amortized
+/// asymmetry, enforced by construction rather than by caller discipline.
+///
+/// Entries keep their full key alongside the digest, so a digest collision
+/// degrades to a cache miss, never to a wrong structure. The store is
+/// internally locked; Π for a given store runs under that lock, which also
+/// guarantees Π executes at most once per distinct data part even with
+/// concurrent callers.
+class PreparedStore {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+  };
+
+  /// `max_entries` == 0 means unbounded; otherwise least-recently-used
+  /// entries are evicted past the cap.
+  explicit PreparedStore(size_t max_entries = 0) : max_entries_(max_entries) {}
+
+  using ComputeFn = std::function<Result<std::string>(CostMeter*)>;
+
+  /// Returns the cached Π(D) for (problem, witness, data), or runs
+  /// `compute` on a miss and stores the result. `meter` is charged the full
+  /// preprocessing cost on a miss and a single probe op on a hit; `hit`
+  /// (optional) reports which happened.
+  Result<std::shared_ptr<const std::string>> GetOrCompute(
+      std::string_view problem, std::string_view witness,
+      std::string_view data, const ComputeFn& compute,
+      CostMeter* meter = nullptr, bool* hit = nullptr);
+
+  /// True iff an entry for (problem, witness, data) is resident.
+  bool Contains(std::string_view problem, std::string_view witness,
+                std::string_view data) const;
+
+  Stats stats() const;
+  size_t size() const;
+  size_t max_entries() const { return max_entries_; }
+
+  /// Drops every entry; counters are kept (use ResetStats to zero them).
+  void Clear();
+  void ResetStats();
+
+ private:
+  struct Entry {
+    std::string key;  // full (problem, witness, data) key, collision guard
+    std::shared_ptr<const std::string> prepared;
+    uint64_t last_used = 0;
+  };
+
+  static std::string MakeKey(std::string_view problem, std::string_view witness,
+                             std::string_view data);
+  void EvictIfNeededLocked();
+
+  const size_t max_entries_;
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, Entry> entries_;
+  Stats stats_;
+  uint64_t tick_ = 0;
+};
+
+}  // namespace engine
+}  // namespace pitract
+
+#endif  // PITRACT_ENGINE_PREPARED_STORE_H_

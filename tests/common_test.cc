@@ -247,6 +247,40 @@ TEST(CodecTest, DanglingEscapeRejected) {
   EXPECT_FALSE(codec::DecodeFields("abc\\").ok());
 }
 
+TEST(CodecTest, DecodeFieldsViewSlicesWithoutCopies) {
+  const std::string encoded = codec::EncodeFields({"abc", "", "12,34"});
+  auto views = codec::DecodeFieldsView(encoded);
+  ASSERT_TRUE(views.has_value());
+  ASSERT_EQ(views->size(), 3u);
+  EXPECT_EQ((*views)[0], "abc");
+  EXPECT_EQ((*views)[1], "");
+  EXPECT_EQ((*views)[2], "12,34");
+  // Views alias the input buffer: zero per-field copies.
+  EXPECT_EQ((*views)[0].data(), encoded.data());
+}
+
+TEST(CodecTest, DecodeFieldsViewMatchesDecodeFieldsWhenEscapeFree) {
+  for (const std::string encoded : {std::string("a#b#c"), std::string(""),
+                                    std::string("#"), std::string("1,2#3")}) {
+    auto views = codec::DecodeFieldsView(encoded);
+    auto copies = codec::DecodeFields(encoded);
+    ASSERT_TRUE(views.has_value()) << encoded;
+    ASSERT_TRUE(copies.ok()) << encoded;
+    ASSERT_EQ(views->size(), copies->size()) << encoded;
+    for (size_t i = 0; i < views->size(); ++i) {
+      EXPECT_EQ((*views)[i], (*copies)[i]) << encoded;
+    }
+  }
+}
+
+TEST(CodecTest, DecodeFieldsViewDeclinesEscapedInput) {
+  // Any escape sequence means slices would need unescaping: the zero-copy
+  // path declines and callers fall back to DecodeFields.
+  EXPECT_FALSE(codec::DecodeFieldsView(codec::EncodeFields({"da#ta", "q"}))
+                   .has_value());
+  EXPECT_FALSE(codec::DecodeFieldsView("abc\\").has_value());
+}
+
 TEST(CodecTest, PadPairRoundTrip) {
   auto back = codec::UnpadPair(codec::PadPair("left@x", "right#y"));
   ASSERT_TRUE(back.ok());

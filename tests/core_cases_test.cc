@@ -122,6 +122,16 @@ TEST(RegistryTest, NamesAreUniqueAndStable) {
   EXPECT_TRUE(names.count("cvp-refactorized"));
 }
 
+TEST(RegistryTest, MakeCaseByNameCoversEveryCase) {
+  // Guards the factory table against drifting from each case's name().
+  for (const auto& c : MakeAllCases()) {
+    auto by_name = MakeCaseByName(c->name());
+    ASSERT_NE(by_name, nullptr) << c->name();
+    EXPECT_EQ(by_name->name(), c->name());
+  }
+  EXPECT_EQ(MakeCaseByName("no-such-case"), nullptr);
+}
+
 }  // namespace
 }  // namespace core
 }  // namespace pitract

@@ -55,6 +55,34 @@ TEST(FactorizationTest, FieldSplitWithEscapedDelimiters) {
 TEST(FactorizationTest, FieldSplitTooFewFields) {
   Factorization f = FieldSplitFactorization("Y_test", 5);
   EXPECT_FALSE(f.pi1(codec::EncodeFields({"only", "two"})).ok());
+  // The escape-free fast path must enforce the same arity check.
+  EXPECT_FALSE(f.pi1("only#two").ok());
+  EXPECT_FALSE(f.pi2("only#two").ok());
+}
+
+TEST(FactorizationTest, FieldSplitFastPathMatchesCopyingPath) {
+  // The zero-copy split (escape-free input) and the decode/re-encode path
+  // (escaped input) must agree wherever both are defined; sweep arities and
+  // degenerate splits.
+  for (int query_fields = 0; query_fields <= 3; ++query_fields) {
+    Factorization f = FieldSplitFactorization("Y_test", query_fields);
+    const std::string plain = codec::EncodeFields({"d1", "d2", "q1"});
+    ASSERT_TRUE(VerifyFactorization(f, plain).ok()) << query_fields;
+    // Reference: decode + re-encode by hand.
+    auto fields = codec::DecodeFields(plain);
+    ASSERT_TRUE(fields.ok());
+    std::vector<std::string> head(fields->begin(),
+                                  fields->end() - query_fields);
+    std::vector<std::string> tail(fields->end() - query_fields,
+                                  fields->end());
+    EXPECT_EQ(*f.pi1(plain), codec::EncodeFields(head)) << query_fields;
+    EXPECT_EQ(*f.pi2(plain), codec::EncodeFields(tail)) << query_fields;
+  }
+  // An unescaped '@' (only possible in hand-made input) takes the copying
+  // path, which re-escapes it — same bytes as before the fast path existed.
+  Factorization f = FieldSplitFactorization("Y_test", 1);
+  EXPECT_EQ(*f.pi1("a@b#q"), "a\\@b");
+  EXPECT_EQ(*f.pi2("a@b#q"), "q");
 }
 
 TEST(FactorizationTest, CanonicalProblemFactorizationsSatisfyLaw) {

@@ -1,0 +1,361 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/problems.h"
+#include "engine/builtins.h"
+#include "engine/engine.h"
+#include "engine/prepared_store.h"
+
+namespace pitract {
+namespace engine {
+namespace {
+
+// QueryEngine owns a mutex-guarded store, so it is neither movable nor
+// copyable; tests hold it behind a unique_ptr.
+std::unique_ptr<QueryEngine> MakeEngine() {
+  auto engine = std::make_unique<QueryEngine>();
+  auto status = RegisterBuiltins(engine.get());
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return engine;
+}
+
+std::vector<int64_t> RandomList(Rng* rng, int64_t universe, int count) {
+  std::vector<int64_t> list;
+  for (int i = 0; i < count; ++i) {
+    list.push_back(
+        static_cast<int64_t>(rng->NextBelow(static_cast<uint64_t>(universe))));
+  }
+  return list;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(EngineRegistryTest, BuiltinsAreRegisteredUnderOneNameEach) {
+  auto engine = MakeEngine();
+  // Every typed Figure 2 row plus the Σ*-only and reduced entries.
+  for (const char* name :
+       {"point-selection", "range-selection", "list-membership",
+        "graph-reachability", "range-minimum", "tree-lca",
+        "breadth-depth-search", "cvp-refactorized", "compressed-reachability",
+        "vertex-cover-k", "connectivity", "cvp-empty-data",
+        "predicate-selection", "cvp-nand-eval", "member-via-conn",
+        "connectivity-via-bds", "member-via-bds", "cvp-via-nand"}) {
+    auto entry = engine->Find(name);
+    ASSERT_TRUE(entry.ok()) << name;
+    EXPECT_EQ((*entry)->name, name);
+  }
+  EXPECT_EQ(engine->Names().size(), 18u);
+}
+
+TEST(EngineRegistryTest, EntriesCarryTheExpectedPaths) {
+  auto engine = MakeEngine();
+  // Both paths: the three typed cases with Σ*-level twins.
+  for (const char* name :
+       {"list-membership", "breadth-depth-search", "cvp-refactorized"}) {
+    auto entry = engine->Find(name);
+    ASSERT_TRUE(entry.ok());
+    EXPECT_TRUE((*entry)->has_language) << name;
+    EXPECT_TRUE(static_cast<bool>((*entry)->make_case)) << name;
+  }
+  // Typed-only: no Σ* witness → string path refuses.
+  auto typed_only = engine->Find("range-minimum");
+  ASSERT_TRUE(typed_only.ok());
+  EXPECT_FALSE((*typed_only)->has_language);
+  auto refused = engine->AnswerBatch("range-minimum", "", {});
+  EXPECT_FALSE(refused.ok());
+  // Σ*-only: no typed case → typed path refuses.
+  auto refused_typed = engine->AnswerTypedBatch("member-via-bds", 64, 1);
+  EXPECT_FALSE(refused_typed.ok());
+}
+
+TEST(EngineRegistryTest, UnknownAndDuplicateNamesAreRejected) {
+  auto engine = MakeEngine();
+  EXPECT_FALSE(engine->Find("no-such-problem").ok());
+  ProblemEntry duplicate;
+  duplicate.name = "connectivity";
+  duplicate.has_language = true;
+  duplicate.problem = core::ConnectivityProblem();
+  duplicate.factorization = core::ConnFactorization();
+  duplicate.witness = core::ConnWitness();
+  EXPECT_EQ(engine->Register(std::move(duplicate)).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(EngineRegistryTest, ReductionRegistrationChecksTargetFactorization) {
+  auto engine = MakeEngine();
+  // member<=conn targets Y_conn; pointing it at a Y_BDS entry must fail.
+  auto status = engine->RegisterViaReduction(
+      "member-via-wrong-target", "test", core::ListMembershipProblem(),
+      core::MemberToConnReduction(), "breadth-depth-search");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  // Unknown target.
+  EXPECT_EQ(engine
+                ->RegisterViaReduction("member-via-nothing", "test",
+                                       core::ListMembershipProblem(),
+                                       core::MemberToConnReduction(), "nope")
+                .code(),
+            StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// PreparedStore: Π runs exactly once per distinct data part.
+// ---------------------------------------------------------------------------
+
+TEST(PreparedStoreTest, PiRunsOncePerDataPartAcrossLargeBatch) {
+  auto engine = MakeEngine();
+  Rng rng(901);
+  const int64_t universe = 512;
+  std::string data = core::MemberFactorization()
+                         .pi1(core::MakeMemberInstance(
+                             universe, RandomList(&rng, universe, 200), 0))
+                         .value();
+  // N >= 100 queries against the same data part.
+  std::vector<std::string> queries;
+  for (int i = 0; i < 128; ++i) {
+    queries.push_back(std::to_string(rng.NextBelow(universe)));
+  }
+
+  auto batch = engine->AnswerBatch("list-membership", data, queries);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->answers.size(), 128u);
+  EXPECT_EQ(batch->prepare_runs, 1);
+  EXPECT_FALSE(batch->cache_hit);
+  // CostMeter-verified: the batch charged Π's full PTIME work exactly once.
+  CostMeter reference;
+  ASSERT_TRUE(core::MemberWitness().preprocess(data, &reference).ok());
+  EXPECT_GT(reference.work(), 0);
+  EXPECT_EQ(batch->prepare_cost.work, reference.work());
+
+  // Second batch over the same data: served from the store, Π never re-runs.
+  auto again = engine->AnswerBatch("list-membership", data, queries);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->prepare_runs, 0);
+  EXPECT_TRUE(again->cache_hit);
+  EXPECT_LT(again->prepare_cost.work, reference.work());
+  EXPECT_EQ(again->answers, batch->answers);
+
+  auto stats = engine->store().stats();
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.hits, 1);
+}
+
+TEST(PreparedStoreTest, DistinctDataPartsPreprocessSeparately) {
+  auto engine = MakeEngine();
+  Rng rng(902);
+  std::vector<std::string> queries = {"1", "2", "3"};
+  for (int variant = 0; variant < 3; ++variant) {
+    std::string data =
+        core::MemberFactorization()
+            .pi1(core::MakeMemberInstance(64, RandomList(&rng, 64, 20), 0))
+            .value();
+    auto batch = engine->AnswerBatch("list-membership", data, queries);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(batch->prepare_runs, 1);
+  }
+  EXPECT_EQ(engine->store().stats().misses, 3);
+  EXPECT_EQ(engine->store().size(), 3u);
+}
+
+TEST(PreparedStoreTest, LruEvictionPastCapacity) {
+  PreparedStore store(/*max_entries=*/2);
+  auto compute = [](CostMeter* meter) -> Result<std::string> {
+    if (meter != nullptr) meter->AddSerial(10);
+    return std::string("prepared");
+  };
+  for (const char* data : {"a", "b", "c"}) {
+    ASSERT_TRUE(store.GetOrCompute("p", "w", data, compute).ok());
+  }
+  EXPECT_EQ(store.size(), 2u);
+  auto stats = store.stats();
+  EXPECT_EQ(stats.misses, 3);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_FALSE(store.Contains("p", "w", "a"));  // the least recently used
+  EXPECT_TRUE(store.Contains("p", "w", "c"));
+  // Re-requesting the evicted entry recomputes.
+  bool hit = true;
+  ASSERT_TRUE(store.GetOrCompute("p", "w", "a", compute, nullptr, &hit).ok());
+  EXPECT_FALSE(hit);
+}
+
+TEST(PreparedStoreTest, KeysSeparateProblemWitnessAndData) {
+  PreparedStore store;
+  int computes = 0;
+  auto compute = [&computes](CostMeter*) -> Result<std::string> {
+    ++computes;
+    return std::string("x");
+  };
+  ASSERT_TRUE(store.GetOrCompute("p1", "w", "d", compute).ok());
+  ASSERT_TRUE(store.GetOrCompute("p2", "w", "d", compute).ok());
+  ASSERT_TRUE(store.GetOrCompute("p1", "w2", "d", compute).ok());
+  ASSERT_TRUE(store.GetOrCompute("p1", "w", "d", compute).ok());  // hit
+  EXPECT_EQ(computes, 3);
+  EXPECT_EQ(store.stats().hits, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Batch answering parity with per-query answering and reference semantics.
+// ---------------------------------------------------------------------------
+
+TEST(EngineBatchTest, BatchMatchesPerQueryAndReferenceSemantics) {
+  auto engine = MakeEngine();
+  Rng rng(903);
+  const int64_t universe = 128;
+  auto list = RandomList(&rng, universe, 40);
+  std::string data =
+      core::MemberFactorization()
+          .pi1(core::MakeMemberInstance(universe, list, 0))
+          .value();
+  std::vector<std::string> queries;
+  for (int i = 0; i < 64; ++i) {
+    queries.push_back(std::to_string(rng.NextBelow(universe)));
+  }
+  auto batch = engine->AnswerBatch("list-membership", data, queries);
+  ASSERT_TRUE(batch.ok());
+  auto member = core::ListMembershipProblem();
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    auto single = engine->Answer("list-membership", data, queries[qi]);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(*single, batch->answers[qi]) << queries[qi];
+    auto e = std::stoll(queries[qi]);
+    auto reference =
+        member.contains(core::MakeMemberInstance(universe, list, e));
+    ASSERT_TRUE(reference.ok());
+    EXPECT_EQ(*reference, batch->answers[qi]) << queries[qi];
+  }
+}
+
+TEST(EngineBatchTest, AnswerInstanceRoundTripsDefinitionOne) {
+  auto engine = MakeEngine();
+  Rng rng(904);
+  auto member = core::ListMembershipProblem();
+  for (int trial = 0; trial < 25; ++trial) {
+    auto list = RandomList(&rng, 32, 10);
+    std::string x = core::MakeMemberInstance(
+        32, list, static_cast<int64_t>(rng.NextBelow(32)));
+    auto via_engine = engine->AnswerInstance("list-membership", x);
+    auto reference = member.contains(x);
+    ASSERT_TRUE(via_engine.ok() && reference.ok());
+    EXPECT_EQ(*via_engine, *reference) << x;
+  }
+}
+
+TEST(EngineBatchTest, LambdaRewritingEntryAnswersPredicates) {
+  auto engine = MakeEngine();
+  std::vector<int64_t> list = {4, 9, 17, 40};
+  std::string data = core::SelectionFactorization()
+                         .pi1(core::MakeSelectionInstance(64, list, {0, 0}))
+                         .value();
+  // Predicates: =9, <=3, >=40, between 10 20, between 18 30.
+  std::vector<std::string> queries = {"0,9", "1,3", "2,40", "3,10,20",
+                                      "3,18,30"};
+  auto batch = engine->AnswerBatch("predicate-selection", data, queries);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  EXPECT_EQ(batch->answers,
+            (std::vector<bool>{true, false, true, true, false}));
+}
+
+// ---------------------------------------------------------------------------
+// The reduction chain through the registry.
+// ---------------------------------------------------------------------------
+
+TEST(EngineReductionTest, TransportedEntriesAnswerTheSourceProblem) {
+  auto engine = MakeEngine();
+  Rng rng(905);
+  auto member = core::ListMembershipProblem();
+  for (const char* name : {"member-via-conn", "member-via-bds"}) {
+    for (int trial = 0; trial < 10; ++trial) {
+      auto list = RandomList(&rng, 24, 8);
+      std::string x = core::MakeMemberInstance(
+          24, list, static_cast<int64_t>(rng.NextBelow(24)));
+      auto via_engine = engine->AnswerInstance(name, x);
+      auto reference = member.contains(x);
+      ASSERT_TRUE(via_engine.ok()) << name << ": "
+                                   << via_engine.status().ToString();
+      ASSERT_TRUE(reference.ok());
+      EXPECT_EQ(*via_engine, *reference) << name << " on " << x;
+    }
+  }
+}
+
+TEST(EngineReductionTest, MemberToConnChainCachesPerDataPart) {
+  auto engine = MakeEngine();
+  Rng rng(906);
+  auto list = RandomList(&rng, 48, 16);
+  std::string data = core::MemberFactorization()
+                         .pi1(core::MakeMemberInstance(48, list, 0))
+                         .value();
+  std::vector<std::string> queries;
+  for (int i = 0; i < 100; ++i) {
+    queries.push_back(std::to_string(rng.NextBelow(48)));
+  }
+  // The transported witness runs Π = (conn preprocessing) ∘ α once...
+  auto first = engine->AnswerBatch("member-via-conn", data, queries);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->prepare_runs, 1);
+  // ...and every later batch against the same data part reuses it.
+  auto second = engine->AnswerBatch("member-via-conn", data, queries);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->prepare_runs, 0);
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(second->answers, first->answers);
+  // The source entry and the reduced entry cache under distinct keys.
+  auto direct = engine->AnswerBatch("list-membership", data, queries);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(direct->prepare_runs, 1);
+  EXPECT_EQ(direct->answers, first->answers);
+  EXPECT_EQ(engine->store().stats().misses, 2);
+  EXPECT_EQ(engine->store().stats().hits, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Typed path through the same interface.
+// ---------------------------------------------------------------------------
+
+TEST(EngineTypedTest, TypedBatchPreparesOncePerGeneratedData) {
+  auto engine = MakeEngine();
+  auto first = engine->AnswerTypedBatch("list-membership", 256, 7);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_EQ(first->prepare_runs, 1);
+  EXPECT_FALSE(first->cache_hit);
+  EXPECT_GT(first->prepare_cost.work, 0);
+  EXPECT_GT(first->answers.size(), 0u);
+
+  auto second = engine->AnswerTypedBatch("list-membership", 256, 7);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->prepare_runs, 0);
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(second->answers, first->answers);
+
+  // A different size is different data: Π runs again.
+  auto other = engine->AnswerTypedBatch("list-membership", 512, 7);
+  ASSERT_TRUE(other.ok());
+  EXPECT_EQ(other->prepare_runs, 1);
+}
+
+TEST(EngineTypedTest, TypedBatchMatchesManualCaseDrive) {
+  auto engine = MakeEngine();
+  auto batch = engine->AnswerTypedBatch("point-selection", 128, 3);
+  ASSERT_TRUE(batch.ok());
+
+  auto manual = engine->MakeCase("point-selection");
+  ASSERT_TRUE(manual.ok());
+  ASSERT_TRUE((*manual)->Generate(128, 3).ok());
+  ASSERT_TRUE((*manual)->Preprocess(nullptr).ok());
+  ASSERT_EQ((*manual)->num_queries(),
+            static_cast<int>(batch->answers.size()));
+  for (int qi = 0; qi < (*manual)->num_queries(); ++qi) {
+    auto expected = (*manual)->AnswerPrepared(qi, nullptr);
+    ASSERT_TRUE(expected.ok());
+    EXPECT_EQ(*expected, batch->answers[static_cast<size_t>(qi)]) << qi;
+  }
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace pitract
