@@ -107,6 +107,7 @@ BENCHMARK(BM_EngineTypedBatch)->RangeMultiplier(16)->Range(1 << 14, 1 << 22);
 
 }  // namespace
 
-PITRACT_BENCH_MAIN(
+PITRACT_BENCH_MAIN_JSON(
+    "e03_list_search",
     "E03 | Section 4(2): list membership. Expected shape: scan ~ n,\n"
     "      binary search ~ log n after an O(n log n) one-time sort.")

@@ -122,7 +122,8 @@ BENCHMARK(BM_ShallowCircuit_IsAlreadyNC)
 
 }  // namespace
 
-PITRACT_BENCH_MAIN(
+PITRACT_BENCH_MAIN_JSON(
+    "e10_cvp_separation",
     "E10 | Theorem 9 separation: CVP under Y0 (preprocess nothing) pays the\n"
     "      whole evaluation per query (depth ~ gates); the re-factorized\n"
     "      class answers O(1) after one PTIME pass. Shallow (NC) circuits\n"

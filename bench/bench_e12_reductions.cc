@@ -167,7 +167,8 @@ BENCHMARK(BM_SourceProblem_FromScratchPerQuery)
 
 }  // namespace
 
-PITRACT_BENCH_MAIN(
+PITRACT_BENCH_MAIN_JSON(
+    "e12_reductions",
     "E12 | Sections 5-6: reductions. Expected shape: alpha/beta maps are\n"
     "      near-linear one-shot transforms; the transported witness answers\n"
     "      queries in polylog depth while the from-scratch baseline re-reads\n"

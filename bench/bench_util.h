@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 /// Every experiment binary prints the paper claim it regenerates before the
 /// measured series, so bench_output.txt reads as paper-vs-measured.
@@ -17,6 +19,75 @@
     ::benchmark::RunSpecifiedBenchmarks();             \
     ::benchmark::Shutdown();                           \
     return 0;                                          \
+  }
+
+namespace pitract_bench {
+
+/// Console output plus one JSON line per benchmark run appended to
+/// BENCH_<bench_id>.json — the same accumulate-across-runs trajectory
+/// convention bench_f2_landscape established, so perf regressions diff.
+class JsonLinesTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonLinesTeeReporter(std::string bench_id, std::string path)
+      : bench_id_(std::move(bench_id)), json_(std::fopen(path.c_str(), "a")) {
+    if (json_ == nullptr) {
+      std::fprintf(stderr,
+                   "warning: cannot open %s for append; JSON lines skipped\n",
+                   path.c_str());
+    }
+  }
+  ~JsonLinesTeeReporter() override {
+    if (json_ != nullptr) std::fclose(json_);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    if (json_ == nullptr) return;
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::fprintf(json_,
+                   "{\"bench\":\"%s\",\"name\":\"%s\",\"iterations\":%lld,"
+                   "\"real_time\":%.3f,\"cpu_time\":%.3f,\"time_unit\":\"%s\"",
+                   bench_id_.c_str(), run.benchmark_name().c_str(),
+                   static_cast<long long>(run.iterations),
+                   run.GetAdjustedRealTime(), run.GetAdjustedCPUTime(),
+                   benchmark::GetTimeUnitString(run.time_unit));
+      for (const auto& [name, counter] : run.counters) {
+        std::fprintf(json_, ",\"%s\":%.3f", name.c_str(),
+                     static_cast<double>(counter.value));
+      }
+      std::fprintf(json_, "}\n");
+    }
+    std::fflush(json_);
+  }
+
+ private:
+  std::string bench_id_;
+  std::FILE* json_;
+};
+
+}  // namespace pitract_bench
+
+/// PITRACT_BENCH_MAIN plus the JSON-lines trajectory: runs append to
+/// BENCH_<bench_id>.json (or argv[1] when given a path before gbench
+/// flags).
+#define PITRACT_BENCH_MAIN_JSON(bench_id, header)                     \
+  int main(int argc, char** argv) {                                   \
+    std::printf("%s\n", header);                                      \
+    std::string json_path = std::string("BENCH_") + bench_id + ".json"; \
+    if (argc > 1 && argv[1][0] != '-') {                              \
+      json_path = argv[1];                                            \
+      for (int i = 1; i + 1 < argc; ++i) argv[i] = argv[i + 1];       \
+      --argc;                                                         \
+    }                                                                 \
+    ::benchmark::Initialize(&argc, argv);                             \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv))         \
+      return 1;                                                       \
+    ::pitract_bench::JsonLinesTeeReporter reporter(bench_id,          \
+                                                   json_path);        \
+    ::benchmark::RunSpecifiedBenchmarks(&reporter);                   \
+    ::benchmark::Shutdown();                                          \
+    return 0;                                                         \
   }
 
 #endif  // PITRACT_BENCH_BENCH_UTIL_H_

@@ -12,15 +12,25 @@
 // grows, which is exactly why preprocessing wins on big data.
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "engine/builtins.h"
 #include "engine/engine.h"
 
-int main() {
+int main(int argc, char** argv) {
   std::printf(
       "X2 | Amortization of the one-time preprocessing cost (Section 1).\n"
       "     q* = preprocessing work / per-query work saved.\n\n");
+  // One JSON line per (case, n), appended in the BENCH_*.json trajectory
+  // convention bench_f2_landscape established.
+  const char* json_path = argc > 1 ? argv[1] : "BENCH_x2_amortization.json";
+  std::FILE* json = std::fopen(json_path, "a");
+  if (json == nullptr) {
+    std::fprintf(stderr, "warning: cannot open %s for append; JSON lines "
+                 "skipped\n", json_path);
+  }
+  size_t json_lines = 0;
   const std::vector<int64_t> sizes = {1 << 10, 1 << 13, 1 << 16};
   std::printf("%-26s %10s %14s %14s %14s %10s\n", "query class", "n",
               "preprocess", "baseline/q", "prepared/q", "q*");
@@ -59,17 +69,32 @@ int main() {
       const double baseline_per_query = baseline_total / queries;
       const double prepared_per_query = prepared_total / queries;
       const double saved = baseline_per_query - prepared_per_query;
+      const long long breakeven =
+          saved > 0 ? static_cast<long long>(
+                          static_cast<double>(pre.work()) / saved + 1)
+                    : -1;
       std::printf("%-26s %10lld %14lld %14.0f %14.1f %10s\n",
                   query_class->name().c_str(),
                   static_cast<long long>(n),
                   static_cast<long long>(pre.work()), baseline_per_query,
                   prepared_per_query,
-                  saved > 0
-                      ? std::to_string(static_cast<long long>(
-                            static_cast<double>(pre.work()) / saved + 1))
-                            .c_str()
-                      : "n/a");
+                  breakeven >= 0 ? std::to_string(breakeven).c_str() : "n/a");
+      if (json != nullptr) {
+        std::fprintf(json,
+                     "{\"bench\":\"x2_amortization\",\"case\":\"%s\","
+                     "\"n\":%lld,\"preprocess_work\":%lld,"
+                     "\"baseline_per_query\":%.3f,\"prepared_per_query\":%.3f,"
+                     "\"breakeven_queries\":%lld}\n",
+                     query_class->name().c_str(), static_cast<long long>(n),
+                     static_cast<long long>(pre.work()), baseline_per_query,
+                     prepared_per_query, breakeven);
+        ++json_lines;
+      }
     }
+  }
+  if (json != nullptr) {
+    std::fclose(json);
+    std::printf("\n(appended %zu JSON lines to %s)\n", json_lines, json_path);
   }
   std::printf(
       "\nReading: once a workload issues more than q* queries against the\n"

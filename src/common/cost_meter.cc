@@ -12,8 +12,8 @@ std::string Cost::ToString() const {
 
 std::string CostMeter::ToString() const {
   std::ostringstream os;
-  os << "{work=" << cost_.work << ", depth=" << cost_.depth
-     << ", bytes_read=" << bytes_read_ << ", bytes_written=" << bytes_written_
+  os << "{work=" << work() << ", depth=" << depth()
+     << ", bytes_read=" << bytes_read() << ", bytes_written=" << bytes_written()
      << "}";
   return os.str();
 }

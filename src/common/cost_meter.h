@@ -1,6 +1,7 @@
 #ifndef PITRACT_COMMON_COST_METER_H_
 #define PITRACT_COMMON_COST_METER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -38,48 +39,69 @@ struct Cost {
 /// Accumulates Cost for one computation, plus byte-level I/O counters that
 /// the storage layer charges (scanned vs. touched bytes make Example 1's
 /// "1.9 days vs. seconds" arithmetic reproducible).
+///
+/// Counters are lock-free atomics so one meter may be charged from several
+/// threads (the engine's concurrent serving paths share meters for store
+/// hit/miss accounting) without torn counts. Relaxed ordering suffices:
+/// each counter is an independent monotone sum, and readers that need a
+/// point-in-time view take it after joining the charging threads.
 class CostMeter {
  public:
   CostMeter() = default;
+  CostMeter(const CostMeter&) = delete;
+  CostMeter& operator=(const CostMeter&) = delete;
 
   /// Charges `ops` sequential unit operations (work += ops, depth += ops).
   void AddSerial(int64_t ops) {
-    cost_.work += ops;
-    cost_.depth += ops;
+    work_.fetch_add(ops, std::memory_order_relaxed);
+    depth_.fetch_add(ops, std::memory_order_relaxed);
   }
 
   /// Charges a parallel block that performed `total_work` operations with
   /// critical path `span` (work += total_work, depth += span).
   void AddParallel(int64_t total_work, int64_t span) {
-    cost_.work += total_work;
-    cost_.depth += span;
+    work_.fetch_add(total_work, std::memory_order_relaxed);
+    depth_.fetch_add(span, std::memory_order_relaxed);
   }
 
   /// Merges a sub-computation that ran *sequentially after* prior charges.
-  void AddSequential(const Cost& sub) { cost_ += sub; }
+  void AddSequential(const Cost& sub) {
+    work_.fetch_add(sub.work, std::memory_order_relaxed);
+    depth_.fetch_add(sub.depth, std::memory_order_relaxed);
+  }
 
   /// Byte-level counters (storage-layer accounting).
-  void AddBytesRead(int64_t n) { bytes_read_ += n; }
-  void AddBytesWritten(int64_t n) { bytes_written_ += n; }
+  void AddBytesRead(int64_t n) {
+    bytes_read_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddBytesWritten(int64_t n) {
+    bytes_written_.fetch_add(n, std::memory_order_relaxed);
+  }
 
-  const Cost& cost() const { return cost_; }
-  int64_t work() const { return cost_.work; }
-  int64_t depth() const { return cost_.depth; }
-  int64_t bytes_read() const { return bytes_read_; }
-  int64_t bytes_written() const { return bytes_written_; }
+  Cost cost() const { return Cost(work(), depth()); }
+  int64_t work() const { return work_.load(std::memory_order_relaxed); }
+  int64_t depth() const { return depth_.load(std::memory_order_relaxed); }
+  int64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  int64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
 
   void Reset() {
-    cost_ = Cost();
-    bytes_read_ = 0;
-    bytes_written_ = 0;
+    work_.store(0, std::memory_order_relaxed);
+    depth_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
+    bytes_written_.store(0, std::memory_order_relaxed);
   }
 
   std::string ToString() const;
 
  private:
-  Cost cost_;
-  int64_t bytes_read_ = 0;
-  int64_t bytes_written_ = 0;
+  std::atomic<int64_t> work_{0};
+  std::atomic<int64_t> depth_{0};
+  std::atomic<int64_t> bytes_read_{0};
+  std::atomic<int64_t> bytes_written_{0};
 };
 
 }  // namespace pitract

@@ -1,0 +1,69 @@
+#include "common/serde.h"
+
+#include <limits>
+
+namespace pitract {
+namespace serde {
+
+namespace {
+
+template <typename T>
+void PutLittleEndian(std::string* out, T value) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    out->push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+}  // namespace
+
+void PutU32(std::string* out, uint32_t value) { PutLittleEndian(out, value); }
+void PutU64(std::string* out, uint64_t value) { PutLittleEndian(out, value); }
+
+void PutBytes(std::string* out, std::string_view bytes) {
+  PutU64(out, static_cast<uint64_t>(bytes.size()));
+  out->append(bytes);
+}
+
+Result<uint32_t> Reader::ReadU32() {
+  if (remaining() < sizeof(uint32_t)) {
+    return Status::OutOfRange("serde: truncated u32");
+  }
+  uint32_t value = 0;
+  for (size_t i = 0; i < sizeof(uint32_t); ++i) {
+    value |= static_cast<uint32_t>(
+                 static_cast<unsigned char>(buffer_[pos_ + i]))
+             << (8 * i);
+  }
+  pos_ += sizeof(uint32_t);
+  return value;
+}
+
+Result<uint64_t> Reader::ReadU64() {
+  if (remaining() < sizeof(uint64_t)) {
+    return Status::OutOfRange("serde: truncated u64");
+  }
+  uint64_t value = 0;
+  for (size_t i = 0; i < sizeof(uint64_t); ++i) {
+    value |= static_cast<uint64_t>(
+                 static_cast<unsigned char>(buffer_[pos_ + i]))
+             << (8 * i);
+  }
+  pos_ += sizeof(uint64_t);
+  return value;
+}
+
+Result<std::string> Reader::ReadBytes() {
+  const size_t mark = pos_;
+  auto length = ReadU64();
+  if (!length.ok()) return length.status();
+  if (*length > remaining()) {
+    pos_ = mark;  // leave the reader where it was: fail without consuming
+    return Status::OutOfRange("serde: byte string longer than buffer");
+  }
+  std::string bytes(buffer_.substr(pos_, static_cast<size_t>(*length)));
+  pos_ += static_cast<size_t>(*length);
+  return bytes;
+}
+
+}  // namespace serde
+}  // namespace pitract

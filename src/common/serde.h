@@ -1,0 +1,53 @@
+#ifndef PITRACT_COMMON_SERDE_H_
+#define PITRACT_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace pitract {
+
+/// Length-prefixed binary framing for persisted engine state.
+///
+/// The Σ*-level codec (common/codec.h) delimits *payload* strings with
+/// escapable text separators; serde is the complementary *container* layer:
+/// fixed-width little-endian integers and u64-length-prefixed byte strings,
+/// so arbitrary binary payloads (including codec-encoded Π(D) structures)
+/// frame without escaping. PreparedStore spill files are built from these
+/// primitives.
+namespace serde {
+
+/// Appends a little-endian fixed-width integer to `out`.
+void PutU32(std::string* out, uint32_t value);
+void PutU64(std::string* out, uint64_t value);
+
+/// Appends `bytes` prefixed with its u64 length.
+void PutBytes(std::string* out, std::string_view bytes);
+
+/// Sequential reader over a serde-framed buffer. Every read either advances
+/// past a well-formed frame or fails without consuming input, so corrupt or
+/// truncated spill files degrade to a clean error, never to garbage state.
+class Reader {
+ public:
+  explicit Reader(std::string_view buffer) : buffer_(buffer) {}
+
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  /// Reads a u64-length-prefixed byte string (copies out of the buffer).
+  Result<std::string> ReadBytes();
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return buffer_.size() - pos_; }
+  bool exhausted() const { return pos_ == buffer_.size(); }
+
+ private:
+  std::string_view buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace serde
+}  // namespace pitract
+
+#endif  // PITRACT_COMMON_SERDE_H_

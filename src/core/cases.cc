@@ -3,8 +3,10 @@
 
 #include "bds/bds.h"
 #include "circuit/generators.h"
+#include "common/codec.h"
 #include "common/rng.h"
 #include "compress/reach_compress.h"
+#include "core/problems.h"
 #include "core/query_class.h"
 #include "graph/algos.h"
 #include "graph/generators.h"
@@ -167,6 +169,7 @@ class ListMembershipCase : public QueryClassCase {
 
   Status Generate(int64_t n, uint64_t seed) override {
     Rng rng(seed);
+    universe_ = 2 * n;
     list_ = storage::GenerateList(n, 2 * n, &rng);
     queries_.clear();
     for (int i = 0; i < kQueriesPerCase; ++i) {
@@ -217,7 +220,15 @@ class ListMembershipCase : public QueryClassCase {
     return static_cast<int>(queries_.size());
   }
 
+  Result<std::string> SigmaDataPart() const override {
+    return MemberFactorization().pi1(MakeMemberInstance(universe_, list_, 0));
+  }
+  Result<std::string> SigmaQuery(int qi) const override {
+    return std::to_string(queries_[static_cast<size_t>(qi)]);
+  }
+
  private:
+  int64_t universe_ = 0;
   std::vector<int64_t> list_;
   std::vector<int64_t> queries_;
   std::optional<index::SortedColumn> sorted_;
@@ -456,6 +467,14 @@ class BdsCase : public QueryClassCase {
     return static_cast<int>(queries_.size());
   }
 
+  Result<std::string> SigmaDataPart() const override {
+    return BdsFactorization().pi1(MakeBdsInstance(g_, 0, 0));
+  }
+  Result<std::string> SigmaQuery(int qi) const override {
+    const auto& [u, v] = queries_[static_cast<size_t>(qi)];
+    return codec::EncodeFields({std::to_string(u), std::to_string(v)});
+  }
+
  private:
   graph::Graph g_;
   std::vector<std::pair<graph::NodeId, graph::NodeId>> queries_;
@@ -515,6 +534,13 @@ class GateValueCase : public QueryClassCase {
 
   int num_queries() const override {
     return static_cast<int>(queries_.size());
+  }
+
+  Result<std::string> SigmaDataPart() const override {
+    return GvpFactorization().pi1(MakeGvpInstance(instance_, 0));
+  }
+  Result<std::string> SigmaQuery(int qi) const override {
+    return std::to_string(queries_[static_cast<size_t>(qi)]);
   }
 
  private:

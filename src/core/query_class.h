@@ -39,6 +39,17 @@ class QueryClassCase {
   /// Answers query `qi` from the raw data (the baseline).
   virtual Result<bool> AnswerBaseline(int qi, CostMeter* meter) const = 0;
   virtual int num_queries() const = 0;
+
+  /// Σ*-level export of the generated workload, for cross-path parity
+  /// checks (engine::CrossCheck): the data part under the class's
+  /// registered factorization, and each query's Σ* encoding. Classes
+  /// without a Σ*-level twin keep the Unimplemented default.
+  virtual Result<std::string> SigmaDataPart() const {
+    return Status::Unimplemented("no Σ* export for " + name());
+  }
+  virtual Result<std::string> SigmaQuery(int /*qi*/) const {
+    return Status::Unimplemented("no Σ* export for " + name());
+  }
 };
 
 /// All registered cases (the rows of the Figure 2 landscape bench).

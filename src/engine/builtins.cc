@@ -82,6 +82,11 @@ Status RegisterBuiltins(QueryEngine* engine) {
       entry.problem = core::GateValueProblem();
       entry.factorization = core::GvpFactorization();
       entry.witness = core::GvpWitness();
+      // Π(D) is the all-gates value bitmap: one byte per gate, no key
+      // bytes worth accounting beyond the store's fixed overhead.
+      entry.prepared_size_of = [](const std::string& prepared) {
+        return prepared.size() + PreparedStore::kEntryOverheadBytes;
+      };
     }
     PITRACT_RETURN_IF_ERROR(engine->Register(std::move(entry)));
   }
@@ -100,10 +105,18 @@ Status RegisterBuiltins(QueryEngine* engine) {
       core::PredicateSelectionProblem(), core::SelectionFactorization(),
       core::ApplyRewriting(core::IntervalNormalizingRewriter(),
                            core::IntervalWitness()))));
-  PITRACT_RETURN_IF_ERROR(engine->Register(
-      LanguageEntry("cvp-nand-eval", "Section 7", core::CvpProblem(),
-                    core::CvpCircuitDataFactorization(),
-                    CircuitEvalWitness())));
+  {
+    // The NAND-eval witness keeps the circuit verbatim as its "prepared"
+    // structure — spilling that to disk would persist a copy of the data
+    // part for a one-op Π, so the entry opts out of persistence and
+    // recomputes on the first post-restart miss instead.
+    ProblemEntry entry =
+        LanguageEntry("cvp-nand-eval", "Section 7", core::CvpProblem(),
+                      core::CvpCircuitDataFactorization(),
+                      CircuitEvalWitness());
+    entry.spillable = false;
+    PITRACT_RETURN_IF_ERROR(engine->Register(std::move(entry)));
+  }
 
   // The reduction chain, routed through the registry: each derived entry
   // *looks up* its target's witness and transports it.

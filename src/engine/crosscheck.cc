@@ -1,0 +1,76 @@
+#include "engine/crosscheck.h"
+
+#include <utility>
+
+namespace pitract {
+namespace engine {
+
+Result<CrossCheckReport> CrossCheck(QueryEngine* engine,
+                                    std::string_view name, int64_t n,
+                                    uint64_t seed) {
+  auto entry = engine->Find(name);
+  if (!entry.ok()) return entry.status();
+  if (!(*entry)->has_language || !(*entry)->make_case) {
+    return Status::FailedPrecondition(
+        "'" + std::string(name) +
+        "' is not dual-path (needs both a Σ* witness and a typed case)");
+  }
+
+  // Typed path: generate, prepare, answer — the deployed in-memory form.
+  PITRACT_ASSIGN_OR_RETURN(auto typed_case, engine->MakeCase(name));
+  PITRACT_RETURN_IF_ERROR(typed_case->Generate(n, seed));
+  PITRACT_RETURN_IF_ERROR(typed_case->Preprocess(nullptr));
+  const int num_queries = typed_case->num_queries();
+
+  // The same workload, exported to Σ* encodings.
+  PITRACT_ASSIGN_OR_RETURN(std::string data, typed_case->SigmaDataPart());
+  std::vector<std::string> queries;
+  queries.reserve(static_cast<size_t>(num_queries));
+  for (int qi = 0; qi < num_queries; ++qi) {
+    PITRACT_ASSIGN_OR_RETURN(std::string query, typed_case->SigmaQuery(qi));
+    queries.push_back(std::move(query));
+  }
+
+  // Σ*-witness path through the engine (and its PreparedStore).
+  auto batch = engine->AnswerBatch(name, data, queries);
+  if (!batch.ok()) return batch.status();
+  if (static_cast<int>(batch->answers.size()) != num_queries) {
+    return Status::Internal("Σ* path answered " +
+                            std::to_string(batch->answers.size()) +
+                            " of " + std::to_string(num_queries) + " queries");
+  }
+
+  CrossCheckReport report;
+  report.problem = std::string(name);
+  report.queries = num_queries;
+  for (int qi = 0; qi < num_queries; ++qi) {
+    auto typed_answer = typed_case->AnswerPrepared(qi, nullptr);
+    if (!typed_answer.ok()) return typed_answer.status();
+    if (*typed_answer != batch->answers[static_cast<size_t>(qi)]) {
+      ++report.mismatches;
+      report.mismatch_indices.push_back(qi);
+    }
+  }
+  return report;
+}
+
+std::vector<std::string> CrossCheckableNames(const QueryEngine& engine) {
+  std::vector<std::string> names;
+  for (const std::string& name : engine.Names()) {
+    auto entry = engine.Find(name);
+    if (!entry.ok() || !(*entry)->has_language || !(*entry)->make_case) {
+      continue;
+    }
+    auto probe = (*entry)->make_case();
+    if (probe == nullptr) continue;
+    // Only cases that export Σ* encodings are checkable; probe on a tiny
+    // instance so the Unimplemented default is caught here, not mid-check.
+    if (!probe->Generate(8, 1).ok()) continue;
+    if (!probe->SigmaDataPart().ok()) continue;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace engine
+}  // namespace pitract

@@ -1,0 +1,45 @@
+#ifndef PITRACT_ENGINE_CROSSCHECK_H_
+#define PITRACT_ENGINE_CROSSCHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/engine.h"
+
+namespace pitract {
+namespace engine {
+
+/// Outcome of one typed-vs-Σ* parity run.
+struct CrossCheckReport {
+  std::string problem;
+  int queries = 0;
+  int mismatches = 0;
+  /// Query indices where the two paths disagreed (empty on parity).
+  std::vector<int> mismatch_indices;
+};
+
+/// Answers one generated workload through *both* execution paths of a
+/// dual-path registry entry — the typed deployed case and the Σ*-witness
+/// path (via the engine's PreparedStore) — and reports every disagreement.
+/// The typed case generates (data, queries) for (n, seed), exports their
+/// Σ* encodings (QueryClassCase::SigmaDataPart/SigmaQuery), and the same
+/// workload is replayed through AnswerBatch; Definition 1 says the two
+/// must agree query-for-query.
+///
+/// Fails with FailedPrecondition when `name` lacks one of the two paths
+/// and Unimplemented when its typed case cannot export Σ* encodings.
+Result<CrossCheckReport> CrossCheck(QueryEngine* engine,
+                                    std::string_view name, int64_t n,
+                                    uint64_t seed);
+
+/// Names of every registered dual-path entry whose typed case exports Σ*
+/// encodings — the set CrossCheck can verify.
+std::vector<std::string> CrossCheckableNames(const QueryEngine& engine);
+
+}  // namespace engine
+}  // namespace pitract
+
+#endif  // PITRACT_ENGINE_CROSSCHECK_H_

@@ -39,10 +39,13 @@ class WitnessBatchPath : public BatchPath {
 
   Result<PrepareOutcome> Prepare(CostMeter* meter) override {
     bool hit = false;
+    PreparedStore::EntryOptions entry_options;
+    entry_options.size_of = entry_.prepared_size_of;
+    entry_options.spillable = entry_.spillable;
     auto prepared = store_->GetOrCompute(
         entry_.name, entry_.witness.name, data_,
         [this](CostMeter* m) { return entry_.witness.preprocess(data_, m); },
-        meter, &hit);
+        meter, &hit, entry_options);
     if (!prepared.ok()) return prepared.status();
     prepared_ = std::move(prepared).value();
     return PrepareOutcome{/*ran_pi=*/!hit, /*cache_hit=*/hit};
@@ -96,6 +99,10 @@ class TypedCaseBatchPath : public BatchPath {
 QueryEngine::QueryEngine(size_t store_capacity, size_t typed_capacity)
     : store_(store_capacity), typed_capacity_(typed_capacity) {}
 
+QueryEngine::QueryEngine(const PreparedStore::Options& store_options,
+                         size_t typed_capacity)
+    : store_(store_options), typed_capacity_(typed_capacity) {}
+
 Status QueryEngine::Register(ProblemEntry entry) {
   if (entry.name.empty()) {
     return Status::InvalidArgument("problem entry needs a name");
@@ -105,6 +112,7 @@ Status QueryEngine::Register(ProblemEntry entry) {
                                    "' registers neither a language nor a "
                                    "typed case");
   }
+  std::unique_lock<std::shared_mutex> lock(registry_mutex_);
   auto [it, inserted] = entries_.emplace(entry.name, std::move(entry));
   if (!inserted) {
     return Status::AlreadyExists("problem '" + it->first +
@@ -163,15 +171,18 @@ Status QueryEngine::RegisterViaFReduction(
 }
 
 Result<const ProblemEntry*> QueryEngine::Find(std::string_view name) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mutex_);
   auto it = entries_.find(name);
   if (it == entries_.end()) {
     return Status::NotFound("no problem registered as '" + std::string(name) +
                             "'");
   }
+  // Map nodes are never erased, so the pointer stays valid after unlock.
   return &it->second;
 }
 
 std::vector<std::string> QueryEngine::Names() const {
+  std::shared_lock<std::shared_mutex> lock(registry_mutex_);
   std::vector<std::string> names;
   names.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) names.push_back(name);
@@ -227,29 +238,46 @@ Result<BatchResult> QueryEngine::AnswerTypedBatch(std::string_view problem,
   }
   std::string key = std::string(problem) + '\x1f' + std::to_string(n) +
                     '\x1f' + std::to_string(seed);
-  auto slot = std::find_if(typed_cache_.begin(), typed_cache_.end(),
-                           [&key](const TypedSlot& s) { return s.key == key; });
-  if (slot != typed_cache_.end()) {
-    // Cached slots are always prepared: insertion happens below only after
-    // a fully successful batch.
-    typed_cache_.splice(typed_cache_.begin(), typed_cache_, slot);
-    TypedCaseBatchPath path(slot->instance.get(), /*already_prepared=*/true);
+  std::shared_ptr<core::QueryClassCase> cached;
+  {
+    std::lock_guard<std::mutex> lock(typed_mutex_);
+    auto slot =
+        std::find_if(typed_cache_.begin(), typed_cache_.end(),
+                     [&key](const TypedSlot& s) { return s.key == key; });
+    if (slot != typed_cache_.end()) {
+      // Cached slots are always prepared: insertion happens below only
+      // after a fully successful batch. The shared_ptr keeps the instance
+      // alive even if another thread trims it out of the cache mid-batch.
+      typed_cache_.splice(typed_cache_.begin(), typed_cache_, slot);
+      cached = slot->instance;
+    }
+  }
+  if (cached != nullptr) {
+    TypedCaseBatchPath path(cached.get(), /*already_prepared=*/true);
     return RunBatch(&path);
   }
-  TypedSlot fresh;
-  fresh.key = std::move(key);
-  fresh.instance = (*entry)->make_case();
-  if (fresh.instance == nullptr) {
+  // Cold key: generate and prepare outside the lock (two racing threads may
+  // each do this once; only the first inserts, the other's work is dropped).
+  std::shared_ptr<core::QueryClassCase> fresh = (*entry)->make_case();
+  if (fresh == nullptr) {
     return Status::Internal("typed case factory for '" + std::string(problem) +
                             "' returned null");
   }
-  PITRACT_RETURN_IF_ERROR(fresh.instance->Generate(n, seed));
-  TypedCaseBatchPath path(fresh.instance.get(), /*already_prepared=*/false);
+  PITRACT_RETURN_IF_ERROR(fresh->Generate(n, seed));
+  TypedCaseBatchPath path(fresh.get(), /*already_prepared=*/false);
   auto result = RunBatch(&path);
   if (!result.ok()) return result.status();  // never cache a failed prepare
-  typed_cache_.push_front(std::move(fresh));
-  if (typed_capacity_ > 0) {  // 0 = unbounded, like the PreparedStore
-    while (typed_cache_.size() > typed_capacity_) typed_cache_.pop_back();
+  {
+    std::lock_guard<std::mutex> lock(typed_mutex_);
+    auto slot =
+        std::find_if(typed_cache_.begin(), typed_cache_.end(),
+                     [&key](const TypedSlot& s) { return s.key == key; });
+    if (slot == typed_cache_.end()) {
+      typed_cache_.push_front(TypedSlot{std::move(key), std::move(fresh)});
+      if (typed_capacity_ > 0) {  // 0 = unbounded, like the PreparedStore
+        while (typed_cache_.size() > typed_capacity_) typed_cache_.pop_back();
+      }
+    }
   }
   return result;
 }

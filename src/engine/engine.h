@@ -6,6 +6,8 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -37,6 +39,14 @@ struct ProblemEntry {
 
   /// Typed path (absent for Σ*-only entries such as reduced problems).
   std::function<std::unique_ptr<core::QueryClassCase>()> make_case;
+
+  /// Size estimate (bytes) for this entry's prepared Π(D) payloads, used
+  /// by the store's byte-budgeted eviction. Unset: payload+key bytes.
+  PreparedStore::SizeFn prepared_size_of;
+
+  /// When false, this entry's Π(D) structures are never spilled to disk;
+  /// after a restart they degrade gracefully to recompute-on-miss.
+  bool spillable = true;
 };
 
 /// What Prepare did for this batch.
@@ -75,14 +85,26 @@ class BatchPath {
 /// CostMeter aggregation.
 Result<BatchResult> RunBatch(BatchPath* path);
 
-/// The prepare-once/answer-many engine: a registry of problems, a
+/// The prepare-once/answer-many engine: a registry of problems, a sharded
 /// PreparedStore for Σ*-level Π(D) structures, a small cache of typed
 /// cases, and the batch answering API both paths share.
+///
+/// Concurrency contract: registration is expected at startup, answering
+/// from any number of threads afterwards. `AnswerBatch`, `Answer`,
+/// `AnswerInstance` and `AnswerTypedBatch` are thread-safe; the registry
+/// is guarded by a reader/writer lock, the PreparedStore synchronizes
+/// internally (lock-striped shards plus in-flight Π deduplication), and
+/// the typed-case cache is guarded by its own mutex with instances held
+/// through shared_ptr so eviction never invalidates a running batch.
 class QueryEngine {
  public:
-  /// `store_capacity` bounds the PreparedStore and `typed_capacity` the
-  /// typed-case cache; 0 means unbounded for both.
+  /// `store_capacity` bounds the PreparedStore (entry count) and
+  /// `typed_capacity` the typed-case cache; 0 means unbounded for both.
   explicit QueryEngine(size_t store_capacity = 0, size_t typed_capacity = 8);
+  /// Full control over the serving-layer store (shard count, entry cap,
+  /// byte budget).
+  explicit QueryEngine(const PreparedStore::Options& store_options,
+                       size_t typed_capacity = 8);
 
   // --- registry ------------------------------------------------------------
 
@@ -114,7 +136,8 @@ class QueryEngine {
 
   /// Answers a batch of queries against one data part: Π(data) is fetched
   /// from (or inserted into) the PreparedStore, then every query runs the
-  /// witness's NC answer step.
+  /// witness's NC answer step. Thread-safe; concurrent batches over the
+  /// same data part run Π once (in-flight deduplication).
   Result<BatchResult> AnswerBatch(std::string_view problem,
                                   const std::string& data,
                                   std::span<const std::string> queries);
@@ -135,7 +158,9 @@ class QueryEngine {
   /// Runs the registered typed case for (problem, n, seed) through the same
   /// prepare-once/answer-many loop. Cases are cached per (problem, n, seed),
   /// so repeated batches against the same generated data reuse the prepared
-  /// structure (prepare_runs == 0, cache_hit == true).
+  /// structure (prepare_runs == 0, cache_hit == true). Thread-safe; two
+  /// threads racing on a cold key may each generate an instance, but only
+  /// one lands in the cache.
   Result<BatchResult> AnswerTypedBatch(std::string_view problem, int64_t n,
                                        uint64_t seed);
 
@@ -150,12 +175,14 @@ class QueryEngine {
  private:
   struct TypedSlot {
     std::string key;
-    std::unique_ptr<core::QueryClassCase> instance;
+    std::shared_ptr<core::QueryClassCase> instance;
   };
 
+  mutable std::shared_mutex registry_mutex_;
   std::map<std::string, ProblemEntry, std::less<>> entries_;
   PreparedStore store_;
   const size_t typed_capacity_;
+  std::mutex typed_mutex_;
   std::list<TypedSlot> typed_cache_;  // front = most recently used
 };
 

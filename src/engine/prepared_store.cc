@@ -1,10 +1,34 @@
 #include "engine/prepared_store.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <utility>
+
+#include "common/serde.h"
 
 namespace pitract {
 namespace engine {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint32_t kSpillMagic = 0x31544950;  // "PIT1"
+constexpr uint32_t kSpillVersion = 1;
+constexpr char kSpillExtension[] = ".pit";
+
+std::string DigestFileName(uint64_t digest) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string name(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    name[static_cast<size_t>(i)] = kHex[digest & 0xf];
+    digest >>= 4;
+  }
+  return name + kSpillExtension;
+}
+
+}  // namespace
 
 uint64_t Fnv1a64(std::string_view bytes) {
   uint64_t hash = 0xcbf29ce484222325ull;
@@ -14,6 +38,11 @@ uint64_t Fnv1a64(std::string_view bytes) {
   }
   return hash;
 }
+
+PreparedStore::PreparedStore(const Options& options)
+    : options_(Options{std::max<size_t>(options.shards, 1),
+                       options.max_entries, options.byte_budget}),
+      shards_(options_.shards) {}
 
 std::string PreparedStore::MakeKey(std::string_view problem,
                                    std::string_view witness,
@@ -30,77 +59,366 @@ std::string PreparedStore::MakeKey(std::string_view problem,
   return key;
 }
 
+size_t PreparedStore::DefaultSizeBytes(const Entry& entry) const {
+  return entry.key.size() +
+         (entry.prepared != nullptr ? entry.prepared->size() : 0) +
+         kEntryOverheadBytes;
+}
+
 Result<std::shared_ptr<const std::string>> PreparedStore::GetOrCompute(
     std::string_view problem, std::string_view witness, std::string_view data,
     const ComputeFn& compute, CostMeter* meter, bool* hit) {
+  return GetOrCompute(problem, witness, data, compute, meter, hit,
+                      EntryOptions{});
+}
+
+Result<std::shared_ptr<const std::string>> PreparedStore::GetOrCompute(
+    std::string_view problem, std::string_view witness, std::string_view data,
+    const ComputeFn& compute, CostMeter* meter, bool* hit,
+    const EntryOptions& entry_options) {
   std::string key = MakeKey(problem, witness, data);
   const uint64_t digest = Fnv1a64(key);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(digest);
-  if (it != entries_.end() && it->second.key == key) {
-    ++stats_.hits;
-    it->second.last_used = ++tick_;
-    if (meter != nullptr) meter->AddSerial(1);  // the digest probe
-    if (hit != nullptr) *hit = true;
-    return it->second.prepared;
+  Shard& shard = ShardFor(digest);
+
+  std::shared_ptr<Inflight> flight;
+  bool winner = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(digest);
+    if (it != shard.entries.end() && it->second.key == key) {
+      stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      it->second.last_used = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+      shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_it);
+      if (meter != nullptr) meter->AddSerial(1);  // the digest probe
+      if (hit != nullptr) *hit = true;
+      return it->second.prepared;
+    }
+    auto in = shard.inflight.find(key);
+    if (in != shard.inflight.end()) {
+      flight = in->second;
+    } else {
+      winner = true;
+      flight = std::make_shared<Inflight>();
+      flight->ready = flight->done.get_future().share();
+      shard.inflight.emplace(key, flight);
+      stats_.misses.fetch_add(1, std::memory_order_relaxed);
+    }
   }
-  ++stats_.misses;
+
+  if (!winner) {
+    // Another caller's Π for this exact key is in flight: block on its
+    // shared_future instead of running a duplicate Π.
+    stats_.inflight_waits.fetch_add(1, std::memory_order_relaxed);
+    flight->ready.wait();
+    if (flight->result.ok()) {
+      stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      if (meter != nullptr) meter->AddSerial(1);  // the rendezvous probe
+      if (hit != nullptr) *hit = true;
+      return flight->result;
+    }
+    if (hit != nullptr) *hit = false;
+    return flight->result.status();
+  }
+
+  // We own the in-flight slot: run Π outside every lock, then publish.
+  // A ComputeFn that throws (e.g. bad_alloc mid-preprocess) must not leak
+  // the slot — waiters would block forever — so unwinds become a Status
+  // and take the same failure path as a Status-returning Π.
   if (hit != nullptr) *hit = false;
-  auto prepared = compute(meter);
-  if (!prepared.ok()) return prepared.status();
+  Result<std::string> prepared = Status::Internal("Π did not run");
+  try {
+    prepared = compute(meter);
+  } catch (const std::exception& e) {
+    prepared = Status::Internal(std::string("Π threw: ") + e.what());
+  } catch (...) {
+    prepared = Status::Internal("Π threw a non-exception");
+  }
+  if (!prepared.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.inflight.erase(key);
+    }
+    flight->result = prepared.status();
+    flight->done.set_value();
+    return prepared.status();
+  }
+
   Entry entry;
-  entry.key = std::move(key);
+  entry.key = key;
   entry.prepared =
       std::make_shared<const std::string>(std::move(prepared).value());
-  entry.last_used = ++tick_;
+  entry.spillable = entry_options.spillable;
+  entry.size_bytes = entry_options.size_of
+                         ? entry_options.size_of(*entry.prepared)
+                         : DefaultSizeBytes(entry);
   auto result = entry.prepared;
-  if (it != entries_.end()) {
-    it->second = std::move(entry);  // digest collision: replace, stay correct
-  } else {
-    entries_.emplace(digest, std::move(entry));
-    EvictIfNeededLocked();
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    entry.last_used = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    auto it = shard.entries.find(digest);
+    if (it != shard.entries.end()) {
+      // Digest collision (or a concurrent Load): replace, stay correct.
+      bytes_.fetch_sub(static_cast<int64_t>(it->second.size_bytes),
+                       std::memory_order_relaxed);
+      count_.fetch_sub(1, std::memory_order_relaxed);
+      entry.lru_it = it->second.lru_it;  // reuse the list node
+      it->second = std::move(entry);
+      shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_it);
+    } else {
+      it = shard.entries.emplace(digest, std::move(entry)).first;
+      it->second.lru_it = shard.lru.insert(shard.lru.end(), digest);
+    }
+    bytes_.fetch_add(static_cast<int64_t>(it->second.size_bytes),
+                     std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    shard.inflight.erase(key);
   }
+  flight->result = result;
+  flight->done.set_value();
+  EvictUntilWithinBudget();
   return result;
 }
 
 bool PreparedStore::Contains(std::string_view problem, std::string_view witness,
                              std::string_view data) const {
   std::string key = MakeKey(problem, witness, data);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(Fnv1a64(key));
-  return it != entries_.end() && it->second.key == key;
+  const uint64_t digest = Fnv1a64(key);
+  const Shard& shard = ShardFor(digest);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(digest);
+  return it != shard.entries.end() && it->second.key == key;
+}
+
+bool PreparedStore::OverBudget() const {
+  const auto count = count_.load(std::memory_order_relaxed);
+  const auto bytes = bytes_.load(std::memory_order_relaxed);
+  if (options_.max_entries != 0 &&
+      count > static_cast<int64_t>(options_.max_entries)) {
+    return true;
+  }
+  return options_.byte_budget != 0 &&
+         bytes > static_cast<int64_t>(options_.byte_budget);
+}
+
+void PreparedStore::EvictUntilWithinBudget() {
+  // One evictor at a time: two publishers both observing OverBudget()
+  // would otherwise each take a victim and over-evict below budget. The
+  // eviction lock is never taken while holding a shard lock, so ordering
+  // is acyclic.
+  std::lock_guard<std::mutex> evict_lock(evict_mutex_);
+  while (OverBudget()) {
+    // The global LRU victim is the oldest of the per-shard LRU-list
+    // fronts — O(shards) peeks, no entry scan. The pick is re-checked
+    // under the victim shard's lock before erasing; a touch in between
+    // simply restarts the selection.
+    bool found = false;
+    size_t victim_shard = 0;
+    uint64_t victim_digest = 0;
+    uint64_t victim_tick = 0;
+    for (size_t si = 0; si < shards_.size(); ++si) {
+      std::lock_guard<std::mutex> lock(shards_[si].mutex);
+      if (shards_[si].lru.empty()) continue;
+      const uint64_t digest = shards_[si].lru.front();
+      auto it = shards_[si].entries.find(digest);
+      if (it == shards_[si].entries.end()) continue;
+      if (!found || it->second.last_used < victim_tick) {
+        found = true;
+        victim_shard = si;
+        victim_digest = digest;
+        victim_tick = it->second.last_used;
+      }
+    }
+    if (!found) return;  // store drained concurrently
+    Shard& shard = shards_[victim_shard];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(victim_digest);
+    if (it == shard.entries.end() || it->second.last_used != victim_tick) {
+      continue;  // touched or already evicted since the peek
+    }
+    shard.lru.erase(it->second.lru_it);
+    bytes_.fetch_sub(static_cast<int64_t>(it->second.size_bytes),
+                     std::memory_order_relaxed);
+    count_.fetch_sub(1, std::memory_order_relaxed);
+    shard.entries.erase(it);
+    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Status PreparedStore::Spill(const std::string& dir) const {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create spill directory '" + dir +
+                            "': " + ec.message());
+  }
+  struct Snapshot {
+    uint64_t digest;
+    std::string key;
+    std::shared_ptr<const std::string> prepared;
+    size_t size_bytes;
+  };
+  std::vector<Snapshot> snapshots;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [digest, entry] : shard.entries) {
+      if (!entry.spillable) continue;
+      snapshots.push_back({digest, entry.key, entry.prepared,
+                           entry.size_bytes});
+    }
+  }
+  std::vector<std::string> written;
+  written.reserve(snapshots.size());
+  for (const Snapshot& snapshot : snapshots) {
+    std::string framed;
+    serde::PutU32(&framed, kSpillMagic);
+    serde::PutU32(&framed, kSpillVersion);
+    serde::PutBytes(&framed, snapshot.key);
+    serde::PutBytes(&framed, *snapshot.prepared);
+    serde::PutU64(&framed, static_cast<uint64_t>(snapshot.size_bytes));
+    const std::string file_name = DigestFileName(snapshot.digest);
+    const fs::path path = fs::path(dir) / file_name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open spill file " + path.string());
+    }
+    out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+    // Close explicitly and re-check: a buffered write can fail only at
+    // flush time (e.g. ENOSPC), and returning OK on a truncated file
+    // would silently lose the warm cache.
+    out.close();
+    if (!out) {
+      return Status::Internal("short write to spill file " + path.string());
+    }
+    written.push_back(file_name);
+  }
+  // Drop stale spill files from earlier spills (entries since evicted or
+  // replaced), so the directory always mirrors exactly this snapshot and
+  // Load never resurrects dead entries.
+  std::sort(written.begin(), written.end());
+  for (const auto& dirent : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    if (!dirent.is_regular_file() ||
+        dirent.path().extension() != kSpillExtension) {
+      continue;
+    }
+    const std::string name = dirent.path().filename().string();
+    if (!std::binary_search(written.begin(), written.end(), name)) {
+      fs::remove(dirent.path(), ec);
+    }
+  }
+  stats_.spilled.fetch_add(static_cast<int64_t>(snapshots.size()),
+                           std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Result<size_t> PreparedStore::Load(const std::string& dir) {
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    return Status::NotFound("cannot read spill directory '" + dir +
+                            "': " + ec.message());
+  }
+  size_t loaded = 0;
+  for (const auto& dirent : it) {
+    if (!dirent.is_regular_file() ||
+        dirent.path().extension() != kSpillExtension) {
+      continue;
+    }
+    std::ifstream in(dirent.path(), std::ios::binary);
+    if (!in) continue;
+    std::string framed((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+    serde::Reader reader(framed);
+    auto magic = reader.ReadU32();
+    auto version = magic.ok() ? reader.ReadU32() : magic;
+    if (!version.ok() || *magic != kSpillMagic || *version != kSpillVersion) {
+      continue;  // not ours / corrupt: degrade to recompute-on-miss
+    }
+    auto key = reader.ReadBytes();
+    if (!key.ok()) continue;
+    auto prepared = reader.ReadBytes();
+    if (!prepared.ok()) continue;
+    auto size_bytes = reader.ReadU64();
+    if (!size_bytes.ok() || !reader.exhausted()) continue;
+
+    Entry entry;
+    entry.key = std::move(key).value();
+    entry.prepared =
+        std::make_shared<const std::string>(std::move(prepared).value());
+    entry.size_bytes = static_cast<size_t>(*size_bytes);
+    entry.spillable = true;
+    const uint64_t digest = Fnv1a64(entry.key);
+    Shard& shard = ShardFor(digest);
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      entry.last_used = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+      auto existing = shard.entries.find(digest);
+      if (existing != shard.entries.end()) {
+        bytes_.fetch_sub(static_cast<int64_t>(existing->second.size_bytes),
+                         std::memory_order_relaxed);
+        count_.fetch_sub(1, std::memory_order_relaxed);
+        entry.lru_it = existing->second.lru_it;  // reuse the list node
+        existing->second = std::move(entry);
+        shard.lru.splice(shard.lru.end(), shard.lru,
+                         existing->second.lru_it);
+      } else {
+        existing = shard.entries.emplace(digest, std::move(entry)).first;
+        existing->second.lru_it = shard.lru.insert(shard.lru.end(), digest);
+      }
+      bytes_.fetch_add(static_cast<int64_t>(existing->second.size_bytes),
+                       std::memory_order_relaxed);
+      count_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ++loaded;
+  }
+  stats_.loaded.fetch_add(static_cast<int64_t>(loaded),
+                          std::memory_order_relaxed);
+  EvictUntilWithinBudget();
+  return loaded;
 }
 
 PreparedStore::Stats PreparedStore::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats stats;
+  stats.hits = stats_.hits.load(std::memory_order_relaxed);
+  stats.misses = stats_.misses.load(std::memory_order_relaxed);
+  stats.evictions = stats_.evictions.load(std::memory_order_relaxed);
+  stats.inflight_waits =
+      stats_.inflight_waits.load(std::memory_order_relaxed);
+  stats.spilled = stats_.spilled.load(std::memory_order_relaxed);
+  stats.loaded = stats_.loaded.load(std::memory_order_relaxed);
+  return stats;
 }
 
 size_t PreparedStore::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return entries_.size();
+  const auto count = count_.load(std::memory_order_relaxed);
+  return count > 0 ? static_cast<size_t>(count) : 0;
+}
+
+size_t PreparedStore::bytes_resident() const {
+  const auto bytes = bytes_.load(std::memory_order_relaxed);
+  return bytes > 0 ? static_cast<size_t>(bytes) : 0;
 }
 
 void PreparedStore::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  entries_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [digest, entry] : shard.entries) {
+      bytes_.fetch_sub(static_cast<int64_t>(entry.size_bytes),
+                       std::memory_order_relaxed);
+      count_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    shard.entries.clear();
+    shard.lru.clear();
+  }
 }
 
 void PreparedStore::ResetStats() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  stats_ = Stats();
-}
-
-void PreparedStore::EvictIfNeededLocked() {
-  if (max_entries_ == 0) return;
-  while (entries_.size() > max_entries_) {
-    auto victim = std::min_element(
-        entries_.begin(), entries_.end(), [](const auto& a, const auto& b) {
-          return a.second.last_used < b.second.last_used;
-        });
-    entries_.erase(victim);
-    ++stats_.evictions;
-  }
+  stats_.hits.store(0, std::memory_order_relaxed);
+  stats_.misses.store(0, std::memory_order_relaxed);
+  stats_.evictions.store(0, std::memory_order_relaxed);
+  stats_.inflight_waits.store(0, std::memory_order_relaxed);
+  stats_.spilled.store(0, std::memory_order_relaxed);
+  stats_.loaded.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace engine

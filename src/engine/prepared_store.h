@@ -1,13 +1,17 @@
 #ifndef PITRACT_ENGINE_PREPARED_STORE_H_
 #define PITRACT_ENGINE_PREPARED_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "common/cost_meter.h"
 #include "common/result.h"
@@ -23,41 +27,106 @@ uint64_t Fnv1a64(std::string_view bytes);
 /// the same data never re-run Π — Definition 1's one-time/amortized
 /// asymmetry, enforced by construction rather than by caller discipline.
 ///
+/// The store is a concurrent serving structure:
+///
+///  * **Lock striping.** Entries live in N shards selected by digest; a Π
+///    run for one data part never blocks lookups landing in other shards.
+///  * **In-flight Π deduplication.** Concurrent misses on the same data
+///    part rendezvous on one std::shared_future: exactly one caller runs Π
+///    (outside the shard lock), the rest block until it publishes, so Π
+///    provably executes once per distinct data part even under a miss
+///    storm.
+///  * **Byte-budgeted LRU eviction.** Every entry carries a size estimate
+///    (caller-supplied `SizeFn` hook, defaulting to payload+key bytes);
+///    once resident bytes exceed `Options::byte_budget` (or entries exceed
+///    `Options::max_entries`), the globally least-recently-used entries are
+///    evicted until the store is back under budget.
+///  * **Persistence.** Spill serializes every spillable entry to one
+///    serde-framed file per entry under a spill directory; Load rehydrates
+///    a (possibly restarted) store from such a directory. Entries inserted
+///    as non-spillable are skipped by Spill and simply recompute on their
+///    first post-restart miss.
+///
 /// Entries keep their full key alongside the digest, so a digest collision
-/// degrades to a cache miss, never to a wrong structure. The store is
-/// internally locked; Π for a given store runs under that lock, which also
-/// guarantees Π executes at most once per distinct data part even with
-/// concurrent callers.
+/// degrades to a cache miss, never to a wrong structure.
 class PreparedStore {
  public:
+  struct Options {
+    /// Number of lock stripes; clamped to >= 1.
+    size_t shards = 8;
+    /// 0 = unbounded; otherwise LRU entries are evicted past the cap.
+    size_t max_entries = 0;
+    /// 0 = unbounded; otherwise LRU entries are evicted once the summed
+    /// size estimates exceed this many bytes.
+    size_t byte_budget = 0;
+  };
+
   struct Stats {
     int64_t hits = 0;
     int64_t misses = 0;
     int64_t evictions = 0;
+    /// Calls that blocked on another caller's in-flight Π instead of
+    /// running their own (each also counts as a hit: Π did not run).
+    int64_t inflight_waits = 0;
+    int64_t spilled = 0;
+    int64_t loaded = 0;
   };
 
-  /// `max_entries` == 0 means unbounded; otherwise least-recently-used
-  /// entries are evicted past the cap.
-  explicit PreparedStore(size_t max_entries = 0) : max_entries_(max_entries) {}
+  /// Legacy convenience: an entry-capped store with default sharding.
+  explicit PreparedStore(size_t max_entries = 0)
+      : PreparedStore(Options{/*shards=*/8, max_entries, /*byte_budget=*/0}) {}
+  explicit PreparedStore(const Options& options);
 
   using ComputeFn = std::function<Result<std::string>(CostMeter*)>;
+  /// Size-estimate hook for byte-budgeted eviction: maps a prepared Π(D)
+  /// payload to its resident byte estimate.
+  using SizeFn = std::function<size_t(const std::string&)>;
+
+  /// Fixed per-entry overhead the default size estimate adds on top of
+  /// key+payload bytes (map node, shared_ptr control block, bookkeeping).
+  /// Custom SizeFn hooks that want to stay comparable can add it too.
+  static constexpr size_t kEntryOverheadBytes = 64;
+
+  /// Per-call knobs supplied by the registry entry that owns the key.
+  struct EntryOptions {
+    SizeFn size_of;            // unset: payload + key + kEntryOverheadBytes
+    bool spillable = true;     // false: Spill skips, recompute after restart
+  };
 
   /// Returns the cached Π(D) for (problem, witness, data), or runs
   /// `compute` on a miss and stores the result. `meter` is charged the full
-  /// preprocessing cost on a miss and a single probe op on a hit; `hit`
-  /// (optional) reports which happened.
+  /// preprocessing cost on a miss and a single probe op on a hit or an
+  /// in-flight wait; `hit` (optional) reports whether Π ran in this call.
   Result<std::shared_ptr<const std::string>> GetOrCompute(
       std::string_view problem, std::string_view witness,
       std::string_view data, const ComputeFn& compute,
       CostMeter* meter = nullptr, bool* hit = nullptr);
+  Result<std::shared_ptr<const std::string>> GetOrCompute(
+      std::string_view problem, std::string_view witness,
+      std::string_view data, const ComputeFn& compute, CostMeter* meter,
+      bool* hit, const EntryOptions& entry_options);
 
   /// True iff an entry for (problem, witness, data) is resident.
   bool Contains(std::string_view problem, std::string_view witness,
                 std::string_view data) const;
 
+  /// Serializes every resident spillable entry to `dir` (created if
+  /// missing), one serde-framed file per entry, so a restarted engine can
+  /// rehydrate its warm cache with Load.
+  Status Spill(const std::string& dir) const;
+
+  /// Loads every well-formed spill file under `dir` into the store and
+  /// returns how many entries were rehydrated. Corrupt or truncated files
+  /// are skipped (they degrade to recompute-on-miss); eviction runs
+  /// afterwards so the budget holds even for an over-budget spill set.
+  Result<size_t> Load(const std::string& dir);
+
   Stats stats() const;
   size_t size() const;
-  size_t max_entries() const { return max_entries_; }
+  /// Summed size estimates of resident entries.
+  size_t bytes_resident() const;
+  const Options& options() const { return options_; }
+  size_t max_entries() const { return options_.max_entries; }
 
   /// Drops every entry; counters are kept (use ResetStats to zero them).
   void Clear();
@@ -68,17 +137,63 @@ class PreparedStore {
     std::string key;  // full (problem, witness, data) key, collision guard
     std::shared_ptr<const std::string> prepared;
     uint64_t last_used = 0;
+    size_t size_bytes = 0;
+    bool spillable = true;
+    /// Position in the owning shard's LRU list (front = least recent), so
+    /// touch/evict are O(1) instead of scans.
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  /// One rendezvous point per in-flight Π run. The winner fills `result`
+  /// and then releases `ready`; promise/future ordering makes the write
+  /// visible to every waiter.
+  struct Inflight {
+    std::promise<void> done;
+    std::shared_future<void> ready;
+    Result<std::shared_ptr<const std::string>> result =
+        Status::Internal("Π still in flight");
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<uint64_t, Entry> entries;
+    /// Digests in recency order, front = this shard's LRU entry; the
+    /// global victim is the oldest shard front (O(shards), no full scan).
+    std::list<uint64_t> lru;
+    std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight;
   };
 
   static std::string MakeKey(std::string_view problem, std::string_view witness,
                              std::string_view data);
-  void EvictIfNeededLocked();
+  Shard& ShardFor(uint64_t digest) {
+    return shards_[digest % shards_.size()];
+  }
+  const Shard& ShardFor(uint64_t digest) const {
+    return shards_[digest % shards_.size()];
+  }
+  size_t DefaultSizeBytes(const Entry& entry) const;
+  /// Evicts globally-LRU entries until both budgets hold.
+  void EvictUntilWithinBudget();
+  bool OverBudget() const;
 
-  const size_t max_entries_;
-  mutable std::mutex mutex_;
-  std::unordered_map<uint64_t, Entry> entries_;
-  Stats stats_;
-  uint64_t tick_ = 0;
+  const Options options_;
+  std::vector<Shard> shards_;
+  /// Serializes EvictUntilWithinBudget so concurrent publishers cannot
+  /// each take a victim and over-evict below budget.
+  std::mutex evict_mutex_;
+  std::atomic<uint64_t> tick_{0};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> bytes_{0};
+
+  struct AtomicStats {
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> misses{0};
+    std::atomic<int64_t> evictions{0};
+    std::atomic<int64_t> inflight_waits{0};
+    std::atomic<int64_t> spilled{0};
+    std::atomic<int64_t> loaded{0};
+  };
+  mutable AtomicStats stats_;
 };
 
 }  // namespace engine

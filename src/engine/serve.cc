@@ -1,0 +1,76 @@
+#include "engine/serve.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace pitract {
+namespace engine {
+
+ServeReport ServeParallel(QueryEngine* engine,
+                          std::span<const ServeWorkItem> workload,
+                          const ServeOptions& options) {
+  ServeReport report;
+  const int threads = std::max(options.threads, 1);
+  const int repeat = std::max(options.repeat, 1);
+  const int64_t total =
+      static_cast<int64_t>(workload.size()) * static_cast<int64_t>(repeat);
+  if (total == 0) return report;
+
+  std::atomic<int64_t> cursor{0};
+  std::atomic<int64_t> batches{0};
+  std::atomic<int64_t> queries{0};
+  std::atomic<int64_t> pi_runs{0};
+  std::atomic<int64_t> cache_hits{0};
+  std::atomic<int64_t> errors{0};
+  std::mutex error_mutex;
+  Status first_error;
+
+  const auto start = std::chrono::steady_clock::now();
+  auto worker = [&] {
+    for (;;) {
+      const int64_t index = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (index >= total) return;
+      const ServeWorkItem& item =
+          workload[static_cast<size_t>(index) % workload.size()];
+      auto batch = engine->AnswerBatch(item.problem, item.data, item.queries);
+      if (!batch.ok()) {
+        if (errors.fetch_add(1, std::memory_order_relaxed) == 0) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          first_error = batch.status();
+        }
+        continue;
+      }
+      batches.fetch_add(1, std::memory_order_relaxed);
+      queries.fetch_add(static_cast<int64_t>(batch->answers.size()),
+                        std::memory_order_relaxed);
+      pi_runs.fetch_add(batch->prepare_runs, std::memory_order_relaxed);
+      if (batch->cache_hit) cache_hits.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  const auto stop = std::chrono::steady_clock::now();
+
+  report.batches = batches.load();
+  report.queries = queries.load();
+  report.pi_runs = pi_runs.load();
+  report.cache_hits = cache_hits.load();
+  report.errors = errors.load();
+  report.first_error = first_error;
+  report.wall_seconds =
+      std::chrono::duration<double>(stop - start).count();
+  report.queries_per_second =
+      report.wall_seconds > 0
+          ? static_cast<double>(report.queries) / report.wall_seconds
+          : 0;
+  return report;
+}
+
+}  // namespace engine
+}  // namespace pitract

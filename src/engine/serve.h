@@ -1,0 +1,55 @@
+#ifndef PITRACT_ENGINE_SERVE_H_
+#define PITRACT_ENGINE_SERVE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "engine/engine.h"
+
+namespace pitract {
+namespace engine {
+
+/// One unit of serving work: a batch of queries against one data part of
+/// one registered problem, answered through the Σ*-witness path.
+struct ServeWorkItem {
+  std::string problem;
+  std::string data;
+  std::vector<std::string> queries;
+};
+
+struct ServeOptions {
+  /// Worker threads pulling work items; clamped to >= 1.
+  int threads = 1;
+  /// Passes over the whole workload (> 1 measures the warm store).
+  int repeat = 1;
+};
+
+/// Aggregate of one ServeParallel run.
+struct ServeReport {
+  int64_t batches = 0;     // successfully answered work items
+  int64_t queries = 0;     // queries answered across those batches
+  int64_t pi_runs = 0;     // how many batches actually executed Π
+  int64_t cache_hits = 0;  // batches served from the PreparedStore
+  int64_t errors = 0;
+  Status first_error;  // OK when errors == 0
+  double wall_seconds = 0;
+  double queries_per_second = 0;
+};
+
+/// Drives `workload` through `engine->AnswerBatch` from
+/// `options.threads` concurrent workers: the multi-threaded face of the
+/// prepare-once/answer-many contract. Work items are pulled from a shared
+/// atomic cursor, so distinct data parts proceed in parallel while
+/// concurrent misses on the same data part dedup onto one Π run inside the
+/// store. Used by bench_x3_concurrency to measure queries/sec vs threads.
+ServeReport ServeParallel(QueryEngine* engine,
+                          std::span<const ServeWorkItem> workload,
+                          const ServeOptions& options);
+
+}  // namespace engine
+}  // namespace pitract
+
+#endif  // PITRACT_ENGINE_SERVE_H_

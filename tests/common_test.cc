@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "common/codec.h"
 #include "common/cost_meter.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/serde.h"
 #include "common/status.h"
 
 namespace pitract {
@@ -326,6 +329,90 @@ TEST_P(CodecPropertyTest, RandomRoundTrips) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CodecPropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// serde: length-prefixed binary framing (PreparedStore spill files)
+// ---------------------------------------------------------------------------
+
+TEST(SerdeTest, IntegersRoundTripLittleEndian) {
+  std::string buffer;
+  serde::PutU32(&buffer, 0x31544950u);
+  serde::PutU64(&buffer, 0xdeadbeefcafef00dull);
+  serde::PutU32(&buffer, 0);
+  EXPECT_EQ(buffer.size(), 16u);
+  EXPECT_EQ(buffer[0], 'P');  // little-endian: low byte first
+
+  serde::Reader reader(buffer);
+  auto a = reader.ReadU32();
+  auto b = reader.ReadU64();
+  auto c = reader.ReadU32();
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(*a, 0x31544950u);
+  EXPECT_EQ(*b, 0xdeadbeefcafef00dull);
+  EXPECT_EQ(*c, 0u);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(SerdeTest, BytesRoundTripIncludingEmbeddedDelimiters) {
+  // serde is the container layer: payloads may contain every byte the
+  // Σ*-codec treats as special ('#', '@', '\\', NUL) without escaping.
+  const std::string payload("a#b@c\\d\0e", 9);
+  std::string buffer;
+  serde::PutBytes(&buffer, payload);
+  serde::PutBytes(&buffer, "");
+  serde::Reader reader(buffer);
+  auto first = reader.ReadBytes();
+  auto second = reader.ReadBytes();
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(*first, payload);
+  EXPECT_EQ(second->size(), 0u);
+  EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(SerdeTest, TruncatedFramesFailWithoutConsuming) {
+  std::string buffer;
+  serde::PutU64(&buffer, 1000);  // length prefix promising 1000 bytes
+  buffer += "only-a-few";
+  serde::Reader reader(buffer);
+  auto bytes = reader.ReadBytes();
+  EXPECT_FALSE(bytes.ok());
+  EXPECT_EQ(bytes.status().code(), StatusCode::kOutOfRange);
+  // The failed read left the cursor where it was.
+  auto length = reader.ReadU64();
+  ASSERT_TRUE(length.ok());
+  EXPECT_EQ(*length, 1000u);
+
+  serde::Reader empty("");
+  EXPECT_FALSE(empty.ReadU32().ok());
+  EXPECT_FALSE(empty.ReadU64().ok());
+  EXPECT_FALSE(empty.ReadBytes().ok());
+}
+
+// ---------------------------------------------------------------------------
+// CostMeter under concurrent charging (the serving layer shares meters)
+// ---------------------------------------------------------------------------
+
+TEST(CostMeterTest, ConcurrentChargesDoNotTear) {
+  CostMeter meter;
+  constexpr int kThreads = 8;
+  constexpr int kChargesPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&meter] {
+      for (int i = 0; i < kChargesPerThread; ++i) {
+        meter.AddSerial(1);
+        meter.AddParallel(2, 1);
+        meter.AddBytesRead(3);
+        meter.AddBytesWritten(4);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(meter.work(), kThreads * kChargesPerThread * 3);   // 1 + 2
+  EXPECT_EQ(meter.depth(), kThreads * kChargesPerThread * 2);  // 1 + 1
+  EXPECT_EQ(meter.bytes_read(), kThreads * kChargesPerThread * 3);
+  EXPECT_EQ(meter.bytes_written(), kThreads * kChargesPerThread * 4);
+}
 
 }  // namespace
 }  // namespace pitract

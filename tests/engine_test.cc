@@ -4,9 +4,12 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "core/problems.h"
 #include "engine/builtins.h"
+#include "engine/crosscheck.h"
 #include "engine/engine.h"
 #include "engine/prepared_store.h"
 
@@ -336,6 +339,47 @@ TEST(EngineTypedTest, TypedBatchPreparesOncePerGeneratedData) {
   auto other = engine->AnswerTypedBatch("list-membership", 512, 7);
   ASSERT_TRUE(other.ok());
   EXPECT_EQ(other->prepare_runs, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Typed-path vs Σ*-witness parity (engine::CrossCheck).
+// ---------------------------------------------------------------------------
+
+TEST(EngineCrossCheckTest, EveryDualPathBuiltinAgreesAcrossPaths) {
+  auto engine = MakeEngine();
+  // The three Figure 2 rows registered with both a typed case and a Σ*
+  // witness must all be discoverable as cross-checkable...
+  auto names = CrossCheckableNames(*engine);
+  for (const char* expected :
+       {"list-membership", "breadth-depth-search", "cvp-refactorized"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+  }
+  // ...and answer identically, query for query, on several workloads.
+  for (const std::string& name : names) {
+    for (int64_t n : {64, 256}) {
+      for (uint64_t seed : {1u, 9u}) {
+        auto report = CrossCheck(engine.get(), name, n, seed);
+        ASSERT_TRUE(report.ok()) << name << ": "
+                                 << report.status().ToString();
+        EXPECT_GT(report->queries, 0) << name;
+        EXPECT_EQ(report->mismatches, 0)
+            << name << " diverged at n=" << n << " seed=" << seed;
+      }
+    }
+  }
+}
+
+TEST(EngineCrossCheckTest, SinglePathEntriesAreRejected) {
+  auto engine = MakeEngine();
+  // Typed-only: no Σ* witness to compare against.
+  EXPECT_EQ(CrossCheck(engine.get(), "range-minimum", 64, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Σ*-only: no typed case to drive.
+  EXPECT_EQ(CrossCheck(engine.get(), "member-via-bds", 64, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(CrossCheck(engine.get(), "no-such", 64, 1).status().code(),
+            StatusCode::kNotFound);
 }
 
 TEST(EngineTypedTest, TypedBatchMatchesManualCaseDrive) {

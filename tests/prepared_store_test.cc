@@ -1,0 +1,480 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/serde.h"
+#include "core/problems.h"
+#include "engine/builtins.h"
+#include "engine/engine.h"
+#include "engine/prepared_store.h"
+#include "engine/serve.h"
+
+namespace pitract {
+namespace engine {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string UniqueTempDir(const char* tag) {
+  static std::atomic<int> counter{0};
+  fs::path dir = fs::temp_directory_path() /
+                 (std::string("pitract_") + tag + "_" +
+                  std::to_string(::getpid()) + "_" +
+                  std::to_string(counter.fetch_add(1)));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::vector<int64_t> RandomList(Rng* rng, int64_t universe, int count) {
+  std::vector<int64_t> list;
+  for (int i = 0; i < count; ++i) {
+    list.push_back(
+        static_cast<int64_t>(rng->NextBelow(static_cast<uint64_t>(universe))));
+  }
+  return list;
+}
+
+// ---------------------------------------------------------------------------
+// In-flight Π deduplication: a concurrent miss storm runs Π exactly once.
+// ---------------------------------------------------------------------------
+
+TEST(PreparedStoreConcurrencyTest, MissStormRunsComputeExactlyOnce) {
+  PreparedStore::Options options;
+  options.shards = 8;
+  PreparedStore store(options);
+
+  constexpr int kThreads = 8;
+  std::atomic<int> computes{0};
+  std::atomic<int> started{0};
+  auto compute = [&computes, &started](CostMeter* meter) -> Result<std::string> {
+    ++computes;
+    // Hold Π open until every thread has had the chance to miss, so the
+    // storm genuinely contends instead of serializing by accident.
+    while (started.load() < kThreads) {
+      std::this_thread::yield();
+    }
+    if (meter != nullptr) meter->AddSerial(1000);
+    return std::string("prepared-payload");
+  };
+
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const std::string>> results(kThreads);
+  CostMeter meter;  // shared: atomic counters make concurrent charges safe
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ++started;
+      auto result = store.GetOrCompute("p", "w", "same-data", compute, &meter);
+      ASSERT_TRUE(result.ok());
+      results[static_cast<size_t>(t)] = *result;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(computes.load(), 1);  // Π executed exactly once
+  for (const auto& result : results) {
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(*result, "prepared-payload");
+  }
+  auto stats = store.stats();
+  EXPECT_EQ(stats.misses, 1);
+  // Every non-winner was served without running Π — either by blocking on
+  // the in-flight shared_future or (if it arrived late) by a plain hit.
+  EXPECT_EQ(stats.hits, kThreads - 1);
+  EXPECT_LE(stats.inflight_waits, kThreads - 1);
+  // CostMeter-verified: Π's work was charged once; everyone else paid a
+  // single probe op.
+  EXPECT_EQ(meter.work(), 1000 + (kThreads - 1));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(PreparedStoreConcurrencyTest, FailedComputeIsSharedAndRetriable) {
+  PreparedStore store;
+  std::atomic<int> computes{0};
+  auto failing = [&computes](CostMeter*) -> Result<std::string> {
+    ++computes;
+    return Status::Internal("Π exploded");
+  };
+  auto result = store.GetOrCompute("p", "w", "d", failing);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_FALSE(store.Contains("p", "w", "d"));
+  // The failure is not cached: the next call recomputes (and may succeed).
+  auto ok = store.GetOrCompute(
+      "p", "w", "d", [](CostMeter*) -> Result<std::string> {
+        return std::string("fine");
+      });
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(computes.load(), 1);
+}
+
+TEST(PreparedStoreConcurrencyTest, ThrowingComputeDoesNotLeakInflightSlot) {
+  PreparedStore store;
+  auto throwing = [](CostMeter*) -> Result<std::string> {
+    throw std::runtime_error("bad_alloc stand-in");
+  };
+  auto result = store.GetOrCompute("p", "w", "d", throwing);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  // The unwind released the in-flight slot: the key is retriable, not
+  // deadlocked behind a promise nobody will fulfill.
+  auto retry = store.GetOrCompute(
+      "p", "w", "d",
+      [](CostMeter*) -> Result<std::string> { return std::string("fine"); });
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(**retry, "fine");
+}
+
+TEST(PreparedStoreConcurrencyTest, DistinctKeysProceedInParallelShards) {
+  PreparedStore::Options options;
+  options.shards = 8;
+  PreparedStore store(options);
+  constexpr int kThreads = 8;
+  std::atomic<int> computes{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &computes, t] {
+      auto result = store.GetOrCompute(
+          "p", "w", "data-" + std::to_string(t),
+          [&computes](CostMeter*) -> Result<std::string> {
+            ++computes;
+            return std::string("x");
+          });
+      ASSERT_TRUE(result.ok());
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(computes.load(), kThreads);
+  EXPECT_EQ(store.size(), static_cast<size_t>(kThreads));
+  EXPECT_EQ(store.stats().misses, kThreads);
+}
+
+// ---------------------------------------------------------------------------
+// Byte-budgeted eviction.
+// ---------------------------------------------------------------------------
+
+TEST(PreparedStoreEvictionTest, ByteBudgetEvictsLruFirst) {
+  PreparedStore::Options options;
+  options.shards = 4;
+  options.byte_budget = 250;
+  PreparedStore store(options);
+  PreparedStore::EntryOptions entry_options;
+  entry_options.size_of = [](const std::string&) -> size_t { return 100; };
+  auto compute = [](CostMeter*) -> Result<std::string> {
+    return std::string("payload");
+  };
+
+  ASSERT_TRUE(
+      store.GetOrCompute("p", "w", "a", compute, nullptr, nullptr, entry_options)
+          .ok());
+  ASSERT_TRUE(
+      store.GetOrCompute("p", "w", "b", compute, nullptr, nullptr, entry_options)
+          .ok());
+  // Touch "a" so "b" becomes the LRU entry.
+  bool hit = false;
+  ASSERT_TRUE(
+      store.GetOrCompute("p", "w", "a", compute, nullptr, &hit, entry_options)
+          .ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(store.bytes_resident(), 200u);
+
+  // A third 100-byte entry overflows the 250-byte budget: LRU ("b") goes.
+  ASSERT_TRUE(
+      store.GetOrCompute("p", "w", "c", compute, nullptr, nullptr, entry_options)
+          .ok());
+  EXPECT_LE(store.bytes_resident(), 250u);
+  EXPECT_FALSE(store.Contains("p", "w", "b"));
+  EXPECT_TRUE(store.Contains("p", "w", "a"));
+  EXPECT_TRUE(store.Contains("p", "w", "c"));
+  EXPECT_EQ(store.stats().evictions, 1);
+}
+
+TEST(PreparedStoreEvictionTest, DefaultSizeTracksPayloadAndKeyBytes) {
+  PreparedStore::Options options;
+  options.byte_budget = 0;  // unbounded; just check the accounting
+  PreparedStore store(options);
+  ASSERT_TRUE(store
+                  .GetOrCompute("p", "w", "d",
+                                [](CostMeter*) -> Result<std::string> {
+                                  return std::string(100, 'x');
+                                })
+                  .ok());
+  // key "p\x1fw\x1fd" (5) + payload (100) + the fixed per-entry overhead.
+  EXPECT_EQ(store.bytes_resident(),
+            105u + PreparedStore::kEntryOverheadBytes);
+}
+
+TEST(PreparedStoreEvictionTest, EntryCapStillEnforced) {
+  PreparedStore store(/*max_entries=*/2);
+  auto compute = [](CostMeter*) -> Result<std::string> {
+    return std::string("x");
+  };
+  for (const char* data : {"a", "b", "c", "d"}) {
+    ASSERT_TRUE(store.GetOrCompute("p", "w", data, compute).ok());
+  }
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.stats().evictions, 2);
+  EXPECT_TRUE(store.Contains("p", "w", "d"));
+}
+
+// ---------------------------------------------------------------------------
+// Spill / Load persistence.
+// ---------------------------------------------------------------------------
+
+TEST(PreparedStorePersistenceTest, SpillLoadRoundTripsBitForBit) {
+  const std::string dir = UniqueTempDir("spill");
+  PreparedStore store;
+  const std::string payload_a = "sorted:1,2,3";
+  std::string payload_b(1024, '\x7f');
+  payload_b[17] = '\0';  // binary-safe round trip, not text-safe only
+  ASSERT_TRUE(store
+                  .GetOrCompute("prob-a", "wit", "data-a",
+                                [&](CostMeter*) -> Result<std::string> {
+                                  return payload_a;
+                                })
+                  .ok());
+  ASSERT_TRUE(store
+                  .GetOrCompute("prob-b", "wit", "data-b",
+                                [&](CostMeter*) -> Result<std::string> {
+                                  return payload_b;
+                                })
+                  .ok());
+  // A non-spillable entry must stay out of the spill set.
+  PreparedStore::EntryOptions ephemeral;
+  ephemeral.spillable = false;
+  ASSERT_TRUE(store
+                  .GetOrCompute("prob-c", "wit", "data-c",
+                                [](CostMeter*) -> Result<std::string> {
+                                  return std::string("transient");
+                                },
+                                nullptr, nullptr, ephemeral)
+                  .ok());
+  ASSERT_TRUE(store.Spill(dir).ok());
+  EXPECT_EQ(store.stats().spilled, 2);
+
+  PreparedStore restarted;
+  auto loaded = restarted.Load(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, 2u);
+  EXPECT_TRUE(restarted.Contains("prob-a", "wit", "data-a"));
+  EXPECT_TRUE(restarted.Contains("prob-b", "wit", "data-b"));
+  EXPECT_FALSE(restarted.Contains("prob-c", "wit", "data-c"));
+
+  // Warm entries serve without recomputing, bit-for-bit.
+  std::atomic<int> recomputes{0};
+  auto must_not_run = [&recomputes](CostMeter*) -> Result<std::string> {
+    ++recomputes;
+    return std::string("recomputed");
+  };
+  bool hit = false;
+  auto a = restarted.GetOrCompute("prob-a", "wit", "data-a", must_not_run,
+                                  nullptr, &hit);
+  ASSERT_TRUE(a.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(**a, payload_a);
+  auto b = restarted.GetOrCompute("prob-b", "wit", "data-b", must_not_run,
+                                  nullptr, &hit);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(**b, payload_b);
+  EXPECT_EQ(recomputes.load(), 0);
+  // The non-spillable entry degrades to recompute-on-miss.
+  auto c = restarted.GetOrCompute("prob-c", "wit", "data-c", must_not_run,
+                                  nullptr, &hit);
+  ASSERT_TRUE(c.ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(recomputes.load(), 1);
+  fs::remove_all(dir);
+}
+
+TEST(PreparedStorePersistenceTest, RespillDropsStaleFilesFromEarlierSpills) {
+  const std::string dir = UniqueTempDir("respill");
+  auto compute = [](CostMeter*) -> Result<std::string> {
+    return std::string("x");
+  };
+  {
+    PreparedStore store;
+    ASSERT_TRUE(store.GetOrCompute("p", "w", "old", compute).ok());
+    ASSERT_TRUE(store.GetOrCompute("p", "w", "kept", compute).ok());
+    ASSERT_TRUE(store.Spill(dir).ok());
+  }
+  {
+    // A later engine generation no longer holds "old" (evicted, say):
+    // spilling to the same directory must not leave its file behind for
+    // Load to resurrect.
+    PreparedStore store;
+    ASSERT_TRUE(store.GetOrCompute("p", "w", "kept", compute).ok());
+    ASSERT_TRUE(store.Spill(dir).ok());
+  }
+  PreparedStore restarted;
+  auto loaded = restarted.Load(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 1u);
+  EXPECT_TRUE(restarted.Contains("p", "w", "kept"));
+  EXPECT_FALSE(restarted.Contains("p", "w", "old"));
+  fs::remove_all(dir);
+}
+
+TEST(PreparedStorePersistenceTest, CorruptSpillFilesAreSkipped) {
+  const std::string dir = UniqueTempDir("corrupt");
+  PreparedStore store;
+  ASSERT_TRUE(store
+                  .GetOrCompute("p", "w", "d",
+                                [](CostMeter*) -> Result<std::string> {
+                                  return std::string("good");
+                                })
+                  .ok());
+  ASSERT_TRUE(store.Spill(dir).ok());
+  {  // Wrong magic.
+    std::ofstream bad(fs::path(dir) / "deadbeefdeadbeef.pit",
+                      std::ios::binary);
+    bad << "not a spill file";
+  }
+  {  // Truncated frame.
+    std::string framed;
+    serde::PutU32(&framed, 0x31544950);
+    serde::PutU32(&framed, 1);
+    serde::PutU64(&framed, 1 << 30);  // claims 1 GiB of key bytes
+    std::ofstream bad(fs::path(dir) / "0123456789abcdef.pit",
+                      std::ios::binary);
+    bad << framed;
+  }
+  PreparedStore restarted;
+  auto loaded = restarted.Load(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 1u);  // only the well-formed file
+  EXPECT_TRUE(restarted.Contains("p", "w", "d"));
+  fs::remove_all(dir);
+}
+
+TEST(PreparedStorePersistenceTest, LoadFromMissingDirectoryFails) {
+  PreparedStore store;
+  EXPECT_FALSE(store.Load("/nonexistent/pitract/spill/dir").ok());
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level: miss storm through AnswerBatch, spill→restart→load.
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<QueryEngine> MakeEngine(PreparedStore::Options options = {}) {
+  auto engine = std::make_unique<QueryEngine>(options);
+  auto status = RegisterBuiltins(engine.get());
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return engine;
+}
+
+TEST(EngineServingTest, ConcurrentBatchStormOnOneDataPartRunsPiOnce) {
+  auto engine = MakeEngine();
+  Rng rng(1201);
+  const int64_t universe = 512;
+  std::string data = core::MemberFactorization()
+                         .pi1(core::MakeMemberInstance(
+                             universe, RandomList(&rng, universe, 300), 0))
+                         .value();
+  std::vector<std::string> queries;
+  for (int i = 0; i < 32; ++i) {
+    queries.push_back(std::to_string(rng.NextBelow(universe)));
+  }
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int64_t> total_pi_runs{0};
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto batch = engine->AnswerBatch("list-membership", data, queries);
+      if (!batch.ok()) {
+        ++failures;
+        return;
+      }
+      total_pi_runs += batch->prepare_runs;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // The acceptance bar: ≥8 concurrent batches over one data part, Π ran
+  // exactly once (CostMeter/store accounting agrees).
+  EXPECT_EQ(total_pi_runs.load(), 1);
+  EXPECT_EQ(engine->store().stats().misses, 1);
+}
+
+TEST(EngineServingTest, SpillRestartLoadAnswersWithZeroPiRecomputation) {
+  const std::string dir = UniqueTempDir("engine_spill");
+  Rng rng(1202);
+  const int64_t universe = 256;
+  std::string data = core::MemberFactorization()
+                         .pi1(core::MakeMemberInstance(
+                             universe, RandomList(&rng, universe, 120), 0))
+                         .value();
+  std::vector<std::string> queries;
+  for (int i = 0; i < 48; ++i) {
+    queries.push_back(std::to_string(rng.NextBelow(universe)));
+  }
+
+  std::vector<bool> first_answers;
+  {
+    auto engine = MakeEngine();
+    auto batch = engine->AnswerBatch("list-membership", data, queries);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(batch->prepare_runs, 1);
+    first_answers = batch->answers;
+    ASSERT_TRUE(engine->store().Spill(dir).ok());
+  }  // "restart": the first engine and its store are gone
+
+  auto engine = MakeEngine();
+  auto loaded = engine->store().Load(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_GE(*loaded, 1u);
+  auto batch = engine->AnswerBatch("list-membership", data, queries);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->prepare_runs, 0);  // zero Π recomputations post-restart
+  EXPECT_TRUE(batch->cache_hit);
+  EXPECT_EQ(batch->answers, first_answers);
+  EXPECT_EQ(engine->store().stats().misses, 0);
+  fs::remove_all(dir);
+}
+
+TEST(EngineServingTest, ServeParallelScalesAndDedupsPi) {
+  PreparedStore::Options options;
+  options.shards = 8;
+  auto engine = MakeEngine(options);
+  Rng rng(1203);
+  constexpr int kParts = 4;
+  std::vector<ServeWorkItem> workload;
+  for (int part = 0; part < kParts; ++part) {
+    ServeWorkItem item;
+    item.problem = "list-membership";
+    item.data = core::MemberFactorization()
+                    .pi1(core::MakeMemberInstance(
+                        128, RandomList(&rng, 128, 64), 0))
+                    .value();
+    for (int i = 0; i < 16; ++i) {
+      item.queries.push_back(std::to_string(rng.NextBelow(128)));
+    }
+    workload.push_back(std::move(item));
+  }
+  ServeOptions serve_options;
+  serve_options.threads = 8;
+  serve_options.repeat = 6;
+  auto report = ServeParallel(engine.get(), workload, serve_options);
+  EXPECT_EQ(report.errors, 0) << report.first_error.ToString();
+  EXPECT_EQ(report.batches, kParts * 6);
+  EXPECT_EQ(report.queries, kParts * 6 * 16);
+  // Π ran once per distinct data part no matter how many threads hammered.
+  EXPECT_EQ(report.pi_runs, kParts);
+  EXPECT_EQ(engine->store().stats().misses, kParts);
+  EXPECT_GT(report.queries_per_second, 0.0);
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace pitract
