@@ -1,0 +1,221 @@
+// X4 — incremental maintenance of the serving layer's Π(D) (Section 1's
+// "compute ΔD' such that processing D ⊕ ΔD equals D' ⊕ ΔD'").
+//
+// For each Δ-maintainable builtin this harness prepares Π(D) once through
+// the engine, applies delta batches with QueryEngine::ApplyDelta, and
+// contrasts the CostMeter-charged patch work against what a full Π
+// recompute of the post-delta data part would have cost. Expected shape:
+//
+//   * list-membership — patch work grows with |ΔD| (· log |D|), recompute
+//     work grows with |D| log |D| regardless of how small the delta is;
+//   * graph-reachability — per-edge patch work tracks |CHANGED| (the
+//     newly reachable pairs, Ramalingam–Reps' bound), recompute work
+//     tracks the full closure rebuild.
+//
+// One JSON line per measurement is appended to BENCH_x4_incremental.json
+// (or argv[1]) in the f2_landscape trajectory convention. A trailing
+// "tiny" argument shrinks every size so CI can smoke the emitters.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/codec.h"
+#include "common/cost_meter.h"
+#include "common/rng.h"
+#include "core/problems.h"
+#include "engine/builtins.h"
+#include "engine/delta.h"
+#include "engine/engine.h"
+#include "graph/generators.h"
+#include "incremental/incremental_tc.h"
+
+namespace {
+
+using pitract::CostMeter;
+using pitract::Rng;
+using pitract::engine::DeltaBatch;
+using pitract::engine::DeltaOp;
+using pitract::engine::QueryEngine;
+using pitract::engine::RegisterBuiltins;
+
+/// Charged Π cost of a cold prepare for (problem, data): what the serving
+/// layer would pay if the delta had invalidated the entry instead of
+/// patching it.
+long long RecomputeWork(const std::string& problem, const std::string& data,
+                        const std::string& query) {
+  QueryEngine engine;
+  if (!RegisterBuiltins(&engine).ok()) return -1;
+  std::vector<std::string> queries{query};
+  auto batch = engine.AnswerBatch(problem, data, queries);
+  if (!batch.ok()) return -1;
+  return static_cast<long long>(batch->prepare_cost.work);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "X4 | Incremental Π(D) maintenance in the serving layer (Section 1).\n"
+      "     Patch work is a function of |ΔD| / |CHANGED|; recompute work is\n"
+      "     a function of |D|.\n\n");
+  const char* json_path = "BENCH_x4_incremental.json";
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "tiny") == 0) {
+      tiny = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+  std::FILE* json = std::fopen(json_path, "a");
+  if (json == nullptr) {
+    std::fprintf(stderr,
+                 "warning: cannot open %s for append; JSON lines skipped\n",
+                 json_path);
+  }
+  size_t json_lines = 0;
+  int failures = 0;
+
+  // --- list-membership: patch vs recompute against |ΔD| -------------------
+  const std::vector<int64_t> member_sizes =
+      tiny ? std::vector<int64_t>{1 << 7}
+           : std::vector<int64_t>{1 << 10, 1 << 13, 1 << 16};
+  const std::vector<int> member_deltas =
+      tiny ? std::vector<int>{1, 4} : std::vector<int>{1, 8, 64, 512};
+  std::printf("%-20s %10s %8s %14s %14s\n", "case", "n", "|ΔD|",
+              "patch_work", "recompute");
+  std::printf(
+      "----------------------------------------------------------------------"
+      "\n");
+  for (int64_t n : member_sizes) {
+    Rng rng(0x9e01 + static_cast<uint64_t>(n));
+    const int64_t universe = 4 * n;
+    std::vector<int64_t> list;
+    list.reserve(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      list.push_back(static_cast<int64_t>(
+          rng.NextBelow(static_cast<uint64_t>(universe))));
+    }
+    std::string data =
+        pitract::core::MemberFactorization()
+            .pi1(pitract::core::MakeMemberInstance(universe, list, 0))
+            .value();
+    for (int delta_size : member_deltas) {
+      QueryEngine engine;
+      if (!RegisterBuiltins(&engine).ok()) return 1;
+      std::vector<std::string> queries{"0"};
+      auto warm = engine.AnswerBatch("list-membership", data, queries);
+      if (!warm.ok()) {
+        ++failures;
+        continue;
+      }
+      DeltaBatch delta;
+      for (int i = 0; i < delta_size; ++i) {
+        DeltaOp op;
+        op.kind = DeltaOp::Kind::kListInsert;
+        op.a = static_cast<int64_t>(
+            rng.NextBelow(static_cast<uint64_t>(universe)));
+        delta.ops.push_back(op);
+      }
+      CostMeter patch_meter;
+      auto outcome =
+          engine.ApplyDelta("list-membership", data, delta, &patch_meter);
+      if (!outcome.ok() || !outcome->patched) {
+        ++failures;
+        continue;
+      }
+      const long long patch_work = static_cast<long long>(patch_meter.work());
+      const long long recompute =
+          RecomputeWork("list-membership", outcome->new_data, "0");
+      std::printf("%-20s %10lld %8d %14lld %14lld\n", "list-membership",
+                  static_cast<long long>(n), delta_size, patch_work,
+                  recompute);
+      if (json != nullptr) {
+        std::fprintf(json,
+                     "{\"bench\":\"x4_incremental\",\"case\":\"list-"
+                     "membership\",\"n\":%lld,\"delta\":%d,"
+                     "\"patch_work\":%lld,\"recompute_work\":%lld}\n",
+                     static_cast<long long>(n), delta_size, patch_work,
+                     recompute);
+        ++json_lines;
+      }
+    }
+  }
+
+  // --- graph-reachability: per-edge patch work vs |CHANGED| ----------------
+  const std::vector<int> reach_sizes =
+      tiny ? std::vector<int>{32} : std::vector<int>{128, 256, 512};
+  const int reach_ops = tiny ? 3 : 12;
+  std::printf("\n%-20s %10s %8s %10s %14s %14s\n", "case", "n", "op",
+              "|CHANGED|", "patch_work", "recompute");
+  std::printf(
+      "----------------------------------------------------------------------"
+      "----------\n");
+  for (int n : reach_sizes) {
+    Rng rng(0x9e02 + static_cast<uint64_t>(n));
+    auto g = pitract::graph::ErdosRenyi(n, 2 * n, /*directed=*/true, &rng);
+    std::string data = pitract::core::ReachFactorization()
+                           .pi1(pitract::core::MakeReachInstance(g, 0, 0))
+                           .value();
+    QueryEngine engine;
+    if (!RegisterBuiltins(&engine).ok()) return 1;
+    std::vector<std::string> queries{pitract::codec::EncodeFields({"0", "0"})};
+    auto warm = engine.AnswerBatch("graph-reachability", data, queries);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "prepare failed: %s\n",
+                   warm.status().ToString().c_str());
+      ++failures;
+      continue;
+    }
+    // Shadow closure: reports |CHANGED| for each inserted edge without
+    // disturbing the engine-side measurement.
+    auto shadow =
+        pitract::incremental::IncrementalTransitiveClosure::Build(g, nullptr);
+    for (int op_index = 0; op_index < reach_ops; ++op_index) {
+      DeltaOp op;
+      op.kind = DeltaOp::Kind::kEdgeInsert;
+      op.a = static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(n)));
+      op.b = static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(n)));
+      DeltaBatch delta;
+      delta.ops.push_back(op);
+      CostMeter patch_meter;
+      auto outcome =
+          engine.ApplyDelta("graph-reachability", data, delta, &patch_meter);
+      if (!outcome.ok() || !outcome->patched) {
+        ++failures;
+        continue;
+      }
+      auto changed = shadow.InsertEdge(static_cast<pitract::graph::NodeId>(op.a),
+                                       static_cast<pitract::graph::NodeId>(op.b),
+                                       nullptr);
+      const long long changed_pairs = changed.ok() ? *changed : -1;
+      const long long patch_work = static_cast<long long>(patch_meter.work());
+      const long long recompute = RecomputeWork(
+          "graph-reachability", outcome->new_data, queries[0]);
+      std::printf("%-20s %10d %8d %10lld %14lld %14lld\n",
+                  "graph-reachability", n, op_index, changed_pairs,
+                  patch_work, recompute);
+      if (json != nullptr) {
+        std::fprintf(json,
+                     "{\"bench\":\"x4_incremental\",\"case\":\"graph-"
+                     "reachability\",\"n\":%d,\"op\":%d,\"changed\":%lld,"
+                     "\"patch_work\":%lld,\"recompute_work\":%lld}\n",
+                     n, op_index, changed_pairs, patch_work, recompute);
+        ++json_lines;
+      }
+      data = outcome->new_data;  // keep patching the evolving data part
+    }
+  }
+
+  if (json != nullptr) {
+    std::fclose(json);
+    std::printf("\n(appended %zu JSON lines to %s)\n", json_lines, json_path);
+  }
+  std::printf(
+      "\nReading: patch_work columns move with |ΔD|/|CHANGED| and stay flat\n"
+      "in n; recompute columns move with n. That gap is the amortization\n"
+      "the serving layer keeps when data changes in place.\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -139,5 +139,28 @@ Result<std::pair<std::string, std::string>> UnpadPair(
   return std::make_pair(std::move(first).value(), std::move(second).value());
 }
 
+Result<std::vector<std::string>> DecodeFieldsExactly(std::string_view encoded,
+                                                     size_t n,
+                                                     std::string_view what) {
+  auto fields = DecodeFields(encoded);
+  if (!fields.ok()) return fields.status();
+  if (fields->size() != n) {
+    return Status::InvalidArgument(std::string(what) + " expects " +
+                                   std::to_string(n) + " fields, got " +
+                                   std::to_string(fields->size()));
+  }
+  return fields;
+}
+
+Result<int64_t> DecodeSingleInt(std::string_view field) {
+  auto ints = DecodeInts(field);
+  if (!ints.ok()) return ints.status();
+  if (ints->size() != 1) {
+    return Status::InvalidArgument("expected one integer, got " +
+                                   std::to_string(ints->size()));
+  }
+  return (*ints)[0];
+}
+
 }  // namespace codec
 }  // namespace pitract

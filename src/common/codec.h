@@ -51,6 +51,15 @@ std::string EncodeInts(const std::vector<int64_t>& values);
 /// Inverse of EncodeInts. Fails on malformed numerals.
 Result<std::vector<int64_t>> DecodeInts(std::string_view encoded);
 
+/// DecodeFields + an arity check, the instance-decoding preamble shared by
+/// every Σ*-level problem and hook ("`what` expects n fields, got m").
+Result<std::vector<std::string>> DecodeFieldsExactly(std::string_view encoded,
+                                                     size_t n,
+                                                     std::string_view what);
+
+/// Decodes a field that must hold exactly one int64.
+Result<int64_t> DecodeSingleInt(std::string_view field);
+
 /// Lemma 2 padding: σ(x) = π₁(x) @ π₂(x). Escapes both parts, joins on '@'.
 std::string PadPair(std::string_view first, std::string_view second);
 

@@ -20,6 +20,9 @@ enum class StatusCode {
   kAlreadyExists = 5,
   kUnimplemented = 6,
   kInternal = 7,
+  /// Transient contention (e.g. the serving layer refusing to re-key an
+  /// entry while a Π run for it is in flight): safe to retry or degrade.
+  kUnavailable = 8,
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -51,6 +54,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

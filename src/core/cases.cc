@@ -278,6 +278,14 @@ class ReachabilityCase : public QueryClassCase {
     return static_cast<int>(queries_.size());
   }
 
+  Result<std::string> SigmaDataPart() const override {
+    return ReachFactorization().pi1(MakeReachInstance(g_, 0, 0));
+  }
+  Result<std::string> SigmaQuery(int qi) const override {
+    const auto& [s, t] = queries_[static_cast<size_t>(qi)];
+    return codec::EncodeFields({std::to_string(s), std::to_string(t)});
+  }
+
  private:
   graph::Graph g_;
   std::vector<std::pair<graph::NodeId, graph::NodeId>> queries_;

@@ -16,26 +16,13 @@ namespace {
 
 /// Decodes a single int64 field.
 Result<int64_t> DecodeInt(const std::string& field) {
-  auto ints = codec::DecodeInts(field);
-  if (!ints.ok()) return ints.status();
-  if (ints->size() != 1) {
-    return Status::InvalidArgument("expected one integer, got " +
-                                   std::to_string(ints->size()));
-  }
-  return (*ints)[0];
+  return codec::DecodeSingleInt(field);
 }
 
 Result<std::vector<std::string>> DecodeExactly(const std::string& x,
                                                size_t n,
                                                const std::string& what) {
-  auto fields = codec::DecodeFields(x);
-  if (!fields.ok()) return fields.status();
-  if (fields->size() != n) {
-    return Status::InvalidArgument(what + " expects " + std::to_string(n) +
-                                   " fields, got " +
-                                   std::to_string(fields->size()));
-  }
-  return fields;
+  return codec::DecodeFieldsExactly(x, n, what);
 }
 
 }  // namespace
@@ -99,6 +86,27 @@ DecisionProblem BdsProblem() {
   return p;
 }
 
+DecisionProblem ReachabilityProblem() {
+  DecisionProblem p;
+  p.name = "L_reach";
+  p.contains = [](const std::string& x) -> Result<bool> {
+    auto fields = DecodeExactly(x, 3, "L_reach");
+    if (!fields.ok()) return fields.status();
+    auto g = graph::Graph::Decode((*fields)[0]);
+    if (!g.ok()) return g.status();
+    auto s = DecodeInt((*fields)[1]);
+    if (!s.ok()) return s.status();
+    auto t = DecodeInt((*fields)[2]);
+    if (!t.ok()) return t.status();
+    if (*s < 0 || *s >= g->num_nodes() || *t < 0 || *t >= g->num_nodes()) {
+      return Status::OutOfRange("endpoint out of range");
+    }
+    return graph::BfsReachable(*g, static_cast<graph::NodeId>(*s),
+                               static_cast<graph::NodeId>(*t), nullptr);
+  };
+  return p;
+}
+
 DecisionProblem CvpProblem() {
   DecisionProblem p;
   p.name = "L_cvp";
@@ -153,6 +161,12 @@ std::string MakeBdsInstance(const graph::Graph& g, graph::NodeId u,
       {g.Encode(), std::to_string(u), std::to_string(v)});
 }
 
+std::string MakeReachInstance(const graph::Graph& g, graph::NodeId s,
+                              graph::NodeId t) {
+  return codec::EncodeFields(
+      {g.Encode(), std::to_string(s), std::to_string(t)});
+}
+
 std::string MakeCvpInstanceString(const circuit::CvpInstance& instance) {
   return instance.Encode();
 }
@@ -177,6 +191,9 @@ Factorization ConnFactorization() {
 }
 Factorization BdsFactorization() {
   return FieldSplitFactorization("Y_BDS", /*query_fields=*/2);
+}
+Factorization ReachFactorization() {
+  return FieldSplitFactorization("Y_reach", /*query_fields=*/2);
 }
 Factorization CvpCircuitDataFactorization() {
   return FieldSplitFactorization("Y_cvp_circ", /*query_fields=*/1);

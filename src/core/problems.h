@@ -32,6 +32,9 @@ DecisionProblem ConnectivityProblem();
 DecisionProblem BdsProblem();
 DecisionProblem CvpProblem();
 DecisionProblem GateValueProblem();
+/// L_reach: instances [G, s, t] — does directed G have a path s ⇝ t
+/// (reflexively)? The Σ*-level twin of the Example 3 typed case.
+DecisionProblem ReachabilityProblem();
 
 // --- instance builders ----------------------------------------------------
 
@@ -41,6 +44,8 @@ std::string MakeConnInstance(const graph::Graph& g, graph::NodeId s,
                              graph::NodeId t);
 std::string MakeBdsInstance(const graph::Graph& g, graph::NodeId u,
                             graph::NodeId v);
+std::string MakeReachInstance(const graph::Graph& g, graph::NodeId s,
+                              graph::NodeId t);
 std::string MakeCvpInstanceString(const circuit::CvpInstance& instance);
 std::string MakeGvpInstance(const circuit::CvpInstance& instance,
                             circuit::GateId gate);
@@ -53,6 +58,8 @@ Factorization MemberFactorization();
 Factorization ConnFactorization();
 /// Υ_BDS of Example 4: data = G, query = (u, v).
 Factorization BdsFactorization();
+/// Υ_reach: data = G, query = (s, t).
+Factorization ReachFactorization();
 /// data = circuit, query = assignment (used by the CVP F-reductions).
 Factorization CvpCircuitDataFactorization();
 /// Υ for GVP: data = (circuit, bits), query = gate id.

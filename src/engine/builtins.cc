@@ -7,6 +7,7 @@
 #include "circuit/circuit.h"
 #include "common/codec.h"
 #include "core/problems.h"
+#include "engine/delta_hooks.h"
 
 namespace pitract {
 namespace engine {
@@ -72,6 +73,25 @@ Status RegisterBuiltins(QueryEngine* engine) {
       entry.problem = core::ListMembershipProblem();
       entry.factorization = core::MemberFactorization();
       entry.witness = core::MemberWitness();
+      // Incremental maintenance: ΔD patches the sorted column through the
+      // Δ-maintained B+-tree instead of re-sorting the whole list.
+      entry.apply_delta_to_data = MemberDataDelta();
+      entry.prepared_patch = MemberPreparedPatch();
+    } else if (case_name == "graph-reachability") {
+      // The Example 3 typed case gains its Σ*-level twin here: Π builds
+      // the transitive closure *incrementally* (Section 4(7)), which is
+      // exactly what makes edge-insert deltas patchable in place.
+      entry.has_language = true;
+      entry.problem = core::ReachabilityProblem();
+      entry.factorization = core::ReachFactorization();
+      entry.witness = ReachClosureWitness();
+      entry.apply_delta_to_data = ReachDataDelta();
+      entry.prepared_patch = ReachPreparedPatch();
+      // Π(D) is the packed closure image; key bytes (the whole graph
+      // encoding) are the data part's cost, not the structure's.
+      entry.prepared_size_of = [](const std::string& prepared) {
+        return prepared.size() + PreparedStore::kEntryOverheadBytes;
+      };
     } else if (case_name == "breadth-depth-search") {
       entry.has_language = true;
       entry.problem = core::BdsProblem();
@@ -100,11 +120,18 @@ Status RegisterBuiltins(QueryEngine* engine) {
       LanguageEntry("cvp-empty-data", "Theorem 9", core::CvpProblem(),
                     core::EmptyDataFactorization(),
                     core::CvpEmptyDataWitness())));
-  PITRACT_RETURN_IF_ERROR(engine->Register(LanguageEntry(
-      "predicate-selection", "Definition 1 remark (λ-rewriting)",
-      core::PredicateSelectionProblem(), core::SelectionFactorization(),
-      core::ApplyRewriting(core::IntervalNormalizingRewriter(),
-                           core::IntervalWitness()))));
+  {
+    // Shares the sort-once Π of the membership witness, so it shares the
+    // B+-tree Δ-patch too: one maintained structure, two query dialects.
+    ProblemEntry entry = LanguageEntry(
+        "predicate-selection", "Definition 1 remark (λ-rewriting)",
+        core::PredicateSelectionProblem(), core::SelectionFactorization(),
+        core::ApplyRewriting(core::IntervalNormalizingRewriter(),
+                             core::IntervalWitness()));
+    entry.apply_delta_to_data = MemberDataDelta();
+    entry.prepared_patch = MemberPreparedPatch();
+    PITRACT_RETURN_IF_ERROR(engine->Register(std::move(entry)));
+  }
   {
     // The NAND-eval witness keeps the circuit verbatim as its "prepared"
     // structure — spilling that to disk would persist a copy of the data

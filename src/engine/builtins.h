@@ -11,7 +11,11 @@ namespace engine {
 ///
 ///  * all typed query classes of core/cases.cc (the Figure 2 rows), with
 ///    Σ*-level language artifacts attached where they exist
-///    (list-membership, breadth-depth-search, cvp-refactorized);
+///    (list-membership, breadth-depth-search, cvp-refactorized,
+///    graph-reachability with its incremental-closure witness), and
+///    incremental-maintenance hooks (engine/delta_hooks.h) where a delta
+///    can patch Π(D) instead of recomputing it (list-membership,
+///    predicate-selection, graph-reachability);
 ///  * the Σ*-only problems (connectivity, cvp-empty-data,
 ///    predicate-selection with its λ-rewriting witness, cvp-nand-eval);
 ///  * the reduction chain of Sections 5–7, routed *through the registry*:

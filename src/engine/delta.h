@@ -1,0 +1,70 @@
+#ifndef PITRACT_ENGINE_DELTA_H_
+#define PITRACT_ENGINE_DELTA_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/cost_meter.h"
+#include "common/result.h"
+
+namespace pitract {
+namespace engine {
+
+/// One change to a data part D — the ΔD of Section 1's incremental
+/// preprocessing story ("compute ΔD' such that processing D ⊕ ΔD equals
+/// D' ⊕ ΔD'"). Ops are deliberately problem-agnostic: each registered
+/// problem's delta hooks interpret the ones that make sense for its data
+/// shape and reject the rest (which degrades to recompute-on-miss).
+struct DeltaOp {
+  enum class Kind {
+    /// Add value `a` to a list-shaped data part.
+    kListInsert,
+    /// Remove one occurrence of value `a` from a list-shaped data part.
+    kListDelete,
+    /// Add the edge a -> b to a graph-shaped data part.
+    kEdgeInsert,
+  };
+  Kind kind = Kind::kListInsert;
+  int64_t a = 0;
+  int64_t b = 0;
+};
+
+/// A batch of changes applied atomically: the prepared Π(D) is either
+/// patched through the whole batch or not re-keyed at all.
+struct DeltaBatch {
+  std::vector<DeltaOp> ops;
+};
+
+/// D ⊕ ΔD: produces the post-delta data part (the Σ* encoding the engine
+/// re-keys the PreparedStore entry to). Pure PTIME bookkeeping — no
+/// CostMeter, since re-encoding the data part is not preprocessing work.
+using DataDeltaFn =
+    std::function<Result<std::string>(const std::string& data,
+                                      const DeltaBatch& delta)>;
+
+/// Π(D) ⊕ ΔD': patches a prepared payload in place so it equals Π(D ⊕ ΔD).
+/// Charges `meter` the *incremental* maintenance cost — a function of |ΔD|
+/// and |CHANGED|, never of |D| (the whole point of Δ-patching). Returning a
+/// non-OK status leaves the payload meaningless and makes the store fall
+/// back to recompute-on-miss.
+using PreparedPatchFn = std::function<Status(
+    std::string* prepared, const DeltaBatch& delta, CostMeter* meter)>;
+
+/// What QueryEngine::ApplyDelta did.
+struct DeltaOutcome {
+  /// The post-delta data part; subsequent queries address this string.
+  std::string new_data;
+  /// True iff the resident Π(D) was Δ-patched and re-keyed in place.
+  /// False means the entry recomputes on its next miss (no hook, no
+  /// resident entry, an in-flight Π on the old key, or a failed patch).
+  bool patched = false;
+  /// Why the patch path was not taken (OK when `patched`).
+  Status fallback_reason;
+};
+
+}  // namespace engine
+}  // namespace pitract
+
+#endif  // PITRACT_ENGINE_DELTA_H_

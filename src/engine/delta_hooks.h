@@ -1,0 +1,51 @@
+#ifndef PITRACT_ENGINE_DELTA_HOOKS_H_
+#define PITRACT_ENGINE_DELTA_HOOKS_H_
+
+#include "core/language.h"
+#include "engine/delta.h"
+
+namespace pitract {
+namespace engine {
+
+/// The concrete incremental-maintenance implementations behind the
+/// built-in registry entries — the glue between `src/incremental/` and the
+/// serving layer. Each pair (data-delta hook, Π-patch hook) upholds the
+/// Section 1 contract: patching Π(D) by ΔD' must equal recomputing
+/// Π(D ⊕ ΔD), at a CostMeter-charged price that is a function of |ΔD| /
+/// |CHANGED|, never of |D|.
+
+// --- sorted-list problems (list-membership, predicate-selection) -----------
+
+/// D ⊕ ΔD over the (universe, list) data shape: kListInsert appends,
+/// kListDelete removes one occurrence (NotFound if absent). Values must
+/// stay inside the universe.
+DataDeltaFn MemberDataDelta();
+
+/// Π-patch for the sort-once witnesses: rehydrates the sorted column into
+/// an incremental::DeltaMaintainedIndex (the Example 1 B+-tree), applies
+/// the batch through ApplyDelta at O(|ΔD| log |D|) charged cost, and
+/// re-encodes the maintained sorted keys.
+PreparedPatchFn MemberPreparedPatch();
+
+// --- directed reachability (graph-reachability) ----------------------------
+
+/// Σ*-witness for L_reach on *directed* graphs: Π builds the transitive
+/// closure via incremental::IncrementalTransitiveClosure (Section 4(7));
+/// answering is one O(1) bit probe into the serialized closure image.
+core::PiWitness ReachClosureWitness();
+
+/// D ⊕ ΔD over the single-field graph data shape: kEdgeInsert adds an arc
+/// (node ids must exist; directed graphs only).
+DataDeltaFn ReachDataDelta();
+
+/// Π-patch through IncrementalTransitiveClosure::InsertEdge: charged
+/// Θ(affected rows · row words) per arc — the Ramalingam–Reps |CHANGED|
+/// bound — versus the full O(n·m) closure rebuild. Deletions are not
+/// incrementally maintainable here and fail, degrading to
+/// recompute-on-miss.
+PreparedPatchFn ReachPreparedPatch();
+
+}  // namespace engine
+}  // namespace pitract
+
+#endif  // PITRACT_ENGINE_DELTA_HOOKS_H_

@@ -228,6 +228,48 @@ Result<bool> QueryEngine::AnswerInstance(std::string_view problem,
   return Answer(problem, data, query, meter);
 }
 
+Result<DeltaOutcome> QueryEngine::ApplyDelta(std::string_view problem,
+                                             const std::string& data,
+                                             const DeltaBatch& delta,
+                                             CostMeter* meter) {
+  auto entry = Find(problem);
+  if (!entry.ok()) return entry.status();
+  if (!(*entry)->has_language) {
+    return Status::FailedPrecondition("problem '" + std::string(problem) +
+                                      "' has no Σ*-level witness");
+  }
+  if (!(*entry)->apply_delta_to_data) {
+    return Status::FailedPrecondition("problem '" + std::string(problem) +
+                                      "' registers no data-delta hook");
+  }
+  DeltaOutcome outcome;
+  PITRACT_ASSIGN_OR_RETURN(outcome.new_data,
+                           (*entry)->apply_delta_to_data(data, delta));
+  if (!(*entry)->prepared_patch) {
+    outcome.fallback_reason = Status::FailedPrecondition(
+        "problem '" + std::string(problem) + "' registers no Π-patch hook");
+    return outcome;
+  }
+  PreparedStore::EntryOptions entry_options;
+  entry_options.size_of = (*entry)->prepared_size_of;
+  entry_options.spillable = (*entry)->spillable;
+  const PreparedPatchFn& patch = (*entry)->prepared_patch;
+  Status patched = store_.UpdateData(
+      (*entry)->name, (*entry)->witness.name, data, outcome.new_data,
+      [&patch, &delta](std::string* prepared, CostMeter* m) {
+        return patch(prepared, delta, m);
+      },
+      meter, entry_options);
+  if (patched.ok()) {
+    outcome.patched = true;
+  } else {
+    // Patch-side failures are soft: the post-delta data part recomputes
+    // on its first miss, which is always correct (just not amortized).
+    outcome.fallback_reason = patched;
+  }
+  return outcome;
+}
+
 Result<BatchResult> QueryEngine::AnswerTypedBatch(std::string_view problem,
                                                   int64_t n, uint64_t seed) {
   auto entry = Find(problem);

@@ -18,6 +18,7 @@
 #include "core/language.h"
 #include "core/query_class.h"
 #include "core/reduction.h"
+#include "engine/delta.h"
 #include "engine/prepared_store.h"
 
 namespace pitract {
@@ -47,6 +48,14 @@ struct ProblemEntry {
   /// When false, this entry's Π(D) structures are never spilled to disk;
   /// after a restart they degrade gracefully to recompute-on-miss.
   bool spillable = true;
+
+  /// Incremental maintenance (Section 1's D ⊕ ΔD): computes the post-delta
+  /// data part. Unset: the entry does not accept ApplyDelta at all.
+  DataDeltaFn apply_delta_to_data;
+  /// Patches a prepared Π(D) payload to Π(D ⊕ ΔD) at O(|ΔD|)-charged cost.
+  /// Unset (or failing): ApplyDelta degrades to recompute-on-miss for the
+  /// post-delta data part.
+  PreparedPatchFn prepared_patch;
 };
 
 /// What Prepare did for this batch.
@@ -152,6 +161,22 @@ class QueryEngine {
   /// answers ⟨π₁(x), π₂(x)⟩ — the Definition 1 round trip.
   Result<bool> AnswerInstance(std::string_view problem, const std::string& x,
                               CostMeter* meter = nullptr);
+
+  /// Applies ΔD to one data part of `problem`: computes D ⊕ ΔD through the
+  /// entry's `apply_delta_to_data` hook and, when a `prepared_patch` hook
+  /// is registered and Π(D) is resident, Δ-patches the PreparedStore entry
+  /// in place (re-keying it to the post-delta digest) instead of paying a
+  /// full Π recompute. Thread-safe against concurrent AnswerBatch /
+  /// ServeParallel traffic: in-flight Π runs on the old data part are
+  /// never re-keyed out from under their waiters, and readers that already
+  /// hold the pre-delta structure keep a consistent snapshot. When
+  /// patching is not possible the call still succeeds with
+  /// `DeltaOutcome::patched == false` and the post-delta data part simply
+  /// recomputes on its first miss.
+  Result<DeltaOutcome> ApplyDelta(std::string_view problem,
+                                  const std::string& data,
+                                  const DeltaBatch& delta,
+                                  CostMeter* meter = nullptr);
 
   // --- typed path ----------------------------------------------------------
 

@@ -28,6 +28,34 @@ std::string DigestFileName(uint64_t digest) {
   return name + kSpillExtension;
 }
 
+/// Serializes one entry in the spill-frame format and writes it under its
+/// digest file name. Shared by the full Spill pass and the single-entry
+/// respill after a Δ-patch.
+Status WriteSpillFile(const std::string& dir, uint64_t digest,
+                      const std::string& key, const std::string& prepared,
+                      size_t size_bytes) {
+  std::string framed;
+  serde::PutU32(&framed, kSpillMagic);
+  serde::PutU32(&framed, kSpillVersion);
+  serde::PutBytes(&framed, key);
+  serde::PutBytes(&framed, prepared);
+  serde::PutU64(&framed, static_cast<uint64_t>(size_bytes));
+  const fs::path path = fs::path(dir) / DigestFileName(digest);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open spill file " + path.string());
+  }
+  out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+  // Close explicitly and re-check: a buffered write can fail only at
+  // flush time (e.g. ENOSPC), and returning OK on a truncated file
+  // would silently lose the warm cache.
+  out.close();
+  if (!out) {
+    return Status::Internal("short write to spill file " + path.string());
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 uint64_t Fnv1a64(std::string_view bytes) {
@@ -179,6 +207,174 @@ Result<std::shared_ptr<const std::string>> PreparedStore::GetOrCompute(
   return result;
 }
 
+Status PreparedStore::UpdateData(std::string_view problem,
+                                 std::string_view witness,
+                                 std::string_view old_data,
+                                 std::string_view new_data,
+                                 const PatchFn& patch, CostMeter* meter) {
+  return UpdateData(problem, witness, old_data, new_data, patch, meter,
+                    EntryOptions{});
+}
+
+Status PreparedStore::UpdateData(std::string_view problem,
+                                 std::string_view witness,
+                                 std::string_view old_data,
+                                 std::string_view new_data,
+                                 const PatchFn& patch, CostMeter* meter,
+                                 const EntryOptions& entry_options) {
+  const std::string old_key = MakeKey(problem, witness, old_data);
+  const std::string new_key = MakeKey(problem, witness, new_data);
+  const uint64_t old_digest = Fnv1a64(old_key);
+  const uint64_t new_digest = Fnv1a64(new_key);
+  const size_t old_index = static_cast<size_t>(old_digest) % shards_.size();
+  const size_t new_index = static_cast<size_t>(new_digest) % shards_.size();
+
+  // Phase 1: snapshot the resident payload under the old stripe. The
+  // patch itself (potentially |D|-sized decode/re-encode work) must not
+  // run under any shard lock, for the same reason Π doesn't in
+  // GetOrCompute: it would stall every lookup landing in the stripe.
+  std::shared_ptr<const std::string> snapshot;
+  {
+    Shard& old_shard = shards_[old_index];
+    std::lock_guard<std::mutex> lock(old_shard.mutex);
+    if (old_shard.inflight.find(old_key) != old_shard.inflight.end()) {
+      // A miss storm is rendezvousing on Π(old_data) right now. Patching
+      // would re-key the about-to-be-published entry out from under the
+      // waiters on the shared_future, so the delta degrades to
+      // recompute-on-miss instead.
+      stats_.patch_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("Π(old data) in flight; not re-keying");
+    }
+    auto it = old_shard.entries.find(old_digest);
+    if (it == old_shard.entries.end() || it->second.key != old_key) {
+      stats_.patch_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      return Status::NotFound("no resident Π for the pre-delta data part");
+    }
+    snapshot = it->second.prepared;
+  }
+
+  // Phase 2: copy-on-write patch outside every lock. Readers holding the
+  // old shared_ptr keep a consistent pre-delta snapshot throughout.
+  if (meter != nullptr) meter->AddSerial(1);  // the digest probe
+  std::string patched = *snapshot;
+  Status status = patch(&patched, meter);
+  if (!status.ok()) {
+    stats_.patch_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    return status;  // entry untouched; new data recomputes on miss
+  }
+  Entry entry;
+  entry.key = new_key;
+  entry.prepared = std::make_shared<const std::string>(std::move(patched));
+  entry.spillable = entry_options.spillable;
+  entry.size_bytes = entry_options.size_of
+                         ? entry_options.size_of(*entry.prepared)
+                         : DefaultSizeBytes(entry);
+  const std::shared_ptr<const std::string> respill_payload = entry.prepared;
+  const size_t respill_size = entry.size_bytes;
+
+  // Phase 3: revalidate and publish atomically under both stripes; index
+  // order keeps the two-lock acquisition acyclic (every other path holds
+  // at most one shard lock at a time).
+  {
+    std::unique_lock<std::mutex> first_lock(
+        shards_[std::min(old_index, new_index)].mutex);
+    std::unique_lock<std::mutex> second_lock;
+    if (old_index != new_index) {
+      second_lock = std::unique_lock<std::mutex>(
+          shards_[std::max(old_index, new_index)].mutex);
+    }
+    Shard& old_shard = shards_[old_index];
+    Shard& new_shard = shards_[new_index];
+
+    auto it = old_shard.entries.find(old_digest);
+    if (old_shard.inflight.find(old_key) != old_shard.inflight.end() ||
+        it == old_shard.entries.end() || it->second.key != old_key ||
+        it->second.prepared != snapshot) {
+      // The slot moved while the patch ran unlocked (evicted, replaced by
+      // a fresh Π or Load, re-keyed by a concurrent delta, or a new miss
+      // storm started). The patched copy matches a payload that is no
+      // longer current, so publishing it could tear a newer structure —
+      // degrade to recompute-on-miss instead.
+      stats_.patch_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(
+          "Π(old data) changed while patching; not re-keying");
+    }
+    entry.last_used = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+
+    // Retire the pre-delta slot...
+    old_shard.lru.erase(it->second.lru_it);
+    bytes_.fetch_sub(static_cast<int64_t>(it->second.size_bytes),
+                     std::memory_order_relaxed);
+    count_.fetch_sub(1, std::memory_order_relaxed);
+    old_shard.entries.erase(it);
+
+    // ...and publish the patched one under the post-delta digest
+    // (replacing a digest collision or a concurrently-loaded duplicate).
+    auto dest = new_shard.entries.find(new_digest);
+    if (dest != new_shard.entries.end()) {
+      bytes_.fetch_sub(static_cast<int64_t>(dest->second.size_bytes),
+                       std::memory_order_relaxed);
+      count_.fetch_sub(1, std::memory_order_relaxed);
+      entry.lru_it = dest->second.lru_it;  // reuse the list node
+      dest->second = std::move(entry);
+      new_shard.lru.splice(new_shard.lru.end(), new_shard.lru,
+                           dest->second.lru_it);
+    } else {
+      dest = new_shard.entries.emplace(new_digest, std::move(entry)).first;
+      dest->second.lru_it = new_shard.lru.insert(new_shard.lru.end(),
+                                                 new_digest);
+    }
+    bytes_.fetch_add(static_cast<int64_t>(dest->second.size_bytes),
+                     std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    stats_.patches.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  RespillPatched(old_digest, new_digest, new_key, respill_payload,
+                 respill_size, entry_options.spillable);
+  EvictUntilWithinBudget();
+  return Status::OK();
+}
+
+void PreparedStore::RespillPatched(
+    uint64_t old_digest, uint64_t new_digest, const std::string& key,
+    const std::shared_ptr<const std::string>& prepared, size_t size_bytes,
+    bool spillable) const {
+  // spill_dir_mutex_ is held across the whole rewrite so chained patches
+  // (v1→v2, v2→v3) cannot interleave their file writes/removes: without
+  // this, a lagging v2 write could land after v3's remove of it and a
+  // restart would resurrect the pre-delta Π. Shard locks are only taken
+  // inside (never the reverse), so ordering stays acyclic.
+  std::lock_guard<std::mutex> lock(spill_dir_mutex_);
+  if (spill_dir_.empty()) return;
+  // Best-effort: a failed rewrite leaves a missing or corrupt file, both
+  // of which Load already degrades to recompute-on-miss.
+  if (spillable && prepared != nullptr) {
+    bool still_current = false;
+    {
+      const Shard& shard = ShardFor(new_digest);
+      std::lock_guard<std::mutex> shard_lock(shard.mutex);
+      auto it = shard.entries.find(new_digest);
+      still_current = it != shard.entries.end() && it->second.key == key &&
+                      it->second.prepared == prepared;
+    }
+    // Only the payload that is still resident gets a file; if a later
+    // patch or eviction already moved the entry on, its own respill (or
+    // the next full Spill) owns the directory's view of it.
+    if (still_current) {
+      Status written = WriteSpillFile(spill_dir_, new_digest, key, *prepared,
+                                      size_bytes);
+      if (written.ok()) {
+        stats_.spilled.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  if (old_digest != new_digest) {
+    std::error_code ec;
+    fs::remove(fs::path(spill_dir_) / DigestFileName(old_digest), ec);
+  }
+}
+
 bool PreparedStore::Contains(std::string_view problem, std::string_view witness,
                              std::string_view data) const {
   std::string key = MakeKey(problem, witness, data);
@@ -269,27 +465,10 @@ Status PreparedStore::Spill(const std::string& dir) const {
   std::vector<std::string> written;
   written.reserve(snapshots.size());
   for (const Snapshot& snapshot : snapshots) {
-    std::string framed;
-    serde::PutU32(&framed, kSpillMagic);
-    serde::PutU32(&framed, kSpillVersion);
-    serde::PutBytes(&framed, snapshot.key);
-    serde::PutBytes(&framed, *snapshot.prepared);
-    serde::PutU64(&framed, static_cast<uint64_t>(snapshot.size_bytes));
-    const std::string file_name = DigestFileName(snapshot.digest);
-    const fs::path path = fs::path(dir) / file_name;
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::Internal("cannot open spill file " + path.string());
-    }
-    out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
-    // Close explicitly and re-check: a buffered write can fail only at
-    // flush time (e.g. ENOSPC), and returning OK on a truncated file
-    // would silently lose the warm cache.
-    out.close();
-    if (!out) {
-      return Status::Internal("short write to spill file " + path.string());
-    }
-    written.push_back(file_name);
+    PITRACT_RETURN_IF_ERROR(WriteSpillFile(dir, snapshot.digest, snapshot.key,
+                                           *snapshot.prepared,
+                                           snapshot.size_bytes));
+    written.push_back(DigestFileName(snapshot.digest));
   }
   // Drop stale spill files from earlier spills (entries since evicted or
   // replaced), so the directory always mirrors exactly this snapshot and
@@ -308,6 +487,11 @@ Status PreparedStore::Spill(const std::string& dir) const {
   }
   stats_.spilled.fetch_add(static_cast<int64_t>(snapshots.size()),
                            std::memory_order_relaxed);
+  {
+    // Remember the active spill directory so Δ-patches keep it current.
+    std::lock_guard<std::mutex> lock(spill_dir_mutex_);
+    spill_dir_ = dir;
+  }
   return Status::OK();
 }
 
@@ -373,6 +557,10 @@ Result<size_t> PreparedStore::Load(const std::string& dir) {
   }
   stats_.loaded.fetch_add(static_cast<int64_t>(loaded),
                           std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(spill_dir_mutex_);
+    spill_dir_ = dir;
+  }
   EvictUntilWithinBudget();
   return loaded;
 }
@@ -386,6 +574,9 @@ PreparedStore::Stats PreparedStore::stats() const {
       stats_.inflight_waits.load(std::memory_order_relaxed);
   stats.spilled = stats_.spilled.load(std::memory_order_relaxed);
   stats.loaded = stats_.loaded.load(std::memory_order_relaxed);
+  stats.patches = stats_.patches.load(std::memory_order_relaxed);
+  stats.patch_fallbacks =
+      stats_.patch_fallbacks.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -419,6 +610,8 @@ void PreparedStore::ResetStats() {
   stats_.inflight_waits.store(0, std::memory_order_relaxed);
   stats_.spilled.store(0, std::memory_order_relaxed);
   stats_.loaded.store(0, std::memory_order_relaxed);
+  stats_.patches.store(0, std::memory_order_relaxed);
+  stats_.patch_fallbacks.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace engine

@@ -70,6 +70,12 @@ class PreparedStore {
     int64_t inflight_waits = 0;
     int64_t spilled = 0;
     int64_t loaded = 0;
+    /// UpdateData calls that Δ-patched a resident Π(D) in place.
+    int64_t patches = 0;
+    /// UpdateData calls that could not patch (no resident entry, an
+    /// in-flight Π on the old key, or a failed patch fn) and left the new
+    /// data part to recompute-on-miss.
+    int64_t patch_fallbacks = 0;
   };
 
   /// Legacy convenience: an entry-capped store with default sharding.
@@ -109,6 +115,29 @@ class PreparedStore {
   /// True iff an entry for (problem, witness, data) is resident.
   bool Contains(std::string_view problem, std::string_view witness,
                 std::string_view data) const;
+
+  /// Patches Π(old_data) in place so the entry serves (problem, witness,
+  /// new_data): the incremental-maintenance path (Section 1's D ⊕ ΔD).
+  /// `patch` receives a private copy of the resident payload — concurrent
+  /// readers keep their consistent pre-delta snapshot through their
+  /// shared_ptr — and must leave it equal to Π(new_data). On success the
+  /// entry is re-keyed to the post-delta digest under the owning shards'
+  /// stripes, LRU/byte accounting is fixed through `entry_options.size_of`,
+  /// and (when a spill directory is active) the entry is respilled.
+  ///
+  /// Fallback contract: returns NotFound when no entry for old_data is
+  /// resident, Unavailable when a Π for old_data is in flight (the entry
+  /// must not be re-keyed out from under waiters on the shared_future),
+  /// and the patch's own status when it fails. In every non-OK case the
+  /// store is untouched and the caller degrades to recompute-on-miss.
+  using PatchFn = std::function<Status(std::string* prepared, CostMeter*)>;
+  Status UpdateData(std::string_view problem, std::string_view witness,
+                    std::string_view old_data, std::string_view new_data,
+                    const PatchFn& patch, CostMeter* meter = nullptr);
+  Status UpdateData(std::string_view problem, std::string_view witness,
+                    std::string_view old_data, std::string_view new_data,
+                    const PatchFn& patch, CostMeter* meter,
+                    const EntryOptions& entry_options);
 
   /// Serializes every resident spillable entry to `dir` (created if
   /// missing), one serde-framed file per entry, so a restarted engine can
@@ -175,9 +204,20 @@ class PreparedStore {
   /// Evicts globally-LRU entries until both budgets hold.
   void EvictUntilWithinBudget();
   bool OverBudget() const;
+  /// Best-effort spill-directory maintenance after a successful patch:
+  /// rewrites the patched entry's file under its new digest and drops the
+  /// old digest's file, so Load never resurrects the pre-delta Π(D).
+  void RespillPatched(uint64_t old_digest, uint64_t new_digest,
+                      const std::string& key,
+                      const std::shared_ptr<const std::string>& prepared,
+                      size_t size_bytes, bool spillable) const;
 
   const Options options_;
   std::vector<Shard> shards_;
+  /// Last directory handed to Spill/Load, so UpdateData can respill the
+  /// one patched entry without a full Spill pass. Empty = no persistence.
+  mutable std::mutex spill_dir_mutex_;
+  mutable std::string spill_dir_;
   /// Serializes EvictUntilWithinBudget so concurrent publishers cannot
   /// each take a victim and over-evict below budget.
   std::mutex evict_mutex_;
@@ -192,6 +232,8 @@ class PreparedStore {
     std::atomic<int64_t> inflight_waits{0};
     std::atomic<int64_t> spilled{0};
     std::atomic<int64_t> loaded{0};
+    std::atomic<int64_t> patches{0};
+    std::atomic<int64_t> patch_fallbacks{0};
   };
   mutable AtomicStats stats_;
 };

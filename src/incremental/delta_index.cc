@@ -79,5 +79,13 @@ bool DeltaMaintainedIndex::PointExists(int64_t key, CostMeter* meter) const {
   return tree_.PointExists(key, meter);
 }
 
+std::vector<int64_t> DeltaMaintainedIndex::SortedKeys() const {
+  std::vector<int64_t> keys;
+  keys.reserve(entries_.size());
+  for (const auto& [key, row_id] : entries_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 }  // namespace incremental
 }  // namespace pitract

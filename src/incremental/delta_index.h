@@ -43,6 +43,12 @@ class DeltaMaintainedIndex {
   int64_t size() const { return tree_.size(); }
   Status Validate() const { return tree_.Validate(); }
 
+  /// Current keys in sorted order — the logical column the maintained
+  /// index represents. The engine's Δ-patch hook re-encodes this as the
+  /// post-delta Π(D) payload (re-encoding is harness bookkeeping, outside
+  /// the charged O(|Δ| log |D|) maintenance cost).
+  std::vector<int64_t> SortedKeys() const;
+
  private:
   /// Current logical contents, kept for RebuildWith.
   std::vector<std::pair<int64_t, int64_t>> entries_;

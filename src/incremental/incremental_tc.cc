@@ -1,7 +1,18 @@
 #include "incremental/incremental_tc.h"
 
+#include <limits>
+
+#include "common/serde.h"
+
 namespace pitract {
 namespace incremental {
+
+namespace {
+
+/// Words per closure row for an n-node graph.
+int64_t WordsPerRow(int64_t n) { return (n + 63) / 64; }
+
+}  // namespace
 
 IncrementalTransitiveClosure::IncrementalTransitiveClosure(graph::NodeId n)
     : n_(n),
@@ -83,6 +94,80 @@ Result<bool> IncrementalTransitiveClosure::Reachable(graph::NodeId u,
     meter->AddBytesRead(8);
   }
   return desc_[static_cast<size_t>(u)].Test(v);
+}
+
+std::string IncrementalTransitiveClosure::Serialize() const {
+  std::string out;
+  const int64_t wpr = WordsPerRow(n_);
+  out.reserve(static_cast<size_t>(8 + 2 * n_ * wpr * 8));
+  serde::PutU64(&out, static_cast<uint64_t>(n_));
+  for (const auto* rows : {&desc_, &anc_}) {
+    for (const reach::Bitset& row : *rows) {
+      for (uint64_t word : row.words()) serde::PutU64(&out, word);
+    }
+  }
+  return out;
+}
+
+Result<IncrementalTransitiveClosure>
+IncrementalTransitiveClosure::Deserialize(std::string_view bytes) {
+  serde::Reader reader(bytes);
+  PITRACT_ASSIGN_OR_RETURN(uint64_t n_raw, reader.ReadU64());
+  if (n_raw > static_cast<uint64_t>(std::numeric_limits<graph::NodeId>::max())) {
+    return Status::InvalidArgument("closure image: node count overflows");
+  }
+  const auto n = static_cast<graph::NodeId>(n_raw);
+  const int64_t wpr = WordsPerRow(n);
+  if (reader.remaining() != static_cast<size_t>(2 * n * wpr * 8)) {
+    return Status::InvalidArgument("closure image: truncated or oversized");
+  }
+  IncrementalTransitiveClosure tc(n);
+  for (auto* rows : {&tc.desc_, &tc.anc_}) {
+    for (reach::Bitset& row : *rows) {
+      for (int64_t w = 0; w < wpr; ++w) {
+        PITRACT_ASSIGN_OR_RETURN(uint64_t word, reader.ReadU64());
+        row.SetWord(w, word);
+      }
+    }
+  }
+  // A closure row must at least contain its own node (Build/ctor set the
+  // reflexive bit), so an all-zero diagonal is a corrupt image, not data.
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (!tc.desc_[static_cast<size_t>(v)].Test(v) ||
+        !tc.anc_[static_cast<size_t>(v)].Test(v)) {
+      return Status::InvalidArgument("closure image: missing reflexive bit");
+    }
+  }
+  return tc;
+}
+
+Result<bool> IncrementalTransitiveClosure::ReachableInSerialized(
+    std::string_view bytes, int64_t u, int64_t v) {
+  serde::Reader reader(bytes);
+  PITRACT_ASSIGN_OR_RETURN(uint64_t n_raw, reader.ReadU64());
+  // Bound n before any size arithmetic: an adversarial count would both
+  // overflow the expected-size product and defeat the u/v range checks,
+  // turning the offset probe below into an out-of-bounds read.
+  if (n_raw > static_cast<uint64_t>(std::numeric_limits<graph::NodeId>::max())) {
+    return Status::InvalidArgument("closure image: node count overflows");
+  }
+  const auto n = static_cast<int64_t>(n_raw);
+  const int64_t wpr = WordsPerRow(n);  // n <= 2^31: products fit in int64
+  if (bytes.size() != static_cast<size_t>(8 + 2 * n * wpr * 8)) {
+    return Status::InvalidArgument("closure image: truncated or oversized");
+  }
+  if (u < 0 || u >= n || v < 0 || v >= n) {
+    return Status::OutOfRange("node id out of range");
+  }
+  const size_t offset =
+      static_cast<size_t>(8 + (u * wpr + (v >> 6)) * 8);
+  uint64_t word = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    word |= static_cast<uint64_t>(
+                static_cast<unsigned char>(bytes[offset + i]))
+            << (8 * i);
+  }
+  return ((word >> (v & 63)) & 1) != 0;
 }
 
 int64_t IncrementalTransitiveClosure::NumReachablePairs() const {

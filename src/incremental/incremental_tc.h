@@ -2,6 +2,8 @@
 #define PITRACT_INCREMENTAL_INCREMENTAL_TC_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/cost_meter.h"
@@ -46,6 +48,20 @@ class IncrementalTransitiveClosure {
 
   /// Work spent by the last InsertEdge (unit ops), for boundedness plots.
   int64_t last_insert_work() const { return last_insert_work_; }
+
+  /// Binary image of the maintained closure, fit for a PreparedStore
+  /// payload: u64 n, then the n descendant rows, then the n ancestor rows,
+  /// each row (n+63)/64 little-endian u64 words (serde framing). The
+  /// layout is fixed-width, so a probe of bit (u, v) is plain offset
+  /// arithmetic — see ReachableInSerialized.
+  std::string Serialize() const;
+  /// Inverse of Serialize; rejects truncated or size-inconsistent images.
+  static Result<IncrementalTransitiveClosure> Deserialize(
+      std::string_view bytes);
+  /// O(1) probe of a Serialize image without rehydrating it: the online
+  /// answer step of the engine's incremental-closure witness.
+  static Result<bool> ReachableInSerialized(std::string_view bytes,
+                                            int64_t u, int64_t v);
 
  private:
   graph::NodeId n_ = 0;

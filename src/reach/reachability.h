@@ -29,6 +29,11 @@ class Bitset {
   }
   /// Raw word storage (little-endian bit order), for hashing/signatures.
   const std::vector<uint64_t>& words() const { return words_; }
+  /// Overwrites word `w` wholesale — the rehydration path of persisted
+  /// closures (incremental::IncrementalTransitiveClosure::Deserialize).
+  void SetWord(int64_t w, uint64_t value) {
+    words_[static_cast<size_t>(w)] = value;
+  }
   /// this |= other; returns true if any bit changed.
   bool UnionWith(const Bitset& other) {
     bool changed = false;

@@ -388,6 +388,185 @@ TEST(SerdeTest, TruncatedFramesFailWithoutConsuming) {
   EXPECT_FALSE(empty.ReadBytes().ok());
 }
 
+// Randomized serde property suite: arbitrary frame sequences must
+// round-trip exactly, and *every* truncation or length-prefix corruption
+// of a well-formed buffer must fail cleanly — no over-read past the
+// buffer, no partially-consumed cursor, no garbage value.
+
+namespace {
+
+/// One randomly drawn frame of a serde buffer.
+struct Frame {
+  enum class Kind { kU32, kU64, kBytes } kind;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  std::string bytes;
+};
+
+std::vector<Frame> RandomFrames(Rng* rng) {
+  std::vector<Frame> frames;
+  const int count = static_cast<int>(rng->NextBelow(9));
+  for (int i = 0; i < count; ++i) {
+    Frame frame;
+    switch (rng->NextBelow(3)) {
+      case 0:
+        frame.kind = Frame::Kind::kU32;
+        frame.u32 = static_cast<uint32_t>(rng->Next());
+        break;
+      case 1:
+        frame.kind = Frame::Kind::kU64;
+        frame.u64 = rng->Next();
+        break;
+      default: {
+        frame.kind = Frame::Kind::kBytes;
+        const size_t len = rng->NextBelow(48);
+        frame.bytes.reserve(len);
+        for (size_t b = 0; b < len; ++b) {
+          frame.bytes.push_back(static_cast<char>(rng->NextBelow(256)));
+        }
+        break;
+      }
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+std::string EncodeFrames(const std::vector<Frame>& frames) {
+  std::string buffer;
+  for (const Frame& frame : frames) {
+    switch (frame.kind) {
+      case Frame::Kind::kU32:
+        serde::PutU32(&buffer, frame.u32);
+        break;
+      case Frame::Kind::kU64:
+        serde::PutU64(&buffer, frame.u64);
+        break;
+      case Frame::Kind::kBytes:
+        serde::PutBytes(&buffer, frame.bytes);
+        break;
+    }
+  }
+  return buffer;
+}
+
+/// Decodes `buffer` against the frame schema. Returns how many frames
+/// decoded before the first failure (all of them on a healthy buffer);
+/// EXPECTs that successes match the originals and that the first failure
+/// stops the schema walk cleanly (failed reads must not consume).
+size_t DecodeAndCheckPrefix(const std::vector<Frame>& frames,
+                            std::string_view buffer) {
+  serde::Reader reader(buffer);
+  for (size_t i = 0; i < frames.size(); ++i) {
+    const Frame& frame = frames[i];
+    const size_t before = reader.remaining();
+    switch (frame.kind) {
+      case Frame::Kind::kU32: {
+        auto value = reader.ReadU32();
+        if (!value.ok()) {
+          EXPECT_EQ(reader.remaining(), before) << "failed read consumed";
+          return i;
+        }
+        EXPECT_EQ(*value, frame.u32);
+        break;
+      }
+      case Frame::Kind::kU64: {
+        auto value = reader.ReadU64();
+        if (!value.ok()) {
+          EXPECT_EQ(reader.remaining(), before) << "failed read consumed";
+          return i;
+        }
+        EXPECT_EQ(*value, frame.u64);
+        break;
+      }
+      case Frame::Kind::kBytes: {
+        auto value = reader.ReadBytes();
+        if (!value.ok()) {
+          EXPECT_EQ(reader.remaining(), before) << "failed read consumed";
+          return i;
+        }
+        EXPECT_EQ(*value, frame.bytes);
+        break;
+      }
+    }
+  }
+  return frames.size();
+}
+
+}  // namespace
+
+class SerdePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerdePropertyTest, ArbitraryFrameSequencesRoundTrip) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    const std::vector<Frame> frames = RandomFrames(&rng);
+    const std::string buffer = EncodeFrames(frames);
+    EXPECT_EQ(DecodeAndCheckPrefix(frames, buffer), frames.size());
+    serde::Reader reader(buffer);
+    // Independent full-drain walk: after the schema, nothing remains.
+    for (const Frame& frame : frames) {
+      switch (frame.kind) {
+        case Frame::Kind::kU32: ASSERT_TRUE(reader.ReadU32().ok()); break;
+        case Frame::Kind::kU64: ASSERT_TRUE(reader.ReadU64().ok()); break;
+        case Frame::Kind::kBytes: ASSERT_TRUE(reader.ReadBytes().ok()); break;
+      }
+    }
+    EXPECT_TRUE(reader.exhausted());
+  }
+}
+
+TEST_P(SerdePropertyTest, EverySingleByteTruncationFailsCleanly) {
+  Rng rng(GetParam() + 1000);
+  for (int round = 0; round < 20; ++round) {
+    std::vector<Frame> frames = RandomFrames(&rng);
+    if (frames.empty()) continue;
+    const std::string buffer = EncodeFrames(frames);
+    for (size_t cut = 0; cut < buffer.size(); ++cut) {
+      // A truncated buffer decodes some (possibly empty) prefix of the
+      // frames, then fails without consuming — never yields a frame that
+      // was not fully present, never walks past the end.
+      const std::string_view truncated(buffer.data(), cut);
+      const size_t decoded = DecodeAndCheckPrefix(frames, truncated);
+      EXPECT_LT(decoded, frames.size())
+          << "decoded all frames from a truncated buffer (cut=" << cut << ")";
+    }
+  }
+}
+
+TEST_P(SerdePropertyTest, CorruptedLengthPrefixNeverOverReads) {
+  Rng rng(GetParam() + 2000);
+  for (int round = 0; round < 50; ++round) {
+    const size_t payload_len = rng.NextBelow(64);
+    std::string payload;
+    for (size_t i = 0; i < payload_len; ++i) {
+      payload.push_back(static_cast<char>(rng.NextBelow(256)));
+    }
+    std::string buffer;
+    serde::PutBytes(&buffer, payload);
+    // Corrupt the u64 length prefix to a value that over-promises —
+    // anything strictly larger than the real payload, up to "absurd".
+    const uint64_t bogus =
+        payload_len + 1 + rng.NextBelow(uint64_t{1} << 62);
+    std::string corrupt = buffer;
+    for (size_t i = 0; i < 8; ++i) {
+      corrupt[i] = static_cast<char>((bogus >> (8 * i)) & 0xff);
+    }
+    serde::Reader reader(corrupt);
+    auto bytes = reader.ReadBytes();
+    EXPECT_FALSE(bytes.ok());
+    EXPECT_EQ(bytes.status().code(), StatusCode::kOutOfRange);
+    // Failing cleanly means the cursor did not move: the (bogus) length
+    // is still readable as a plain integer.
+    auto length = reader.ReadU64();
+    ASSERT_TRUE(length.ok());
+    EXPECT_EQ(*length, bogus);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerdePropertyTest,
+                         ::testing::Values(11, 12, 13, 14, 15));
+
 // ---------------------------------------------------------------------------
 // CostMeter under concurrent charging (the serving layer shares meters)
 // ---------------------------------------------------------------------------

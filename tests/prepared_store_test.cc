@@ -160,6 +160,183 @@ TEST(PreparedStoreConcurrencyTest, DistinctKeysProceedInParallelShards) {
 }
 
 // ---------------------------------------------------------------------------
+// UpdateData: Δ-patching a resident entry in place.
+// ---------------------------------------------------------------------------
+
+TEST(PreparedStoreUpdateTest, PatchReKeysEntryAndFixesAccounting) {
+  PreparedStore::Options options;
+  options.shards = 4;
+  PreparedStore store(options);
+  ASSERT_TRUE(store
+                  .GetOrCompute("p", "w", "old-data",
+                                [](CostMeter*) -> Result<std::string> {
+                                  return std::string("payload-v1");
+                                })
+                  .ok());
+  const size_t bytes_before = store.bytes_resident();
+
+  CostMeter meter;
+  auto status = store.UpdateData(
+      "p", "w", "old-data", "new-data!",
+      [](std::string* prepared, CostMeter* m) {
+        *prepared += "+delta";
+        if (m != nullptr) m->AddSerial(3);
+        return Status::OK();
+      },
+      &meter);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  // Re-keyed: the old data part is gone, the new one serves the patched
+  // payload without running Π.
+  EXPECT_FALSE(store.Contains("p", "w", "old-data"));
+  EXPECT_TRUE(store.Contains("p", "w", "new-data!"));
+  EXPECT_EQ(store.size(), 1u);
+  bool hit = false;
+  auto patched = store.GetOrCompute(
+      "p", "w", "new-data!",
+      [](CostMeter*) -> Result<std::string> {
+        return Status::Internal("Π must not run on a patched entry");
+      },
+      nullptr, &hit);
+  ASSERT_TRUE(patched.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(**patched, "payload-v1+delta");
+  // Byte accounting followed the payload (+6) and key (+1) growth.
+  EXPECT_EQ(store.bytes_resident(), bytes_before + 7);
+  EXPECT_EQ(meter.work(), 1 + 3);  // digest probe + the patch's charges
+  EXPECT_EQ(store.stats().patches, 1);
+  EXPECT_EQ(store.stats().patch_fallbacks, 0);
+}
+
+TEST(PreparedStoreUpdateTest, MissingEntryAndFailingPatchFallBack) {
+  PreparedStore store;
+  auto noop = [](std::string*, CostMeter*) { return Status::OK(); };
+  auto missing = store.UpdateData("p", "w", "never-inserted", "next", noop);
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(store
+                  .GetOrCompute("p", "w", "d",
+                                [](CostMeter*) -> Result<std::string> {
+                                  return std::string("v1");
+                                })
+                  .ok());
+  auto failing = store.UpdateData(
+      "p", "w", "d", "d2",
+      [](std::string* prepared, CostMeter*) {
+        *prepared = "half-written garbage";
+        return Status::Internal("patch exploded");
+      });
+  EXPECT_EQ(failing.code(), StatusCode::kInternal);
+  // The failed patch worked on a private copy: the resident entry still
+  // serves the pre-delta payload under the pre-delta key.
+  EXPECT_TRUE(store.Contains("p", "w", "d"));
+  EXPECT_FALSE(store.Contains("p", "w", "d2"));
+  bool hit = false;
+  auto intact = store.GetOrCompute(
+      "p", "w", "d",
+      [](CostMeter*) -> Result<std::string> { return std::string("nope"); },
+      nullptr, &hit);
+  ASSERT_TRUE(intact.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(**intact, "v1");
+  EXPECT_EQ(store.stats().patch_fallbacks, 2);
+  EXPECT_EQ(store.stats().patches, 0);
+}
+
+TEST(PreparedStoreUpdateTest, PatchRespillsUnderTheNewDigest) {
+  const std::string dir = UniqueTempDir("patch_respill");
+  PreparedStore store;
+  ASSERT_TRUE(store
+                  .GetOrCompute("p", "w", "v1",
+                                [](CostMeter*) -> Result<std::string> {
+                                  return std::string("pi-of-v1");
+                                })
+                  .ok());
+  ASSERT_TRUE(store.Spill(dir).ok());
+  ASSERT_TRUE(store
+                  .UpdateData("p", "w", "v1", "v2",
+                              [](std::string* prepared, CostMeter*) {
+                                *prepared = "pi-of-v2";
+                                return Status::OK();
+                              })
+                  .ok());
+  // A restarted store sees exactly the post-delta world: the patched
+  // entry under its new digest, no resurrected pre-delta file.
+  PreparedStore restarted;
+  auto loaded = restarted.Load(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 1u);
+  EXPECT_TRUE(restarted.Contains("p", "w", "v2"));
+  EXPECT_FALSE(restarted.Contains("p", "w", "v1"));
+  bool hit = false;
+  auto entry = restarted.GetOrCompute(
+      "p", "w", "v2",
+      [](CostMeter*) -> Result<std::string> { return std::string("nope"); },
+      nullptr, &hit);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(**entry, "pi-of-v2");
+  fs::remove_all(dir);
+}
+
+// Regression for the miss-storm interleaving: an ApplyDelta racing an
+// in-flight Π for the same data part must not re-key the entry out from
+// under the waiters blocked on the shared_future. UpdateData refuses
+// (Unavailable) and the delta degrades to recompute-on-miss.
+TEST(PreparedStoreUpdateTest, InflightMissStormIsNotReKeyed) {
+  PreparedStore::Options options;
+  options.shards = 4;
+  PreparedStore store(options);
+
+  constexpr int kWaiters = 4;
+  std::atomic<int> arrived{0};
+  std::atomic<bool> release{false};
+  auto blocking_compute = [&](CostMeter*) -> Result<std::string> {
+    ++arrived;
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    return std::string("pi-of-old");
+  };
+
+  std::vector<std::thread> threads;
+  std::vector<std::shared_ptr<const std::string>> results(kWaiters);
+  for (int t = 0; t < kWaiters; ++t) {
+    threads.emplace_back([&, t] {
+      auto result =
+          store.GetOrCompute("p", "w", "storm-data", blocking_compute);
+      ASSERT_TRUE(result.ok());
+      results[static_cast<size_t>(t)] = *result;
+    });
+  }
+  // Wait until the winner is inside Π (the storm is in flight for real).
+  while (arrived.load() == 0) std::this_thread::yield();
+
+  auto status = store.UpdateData(
+      "p", "w", "storm-data", "storm-data-v2",
+      [](std::string* prepared, CostMeter*) {
+        *prepared = "patched";
+        return Status::OK();
+      });
+  // Non-blocking refusal, not a deadlock and not a re-key.
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(store.stats().patch_fallbacks, 1);
+
+  release.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+
+  // Every waiter on the shared_future got the old Π, and the store still
+  // serves it under the *old* key — the delta never tore it away.
+  for (const auto& result : results) {
+    ASSERT_NE(result, nullptr);
+    EXPECT_EQ(*result, "pi-of-old");
+  }
+  EXPECT_TRUE(store.Contains("p", "w", "storm-data"));
+  EXPECT_FALSE(store.Contains("p", "w", "storm-data-v2"));
+  EXPECT_EQ(store.stats().patches, 0);
+}
+
+// ---------------------------------------------------------------------------
 // Byte-budgeted eviction.
 // ---------------------------------------------------------------------------
 
