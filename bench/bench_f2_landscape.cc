@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/classifier.h"
 #include "engine/builtins.h"
 #include "engine/engine.h"
@@ -27,19 +28,21 @@
 namespace {
 
 void EmitJsonLine(std::FILE* out, const pitract::core::Classification& row,
-                  const pitract::core::SweepPoint& point) {
+                  const pitract::core::SweepPoint& point,
+                  long long classify_wall_ns) {
   std::fprintf(out,
                "{\"bench\":\"f2_landscape\",\"case\":\"%s\","
                "\"anchor\":\"%s\",\"n\":%lld,\"preprocess_work\":%lld,"
                "\"prepared_depth\":%.3f,\"baseline_depth\":%.3f,"
                "\"preprocess_degree\":%.3f,\"prepared_slope\":%.3f,"
-               "\"baseline_slope\":%.3f,\"pi_tractable\":%s}\n",
+               "\"baseline_slope\":%.3f,\"pi_tractable\":%s,"
+               "\"classify_wall_ns\":%lld}\n",
                row.name.c_str(), row.paper_anchor.c_str(),
                static_cast<long long>(point.n),
                static_cast<long long>(point.preprocess_work),
                point.prepared_depth, point.baseline_depth,
                row.preprocess_degree, row.prepared_slope, row.baseline_slope,
-               row.pi_tractable ? "true" : "false");
+               row.pi_tractable ? "true" : "false", classify_wall_ns);
 }
 
 }  // namespace
@@ -58,6 +61,7 @@ int main(int argc, char** argv) {
                                       1 << 12};
   auto& engine = pitract::engine::DefaultEngine();
   std::vector<pitract::core::Classification> rows;
+  std::vector<long long> row_wall_ns;  // steady_clock ns per Classify sweep
   for (const std::string& name : engine.Names()) {
     auto entry = engine.Find(name);
     if (!entry.ok() || !(*entry)->make_case) continue;  // Σ*-only entries
@@ -67,14 +71,17 @@ int main(int argc, char** argv) {
                    name.c_str(), query_class.status().ToString().c_str());
       return 1;
     }
+    pitract_bench::WallTimer timer;
     auto result =
         pitract::core::Classify(query_class->get(), sizes, /*seed=*/1);
+    const long long wall_ns = timer.ElapsedNs();
     if (!result.ok()) {
       std::fprintf(stderr, "classification of %s failed: %s\n", name.c_str(),
                    result.status().ToString().c_str());
       return 1;
     }
     rows.push_back(*result);
+    row_wall_ns.push_back(wall_ns);
   }
   std::printf("%s\n", pitract::core::LandscapeReport(rows).c_str());
 
@@ -87,10 +94,11 @@ int main(int argc, char** argv) {
                  "to stdout only\n", json_path);
   }
   size_t lines = 0;
-  for (const auto& row : rows) {
+  for (size_t ri = 0; ri < rows.size(); ++ri) {
+    const auto& row = rows[ri];
     for (const auto& point : row.points) {
-      EmitJsonLine(stdout, row, point);
-      if (json != nullptr) EmitJsonLine(json, row, point);
+      EmitJsonLine(stdout, row, point, row_wall_ns[ri]);
+      if (json != nullptr) EmitJsonLine(json, row, point, row_wall_ns[ri]);
       ++lines;
     }
   }

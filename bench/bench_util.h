@@ -3,6 +3,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -22,6 +23,23 @@
   }
 
 namespace pitract_bench {
+
+/// steady_clock stopwatch for the hand-rolled BENCH_*.json emitters: every
+/// JSON line records wall-clock ns alongside the charged CostMeter work,
+/// so perf PRs leave a real latency trajectory, not just charged units.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  long long ElapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Console output plus one JSON line per benchmark run appended to
 /// BENCH_<bench_id>.json — the same accumulate-across-runs trajectory
@@ -45,13 +63,24 @@ class JsonLinesTeeReporter : public benchmark::ConsoleReporter {
     if (json_ == nullptr) return;
     for (const Run& run : runs) {
       if (run.error_occurred) continue;
+      // Normalized wall-clock ns next to the unit-dependent real_time, so
+      // trajectories compare across benches regardless of time_unit.
+      double to_ns = 1.0;
+      switch (run.time_unit) {
+        case benchmark::kNanosecond:  to_ns = 1.0;  break;
+        case benchmark::kMicrosecond: to_ns = 1e3;  break;
+        case benchmark::kMillisecond: to_ns = 1e6;  break;
+        case benchmark::kSecond:      to_ns = 1e9;  break;
+      }
       std::fprintf(json_,
                    "{\"bench\":\"%s\",\"name\":\"%s\",\"iterations\":%lld,"
-                   "\"real_time\":%.3f,\"cpu_time\":%.3f,\"time_unit\":\"%s\"",
+                   "\"real_time\":%.3f,\"cpu_time\":%.3f,\"time_unit\":\"%s\","
+                   "\"wall_ns\":%.1f",
                    bench_id_.c_str(), run.benchmark_name().c_str(),
                    static_cast<long long>(run.iterations),
                    run.GetAdjustedRealTime(), run.GetAdjustedCPUTime(),
-                   benchmark::GetTimeUnitString(run.time_unit));
+                   benchmark::GetTimeUnitString(run.time_unit),
+                   run.GetAdjustedRealTime() * to_ns);
       for (const auto& [name, counter] : run.counters) {
         std::fprintf(json_, ",\"%s\":%.3f", name.c_str(),
                      static_cast<double>(counter.value));

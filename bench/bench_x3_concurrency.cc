@@ -121,6 +121,7 @@ int main(int argc, char** argv) {
                    "{\"bench\":\"x3_concurrency\",\"threads\":%d,"
                    "\"data_parts\":%d,\"batches\":%lld,\"queries\":%lld,"
                    "\"pi_runs\":%lld,\"cache_hits\":%lld,\"seconds\":%.6f,"
+                   "\"wall_ns\":%.0f,\"ns_per_query\":%.1f,"
                    "\"queries_per_second\":%.1f,"
                    "\"hardware_concurrency\":%u}\n",
                    threads, kDataParts,
@@ -128,7 +129,12 @@ int main(int argc, char** argv) {
                    static_cast<long long>(report.queries),
                    static_cast<long long>(report.pi_runs),
                    static_cast<long long>(report.cache_hits),
-                   report.wall_seconds, report.queries_per_second, hw);
+                   report.wall_seconds, report.wall_seconds * 1e9,
+                   report.queries > 0
+                       ? report.wall_seconds * 1e9 /
+                             static_cast<double>(report.queries)
+                       : 0.0,
+                   report.queries_per_second, hw);
       ++json_lines;
     }
   }

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/codec.h"
 #include "common/cost_meter.h"
 #include "common/rng.h"
@@ -42,13 +43,17 @@ using pitract::engine::RegisterBuiltins;
 
 /// Charged Π cost of a cold prepare for (problem, data): what the serving
 /// layer would pay if the delta had invalidated the entry instead of
-/// patching it.
+/// patching it. `wall_ns` (optional) receives the steady_clock ns of the
+/// cold batch itself (registration excluded).
 long long RecomputeWork(const std::string& problem, const std::string& data,
-                        const std::string& query) {
+                        const std::string& query,
+                        long long* wall_ns = nullptr) {
   QueryEngine engine;
   if (!RegisterBuiltins(&engine).ok()) return -1;
   std::vector<std::string> queries{query};
+  pitract_bench::WallTimer timer;
   auto batch = engine.AnswerBatch(problem, data, queries);
+  if (wall_ns != nullptr) *wall_ns = timer.ElapsedNs();
   if (!batch.ok()) return -1;
   return static_cast<long long>(batch->prepare_cost.work);
 }
@@ -120,15 +125,18 @@ int main(int argc, char** argv) {
         delta.ops.push_back(op);
       }
       CostMeter patch_meter;
+      pitract_bench::WallTimer patch_timer;
       auto outcome =
           engine.ApplyDelta("list-membership", data, delta, &patch_meter);
+      const long long patch_wall_ns = patch_timer.ElapsedNs();
       if (!outcome.ok() || !outcome->patched) {
         ++failures;
         continue;
       }
       const long long patch_work = static_cast<long long>(patch_meter.work());
-      const long long recompute =
-          RecomputeWork("list-membership", outcome->new_data, "0");
+      long long recompute_wall_ns = -1;
+      const long long recompute = RecomputeWork(
+          "list-membership", outcome->new_data, "0", &recompute_wall_ns);
       std::printf("%-20s %10lld %8d %14lld %14lld\n", "list-membership",
                   static_cast<long long>(n), delta_size, patch_work,
                   recompute);
@@ -136,9 +144,10 @@ int main(int argc, char** argv) {
         std::fprintf(json,
                      "{\"bench\":\"x4_incremental\",\"case\":\"list-"
                      "membership\",\"n\":%lld,\"delta\":%d,"
-                     "\"patch_work\":%lld,\"recompute_work\":%lld}\n",
+                     "\"patch_work\":%lld,\"recompute_work\":%lld,"
+                     "\"patch_wall_ns\":%lld,\"recompute_wall_ns\":%lld}\n",
                      static_cast<long long>(n), delta_size, patch_work,
-                     recompute);
+                     recompute, patch_wall_ns, recompute_wall_ns);
         ++json_lines;
       }
     }
@@ -181,8 +190,10 @@ int main(int argc, char** argv) {
       DeltaBatch delta;
       delta.ops.push_back(op);
       CostMeter patch_meter;
+      pitract_bench::WallTimer patch_timer;
       auto outcome =
           engine.ApplyDelta("graph-reachability", data, delta, &patch_meter);
+      const long long patch_wall_ns = patch_timer.ElapsedNs();
       if (!outcome.ok() || !outcome->patched) {
         ++failures;
         continue;
@@ -192,8 +203,10 @@ int main(int argc, char** argv) {
                                        nullptr);
       const long long changed_pairs = changed.ok() ? *changed : -1;
       const long long patch_work = static_cast<long long>(patch_meter.work());
-      const long long recompute = RecomputeWork(
-          "graph-reachability", outcome->new_data, queries[0]);
+      long long recompute_wall_ns = -1;
+      const long long recompute =
+          RecomputeWork("graph-reachability", outcome->new_data, queries[0],
+                        &recompute_wall_ns);
       std::printf("%-20s %10d %8d %10lld %14lld %14lld\n",
                   "graph-reachability", n, op_index, changed_pairs,
                   patch_work, recompute);
@@ -201,8 +214,10 @@ int main(int argc, char** argv) {
         std::fprintf(json,
                      "{\"bench\":\"x4_incremental\",\"case\":\"graph-"
                      "reachability\",\"n\":%d,\"op\":%d,\"changed\":%lld,"
-                     "\"patch_work\":%lld,\"recompute_work\":%lld}\n",
-                     n, op_index, changed_pairs, patch_work, recompute);
+                     "\"patch_work\":%lld,\"recompute_work\":%lld,"
+                     "\"patch_wall_ns\":%lld,\"recompute_wall_ns\":%lld}\n",
+                     n, op_index, changed_pairs, patch_work, recompute,
+                     patch_wall_ns, recompute_wall_ns);
         ++json_lines;
       }
       data = outcome->new_data;  // keep patching the evolving data part

@@ -1,0 +1,289 @@
+// X5 — warm answer-path latency: wall-clock ns/query vs |D|.
+//
+// The paper's bound makes a warm query O(polylog |D|) in *charged* cost,
+// but a serving layer only earns it in wall-clock terms if nothing on the
+// warm path re-touches the whole data part. This harness measures exactly
+// that, per view-enabled builtin, on a warm PreparedStore:
+//
+//   * path=view   — the decoded Π-view layer (PiWitness::deserialize /
+//     answer_view, memoized per store entry): expected *flat* ns/query
+//     as |D| doubles;
+//   * path=string — the same witnesses with views stripped
+//     (BuiltinOptions::enable_views = false), so every query re-decodes
+//     the Σ*-encoded Π(D): expected ns/query growing linearly in |D|;
+//   * metric=admission — per-batch overhead of the string-keyed
+//     AnswerBatch (O(|D|) key copy + hash per batch) against the
+//     digest-handle AnswerBatch (QueryEngine::Intern pays it once); the
+//     handle loop must leave PreparedStore::Stats::key_builds untouched,
+//     checked here and enforced again in engine_test.
+//
+// One JSON line per measurement is appended to BENCH_x5_answer_latency.json
+// (or argv[1]) in the f2_landscape trajectory convention. A trailing
+// "tiny" argument shrinks every size so CI can smoke the emitters.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/problems.h"
+#include "engine/builtins.h"
+#include "engine/engine.h"
+#include "graph/generators.h"
+
+namespace {
+
+using pitract::Rng;
+namespace core = pitract::core;
+namespace engine = pitract::engine;
+
+constexpr int kQueriesPerBatch = 64;
+
+struct Workload {
+  std::string data;
+  std::vector<std::string> queries;  // kQueriesPerBatch warm-path queries
+};
+
+Workload MakeMemberWorkload(int64_t n, Rng* rng) {
+  const int64_t universe = 4 * n;
+  std::vector<int64_t> list;
+  list.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    list.push_back(static_cast<int64_t>(
+        rng->NextBelow(static_cast<uint64_t>(universe))));
+  }
+  Workload w;
+  w.data = core::MemberFactorization()
+               .pi1(core::MakeMemberInstance(universe, list, 0))
+               .value();
+  for (int i = 0; i < kQueriesPerBatch; ++i) {
+    w.queries.push_back(std::to_string(
+        rng->NextBelow(static_cast<uint64_t>(universe))));
+  }
+  return w;
+}
+
+Workload MakeGraphWorkload(int64_t n, Rng* rng, bool bds) {
+  auto g = pitract::graph::ErdosRenyi(static_cast<pitract::graph::NodeId>(n),
+                                      2 * n, /*directed=*/false, rng);
+  Workload w;
+  w.data = bds ? core::BdsFactorization()
+                     .pi1(core::MakeBdsInstance(g, 0, 0))
+                     .value()
+               : core::ConnFactorization()
+                     .pi1(core::MakeConnInstance(g, 0, 0))
+                     .value();
+  for (int i = 0; i < kQueriesPerBatch; ++i) {
+    const auto u = rng->NextBelow(static_cast<uint64_t>(n));
+    const auto v = rng->NextBelow(static_cast<uint64_t>(n));
+    w.queries.push_back(std::to_string(u) + "#" + std::to_string(v));
+  }
+  return w;
+}
+
+struct LatencyPoint {
+  double ns_per_query = -1;
+  double answer_work_per_query = -1;
+  long long batches = 0;
+};
+
+/// Warm-store steady state: answer the same batch until `min_ns` elapsed
+/// (at least twice), so fast paths average over many batches while the
+/// slow string path at large |D| still terminates.
+LatencyPoint MeasureWarm(engine::QueryEngine* eng,
+                         const engine::DataHandle& handle,
+                         const std::vector<std::string>& queries,
+                         long long min_ns, long long max_batches) {
+  LatencyPoint point;
+  long long answered = 0;
+  long long answer_work = 0;
+  pitract_bench::WallTimer timer;
+  while ((timer.ElapsedNs() < min_ns || point.batches < 2) &&
+         point.batches < max_batches) {
+    auto batch = eng->AnswerBatch(handle, queries);
+    if (!batch.ok()) {
+      std::fprintf(stderr, "warm batch failed: %s\n",
+                   batch.status().ToString().c_str());
+      return point;
+    }
+    ++point.batches;
+    answered += static_cast<long long>(batch->answers.size());
+    answer_work += batch->answer_cost.work;
+  }
+  const long long total_ns = timer.ElapsedNs();
+  if (answered > 0) {
+    point.ns_per_query = static_cast<double>(total_ns) / answered;
+    point.answer_work_per_query =
+        static_cast<double>(answer_work) / answered;
+  }
+  return point;
+}
+
+/// Per-batch admission overhead on a warm store: single-query batches, so
+/// the key build dominates the string-keyed flavor at large |D|.
+double MeasureAdmissionNsPerBatch(engine::QueryEngine* eng,
+                                  const std::string& problem,
+                                  const std::string& data,
+                                  const engine::DataHandle* handle,
+                                  const std::vector<std::string>& queries,
+                                  long long min_ns, long long max_batches) {
+  std::vector<std::string> one{queries.front()};
+  long long batches = 0;
+  pitract_bench::WallTimer timer;
+  while ((timer.ElapsedNs() < min_ns || batches < 2) &&
+         batches < max_batches) {
+    auto batch = handle != nullptr ? eng->AnswerBatch(*handle, one)
+                                   : eng->AnswerBatch(problem, data, one);
+    if (!batch.ok()) return -1;
+    ++batches;
+  }
+  return static_cast<double>(timer.ElapsedNs()) /
+         static_cast<double>(batches);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "X5 | Warm answer-path latency: wall-clock ns/query vs |D| on a warm\n"
+      "     store. path=view answers through memoized decoded Π-views and\n"
+      "     must stay flat in |D|; path=string re-decodes Π(D) per query\n"
+      "     and grows with |D|. metric=admission contrasts per-batch\n"
+      "     O(|D|) key hashing (string keys) with digest handles (zero).\n\n");
+  const char* json_path = "BENCH_x5_answer_latency.json";
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "tiny") == 0) {
+      tiny = true;
+    } else {
+      json_path = argv[i];
+    }
+  }
+  std::FILE* json = std::fopen(json_path, "a");
+  if (json == nullptr) {
+    std::fprintf(stderr,
+                 "warning: cannot open %s for append; JSON lines skipped\n",
+                 json_path);
+  }
+  const long long min_ns = tiny ? 2'000'000 : 50'000'000;
+  const long long max_batches = tiny ? 8 : 4096;
+  const std::vector<int64_t> sizes =
+      tiny ? std::vector<int64_t>{1 << 7}
+           : std::vector<int64_t>{1 << 10, 1 << 13, 1 << 16};
+  const char* kCases[] = {"list-membership", "connectivity",
+                          "breadth-depth-search"};
+
+  size_t json_lines = 0;
+  int failures = 0;
+  std::printf("%-22s %8s %14s %14s %9s\n", "case", "n", "view ns/q",
+              "string ns/q", "speedup");
+  std::printf(
+      "----------------------------------------------------------------------"
+      "\n");
+  for (const char* case_name : kCases) {
+    for (int64_t n : sizes) {
+      Rng rng(0x9e05 + static_cast<uint64_t>(n));
+      Workload w;
+      if (std::strcmp(case_name, "list-membership") == 0) {
+        w = MakeMemberWorkload(n, &rng);
+      } else {
+        w = MakeGraphWorkload(
+            n, &rng,
+            std::strcmp(case_name, "breadth-depth-search") == 0);
+      }
+
+      // Two engines over identical data: decoded views on vs stripped.
+      engine::QueryEngine view_eng;
+      engine::QueryEngine string_eng;
+      engine::BuiltinOptions no_views;
+      no_views.enable_views = false;
+      if (!engine::RegisterBuiltins(&view_eng).ok() ||
+          !engine::RegisterBuiltins(&string_eng, no_views).ok()) {
+        return 1;
+      }
+      auto view_handle = view_eng.Intern(case_name, w.data);
+      auto string_handle = string_eng.Intern(case_name, w.data);
+      if (!view_handle.ok() || !string_handle.ok()) {
+        ++failures;
+        continue;
+      }
+      // Warm both stores: one miss each, Π runs once per engine.
+      if (!view_eng.AnswerBatch(*view_handle, w.queries).ok() ||
+          !string_eng.AnswerBatch(*string_handle, w.queries).ok()) {
+        ++failures;
+        continue;
+      }
+
+      const auto key_builds_before = view_eng.store().stats().key_builds;
+      LatencyPoint view_point =
+          MeasureWarm(&view_eng, *view_handle, w.queries, min_ns,
+                      max_batches);
+      if (view_eng.store().stats().key_builds != key_builds_before) {
+        std::fprintf(stderr,
+                     "FAIL: warm handle batches built O(|D|) keys\n");
+        ++failures;
+      }
+      LatencyPoint string_point =
+          MeasureWarm(&string_eng, *string_handle, w.queries, min_ns,
+                      max_batches);
+      const double speedup =
+          view_point.ns_per_query > 0
+              ? string_point.ns_per_query / view_point.ns_per_query
+              : -1;
+      std::printf("%-22s %8lld %14.1f %14.1f %8.1fx\n", case_name,
+                  static_cast<long long>(n), view_point.ns_per_query,
+                  string_point.ns_per_query, speedup);
+      if (json != nullptr) {
+        std::fprintf(json,
+                     "{\"bench\":\"x5_answer_latency\",\"case\":\"%s\","
+                     "\"n\":%lld,\"path\":\"view\",\"batches\":%lld,"
+                     "\"ns_per_query\":%.1f,\"answer_work_per_query\":%.1f}"
+                     "\n",
+                     case_name, static_cast<long long>(n), view_point.batches,
+                     view_point.ns_per_query,
+                     view_point.answer_work_per_query);
+        std::fprintf(json,
+                     "{\"bench\":\"x5_answer_latency\",\"case\":\"%s\","
+                     "\"n\":%lld,\"path\":\"string\",\"batches\":%lld,"
+                     "\"ns_per_query\":%.1f,\"answer_work_per_query\":%.1f}"
+                     "\n",
+                     case_name, static_cast<long long>(n),
+                     string_point.batches, string_point.ns_per_query,
+                     string_point.answer_work_per_query);
+        json_lines += 2;
+      }
+
+      // Admission: digest-handle batches vs per-batch string keys, both on
+      // the warm view engine (the comparison isolates the key build).
+      const double handle_ns = MeasureAdmissionNsPerBatch(
+          &view_eng, case_name, w.data, &*view_handle, w.queries,
+          min_ns / 4, max_batches);
+      const double string_ns = MeasureAdmissionNsPerBatch(
+          &view_eng, case_name, w.data, nullptr, w.queries, min_ns / 4,
+          max_batches);
+      if (json != nullptr && handle_ns > 0 && string_ns > 0) {
+        std::fprintf(json,
+                     "{\"bench\":\"x5_answer_latency\",\"case\":\"%s\","
+                     "\"n\":%lld,\"metric\":\"admission\","
+                     "\"handle_ns_per_batch\":%.1f,"
+                     "\"string_key_ns_per_batch\":%.1f}\n",
+                     case_name, static_cast<long long>(n), handle_ns,
+                     string_ns);
+        ++json_lines;
+      }
+    }
+  }
+
+  if (json != nullptr) {
+    std::fclose(json);
+    std::printf("\n(appended %zu JSON lines to %s)\n", json_lines, json_path);
+  }
+  std::printf(
+      "\nReading: view ns/query stays flat as |D| doubles (the decoded-view\n"
+      "layer probes a memoized typed structure); string ns/query tracks |D|\n"
+      "(every warm query re-decodes the whole Π(D) payload). The admission\n"
+      "lines show the per-batch O(|D|) key hash the digest handles delete.\n");
+  return failures == 0 ? 0 : 1;
+}

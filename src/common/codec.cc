@@ -89,7 +89,13 @@ std::string EncodeInts(const std::vector<int64_t>& values) {
 
 Result<std::vector<int64_t>> DecodeInts(std::string_view encoded) {
   std::vector<int64_t> values;
-  if (encoded.empty()) return values;
+  PITRACT_RETURN_IF_ERROR(DecodeIntsInto(encoded, &values));
+  return values;
+}
+
+Status DecodeIntsInto(std::string_view encoded, std::vector<int64_t>* out) {
+  out->clear();
+  if (encoded.empty()) return Status::OK();
   size_t pos = 0;
   while (pos <= encoded.size()) {
     size_t comma = encoded.find(',', pos);
@@ -100,14 +106,15 @@ Result<std::vector<int64_t>> DecodeInts(std::string_view encoded) {
     auto [ptr, ec] =
         std::from_chars(token.data(), token.data() + token.size(), value);
     if (ec != std::errc() || ptr != token.data() + token.size()) {
+      out->clear();
       return Status::InvalidArgument("malformed integer token: '" +
                                      std::string(token) + "'");
     }
-    values.push_back(value);
+    out->push_back(value);
     if (comma == std::string_view::npos) break;
     pos = comma + 1;
   }
-  return values;
+  return Status::OK();
 }
 
 std::string PadPair(std::string_view first, std::string_view second) {

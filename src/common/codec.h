@@ -51,6 +51,13 @@ std::string EncodeInts(const std::vector<int64_t>& values);
 /// Inverse of EncodeInts. Fails on malformed numerals.
 Result<std::vector<int64_t>> DecodeInts(std::string_view encoded);
 
+/// DecodeFieldsView-style span decoder for the hot int-list payloads:
+/// parses `encoded` straight into `*out` (cleared first, capacity kept), so
+/// repeated decodes reuse one buffer and no Result<vector> temporary is
+/// materialized. On failure `*out` is left cleared. DecodeInts delegates
+/// here; prefer this overload on answer paths that decode per query.
+Status DecodeIntsInto(std::string_view encoded, std::vector<int64_t>* out);
+
 /// DecodeFields + an arity check, the instance-decoding preamble shared by
 /// every Σ*-level problem and hook ("`what` expects n fields, got m").
 Result<std::vector<std::string>> DecodeFieldsExactly(std::string_view encoded,

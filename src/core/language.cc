@@ -36,6 +36,19 @@ PiWitness ApplyRewriting(const QueryRewriter& rewriter,
     if (!rewritten.ok()) return Result<bool>(rewritten.status());
     return answer(prepared, *rewritten, meter);
   };
+  // The decoded view is a property of Π(D) alone, so it survives query
+  // rewriting unchanged; only the view answerer maps through λ.
+  if (base.has_view()) {
+    w.deserialize = base.deserialize;
+    auto answer_view = base.answer_view;
+    w.answer_view = [lambda, answer_view](const void* view,
+                                          const std::string& query,
+                                          CostMeter* meter) {
+      auto rewritten = lambda(query);
+      if (!rewritten.ok()) return Result<bool>(rewritten.status());
+      return answer_view(view, *rewritten, meter);
+    };
+  }
   return w;
 }
 

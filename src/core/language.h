@@ -2,6 +2,7 @@
 #define PITRACT_CORE_LANGUAGE_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "common/cost_meter.h"
@@ -44,6 +45,12 @@ class LanguageOfPairs {
   Factorization factorization_;
 };
 
+/// Type-erased decoded view of a Π(D) payload: the witness's typed
+/// in-memory structure (a sorted std::vector, a closure object, a decoded
+/// circuit, ...) held behind shared ownership so a serving cache and any
+/// number of in-flight batches can alias it safely.
+using PiViewPtr = std::shared_ptr<const void>;
+
 /// A Π-tractability witness for a language of pairs S (Definition 1): a
 /// PTIME preprocessing function Π and a language S′ decidable in NC, given
 /// here as an `answer` function over (Π(D), Q).
@@ -63,6 +70,30 @@ struct PiWitness {
   std::function<Result<bool>(const std::string& preprocessed,
                              const std::string& query, CostMeter*)>
       answer;
+
+  /// Optional decoded-view pair — the wall-clock face of the cost contract
+  /// above. `answer` charges only the conceptual probe cost, but in
+  /// wall-clock terms it still re-decodes the Σ*-string per query;
+  /// `deserialize` builds the typed structure once (memoized by the
+  /// serving layer next to the raw payload) and `answer_view` probes it
+  /// directly, making a warm query O(query) in wall-clock too. The
+  /// payload arrives as the cache's shared_ptr, so a deserializer whose
+  /// "structure" is the payload itself may alias it copy-free (the GVP
+  /// bitmap does). Both hooks must be set together; the view passed to
+  /// `answer_view` is always one produced by this witness's `deserialize`.
+  /// Engines fall back to the string `answer` path whenever the hooks are
+  /// absent or a view build fails, so views are a pure optimization.
+  std::function<Result<PiViewPtr>(
+      const std::shared_ptr<const std::string>& preprocessed, CostMeter*)>
+      deserialize;
+  std::function<Result<bool>(const void* view, const std::string& query,
+                             CostMeter*)>
+      answer_view;
+
+  /// True when this witness can answer through a decoded view.
+  bool has_view() const {
+    return static_cast<bool>(deserialize) && static_cast<bool>(answer_view);
+  }
 };
 
 /// End-to-end check of Definition 1 on one instance: x ∈ L must equal

@@ -2,6 +2,8 @@
 #define PITRACT_CORE_PROBLEMS_H_
 
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "circuit/circuit.h"
@@ -35,6 +37,15 @@ DecisionProblem GateValueProblem();
 /// L_reach: instances [G, s, t] — does directed G have a path s ⇝ t
 /// (reflexively)? The Σ*-level twin of the Example 3 typed case.
 DecisionProblem ReachabilityProblem();
+
+// --- query decoding --------------------------------------------------------
+
+/// Parses the ubiquitous "a#b" two-int query shape through the zero-copy
+/// codec::DecodeFieldsView fast path (numeric queries are escape-free), so
+/// the hot answer lambdas never copy query fields; escaped encodings fall
+/// back to the copying DecodeFields. `what` names the query in errors.
+Result<std::pair<int64_t, int64_t>> DecodeIntPairQuery(std::string_view query,
+                                                       std::string_view what);
 
 // --- instance builders ----------------------------------------------------
 

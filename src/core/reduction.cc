@@ -127,6 +127,20 @@ PiWitness Transport(const NcFactorReduction& r, const PiWitness& w2) {
     if (!mapped.ok()) return Result<bool>(mapped.status());
     return answer2(prepared, *mapped, meter);
   };
+  // The prepared structure is the target's Π(α(D)), so the target's
+  // decoded view transports verbatim; only the view answerer maps queries
+  // through β first.
+  if (w2.has_view()) {
+    w1.deserialize = w2.deserialize;
+    auto answer_view2 = w2.answer_view;
+    w1.answer_view = [beta, answer_view2](const void* view,
+                                          const std::string& query,
+                                          CostMeter* meter) {
+      auto mapped = beta(query);
+      if (!mapped.ok()) return Result<bool>(mapped.status());
+      return answer_view2(view, *mapped, meter);
+    };
+  }
   return w1;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <utility>
 
 #include "circuit/circuit.h"
@@ -54,12 +55,51 @@ core::PiWitness CircuitEvalWitness() {
     for (char bit : query) assignment.push_back(bit == '1' ? 1 : 0);
     return c->Evaluate(assignment, meter);
   };
+  // Decoded view: the circuit object itself — warm queries evaluate
+  // directly instead of re-parsing the whole circuit encoding per query
+  // (the dominant wall-clock cost of this witness).
+  w.deserialize = [](const std::shared_ptr<const std::string>& prepared,
+                     CostMeter*) -> Result<core::PiViewPtr> {
+    auto fields = codec::DecodeFields(*prepared);
+    if (!fields.ok()) return fields.status();
+    if (fields->size() != 1) {
+      return Status::InvalidArgument("expected a single circuit field");
+    }
+    auto c = circuit::Circuit::Decode((*fields)[0]);
+    if (!c.ok()) return c.status();
+    return core::PiViewPtr(
+        std::make_shared<circuit::Circuit>(std::move(*c)));
+  };
+  w.answer_view = [](const void* view, const std::string& query,
+                     CostMeter* meter) -> Result<bool> {
+    const auto& c = *static_cast<const circuit::Circuit*>(view);
+    std::vector<char> assignment;
+    assignment.reserve(query.size());
+    for (char bit : query) assignment.push_back(bit == '1' ? 1 : 0);
+    return c.Evaluate(assignment, meter);
+  };
   return w;
 }
 
 }  // namespace
 
 Status RegisterBuiltins(QueryEngine* engine) {
+  return RegisterBuiltins(engine, BuiltinOptions{});
+}
+
+Status RegisterBuiltins(QueryEngine* engine, const BuiltinOptions& options) {
+  // Registration shim: strips the decoded-view hooks when views are
+  // disabled. Reduction-derived entries transport their target's witness
+  // out of the registry, so stripping the direct registrations covers
+  // them too.
+  auto register_entry = [engine, &options](ProblemEntry entry) {
+    if (!options.enable_views) {
+      entry.witness.deserialize = nullptr;
+      entry.witness.answer_view = nullptr;
+    }
+    return engine->Register(std::move(entry));
+  };
+
   // Every typed query class registers under its own name; the three with
   // Σ*-level twins carry the full Definition 1 artifact set.
   for (auto& typed_case : core::MakeAllCases()) {
@@ -108,15 +148,15 @@ Status RegisterBuiltins(QueryEngine* engine) {
         return prepared.size() + PreparedStore::kEntryOverheadBytes;
       };
     }
-    PITRACT_RETURN_IF_ERROR(engine->Register(std::move(entry)));
+    PITRACT_RETURN_IF_ERROR(register_entry(std::move(entry)));
   }
 
   // Σ*-only problems.
-  PITRACT_RETURN_IF_ERROR(engine->Register(
+  PITRACT_RETURN_IF_ERROR(register_entry(
       LanguageEntry("connectivity", "S4(2), Theorem 5",
                     core::ConnectivityProblem(), core::ConnFactorization(),
                     core::ConnWitness())));
-  PITRACT_RETURN_IF_ERROR(engine->Register(
+  PITRACT_RETURN_IF_ERROR(register_entry(
       LanguageEntry("cvp-empty-data", "Theorem 9", core::CvpProblem(),
                     core::EmptyDataFactorization(),
                     core::CvpEmptyDataWitness())));
@@ -130,7 +170,7 @@ Status RegisterBuiltins(QueryEngine* engine) {
                              core::IntervalWitness()));
     entry.apply_delta_to_data = MemberDataDelta();
     entry.prepared_patch = MemberPreparedPatch();
-    PITRACT_RETURN_IF_ERROR(engine->Register(std::move(entry)));
+    PITRACT_RETURN_IF_ERROR(register_entry(std::move(entry)));
   }
   {
     // The NAND-eval witness keeps the circuit verbatim as its "prepared"
@@ -142,7 +182,7 @@ Status RegisterBuiltins(QueryEngine* engine) {
                       core::CvpCircuitDataFactorization(),
                       CircuitEvalWitness());
     entry.spillable = false;
-    PITRACT_RETURN_IF_ERROR(engine->Register(std::move(entry)));
+    PITRACT_RETURN_IF_ERROR(register_entry(std::move(entry)));
   }
 
   // The reduction chain, routed through the registry: each derived entry

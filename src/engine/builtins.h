@@ -22,7 +22,21 @@ namespace engine {
 ///    member-via-conn, connectivity-via-bds, member-via-bds and
 ///    cvp-via-nand look their target witness up and transport it (Lemma 3 /
 ///    Lemma 8) instead of re-plumbing it by hand.
+///
+/// Every Σ*-level builtin witness carries the decoded-view hook pair
+/// (PiWitness::deserialize / answer_view), so warm engine batches answer
+/// through memoized typed structures instead of re-decoding Π(D) per
+/// query; reduction-derived entries inherit the views of their targets.
 Status RegisterBuiltins(QueryEngine* engine);
+
+/// Registration knobs, for harnesses that need a non-default build.
+struct BuiltinOptions {
+  /// When false, the decoded-view hooks are stripped from every witness
+  /// before registration, forcing the per-query string-decode path — the
+  /// baseline bench_x5_answer_latency measures the view layer against.
+  bool enable_views = true;
+};
+Status RegisterBuiltins(QueryEngine* engine, const BuiltinOptions& options);
 
 }  // namespace engine
 }  // namespace pitract

@@ -1,11 +1,13 @@
 #include "engine/delta_hooks.h"
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/codec.h"
+#include "core/problems.h"
 #include "graph/graph.h"
 #include "incremental/delta_index.h"
 #include "incremental/incremental_tc.h"
@@ -129,21 +131,42 @@ core::PiWitness ReachClosureWitness() {
   };
   w.answer = [](const std::string& prepared, const std::string& query,
                 CostMeter* meter) -> Result<bool> {
-    auto q = codec::DecodeFields(query);
+    auto q = core::DecodeIntPairQuery(query, "reach query");
     if (!q.ok()) return q.status();
-    if (q->size() != 2) {
-      return Status::InvalidArgument("reach query expects 2 fields");
-    }
-    auto s = DecodeSingleInt((*q)[0]);
-    if (!s.ok()) return s.status();
-    auto t = DecodeSingleInt((*q)[1]);
-    if (!t.ok()) return t.status();
     if (meter != nullptr) {
       meter->AddSerial(1);
       meter->AddBytesRead(8);
     }
     return incremental::IncrementalTransitiveClosure::ReachableInSerialized(
-        prepared, *s, *t);
+        prepared, q->first, q->second);
+  };
+  // Decoded view: the rehydrated closure object — a warm query is one
+  // charged bit probe, no per-query image validation or offset decode.
+  w.deserialize = [](const std::shared_ptr<const std::string>& prepared,
+                     CostMeter*) -> Result<core::PiViewPtr> {
+    auto tc =
+        incremental::IncrementalTransitiveClosure::Deserialize(*prepared);
+    if (!tc.ok()) return tc.status();
+    return core::PiViewPtr(
+        std::make_shared<incremental::IncrementalTransitiveClosure>(
+            std::move(*tc)));
+  };
+  w.answer_view = [](const void* view, const std::string& query,
+                     CostMeter* meter) -> Result<bool> {
+    const auto& tc =
+        *static_cast<const incremental::IncrementalTransitiveClosure*>(view);
+    auto q = core::DecodeIntPairQuery(query, "reach query");
+    if (!q.ok()) return q.status();
+    if (q->first < 0 || q->first >= tc.num_nodes() || q->second < 0 ||
+        q->second >= tc.num_nodes()) {
+      return Status::OutOfRange("node id out of range");
+    }
+    if (meter != nullptr) {
+      meter->AddSerial(1);
+      meter->AddBytesRead(8);
+    }
+    return tc.Reachable(static_cast<graph::NodeId>(q->first),
+                        static_cast<graph::NodeId>(q->second), nullptr);
   };
   return w;
 }

@@ -29,31 +29,61 @@ Result<BatchResult> RunBatch(BatchPath* path) {
 
 namespace {
 
-/// Σ*-string path: Π through the PreparedStore, answers via the witness.
+/// The store-entry knobs a registry entry supplies for its Π(D) payloads,
+/// including the decoded-view builder when the witness carries one.
+PreparedStore::EntryOptions EntryOptionsFor(const ProblemEntry& entry) {
+  PreparedStore::EntryOptions options;
+  options.size_of = entry.prepared_size_of;
+  options.spillable = entry.spillable;
+  if (entry.witness.has_view()) options.make_view = entry.witness.deserialize;
+  return options;
+}
+
+/// Σ*-string path: Π through the PreparedStore, answers via the witness —
+/// through the memoized decoded view when the witness provides one, else
+/// via the string `answer` hook.
 class WitnessBatchPath : public BatchPath {
  public:
   WitnessBatchPath(const ProblemEntry& entry, PreparedStore* store,
                    const std::string& data,
                    std::span<const std::string> queries)
-      : entry_(entry), store_(store), data_(data), queries_(queries) {}
+      : entry_(entry), store_(store), data_(&data), queries_(queries) {}
+  /// Pre-admitted flavor: reuses the handle's key, so Prepare does zero
+  /// O(|D|) key work.
+  WitnessBatchPath(const ProblemEntry& entry, PreparedStore* store,
+                   const DataHandle& handle,
+                   std::span<const std::string> queries)
+      : entry_(entry),
+        store_(store),
+        data_(handle.data.get()),
+        key_(&handle.key),
+        queries_(queries) {}
 
   Result<PrepareOutcome> Prepare(CostMeter* meter) override {
     bool hit = false;
-    PreparedStore::EntryOptions entry_options;
-    entry_options.size_of = entry_.prepared_size_of;
-    entry_options.spillable = entry_.spillable;
-    auto prepared = store_->GetOrCompute(
-        entry_.name, entry_.witness.name, data_,
-        [this](CostMeter* m) { return entry_.witness.preprocess(data_, m); },
-        meter, &hit, entry_options);
+    PreparedStore::EntryOptions entry_options = EntryOptionsFor(entry_);
+    auto compute = [this](CostMeter* m) {
+      return entry_.witness.preprocess(*data_, m);
+    };
+    auto prepared =
+        key_ != nullptr
+            ? store_->GetOrComputeView(*key_, compute, meter, &hit,
+                                       entry_options)
+            : store_->GetOrComputeView(entry_.name, entry_.witness.name,
+                                       *data_, compute, meter, &hit,
+                                       entry_options);
     if (!prepared.ok()) return prepared.status();
-    prepared_ = std::move(prepared).value();
+    prepared_ = std::move(prepared->prepared);
+    view_ = std::move(prepared->view);
     return PrepareOutcome{/*ran_pi=*/!hit, /*cache_hit=*/hit};
   }
 
   Result<bool> AnswerOne(int qi, CostMeter* meter) override {
-    return entry_.witness.answer(*prepared_, queries_[static_cast<size_t>(qi)],
-                                 meter);
+    const std::string& query = queries_[static_cast<size_t>(qi)];
+    if (view_ != nullptr && entry_.witness.answer_view) {
+      return entry_.witness.answer_view(view_.get(), query, meter);
+    }
+    return entry_.witness.answer(*prepared_, query, meter);
   }
 
   int num_queries() const override {
@@ -63,9 +93,11 @@ class WitnessBatchPath : public BatchPath {
  private:
   const ProblemEntry& entry_;
   PreparedStore* store_;
-  const std::string& data_;
+  const std::string* data_;
+  const PreparedStore::Key* key_ = nullptr;
   std::span<const std::string> queries_;
   std::shared_ptr<const std::string> prepared_;
+  std::shared_ptr<const void> view_;
 };
 
 /// Typed path: the deployed in-memory case behind the same interface.
@@ -202,6 +234,37 @@ Result<BatchResult> QueryEngine::AnswerBatch(
   return RunBatch(&path);
 }
 
+Result<DataHandle> QueryEngine::Intern(std::string_view problem,
+                                       std::string data) const {
+  auto entry = Find(problem);
+  if (!entry.ok()) return entry.status();
+  if (!(*entry)->has_language) {
+    return Status::FailedPrecondition("problem '" + std::string(problem) +
+                                      "' has no Σ*-level witness");
+  }
+  DataHandle handle;
+  handle.problem = std::string(problem);
+  handle.data = std::make_shared<const std::string>(std::move(data));
+  handle.key = PreparedStore::InternKey((*entry)->name,
+                                        (*entry)->witness.name, *handle.data);
+  return handle;
+}
+
+Result<BatchResult> QueryEngine::AnswerBatch(
+    const DataHandle& handle, std::span<const std::string> queries) {
+  if (handle.data == nullptr || handle.key.bytes == nullptr) {
+    return Status::InvalidArgument("empty DataHandle (use Intern)");
+  }
+  auto entry = Find(handle.problem);
+  if (!entry.ok()) return entry.status();
+  if (!(*entry)->has_language) {
+    return Status::FailedPrecondition("problem '" + handle.problem +
+                                      "' has no Σ*-level witness");
+  }
+  WitnessBatchPath path(**entry, &store_, handle, queries);
+  return RunBatch(&path);
+}
+
 Result<bool> QueryEngine::Answer(std::string_view problem,
                                  const std::string& data,
                                  const std::string& query, CostMeter* meter) {
@@ -250,9 +313,10 @@ Result<DeltaOutcome> QueryEngine::ApplyDelta(std::string_view problem,
         "problem '" + std::string(problem) + "' registers no Π-patch hook");
     return outcome;
   }
-  PreparedStore::EntryOptions entry_options;
-  entry_options.size_of = (*entry)->prepared_size_of;
-  entry_options.spillable = (*entry)->spillable;
+  // EntryOptionsFor includes the witness's view builder, so a successful
+  // patch re-keys the entry with a freshly decoded post-delta view — a
+  // patched entry never serves its pre-patch view.
+  PreparedStore::EntryOptions entry_options = EntryOptionsFor(**entry);
   const PreparedPatchFn& patch = (*entry)->prepared_patch;
   Status patched = store_.UpdateData(
       (*entry)->name, (*entry)->witness.name, data, outcome.new_data,
@@ -278,20 +342,22 @@ Result<BatchResult> QueryEngine::AnswerTypedBatch(std::string_view problem,
     return Status::FailedPrecondition("problem '" + std::string(problem) +
                                       "' has no typed case");
   }
-  std::string key = std::string(problem) + '\x1f' + std::to_string(n) +
-                    '\x1f' + std::to_string(seed);
   std::shared_ptr<core::QueryClassCase> cached;
+  uint64_t generation_at_miss = 0;
   {
     std::lock_guard<std::mutex> lock(typed_mutex_);
-    auto slot =
-        std::find_if(typed_cache_.begin(), typed_cache_.end(),
-                     [&key](const TypedSlot& s) { return s.key == key; });
+    auto slot = std::find_if(typed_cache_.begin(), typed_cache_.end(),
+                             [&](const TypedSlot& s) {
+                               return s.Matches(problem, n, seed);
+                             });
     if (slot != typed_cache_.end()) {
       // Cached slots are always prepared: insertion happens below only
       // after a fully successful batch. The shared_ptr keeps the instance
       // alive even if another thread trims it out of the cache mid-batch.
       typed_cache_.splice(typed_cache_.begin(), typed_cache_, slot);
       cached = slot->instance;
+    } else {
+      generation_at_miss = typed_generation_;
     }
   }
   if (cached != nullptr) {
@@ -311,11 +377,19 @@ Result<BatchResult> QueryEngine::AnswerTypedBatch(std::string_view problem,
   if (!result.ok()) return result.status();  // never cache a failed prepare
   {
     std::lock_guard<std::mutex> lock(typed_mutex_);
-    auto slot =
-        std::find_if(typed_cache_.begin(), typed_cache_.end(),
-                     [&key](const TypedSlot& s) { return s.key == key; });
-    if (slot == typed_cache_.end()) {
-      typed_cache_.push_front(TypedSlot{std::move(key), std::move(fresh)});
+    // Re-scan for a racing duplicate only when an insert actually landed
+    // since the miss — the uncontended cold path skips the second scan.
+    bool duplicate = false;
+    if (typed_generation_ != generation_at_miss) {
+      duplicate = std::any_of(typed_cache_.begin(), typed_cache_.end(),
+                              [&](const TypedSlot& s) {
+                                return s.Matches(problem, n, seed);
+                              });
+    }
+    if (!duplicate) {
+      typed_cache_.push_front(
+          TypedSlot{std::string(problem), n, seed, std::move(fresh)});
+      ++typed_generation_;
       if (typed_capacity_ > 0) {  // 0 = unbounded, like the PreparedStore
         while (typed_cache_.size() > typed_capacity_) typed_cache_.pop_back();
       }

@@ -58,6 +58,22 @@ struct ProblemEntry {
   PreparedPatchFn prepared_patch;
 };
 
+/// A pre-admitted data part for the Σ*-witness path. `QueryEngine::Intern`
+/// resolves the registry entry and pays the O(|D|) store-key build +
+/// content hash exactly once; every subsequent `AnswerBatch(handle, ...)`
+/// reuses the digest and key bytes, so a warm batch does zero |D|-sized
+/// work end to end (the store re-validates by shared-pointer equality).
+/// Handles are immutable values: copy/share them freely across threads.
+/// A handle addresses the data part it was interned for — after an
+/// ApplyDelta, intern the post-delta data part for a new handle.
+struct DataHandle {
+  std::string problem;
+  /// The data part, shared so Π can still run on a (rare) cold miss
+  /// without the handle's owner keeping a separate copy alive.
+  std::shared_ptr<const std::string> data;
+  PreparedStore::Key key;
+};
+
 /// What Prepare did for this batch.
 struct PrepareOutcome {
   bool ran_pi = false;     // Π actually executed
@@ -151,6 +167,18 @@ class QueryEngine {
                                   const std::string& data,
                                   std::span<const std::string> queries);
 
+  /// Digest-handle admission: computes the content digest and full store
+  /// key for `data` once. Use with the `AnswerBatch(handle, ...)` overload
+  /// (or a `ServeWorkItem::handle`) to strip the per-batch O(|D|) key
+  /// copy + hash from the warm path.
+  Result<DataHandle> Intern(std::string_view problem, std::string data) const;
+
+  /// AnswerBatch against a pre-admitted data part: identical semantics to
+  /// the string-keyed overload, but a warm batch performs no O(|D|) key
+  /// build, hash, or compare (Stats::key_builds stays untouched).
+  Result<BatchResult> AnswerBatch(const DataHandle& handle,
+                                  std::span<const std::string> queries);
+
   /// Single-query convenience; still routed through the PreparedStore, so a
   /// warm store answers without re-running Π. Prepare+answer costs are
   /// charged to `meter`.
@@ -198,9 +226,18 @@ class QueryEngine {
   const PreparedStore& store() const { return store_; }
 
  private:
+  /// Typed-case cache key, kept as its three components: lookups compare
+  /// two integers before touching the (short) problem name — no per-batch
+  /// key-string building.
   struct TypedSlot {
-    std::string key;
+    std::string problem;
+    int64_t n = 0;
+    uint64_t seed = 0;
     std::shared_ptr<core::QueryClassCase> instance;
+
+    bool Matches(std::string_view p, int64_t nn, uint64_t s) const {
+      return n == nn && seed == s && problem == p;
+    }
   };
 
   mutable std::shared_mutex registry_mutex_;
@@ -209,6 +246,10 @@ class QueryEngine {
   const size_t typed_capacity_;
   std::mutex typed_mutex_;
   std::list<TypedSlot> typed_cache_;  // front = most recently used
+  /// Bumped on every typed-cache insert (guarded by typed_mutex_): a cold
+  /// path that generated off-lock only re-scans for a racing duplicate
+  /// when the generation moved since its miss.
+  uint64_t typed_generation_ = 0;
 };
 
 /// The process-wide engine with every built-in problem registered (see

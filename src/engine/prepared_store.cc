@@ -1,6 +1,7 @@
 #include "engine/prepared_store.h"
 
 #include <algorithm>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <utility>
@@ -15,7 +16,12 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr uint32_t kSpillMagic = 0x31544950;  // "PIT1"
-constexpr uint32_t kSpillVersion = 1;
+// v2: spill file names derive from the word-folded Fnv1a64. Files written
+// by the byte-at-a-time v1 hash would Load fine (digests are recomputed
+// from the stored key) but live under names the new hash can never point
+// at, so RespillPatched's remove-the-pre-delta-file guarantee would miss
+// them; bumping the version makes v1 files degrade to recompute-on-miss.
+constexpr uint32_t kSpillVersion = 2;
 constexpr char kSpillExtension[] = ".pit";
 
 std::string DigestFileName(uint64_t digest) {
@@ -60,8 +66,23 @@ Status WriteSpillFile(const std::string& dir, uint64_t digest,
 
 uint64_t Fnv1a64(std::string_view bytes) {
   uint64_t hash = 0xcbf29ce484222325ull;
-  for (unsigned char c : bytes) {
-    hash ^= c;
+  const char* p = bytes.data();
+  size_t remaining = bytes.size();
+  // Word-at-a-time fold: xor in 8 input bytes per FNV multiply, with one
+  // shift-xor so all 8 lanes diffuse (the canonical byte loop gets that
+  // diffusion from its 8x more multiplies). ~8x fewer operations on the
+  // cold-path hashes of |D|-sized keys.
+  while (remaining >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    hash ^= word;
+    hash *= 0x100000001b3ull;
+    hash ^= hash >> 29;
+    p += 8;
+    remaining -= 8;
+  }
+  for (; remaining > 0; --remaining) {
+    hash ^= static_cast<unsigned char>(*p++);
     hash *= 0x100000001b3ull;
   }
   return hash;
@@ -88,9 +109,19 @@ std::string PreparedStore::MakeKey(std::string_view problem,
 }
 
 size_t PreparedStore::DefaultSizeBytes(const Entry& entry) const {
-  return entry.key.size() +
+  return (entry.key != nullptr ? entry.key->size() : 0) +
          (entry.prepared != nullptr ? entry.prepared->size() : 0) +
          kEntryOverheadBytes;
+}
+
+PreparedStore::Key PreparedStore::InternKey(std::string_view problem,
+                                            std::string_view witness,
+                                            std::string_view data) {
+  Key key;
+  key.bytes =
+      std::make_shared<const std::string>(MakeKey(problem, witness, data));
+  key.digest = Fnv1a64(*key.bytes);
+  return key;
 }
 
 Result<std::shared_ptr<const std::string>> PreparedStore::GetOrCompute(
@@ -104,33 +135,134 @@ Result<std::shared_ptr<const std::string>> PreparedStore::GetOrCompute(
     std::string_view problem, std::string_view witness, std::string_view data,
     const ComputeFn& compute, CostMeter* meter, bool* hit,
     const EntryOptions& entry_options) {
-  std::string key = MakeKey(problem, witness, data);
-  const uint64_t digest = Fnv1a64(key);
+  auto view = GetOrComputeView(problem, witness, data, compute, meter, hit,
+                               entry_options);
+  if (!view.ok()) return view.status();
+  return std::move(view)->prepared;
+}
+
+Result<PreparedStore::PreparedView> PreparedStore::GetOrComputeView(
+    std::string_view problem, std::string_view witness, std::string_view data,
+    const ComputeFn& compute, CostMeter* meter, bool* hit,
+    const EntryOptions& entry_options) {
+  // The string-keyed admission path pays the O(|D|) copy + hash here, once
+  // per call — exactly what Intern-ed keys amortize away.
+  stats_.key_builds.fetch_add(1, std::memory_order_relaxed);
+  return GetOrComputeView(InternKey(problem, witness, data), compute, meter,
+                          hit, entry_options);
+}
+
+std::shared_ptr<const void> PreparedStore::BuildView(
+    const EntryOptions& entry_options,
+    const std::shared_ptr<const std::string>& prepared, CostMeter* meter) {
+  if (!entry_options.make_view) return nullptr;
+  Result<std::shared_ptr<const void>> view =
+      Status::Internal("view build did not run");
+  try {
+    view = entry_options.make_view(prepared, meter);
+  } catch (...) {
+    return nullptr;  // degrade to the string answer path
+  }
+  if (!view.ok() || *view == nullptr) return nullptr;
+  stats_.view_builds.fetch_add(1, std::memory_order_relaxed);
+  return *view;
+}
+
+void PreparedStore::AttachView(const EntryOptions& entry_options,
+                               Entry* entry, CostMeter* meter) {
+  if (!entry_options.make_view) return;
+  entry->view = BuildView(entry_options, entry->prepared, meter);
+  entry->view_build_failed = entry->view == nullptr;
+  entry->view_size_bytes =
+      entry->view != nullptr ? entry->prepared->size() : 0;
+}
+
+Result<PreparedStore::PreparedView> PreparedStore::RebuildViewLazily(
+    const Key& key, const std::shared_ptr<const std::string>& prepared,
+    const EntryOptions& entry_options, CostMeter* meter) {
+  // Decode outside every lock — the build is O(|Π(D)|) and must not stall
+  // the stripe. Two racing hitters may both decode; exactly one publishes
+  // (the miss-storm path never races: the in-flight winner builds before
+  // publishing the entry).
+  std::shared_ptr<const void> built = BuildView(entry_options, prepared, meter);
+  bool account_built = false;
+  {
+    Shard& shard = ShardFor(key.digest);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.entries.find(key.digest);
+    if (it != shard.entries.end() && EntryMatches(it->second, key) &&
+        it->second.prepared == prepared) {
+      if (built == nullptr) {
+        // Negative-cache the failure: later hits serve the string path
+        // directly instead of re-running the failing decode per hit.
+        if (it->second.view == nullptr) it->second.view_build_failed = true;
+        return PreparedView{it->second.prepared, it->second.view};
+      }
+      if (it->second.view == nullptr) {
+        it->second.view = built;
+        it->second.view_build_failed = false;
+        it->second.view_size_bytes = prepared->size();
+        bytes_.fetch_add(static_cast<int64_t>(it->second.view_size_bytes),
+                         std::memory_order_relaxed);
+        account_built = true;
+      }
+      if (!account_built) return PreparedView{it->second.prepared,
+                                              it->second.view};
+    } else if (built == nullptr) {
+      // The entry moved on while we decoded and the build failed: the
+      // snapshot payload is still a valid string-path answer source.
+      return PreparedView{prepared, nullptr};
+    }
+  }
+  if (account_built) EvictUntilWithinBudget();
+  // Either we published (serve our build) or the entry moved on while we
+  // decoded (the snapshot pair is still internally consistent).
+  return PreparedView{prepared, built};
+}
+
+Result<PreparedStore::PreparedView> PreparedStore::GetOrComputeView(
+    const Key& key, const ComputeFn& compute, CostMeter* meter, bool* hit,
+    const EntryOptions& entry_options) {
+  const uint64_t digest = key.digest;
   Shard& shard = ShardFor(digest);
 
   std::shared_ptr<Inflight> flight;
   bool winner = false;
+  std::shared_ptr<const std::string> rebuild_from;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     auto it = shard.entries.find(digest);
-    if (it != shard.entries.end() && it->second.key == key) {
+    if (it != shard.entries.end() && EntryMatches(it->second, key)) {
       stats_.hits.fetch_add(1, std::memory_order_relaxed);
       it->second.last_used = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
       shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_it);
       if (meter != nullptr) meter->AddSerial(1);  // the digest probe
       if (hit != nullptr) *hit = true;
-      return it->second.prepared;
-    }
-    auto in = shard.inflight.find(key);
-    if (in != shard.inflight.end()) {
-      flight = in->second;
+      if (it->second.view == nullptr && !it->second.view_build_failed &&
+          entry_options.make_view) {
+        // Loaded entry: repair the view lazily, outside this lock. A
+        // payload whose decoder already failed is served string-path
+        // directly (view_build_failed short-circuits the retry).
+        rebuild_from = it->second.prepared;
+      } else {
+        return PreparedView{it->second.prepared, it->second.view};
+      }
     } else {
-      winner = true;
-      flight = std::make_shared<Inflight>();
-      flight->ready = flight->done.get_future().share();
-      shard.inflight.emplace(key, flight);
-      stats_.misses.fetch_add(1, std::memory_order_relaxed);
+      auto in = shard.inflight.find(*key.bytes);
+      if (in != shard.inflight.end()) {
+        flight = in->second;
+      } else {
+        winner = true;
+        flight = std::make_shared<Inflight>();
+        flight->ready = flight->done.get_future().share();
+        shard.inflight.emplace(*key.bytes, flight);
+        stats_.misses.fetch_add(1, std::memory_order_relaxed);
+      }
     }
+  }
+
+  if (rebuild_from != nullptr) {
+    return RebuildViewLazily(key, rebuild_from, entry_options, meter);
   }
 
   if (!winner) {
@@ -164,7 +296,7 @@ Result<std::shared_ptr<const std::string>> PreparedStore::GetOrCompute(
   if (!prepared.ok()) {
     {
       std::lock_guard<std::mutex> lock(shard.mutex);
-      shard.inflight.erase(key);
+      shard.inflight.erase(*key.bytes);
     }
     flight->result = prepared.status();
     flight->done.set_value();
@@ -172,21 +304,26 @@ Result<std::shared_ptr<const std::string>> PreparedStore::GetOrCompute(
   }
 
   Entry entry;
-  entry.key = key;
+  entry.key = key.bytes;
   entry.prepared =
       std::make_shared<const std::string>(std::move(prepared).value());
+  // The miss winner builds the decoded view before publishing, so the
+  // whole miss storm — winner and every waiter on the shared_future —
+  // shares exactly one build.
+  AttachView(entry_options, &entry, meter);
   entry.spillable = entry_options.spillable;
   entry.size_bytes = entry_options.size_of
                          ? entry_options.size_of(*entry.prepared)
                          : DefaultSizeBytes(entry);
-  auto result = entry.prepared;
+  PreparedView result{entry.prepared, entry.view};
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     entry.last_used = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
     auto it = shard.entries.find(digest);
     if (it != shard.entries.end()) {
       // Digest collision (or a concurrent Load): replace, stay correct.
-      bytes_.fetch_sub(static_cast<int64_t>(it->second.size_bytes),
+      bytes_.fetch_sub(static_cast<int64_t>(it->second.size_bytes +
+                                            it->second.view_size_bytes),
                        std::memory_order_relaxed);
       count_.fetch_sub(1, std::memory_order_relaxed);
       entry.lru_it = it->second.lru_it;  // reuse the list node
@@ -196,10 +333,11 @@ Result<std::shared_ptr<const std::string>> PreparedStore::GetOrCompute(
       it = shard.entries.emplace(digest, std::move(entry)).first;
       it->second.lru_it = shard.lru.insert(shard.lru.end(), digest);
     }
-    bytes_.fetch_add(static_cast<int64_t>(it->second.size_bytes),
+    bytes_.fetch_add(static_cast<int64_t>(it->second.size_bytes +
+                                          it->second.view_size_bytes),
                      std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
-    shard.inflight.erase(key);
+    shard.inflight.erase(*key.bytes);
   }
   flight->result = result;
   flight->done.set_value();
@@ -222,10 +360,13 @@ Status PreparedStore::UpdateData(std::string_view problem,
                                  std::string_view new_data,
                                  const PatchFn& patch, CostMeter* meter,
                                  const EntryOptions& entry_options) {
-  const std::string old_key = MakeKey(problem, witness, old_data);
-  const std::string new_key = MakeKey(problem, witness, new_data);
-  const uint64_t old_digest = Fnv1a64(old_key);
-  const uint64_t new_digest = Fnv1a64(new_key);
+  // Two O(|D|) key materializations (old + new): deltas are rare next to
+  // answers, so the update path stays string-keyed.
+  stats_.key_builds.fetch_add(2, std::memory_order_relaxed);
+  const Key old_key = InternKey(problem, witness, old_data);
+  const Key new_key = InternKey(problem, witness, new_data);
+  const uint64_t old_digest = old_key.digest;
+  const uint64_t new_digest = new_key.digest;
   const size_t old_index = static_cast<size_t>(old_digest) % shards_.size();
   const size_t new_index = static_cast<size_t>(new_digest) % shards_.size();
 
@@ -237,7 +378,7 @@ Status PreparedStore::UpdateData(std::string_view problem,
   {
     Shard& old_shard = shards_[old_index];
     std::lock_guard<std::mutex> lock(old_shard.mutex);
-    if (old_shard.inflight.find(old_key) != old_shard.inflight.end()) {
+    if (old_shard.inflight.find(*old_key.bytes) != old_shard.inflight.end()) {
       // A miss storm is rendezvousing on Π(old_data) right now. Patching
       // would re-key the about-to-be-published entry out from under the
       // waiters on the shared_future, so the delta degrades to
@@ -246,7 +387,8 @@ Status PreparedStore::UpdateData(std::string_view problem,
       return Status::Unavailable("Π(old data) in flight; not re-keying");
     }
     auto it = old_shard.entries.find(old_digest);
-    if (it == old_shard.entries.end() || it->second.key != old_key) {
+    if (it == old_shard.entries.end() ||
+        !EntryMatches(it->second, old_key)) {
       stats_.patch_fallbacks.fetch_add(1, std::memory_order_relaxed);
       return Status::NotFound("no resident Π for the pre-delta data part");
     }
@@ -263,8 +405,12 @@ Status PreparedStore::UpdateData(std::string_view problem,
     return status;  // entry untouched; new data recomputes on miss
   }
   Entry entry;
-  entry.key = new_key;
+  entry.key = new_key.bytes;
   entry.prepared = std::make_shared<const std::string>(std::move(patched));
+  // The pre-patch decoded view must never survive a re-key: rebuild it
+  // from the patched payload here (still outside every lock); a failed
+  // build leaves a null view and the entry serves the string path.
+  AttachView(entry_options, &entry, meter);
   entry.spillable = entry_options.spillable;
   entry.size_bytes = entry_options.size_of
                          ? entry_options.size_of(*entry.prepared)
@@ -287,8 +433,9 @@ Status PreparedStore::UpdateData(std::string_view problem,
     Shard& new_shard = shards_[new_index];
 
     auto it = old_shard.entries.find(old_digest);
-    if (old_shard.inflight.find(old_key) != old_shard.inflight.end() ||
-        it == old_shard.entries.end() || it->second.key != old_key ||
+    if (old_shard.inflight.find(*old_key.bytes) != old_shard.inflight.end() ||
+        it == old_shard.entries.end() ||
+        !EntryMatches(it->second, old_key) ||
         it->second.prepared != snapshot) {
       // The slot moved while the patch ran unlocked (evicted, replaced by
       // a fresh Π or Load, re-keyed by a concurrent delta, or a new miss
@@ -303,7 +450,8 @@ Status PreparedStore::UpdateData(std::string_view problem,
 
     // Retire the pre-delta slot...
     old_shard.lru.erase(it->second.lru_it);
-    bytes_.fetch_sub(static_cast<int64_t>(it->second.size_bytes),
+    bytes_.fetch_sub(static_cast<int64_t>(it->second.size_bytes +
+                                          it->second.view_size_bytes),
                      std::memory_order_relaxed);
     count_.fetch_sub(1, std::memory_order_relaxed);
     old_shard.entries.erase(it);
@@ -312,7 +460,8 @@ Status PreparedStore::UpdateData(std::string_view problem,
     // (replacing a digest collision or a concurrently-loaded duplicate).
     auto dest = new_shard.entries.find(new_digest);
     if (dest != new_shard.entries.end()) {
-      bytes_.fetch_sub(static_cast<int64_t>(dest->second.size_bytes),
+      bytes_.fetch_sub(static_cast<int64_t>(dest->second.size_bytes +
+                                            dest->second.view_size_bytes),
                        std::memory_order_relaxed);
       count_.fetch_sub(1, std::memory_order_relaxed);
       entry.lru_it = dest->second.lru_it;  // reuse the list node
@@ -324,13 +473,14 @@ Status PreparedStore::UpdateData(std::string_view problem,
       dest->second.lru_it = new_shard.lru.insert(new_shard.lru.end(),
                                                  new_digest);
     }
-    bytes_.fetch_add(static_cast<int64_t>(dest->second.size_bytes),
+    bytes_.fetch_add(static_cast<int64_t>(dest->second.size_bytes +
+                                          dest->second.view_size_bytes),
                      std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     stats_.patches.fetch_add(1, std::memory_order_relaxed);
   }
 
-  RespillPatched(old_digest, new_digest, new_key, respill_payload,
+  RespillPatched(old_digest, new_digest, *new_key.bytes, respill_payload,
                  respill_size, entry_options.spillable);
   EvictUntilWithinBudget();
   return Status::OK();
@@ -355,7 +505,7 @@ void PreparedStore::RespillPatched(
       const Shard& shard = ShardFor(new_digest);
       std::lock_guard<std::mutex> shard_lock(shard.mutex);
       auto it = shard.entries.find(new_digest);
-      still_current = it != shard.entries.end() && it->second.key == key &&
+      still_current = it != shard.entries.end() && *it->second.key == key &&
                       it->second.prepared == prepared;
     }
     // Only the payload that is still resident gets a file; if a later
@@ -382,7 +532,7 @@ bool PreparedStore::Contains(std::string_view problem, std::string_view witness,
   const Shard& shard = ShardFor(digest);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.entries.find(digest);
-  return it != shard.entries.end() && it->second.key == key;
+  return it != shard.entries.end() && *it->second.key == key;
 }
 
 bool PreparedStore::OverBudget() const {
@@ -432,7 +582,8 @@ void PreparedStore::EvictUntilWithinBudget() {
       continue;  // touched or already evicted since the peek
     }
     shard.lru.erase(it->second.lru_it);
-    bytes_.fetch_sub(static_cast<int64_t>(it->second.size_bytes),
+    bytes_.fetch_sub(static_cast<int64_t>(it->second.size_bytes +
+                                          it->second.view_size_bytes),
                      std::memory_order_relaxed);
     count_.fetch_sub(1, std::memory_order_relaxed);
     shard.entries.erase(it);
@@ -458,7 +609,7 @@ Status PreparedStore::Spill(const std::string& dir) const {
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (const auto& [digest, entry] : shard.entries) {
       if (!entry.spillable) continue;
-      snapshots.push_back({digest, entry.key, entry.prepared,
+      snapshots.push_back({digest, *entry.key, entry.prepared,
                            entry.size_bytes});
     }
   }
@@ -526,20 +677,25 @@ Result<size_t> PreparedStore::Load(const std::string& dir) {
     if (!size_bytes.ok() || !reader.exhausted()) continue;
 
     Entry entry;
-    entry.key = std::move(key).value();
+    entry.key =
+        std::make_shared<const std::string>(std::move(key).value());
     entry.prepared =
         std::make_shared<const std::string>(std::move(prepared).value());
+    // Spill files carry only the payload: the decoded view is rebuilt
+    // lazily on this entry's first warm hit.
     entry.size_bytes = static_cast<size_t>(*size_bytes);
     entry.spillable = true;
-    const uint64_t digest = Fnv1a64(entry.key);
+    const uint64_t digest = Fnv1a64(*entry.key);
     Shard& shard = ShardFor(digest);
     {
       std::lock_guard<std::mutex> lock(shard.mutex);
       entry.last_used = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
       auto existing = shard.entries.find(digest);
       if (existing != shard.entries.end()) {
-        bytes_.fetch_sub(static_cast<int64_t>(existing->second.size_bytes),
-                         std::memory_order_relaxed);
+        bytes_.fetch_sub(
+            static_cast<int64_t>(existing->second.size_bytes +
+                                 existing->second.view_size_bytes),
+            std::memory_order_relaxed);
         count_.fetch_sub(1, std::memory_order_relaxed);
         entry.lru_it = existing->second.lru_it;  // reuse the list node
         existing->second = std::move(entry);
@@ -549,6 +705,7 @@ Result<size_t> PreparedStore::Load(const std::string& dir) {
         existing = shard.entries.emplace(digest, std::move(entry)).first;
         existing->second.lru_it = shard.lru.insert(shard.lru.end(), digest);
       }
+      // Freshly loaded entries carry no view yet (view_size_bytes == 0).
       bytes_.fetch_add(static_cast<int64_t>(existing->second.size_bytes),
                        std::memory_order_relaxed);
       count_.fetch_add(1, std::memory_order_relaxed);
@@ -577,6 +734,8 @@ PreparedStore::Stats PreparedStore::stats() const {
   stats.patches = stats_.patches.load(std::memory_order_relaxed);
   stats.patch_fallbacks =
       stats_.patch_fallbacks.load(std::memory_order_relaxed);
+  stats.key_builds = stats_.key_builds.load(std::memory_order_relaxed);
+  stats.view_builds = stats_.view_builds.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -594,8 +753,9 @@ void PreparedStore::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (const auto& [digest, entry] : shard.entries) {
-      bytes_.fetch_sub(static_cast<int64_t>(entry.size_bytes),
-                       std::memory_order_relaxed);
+      bytes_.fetch_sub(
+          static_cast<int64_t>(entry.size_bytes + entry.view_size_bytes),
+          std::memory_order_relaxed);
       count_.fetch_sub(1, std::memory_order_relaxed);
     }
     shard.entries.clear();
@@ -612,6 +772,8 @@ void PreparedStore::ResetStats() {
   stats_.loaded.store(0, std::memory_order_relaxed);
   stats_.patches.store(0, std::memory_order_relaxed);
   stats_.patch_fallbacks.store(0, std::memory_order_relaxed);
+  stats_.key_builds.store(0, std::memory_order_relaxed);
+  stats_.view_builds.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace engine

@@ -19,7 +19,14 @@
 namespace pitract {
 namespace engine {
 
-/// 64-bit FNV-1a digest used for content addressing.
+/// 64-bit FNV-1a-style digest used for content addressing. Processes the
+/// input 8 bytes per iteration (word-at-a-time fold with an extra shift
+/// mix, byte-at-a-time only for the tail), so hashing a data part costs
+/// |D|/8 multiplies instead of |D|. Digests are only ever compared against
+/// digests produced by this same function (in memory or recomputed from a
+/// spill file's stored key), so the deviation from canonical FNV-1a is
+/// unobservable; a collision still degrades to a miss via the full-key
+/// guard, never to a wrong structure.
 uint64_t Fnv1a64(std::string_view bytes);
 
 /// Content-addressed cache of preprocessed structures: a digest of
@@ -76,6 +83,14 @@ class PreparedStore {
     /// in-flight Π on the old key, or a failed patch fn) and left the new
     /// data part to recompute-on-miss.
     int64_t patch_fallbacks = 0;
+    /// O(|D|) full-key materializations (copy + hash of the data part) on
+    /// the admission paths. The string-keyed GetOrCompute/UpdateData
+    /// overloads pay one per call; the precomputed-Key overloads pay zero
+    /// — the counter a warm digest-handle batch must leave untouched.
+    int64_t key_builds = 0;
+    /// Decoded Π-views built (once per entry under the in-flight-dedup
+    /// discipline; again after a Load or a Δ-patch re-key).
+    int64_t view_builds = 0;
   };
 
   /// Legacy convenience: an entry-capped store with default sharding.
@@ -87,6 +102,13 @@ class PreparedStore {
   /// Size-estimate hook for byte-budgeted eviction: maps a prepared Π(D)
   /// payload to its resident byte estimate.
   using SizeFn = std::function<size_t(const std::string&)>;
+  /// Decoded-view hook: Σ*-payload -> typed in-memory structure (a
+  /// PiWitness::deserialize, type-erased). The payload arrives as the
+  /// entry's shared_ptr so a hook may return an aliasing view copy-free.
+  /// A failing build is not an error: the entry is marked and serves the
+  /// string path (the failure is not retried on later hits).
+  using ViewFn = std::function<Result<std::shared_ptr<const void>>(
+      const std::shared_ptr<const std::string>& prepared, CostMeter*)>;
 
   /// Fixed per-entry overhead the default size estimate adds on top of
   /// key+payload bytes (map node, shared_ptr control block, bookkeeping).
@@ -97,6 +119,28 @@ class PreparedStore {
   struct EntryOptions {
     SizeFn size_of;            // unset: payload + key + kEntryOverheadBytes
     bool spillable = true;     // false: Spill skips, recompute after restart
+    ViewFn make_view;          // unset: no decoded view is memoized
+  };
+
+  /// A content-addressed store key, materialized once and reusable across
+  /// any number of batches: the full (problem, witness, data) key bytes
+  /// plus their digest. Entries inserted through a Key share its bytes, so
+  /// a warm hit re-validates by pointer equality — zero O(|D|) copies,
+  /// hashes or compares per batch (the engine's DataHandle wraps this).
+  struct Key {
+    std::shared_ptr<const std::string> bytes;
+    uint64_t digest = 0;
+  };
+  /// Builds a Key: the one place the O(|D|) copy + hash is paid.
+  static Key InternKey(std::string_view problem, std::string_view witness,
+                       std::string_view data);
+
+  /// One warm answer-path snapshot: the raw Σ* payload plus (when the
+  /// entry carries a ViewFn and the build succeeded) its memoized decoded
+  /// view. `view` aliases the entry until eviction; holders keep it alive.
+  struct PreparedView {
+    std::shared_ptr<const std::string> prepared;
+    std::shared_ptr<const void> view;  // null: answer via the string path
   };
 
   /// Returns the cached Π(D) for (problem, witness, data), or runs
@@ -111,6 +155,26 @@ class PreparedStore {
       std::string_view problem, std::string_view witness,
       std::string_view data, const ComputeFn& compute, CostMeter* meter,
       bool* hit, const EntryOptions& entry_options);
+
+  /// GetOrCompute plus the decoded Π-view layer. The view is built at most
+  /// once per entry under the in-flight-dedup discipline (the miss winner
+  /// builds it before publishing, so a whole miss storm shares one build),
+  /// rebuilt lazily on the first hit after a Load (spill files carry only
+  /// the payload), rebuilt from the patched payload on an UpdateData
+  /// re-key, and dropped with the entry on eviction. String-keyed flavor
+  /// pays the O(|D|) key build (counted in Stats::key_builds)...
+  Result<PreparedView> GetOrComputeView(std::string_view problem,
+                                        std::string_view witness,
+                                        std::string_view data,
+                                        const ComputeFn& compute,
+                                        CostMeter* meter, bool* hit,
+                                        const EntryOptions& entry_options);
+  /// ...while the precomputed-Key flavor pays none: warm batches through a
+  /// Key are O(1) in |D| end to end.
+  Result<PreparedView> GetOrComputeView(const Key& key,
+                                        const ComputeFn& compute,
+                                        CostMeter* meter, bool* hit,
+                                        const EntryOptions& entry_options);
 
   /// True iff an entry for (problem, witness, data) is resident.
   bool Contains(std::string_view problem, std::string_view witness,
@@ -152,7 +216,8 @@ class PreparedStore {
 
   Stats stats() const;
   size_t size() const;
-  /// Summed size estimates of resident entries.
+  /// Summed size estimates of resident entries, decoded views included
+  /// (a resident view charges ≈ its payload's bytes against the budget).
   size_t bytes_resident() const;
   const Options& options() const { return options_; }
   size_t max_entries() const { return options_.max_entries; }
@@ -163,10 +228,25 @@ class PreparedStore {
 
  private:
   struct Entry {
-    std::string key;  // full (problem, witness, data) key, collision guard
+    /// Full (problem, witness, data) key — the digest-collision guard.
+    /// Shared so entries admitted through a Key alias its bytes and warm
+    /// re-validation short-circuits on pointer equality.
+    std::shared_ptr<const std::string> key;
     std::shared_ptr<const std::string> prepared;
+    /// Memoized decoded view of `prepared` (null: not built — no ViewFn,
+    /// build failed, or freshly Loaded). Evicted with the entry.
+    std::shared_ptr<const void> view;
     uint64_t last_used = 0;
     size_t size_bytes = 0;
+    /// Byte estimate charged for `view` against the eviction budget
+    /// (≈ payload bytes when a view is resident — a typed decode of the
+    /// payload is the same order of magnitude; aliasing views over-count
+    /// conservatively). Kept separate from size_bytes so spill files and
+    /// view-less reloads stay payload-accurate.
+    size_t view_size_bytes = 0;
+    /// Negative cache: the ViewFn failed on this payload, so warm hits
+    /// skip the O(|Π(D)|) rebuild attempt instead of failing it per hit.
+    bool view_build_failed = false;
     bool spillable = true;
     /// Position in the owning shard's LRU list (front = least recent), so
     /// touch/evict are O(1) instead of scans.
@@ -179,8 +259,7 @@ class PreparedStore {
   struct Inflight {
     std::promise<void> done;
     std::shared_future<void> ready;
-    Result<std::shared_ptr<const std::string>> result =
-        Status::Internal("Π still in flight");
+    Result<PreparedView> result = Status::Internal("Π still in flight");
   };
 
   struct Shard {
@@ -194,6 +273,11 @@ class PreparedStore {
 
   static std::string MakeKey(std::string_view problem, std::string_view witness,
                              std::string_view data);
+  /// Collision-guard check: pointer equality first (the warm handle path),
+  /// byte equality as the fallback for keys built independently.
+  static bool EntryMatches(const Entry& entry, const Key& key) {
+    return entry.key == key.bytes || *entry.key == *key.bytes;
+  }
   Shard& ShardFor(uint64_t digest) {
     return shards_[digest % shards_.size()];
   }
@@ -201,6 +285,21 @@ class PreparedStore {
     return shards_[digest % shards_.size()];
   }
   size_t DefaultSizeBytes(const Entry& entry) const;
+  /// Runs `make_view` (if any) over `prepared`, translating failures and
+  /// unwinds into a null view (string-path fallback, never an error).
+  std::shared_ptr<const void> BuildView(
+      const EntryOptions& entry_options,
+      const std::shared_ptr<const std::string>& prepared, CostMeter* meter);
+  /// Fills entry.view / view_build_failed / view_size_bytes from one
+  /// BuildView run (miss publish and Δ-patch re-key share this).
+  void AttachView(const EntryOptions& entry_options, Entry* entry,
+                  CostMeter* meter);
+  /// Hit-path view repair (post-Load entries have no view yet): decodes
+  /// outside every lock, then publishes into the entry iff it still serves
+  /// the same payload and nobody else won the publish race.
+  Result<PreparedView> RebuildViewLazily(
+      const Key& key, const std::shared_ptr<const std::string>& prepared,
+      const EntryOptions& entry_options, CostMeter* meter);
   /// Evicts globally-LRU entries until both budgets hold.
   void EvictUntilWithinBudget();
   bool OverBudget() const;
@@ -234,6 +333,8 @@ class PreparedStore {
     std::atomic<int64_t> loaded{0};
     std::atomic<int64_t> patches{0};
     std::atomic<int64_t> patch_fallbacks{0};
+    std::atomic<int64_t> key_builds{0};
+    std::atomic<int64_t> view_builds{0};
   };
   mutable AtomicStats stats_;
 };

@@ -35,7 +35,10 @@ ServeReport ServeParallel(QueryEngine* engine,
       if (index >= total) return;
       const ServeWorkItem& item =
           workload[static_cast<size_t>(index) % workload.size()];
-      auto batch = engine->AnswerBatch(item.problem, item.data, item.queries);
+      auto batch =
+          item.handle != nullptr
+              ? engine->AnswerBatch(*item.handle, item.queries)
+              : engine->AnswerBatch(item.problem, item.data, item.queries);
       if (!batch.ok()) {
         if (errors.fetch_add(1, std::memory_order_relaxed) == 0) {
           std::lock_guard<std::mutex> lock(error_mutex);

@@ -18,6 +18,10 @@ struct ServeWorkItem {
   std::string problem;
   std::string data;
   std::vector<std::string> queries;
+  /// Pre-admitted form (see QueryEngine::Intern): when set, workers answer
+  /// through `AnswerBatch(*handle, queries)` — zero O(|D|) key work per
+  /// batch — and `problem`/`data` above are ignored.
+  std::shared_ptr<const DataHandle> handle;
 };
 
 struct ServeOptions {

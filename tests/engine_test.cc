@@ -6,12 +6,15 @@
 
 #include <algorithm>
 
+#include "circuit/generators.h"
+#include "common/codec.h"
 #include "common/rng.h"
 #include "core/problems.h"
 #include "engine/builtins.h"
 #include "engine/crosscheck.h"
 #include "engine/engine.h"
 #include "engine/prepared_store.h"
+#include "graph/generators.h"
 
 namespace pitract {
 namespace engine {
@@ -380,6 +383,199 @@ TEST(EngineCrossCheckTest, SinglePathEntriesAreRejected) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(CrossCheck(engine.get(), "no-such", 64, 1).status().code(),
             StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Digest handles: Intern once, then zero O(|D|) key work per warm batch.
+// ---------------------------------------------------------------------------
+
+TEST(EngineHandleTest, WarmHandleBatchesDoZeroKeyBuildsAndMatchStringPath) {
+  auto engine = MakeEngine();
+  Rng rng(77);
+  const int64_t universe = 512;
+  std::string data = core::MemberFactorization()
+                         .pi1(core::MakeMemberInstance(
+                             universe, RandomList(&rng, universe, 256), 0))
+                         .value();
+  std::vector<std::string> queries;
+  for (int i = 0; i < 32; ++i) {
+    queries.push_back(std::to_string(rng.NextBelow(512)));
+  }
+
+  auto handle = engine->Intern("list-membership", data);
+  ASSERT_TRUE(handle.ok());
+  auto cold = engine->AnswerBatch(*handle, queries);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->prepare_runs, 1);
+
+  engine->store().ResetStats();
+  auto warm = engine->AnswerBatch(*handle, queries);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(warm->prepare_runs, 0);
+  // The acceptance counter: a warm handle batch never copies or hashes the
+  // O(|D|) store key.
+  EXPECT_EQ(engine->store().stats().key_builds, 0);
+
+  // Same answers as the string-keyed admission path...
+  auto via_string = engine->AnswerBatch("list-membership", data, queries);
+  ASSERT_TRUE(via_string.ok());
+  EXPECT_EQ(via_string->answers, warm->answers);
+  EXPECT_EQ(via_string->answers, cold->answers);
+  // ...which paid the per-batch key build the handle skipped.
+  EXPECT_EQ(engine->store().stats().key_builds, 1);
+}
+
+TEST(EngineHandleTest, InternValidatesTheProblem) {
+  auto engine = MakeEngine();
+  EXPECT_FALSE(engine->Intern("no-such-problem", "d").ok());
+  // Typed-only entries have no Σ* witness to key against.
+  EXPECT_FALSE(engine->Intern("range-minimum", "d").ok());
+  EXPECT_FALSE(
+      engine->AnswerBatch(DataHandle{}, std::vector<std::string>{"0"}).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Decoded Π-views: the view path must agree with the string path on every
+// view-enabled builtin (including rewritten and reduction-derived ones).
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<QueryEngine> MakeStringPathEngine() {
+  auto engine = std::make_unique<QueryEngine>();
+  BuiltinOptions options;
+  options.enable_views = false;
+  auto status = RegisterBuiltins(engine.get(), options);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return engine;
+}
+
+TEST(EngineViewTest, ViewAndStringPathsAgreeOnEveryViewEnabledBuiltin) {
+  auto view_engine = MakeEngine();
+  auto string_engine = MakeStringPathEngine();
+  Rng rng(4242);
+
+  struct Case {
+    std::string problem;
+    std::string data;
+    std::vector<std::string> queries;
+  };
+  std::vector<Case> cases;
+
+  // Sorted-column problems: list-membership, its λ-rewritten dialect, and
+  // the reduction-transported member-via-conn (Transport view propagation).
+  const int64_t universe = 256;
+  auto list = RandomList(&rng, universe, 128);
+  std::string member_data =
+      core::MemberFactorization()
+          .pi1(core::MakeMemberInstance(universe, list, 0))
+          .value();
+  Case member{"list-membership", member_data, {}};
+  Case via_conn{"member-via-conn", member_data, {}};
+  for (int i = 0; i < 24; ++i) {
+    std::string e = std::to_string(rng.NextBelow(256));
+    member.queries.push_back(e);
+    via_conn.queries.push_back(e);
+  }
+  Case selection{"predicate-selection",
+                 core::SelectionFactorization()
+                     .pi1(core::MakeSelectionInstance(universe, list, {0, 1}))
+                     .value(),
+                 {}};
+  for (int i = 0; i < 12; ++i) {
+    const int64_t a = static_cast<int64_t>(rng.NextBelow(256));
+    selection.queries.push_back(codec::EncodeInts({0, a}));       // = a
+    selection.queries.push_back(codec::EncodeInts({3, a, a + 9}));  // between
+  }
+  cases.push_back(std::move(member));
+  cases.push_back(std::move(via_conn));
+  cases.push_back(std::move(selection));
+
+  // Graph problems: connectivity, BDS order, directed reachability.
+  auto undirected = graph::ErdosRenyi(64, 96, /*directed=*/false, &rng);
+  auto directed = graph::ErdosRenyi(64, 128, /*directed=*/true, &rng);
+  Case conn{"connectivity",
+            core::ConnFactorization()
+                .pi1(core::MakeConnInstance(undirected, 0, 0))
+                .value(),
+            {}};
+  Case bds{"breadth-depth-search",
+           core::BdsFactorization()
+               .pi1(core::MakeBdsInstance(undirected, 0, 0))
+               .value(),
+           {}};
+  Case reach{"graph-reachability",
+             core::ReachFactorization()
+                 .pi1(core::MakeReachInstance(directed, 0, 0))
+                 .value(),
+             {}};
+  for (int i = 0; i < 24; ++i) {
+    std::string q = std::to_string(rng.NextBelow(64)) + "#" +
+                    std::to_string(rng.NextBelow(64));
+    conn.queries.push_back(q);
+    bds.queries.push_back(q);
+    reach.queries.push_back(q);
+  }
+  cases.push_back(std::move(conn));
+  cases.push_back(std::move(bds));
+  cases.push_back(std::move(reach));
+
+  // Circuit problems: the GVP bitmap and the kept-circuit evaluator.
+  {
+    Rng crng(9);
+    circuit::CircuitGenOptions copts;
+    copts.num_inputs = 6;
+    copts.num_gates = 24;
+    auto instance = circuit::RandomCvpInstance(copts, &crng);
+    Case gvp{"cvp-refactorized",
+             core::GvpFactorization()
+                 .pi1(core::MakeGvpInstance(instance, 0))
+                 .value(),
+             {}};
+    for (circuit::GateId g = 0; g < instance.circuit.num_gates(); ++g) {
+      gvp.queries.push_back(std::to_string(g));
+    }
+    Case nand_eval{"cvp-nand-eval",
+                   core::CvpCircuitDataFactorization()
+                       .pi1(core::MakeCvpInstanceString(instance))
+                       .value(),
+                   {}};
+    for (int i = 0; i < 8; ++i) {
+      std::string bits;
+      for (int b = 0; b < instance.circuit.num_inputs(); ++b) {
+        bits.push_back(crng.NextBool() ? '1' : '0');
+      }
+      nand_eval.queries.push_back(std::move(bits));
+    }
+    cases.push_back(std::move(gvp));
+    cases.push_back(std::move(nand_eval));
+  }
+
+  for (const Case& c : cases) {
+    auto entry = view_engine->Find(c.problem);
+    ASSERT_TRUE(entry.ok()) << c.problem;
+    EXPECT_TRUE((*entry)->witness.has_view())
+        << c.problem << " lost its decoded-view hooks";
+    auto stripped = string_engine->Find(c.problem);
+    ASSERT_TRUE(stripped.ok()) << c.problem;
+    EXPECT_FALSE((*stripped)->witness.has_view()) << c.problem;
+
+    auto cold = view_engine->AnswerBatch(c.problem, c.data, c.queries);
+    ASSERT_TRUE(cold.ok()) << c.problem << ": " << cold.status().ToString();
+    auto warm = view_engine->AnswerBatch(c.problem, c.data, c.queries);
+    ASSERT_TRUE(warm.ok()) << c.problem;
+    EXPECT_TRUE(warm->cache_hit) << c.problem;
+    auto baseline = string_engine->AnswerBatch(c.problem, c.data, c.queries);
+    ASSERT_TRUE(baseline.ok()) << c.problem;
+    EXPECT_EQ(cold->answers, baseline->answers) << c.problem;
+    EXPECT_EQ(warm->answers, baseline->answers) << c.problem;
+    // Conceptual probe charges stay identical across the two paths: the
+    // view changes wall-clock, never the cost model.
+    EXPECT_EQ(warm->answer_cost.work, baseline->answer_cost.work)
+        << c.problem;
+  }
+  // Views were actually built (one per distinct (problem, witness, data)).
+  EXPECT_GT(view_engine->store().stats().view_builds, 0);
+  EXPECT_EQ(string_engine->store().stats().view_builds, 0);
 }
 
 TEST(EngineTypedTest, TypedBatchMatchesManualCaseDrive) {

@@ -306,6 +306,74 @@ TEST(IncrementalCostTest, PatchWorkIsDeltaBoundedNeverLinearInData) {
 }
 
 // ---------------------------------------------------------------------------
+// Decoded views under Δ-patches: a re-keyed entry must answer through a
+// view of the *post-patch* payload — a stale pre-patch view would return
+// the pre-delta answer while claiming a warm hit.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalViewTest, PatchedMemberEntryNeverServesThePrePatchView) {
+  auto engine = MakeEngine();
+  const int64_t universe = 256;
+  std::string data = MemberData(universe, {1, 5, 9});
+  std::vector<std::string> queries{"123"};  // absent pre-delta
+
+  auto cold = engine->AnswerBatch("list-membership", data, queries);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->answers[0]);
+  EXPECT_EQ(engine->store().stats().view_builds, 1);
+
+  DeltaBatch delta;
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kListInsert;
+  op.a = 123;
+  delta.ops.push_back(op);
+  auto outcome = engine->ApplyDelta("list-membership", data, delta);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->patched);
+  // The re-key rebuilt the view from the patched payload.
+  EXPECT_EQ(engine->store().stats().view_builds, 2);
+
+  auto warm = engine->AnswerBatch("list-membership", outcome->new_data,
+                                  queries);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);      // served from the patched entry...
+  EXPECT_EQ(warm->prepare_runs, 0);  // ...with no Π recompute...
+  EXPECT_TRUE(warm->answers[0]);     // ...through the post-patch view.
+  EXPECT_EQ(engine->store().stats().view_builds, 2);  // memoized, not rebuilt
+}
+
+TEST(IncrementalViewTest, PatchedReachEntryServesThePostPatchClosureView) {
+  auto engine = MakeEngine();
+  auto g = graph::Graph::FromEdges(3, {{0, 1}}, /*directed=*/true);
+  ASSERT_TRUE(g.ok());
+  std::string data = core::ReachFactorization()
+                         .pi1(core::MakeReachInstance(*g, 0, 0))
+                         .value();
+  std::vector<std::string> queries{codec::EncodeFields({"0", "2"})};
+
+  auto cold = engine->AnswerBatch("graph-reachability", data, queries);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_FALSE(cold->answers[0]);  // 0 ⇝ 2 does not hold yet
+
+  DeltaBatch delta;
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kEdgeInsert;
+  op.a = 1;
+  op.b = 2;
+  delta.ops.push_back(op);
+  auto outcome = engine->ApplyDelta("graph-reachability", data, delta);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->patched);
+
+  auto warm = engine->AnswerBatch("graph-reachability", outcome->new_data,
+                                  queries);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(warm->prepare_runs, 0);
+  EXPECT_TRUE(warm->answers[0]);  // the closure view absorbed 1 -> 2
+}
+
+// ---------------------------------------------------------------------------
 // Concurrency: ServeParallel traffic racing ApplyDelta on the same entry
 // never observes a torn or stale-digest Π. Content addressing is the
 // invariant under test: a batch against data version v must answer v's
@@ -409,12 +477,20 @@ TEST(IncrementalConcurrencyTest, ServeTrafficRacingApplyDeltaStaysConsistent) {
   }
 
   // Bulk traffic through the multi-threaded serving driver, same store.
+  // Alternate admission paths: even versions go through pre-admitted
+  // digest handles (racing the Δ-patch re-keys through the pointer-equal
+  // fast path), odd versions through per-batch string keys.
   std::vector<ServeWorkItem> workload;
   for (int v = 0; v < kVersions; ++v) {
     ServeWorkItem item;
     item.problem = "list-membership";
     item.data = version_data[static_cast<size_t>(v)];
     item.queries = queries;
+    if (v % 2 == 0) {
+      auto handle = engine->Intern("list-membership", item.data);
+      ASSERT_TRUE(handle.ok());
+      item.handle = std::make_shared<const DataHandle>(std::move(*handle));
+    }
     workload.push_back(std::move(item));
   }
   ServeOptions serve_options;

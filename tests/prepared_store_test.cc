@@ -652,6 +652,387 @@ TEST(EngineServingTest, ServeParallelScalesAndDedupsPi) {
   EXPECT_GT(report.queries_per_second, 0.0);
 }
 
+// ---------------------------------------------------------------------------
+// Decoded Π-views: memoized next to the payload, built once per entry.
+// ---------------------------------------------------------------------------
+
+/// View = a counted string copy of the payload, so tests can both count
+/// builds and verify a view's content matches the payload it decodes.
+PreparedStore::ViewFn CountingViewFn(std::atomic<int>* builds,
+                                     int64_t charge = 0) {
+  return [builds, charge](const std::shared_ptr<const std::string>& prepared,
+                          CostMeter* meter)
+             -> Result<std::shared_ptr<const void>> {
+    builds->fetch_add(1);
+    if (meter != nullptr && charge > 0) meter->AddSerial(charge);
+    return std::shared_ptr<const void>(
+        std::make_shared<const std::string>(*prepared));
+  };
+}
+
+const std::string& ViewString(const PreparedStore::PreparedView& pv) {
+  return *static_cast<const std::string*>(pv.view.get());
+}
+
+TEST(PreparedStoreViewTest, ViewBuiltExactlyOnceUnderMissStorm) {
+  PreparedStore::Options options;
+  options.shards = 8;
+  PreparedStore store(options);
+  constexpr int kThreads = 8;
+  std::atomic<int> builds{0};
+  std::atomic<int> computes{0};
+  std::atomic<int> started{0};
+  PreparedStore::EntryOptions entry_options;
+  entry_options.make_view = CountingViewFn(&builds, /*charge=*/500);
+  auto compute = [&](CostMeter* meter) -> Result<std::string> {
+    ++computes;
+    while (started.load() < kThreads) std::this_thread::yield();
+    if (meter != nullptr) meter->AddSerial(1000);
+    return std::string("payload");
+  };
+
+  std::vector<std::thread> threads;
+  std::vector<PreparedStore::PreparedView> results(kThreads);
+  CostMeter meter;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      ++started;
+      auto result = store.GetOrComputeView("p", "w", "same-data", compute,
+                                           &meter, nullptr, entry_options);
+      ASSERT_TRUE(result.ok());
+      results[static_cast<size_t>(t)] = *result;
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(builds.load(), 1);  // one view build for the whole storm
+  EXPECT_EQ(store.stats().view_builds, 1);
+  for (const auto& pv : results) {
+    ASSERT_NE(pv.view, nullptr);
+    EXPECT_EQ(pv.view, results[0].view);  // everyone shares the one view
+    EXPECT_EQ(ViewString(pv), "payload");
+  }
+  // CostMeter-asserted: Π charged once, the view build charged once, every
+  // non-winner paid one probe op.
+  EXPECT_EQ(meter.work(), 1000 + 500 + (kThreads - 1));
+}
+
+TEST(PreparedStoreViewTest, WarmHitServesMemoizedViewWithoutRebuild) {
+  PreparedStore store;
+  std::atomic<int> builds{0};
+  PreparedStore::EntryOptions entry_options;
+  entry_options.make_view = CountingViewFn(&builds);
+  auto compute = [](CostMeter*) -> Result<std::string> {
+    return std::string("v1");
+  };
+  auto cold = store.GetOrComputeView("p", "w", "d", compute, nullptr, nullptr,
+                                     entry_options);
+  ASSERT_TRUE(cold.ok());
+  bool hit = false;
+  auto warm = store.GetOrComputeView("p", "w", "d", compute, nullptr, &hit,
+                                     entry_options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(warm->view, cold->view);
+}
+
+TEST(PreparedStoreViewTest, ViewRebuiltLazilyAfterLoad) {
+  const std::string dir = UniqueTempDir("view_load");
+  std::atomic<int> builds{0};
+  PreparedStore::EntryOptions entry_options;
+  entry_options.make_view = CountingViewFn(&builds);
+  auto compute = [](CostMeter*) -> Result<std::string> {
+    return std::string("persisted");
+  };
+  {
+    PreparedStore store;
+    ASSERT_TRUE(store
+                    .GetOrComputeView("p", "w", "d", compute, nullptr,
+                                      nullptr, entry_options)
+                    .ok());
+    ASSERT_TRUE(store.Spill(dir).ok());
+  }
+  PreparedStore restarted;
+  auto loaded = restarted.Load(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 1u);
+  EXPECT_EQ(restarted.stats().view_builds, 0);  // payload only, no view yet
+
+  bool hit = false;
+  auto fail_compute = [](CostMeter*) -> Result<std::string> {
+    return Status::Internal("Π must not run on a loaded entry");
+  };
+  auto warm = restarted.GetOrComputeView("p", "w", "d", fail_compute, nullptr,
+                                         &hit, entry_options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(hit);
+  ASSERT_NE(warm->view, nullptr);
+  EXPECT_EQ(ViewString(*warm), "persisted");
+  EXPECT_EQ(restarted.stats().view_builds, 1);  // rebuilt lazily, once
+  auto again = restarted.GetOrComputeView("p", "w", "d", fail_compute,
+                                          nullptr, &hit, entry_options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->view, warm->view);  // memoized thereafter
+  EXPECT_EQ(restarted.stats().view_builds, 1);
+  fs::remove_all(dir);
+}
+
+TEST(PreparedStoreViewTest, EvictionDropsViewAndMissRebuildsIt) {
+  PreparedStore::Options options;
+  options.max_entries = 1;
+  PreparedStore store(options);
+  std::atomic<int> builds{0};
+  PreparedStore::EntryOptions entry_options;
+  entry_options.make_view = CountingViewFn(&builds);
+  auto compute_a = [](CostMeter*) -> Result<std::string> {
+    return std::string("a");
+  };
+  auto compute_b = [](CostMeter*) -> Result<std::string> {
+    return std::string("b");
+  };
+  auto first = store.GetOrComputeView("p", "w", "a", compute_a, nullptr,
+                                      nullptr, entry_options);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(store
+                  .GetOrComputeView("p", "w", "b", compute_b, nullptr,
+                                    nullptr, entry_options)
+                  .ok());  // evicts "a" (and its view) past the entry cap
+  EXPECT_FALSE(store.Contains("p", "w", "a"));
+  bool hit = true;
+  auto recomputed = store.GetOrComputeView("p", "w", "a", compute_a, nullptr,
+                                           &hit, entry_options);
+  ASSERT_TRUE(recomputed.ok());
+  EXPECT_FALSE(hit);  // a real miss: Π and the view build both re-ran
+  EXPECT_EQ(builds.load(), 3);
+  ASSERT_NE(recomputed->view, nullptr);
+  EXPECT_NE(recomputed->view, first->view);
+}
+
+TEST(PreparedStoreViewTest, UpdateDataRebuildsViewFromPatchedPayload) {
+  PreparedStore store;
+  std::atomic<int> builds{0};
+  PreparedStore::EntryOptions entry_options;
+  entry_options.make_view = CountingViewFn(&builds);
+  auto cold = store.GetOrComputeView(
+      "p", "w", "old",
+      [](CostMeter*) -> Result<std::string> { return std::string("pi-old"); },
+      nullptr, nullptr, entry_options);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_EQ(ViewString(*cold), "pi-old");
+
+  Status patched = store.UpdateData(
+      "p", "w", "old", "new",
+      [](std::string* prepared, CostMeter*) -> Status {
+        *prepared = "pi-new";
+        return Status::OK();
+      },
+      nullptr, entry_options);
+  ASSERT_TRUE(patched.ok());
+  EXPECT_EQ(builds.load(), 2);  // the re-key built a fresh post-patch view
+
+  bool hit = false;
+  auto warm = store.GetOrComputeView(
+      "p", "w", "new",
+      [](CostMeter*) -> Result<std::string> {
+        return Status::Internal("patched entry must hit");
+      },
+      nullptr, &hit, entry_options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(hit);
+  ASSERT_NE(warm->view, nullptr);
+  // The stale pre-patch view is gone; the served view decodes Π(new data).
+  EXPECT_NE(warm->view, cold->view);
+  EXPECT_EQ(ViewString(*warm), "pi-new");
+  EXPECT_EQ(builds.load(), 2);  // ...and it was memoized, not rebuilt
+}
+
+TEST(PreparedStoreViewTest, FailedViewBuildDegradesToStringPathOnce) {
+  PreparedStore store;
+  std::atomic<int> attempts{0};
+  PreparedStore::EntryOptions entry_options;
+  entry_options.make_view =
+      [&attempts](const std::shared_ptr<const std::string>&, CostMeter*)
+      -> Result<std::shared_ptr<const void>> {
+    attempts.fetch_add(1);
+    return Status::Internal("decoder broken");
+  };
+  auto cold = store.GetOrComputeView(
+      "p", "w", "d",
+      [](CostMeter*) -> Result<std::string> { return std::string("ok"); },
+      nullptr, nullptr, entry_options);
+  ASSERT_TRUE(cold.ok());  // a broken view decoder is not an answer error
+  EXPECT_EQ(cold->view, nullptr);
+  ASSERT_NE(cold->prepared, nullptr);
+  EXPECT_EQ(*cold->prepared, "ok");
+  EXPECT_EQ(store.stats().view_builds, 0);
+  for (int i = 0; i < 3; ++i) {
+    bool hit = false;
+    auto warm = store.GetOrComputeView(
+        "p", "w", "d",
+        [](CostMeter*) -> Result<std::string> {
+          return Status::Internal("must hit");
+        },
+        nullptr, &hit, entry_options);
+    ASSERT_TRUE(warm.ok());
+    EXPECT_TRUE(hit);
+    EXPECT_EQ(warm->view, nullptr);  // still served, still string-path
+  }
+  // The failure is negative-cached on the entry: one attempt at miss
+  // time, zero O(|Π(D)|) retries across the warm hits.
+  EXPECT_EQ(attempts.load(), 1);
+}
+
+TEST(PreparedStoreViewTest, ResidentViewsCountAgainstTheByteBudget) {
+  PreparedStore with_views;
+  PreparedStore without_views;
+  std::atomic<int> builds{0};
+  PreparedStore::EntryOptions view_options;
+  view_options.make_view = CountingViewFn(&builds);
+  auto compute = [](CostMeter*) -> Result<std::string> {
+    return std::string(1000, 'x');
+  };
+  ASSERT_TRUE(with_views
+                  .GetOrComputeView("p", "w", "d", compute, nullptr, nullptr,
+                                    view_options)
+                  .ok());
+  ASSERT_TRUE(without_views
+                  .GetOrComputeView("p", "w", "d", compute, nullptr, nullptr,
+                                    PreparedStore::EntryOptions{})
+                  .ok());
+  // The decoded view charges ≈ payload bytes on top of the payload+key
+  // estimate, so byte-budgeted eviction sees the real residency.
+  EXPECT_EQ(with_views.bytes_resident(),
+            without_views.bytes_resident() + 1000);
+}
+
+TEST(PreparedStoreViewTest, ConcurrentLazyRebuildsAfterLoadStayConsistent) {
+  const std::string dir = UniqueTempDir("view_race");
+  std::atomic<int> builds{0};
+  PreparedStore::EntryOptions entry_options;
+  entry_options.make_view = CountingViewFn(&builds);
+  auto compute = [](CostMeter*) -> Result<std::string> {
+    return std::string("raced");
+  };
+  PreparedStore store;
+  ASSERT_TRUE(store
+                  .GetOrComputeView("p", "w", "d", compute, nullptr, nullptr,
+                                    entry_options)
+                  .ok());
+  ASSERT_TRUE(store.Spill(dir).ok());
+
+  // Loads wipe the memoized view; concurrent warm hitters race to rebuild
+  // it while more Loads keep resetting the entry. Everything must stay
+  // internally consistent (TSan-checked in CI).
+  constexpr int kThreads = 4;
+  constexpr int kIters = 25;
+  std::atomic<bool> stop{false};
+  std::thread loader([&] {
+    for (int i = 0; i < kIters; ++i) {
+      auto loaded = store.Load(dir);
+      ASSERT_TRUE(loaded.ok());
+    }
+    stop.store(true);
+  });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load()) {
+        auto pv = store.GetOrComputeView("p", "w", "d", compute, nullptr,
+                                         nullptr, entry_options);
+        ASSERT_TRUE(pv.ok());
+        ASSERT_NE(pv->prepared, nullptr);
+        EXPECT_EQ(*pv->prepared, "raced");
+        if (pv->view != nullptr) {
+          EXPECT_EQ(ViewString(*pv), "raced");
+        }
+      }
+    });
+  }
+  loader.join();
+  for (auto& t : readers) t.join();
+  EXPECT_GE(builds.load(), 1);
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------------
+// Precomputed keys: warm batches must not rebuild or rehash O(|D|) keys.
+// ---------------------------------------------------------------------------
+
+TEST(PreparedStoreKeyTest, PrecomputedKeySkipsKeyBuildsOnWarmHits) {
+  PreparedStore store;
+  auto key = PreparedStore::InternKey("p", "w", "some-large-data-part");
+  auto compute = [](CostMeter*) -> Result<std::string> {
+    return std::string("pi");
+  };
+  ASSERT_TRUE(store
+                  .GetOrComputeView(key, compute, nullptr, nullptr,
+                                    PreparedStore::EntryOptions{})
+                  .ok());
+  store.ResetStats();
+
+  for (int i = 0; i < 10; ++i) {
+    bool hit = false;
+    auto warm = store.GetOrComputeView(key, compute, nullptr, &hit,
+                                       PreparedStore::EntryOptions{});
+    ASSERT_TRUE(warm.ok());
+    EXPECT_TRUE(hit);
+  }
+  auto stats = store.stats();
+  EXPECT_EQ(stats.hits, 10);
+  EXPECT_EQ(stats.key_builds, 0);  // zero O(|D|) copies/hashes while warm
+
+  // The string-keyed flavor pays one key build per call, every call.
+  bool hit = false;
+  ASSERT_TRUE(store
+                  .GetOrCompute("p", "w", "some-large-data-part", compute,
+                                nullptr, &hit)
+                  .ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(store.stats().key_builds, 1);
+}
+
+TEST(PreparedStoreKeyTest, IndependentlyInternedKeysStillMatchEntries) {
+  PreparedStore store;
+  auto compute = [](CostMeter*) -> Result<std::string> {
+    return std::string("pi");
+  };
+  auto first = PreparedStore::InternKey("p", "w", "d");
+  auto second = PreparedStore::InternKey("p", "w", "d");  // distinct bytes ptr
+  ASSERT_TRUE(store
+                  .GetOrComputeView(first, compute, nullptr, nullptr,
+                                    PreparedStore::EntryOptions{})
+                  .ok());
+  bool hit = false;
+  auto warm = store.GetOrComputeView(second, compute, nullptr, &hit,
+                                     PreparedStore::EntryOptions{});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(hit);  // deep-compare fallback still matches
+}
+
+TEST(PreparedStoreKeyTest, WordAtATimeDigestIsStableAndDiscriminating) {
+  // Deterministic across calls.
+  EXPECT_EQ(Fnv1a64("abcdefghij"), Fnv1a64("abcdefghij"));
+  // Sensitive in every tail-length regime (0..8 trailing bytes after the
+  // word loop) and to position swaps inside one word.
+  std::vector<std::string> inputs;
+  std::string base = "0123456789abcdef";  // two full words
+  inputs.push_back("");
+  for (size_t len = 1; len <= base.size(); ++len) {
+    inputs.push_back(base.substr(0, len));
+  }
+  inputs.push_back("1023456789abcdef");  // swap inside the first word
+  inputs.push_back("0123456798abcdef");  // swap inside the second word
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    for (size_t j = i + 1; j < inputs.size(); ++j) {
+      EXPECT_NE(Fnv1a64(inputs[i]), Fnv1a64(inputs[j]))
+          << "collision between '" << inputs[i] << "' and '" << inputs[j]
+          << "'";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace engine
 }  // namespace pitract
