@@ -1,18 +1,32 @@
 // X3b — the serving layer under concurrent traffic.
 //
-// The paper's contract is "preprocess D once with Π, then answer a heavy
-// stream of queries fast". This harness measures that stream: a workload of
-// query batches over K distinct data parts is driven through
-// engine::ServeParallel at increasing thread counts, against the sharded,
-// in-flight-deduplicating PreparedStore. Expected shape: queries/sec grows
-// with threads (up to the hardware), while pi_runs stays pinned at K — Π
-// executes once per distinct data part no matter how many threads collide
-// on a cold store.
+// Two measurements, both driven through engine::ServeParallel:
 //
-// One JSON line per thread count is appended to BENCH_x3_concurrency.json
-// (or argv[1]) so throughput trajectories accumulate across runs.
+//  1. Cold-store scaling ("x3_concurrency" rows): a workload of query
+//     batches over K distinct data parts at increasing thread counts,
+//     starting from a cold store each time — the full serving profile,
+//     miss storm (and its in-flight dedup) included. pi_runs must stay
+//     pinned at K no matter how many threads collide.
+//
+//  2. Warm-hit contention ("x3_contention" rows): the store is warmed
+//     first, then N threads hammer pre-admitted DataHandles — either one
+//     hot handle ("hot") or a zipf mix over all K ("zipf"). Since PR 5 a
+//     warm hit takes zero locks and touches zero shared mutable cache
+//     lines (RCU snapshot probe + relaxed recency stamp + per-thread
+//     stats), so warm queries/sec should grow with threads on multi-core
+//     hardware; locked_hits is printed and must stay 0.
+//
+// One JSON line per (mode, threads[, distribution]) is appended to
+// BENCH_x3_concurrency.json (or argv[1]); every row records
+// hardware_concurrency so single-core container runs are distinguishable
+// from real multi-core runs.
+//
+// Usage: bench_x3_concurrency [json_path] [tiny] [thread counts...]
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -29,66 +43,69 @@ using pitract::Rng;
 namespace core = pitract::core;
 namespace engine = pitract::engine;
 
-constexpr int kDataParts = 16;
-constexpr int kListLength = 2048;
-constexpr int kQueriesPerBatch = 64;
-constexpr int kRepeat = 32;  // passes over the workload per measurement
+struct Config {
+  int data_parts = 16;
+  int list_length = 2048;
+  int queries_per_batch = 64;
+  int repeat = 32;            // cold-store passes per measurement
+  int contention_items = 256; // work items per warm-contention workload
+  int contention_repeat = 64; // passes over that workload
+  std::vector<int> thread_counts = {1, 2, 4, 8, 16};
+};
 
-std::vector<engine::ServeWorkItem> MakeWorkload() {
+std::string MakeMemberData(Rng* rng, int list_length) {
+  std::vector<int64_t> list;
+  for (int i = 0; i < list_length; ++i) {
+    list.push_back(static_cast<int64_t>(rng->NextBelow(2 * list_length)));
+  }
+  return core::MemberFactorization()
+      .pi1(core::MakeMemberInstance(2 * list_length, list, 0))
+      .value();
+}
+
+std::vector<std::string> MakeQueries(Rng* rng, int count, int universe) {
+  std::vector<std::string> queries;
+  for (int i = 0; i < count; ++i) {
+    queries.push_back(
+        std::to_string(rng->NextBelow(static_cast<uint64_t>(universe))));
+  }
+  return queries;
+}
+
+std::vector<engine::ServeWorkItem> MakeColdWorkload(const Config& config) {
   Rng rng(42);
   std::vector<engine::ServeWorkItem> workload;
-  for (int part = 0; part < kDataParts; ++part) {
+  for (int part = 0; part < config.data_parts; ++part) {
     engine::ServeWorkItem item;
     item.problem = "list-membership";
-    std::vector<int64_t> list;
-    for (int i = 0; i < kListLength; ++i) {
-      list.push_back(static_cast<int64_t>(rng.NextBelow(2 * kListLength)));
-    }
-    item.data = core::MemberFactorization()
-                    .pi1(core::MakeMemberInstance(2 * kListLength, list, 0))
-                    .value();
-    for (int i = 0; i < kQueriesPerBatch; ++i) {
-      item.queries.push_back(
-          std::to_string(rng.NextBelow(2 * kListLength)));
-    }
+    item.data = MakeMemberData(&rng, config.list_length);
+    item.queries =
+        MakeQueries(&rng, config.queries_per_batch, 2 * config.list_length);
     workload.push_back(std::move(item));
   }
   return workload;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int RunColdScaling(const Config& config, std::FILE* json, unsigned hw,
+                   size_t* json_lines) {
   std::printf(
-      "X3b | The engine as a concurrent serving layer: queries/sec vs\n"
-      "      threads over %d data parts x %d queries/batch (x%d passes).\n"
-      "      pi_runs must stay %d: the sharded store dedups in-flight Π.\n\n",
-      kDataParts, kQueriesPerBatch, kRepeat, kDataParts);
-
-  const char* json_path = argc > 1 ? argv[1] : "BENCH_x3_concurrency.json";
-  std::FILE* json = std::fopen(json_path, "a");
-  if (json == nullptr) {
-    std::fprintf(stderr, "warning: cannot open %s for append; JSON lines "
-                 "skipped\n", json_path);
-  }
-
-  const auto workload = MakeWorkload();
-  const unsigned hw = std::thread::hardware_concurrency();
-  std::printf("hardware_concurrency: %u\n\n", hw);
+      "[cold] queries/sec vs threads over %d data parts x %d queries/batch\n"
+      "       (x%d passes, fresh engine per row). pi_runs must stay %d:\n"
+      "       the store dedups in-flight Π.\n\n",
+      config.data_parts, config.queries_per_batch, config.repeat,
+      config.data_parts);
   std::printf("%8s %12s %12s %10s %12s %12s\n", "threads", "batches",
               "queries", "pi_runs", "seconds", "queries/s");
   std::printf(
       "----------------------------------------------------------------------"
       "\n");
 
-  size_t json_lines = 0;
-  for (int threads : {1, 2, 4, 8, 16}) {
+  const auto workload = MakeColdWorkload(config);
+  for (int threads : config.thread_counts) {
     // Fresh engine per thread count: every measurement starts from a cold
     // store, so it includes the miss storm (and its dedup) plus the warm
     // steady state — the full serving profile.
-    engine::PreparedStore::Options store_options;
-    store_options.shards = 16;
-    engine::QueryEngine eng(store_options);
+    engine::QueryEngine eng{engine::PreparedStore::Options{}};
     auto status = engine::RegisterBuiltins(&eng);
     if (!status.ok()) {
       std::fprintf(stderr, "RegisterBuiltins failed: %s\n",
@@ -97,7 +114,7 @@ int main(int argc, char** argv) {
     }
     engine::ServeOptions options;
     options.threads = threads;
-    options.repeat = kRepeat;
+    options.repeat = config.repeat;
     auto report = engine::ServeParallel(&eng, workload, options);
     if (report.errors != 0) {
       std::fprintf(stderr, "serving errors: %lld (first: %s)\n",
@@ -105,10 +122,10 @@ int main(int argc, char** argv) {
                    report.first_error.ToString().c_str());
       return 1;
     }
-    if (report.pi_runs != kDataParts) {
+    if (report.pi_runs != config.data_parts) {
       std::fprintf(stderr,
                    "FAIL: pi_runs=%lld, want %d (in-flight dedup broken?)\n",
-                   static_cast<long long>(report.pi_runs), kDataParts);
+                   static_cast<long long>(report.pi_runs), config.data_parts);
       return 1;
     }
     std::printf("%8d %12lld %12lld %10lld %12.4f %12.0f\n", threads,
@@ -124,7 +141,7 @@ int main(int argc, char** argv) {
                    "\"wall_ns\":%.0f,\"ns_per_query\":%.1f,"
                    "\"queries_per_second\":%.1f,"
                    "\"hardware_concurrency\":%u}\n",
-                   threads, kDataParts,
+                   threads, config.data_parts,
                    static_cast<long long>(report.batches),
                    static_cast<long long>(report.queries),
                    static_cast<long long>(report.pi_runs),
@@ -135,16 +152,190 @@ int main(int argc, char** argv) {
                              static_cast<double>(report.queries)
                        : 0.0,
                    report.queries_per_second, hw);
-      ++json_lines;
+      ++(*json_lines);
     }
   }
+  return 0;
+}
+
+int RunWarmContention(const Config& config, std::FILE* json, unsigned hw,
+                      size_t* json_lines) {
+  std::printf(
+      "\n[warm] hit-path contention: %d work items x%d passes over\n"
+      "       pre-admitted handles; \"hot\" hammers one handle, \"zipf\"\n"
+      "       a zipf(0.99) mix over %d. locked_hits must stay 0 — the\n"
+      "       lock-free-hit proof under maximal line sharing.\n\n",
+      config.contention_items, config.contention_repeat, config.data_parts);
+  std::printf("%8s %6s %12s %12s %12s %12s\n", "threads", "dist", "queries",
+              "seconds", "queries/s", "locked_hits");
+  std::printf(
+      "----------------------------------------------------------------------"
+      "\n");
+
+  // One engine for the whole section: Π runs once per data part during
+  // warm-up, then every measured pass is pure warm hits.
+  engine::QueryEngine eng{engine::PreparedStore::Options{}};
+  auto status = engine::RegisterBuiltins(&eng);
+  if (!status.ok()) {
+    std::fprintf(stderr, "RegisterBuiltins failed: %s\n",
+                 status.ToString().c_str());
+    return 1;
+  }
+
+  Rng rng(271828);
+  std::vector<std::shared_ptr<const engine::DataHandle>> handles;
+  for (int part = 0; part < config.data_parts; ++part) {
+    auto handle =
+        eng.Intern("list-membership", MakeMemberData(&rng, config.list_length));
+    if (!handle.ok()) {
+      std::fprintf(stderr, "Intern failed: %s\n",
+                   handle.status().ToString().c_str());
+      return 1;
+    }
+    handles.push_back(std::make_shared<const engine::DataHandle>(
+        std::move(handle).value()));
+  }
+  const auto queries =
+      MakeQueries(&rng, config.queries_per_batch, 2 * config.list_length);
+
+  for (const char* distribution : {"hot", "zipf"}) {
+    std::vector<engine::ServeWorkItem> workload;
+    for (int i = 0; i < config.contention_items; ++i) {
+      engine::ServeWorkItem item;
+      const size_t pick =
+          std::strcmp(distribution, "hot") == 0
+              ? 0
+              : static_cast<size_t>(
+                    rng.NextZipf(handles.size(), /*theta=*/0.99));
+      item.handle = handles[pick];
+      item.queries = queries;
+      workload.push_back(std::move(item));
+    }
+    // Warm every handle this workload touches (and the rest) once, so the
+    // measured passes never run Π or take the miss path.
+    engine::ServeOptions warmup;
+    warmup.threads = 1;
+    warmup.repeat = 1;
+    std::vector<engine::ServeWorkItem> all;
+    for (const auto& handle : handles) {
+      engine::ServeWorkItem item;
+      item.handle = handle;
+      item.queries = queries;
+      all.push_back(std::move(item));
+    }
+    auto warm = engine::ServeParallel(&eng, all, warmup);
+    if (warm.errors != 0) {
+      std::fprintf(stderr, "warm-up errors: %s\n",
+                   warm.first_error.ToString().c_str());
+      return 1;
+    }
+
+    for (int threads : config.thread_counts) {
+      eng.store().ResetStats();
+      engine::ServeOptions options;
+      options.threads = threads;
+      options.repeat = config.contention_repeat;
+      auto report = engine::ServeParallel(&eng, workload, options);
+      if (report.errors != 0) {
+        std::fprintf(stderr, "serving errors: %s\n",
+                     report.first_error.ToString().c_str());
+        return 1;
+      }
+      const auto stats = eng.store().stats();
+      if (report.pi_runs != 0 || stats.misses != 0) {
+        std::fprintf(stderr,
+                     "FAIL: warm run recomputed Π (pi_runs=%lld misses=%lld)\n",
+                     static_cast<long long>(report.pi_runs),
+                     static_cast<long long>(stats.misses));
+        return 1;
+      }
+      if (stats.locked_hits != 0) {
+        std::fprintf(stderr,
+                     "FAIL: locked_hits=%lld, want 0 (warm hits took the "
+                     "shard mutex — snapshot probe broken?)\n",
+                     static_cast<long long>(stats.locked_hits));
+        return 1;
+      }
+      std::printf("%8d %6s %12lld %12.4f %12.0f %12lld\n", threads,
+                  distribution, static_cast<long long>(report.queries),
+                  report.wall_seconds, report.queries_per_second,
+                  static_cast<long long>(stats.locked_hits));
+      if (json != nullptr) {
+        std::fprintf(json,
+                     "{\"bench\":\"x3_contention\",\"distribution\":\"%s\","
+                     "\"threads\":%d,\"data_parts\":%d,\"batches\":%lld,"
+                     "\"queries\":%lld,\"locked_hits\":%lld,"
+                     "\"key_builds\":%lld,\"seconds\":%.6f,\"wall_ns\":%.0f,"
+                     "\"ns_per_query\":%.1f,\"queries_per_second\":%.1f,"
+                     "\"hardware_concurrency\":%u}\n",
+                     distribution, threads, config.data_parts,
+                     static_cast<long long>(report.batches),
+                     static_cast<long long>(report.queries),
+                     static_cast<long long>(stats.locked_hits),
+                     static_cast<long long>(stats.key_builds),
+                     report.wall_seconds, report.wall_seconds * 1e9,
+                     report.queries > 0
+                         ? report.wall_seconds * 1e9 /
+                               static_cast<double>(report.queries)
+                         : 0.0,
+                     report.queries_per_second, hw);
+        ++(*json_lines);
+      }
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config config;
+  const char* json_path = "BENCH_x3_concurrency.json";
+  std::vector<int> requested_threads;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "tiny") == 0) {
+      // CI smoke: small enough for a single runner, same code paths.
+      config.data_parts = 4;
+      config.list_length = 256;
+      config.queries_per_batch = 16;
+      config.repeat = 4;
+      config.contention_items = 32;
+      config.contention_repeat = 8;
+      config.thread_counts = {1, 2};
+    } else if (argv[i][0] >= '0' && argv[i][0] <= '9') {
+      requested_threads.push_back(std::atoi(argv[i]));
+    } else {
+      json_path = argv[i];
+    }
+  }
+  if (!requested_threads.empty()) config.thread_counts = requested_threads;
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::printf(
+      "X3b | The engine as a concurrent serving layer.\n"
+      "hardware_concurrency: %u\n\n", hw);
+
+  std::FILE* json = std::fopen(json_path, "a");
+  if (json == nullptr) {
+    std::fprintf(stderr, "warning: cannot open %s for append; JSON lines "
+                 "skipped\n", json_path);
+  }
+
+  size_t json_lines = 0;
+  int rc = RunColdScaling(config, json, hw, &json_lines);
+  if (rc == 0) rc = RunWarmContention(config, json, hw, &json_lines);
   if (json != nullptr) {
     std::fclose(json);
-    std::printf("\n(appended %zu JSON lines to %s)\n", json_lines, json_path);
+    if (rc == 0) {
+      std::printf("\n(appended %zu JSON lines to %s)\n", json_lines,
+                  json_path);
+    }
   }
+  if (rc != 0) return rc;
   std::printf(
       "\nReading: Π executed exactly once per data part at every thread\n"
-      "count; past the miss storm the stream is pure NC answering, so\n"
+      "count, and warm hits never took a lock. Past the miss storm the\n"
+      "stream is pure NC answering over published snapshots, so\n"
       "throughput scales with threads until the hardware runs out.\n");
   return 0;
 }

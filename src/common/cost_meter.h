@@ -78,6 +78,18 @@ class CostMeter {
     bytes_written_.fetch_add(n, std::memory_order_relaxed);
   }
 
+  /// Folds another meter's counters into this one (all four, sequential
+  /// composition). The serving layer gives each worker thread its own
+  /// meter and merges them after the join, so per-query charging never
+  /// contends on one shared meter's cache lines.
+  void MergeFrom(const CostMeter& other) {
+    work_.fetch_add(other.work(), std::memory_order_relaxed);
+    depth_.fetch_add(other.depth(), std::memory_order_relaxed);
+    bytes_read_.fetch_add(other.bytes_read(), std::memory_order_relaxed);
+    bytes_written_.fetch_add(other.bytes_written(),
+                             std::memory_order_relaxed);
+  }
+
   Cost cost() const { return Cost(work(), depth()); }
   int64_t work() const { return work_.load(std::memory_order_relaxed); }
   int64_t depth() const { return depth_.load(std::memory_order_relaxed); }

@@ -118,13 +118,19 @@ Result<BatchResult> RunBatch(BatchPath* path);
 /// from any number of threads afterwards. `AnswerBatch`, `Answer`,
 /// `AnswerInstance` and `AnswerTypedBatch` are thread-safe; the registry
 /// is guarded by a reader/writer lock, the PreparedStore synchronizes
-/// internally (lock-striped shards plus in-flight Π deduplication), and
-/// the typed-case cache is guarded by its own mutex with instances held
-/// through shared_ptr so eviction never invalidates a running batch.
+/// internally (RCU-style published snapshots make the warm hit path
+/// lock-free; writers use lock-striped shards plus in-flight Π
+/// deduplication), and the typed-case cache is guarded by its own mutex
+/// with instances held through shared_ptr so eviction never invalidates a
+/// running batch. A warm `AnswerBatch(handle, ...)` therefore scales with
+/// cores: it acquires no mutex and writes no shared cache line
+/// (`PreparedStore::Stats::locked_hits` counts the exceptions).
 class QueryEngine {
  public:
   /// `store_capacity` bounds the PreparedStore (entry count) and
   /// `typed_capacity` the typed-case cache; 0 means unbounded for both.
+  /// The store's shard count is auto-sized from the core count (see
+  /// `PreparedStore::Options::shards`).
   explicit QueryEngine(size_t store_capacity = 0, size_t typed_capacity = 8);
   /// Full control over the serving-layer store (shard count, entry cap,
   /// byte budget).
@@ -195,8 +201,10 @@ class QueryEngine {
   /// is registered and Π(D) is resident, Δ-patches the PreparedStore entry
   /// in place (re-keying it to the post-delta digest) instead of paying a
   /// full Π recompute. Thread-safe against concurrent AnswerBatch /
-  /// ServeParallel traffic: in-flight Π runs on the old data part are
-  /// never re-keyed out from under their waiters, and readers that already
+  /// ServeParallel traffic: a Π in flight on the old data part is waited
+  /// out once and the patch retried against what it publishes
+  /// (`Stats::update_retries`) — an entry is never re-keyed out from
+  /// under waiters on the shared_future — and readers that already
   /// hold the pre-delta structure keep a consistent snapshot. When
   /// patching is not possible the call still succeeds with
   /// `DeltaOutcome::patched == false` and the post-delta data part simply

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 #include <utility>
 
 #include "common/serde.h"
@@ -62,6 +63,18 @@ Status WriteSpillFile(const std::string& dir, uint64_t digest,
   return Status::OK();
 }
 
+/// Options::shards == 0 means "size for the machine": the next power of
+/// two >= 2x the core count, so a fully loaded host rarely maps two hot
+/// data parts onto the same stripe.
+size_t ResolveShards(size_t requested) {
+  if (requested != 0) return requested;
+  const size_t cores =
+      std::max<size_t>(std::thread::hardware_concurrency(), 1);
+  size_t shards = 1;
+  while (shards < 2 * cores) shards <<= 1;
+  return shards;
+}
+
 }  // namespace
 
 uint64_t Fnv1a64(std::string_view bytes) {
@@ -88,10 +101,68 @@ uint64_t Fnv1a64(std::string_view bytes) {
   return hash;
 }
 
+PreparedStore::SnapshotCell::~SnapshotCell() {
+  TableRef::Release(Box(val_.load(std::memory_order_relaxed)));
+}
+
+void PreparedStore::SnapshotCell::Init(Table table) {
+  val_.store(reinterpret_cast<uintptr_t>(new TableBox(std::move(table))),
+             std::memory_order_relaxed);
+}
+
+uintptr_t PreparedStore::SnapshotCell::Lock(std::memory_order order) const {
+  uintptr_t current = val_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (current & kLockBit) {
+      // Another reader/writer is inside its three-instruction window.
+      std::this_thread::yield();
+      current = val_.load(std::memory_order_relaxed);
+      continue;
+    }
+    if (val_.compare_exchange_weak(current, current | kLockBit, order,
+                                   std::memory_order_relaxed)) {
+      return current;
+    }
+  }
+}
+
+PreparedStore::TableRef PreparedStore::SnapshotCell::Acquire() const {
+  const uintptr_t raw = Lock(std::memory_order_acquire);
+  const TableBox* box = Box(raw);
+  box->refs.fetch_add(1, std::memory_order_relaxed);
+  val_.store(raw, std::memory_order_release);  // unlock
+  return TableRef(box);
+}
+
+void PreparedStore::SnapshotCell::Publish(Table table) {
+  auto* fresh = new TableBox(std::move(table));
+  const uintptr_t old = Lock(std::memory_order_acquire);
+  // Unlock and swap in one release store: the new snapshot is live the
+  // instant the bit clears.
+  val_.store(reinterpret_cast<uintptr_t>(fresh), std::memory_order_release);
+  TableRef::Release(Box(old));
+}
+
 PreparedStore::PreparedStore(const Options& options)
-    : options_(Options{std::max<size_t>(options.shards, 1),
-                       options.max_entries, options.byte_budget}),
-      shards_(options_.shards) {}
+    : options_(Options{ResolveShards(options.shards), options.max_entries,
+                       options.byte_budget}),
+      shards_(options_.shards) {
+  // Snapshots start as published empty tables, so the lock-free hit path
+  // never has to special-case a null pointer.
+  for (Shard& shard : shards_) {
+    shard.snapshot.Init(Table{});
+  }
+}
+
+PreparedStore::StatSlot& PreparedStore::LocalStats() const {
+  static std::atomic<size_t> next_slot{0};
+  // The slot index is per-thread across all stores: what matters is that
+  // two concurrently-running threads land on different cache lines, not
+  // which line a given thread gets.
+  thread_local const size_t slot =
+      next_slot.fetch_add(1, std::memory_order_relaxed) % kStatSlots;
+  return stat_slots_[slot];
+}
 
 std::string PreparedStore::MakeKey(std::string_view problem,
                                    std::string_view witness,
@@ -147,7 +218,7 @@ Result<PreparedStore::PreparedView> PreparedStore::GetOrComputeView(
     const EntryOptions& entry_options) {
   // The string-keyed admission path pays the O(|D|) copy + hash here, once
   // per call — exactly what Intern-ed keys amortize away.
-  stats_.key_builds.fetch_add(1, std::memory_order_relaxed);
+  LocalStats().key_builds.fetch_add(1, std::memory_order_relaxed);
   return GetOrComputeView(InternKey(problem, witness, data), compute, meter,
                           hit, entry_options);
 }
@@ -164,60 +235,92 @@ std::shared_ptr<const void> PreparedStore::BuildView(
     return nullptr;  // degrade to the string answer path
   }
   if (!view.ok() || *view == nullptr) return nullptr;
-  stats_.view_builds.fetch_add(1, std::memory_order_relaxed);
+  LocalStats().view_builds.fetch_add(1, std::memory_order_relaxed);
   return *view;
 }
 
 void PreparedStore::AttachView(const EntryOptions& entry_options,
                                Entry* entry, CostMeter* meter) {
   if (!entry_options.make_view) return;
+  // The entry is private to the caller here (not yet published), so plain
+  // field writes plus relaxed marker stores suffice — the snapshot
+  // publication's release ordering makes everything visible to readers.
   entry->view = BuildView(entry_options, entry->prepared, meter);
-  entry->view_build_failed = entry->view == nullptr;
-  entry->view_size_bytes =
-      entry->view != nullptr ? entry->prepared->size() : 0;
+  entry->view_build_failed.store(entry->view == nullptr,
+                                 std::memory_order_relaxed);
+  entry->view_size_bytes.store(
+      entry->view != nullptr ? entry->prepared->size() : 0,
+      std::memory_order_relaxed);
+  entry->view_ready.store(entry->view.get(), std::memory_order_relaxed);
 }
 
 Result<PreparedStore::PreparedView> PreparedStore::RebuildViewLazily(
-    const Key& key, const std::shared_ptr<const std::string>& prepared,
-    const EntryOptions& entry_options, CostMeter* meter) {
+    const Key& key, const EntryPtr& entry, const EntryOptions& entry_options,
+    CostMeter* meter) {
   // Decode outside every lock — the build is O(|Π(D)|) and must not stall
   // the stripe. Two racing hitters may both decode; exactly one publishes
   // (the miss-storm path never races: the in-flight winner builds before
   // publishing the entry).
-  std::shared_ptr<const void> built = BuildView(entry_options, prepared, meter);
-  bool account_built = false;
+  std::shared_ptr<const void> built =
+      BuildView(entry_options, entry->prepared, meter);
+  std::shared_ptr<const void> serve = built;
+  bool accounted = false;
   {
     Shard& shard = ShardFor(key.digest);
     std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.entries.find(key.digest);
-    if (it != shard.entries.end() && EntryMatches(it->second, key) &&
-        it->second.prepared == prepared) {
-      if (built == nullptr) {
+    TableRef table = shard.snapshot.Acquire();
+    auto it = table->find(key.digest);
+    if (it != table->end() && it->second == entry) {
+      if (entry->view_ready.load(std::memory_order_relaxed) != nullptr) {
+        serve = entry->view;  // somebody else won the publish race
+      } else if (built == nullptr) {
         // Negative-cache the failure: later hits serve the string path
         // directly instead of re-running the failing decode per hit.
-        if (it->second.view == nullptr) it->second.view_build_failed = true;
-        return PreparedView{it->second.prepared, it->second.view};
-      }
-      if (it->second.view == nullptr) {
-        it->second.view = built;
-        it->second.view_build_failed = false;
-        it->second.view_size_bytes = prepared->size();
-        bytes_.fetch_add(static_cast<int64_t>(it->second.view_size_bytes),
+        entry->view_build_failed.store(true, std::memory_order_relaxed);
+        return PreparedView{entry->prepared, nullptr};
+      } else {
+        // Write-once publication: the plain field store below is the only
+        // post-publication write `view` ever sees, and it happens-before
+        // every lock-free read via the release marker store.
+        entry->view = built;
+        entry->view_size_bytes.store(entry->prepared->size(),
+                                     std::memory_order_relaxed);
+        entry->view_ready.store(built.get(), std::memory_order_release);
+        bytes_.fetch_add(static_cast<int64_t>(entry->prepared->size()),
                          std::memory_order_relaxed);
-        account_built = true;
+        accounted = true;
       }
-      if (!account_built) return PreparedView{it->second.prepared,
-                                              it->second.view};
-    } else if (built == nullptr) {
-      // The entry moved on while we decoded and the build failed: the
-      // snapshot payload is still a valid string-path answer source.
-      return PreparedView{prepared, nullptr};
     }
+    // Entry not resident any more: it moved on (evicted, re-keyed) while
+    // we decoded. The (prepared, built) snapshot pair is still internally
+    // consistent, so serve it without publishing.
   }
-  if (account_built) EvictUntilWithinBudget();
-  // Either we published (serve our build) or the entry moved on while we
-  // decoded (the snapshot pair is still internally consistent).
-  return PreparedView{prepared, built};
+  if (accounted) EvictUntilWithinBudget();
+  return PreparedView{entry->prepared, serve};
+}
+
+Result<PreparedStore::PreparedView> PreparedStore::ServeHit(
+    const Key& key, const EntryPtr& entry, const EntryOptions& entry_options,
+    CostMeter* meter, bool* hit, bool locked) {
+  Touch(*entry);
+  StatSlot& stats = LocalStats();
+  stats.hits.fetch_add(1, std::memory_order_relaxed);
+  if (locked) stats.locked_hits.fetch_add(1, std::memory_order_relaxed);
+  if (meter != nullptr) meter->AddSerial(1);  // the snapshot probe
+  if (hit != nullptr) *hit = true;
+  // The acquire marker load makes the write-once `view` field immutable
+  // from this reader's perspective: once non-null, reading (copying) the
+  // shared_ptr without any lock is race-free.
+  if (entry->view_ready.load(std::memory_order_acquire) != nullptr) {
+    return PreparedView{entry->prepared, entry->view};
+  }
+  if (entry_options.make_view &&
+      !entry->view_build_failed.load(std::memory_order_relaxed)) {
+    // Loaded entry: spill files carry only the payload, so the first warm
+    // hit repairs the decoded view (outside every lock).
+    return RebuildViewLazily(key, entry, entry_options, meter);
+  }
+  return PreparedView{entry->prepared, nullptr};
 }
 
 Result<PreparedStore::PreparedView> PreparedStore::GetOrComputeView(
@@ -226,27 +329,31 @@ Result<PreparedStore::PreparedView> PreparedStore::GetOrComputeView(
   const uint64_t digest = key.digest;
   Shard& shard = ShardFor(digest);
 
+  // Warm hit path: probe the published snapshot. No mutex, no shared LRU
+  // splice, no shared stats line — one atomic snapshot acquire, one table
+  // probe, one conditional relaxed recency stamp.
+  {
+    TableRef table = shard.snapshot.Acquire();
+    auto it = table->find(digest);
+    if (it != table->end() && EntryMatches(*it->second, key)) {
+      return ServeHit(key, it->second, entry_options, meter, hit,
+                      /*locked=*/false);
+    }
+  }
+
+  // Snapshot miss: fall back to the locked slow path. Re-probe under the
+  // mutex first — a writer may have published the entry between our
+  // snapshot load and here (such hits are counted in Stats::locked_hits;
+  // a warm steady-state run must produce none).
   std::shared_ptr<Inflight> flight;
   bool winner = false;
-  std::shared_ptr<const std::string> rebuild_from;
+  EntryPtr resident;
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.entries.find(digest);
-    if (it != shard.entries.end() && EntryMatches(it->second, key)) {
-      stats_.hits.fetch_add(1, std::memory_order_relaxed);
-      it->second.last_used = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
-      shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_it);
-      if (meter != nullptr) meter->AddSerial(1);  // the digest probe
-      if (hit != nullptr) *hit = true;
-      if (it->second.view == nullptr && !it->second.view_build_failed &&
-          entry_options.make_view) {
-        // Loaded entry: repair the view lazily, outside this lock. A
-        // payload whose decoder already failed is served string-path
-        // directly (view_build_failed short-circuits the retry).
-        rebuild_from = it->second.prepared;
-      } else {
-        return PreparedView{it->second.prepared, it->second.view};
-      }
+    TableRef table = shard.snapshot.Acquire();
+    auto it = table->find(digest);
+    if (it != table->end() && EntryMatches(*it->second, key)) {
+      resident = it->second;
     } else {
       auto in = shard.inflight.find(*key.bytes);
       if (in != shard.inflight.end()) {
@@ -256,22 +363,22 @@ Result<PreparedStore::PreparedView> PreparedStore::GetOrComputeView(
         flight = std::make_shared<Inflight>();
         flight->ready = flight->done.get_future().share();
         shard.inflight.emplace(*key.bytes, flight);
-        stats_.misses.fetch_add(1, std::memory_order_relaxed);
+        LocalStats().misses.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
-
-  if (rebuild_from != nullptr) {
-    return RebuildViewLazily(key, rebuild_from, entry_options, meter);
+  if (resident != nullptr) {
+    return ServeHit(key, resident, entry_options, meter, hit,
+                    /*locked=*/true);
   }
 
   if (!winner) {
     // Another caller's Π for this exact key is in flight: block on its
     // shared_future instead of running a duplicate Π.
-    stats_.inflight_waits.fetch_add(1, std::memory_order_relaxed);
+    LocalStats().inflight_waits.fetch_add(1, std::memory_order_relaxed);
     flight->ready.wait();
     if (flight->result.ok()) {
-      stats_.hits.fetch_add(1, std::memory_order_relaxed);
+      LocalStats().hits.fetch_add(1, std::memory_order_relaxed);
       if (meter != nullptr) meter->AddSerial(1);  // the rendezvous probe
       if (hit != nullptr) *hit = true;
       return flight->result;
@@ -303,40 +410,44 @@ Result<PreparedStore::PreparedView> PreparedStore::GetOrComputeView(
     return prepared.status();
   }
 
-  Entry entry;
-  entry.key = key.bytes;
-  entry.prepared =
+  EntryPtr entry = std::make_shared<Entry>();
+  entry->key = key.bytes;
+  entry->prepared =
       std::make_shared<const std::string>(std::move(prepared).value());
   // The miss winner builds the decoded view before publishing, so the
   // whole miss storm — winner and every waiter on the shared_future —
   // shares exactly one build.
-  AttachView(entry_options, &entry, meter);
-  entry.spillable = entry_options.spillable;
-  entry.size_bytes = entry_options.size_of
-                         ? entry_options.size_of(*entry.prepared)
-                         : DefaultSizeBytes(entry);
-  PreparedView result{entry.prepared, entry.view};
+  AttachView(entry_options, entry.get(), meter);
+  entry->spillable = entry_options.spillable;
+  entry->size_bytes = entry_options.size_of
+                          ? entry_options.size_of(*entry->prepared)
+                          : DefaultSizeBytes(*entry);
+  PreparedView result{entry->prepared, entry->view};
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    entry.last_used = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
-    auto it = shard.entries.find(digest);
-    if (it != shard.entries.end()) {
+    entry->last_used.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                           std::memory_order_relaxed);
+    Table table = CopyTable(shard);
+    auto it = table.find(digest);
+    if (it != table.end()) {
       // Digest collision (or a concurrent Load): replace, stay correct.
-      bytes_.fetch_sub(static_cast<int64_t>(it->second.size_bytes +
-                                            it->second.view_size_bytes),
-                       std::memory_order_relaxed);
+      bytes_.fetch_sub(
+          static_cast<int64_t>(
+              it->second->size_bytes +
+              it->second->view_size_bytes.load(std::memory_order_relaxed)),
+          std::memory_order_relaxed);
       count_.fetch_sub(1, std::memory_order_relaxed);
-      entry.lru_it = it->second.lru_it;  // reuse the list node
-      it->second = std::move(entry);
-      shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_it);
+      it->second = entry;
     } else {
-      it = shard.entries.emplace(digest, std::move(entry)).first;
-      it->second.lru_it = shard.lru.insert(shard.lru.end(), digest);
+      table.emplace(digest, entry);
     }
-    bytes_.fetch_add(static_cast<int64_t>(it->second.size_bytes +
-                                          it->second.view_size_bytes),
-                     std::memory_order_relaxed);
+    bytes_.fetch_add(
+        static_cast<int64_t>(
+            entry->size_bytes +
+            entry->view_size_bytes.load(std::memory_order_relaxed)),
+        std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
+    PublishTable(&shard, std::move(table));
     shard.inflight.erase(*key.bytes);
   }
   flight->result = result;
@@ -362,7 +473,7 @@ Status PreparedStore::UpdateData(std::string_view problem,
                                  const EntryOptions& entry_options) {
   // Two O(|D|) key materializations (old + new): deltas are rare next to
   // answers, so the update path stays string-keyed.
-  stats_.key_builds.fetch_add(2, std::memory_order_relaxed);
+  LocalStats().key_builds.fetch_add(2, std::memory_order_relaxed);
   const Key old_key = InternKey(problem, witness, old_data);
   const Key new_key = InternKey(problem, witness, new_data);
   const uint64_t old_digest = old_key.digest;
@@ -370,30 +481,46 @@ Status PreparedStore::UpdateData(std::string_view problem,
   const size_t old_index = static_cast<size_t>(old_digest) % shards_.size();
   const size_t new_index = static_cast<size_t>(new_digest) % shards_.size();
 
-  // Phase 1: snapshot the resident payload under the old stripe. The
-  // patch itself (potentially |D|-sized decode/re-encode work) must not
-  // run under any shard lock, for the same reason Π doesn't in
-  // GetOrCompute: it would stall every lookup landing in the stripe.
-  std::shared_ptr<const std::string> snapshot;
-  {
-    Shard& old_shard = shards_[old_index];
-    std::lock_guard<std::mutex> lock(old_shard.mutex);
-    if (old_shard.inflight.find(*old_key.bytes) != old_shard.inflight.end()) {
-      // A miss storm is rendezvousing on Π(old_data) right now. Patching
-      // would re-key the about-to-be-published entry out from under the
-      // waiters on the shared_future, so the delta degrades to
-      // recompute-on-miss instead.
-      stats_.patch_fallbacks.fetch_add(1, std::memory_order_relaxed);
-      return Status::Unavailable("Π(old data) in flight; not re-keying");
+  // Phase 1: snapshot the resident entry under the old stripe. A Π for
+  // old_data in flight right now is about to publish exactly the payload
+  // we want to patch, so instead of immediately degrading to
+  // recompute-on-miss we block on the storm's shared_future once and
+  // retry; only a second storm observed after that retry gives up.
+  EntryPtr old_entry;
+  for (int attempt = 0;; ++attempt) {
+    std::shared_ptr<Inflight> flight;
+    {
+      Shard& old_shard = shards_[old_index];
+      std::lock_guard<std::mutex> lock(old_shard.mutex);
+      auto in = old_shard.inflight.find(*old_key.bytes);
+      if (in != old_shard.inflight.end()) {
+        if (attempt > 0) {
+          // A *new* miss storm started while we waited out the first.
+          // Patching would re-key the about-to-be-published entry out
+          // from under the waiters on the shared_future, so the delta
+          // degrades to recompute-on-miss instead.
+          LocalStats().patch_fallbacks.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          return Status::Unavailable(
+              "Π(old data) still in flight after retry; not re-keying");
+        }
+        flight = in->second;
+      } else {
+        TableRef table = old_shard.snapshot.Acquire();
+        auto it = table->find(old_digest);
+        if (it == table->end() || !EntryMatches(*it->second, old_key)) {
+          LocalStats().patch_fallbacks.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          return Status::NotFound("no resident Π for the pre-delta data part");
+        }
+        old_entry = it->second;
+      }
     }
-    auto it = old_shard.entries.find(old_digest);
-    if (it == old_shard.entries.end() ||
-        !EntryMatches(it->second, old_key)) {
-      stats_.patch_fallbacks.fetch_add(1, std::memory_order_relaxed);
-      return Status::NotFound("no resident Π for the pre-delta data part");
-    }
-    snapshot = it->second.prepared;
+    if (flight == nullptr) break;
+    LocalStats().update_retries.fetch_add(1, std::memory_order_relaxed);
+    flight->ready.wait();  // no locks held: the winner can publish freely
   }
+  const std::shared_ptr<const std::string> snapshot = old_entry->prepared;
 
   // Phase 2: copy-on-write patch outside every lock. Readers holding the
   // old shared_ptr keep a consistent pre-delta snapshot throughout.
@@ -401,22 +528,22 @@ Status PreparedStore::UpdateData(std::string_view problem,
   std::string patched = *snapshot;
   Status status = patch(&patched, meter);
   if (!status.ok()) {
-    stats_.patch_fallbacks.fetch_add(1, std::memory_order_relaxed);
+    LocalStats().patch_fallbacks.fetch_add(1, std::memory_order_relaxed);
     return status;  // entry untouched; new data recomputes on miss
   }
-  Entry entry;
-  entry.key = new_key.bytes;
-  entry.prepared = std::make_shared<const std::string>(std::move(patched));
+  EntryPtr fresh = std::make_shared<Entry>();
+  fresh->key = new_key.bytes;
+  fresh->prepared = std::make_shared<const std::string>(std::move(patched));
   // The pre-patch decoded view must never survive a re-key: rebuild it
   // from the patched payload here (still outside every lock); a failed
   // build leaves a null view and the entry serves the string path.
-  AttachView(entry_options, &entry, meter);
-  entry.spillable = entry_options.spillable;
-  entry.size_bytes = entry_options.size_of
-                         ? entry_options.size_of(*entry.prepared)
-                         : DefaultSizeBytes(entry);
-  const std::shared_ptr<const std::string> respill_payload = entry.prepared;
-  const size_t respill_size = entry.size_bytes;
+  AttachView(entry_options, fresh.get(), meter);
+  fresh->spillable = entry_options.spillable;
+  fresh->size_bytes = entry_options.size_of
+                          ? entry_options.size_of(*fresh->prepared)
+                          : DefaultSizeBytes(*fresh);
+  const std::shared_ptr<const std::string> respill_payload = fresh->prepared;
+  const size_t respill_size = fresh->size_bytes;
 
   // Phase 3: revalidate and publish atomically under both stripes; index
   // order keeps the two-lock acquisition acyclic (every other path holds
@@ -432,52 +559,70 @@ Status PreparedStore::UpdateData(std::string_view problem,
     Shard& old_shard = shards_[old_index];
     Shard& new_shard = shards_[new_index];
 
-    auto it = old_shard.entries.find(old_digest);
+    TableRef old_table = old_shard.snapshot.Acquire();
+    auto it = old_table->find(old_digest);
     if (old_shard.inflight.find(*old_key.bytes) != old_shard.inflight.end() ||
-        it == old_shard.entries.end() ||
-        !EntryMatches(it->second, old_key) ||
-        it->second.prepared != snapshot) {
+        it == old_table->end() || it->second != old_entry) {
       // The slot moved while the patch ran unlocked (evicted, replaced by
       // a fresh Π or Load, re-keyed by a concurrent delta, or a new miss
       // storm started). The patched copy matches a payload that is no
       // longer current, so publishing it could tear a newer structure —
       // degrade to recompute-on-miss instead.
-      stats_.patch_fallbacks.fetch_add(1, std::memory_order_relaxed);
+      LocalStats().patch_fallbacks.fetch_add(1, std::memory_order_relaxed);
       return Status::Unavailable(
           "Π(old data) changed while patching; not re-keying");
     }
-    entry.last_used = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    fresh->last_used.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+                           std::memory_order_relaxed);
 
-    // Retire the pre-delta slot...
-    old_shard.lru.erase(it->second.lru_it);
-    bytes_.fetch_sub(static_cast<int64_t>(it->second.size_bytes +
-                                          it->second.view_size_bytes),
-                     std::memory_order_relaxed);
-    count_.fetch_sub(1, std::memory_order_relaxed);
-    old_shard.entries.erase(it);
-
-    // ...and publish the patched one under the post-delta digest
-    // (replacing a digest collision or a concurrently-loaded duplicate).
-    auto dest = new_shard.entries.find(new_digest);
-    if (dest != new_shard.entries.end()) {
-      bytes_.fetch_sub(static_cast<int64_t>(dest->second.size_bytes +
-                                            dest->second.view_size_bytes),
-                       std::memory_order_relaxed);
+    // Retire the pre-delta entry and publish the patched one under the
+    // post-delta digest (replacing a digest collision or a concurrently
+    // loaded duplicate), republishing each touched shard's snapshot.
+    auto retire = [this](const EntryPtr& entry) {
+      bytes_.fetch_sub(
+          static_cast<int64_t>(
+              entry->size_bytes +
+              entry->view_size_bytes.load(std::memory_order_relaxed)),
+          std::memory_order_relaxed);
       count_.fetch_sub(1, std::memory_order_relaxed);
-      entry.lru_it = dest->second.lru_it;  // reuse the list node
-      dest->second = std::move(entry);
-      new_shard.lru.splice(new_shard.lru.end(), new_shard.lru,
-                           dest->second.lru_it);
+    };
+    auto admit = [this](const EntryPtr& entry) {
+      bytes_.fetch_add(
+          static_cast<int64_t>(
+              entry->size_bytes +
+              entry->view_size_bytes.load(std::memory_order_relaxed)),
+          std::memory_order_relaxed);
+      count_.fetch_add(1, std::memory_order_relaxed);
+    };
+    retire(old_entry);
+    if (old_index == new_index) {
+      Table table = *old_table;
+      table.erase(old_digest);
+      auto dest = table.find(new_digest);
+      if (dest != table.end()) {
+        retire(dest->second);
+        dest->second = fresh;
+      } else {
+        table.emplace(new_digest, fresh);
+      }
+      admit(fresh);
+      PublishTable(&old_shard, std::move(table));
     } else {
-      dest = new_shard.entries.emplace(new_digest, std::move(entry)).first;
-      dest->second.lru_it = new_shard.lru.insert(new_shard.lru.end(),
-                                                 new_digest);
+      Table old_copy = *old_table;
+      old_copy.erase(old_digest);
+      PublishTable(&old_shard, std::move(old_copy));
+      Table new_copy = CopyTable(new_shard);
+      auto dest = new_copy.find(new_digest);
+      if (dest != new_copy.end()) {
+        retire(dest->second);
+        dest->second = fresh;
+      } else {
+        new_copy.emplace(new_digest, fresh);
+      }
+      admit(fresh);
+      PublishTable(&new_shard, std::move(new_copy));
     }
-    bytes_.fetch_add(static_cast<int64_t>(dest->second.size_bytes +
-                                          dest->second.view_size_bytes),
-                     std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
-    stats_.patches.fetch_add(1, std::memory_order_relaxed);
+    LocalStats().patches.fetch_add(1, std::memory_order_relaxed);
   }
 
   RespillPatched(old_digest, new_digest, *new_key.bytes, respill_payload,
@@ -493,8 +638,7 @@ void PreparedStore::RespillPatched(
   // spill_dir_mutex_ is held across the whole rewrite so chained patches
   // (v1→v2, v2→v3) cannot interleave their file writes/removes: without
   // this, a lagging v2 write could land after v3's remove of it and a
-  // restart would resurrect the pre-delta Π. Shard locks are only taken
-  // inside (never the reverse), so ordering stays acyclic.
+  // restart would resurrect the pre-delta Π.
   std::lock_guard<std::mutex> lock(spill_dir_mutex_);
   if (spill_dir_.empty()) return;
   // Best-effort: a failed rewrite leaves a missing or corrupt file, both
@@ -503,10 +647,10 @@ void PreparedStore::RespillPatched(
     bool still_current = false;
     {
       const Shard& shard = ShardFor(new_digest);
-      std::lock_guard<std::mutex> shard_lock(shard.mutex);
-      auto it = shard.entries.find(new_digest);
-      still_current = it != shard.entries.end() && *it->second.key == key &&
-                      it->second.prepared == prepared;
+      TableRef table = shard.snapshot.Acquire();
+      auto it = table->find(new_digest);
+      still_current = it != table->end() && *it->second->key == key &&
+                      it->second->prepared == prepared;
     }
     // Only the payload that is still resident gets a file; if a later
     // patch or eviction already moved the entry on, its own respill (or
@@ -515,7 +659,7 @@ void PreparedStore::RespillPatched(
       Status written = WriteSpillFile(spill_dir_, new_digest, key, *prepared,
                                       size_bytes);
       if (written.ok()) {
-        stats_.spilled.fetch_add(1, std::memory_order_relaxed);
+        LocalStats().spilled.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -527,12 +671,12 @@ void PreparedStore::RespillPatched(
 
 bool PreparedStore::Contains(std::string_view problem, std::string_view witness,
                              std::string_view data) const {
-  std::string key = MakeKey(problem, witness, data);
+  const std::string key = MakeKey(problem, witness, data);
   const uint64_t digest = Fnv1a64(key);
   const Shard& shard = ShardFor(digest);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  auto it = shard.entries.find(digest);
-  return it != shard.entries.end() && *it->second.key == key;
+  TableRef table = shard.snapshot.Acquire();
+  auto it = table->find(digest);
+  return it != table->end() && *it->second->key == key;
 }
 
 bool PreparedStore::OverBudget() const {
@@ -552,42 +696,95 @@ void PreparedStore::EvictUntilWithinBudget() {
   // eviction lock is never taken while holding a shard lock, so ordering
   // is acyclic.
   std::lock_guard<std::mutex> evict_lock(evict_mutex_);
+  if (!OverBudget()) return;
+  // New recency epoch: entries touched after this pass stamp a value that
+  // outranks every pre-pass stamp, so the next pass sees them as recent.
+  tick_.fetch_add(1, std::memory_order_relaxed);
   while (OverBudget()) {
-    // The global LRU victim is the oldest of the per-shard LRU-list
-    // fronts — O(shards) peeks, no entry scan. The pick is re-checked
-    // under the victim shard's lock before erasing; a touch in between
-    // simply restarts the selection.
-    bool found = false;
-    size_t victim_shard = 0;
-    uint64_t victim_digest = 0;
-    uint64_t victim_tick = 0;
+    // Approximate-LRU victim selection: one lock-free scan of the
+    // published snapshots collects every candidate with its recency
+    // stamp; sorting oldest-first then yields the whole victim *batch*
+    // for this pass (enough to clear the deficit), so a store pushed far
+    // over budget (e.g. an over-budget Load) pays one scan and at most
+    // one table copy per shard — not one full scan per victim. The stamp
+    // is an epoch, so entries touched in the same epoch tie arbitrarily;
+    // an entry untouched since an older epoch always goes first.
+    struct Candidate {
+      uint64_t stamp;
+      size_t shard;
+      uint64_t digest;
+      EntryPtr entry;
+      int64_t charge;  // bytes this entry frees
+    };
+    std::vector<Candidate> candidates;
     for (size_t si = 0; si < shards_.size(); ++si) {
-      std::lock_guard<std::mutex> lock(shards_[si].mutex);
-      if (shards_[si].lru.empty()) continue;
-      const uint64_t digest = shards_[si].lru.front();
-      auto it = shards_[si].entries.find(digest);
-      if (it == shards_[si].entries.end()) continue;
-      if (!found || it->second.last_used < victim_tick) {
-        found = true;
-        victim_shard = si;
-        victim_digest = digest;
-        victim_tick = it->second.last_used;
+      TableRef table = shards_[si].snapshot.Acquire();
+      for (const auto& [digest, entry] : *table) {
+        candidates.push_back(
+            {entry->last_used.load(std::memory_order_relaxed), si, digest,
+             entry,
+             static_cast<int64_t>(
+                 entry->size_bytes +
+                 entry->view_size_bytes.load(std::memory_order_relaxed))});
       }
     }
-    if (!found) return;  // store drained concurrently
-    Shard& shard = shards_[victim_shard];
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    auto it = shard.entries.find(victim_digest);
-    if (it == shard.entries.end() || it->second.last_used != victim_tick) {
-      continue;  // touched or already evicted since the peek
+    if (candidates.empty()) return;  // store drained concurrently
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.stamp < b.stamp;
+              });
+    // Take the oldest prefix that clears both deficits (recomputed from
+    // the live counters, which concurrent publishers may have moved).
+    int64_t bytes_over =
+        options_.byte_budget == 0
+            ? 0
+            : bytes_.load(std::memory_order_relaxed) -
+                  static_cast<int64_t>(options_.byte_budget);
+    int64_t entries_over =
+        options_.max_entries == 0
+            ? 0
+            : count_.load(std::memory_order_relaxed) -
+                  static_cast<int64_t>(options_.max_entries);
+    size_t take = 0;
+    while (take < candidates.size() && (bytes_over > 0 || entries_over > 0)) {
+      bytes_over -= candidates[take].charge;
+      --entries_over;
+      ++take;
     }
-    shard.lru.erase(it->second.lru_it);
-    bytes_.fetch_sub(static_cast<int64_t>(it->second.size_bytes +
-                                          it->second.view_size_bytes),
-                     std::memory_order_relaxed);
-    count_.fetch_sub(1, std::memory_order_relaxed);
-    shard.entries.erase(it);
-    stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+    if (take == 0) return;
+    // Evict the batch grouped by shard: one copy-on-write + publish per
+    // touched shard. A candidate whose slot moved on since the scan
+    // (replaced, re-keyed, already evicted) is skipped; the outer loop
+    // re-checks the budget and rescans if the skips left us over.
+    for (size_t si = 0; si < shards_.size(); ++si) {
+      bool touched = false;
+      Shard& shard = shards_[si];
+      std::unique_lock<std::mutex> lock(shard.mutex, std::defer_lock);
+      Table table;
+      for (size_t ci = 0; ci < take; ++ci) {
+        const Candidate& victim = candidates[ci];
+        if (victim.shard != si) continue;
+        if (!touched) {
+          lock.lock();
+          table = CopyTable(shard);
+          touched = true;
+        }
+        auto it = table.find(victim.digest);
+        if (it == table.end() || it->second != victim.entry) continue;
+        table.erase(it);
+        // Re-read the charge under the lock: a lazy view rebuild since
+        // the scan may have grown it (the scan-time value was only the
+        // prefix-size estimate).
+        bytes_.fetch_sub(
+            static_cast<int64_t>(victim.entry->size_bytes +
+                                 victim.entry->view_size_bytes.load(
+                                     std::memory_order_relaxed)),
+            std::memory_order_relaxed);
+        count_.fetch_sub(1, std::memory_order_relaxed);
+        LocalStats().evictions.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (touched) PublishTable(&shard, std::move(table));
+    }
   }
 }
 
@@ -606,11 +803,12 @@ Status PreparedStore::Spill(const std::string& dir) const {
   };
   std::vector<Snapshot> snapshots;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    for (const auto& [digest, entry] : shard.entries) {
-      if (!entry.spillable) continue;
-      snapshots.push_back({digest, *entry.key, entry.prepared,
-                           entry.size_bytes});
+    // The published table is immutable: iterating it needs no lock.
+    TableRef table = shard.snapshot.Acquire();
+    for (const auto& [digest, entry] : *table) {
+      if (!entry->spillable) continue;
+      snapshots.push_back({digest, *entry->key, entry->prepared,
+                           entry->size_bytes});
     }
   }
   std::vector<std::string> written;
@@ -636,8 +834,8 @@ Status PreparedStore::Spill(const std::string& dir) const {
       fs::remove(dirent.path(), ec);
     }
   }
-  stats_.spilled.fetch_add(static_cast<int64_t>(snapshots.size()),
-                           std::memory_order_relaxed);
+  LocalStats().spilled.fetch_add(static_cast<int64_t>(snapshots.size()),
+                                 std::memory_order_relaxed);
   {
     // Remember the active spill directory so Δ-patches keep it current.
     std::lock_guard<std::mutex> lock(spill_dir_mutex_);
@@ -676,44 +874,44 @@ Result<size_t> PreparedStore::Load(const std::string& dir) {
     auto size_bytes = reader.ReadU64();
     if (!size_bytes.ok() || !reader.exhausted()) continue;
 
-    Entry entry;
-    entry.key =
-        std::make_shared<const std::string>(std::move(key).value());
-    entry.prepared =
+    EntryPtr entry = std::make_shared<Entry>();
+    entry->key = std::make_shared<const std::string>(std::move(key).value());
+    entry->prepared =
         std::make_shared<const std::string>(std::move(prepared).value());
     // Spill files carry only the payload: the decoded view is rebuilt
     // lazily on this entry's first warm hit.
-    entry.size_bytes = static_cast<size_t>(*size_bytes);
-    entry.spillable = true;
-    const uint64_t digest = Fnv1a64(*entry.key);
+    entry->size_bytes = static_cast<size_t>(*size_bytes);
+    entry->spillable = true;
+    const uint64_t digest = Fnv1a64(*entry->key);
     Shard& shard = ShardFor(digest);
     {
       std::lock_guard<std::mutex> lock(shard.mutex);
-      entry.last_used = tick_.fetch_add(1, std::memory_order_relaxed) + 1;
-      auto existing = shard.entries.find(digest);
-      if (existing != shard.entries.end()) {
+      entry->last_used.store(
+          tick_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      Table table = CopyTable(shard);
+      auto existing = table.find(digest);
+      if (existing != table.end()) {
         bytes_.fetch_sub(
-            static_cast<int64_t>(existing->second.size_bytes +
-                                 existing->second.view_size_bytes),
+            static_cast<int64_t>(existing->second->size_bytes +
+                                 existing->second->view_size_bytes.load(
+                                     std::memory_order_relaxed)),
             std::memory_order_relaxed);
         count_.fetch_sub(1, std::memory_order_relaxed);
-        entry.lru_it = existing->second.lru_it;  // reuse the list node
-        existing->second = std::move(entry);
-        shard.lru.splice(shard.lru.end(), shard.lru,
-                         existing->second.lru_it);
+        existing->second = entry;
       } else {
-        existing = shard.entries.emplace(digest, std::move(entry)).first;
-        existing->second.lru_it = shard.lru.insert(shard.lru.end(), digest);
+        table.emplace(digest, entry);
       }
       // Freshly loaded entries carry no view yet (view_size_bytes == 0).
-      bytes_.fetch_add(static_cast<int64_t>(existing->second.size_bytes),
+      bytes_.fetch_add(static_cast<int64_t>(entry->size_bytes),
                        std::memory_order_relaxed);
       count_.fetch_add(1, std::memory_order_relaxed);
+      PublishTable(&shard, std::move(table));
     }
     ++loaded;
   }
-  stats_.loaded.fetch_add(static_cast<int64_t>(loaded),
-                          std::memory_order_relaxed);
+  LocalStats().loaded.fetch_add(static_cast<int64_t>(loaded),
+                                std::memory_order_relaxed);
   {
     std::lock_guard<std::mutex> lock(spill_dir_mutex_);
     spill_dir_ = dir;
@@ -724,18 +922,23 @@ Result<size_t> PreparedStore::Load(const std::string& dir) {
 
 PreparedStore::Stats PreparedStore::stats() const {
   Stats stats;
-  stats.hits = stats_.hits.load(std::memory_order_relaxed);
-  stats.misses = stats_.misses.load(std::memory_order_relaxed);
-  stats.evictions = stats_.evictions.load(std::memory_order_relaxed);
-  stats.inflight_waits =
-      stats_.inflight_waits.load(std::memory_order_relaxed);
-  stats.spilled = stats_.spilled.load(std::memory_order_relaxed);
-  stats.loaded = stats_.loaded.load(std::memory_order_relaxed);
-  stats.patches = stats_.patches.load(std::memory_order_relaxed);
-  stats.patch_fallbacks =
-      stats_.patch_fallbacks.load(std::memory_order_relaxed);
-  stats.key_builds = stats_.key_builds.load(std::memory_order_relaxed);
-  stats.view_builds = stats_.view_builds.load(std::memory_order_relaxed);
+  for (const StatSlot& slot : stat_slots_) {
+    stats.hits += slot.hits.load(std::memory_order_relaxed);
+    stats.misses += slot.misses.load(std::memory_order_relaxed);
+    stats.evictions += slot.evictions.load(std::memory_order_relaxed);
+    stats.inflight_waits +=
+        slot.inflight_waits.load(std::memory_order_relaxed);
+    stats.spilled += slot.spilled.load(std::memory_order_relaxed);
+    stats.loaded += slot.loaded.load(std::memory_order_relaxed);
+    stats.patches += slot.patches.load(std::memory_order_relaxed);
+    stats.patch_fallbacks +=
+        slot.patch_fallbacks.load(std::memory_order_relaxed);
+    stats.key_builds += slot.key_builds.load(std::memory_order_relaxed);
+    stats.view_builds += slot.view_builds.load(std::memory_order_relaxed);
+    stats.locked_hits += slot.locked_hits.load(std::memory_order_relaxed);
+    stats.update_retries +=
+        slot.update_retries.load(std::memory_order_relaxed);
+  }
   return stats;
 }
 
@@ -752,28 +955,34 @@ size_t PreparedStore::bytes_resident() const {
 void PreparedStore::Clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mutex);
-    for (const auto& [digest, entry] : shard.entries) {
+    TableRef table = shard.snapshot.Acquire();
+    for (const auto& [digest, entry] : *table) {
       bytes_.fetch_sub(
-          static_cast<int64_t>(entry.size_bytes + entry.view_size_bytes),
+          static_cast<int64_t>(
+              entry->size_bytes +
+              entry->view_size_bytes.load(std::memory_order_relaxed)),
           std::memory_order_relaxed);
       count_.fetch_sub(1, std::memory_order_relaxed);
     }
-    shard.entries.clear();
-    shard.lru.clear();
+    PublishTable(&shard, Table{});
   }
 }
 
 void PreparedStore::ResetStats() {
-  stats_.hits.store(0, std::memory_order_relaxed);
-  stats_.misses.store(0, std::memory_order_relaxed);
-  stats_.evictions.store(0, std::memory_order_relaxed);
-  stats_.inflight_waits.store(0, std::memory_order_relaxed);
-  stats_.spilled.store(0, std::memory_order_relaxed);
-  stats_.loaded.store(0, std::memory_order_relaxed);
-  stats_.patches.store(0, std::memory_order_relaxed);
-  stats_.patch_fallbacks.store(0, std::memory_order_relaxed);
-  stats_.key_builds.store(0, std::memory_order_relaxed);
-  stats_.view_builds.store(0, std::memory_order_relaxed);
+  for (StatSlot& slot : stat_slots_) {
+    slot.hits.store(0, std::memory_order_relaxed);
+    slot.misses.store(0, std::memory_order_relaxed);
+    slot.evictions.store(0, std::memory_order_relaxed);
+    slot.inflight_waits.store(0, std::memory_order_relaxed);
+    slot.spilled.store(0, std::memory_order_relaxed);
+    slot.loaded.store(0, std::memory_order_relaxed);
+    slot.patches.store(0, std::memory_order_relaxed);
+    slot.patch_fallbacks.store(0, std::memory_order_relaxed);
+    slot.key_builds.store(0, std::memory_order_relaxed);
+    slot.view_builds.store(0, std::memory_order_relaxed);
+    slot.locked_hits.store(0, std::memory_order_relaxed);
+    slot.update_retries.store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace engine

@@ -1,11 +1,11 @@
 #ifndef PITRACT_ENGINE_PREPARED_STORE_H_
 #define PITRACT_ENGINE_PREPARED_STORE_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,20 +34,37 @@ uint64_t Fnv1a64(std::string_view bytes);
 /// the same data never re-run Π — Definition 1's one-time/amortized
 /// asymmetry, enforced by construction rather than by caller discipline.
 ///
-/// The store is a concurrent serving structure:
+/// The store is a concurrent serving structure whose *warm hit path is
+/// lock-free*:
 ///
-///  * **Lock striping.** Entries live in N shards selected by digest; a Π
-///    run for one data part never blocks lookups landing in other shards.
+///  * **RCU-style snapshot reads.** Each shard publishes its entry table
+///    as an immutable snapshot behind an atomic shared-pointer cell
+///    (`SnapshotCell`, functionally `std::atomic<std::shared_ptr>` — see
+///    its comment for why it is hand-rolled). A warm hit loads the
+///    snapshot, probes it, and returns — it acquires
+///    no mutex and splices no shared LRU list (`Stats::locked_hits` counts
+///    the rare hits that *did* need the shard mutex: races with a
+///    concurrent publish, Load, or re-key). Writers — miss publish,
+///    eviction, `UpdateData` re-key, `Load`, `Clear` — copy the table
+///    under the shard mutex, mutate the copy, and publish it atomically.
+///  * **Lock striping.** Entries live in N shards selected by digest
+///    (`Options::shards`, 0 = auto-size from the core count); a Π run for
+///    one data part never blocks lookups landing in other shards.
 ///  * **In-flight Π deduplication.** Concurrent misses on the same data
 ///    part rendezvous on one std::shared_future: exactly one caller runs Π
 ///    (outside the shard lock), the rest block until it publishes, so Π
 ///    provably executes once per distinct data part even under a miss
 ///    storm.
-///  * **Byte-budgeted LRU eviction.** Every entry carries a size estimate
-///    (caller-supplied `SizeFn` hook, defaulting to payload+key bytes);
-///    once resident bytes exceed `Options::byte_budget` (or entries exceed
-///    `Options::max_entries`), the globally least-recently-used entries are
-///    evicted until the store is back under budget.
+///  * **Byte-budgeted approximate-LRU eviction.** Every entry carries a
+///    size estimate (caller-supplied `SizeFn` hook, defaulting to
+///    payload+key bytes); once resident bytes exceed `Options::byte_budget`
+///    (or entries exceed `Options::max_entries`), victims are evicted until
+///    the store is back under budget. Recency is tracked by a relaxed
+///    per-entry atomic epoch stamp, not a shared list: hits in the same
+///    epoch (the span between two writer events) tie arbitrarily, but an
+///    entry untouched since an older epoch is always evicted before one
+///    touched since. Exact-LRU order is *not* guaranteed; the byte-budget
+///    invariant is.
 ///  * **Persistence.** Spill serializes every spillable entry to one
 ///    serde-framed file per entry under a spill directory; Load rehydrates
 ///    a (possibly restarted) store from such a directory. Entries inserted
@@ -59,12 +76,15 @@ uint64_t Fnv1a64(std::string_view bytes);
 class PreparedStore {
  public:
   struct Options {
-    /// Number of lock stripes; clamped to >= 1.
-    size_t shards = 8;
-    /// 0 = unbounded; otherwise LRU entries are evicted past the cap.
+    /// Number of lock stripes. 0 = auto: the next power of two >=
+    /// 2 x std::thread::hardware_concurrency(), so a fully loaded machine
+    /// rarely maps two hot data parts onto one stripe. Clamped to >= 1.
+    size_t shards = 0;
+    /// 0 = unbounded; otherwise approximate-LRU entries are evicted past
+    /// the cap.
     size_t max_entries = 0;
-    /// 0 = unbounded; otherwise LRU entries are evicted once the summed
-    /// size estimates exceed this many bytes.
+    /// 0 = unbounded; otherwise approximate-LRU entries are evicted once
+    /// the summed size estimates exceed this many bytes.
     size_t byte_budget = 0;
   };
 
@@ -80,8 +100,8 @@ class PreparedStore {
     /// UpdateData calls that Δ-patched a resident Π(D) in place.
     int64_t patches = 0;
     /// UpdateData calls that could not patch (no resident entry, an
-    /// in-flight Π on the old key, or a failed patch fn) and left the new
-    /// data part to recompute-on-miss.
+    /// in-flight Π still on the old key after the retry, or a failed patch
+    /// fn) and left the new data part to recompute-on-miss.
     int64_t patch_fallbacks = 0;
     /// O(|D|) full-key materializations (copy + hash of the data part) on
     /// the admission paths. The string-keyed GetOrCompute/UpdateData
@@ -91,11 +111,20 @@ class PreparedStore {
     /// Decoded Π-views built (once per entry under the in-flight-dedup
     /// discipline; again after a Load or a Δ-patch re-key).
     int64_t view_builds = 0;
+    /// Hits that could not be served from the published snapshot and fell
+    /// back to a probe under the shard mutex (a race with a concurrent
+    /// publish/Load/re-key). A warm steady-state run must leave this at 0
+    /// — the proof that the hit path is lock-free.
+    int64_t locked_hits = 0;
+    /// UpdateData calls that found a Π in flight on the pre-delta key,
+    /// blocked on its shared_future, and retried (instead of immediately
+    /// degrading to recompute-on-miss).
+    int64_t update_retries = 0;
   };
 
-  /// Legacy convenience: an entry-capped store with default sharding.
+  /// Legacy convenience: an entry-capped store with auto sharding.
   explicit PreparedStore(size_t max_entries = 0)
-      : PreparedStore(Options{/*shards=*/8, max_entries, /*byte_budget=*/0}) {}
+      : PreparedStore(Options{/*shards=*/0, max_entries, /*byte_budget=*/0}) {}
   explicit PreparedStore(const Options& options);
 
   using ComputeFn = std::function<Result<std::string>(CostMeter*)>;
@@ -170,13 +199,15 @@ class PreparedStore {
                                         CostMeter* meter, bool* hit,
                                         const EntryOptions& entry_options);
   /// ...while the precomputed-Key flavor pays none: warm batches through a
-  /// Key are O(1) in |D| end to end.
+  /// Key are O(1) in |D| end to end, and a warm hit is *lock-free* — one
+  /// snapshot load, one table probe, one relaxed recency stamp.
   Result<PreparedView> GetOrComputeView(const Key& key,
                                         const ComputeFn& compute,
                                         CostMeter* meter, bool* hit,
                                         const EntryOptions& entry_options);
 
-  /// True iff an entry for (problem, witness, data) is resident.
+  /// True iff an entry for (problem, witness, data) is resident. Lock-free
+  /// (probes the published snapshot).
   bool Contains(std::string_view problem, std::string_view witness,
                 std::string_view data) const;
 
@@ -186,14 +217,18 @@ class PreparedStore {
   /// readers keep their consistent pre-delta snapshot through their
   /// shared_ptr — and must leave it equal to Π(new_data). On success the
   /// entry is re-keyed to the post-delta digest under the owning shards'
-  /// stripes, LRU/byte accounting is fixed through `entry_options.size_of`,
-  /// and (when a spill directory is active) the entry is respilled.
+  /// stripes, recency/byte accounting is fixed through
+  /// `entry_options.size_of`, and (when a spill directory is active) the
+  /// entry is respilled.
   ///
   /// Fallback contract: returns NotFound when no entry for old_data is
-  /// resident, Unavailable when a Π for old_data is in flight (the entry
-  /// must not be re-keyed out from under waiters on the shared_future),
-  /// and the patch's own status when it fails. In every non-OK case the
-  /// store is untouched and the caller degrades to recompute-on-miss.
+  /// resident, and the patch's own status when it fails. A Π for old_data
+  /// in flight at call time is waited out once (the call blocks on the
+  /// miss storm's shared_future, then retries — Stats::update_retries);
+  /// only a *second* in-flight Π observed after that retry returns
+  /// Unavailable (the entry must never be re-keyed out from under waiters
+  /// on the shared_future). In every non-OK case the store is untouched
+  /// and the caller degrades to recompute-on-miss.
   using PatchFn = std::function<Status(std::string* prepared, CostMeter*)>;
   Status UpdateData(std::string_view problem, std::string_view witness,
                     std::string_view old_data, std::string_view new_data,
@@ -219,6 +254,7 @@ class PreparedStore {
   /// Summed size estimates of resident entries, decoded views included
   /// (a resident view charges ≈ its payload's bytes against the budget).
   size_t bytes_resident() const;
+  /// The resolved options (shards = 0 has been replaced by the auto pick).
   const Options& options() const { return options_; }
   size_t max_entries() const { return options_.max_entries; }
 
@@ -227,30 +263,127 @@ class PreparedStore {
   void ResetStats();
 
  private:
+  /// One resident Π(D). Entries are heap-allocated and shared between the
+  /// authoritative shard state and every published snapshot that still
+  /// references them; all fields a reader may observe after publication
+  /// are either immutable (key, prepared, size_bytes, spillable) or
+  /// atomic (view, recency stamp). An UpdateData re-key never mutates an
+  /// Entry's payload — it publishes a *new* Entry, so readers holding the
+  /// old shared_ptr keep a consistent pre-delta structure.
   struct Entry {
     /// Full (problem, witness, data) key — the digest-collision guard.
     /// Shared so entries admitted through a Key alias its bytes and warm
     /// re-validation short-circuits on pointer equality.
     std::shared_ptr<const std::string> key;
     std::shared_ptr<const std::string> prepared;
-    /// Memoized decoded view of `prepared` (null: not built — no ViewFn,
-    /// build failed, or freshly Loaded). Evicted with the entry.
+    /// Memoized decoded view of `prepared`. Write-once: set either before
+    /// the entry is published (miss winner, Δ-patch) or exactly once
+    /// under the shard mutex (lazy post-Load rebuild); `view_ready` below
+    /// is the release/acquire marker that makes the field immutable —
+    /// and therefore lock-free-readable — from a reader's perspective.
     std::shared_ptr<const void> view;
-    uint64_t last_used = 0;
+    /// Non-null (== view.get()) once `view` may be read without the shard
+    /// mutex. Null: not built — no ViewFn, build failed, or freshly
+    /// Loaded (the negative-cache flag below distinguishes).
+    std::atomic<const void*> view_ready{nullptr};
+    /// Approximate recency: the epoch (see tick_) of this entry's last
+    /// touch. Hits stamp it with a relaxed store only when the value
+    /// actually changes, so a hot entry's line stays in shared state
+    /// between writer events instead of ping-ponging.
+    std::atomic<uint64_t> last_used{0};
     size_t size_bytes = 0;
     /// Byte estimate charged for `view` against the eviction budget
     /// (≈ payload bytes when a view is resident — a typed decode of the
     /// payload is the same order of magnitude; aliasing views over-count
     /// conservatively). Kept separate from size_bytes so spill files and
     /// view-less reloads stay payload-accurate.
-    size_t view_size_bytes = 0;
+    std::atomic<size_t> view_size_bytes{0};
     /// Negative cache: the ViewFn failed on this payload, so warm hits
     /// skip the O(|Π(D)|) rebuild attempt instead of failing it per hit.
-    bool view_build_failed = false;
+    std::atomic<bool> view_build_failed{false};
     bool spillable = true;
-    /// Position in the owning shard's LRU list (front = least recent), so
-    /// touch/evict are O(1) instead of scans.
-    std::list<uint64_t>::iterator lru_it;
+  };
+  using EntryPtr = std::shared_ptr<Entry>;
+  /// An immutable published table: digest -> shared entry. Readers probe
+  /// it lock-free; writers copy-on-write a successor under the shard
+  /// mutex and publish it atomically.
+  using Table = std::unordered_map<uint64_t, EntryPtr>;
+
+  /// One published table plus its reference count, on one allocation.
+  /// refs starts at 1 — the publication cell's own reference.
+  struct TableBox {
+    explicit TableBox(Table t) : table(std::move(t)) {}
+    const Table table;
+    /// mutable: references are taken/dropped through const TableBox*.
+    mutable std::atomic<int64_t> refs{1};
+  };
+
+  /// Reader guard: keeps a TableBox alive for the duration of one probe.
+  class TableRef {
+   public:
+    TableRef() = default;
+    explicit TableRef(const TableBox* box) : box_(box) {}
+    TableRef(TableRef&& other) noexcept : box_(other.box_) {
+      other.box_ = nullptr;
+    }
+    TableRef& operator=(TableRef&& other) noexcept {
+      if (this != &other) {
+        Release(box_);
+        box_ = other.box_;
+        other.box_ = nullptr;
+      }
+      return *this;
+    }
+    TableRef(const TableRef&) = delete;
+    TableRef& operator=(const TableRef&) = delete;
+    ~TableRef() { Release(box_); }
+    const Table* operator->() const { return &box_->table; }
+    const Table& operator*() const { return box_->table; }
+    static void Release(const TableBox* box) {
+      if (box != nullptr &&
+          box->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        delete box;
+      }
+    }
+
+   private:
+    const TableBox* box_ = nullptr;
+  };
+
+  /// The shard's publication slot: functionally a
+  /// `std::atomic<std::shared_ptr<const Table>>` (the RCU-style cell the
+  /// lock-free hit path reads), hand-rolled as a lock-bit-over-pointer
+  /// protocol because libstdc++'s `_Sp_atomic` unlocks its reader side
+  /// with a *relaxed* RMW — which ThreadSanitizer reports (correctly, per
+  /// the letter of the memory model) as a race against the next writer's
+  /// plain pointer swap. Here every lock is an acquire CAS and every
+  /// unlock a release store, so the protocol is TSan-clean with no
+  /// suppressions. A reader holds the bit for three straight-line
+  /// instructions (read pointer, bump refcount, store back) — the same
+  /// window std::atomic<shared_ptr> pays, and no mutex is ever involved.
+  class SnapshotCell {
+   public:
+    SnapshotCell() = default;
+    ~SnapshotCell();
+    SnapshotCell(const SnapshotCell&) = delete;
+    SnapshotCell& operator=(const SnapshotCell&) = delete;
+    /// Installs the initial (empty) table; called once, pre-sharing.
+    void Init(Table table);
+    /// Lock-free read of the current snapshot.
+    TableRef Acquire() const;
+    /// Publishes `table`, dropping the cell's reference to the previous
+    /// snapshot. Publishers serialize via the shard mutex; the lock bit
+    /// only guards against concurrently-Acquiring readers.
+    void Publish(Table table);
+
+   private:
+    static const TableBox* Box(uintptr_t raw) {
+      return reinterpret_cast<const TableBox*>(raw & ~kLockBit);
+    }
+    /// Spins the lock bit on; returns the (unlocked) raw word.
+    uintptr_t Lock(std::memory_order order) const;
+    static constexpr uintptr_t kLockBit = 1;
+    mutable std::atomic<uintptr_t> val_{0};
   };
 
   /// One rendezvous point per in-flight Π run. The winner fills `result`
@@ -263,13 +396,34 @@ class PreparedStore {
   };
 
   struct Shard {
+    /// Writer lock: serializes snapshot replacement and the inflight map.
+    /// The warm hit path never takes it.
     mutable std::mutex mutex;
-    std::unordered_map<uint64_t, Entry> entries;
-    /// Digests in recency order, front = this shard's LRU entry; the
-    /// global victim is the oldest shard front (O(shards), no full scan).
-    std::list<uint64_t> lru;
+    /// The published entry table. Invariant: outside a writer's critical
+    /// section this is the authoritative state — every mutation publishes
+    /// its successor table before releasing `mutex`.
+    SnapshotCell snapshot;
     std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight;
   };
+
+  /// Per-thread stats slots: each thread hashes to one cache-line-sized
+  /// slot, so hit counting under N readers stops ping-ponging one shared
+  /// line. `stats()` aggregates across slots.
+  struct alignas(64) StatSlot {
+    std::atomic<int64_t> hits{0};
+    std::atomic<int64_t> misses{0};
+    std::atomic<int64_t> evictions{0};
+    std::atomic<int64_t> inflight_waits{0};
+    std::atomic<int64_t> spilled{0};
+    std::atomic<int64_t> loaded{0};
+    std::atomic<int64_t> patches{0};
+    std::atomic<int64_t> patch_fallbacks{0};
+    std::atomic<int64_t> key_builds{0};
+    std::atomic<int64_t> view_builds{0};
+    std::atomic<int64_t> locked_hits{0};
+    std::atomic<int64_t> update_retries{0};
+  };
+  static constexpr size_t kStatSlots = 16;  // power of two
 
   static std::string MakeKey(std::string_view problem, std::string_view witness,
                              std::string_view data);
@@ -284,6 +438,25 @@ class PreparedStore {
   const Shard& ShardFor(uint64_t digest) const {
     return shards_[digest % shards_.size()];
   }
+  /// The stats slot for the calling thread.
+  StatSlot& LocalStats() const;
+  /// Stamps `entry` with the current recency epoch (relaxed, write-once
+  /// per epoch — the lock-free hit path's only potential shared write).
+  void Touch(Entry& entry) const {
+    const uint64_t now = tick_.load(std::memory_order_relaxed) + 1;
+    if (entry.last_used.load(std::memory_order_relaxed) != now) {
+      entry.last_used.store(now, std::memory_order_relaxed);
+    }
+  }
+  /// Copies the shard's current table for a copy-on-write mutation.
+  /// Requires shard.mutex held.
+  static Table CopyTable(const Shard& shard) {
+    return *shard.snapshot.Acquire();
+  }
+  /// Publishes `table` as the shard's snapshot. Requires shard.mutex held.
+  static void PublishTable(Shard* shard, Table table) {
+    shard->snapshot.Publish(std::move(table));
+  }
   size_t DefaultSizeBytes(const Entry& entry) const;
   /// Runs `make_view` (if any) over `prepared`, translating failures and
   /// unwinds into a null view (string-path fallback, never an error).
@@ -291,16 +464,24 @@ class PreparedStore {
       const EntryOptions& entry_options,
       const std::shared_ptr<const std::string>& prepared, CostMeter* meter);
   /// Fills entry.view / view_build_failed / view_size_bytes from one
-  /// BuildView run (miss publish and Δ-patch re-key share this).
+  /// BuildView run (miss publish and Δ-patch re-key share this; the entry
+  /// is private to the caller, so plain relaxed stores suffice).
   void AttachView(const EntryOptions& entry_options, Entry* entry,
                   CostMeter* meter);
+  /// Serves one snapshot/table hit: recency stamp, stats, meter, and the
+  /// lazy view repair when the entry was Loaded without one.
+  Result<PreparedView> ServeHit(const Key& key, const EntryPtr& entry,
+                                const EntryOptions& entry_options,
+                                CostMeter* meter, bool* hit, bool locked);
   /// Hit-path view repair (post-Load entries have no view yet): decodes
-  /// outside every lock, then publishes into the entry iff it still serves
-  /// the same payload and nobody else won the publish race.
-  Result<PreparedView> RebuildViewLazily(
-      const Key& key, const std::shared_ptr<const std::string>& prepared,
-      const EntryOptions& entry_options, CostMeter* meter);
-  /// Evicts globally-LRU entries until both budgets hold.
+  /// outside every lock, then publishes into the shared entry iff it is
+  /// still resident and nobody else won the publish race.
+  Result<PreparedView> RebuildViewLazily(const Key& key, const EntryPtr& entry,
+                                         const EntryOptions& entry_options,
+                                         CostMeter* meter);
+  /// Evicts approximately-LRU entries until both budgets hold: scans the
+  /// published snapshots for the globally oldest recency stamp (no locks),
+  /// then removes the victim under its shard's mutex.
   void EvictUntilWithinBudget();
   bool OverBudget() const;
   /// Best-effort spill-directory maintenance after a successful patch:
@@ -320,23 +501,15 @@ class PreparedStore {
   /// Serializes EvictUntilWithinBudget so concurrent publishers cannot
   /// each take a victim and over-evict below budget.
   std::mutex evict_mutex_;
+  /// Recency epoch: bumped by writer events only (publish, Load, re-key,
+  /// eviction pass). The lock-free hit path *reads* it and stamps
+  /// `last_used = tick_ + 1`, so touched entries outrank everything
+  /// untouched since the previous writer event without hits contending on
+  /// a shared fetch_add.
   std::atomic<uint64_t> tick_{0};
   std::atomic<int64_t> count_{0};
   std::atomic<int64_t> bytes_{0};
-
-  struct AtomicStats {
-    std::atomic<int64_t> hits{0};
-    std::atomic<int64_t> misses{0};
-    std::atomic<int64_t> evictions{0};
-    std::atomic<int64_t> inflight_waits{0};
-    std::atomic<int64_t> spilled{0};
-    std::atomic<int64_t> loaded{0};
-    std::atomic<int64_t> patches{0};
-    std::atomic<int64_t> patch_fallbacks{0};
-    std::atomic<int64_t> key_builds{0};
-    std::atomic<int64_t> view_builds{0};
-  };
-  mutable AtomicStats stats_;
+  mutable std::array<StatSlot, kStatSlots> stat_slots_;
 };
 
 }  // namespace engine

@@ -3,69 +3,110 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <mutex>
 #include <thread>
 
 namespace pitract {
 namespace engine {
 
+namespace {
+
+/// Per-worker tallies: plain (non-atomic) fields, private to one worker
+/// for the whole run and merged after the join. The worker loop writes no
+/// shared mutable state except the claim cursor, once per `batch` items;
+/// the alignment keeps adjacent workers' tallies off each other's cache
+/// lines so the per-item writes don't false-share either.
+struct alignas(64) WorkerTally {
+  int64_t batches = 0;
+  int64_t queries = 0;
+  int64_t pi_runs = 0;
+  int64_t cache_hits = 0;
+  int64_t errors = 0;
+  Status first_error;
+  /// Thread-local meters: each worker charges its own cache lines; the
+  /// report reads them once after the join.
+  CostMeter prepare_meter;
+  CostMeter answer_meter;
+};
+
+}  // namespace
+
 ServeReport ServeParallel(QueryEngine* engine,
                           std::span<const ServeWorkItem> workload,
                           const ServeOptions& options) {
   ServeReport report;
-  const int threads = std::max(options.threads, 1);
+  const int threads =
+      options.threads > 0
+          ? options.threads
+          : static_cast<int>(
+                std::max(1u, std::thread::hardware_concurrency()));
+  report.threads = threads;
   const int repeat = std::max(options.repeat, 1);
+  const int64_t batch = std::max(options.batch, 1);
   const int64_t total =
       static_cast<int64_t>(workload.size()) * static_cast<int64_t>(repeat);
   if (total == 0) return report;
 
   std::atomic<int64_t> cursor{0};
-  std::atomic<int64_t> batches{0};
-  std::atomic<int64_t> queries{0};
-  std::atomic<int64_t> pi_runs{0};
-  std::atomic<int64_t> cache_hits{0};
-  std::atomic<int64_t> errors{0};
-  std::mutex error_mutex;
-  Status first_error;
+  std::vector<WorkerTally> tallies(static_cast<size_t>(threads));
 
   const auto start = std::chrono::steady_clock::now();
-  auto worker = [&] {
+  auto worker = [&](WorkerTally* tally) {
     for (;;) {
-      const int64_t index = cursor.fetch_add(1, std::memory_order_relaxed);
-      if (index >= total) return;
-      const ServeWorkItem& item =
-          workload[static_cast<size_t>(index) % workload.size()];
-      auto batch =
-          item.handle != nullptr
-              ? engine->AnswerBatch(*item.handle, item.queries)
-              : engine->AnswerBatch(item.problem, item.data, item.queries);
-      if (!batch.ok()) {
-        if (errors.fetch_add(1, std::memory_order_relaxed) == 0) {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          first_error = batch.status();
+      // Batched pull: one cursor fetch_add claims `batch` consecutive
+      // work items, so the only cross-worker cache-line traffic in the
+      // loop amortizes over the claimed span.
+      const int64_t begin = cursor.fetch_add(batch, std::memory_order_relaxed);
+      if (begin >= total) return;
+      const int64_t end = std::min(begin + batch, total);
+      for (int64_t index = begin; index < end; ++index) {
+        const ServeWorkItem& item =
+            workload[static_cast<size_t>(index) % workload.size()];
+        auto answered =
+            item.handle != nullptr
+                ? engine->AnswerBatch(*item.handle, item.queries)
+                : engine->AnswerBatch(item.problem, item.data, item.queries);
+        if (!answered.ok()) {
+          if (tally->errors++ == 0) tally->first_error = answered.status();
+          continue;
         }
-        continue;
+        ++tally->batches;
+        tally->queries += static_cast<int64_t>(answered->answers.size());
+        tally->pi_runs += answered->prepare_runs;
+        if (answered->cache_hit) ++tally->cache_hits;
+        tally->prepare_meter.AddSequential(answered->prepare_cost);
+        tally->answer_meter.AddSequential(answered->answer_cost);
       }
-      batches.fetch_add(1, std::memory_order_relaxed);
-      queries.fetch_add(static_cast<int64_t>(batch->answers.size()),
-                        std::memory_order_relaxed);
-      pi_runs.fetch_add(batch->prepare_runs, std::memory_order_relaxed);
-      if (batch->cache_hit) cache_hits.fetch_add(1, std::memory_order_relaxed);
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<size_t>(threads));
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  if (threads == 1) {
+    worker(&tallies[0]);  // in-line: no thread spawn for the 1-worker case
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back(worker, &tallies[static_cast<size_t>(t)]);
+    }
+    for (std::thread& t : pool) t.join();
+  }
   const auto stop = std::chrono::steady_clock::now();
 
-  report.batches = batches.load();
-  report.queries = queries.load();
-  report.pi_runs = pi_runs.load();
-  report.cache_hits = cache_hits.load();
-  report.errors = errors.load();
-  report.first_error = first_error;
+  CostMeter prepare_total;
+  CostMeter answer_total;
+  for (const WorkerTally& tally : tallies) {
+    report.batches += tally.batches;
+    report.queries += tally.queries;
+    report.pi_runs += tally.pi_runs;
+    report.cache_hits += tally.cache_hits;
+    if (tally.errors > 0 && report.errors == 0) {
+      report.first_error = tally.first_error;
+    }
+    report.errors += tally.errors;
+    prepare_total.MergeFrom(tally.prepare_meter);
+    answer_total.MergeFrom(tally.answer_meter);
+  }
+  report.prepare_cost = prepare_total.cost();
+  report.answer_cost = answer_total.cost();
   report.wall_seconds =
       std::chrono::duration<double>(stop - start).count();
   report.queries_per_second =

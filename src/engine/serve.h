@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cost_meter.h"
 #include "common/status.h"
 #include "engine/engine.h"
 
@@ -25,10 +26,15 @@ struct ServeWorkItem {
 };
 
 struct ServeOptions {
-  /// Worker threads pulling work items; clamped to >= 1.
-  int threads = 1;
+  /// Worker threads pulling work items. 0 = auto: one per hardware
+  /// thread (std::thread::hardware_concurrency, clamped to >= 1).
+  int threads = 0;
   /// Passes over the whole workload (> 1 measures the warm store).
   int repeat = 1;
+  /// Work items a worker claims per pull from the shared cursor (one
+  /// fetch_add covers `batch` items), so N workers hammering a warm store
+  /// contend on the cursor line 1/batch as often. Clamped to >= 1.
+  int batch = 8;
 };
 
 /// Aggregate of one ServeParallel run.
@@ -41,14 +47,23 @@ struct ServeReport {
   Status first_error;  // OK when errors == 0
   double wall_seconds = 0;
   double queries_per_second = 0;
+  /// Summed Π cost across workers (charged only on actual Π runs).
+  Cost prepare_cost;
+  /// Summed per-query answering cost across workers.
+  Cost answer_cost;
+  int threads = 0;  // resolved worker count (after the 0 = auto default)
 };
 
 /// Drives `workload` through `engine->AnswerBatch` from
 /// `options.threads` concurrent workers: the multi-threaded face of the
-/// prepare-once/answer-many contract. Work items are pulled from a shared
-/// atomic cursor, so distinct data parts proceed in parallel while
-/// concurrent misses on the same data part dedup onto one Π run inside the
-/// store. Used by bench_x3_concurrency to measure queries/sec vs threads.
+/// prepare-once/answer-many contract. Workers claim `options.batch` work
+/// items per pull from a shared atomic cursor and keep every tally —
+/// batch/query counts and a thread-local CostMeter — in private storage,
+/// merged once after the join, so the serving loop itself touches no
+/// shared mutable state between pulls. Distinct data parts proceed in
+/// parallel; concurrent misses on the same data part dedup onto one Π run
+/// inside the store, and warm hits are lock-free end to end. Used by
+/// bench_x3_concurrency to measure queries/sec vs threads.
 ServeReport ServeParallel(QueryEngine* engine,
                           std::span<const ServeWorkItem> workload,
                           const ServeOptions& options);

@@ -14,6 +14,7 @@
 #include "engine/crosscheck.h"
 #include "engine/engine.h"
 #include "engine/prepared_store.h"
+#include "engine/serve.h"
 #include "graph/generators.h"
 
 namespace pitract {
@@ -433,6 +434,45 @@ TEST(EngineHandleTest, InternValidatesTheProblem) {
   EXPECT_FALSE(engine->Intern("range-minimum", "d").ok());
   EXPECT_FALSE(
       engine->AnswerBatch(DataHandle{}, std::vector<std::string>{"0"}).ok());
+}
+
+// ServeParallel's per-worker tallies (thread-local CostMeters, batched
+// cursor pulls) must aggregate to the same totals a sequential driver
+// sees: counts exact, Π cost charged once per data part, answer cost
+// proportional to the query volume, threads = 0 resolved to the machine.
+TEST(EngineServeReportTest, TalliesAggregateAcrossWorkersAndBatchedPulls) {
+  auto engine = MakeEngine();
+  Rng rng(88);
+  constexpr int kParts = 3;
+  constexpr int kQueries = 8;
+  constexpr int kRepeat = 5;
+  std::vector<ServeWorkItem> workload;
+  for (int part = 0; part < kParts; ++part) {
+    ServeWorkItem item;
+    item.problem = "list-membership";
+    item.data = core::MemberFactorization()
+                    .pi1(core::MakeMemberInstance(
+                        128, RandomList(&rng, 128, 40), 0))
+                    .value();
+    for (int i = 0; i < kQueries; ++i) {
+      item.queries.push_back(std::to_string(rng.NextBelow(128)));
+    }
+    workload.push_back(std::move(item));
+  }
+  ServeOptions options;
+  options.threads = 0;  // auto: hardware_concurrency
+  options.repeat = kRepeat;
+  options.batch = 2;    // force several pulls per worker
+  auto report = ServeParallel(engine.get(), workload, options);
+  EXPECT_EQ(report.errors, 0) << report.first_error.ToString();
+  EXPECT_GE(report.threads, 1);
+  EXPECT_EQ(report.batches, kParts * kRepeat);
+  EXPECT_EQ(report.queries, kParts * kRepeat * kQueries);
+  EXPECT_EQ(report.pi_runs, kParts);
+  // Π cost was charged by exactly the kParts cold batches; every one of
+  // the kParts*kRepeat*kQueries answers charged the answer meters.
+  EXPECT_GT(report.prepare_cost.work, 0);
+  EXPECT_GE(report.answer_cost.work, report.queries);
 }
 
 // ---------------------------------------------------------------------------

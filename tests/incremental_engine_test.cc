@@ -509,6 +509,82 @@ TEST(IncrementalConcurrencyTest, ServeTrafficRacingApplyDeltaStaysConsistent) {
   EXPECT_EQ(report.batches, kVersions * serve_options.repeat);
 }
 
+// Engine-level face of the PR 5 retry contract: an ApplyDelta racing the
+// miss storm's in-flight Π blocks on the shared_future once and patches
+// exactly the payload the storm publishes, so the post-delta data part is
+// warm without ever recomputing Π (pre-PR-5 this degraded to
+// recompute-on-miss with DeltaOutcome::patched == false).
+TEST(IncrementalConcurrencyTest, ApplyDeltaWaitsOutInflightPiThenPatches) {
+  auto engine = MakeEngine();
+  std::atomic<bool> release{false};
+  std::atomic<int> computes{0};
+  ProblemEntry entry;
+  entry.name = "blocking-echo";
+  entry.paper_anchor = "test-only";
+  entry.has_language = true;
+  entry.witness.name = "echo";
+  entry.witness.preprocess = [&](const std::string& data,
+                                 CostMeter*) -> Result<std::string> {
+    ++computes;
+    while (!release.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+    return "pi:" + data;
+  };
+  entry.witness.answer = [](const std::string& prepared,
+                            const std::string& query,
+                            CostMeter*) -> Result<bool> {
+    return prepared.find(query) != std::string::npos;
+  };
+  entry.apply_delta_to_data =
+      [](const std::string& data, const DeltaBatch&) -> Result<std::string> {
+    return data + "+d";
+  };
+  entry.prepared_patch = [](std::string* prepared, const DeltaBatch&,
+                            CostMeter*) {
+    *prepared += "+d";
+    return Status::OK();
+  };
+  ASSERT_TRUE(engine->Register(std::move(entry)).ok());
+
+  const std::vector<std::string> queries = {"pi:base"};
+  std::thread storm([&] {
+    auto batch = engine->AnswerBatch("blocking-echo", "base", queries);
+    EXPECT_TRUE(batch.ok()) << batch.status().ToString();
+  });
+  while (computes.load() == 0) std::this_thread::yield();
+
+  Result<DeltaOutcome> outcome = Status::Internal("delta did not run");
+  std::thread delta([&] {
+    outcome = engine->ApplyDelta("blocking-echo", "base", DeltaBatch{});
+  });
+  // The delta is provably parked on the storm's future before we release.
+  while (engine->store().stats().update_retries == 0) {
+    std::this_thread::yield();
+  }
+  release.store(true, std::memory_order_release);
+  storm.join();
+  delta.join();
+
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->patched);
+  EXPECT_EQ(outcome->new_data, "base+d");
+  const auto stats = engine->store().stats();
+  EXPECT_EQ(stats.update_retries, 1);
+  EXPECT_EQ(stats.patches, 1);
+  EXPECT_EQ(stats.patch_fallbacks, 0);
+
+  // The post-delta data part is warm: Π never re-runs, and the patched
+  // payload answers for it.
+  auto warm = engine->AnswerBatch("blocking-echo", "base+d",
+                                  std::vector<std::string>{"pi:base+d"});
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(warm->prepare_runs, 0);
+  EXPECT_TRUE(warm->answers[0]);
+  EXPECT_EQ(computes.load(), 1);
+}
+
 }  // namespace
 }  // namespace engine
 }  // namespace pitract

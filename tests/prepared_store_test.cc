@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -279,11 +280,13 @@ TEST(PreparedStoreUpdateTest, PatchRespillsUnderTheNewDigest) {
   fs::remove_all(dir);
 }
 
-// Regression for the miss-storm interleaving: an ApplyDelta racing an
-// in-flight Π for the same data part must not re-key the entry out from
-// under the waiters blocked on the shared_future. UpdateData refuses
-// (Unavailable) and the delta degrades to recompute-on-miss.
-TEST(PreparedStoreUpdateTest, InflightMissStormIsNotReKeyed) {
+// The miss-storm interleaving: an ApplyDelta racing an in-flight Π for
+// the same data part must never re-key the entry out from under the
+// waiters blocked on the shared_future. Since PR 5 UpdateData does not
+// degrade immediately either: it blocks on the storm's shared_future once
+// and retries, so the delta patches exactly what the storm publishes
+// (Stats::update_retries counts the wait).
+TEST(PreparedStoreUpdateTest, InflightMissStormDeltaWaitsThenPatches) {
   PreparedStore::Options options;
   options.shards = 4;
   PreparedStore store(options);
@@ -312,28 +315,89 @@ TEST(PreparedStoreUpdateTest, InflightMissStormIsNotReKeyed) {
   // Wait until the winner is inside Π (the storm is in flight for real).
   while (arrived.load() == 0) std::this_thread::yield();
 
-  auto status = store.UpdateData(
-      "p", "w", "storm-data", "storm-data-v2",
-      [](std::string* prepared, CostMeter*) {
-        *prepared = "patched";
-        return Status::OK();
-      });
-  // Non-blocking refusal, not a deadlock and not a re-key.
-  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
-  EXPECT_EQ(store.stats().patch_fallbacks, 1);
+  std::atomic<bool> update_done{false};
+  Status status = Status::Internal("UpdateData did not run");
+  std::thread updater([&] {
+    status = store.UpdateData("p", "w", "storm-data", "storm-data-v2",
+                              [](std::string* prepared, CostMeter*) {
+                                EXPECT_EQ(*prepared, "pi-of-old");
+                                *prepared = "patched";
+                                return Status::OK();
+                              });
+    update_done.store(true, std::memory_order_release);
+  });
+
+  // The delta must block on the storm, not fall back while it is in
+  // flight (the pre-PR-5 behavior returned Unavailable here). The retry
+  // counter ticks *before* the wait, so polling it proves the updater is
+  // parked on the shared_future.
+  while (store.stats().update_retries == 0) std::this_thread::yield();
+  EXPECT_FALSE(update_done.load(std::memory_order_acquire));
+  EXPECT_EQ(store.stats().patch_fallbacks, 0);
 
   release.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
+  updater.join();
 
-  // Every waiter on the shared_future got the old Π, and the store still
-  // serves it under the *old* key — the delta never tore it away.
+  // The retry patched what the storm published and re-keyed it.
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(store.stats().update_retries, 1);
+  EXPECT_EQ(store.stats().patches, 1);
+  EXPECT_EQ(store.stats().patch_fallbacks, 0);
+  EXPECT_FALSE(store.Contains("p", "w", "storm-data"));
+  EXPECT_TRUE(store.Contains("p", "w", "storm-data-v2"));
+
+  // Every waiter on the shared_future still got the *pre-delta* Π — the
+  // re-key replaced the entry, it never mutated the published payload.
   for (const auto& result : results) {
     ASSERT_NE(result, nullptr);
     EXPECT_EQ(*result, "pi-of-old");
   }
-  EXPECT_TRUE(store.Contains("p", "w", "storm-data"));
-  EXPECT_FALSE(store.Contains("p", "w", "storm-data-v2"));
+}
+
+// When the storm UpdateData waited out *fails* its Π, the retry finds no
+// resident entry and the delta degrades to recompute-on-miss (NotFound),
+// still counting the retry.
+TEST(PreparedStoreUpdateTest, RetryAfterFailedStormFallsBackToNotFound) {
+  PreparedStore::Options options;
+  options.shards = 4;
+  PreparedStore store(options);
+
+  std::atomic<bool> release{false};
+  std::atomic<int> arrived{0};
+  std::thread loser([&] {
+    auto result = store.GetOrCompute(
+        "p", "w", "doomed", [&](CostMeter*) -> Result<std::string> {
+          ++arrived;
+          while (!release.load(std::memory_order_acquire)) {
+            std::this_thread::yield();
+          }
+          return Status::Internal("Π failed");
+        });
+    EXPECT_FALSE(result.ok());
+  });
+  while (arrived.load() == 0) std::this_thread::yield();
+
+  std::thread updater([&] {
+    auto status = store.UpdateData("p", "w", "doomed", "doomed-v2",
+                                   [](std::string* prepared, CostMeter*) {
+                                     *prepared = "patched";
+                                     return Status::OK();
+                                   });
+    EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  });
+  // Only release the (failing) storm once the updater is provably parked
+  // on its shared_future, so the retry is deterministic.
+  while (store.stats().update_retries == 0) std::this_thread::yield();
+  release.store(true, std::memory_order_release);
+  loser.join();
+  updater.join();
+
+  EXPECT_EQ(store.stats().update_retries, 1);
   EXPECT_EQ(store.stats().patches, 0);
+  EXPECT_EQ(store.stats().patch_fallbacks, 1);
+  EXPECT_FALSE(store.Contains("p", "w", "doomed"));
+  EXPECT_FALSE(store.Contains("p", "w", "doomed-v2"));
 }
 
 // ---------------------------------------------------------------------------
@@ -1031,6 +1095,234 @@ TEST(PreparedStoreKeyTest, WordAtATimeDigestIsStableAndDiscriminating) {
           << "'";
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free warm hits: the snapshot read path and its proof counters.
+// ---------------------------------------------------------------------------
+
+// The PR 5 acceptance bar, analogous to PR 4's key_builds == 0: a warm
+// multi-threaded run serves every hit from the published snapshot — the
+// shard mutex is never acquired on the hit path (locked_hits == 0) and Π
+// never re-runs (misses == 0).
+TEST(PreparedStoreLockFreeTest, WarmServeParallelAcquiresNoShardMutex) {
+  auto engine = MakeEngine();
+  Rng rng(1801);
+  constexpr int kParts = 4;
+  constexpr int kQueries = 16;
+  std::vector<ServeWorkItem> workload;
+  for (int part = 0; part < kParts; ++part) {
+    ServeWorkItem item;
+    auto handle = engine->Intern(
+        "list-membership",
+        core::MemberFactorization()
+            .pi1(core::MakeMemberInstance(256, RandomList(&rng, 256, 100), 0))
+            .value());
+    ASSERT_TRUE(handle.ok());
+    item.handle =
+        std::make_shared<const DataHandle>(std::move(handle).value());
+    for (int i = 0; i < kQueries; ++i) {
+      item.queries.push_back(std::to_string(rng.NextBelow(256)));
+    }
+    workload.push_back(std::move(item));
+  }
+
+  // Warm pass: pays the misses (and, under racing cold publishes, possibly
+  // some locked hits). Everything after ResetStats must be snapshot-only.
+  ServeOptions warmup;
+  warmup.threads = 2;
+  warmup.repeat = 2;
+  auto warm = ServeParallel(engine.get(), workload, warmup);
+  ASSERT_EQ(warm.errors, 0) << warm.first_error.ToString();
+  engine->store().ResetStats();
+
+  ServeOptions options;
+  options.threads = 4;
+  options.repeat = 8;
+  options.batch = 4;
+  auto report = ServeParallel(engine.get(), workload, options);
+  EXPECT_EQ(report.errors, 0) << report.first_error.ToString();
+  EXPECT_EQ(report.pi_runs, 0);
+  EXPECT_EQ(report.batches, kParts * 8);
+  EXPECT_EQ(report.queries, kParts * 8 * kQueries);
+  EXPECT_EQ(report.threads, 4);
+
+  const auto stats = engine->store().stats();
+  EXPECT_EQ(stats.hits, kParts * 8);
+  EXPECT_EQ(stats.misses, 0);
+  EXPECT_EQ(stats.key_builds, 0);    // handles: no O(|D|) key work either
+  EXPECT_EQ(stats.locked_hits, 0);   // the lock-free-hit proof
+}
+
+// Same proof at the store level, plus per-thread stats aggregation: N
+// threads hammering one hot precomputed Key must sum to exactly N*M hits
+// across the per-thread slots with zero locked hits.
+TEST(PreparedStoreLockFreeTest, HotKeyHammerCountsExactlyAcrossThreadSlots) {
+  PreparedStore store;
+  const PreparedStore::Key key = PreparedStore::InternKey("p", "w", "hot");
+  auto compute = [](CostMeter*) -> Result<std::string> {
+    return std::string("payload");
+  };
+  ASSERT_TRUE(store
+                  .GetOrComputeView(key, compute, nullptr, nullptr,
+                                    PreparedStore::EntryOptions{})
+                  .ok());
+  store.ResetStats();
+
+  constexpr int kThreads = 8;
+  constexpr int kHitsPerThread = 2000;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kHitsPerThread; ++i) {
+        bool hit = false;
+        auto result = store.GetOrComputeView(
+            key,
+            [](CostMeter*) -> Result<std::string> {
+              return Status::Internal("Π must not run on a warm hit");
+            },
+            nullptr, &hit, PreparedStore::EntryOptions{});
+        if (!result.ok() || !hit || *result->prepared != "payload") {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.hits, int64_t{kThreads} * kHitsPerThread);
+  EXPECT_EQ(stats.locked_hits, 0);
+  EXPECT_EQ(stats.misses, 0);
+  EXPECT_EQ(stats.key_builds, 0);
+}
+
+// TSan stress: warm hitters race eviction (byte budget forces victims),
+// UpdateData re-key chains, and Load snapshot swaps. Correctness bar: no
+// data race (TSan job), every successful read is internally consistent
+// (payload matches the version chain), and the byte budget holds at every
+// quiescent point.
+TEST(PreparedStoreLockFreeTest, HittersRaceEvictionRekeysAndLoads) {
+  const std::string dir = UniqueTempDir("race_loads");
+  PreparedStore::Options options;
+  options.shards = 4;
+  options.byte_budget = 4096;
+  PreparedStore store(options);
+
+  // A handful of stable keys the hitters hammer...
+  constexpr int kKeys = 6;
+  std::vector<PreparedStore::Key> keys;
+  for (int i = 0; i < kKeys; ++i) {
+    keys.push_back(
+        PreparedStore::InternKey("p", "w", "data-" + std::to_string(i)));
+  }
+  // ~700 bytes per entry against a 4096-byte budget: the racing inserts
+  // and loads keep eviction genuinely active throughout the stress run.
+  auto payload_for = [](int i) {
+    return "payload-" + std::to_string(i) + ":" + std::string(640, 'x');
+  };
+  auto compute_for = [&payload_for](int i) {
+    return [payload = payload_for(i)](CostMeter*) -> Result<std::string> {
+      return payload;
+    };
+  };
+  for (int i = 0; i < kKeys; ++i) {
+    ASSERT_TRUE(store
+                    .GetOrComputeView(keys[static_cast<size_t>(i)],
+                                      compute_for(i), nullptr, nullptr,
+                                      PreparedStore::EntryOptions{})
+                    .ok());
+  }
+  ASSERT_TRUE(store.Spill(dir).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+
+  // ...while hitters verify payload integrity on every probe,
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(9000 + static_cast<uint64_t>(t));
+      while (!stop.load(std::memory_order_acquire)) {
+        const int i = static_cast<int>(rng.NextBelow(kKeys));
+        auto result = store.GetOrComputeView(
+            keys[static_cast<size_t>(i)], compute_for(i), nullptr, nullptr,
+            PreparedStore::EntryOptions{});
+        if (!result.ok() || *result->prepared != payload_for(i)) {
+          ++violations;  // any resident payload must be its key's version
+        }
+      }
+    });
+  }
+  // ...an updater chains re-keys through a churn key (v0 -> v1 -> ...),
+  workers.emplace_back([&] {
+    int version = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::string old_data = "churn-v" + std::to_string(version);
+      const std::string new_data = "churn-v" + std::to_string(version + 1);
+      auto seeded = store.GetOrComputeView(
+          PreparedStore::InternKey("p", "w", old_data),
+          [&](CostMeter*) -> Result<std::string> {
+            return "churn-payload-v" + std::to_string(version);
+          },
+          nullptr, nullptr, PreparedStore::EntryOptions{});
+      if (!seeded.ok()) {
+        ++violations;
+        break;
+      }
+      auto status = store.UpdateData(
+          "p", "w", old_data, new_data,
+          [&](std::string* prepared, CostMeter*) {
+            *prepared = "churn-payload-v" + std::to_string(version + 1);
+            return Status::OK();
+          });
+      if (!status.ok() && status.code() != StatusCode::kNotFound &&
+          status.code() != StatusCode::kUnavailable) {
+        ++violations;
+      }
+      ++version;
+    }
+  });
+  // ...and a loader keeps swapping snapshots back in from disk.
+  workers.emplace_back([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      auto loaded = store.Load(dir);
+      if (!loaded.ok()) ++violations;
+      std::this_thread::yield();
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true, std::memory_order_release);
+  for (auto& t : workers) t.join();
+
+  EXPECT_EQ(violations.load(), 0);
+  // Quiescent byte-budget invariant after the full publish/patch/Load mix.
+  EXPECT_LE(store.bytes_resident(), options.byte_budget);
+  for (int i = 0; i < kKeys; ++i) {
+    auto result =
+        store.GetOrComputeView(keys[static_cast<size_t>(i)], compute_for(i),
+                               nullptr, nullptr, PreparedStore::EntryOptions{});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(*result->prepared, payload_for(i));
+  }
+  fs::remove_all(dir);
+}
+
+// Options::shards == 0 auto-sizes from the core count: a power of two,
+// at least 2x hardware_concurrency (and the legacy ctor inherits it).
+TEST(PreparedStoreOptionsTest, ZeroShardsAutoSizesFromCoreCount) {
+  PreparedStore store{PreparedStore::Options{}};
+  const size_t shards = store.options().shards;
+  const size_t cores =
+      std::max<size_t>(std::thread::hardware_concurrency(), 1);
+  EXPECT_GE(shards, 2 * cores);
+  EXPECT_EQ(shards & (shards - 1), 0u) << shards << " is not a power of two";
+  PreparedStore legacy(/*max_entries=*/8);
+  EXPECT_EQ(legacy.options().shards, shards);
+  EXPECT_EQ(legacy.options().max_entries, 8u);
 }
 
 }  // namespace
