@@ -16,17 +16,29 @@
 //     digest-handle AnswerBatch (QueryEngine::Intern pays it once); the
 //     handle loop must leave PreparedStore::Stats::key_builds untouched,
 //     checked here and enforced again in engine_test.
+//   * metric=batch — the vectorised kernel layer (answer_view_batch, one
+//     pre-decoded span per batch) against the same engine with batch hooks
+//     stripped (BuiltinOptions::enable_batch_kernels = false, i.e. the
+//     per-query answer_view loop), across batch sizes; rows report
+//     queries/sec/core and bytes/query so the remaining distance to the
+//     hardware's random-access floor is visible.
 //
 // One JSON line per measurement is appended to BENCH_x5_answer_latency.json
-// (or argv[1]) in the f2_landscape trajectory convention. A trailing
-// "tiny" argument shrinks every size so CI can smoke the emitters.
+// (or argv[1]) in the f2_landscape trajectory convention. Every row carries
+// `batch` (queries per AnswerBatch call) and `hardware_concurrency`
+// (matching the x3 row convention) so cross-runner numbers are
+// interpretable. A trailing "tiny" argument shrinks every size so CI can
+// smoke the emitters.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "circuit/generators.h"
 #include "common/rng.h"
 #include "core/problems.h"
 #include "engine/builtins.h"
@@ -43,10 +55,11 @@ constexpr int kQueriesPerBatch = 64;
 
 struct Workload {
   std::string data;
-  std::vector<std::string> queries;  // kQueriesPerBatch warm-path queries
+  std::vector<std::string> queries;  // warm-path queries
 };
 
-Workload MakeMemberWorkload(int64_t n, Rng* rng) {
+Workload MakeMemberWorkload(int64_t n, Rng* rng,
+                            int num_queries = kQueriesPerBatch) {
   const int64_t universe = 4 * n;
   std::vector<int64_t> list;
   list.reserve(static_cast<size_t>(n));
@@ -58,14 +71,15 @@ Workload MakeMemberWorkload(int64_t n, Rng* rng) {
   w.data = core::MemberFactorization()
                .pi1(core::MakeMemberInstance(universe, list, 0))
                .value();
-  for (int i = 0; i < kQueriesPerBatch; ++i) {
+  for (int i = 0; i < num_queries; ++i) {
     w.queries.push_back(std::to_string(
         rng->NextBelow(static_cast<uint64_t>(universe))));
   }
   return w;
 }
 
-Workload MakeGraphWorkload(int64_t n, Rng* rng, bool bds) {
+Workload MakeGraphWorkload(int64_t n, Rng* rng, bool bds,
+                           int num_queries = kQueriesPerBatch) {
   auto g = pitract::graph::ErdosRenyi(static_cast<pitract::graph::NodeId>(n),
                                       2 * n, /*directed=*/false, rng);
   Workload w;
@@ -75,7 +89,38 @@ Workload MakeGraphWorkload(int64_t n, Rng* rng, bool bds) {
                : core::ConnFactorization()
                      .pi1(core::MakeConnInstance(g, 0, 0))
                      .value();
-  for (int i = 0; i < kQueriesPerBatch; ++i) {
+  for (int i = 0; i < num_queries; ++i) {
+    const auto u = rng->NextBelow(static_cast<uint64_t>(n));
+    const auto v = rng->NextBelow(static_cast<uint64_t>(n));
+    w.queries.push_back(std::to_string(u) + "#" + std::to_string(v));
+  }
+  return w;
+}
+
+Workload MakeGvpWorkload(int64_t n, Rng* rng, int num_queries) {
+  pitract::circuit::CircuitGenOptions copts;
+  copts.num_inputs = 16;
+  copts.num_gates = static_cast<int32_t>(n);
+  auto instance = pitract::circuit::RandomCvpInstance(copts, rng);
+  Workload w;
+  w.data = core::GvpFactorization()
+               .pi1(core::MakeGvpInstance(instance, 0))
+               .value();
+  const auto gates = static_cast<uint64_t>(instance.circuit.num_gates());
+  for (int i = 0; i < num_queries; ++i) {
+    w.queries.push_back(std::to_string(rng->NextBelow(gates)));
+  }
+  return w;
+}
+
+Workload MakeReachWorkload(int64_t n, Rng* rng, int num_queries) {
+  auto g = pitract::graph::ErdosRenyi(static_cast<pitract::graph::NodeId>(n),
+                                      2 * n, /*directed=*/true, rng);
+  Workload w;
+  w.data = core::ReachFactorization()
+               .pi1(core::MakeReachInstance(g, 0, 0))
+               .value();
+  for (int i = 0; i < num_queries; ++i) {
     const auto u = rng->NextBelow(static_cast<uint64_t>(n));
     const auto v = rng->NextBelow(static_cast<uint64_t>(n));
     w.queries.push_back(std::to_string(u) + "#" + std::to_string(v));
@@ -86,7 +131,9 @@ Workload MakeGraphWorkload(int64_t n, Rng* rng, bool bds) {
 struct LatencyPoint {
   double ns_per_query = -1;
   double answer_work_per_query = -1;
+  double bytes_per_query = -1;
   long long batches = 0;
+  long long kernel_batches = 0;
 };
 
 /// Warm-store steady state: answer the same batch until `min_ns` elapsed
@@ -99,6 +146,7 @@ LatencyPoint MeasureWarm(engine::QueryEngine* eng,
   LatencyPoint point;
   long long answered = 0;
   long long answer_work = 0;
+  long long answer_bytes = 0;
   pitract_bench::WallTimer timer;
   while ((timer.ElapsedNs() < min_ns || point.batches < 2) &&
          point.batches < max_batches) {
@@ -109,14 +157,19 @@ LatencyPoint MeasureWarm(engine::QueryEngine* eng,
       return point;
     }
     ++point.batches;
+    if (batch->mode == engine::BatchAnswerMode::kKernel) {
+      ++point.kernel_batches;
+    }
     answered += static_cast<long long>(batch->answers.size());
     answer_work += batch->answer_cost.work;
+    answer_bytes += batch->answer_bytes_read;
   }
   const long long total_ns = timer.ElapsedNs();
   if (answered > 0) {
     point.ns_per_query = static_cast<double>(total_ns) / answered;
     point.answer_work_per_query =
         static_cast<double>(answer_work) / answered;
+    point.bytes_per_query = static_cast<double>(answer_bytes) / answered;
   }
   return point;
 }
@@ -167,6 +220,8 @@ int main(int argc, char** argv) {
                  "warning: cannot open %s for append; JSON lines skipped\n",
                  json_path);
   }
+  const int hardware_concurrency =
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
   const long long min_ns = tiny ? 2'000'000 : 50'000'000;
   const long long max_batches = tiny ? 8 : 4096;
   const std::vector<int64_t> sizes =
@@ -238,20 +293,23 @@ int main(int argc, char** argv) {
       if (json != nullptr) {
         std::fprintf(json,
                      "{\"bench\":\"x5_answer_latency\",\"case\":\"%s\","
-                     "\"n\":%lld,\"path\":\"view\",\"batches\":%lld,"
-                     "\"ns_per_query\":%.1f,\"answer_work_per_query\":%.1f}"
-                     "\n",
-                     case_name, static_cast<long long>(n), view_point.batches,
-                     view_point.ns_per_query,
-                     view_point.answer_work_per_query);
+                     "\"n\":%lld,\"path\":\"view\",\"batch\":%d,"
+                     "\"batches\":%lld,\"ns_per_query\":%.1f,"
+                     "\"answer_work_per_query\":%.1f,"
+                     "\"hardware_concurrency\":%d}\n",
+                     case_name, static_cast<long long>(n), kQueriesPerBatch,
+                     view_point.batches, view_point.ns_per_query,
+                     view_point.answer_work_per_query, hardware_concurrency);
         std::fprintf(json,
                      "{\"bench\":\"x5_answer_latency\",\"case\":\"%s\","
-                     "\"n\":%lld,\"path\":\"string\",\"batches\":%lld,"
-                     "\"ns_per_query\":%.1f,\"answer_work_per_query\":%.1f}"
-                     "\n",
-                     case_name, static_cast<long long>(n),
+                     "\"n\":%lld,\"path\":\"string\",\"batch\":%d,"
+                     "\"batches\":%lld,\"ns_per_query\":%.1f,"
+                     "\"answer_work_per_query\":%.1f,"
+                     "\"hardware_concurrency\":%d}\n",
+                     case_name, static_cast<long long>(n), kQueriesPerBatch,
                      string_point.batches, string_point.ns_per_query,
-                     string_point.answer_work_per_query);
+                     string_point.answer_work_per_query,
+                     hardware_concurrency);
         json_lines += 2;
       }
 
@@ -266,12 +324,150 @@ int main(int argc, char** argv) {
       if (json != nullptr && handle_ns > 0 && string_ns > 0) {
         std::fprintf(json,
                      "{\"bench\":\"x5_answer_latency\",\"case\":\"%s\","
-                     "\"n\":%lld,\"metric\":\"admission\","
+                     "\"n\":%lld,\"metric\":\"admission\",\"batch\":1,"
                      "\"handle_ns_per_batch\":%.1f,"
-                     "\"string_key_ns_per_batch\":%.1f}\n",
+                     "\"string_key_ns_per_batch\":%.1f,"
+                     "\"hardware_concurrency\":%d}\n",
                      case_name, static_cast<long long>(n), handle_ns,
-                     string_ns);
+                     string_ns, hardware_concurrency);
         ++json_lines;
+      }
+    }
+  }
+
+  // --- metric=batch: the vectorised kernel layer vs the scalar view loop.
+  //
+  // Same warm-store steady state, but sweeping the batch size: the kernel
+  // engine answers each AnswerBatch call with one answer_view_batch kernel
+  // (queries pre-decoded once per batch), the scalar engine has the batch
+  // hooks stripped and loops the per-query answer_view. Kernel batches must
+  // stay lock-free and key-build-free like every other warm handle batch.
+  const std::vector<int> batch_sizes =
+      tiny ? std::vector<int>{8, 64} : std::vector<int>{16, 64, 256, 1024};
+  const int max_batch = *std::max_element(batch_sizes.begin(),
+                                          batch_sizes.end());
+  struct BatchCase {
+    const char* name;
+    int64_t n;
+  };
+  // The reach closure is O(n^2) bits, so its |D| stays modest; the rest
+  // use the large size where per-query overhead dominates visibly.
+  const int64_t big = tiny ? (1 << 7) : (1 << 16);
+  const std::vector<BatchCase> batch_cases = {
+      {"list-membership", big},
+      {"cvp-refactorized", big},
+      {"connectivity", big},
+      {"breadth-depth-search", big},
+      {"graph-reachability", tiny ? (1 << 6) : (1 << 10)},
+  };
+
+  std::printf("\n%-22s %8s %6s %12s %12s %8s %11s %7s\n", "case", "n",
+              "batch", "kernel ns/q", "scalar ns/q", "speedup", "Mq/s/core",
+              "B/query");
+  std::printf(
+      "----------------------------------------------------------------------"
+      "----------\n");
+  for (const BatchCase& bc : batch_cases) {
+    Rng rng(0xba7c4 + static_cast<uint64_t>(bc.n));
+    Workload w;
+    if (std::strcmp(bc.name, "list-membership") == 0) {
+      w = MakeMemberWorkload(bc.n, &rng, max_batch);
+    } else if (std::strcmp(bc.name, "cvp-refactorized") == 0) {
+      w = MakeGvpWorkload(bc.n, &rng, max_batch);
+    } else if (std::strcmp(bc.name, "graph-reachability") == 0) {
+      w = MakeReachWorkload(bc.n, &rng, max_batch);
+    } else {
+      w = MakeGraphWorkload(
+          bc.n, &rng, std::strcmp(bc.name, "breadth-depth-search") == 0,
+          max_batch);
+    }
+
+    engine::QueryEngine kernel_eng;
+    engine::QueryEngine scalar_eng;
+    engine::BuiltinOptions no_kernels;
+    no_kernels.enable_batch_kernels = false;
+    if (!engine::RegisterBuiltins(&kernel_eng).ok() ||
+        !engine::RegisterBuiltins(&scalar_eng, no_kernels).ok()) {
+      return 1;
+    }
+    auto kernel_handle = kernel_eng.Intern(bc.name, w.data);
+    auto scalar_handle = scalar_eng.Intern(bc.name, w.data);
+    if (!kernel_handle.ok() || !scalar_handle.ok()) {
+      ++failures;
+      continue;
+    }
+    if (!kernel_eng.AnswerBatch(*kernel_handle, w.queries).ok() ||
+        !scalar_eng.AnswerBatch(*scalar_handle, w.queries).ok()) {
+      ++failures;
+      continue;
+    }
+
+    for (int batch_size : batch_sizes) {
+      const std::vector<std::string> queries(
+          w.queries.begin(), w.queries.begin() + batch_size);
+      const auto stats_before = kernel_eng.store().stats();
+      LatencyPoint kernel_point = MeasureWarm(
+          &kernel_eng, *kernel_handle, queries, min_ns, max_batches);
+      const auto stats_after = kernel_eng.store().stats();
+      if (stats_after.key_builds != stats_before.key_builds ||
+          stats_after.locked_hits != stats_before.locked_hits) {
+        std::fprintf(stderr,
+                     "FAIL: warm kernel batches built keys or took locks\n");
+        ++failures;
+      }
+      if (kernel_point.kernel_batches != kernel_point.batches) {
+        std::fprintf(stderr,
+                     "FAIL: %s answered %lld of %lld warm batches without "
+                     "the kernel\n",
+                     bc.name, kernel_point.batches - kernel_point.kernel_batches,
+                     kernel_point.batches);
+        ++failures;
+      }
+      LatencyPoint scalar_point = MeasureWarm(
+          &scalar_eng, *scalar_handle, queries, min_ns, max_batches);
+      const double speedup =
+          kernel_point.ns_per_query > 0
+              ? scalar_point.ns_per_query / kernel_point.ns_per_query
+              : -1;
+      const double kernel_qps_per_core =
+          kernel_point.ns_per_query > 0 ? 1e9 / kernel_point.ns_per_query
+                                        : -1;
+      std::printf("%-22s %8lld %6d %12.1f %12.1f %7.1fx %11.1f %7.1f\n",
+                  bc.name, static_cast<long long>(bc.n), batch_size,
+                  kernel_point.ns_per_query, scalar_point.ns_per_query,
+                  speedup, kernel_qps_per_core / 1e6,
+                  kernel_point.bytes_per_query);
+      if (json != nullptr) {
+        std::fprintf(json,
+                     "{\"bench\":\"x5_answer_latency\",\"case\":\"%s\","
+                     "\"n\":%lld,\"metric\":\"batch\",\"batch\":%d,"
+                     "\"path\":\"kernel\",\"batches\":%lld,"
+                     "\"ns_per_query\":%.1f,\"qps_per_core\":%.0f,"
+                     "\"bytes_per_query\":%.1f,"
+                     "\"answer_work_per_query\":%.1f,"
+                     "\"hardware_concurrency\":%d}\n",
+                     bc.name, static_cast<long long>(bc.n), batch_size,
+                     kernel_point.batches, kernel_point.ns_per_query,
+                     kernel_qps_per_core, kernel_point.bytes_per_query,
+                     kernel_point.answer_work_per_query,
+                     hardware_concurrency);
+        const double scalar_qps_per_core =
+            scalar_point.ns_per_query > 0 ? 1e9 / scalar_point.ns_per_query
+                                          : -1;
+        std::fprintf(json,
+                     "{\"bench\":\"x5_answer_latency\",\"case\":\"%s\","
+                     "\"n\":%lld,\"metric\":\"batch\",\"batch\":%d,"
+                     "\"path\":\"view-scalar\",\"batches\":%lld,"
+                     "\"ns_per_query\":%.1f,\"qps_per_core\":%.0f,"
+                     "\"bytes_per_query\":%.1f,"
+                     "\"answer_work_per_query\":%.1f,"
+                     "\"hardware_concurrency\":%d}\n",
+                     bc.name, static_cast<long long>(bc.n), batch_size,
+                     scalar_point.batches, scalar_point.ns_per_query,
+                     scalar_qps_per_core, scalar_point.bytes_per_query,
+                     scalar_point.answer_work_per_query,
+                     hardware_concurrency);
+        json_lines += 2;
       }
     }
   }
@@ -284,6 +480,10 @@ int main(int argc, char** argv) {
       "\nReading: view ns/query stays flat as |D| doubles (the decoded-view\n"
       "layer probes a memoized typed structure); string ns/query tracks |D|\n"
       "(every warm query re-decodes the whole Π(D) payload). The admission\n"
-      "lines show the per-batch O(|D|) key hash the digest handles delete.\n");
+      "lines show the per-batch O(|D|) key hash the digest handles delete.\n"
+      "The batch table shows the vectorised kernels amortizing dispatch,\n"
+      "parsing and metering to once per batch: kernel ns/query should beat\n"
+      "the scalar view loop from batch >= 64, with bytes/query exposing the\n"
+      "remaining gap to the memory's random-access floor.\n");
   return failures == 0 ? 0 : 1;
 }

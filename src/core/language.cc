@@ -49,6 +49,21 @@ PiWitness ApplyRewriting(const QueryRewriter& rewriter,
       return answer_view(view, *rewritten, meter);
     };
   }
+  // The batch layer composes on the decode hook alone: pre-decoding maps
+  // the query through λ once per batch, after which the base kernel and
+  // decoded-scalar answerers apply verbatim (they only see numeric forms).
+  if (base.decode_query) {
+    auto base_decode = base.decode_query;
+    w.decode_query = [lambda, base_decode](const std::string& query,
+                                           DecodedQuery* out,
+                                           std::vector<int64_t>* scratch) {
+      auto rewritten = lambda(query);
+      if (!rewritten.ok()) return rewritten.status();
+      return base_decode(*rewritten, out, scratch);
+    };
+    w.answer_view_decoded = base.answer_view_decoded;
+    w.answer_view_batch = base.answer_view_batch;
+  }
   return w;
 }
 

@@ -1,9 +1,12 @@
 #ifndef PITRACT_CORE_LANGUAGE_H_
 #define PITRACT_CORE_LANGUAGE_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/cost_meter.h"
 #include "common/result.h"
@@ -51,6 +54,17 @@ class LanguageOfPairs {
 /// number of in-flight batches can alias it safely.
 using PiViewPtr = std::shared_ptr<const void>;
 
+/// One pre-decoded query of the batch answer layer: the numeric form the
+/// hot builtin views probe. Single-value queries (membership element, gate
+/// id) use `a`; pair queries (graph endpoints, interval bounds) use
+/// (`a`, `b`). Witnesses whose queries are not numeric (e.g. circuit
+/// assignments) simply leave `decode_query` unset and keep the scalar
+/// string path.
+struct DecodedQuery {
+  int64_t a = 0;
+  int64_t b = 0;
+};
+
 /// A Π-tractability witness for a language of pairs S (Definition 1): a
 /// PTIME preprocessing function Π and a language S′ decidable in NC, given
 /// here as an `answer` function over (Π(D), Q).
@@ -90,9 +104,61 @@ struct PiWitness {
                              CostMeter*)>
       answer_view;
 
+  /// Optional batch answer layer on top of the decoded view — the hooks a
+  /// serving engine uses to amortize per-query overhead (string parsing,
+  /// virtual dispatch, meter charging) to once per batch.
+  ///
+  ///  * `decode_query` parses one Σ*-query string into its numeric
+  ///    DecodedQuery form. The batch driver calls it once per query per
+  ///    batch, up front, passing a reusable int64 scratch buffer so
+  ///    codec::DecodeIntsInto-style decoders allocate nothing in steady
+  ///    state. Query rewriting (λ) and reduction transport (β) compose on
+  ///    this hook, so derived entries pre-decode through the same chain
+  ///    their scalar path answers through.
+  ///  * `answer_view_decoded` is the scalar face: answers one pre-decoded
+  ///    query against the view. The batch driver falls back to it when no
+  ///    batch kernel exists, so even the scalar loop stops re-parsing
+  ///    bytes per query.
+  ///  * `answer_view_batch` is the vectorized kernel: answers a whole span
+  ///    of pre-decoded queries into a caller-owned 0/1 output span in one
+  ///    call — free to sort/partition the batch, probe branchlessly, and
+  ///    autovectorize. It must write answers[i] for queries[i] (any
+  ///    internal reordering is its own business), charge the meter once
+  ///    per batch (same total work as the scalar probes; depth of one
+  ///    probe, since the batch is conceptually parallel — the NC claim),
+  ///    and fail the whole batch on the first invalid query, matching the
+  ///    scalar loop's first-error-wins contract.
+  ///
+  /// All three are optional and only consulted when `has_view()`; engines
+  /// fall back to the scalar `answer_view`/`answer` paths whenever they
+  /// are absent.
+  std::function<Status(const std::string& query, DecodedQuery* out,
+                       std::vector<int64_t>* scratch)>
+      decode_query;
+  std::function<Result<bool>(const void* view, const DecodedQuery& query,
+                             CostMeter*)>
+      answer_view_decoded;
+  std::function<Status(const void* view, std::span<const DecodedQuery> queries,
+                       std::span<uint8_t> answers, CostMeter*)>
+      answer_view_batch;
+
   /// True when this witness can answer through a decoded view.
   bool has_view() const {
     return static_cast<bool>(deserialize) && static_cast<bool>(answer_view);
+  }
+
+  /// True when a whole pre-decoded batch can be answered by one
+  /// `answer_view_batch` kernel call.
+  bool has_batch_kernel() const {
+    return has_view() && static_cast<bool>(decode_query) &&
+           static_cast<bool>(answer_view_batch);
+  }
+
+  /// True when pre-decoded queries can at least be answered one at a time
+  /// without re-parsing (the batch driver's scalar fallback).
+  bool has_decoded_answer() const {
+    return has_view() && static_cast<bool>(decode_query) &&
+           static_cast<bool>(answer_view_decoded);
   }
 };
 

@@ -1,8 +1,10 @@
 #include "core/problems.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
 #include <memory>
+#include <span>
 
 #include "bds/bds.h"
 #include "circuit/transforms.h"
@@ -38,6 +40,103 @@ Result<PiViewPtr> DeserializeIntListView(
 
 const std::vector<int64_t>& IntListViewOf(const void* view) {
   return *static_cast<const std::vector<int64_t>*>(view);
+}
+
+// ---------------------------------------------------------------------------
+// Batch kernels (PiWitness::decode_query / answer_view_decoded /
+// answer_view_batch)
+// ---------------------------------------------------------------------------
+//
+// The vectorized face of the decoded views: queries arrive pre-decoded as
+// a span, answers leave through a caller-owned 0/1 span, and the meter is
+// charged once per batch — identical total work to the scalar probes,
+// depth of one probe (the batch is conceptually parallel — the NC claim),
+// and one set of relaxed RMWs instead of two per query. The probe loops
+// are branchless: conditional moves instead of data-dependent branches,
+// range violations accumulated into one flag checked after the loop, so
+// the pipeline stays full and the gather-and-compare shapes autovectorize
+// under -march=native (cmake -DPITRACT_NATIVE=ON).
+
+/// Branchless std::lower_bound: index of the first element >= key. The
+/// selects compile to conditional moves, so the probe loop carries no
+/// unpredictable branch.
+inline size_t BranchlessLowerBound(const int64_t* a, size_t n, int64_t key) {
+  size_t lo = 0;
+  size_t len = n;
+  while (len > 0) {
+    const size_t half = len >> 1;
+    const bool right = a[lo + half] < key;
+    lo = right ? lo + half + 1 : lo;
+    len = right ? len - half - 1 : half;
+  }
+  return lo;
+}
+
+/// The scalar charge of one binary search (ncsim::ChargeBinarySearch).
+inline int64_t BinarySearchOps(size_t n) {
+  return ncsim::CeilLog2(n < 1 ? 1 : static_cast<int64_t>(n)) + 1;
+}
+
+/// Once-per-batch charge for `probes` independent probes of
+/// `ops_per_probe` serial ops touching `bytes_per_probe` bytes each.
+inline void ChargeBatch(CostMeter* meter, int64_t probes,
+                        int64_t ops_per_probe, int64_t bytes_per_probe) {
+  if (meter == nullptr || probes <= 0) return;
+  meter->AddParallel(probes * ops_per_probe, ops_per_probe);
+  meter->AddBytesRead(probes * bytes_per_probe);
+}
+
+/// decode_query for single-int queries (membership element, gate id).
+Status DecodeIntQueryHook(const std::string& query, DecodedQuery* out,
+                          std::vector<int64_t>*) {
+  auto e = codec::DecodeSingleInt(query);
+  if (!e.ok()) return e.status();
+  out->a = *e;
+  return Status::OK();
+}
+
+/// decode_query for "a#b" int-pair queries (graph endpoints).
+Status DecodeIntPairQueryHook(const std::string& query, DecodedQuery* out,
+                              std::vector<int64_t>*) {
+  auto q = DecodeIntPairQuery(query, "pair query");
+  if (!q.ok()) return q.status();
+  out->a = q->first;
+  out->b = q->second;
+  return Status::OK();
+}
+
+/// Shared kernel shape of the two int-pair gather views (component labels,
+/// BDS ranks): gather two int64s per query, compare. `Compare` maps the
+/// gathered pair to the 0/1 answer.
+/// `ops_per_probe` preserves each view's scalar charge (two label reads
+/// for connectivity; Example 5's two binary searches for BDS).
+template <typename Compare>
+Status PairGatherKernel(const std::vector<int64_t>& values,
+                        std::span<const DecodedQuery> queries,
+                        std::span<uint8_t> answers, CostMeter* meter,
+                        int64_t ops_per_probe, const char* range_error,
+                        Compare compare) {
+  const int64_t* data = values.data();
+  const uint64_t n = values.size();
+  if (n == 0) {
+    return queries.empty() ? Status::OK() : Status::OutOfRange(range_error);
+  }
+  uint64_t bad = 0;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    // Negative ids wrap to huge unsigned values, so one compare covers
+    // both range violations; violating gathers are clamped in-range (the
+    // whole batch fails below, the gathered value is never reported).
+    const uint64_t u = static_cast<uint64_t>(queries[i].a);
+    const uint64_t v = static_cast<uint64_t>(queries[i].b);
+    bad |= (u >= n) | (v >= n);
+    const size_t ui = u < n ? static_cast<size_t>(u) : 0;
+    const size_t vi = v < n ? static_cast<size_t>(v) : 0;
+    answers[i] = static_cast<uint8_t>(compare(data[ui], data[vi]));
+  }
+  if (bad != 0) return Status::OutOfRange(range_error);
+  ChargeBatch(meter, static_cast<int64_t>(queries.size()), ops_per_probe,
+              /*bytes_per_probe=*/16);
+  return Status::OK();
 }
 
 Result<std::pair<int64_t, int64_t>> DecodeIntPair(std::string_view first,
@@ -280,7 +379,34 @@ PiWitness MemberWitness() {
     auto e = DecodeInt(query);
     if (!e.ok()) return e.status();
     ncsim::ChargeBinarySearch(meter, static_cast<int64_t>(sorted.size()));
+    if (meter != nullptr) meter->AddBytesRead(8 * BinarySearchOps(sorted.size()));
     return std::binary_search(sorted.begin(), sorted.end(), *e);
+  };
+  // Batch layer: pre-decoded elements, branchless lower_bound probes over
+  // the sorted column, one charge per batch.
+  w.decode_query = DecodeIntQueryHook;
+  w.answer_view_decoded = [](const void* view, const DecodedQuery& query,
+                             CostMeter* meter) -> Result<bool> {
+    const std::vector<int64_t>& sorted = IntListViewOf(view);
+    ncsim::ChargeBinarySearch(meter, static_cast<int64_t>(sorted.size()));
+    if (meter != nullptr) meter->AddBytesRead(8 * BinarySearchOps(sorted.size()));
+    return std::binary_search(sorted.begin(), sorted.end(), query.a);
+  };
+  w.answer_view_batch = [](const void* view,
+                           std::span<const DecodedQuery> queries,
+                           std::span<uint8_t> answers,
+                           CostMeter* meter) -> Status {
+    const std::vector<int64_t>& sorted = IntListViewOf(view);
+    const int64_t* data = sorted.data();
+    const size_t n = sorted.size();
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const int64_t key = queries[i].a;
+      const size_t pos = BranchlessLowerBound(data, n, key);
+      answers[i] = static_cast<uint8_t>(pos < n && data[pos] == key);
+    }
+    const int64_t ops = BinarySearchOps(n);
+    ChargeBatch(meter, static_cast<int64_t>(queries.size()), ops, 8 * ops);
+    return Status::OK();
   };
   return w;
 }
@@ -327,8 +453,35 @@ PiWitness ConnWitness() {
         t >= static_cast<int64_t>(labels.size())) {
       return Status::OutOfRange("endpoint out of range");
     }
-    if (meter != nullptr) meter->AddSerial(2);
+    if (meter != nullptr) {
+      meter->AddSerial(2);
+      meter->AddBytesRead(16);
+    }
     return labels[static_cast<size_t>(s)] == labels[static_cast<size_t>(t)];
+  };
+  // Batch layer: contiguous label gathers, branchless range accumulation.
+  w.decode_query = DecodeIntPairQueryHook;
+  w.answer_view_decoded = [](const void* view, const DecodedQuery& query,
+                             CostMeter* meter) -> Result<bool> {
+    const std::vector<int64_t>& labels = IntListViewOf(view);
+    const auto size = static_cast<int64_t>(labels.size());
+    if (query.a < 0 || query.a >= size || query.b < 0 || query.b >= size) {
+      return Status::OutOfRange("endpoint out of range");
+    }
+    if (meter != nullptr) {
+      meter->AddSerial(2);
+      meter->AddBytesRead(16);
+    }
+    return labels[static_cast<size_t>(query.a)] ==
+           labels[static_cast<size_t>(query.b)];
+  };
+  w.answer_view_batch = [](const void* view,
+                           std::span<const DecodedQuery> queries,
+                           std::span<uint8_t> answers,
+                           CostMeter* meter) -> Status {
+    return PairGatherKernel(IntListViewOf(view), queries, answers, meter,
+                            /*ops_per_probe=*/2, "endpoint out of range",
+                            [](int64_t a, int64_t b) { return a == b; });
   };
   return w;
 }
@@ -382,7 +535,34 @@ PiWitness BdsWitness() {
     }
     ncsim::ChargeBinarySearch(meter, static_cast<int64_t>(rank.size()));
     ncsim::ChargeBinarySearch(meter, static_cast<int64_t>(rank.size()));
+    if (meter != nullptr) meter->AddBytesRead(16);
     return rank[static_cast<size_t>(u)] < rank[static_cast<size_t>(v)];
+  };
+  // Batch layer: contiguous rank gathers; the charge keeps Example 5's
+  // two-binary-search bound per query.
+  w.decode_query = DecodeIntPairQueryHook;
+  w.answer_view_decoded = [](const void* view, const DecodedQuery& query,
+                             CostMeter* meter) -> Result<bool> {
+    const std::vector<int64_t>& rank = IntListViewOf(view);
+    const auto size = static_cast<int64_t>(rank.size());
+    if (query.a < 0 || query.a >= size || query.b < 0 || query.b >= size) {
+      return Status::OutOfRange("node id out of range");
+    }
+    ncsim::ChargeBinarySearch(meter, size);
+    ncsim::ChargeBinarySearch(meter, size);
+    if (meter != nullptr) meter->AddBytesRead(16);
+    return rank[static_cast<size_t>(query.a)] <
+           rank[static_cast<size_t>(query.b)];
+  };
+  w.answer_view_batch = [](const void* view,
+                           std::span<const DecodedQuery> queries,
+                           std::span<uint8_t> answers,
+                           CostMeter* meter) -> Status {
+    const std::vector<int64_t>& rank = IntListViewOf(view);
+    return PairGatherKernel(rank, queries, answers, meter,
+                            /*ops_per_probe=*/2 * BinarySearchOps(rank.size()),
+                            "node id out of range",
+                            [](int64_t a, int64_t b) { return a < b; });
   };
   return w;
 }
@@ -435,6 +615,43 @@ PiWitness GvpWitness() {
       meter->AddBytesRead(1);
     }
     return bitmap[static_cast<size_t>(*gate)] == '1';
+  };
+  // Batch layer: branchless byte probes over the gate-value bitmap.
+  w.decode_query = DecodeIntQueryHook;
+  w.answer_view_decoded = [](const void* view, const DecodedQuery& query,
+                             CostMeter* meter) -> Result<bool> {
+    const std::string& bitmap = *static_cast<const std::string*>(view);
+    if (query.a < 0 || query.a >= static_cast<int64_t>(bitmap.size())) {
+      return Status::OutOfRange("gate id out of range");
+    }
+    if (meter != nullptr) {
+      meter->AddSerial(1);
+      meter->AddBytesRead(1);
+    }
+    return bitmap[static_cast<size_t>(query.a)] == '1';
+  };
+  w.answer_view_batch = [](const void* view,
+                           std::span<const DecodedQuery> queries,
+                           std::span<uint8_t> answers,
+                           CostMeter* meter) -> Status {
+    const std::string& bitmap = *static_cast<const std::string*>(view);
+    const uint64_t n = bitmap.size();
+    if (n == 0) {
+      return queries.empty() ? Status::OK()
+                             : Status::OutOfRange("gate id out of range");
+    }
+    const char* bits = bitmap.data();
+    uint64_t bad = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const uint64_t g = static_cast<uint64_t>(queries[i].a);
+      bad |= g >= n;
+      const size_t gi = g < n ? static_cast<size_t>(g) : 0;
+      answers[i] = static_cast<uint8_t>(bits[gi] == '1');
+    }
+    if (bad != 0) return Status::OutOfRange("gate id out of range");
+    ChargeBatch(meter, static_cast<int64_t>(queries.size()),
+                /*ops_per_probe=*/1, /*bytes_per_probe=*/1);
+    return Status::OK();
   };
   return w;
 }
@@ -701,8 +918,61 @@ PiWitness IntervalWitness() {
     const int64_t hi = (*bounds)[1];
     if (lo > hi) return false;
     ncsim::ChargeBinarySearch(meter, static_cast<int64_t>(sorted.size()));
+    if (meter != nullptr) {
+      meter->AddBytesRead(8 * BinarySearchOps(sorted.size()));
+    }
     auto it = std::lower_bound(sorted.begin(), sorted.end(), lo);
     return it != sorted.end() && *it <= hi;
+  };
+  // Batch layer: one branchless lower_bound per interval. λ-rewritten
+  // entries (predicate-selection) pre-decode through the same rewriter
+  // chain, so the kernel only ever sees normalized [lo, hi] pairs.
+  w.decode_query = [](const std::string& query, DecodedQuery* out,
+                      std::vector<int64_t>* scratch) -> Status {
+    std::vector<int64_t> local;
+    std::vector<int64_t>* bounds = scratch != nullptr ? scratch : &local;
+    bounds->clear();
+    PITRACT_RETURN_IF_ERROR(codec::DecodeIntsInto(query, bounds));
+    if (bounds->size() != 2) {
+      return Status::InvalidArgument("interval query needs 2 bounds");
+    }
+    out->a = (*bounds)[0];
+    out->b = (*bounds)[1];
+    return Status::OK();
+  };
+  w.answer_view_decoded = [](const void* view, const DecodedQuery& query,
+                             CostMeter* meter) -> Result<bool> {
+    const std::vector<int64_t>& sorted = IntListViewOf(view);
+    if (query.a > query.b) return false;
+    ncsim::ChargeBinarySearch(meter, static_cast<int64_t>(sorted.size()));
+    if (meter != nullptr) {
+      meter->AddBytesRead(8 * BinarySearchOps(sorted.size()));
+    }
+    auto it = std::lower_bound(sorted.begin(), sorted.end(), query.a);
+    return it != sorted.end() && *it <= query.b;
+  };
+  w.answer_view_batch = [](const void* view,
+                           std::span<const DecodedQuery> queries,
+                           std::span<uint8_t> answers,
+                           CostMeter* meter) -> Status {
+    const std::vector<int64_t>& sorted = IntListViewOf(view);
+    const int64_t* data = sorted.data();
+    const size_t n = sorted.size();
+    // Empty intervals answer false without a probe (and without a charge,
+    // matching the scalar early-out), so count real probes separately.
+    int64_t probes = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const int64_t lo = queries[i].a;
+      const int64_t hi = queries[i].b;
+      const bool nonempty = lo <= hi;
+      probes += nonempty;
+      const size_t pos = BranchlessLowerBound(data, n, lo);
+      answers[i] =
+          static_cast<uint8_t>(nonempty && pos < n && data[pos] <= hi);
+    }
+    const int64_t ops = BinarySearchOps(n);
+    ChargeBatch(meter, probes, ops, /*bytes_per_probe=*/8 * ops);
+    return Status::OK();
   };
   return w;
 }

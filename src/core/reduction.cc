@@ -141,6 +141,22 @@ PiWitness Transport(const NcFactorReduction& r, const PiWitness& w2) {
       return answer_view2(view, *mapped, meter);
     };
   }
+  // Batch layer: β composes into the per-batch decode (each source query
+  // is mapped then decoded once), while the target's kernel and
+  // decoded-scalar answerers transport verbatim — they probe the same
+  // Π(α(D)) view either way.
+  if (w2.decode_query) {
+    auto decode2 = w2.decode_query;
+    w1.decode_query = [beta, decode2](const std::string& query,
+                                      DecodedQuery* out,
+                                      std::vector<int64_t>* scratch) {
+      auto mapped = beta(query);
+      if (!mapped.ok()) return mapped.status();
+      return decode2(*mapped, out, scratch);
+    };
+    w1.answer_view_decoded = w2.answer_view_decoded;
+    w1.answer_view_batch = w2.answer_view_batch;
+  }
   return w1;
 }
 

@@ -97,6 +97,11 @@ Status RegisterBuiltins(QueryEngine* engine, const BuiltinOptions& options) {
       entry.witness.deserialize = nullptr;
       entry.witness.answer_view = nullptr;
     }
+    if (!options.enable_views || !options.enable_batch_kernels) {
+      entry.witness.decode_query = nullptr;
+      entry.witness.answer_view_decoded = nullptr;
+      entry.witness.answer_view_batch = nullptr;
+    }
     return engine->Register(std::move(entry));
   };
 

@@ -35,6 +35,12 @@ struct BuiltinOptions {
   /// before registration, forcing the per-query string-decode path — the
   /// baseline bench_x5_answer_latency measures the view layer against.
   bool enable_views = true;
+  /// When false, the batch hooks (decode_query / answer_view_decoded /
+  /// answer_view_batch) are stripped, pinning batches to the per-query
+  /// scalar `answer_view` loop — the baseline the batch-kernel section of
+  /// bench_x5_answer_latency measures against. Implied off when
+  /// `enable_views` is off (the batch layer sits on the decoded view).
+  bool enable_batch_kernels = true;
 };
 Status RegisterBuiltins(QueryEngine* engine, const BuiltinOptions& options);
 

@@ -1,7 +1,9 @@
 #include "engine/delta_hooks.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -167,6 +169,59 @@ core::PiWitness ReachClosureWitness() {
     }
     return tc.Reachable(static_cast<graph::NodeId>(q->first),
                         static_cast<graph::NodeId>(q->second), nullptr);
+  };
+  // Batch layer: branchless word probes straight into the closure bitset —
+  // range checks accumulate into one flag, the meter is charged once.
+  w.decode_query = [](const std::string& query, core::DecodedQuery* out,
+                      std::vector<int64_t>*) -> Status {
+    auto q = core::DecodeIntPairQuery(query, "reach query");
+    if (!q.ok()) return q.status();
+    out->a = q->first;
+    out->b = q->second;
+    return Status::OK();
+  };
+  w.answer_view_decoded = [](const void* view, const core::DecodedQuery& query,
+                             CostMeter* meter) -> Result<bool> {
+    const auto& tc =
+        *static_cast<const incremental::IncrementalTransitiveClosure*>(view);
+    if (query.a < 0 || query.a >= tc.num_nodes() || query.b < 0 ||
+        query.b >= tc.num_nodes()) {
+      return Status::OutOfRange("node id out of range");
+    }
+    if (meter != nullptr) {
+      meter->AddSerial(1);
+      meter->AddBytesRead(8);
+    }
+    return tc.ReachableUnchecked(static_cast<graph::NodeId>(query.a),
+                                 static_cast<graph::NodeId>(query.b));
+  };
+  w.answer_view_batch = [](const void* view,
+                           std::span<const core::DecodedQuery> queries,
+                           std::span<uint8_t> answers,
+                           CostMeter* meter) -> Status {
+    const auto& tc =
+        *static_cast<const incremental::IncrementalTransitiveClosure*>(view);
+    const uint64_t n = static_cast<uint64_t>(tc.num_nodes());
+    if (n == 0) {
+      return queries.empty() ? Status::OK()
+                             : Status::OutOfRange("node id out of range");
+    }
+    uint64_t bad = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      const uint64_t u = static_cast<uint64_t>(queries[i].a);
+      const uint64_t v = static_cast<uint64_t>(queries[i].b);
+      bad |= (u >= n) | (v >= n);
+      const auto ui = static_cast<graph::NodeId>(u < n ? u : 0);
+      const auto vi = static_cast<graph::NodeId>(v < n ? v : 0);
+      answers[i] = static_cast<uint8_t>(tc.ReachableUnchecked(ui, vi));
+    }
+    if (bad != 0) return Status::OutOfRange("node id out of range");
+    if (meter != nullptr && !queries.empty()) {
+      const auto b = static_cast<int64_t>(queries.size());
+      meter->AddParallel(b, 1);
+      meter->AddBytesRead(8 * b);
+    }
+    return Status::OK();
   };
   return w;
 }

@@ -18,12 +18,19 @@ Result<BatchResult> RunBatch(BatchPath* path) {
   const int n = path->num_queries();
   result.answers.reserve(static_cast<size_t>(n));
   CostMeter answer_meter;
-  for (int qi = 0; qi < n; ++qi) {
-    auto answer = path->AnswerOne(qi, &answer_meter);
-    if (!answer.ok()) return answer.status();
-    result.answers.push_back(*answer);
+  auto handled =
+      path->TryAnswerAll(&result.answers, &result.mode, &answer_meter);
+  if (!handled.ok()) return handled.status();
+  if (!*handled) {
+    for (int qi = 0; qi < n; ++qi) {
+      auto answer = path->AnswerOne(qi, &answer_meter);
+      if (!answer.ok()) return answer.status();
+      result.answers.push_back(*answer);
+    }
+    result.mode = BatchAnswerMode::kScalar;
   }
   result.answer_cost = answer_meter.cost();
+  result.answer_bytes_read = answer_meter.bytes_read();
   return result;
 }
 
@@ -86,6 +93,47 @@ class WitnessBatchPath : public BatchPath {
     return entry_.witness.answer(*prepared_, query, meter);
   }
 
+  /// Amortized batch path: every query of the batch is decoded exactly
+  /// once up front (one reusable int64 scratch buffer, no per-query
+  /// re-parsing), then the whole span is answered by the witness's batch
+  /// kernel when it has one, else by the decoded-scalar loop.
+  Result<bool> TryAnswerAll(std::vector<bool>* answers, BatchAnswerMode* mode,
+                            CostMeter* meter) override {
+    const core::PiWitness& w = entry_.witness;
+    if (view_ == nullptr) return false;
+    const bool kernel = w.has_batch_kernel();
+    if (!kernel && !w.has_decoded_answer()) return false;
+
+    const size_t n = queries_.size();
+    decoded_.resize(n);
+    int_scratch_.clear();
+    for (size_t i = 0; i < n; ++i) {
+      // First decode error fails the batch, matching the scalar loop's
+      // first-error-wins contract (the scalar path would have failed on
+      // the same query's parse).
+      PITRACT_RETURN_IF_ERROR(
+          w.decode_query(queries_[i], &decoded_[i], &int_scratch_));
+    }
+
+    answers->clear();
+    answers->reserve(n);
+    if (kernel) {
+      raw_answers_.resize(n);
+      PITRACT_RETURN_IF_ERROR(w.answer_view_batch(
+          view_.get(), decoded_, std::span<uint8_t>(raw_answers_), meter));
+      answers->assign(raw_answers_.begin(), raw_answers_.end());
+      *mode = BatchAnswerMode::kKernel;
+      return true;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      auto answer = w.answer_view_decoded(view_.get(), decoded_[i], meter);
+      if (!answer.ok()) return answer.status();
+      answers->push_back(*answer);
+    }
+    *mode = BatchAnswerMode::kPreDecoded;
+    return true;
+  }
+
   int num_queries() const override {
     return static_cast<int>(queries_.size());
   }
@@ -98,6 +146,11 @@ class WitnessBatchPath : public BatchPath {
   std::span<const std::string> queries_;
   std::shared_ptr<const std::string> prepared_;
   std::shared_ptr<const void> view_;
+  // Per-batch scratch (decoded queries, int64 decode buffer, kernel 0/1
+  // output) — sized once per batch, reused across its queries.
+  std::vector<core::DecodedQuery> decoded_;
+  std::vector<int64_t> int_scratch_;
+  std::vector<uint8_t> raw_answers_;
 };
 
 /// Typed path: the deployed in-memory case behind the same interface.

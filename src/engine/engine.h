@@ -80,6 +80,18 @@ struct PrepareOutcome {
   bool cache_hit = false;  // the prepared structure was served from a cache
 };
 
+/// How the answering half of a batch executed.
+enum class BatchAnswerMode {
+  /// Per-query scalar loop: each query re-parsed and answered through
+  /// `answer_view` (or the string `answer` hook).
+  kScalar,
+  /// Queries pre-decoded once per batch, then answered one at a time
+  /// through `answer_view_decoded` — no per-query byte parsing.
+  kPreDecoded,
+  /// One `answer_view_batch` kernel call answered the whole span.
+  kKernel,
+};
+
 /// Aggregate of one prepare-once/answer-many batch.
 struct BatchResult {
   std::vector<bool> answers;
@@ -87,14 +99,20 @@ struct BatchResult {
   Cost prepare_cost;
   /// Summed answering cost over the whole batch.
   Cost answer_cost;
+  /// Bytes charged by the answer step (conceptual probe traffic) — the
+  /// bytes/query numerator of the bandwidth-floor benchmarks.
+  int64_t answer_bytes_read = 0;
   int64_t prepare_runs = 0;  // 0 or 1: how many times Π executed
   bool cache_hit = false;
+  /// Which answer path actually ran (tests/benches assert on this).
+  BatchAnswerMode mode = BatchAnswerMode::kScalar;
 };
 
 /// The single prepare-once/answer-many contract that both execution paths
 /// (the Σ*-string witness path and the typed deployed-case path) implement.
 /// `RunBatch` is the one driver loop: Prepare exactly once, then answer
-/// every query against the prepared structure, aggregating costs.
+/// the batch — through `TryAnswerAll`'s amortized whole-batch path when
+/// the implementation has one, else the per-query `AnswerOne` loop.
 class BatchPath {
  public:
   virtual ~BatchPath() = default;
@@ -103,6 +121,18 @@ class BatchPath {
   virtual Result<PrepareOutcome> Prepare(CostMeter* meter) = 0;
   /// Answers the qi-th query of the batch (the NC step).
   virtual Result<bool> AnswerOne(int qi, CostMeter* meter) = 0;
+  /// Whole-batch fast path: answers every query in one call, filling
+  /// `answers` and setting `mode`, returning true. Returning false (the
+  /// default) means "no batch implementation here" and the driver falls
+  /// back to the AnswerOne loop. Must be all-or-nothing: on error the
+  /// whole batch fails, matching the scalar loop's first-error-wins.
+  virtual Result<bool> TryAnswerAll(std::vector<bool>* answers,
+                                    BatchAnswerMode* mode, CostMeter* meter) {
+    (void)answers;
+    (void)mode;
+    (void)meter;
+    return false;
+  }
   virtual int num_queries() const = 0;
 };
 

@@ -20,6 +20,8 @@ struct alignas(64) WorkerTally {
   int64_t queries = 0;
   int64_t pi_runs = 0;
   int64_t cache_hits = 0;
+  int64_t kernel_batches = 0;
+  int64_t answer_bytes_read = 0;
   int64_t errors = 0;
   Status first_error;
   /// Thread-local meters: each worker charges its own cache lines; the
@@ -73,6 +75,10 @@ ServeReport ServeParallel(QueryEngine* engine,
         tally->queries += static_cast<int64_t>(answered->answers.size());
         tally->pi_runs += answered->prepare_runs;
         if (answered->cache_hit) ++tally->cache_hits;
+        if (answered->mode == BatchAnswerMode::kKernel) {
+          ++tally->kernel_batches;
+        }
+        tally->answer_bytes_read += answered->answer_bytes_read;
         tally->prepare_meter.AddSequential(answered->prepare_cost);
         tally->answer_meter.AddSequential(answered->answer_cost);
       }
@@ -98,6 +104,8 @@ ServeReport ServeParallel(QueryEngine* engine,
     report.queries += tally.queries;
     report.pi_runs += tally.pi_runs;
     report.cache_hits += tally.cache_hits;
+    report.kernel_batches += tally.kernel_batches;
+    report.answer_bytes_read += tally.answer_bytes_read;
     if (tally.errors > 0 && report.errors == 0) {
       report.first_error = tally.first_error;
     }

@@ -43,6 +43,12 @@ struct ServeReport {
   int64_t queries = 0;     // queries answered across those batches
   int64_t pi_runs = 0;     // how many batches actually executed Π
   int64_t cache_hits = 0;  // batches served from the PreparedStore
+  /// Batches answered by one `answer_view_batch` kernel call (vs the
+  /// scalar per-query loop) — warm kernel-enabled entries should show
+  /// kernel_batches == batches.
+  int64_t kernel_batches = 0;
+  /// Bytes charged by the answer step across all batches (probe traffic).
+  int64_t answer_bytes_read = 0;
   int64_t errors = 0;
   Status first_error;  // OK when errors == 0
   double wall_seconds = 0;

@@ -43,6 +43,12 @@ class IncrementalTransitiveClosure {
   Result<bool> Reachable(graph::NodeId u, graph::NodeId v,
                          CostMeter* meter) const;
 
+  /// Uncharged, unchecked closure probe for batch kernels that have
+  /// already range-validated the whole batch and charge the meter once.
+  bool ReachableUnchecked(graph::NodeId u, graph::NodeId v) const {
+    return desc_[static_cast<size_t>(u)].Test(v);
+  }
+
   graph::NodeId num_nodes() const { return n_; }
   int64_t NumReachablePairs() const;
 

@@ -1,0 +1,491 @@
+// The batch answer kernel layer (PiWitness::decode_query /
+// answer_view_decoded / answer_view_batch): batch-vs-scalar parity across
+// every kernel-enabled entry — including a λ-rewritten and two
+// reduction-transported ones — over degenerate and large batch sizes, the
+// pre-decoded scalar fallback, error parity, warm-store counter hygiene,
+// and (under TSan) concurrent kernel batches racing ApplyDelta re-keys.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/generators.h"
+#include "common/codec.h"
+#include "common/rng.h"
+#include "core/problems.h"
+#include "engine/builtins.h"
+#include "engine/delta.h"
+#include "engine/engine.h"
+#include "graph/generators.h"
+
+namespace pitract {
+namespace engine {
+namespace {
+
+std::unique_ptr<QueryEngine> MakeEngine(const BuiltinOptions& options) {
+  auto engine = std::make_unique<QueryEngine>();
+  auto status = RegisterBuiltins(engine.get(), options);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  return engine;
+}
+
+std::unique_ptr<QueryEngine> MakeEngine() {
+  return MakeEngine(BuiltinOptions{});
+}
+
+struct Case {
+  std::string problem;
+  std::string data;
+  std::vector<std::string> queries;
+};
+
+/// Every kernel-enabled entry, with enough queries for the largest batch
+/// prefix the tests slice off: the direct sorted-column / graph / bitmap /
+/// closure entries, the λ-rewritten predicate dialect, and the
+/// reduction-transported members (Transport and a Lemma 2 composition).
+std::vector<Case> MakeKernelCases(int num_queries) {
+  Rng rng(77);
+  std::vector<Case> cases;
+
+  const int64_t universe = 256;
+  std::vector<int64_t> list;
+  for (int i = 0; i < 128; ++i) {
+    list.push_back(
+        static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(universe))));
+  }
+  std::string member_data =
+      core::MemberFactorization()
+          .pi1(core::MakeMemberInstance(universe, list, 0))
+          .value();
+  // member-via-bds is excluded: its Lemma 2 composition pads data and
+  // query into one string per instance, so one data part never serves a
+  // multi-query batch (its kernel transport is still covered by the
+  // composed decode chain test below).
+  Case member{"list-membership", member_data, {}};
+  Case via_conn{"member-via-conn", member_data, {}};
+  for (int i = 0; i < num_queries; ++i) {
+    std::string e = std::to_string(rng.NextBelow(256));
+    member.queries.push_back(e);
+    via_conn.queries.push_back(e);
+  }
+  cases.push_back(std::move(member));
+  cases.push_back(std::move(via_conn));
+
+  // λ-rewritten dialect: predicates decode through the rewriter chain.
+  Case selection{"predicate-selection",
+                 core::SelectionFactorization()
+                     .pi1(core::MakeSelectionInstance(universe, list, {0, 1}))
+                     .value(),
+                 {}};
+  for (int i = 0; i < num_queries; ++i) {
+    const int64_t a = static_cast<int64_t>(rng.NextBelow(256));
+    switch (i % 4) {
+      case 0:
+        selection.queries.push_back(codec::EncodeInts({0, a}));  // = a
+        break;
+      case 1:
+        selection.queries.push_back(codec::EncodeInts({1, a}));  // <= a
+        break;
+      case 2:
+        selection.queries.push_back(codec::EncodeInts({2, a}));  // >= a
+        break;
+      default:
+        selection.queries.push_back(
+            codec::EncodeInts({3, a, a + 9}));  // between
+    }
+  }
+  cases.push_back(std::move(selection));
+
+  auto undirected = graph::ErdosRenyi(64, 96, /*directed=*/false, &rng);
+  auto directed = graph::ErdosRenyi(64, 128, /*directed=*/true, &rng);
+  Case conn{"connectivity",
+            core::ConnFactorization()
+                .pi1(core::MakeConnInstance(undirected, 0, 0))
+                .value(),
+            {}};
+  Case bds{"breadth-depth-search",
+           core::BdsFactorization()
+               .pi1(core::MakeBdsInstance(undirected, 0, 0))
+               .value(),
+           {}};
+  Case reach{"graph-reachability",
+             core::ReachFactorization()
+                 .pi1(core::MakeReachInstance(directed, 0, 0))
+                 .value(),
+             {}};
+  for (int i = 0; i < num_queries; ++i) {
+    std::string q = std::to_string(rng.NextBelow(64)) + "#" +
+                    std::to_string(rng.NextBelow(64));
+    conn.queries.push_back(q);
+    bds.queries.push_back(q);
+    reach.queries.push_back(q);
+  }
+  cases.push_back(std::move(conn));
+  cases.push_back(std::move(bds));
+  cases.push_back(std::move(reach));
+
+  // GVP bitmap.
+  circuit::CircuitGenOptions copts;
+  copts.num_inputs = 6;
+  copts.num_gates = 40;
+  auto instance = circuit::RandomCvpInstance(copts, &rng);
+  Case gvp{"cvp-refactorized",
+           core::GvpFactorization()
+               .pi1(core::MakeGvpInstance(instance, 0))
+               .value(),
+           {}};
+  const auto gates = static_cast<uint64_t>(instance.circuit.num_gates());
+  for (int i = 0; i < num_queries; ++i) {
+    gvp.queries.push_back(std::to_string(rng.NextBelow(gates)));
+  }
+  cases.push_back(std::move(gvp));
+  return cases;
+}
+
+// ---------------------------------------------------------------------------
+// Parity: the kernel path, the pre-decoded scalar loop, the scalar view
+// loop and the string path all answer identically — across empty, single,
+// odd and larger-than-typical batch sizes.
+// ---------------------------------------------------------------------------
+
+TEST(BatchKernelTest, KernelScalarAndStringPathsAgreeOnEveryKernelEntry) {
+  constexpr int kMaxBatch = 257;
+  auto kernel_engine = MakeEngine();
+  BuiltinOptions no_kernels;
+  no_kernels.enable_batch_kernels = false;
+  auto scalar_engine = MakeEngine(no_kernels);
+  BuiltinOptions no_views;
+  no_views.enable_views = false;
+  auto string_engine = MakeEngine(no_views);
+
+  for (const Case& c : MakeKernelCases(kMaxBatch)) {
+    auto entry = kernel_engine->Find(c.problem);
+    ASSERT_TRUE(entry.ok()) << c.problem;
+    EXPECT_TRUE((*entry)->witness.has_batch_kernel())
+        << c.problem << " lost its batch kernel";
+    auto stripped = scalar_engine->Find(c.problem);
+    ASSERT_TRUE(stripped.ok()) << c.problem;
+    EXPECT_FALSE((*stripped)->witness.has_batch_kernel()) << c.problem;
+    EXPECT_TRUE((*stripped)->witness.has_view()) << c.problem;
+
+    for (size_t batch : {size_t{0}, size_t{1}, size_t{7}, size_t{64},
+                         size_t{257}}) {
+      const std::vector<std::string> queries(c.queries.begin(),
+                                             c.queries.begin() + batch);
+      auto kernel =
+          kernel_engine->AnswerBatch(c.problem, c.data, queries);
+      ASSERT_TRUE(kernel.ok())
+          << c.problem << "/" << batch << ": " << kernel.status().ToString();
+      EXPECT_EQ(kernel->mode, BatchAnswerMode::kKernel)
+          << c.problem << "/" << batch;
+      auto scalar = scalar_engine->AnswerBatch(c.problem, c.data, queries);
+      ASSERT_TRUE(scalar.ok()) << c.problem << "/" << batch;
+      EXPECT_EQ(scalar->mode, BatchAnswerMode::kScalar)
+          << c.problem << "/" << batch;
+      auto string_batch =
+          string_engine->AnswerBatch(c.problem, c.data, queries);
+      ASSERT_TRUE(string_batch.ok()) << c.problem << "/" << batch;
+      EXPECT_EQ(kernel->answers, scalar->answers)
+          << c.problem << "/" << batch;
+      EXPECT_EQ(kernel->answers, string_batch->answers)
+          << c.problem << "/" << batch;
+      // One kernel call charges the same conceptual work as the scalar
+      // probes (the batch is parallel in depth, not in work).
+      EXPECT_EQ(kernel->answer_cost.work, scalar->answer_cost.work)
+          << c.problem << "/" << batch;
+      EXPECT_EQ(kernel->answer_cost.work, string_batch->answer_cost.work)
+          << c.problem << "/" << batch;
+    }
+  }
+}
+
+TEST(BatchKernelTest, ComposedReductionDecodeChainKeepsTheKernelEngaged) {
+  // member-via-bds transports BDS's kernel across the Lemma 2 composition:
+  // β unpads, reassembles, renumbers — all folded into decode_query, so
+  // even this doubly-derived entry answers through one kernel call. Its
+  // padded factorization ties each query to its own data part, so batches
+  // here are per-instance.
+  auto engine = MakeEngine();
+  auto entry = engine->Find("member-via-bds");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_TRUE((*entry)->witness.has_batch_kernel());
+
+  Rng rng(55);
+  std::vector<int64_t> list;
+  for (int i = 0; i < 48; ++i) {
+    list.push_back(static_cast<int64_t>(rng.NextBelow(128)));
+  }
+  for (int i = 0; i < 8; ++i) {
+    const int64_t e = static_cast<int64_t>(rng.NextBelow(128));
+    const std::string x = core::MakeMemberInstance(128, list, e);
+    auto expected = core::ListMembershipProblem().contains(x);
+    ASSERT_TRUE(expected.ok());
+    auto data = (*entry)->factorization.pi1(x);
+    auto query = (*entry)->factorization.pi2(x);
+    ASSERT_TRUE(data.ok());
+    ASSERT_TRUE(query.ok());
+    const std::vector<std::string> queries{*query};
+    auto batch = engine->AnswerBatch("member-via-bds", *data, queries);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    EXPECT_EQ(batch->mode, BatchAnswerMode::kKernel);
+    ASSERT_EQ(batch->answers.size(), 1u);
+    EXPECT_EQ(batch->answers[0], *expected) << "element " << e;
+  }
+}
+
+TEST(BatchKernelTest, EntriesWithoutNumericQueriesFallBackToScalar) {
+  auto engine = MakeEngine();
+  // Circuit-assignment queries are not numeric: no decode hook, no kernel.
+  for (const char* name : {"cvp-nand-eval", "cvp-via-nand"}) {
+    auto entry = engine->Find(name);
+    ASSERT_TRUE(entry.ok()) << name;
+    EXPECT_FALSE((*entry)->witness.has_batch_kernel()) << name;
+    EXPECT_FALSE((*entry)->witness.has_decoded_answer()) << name;
+  }
+  Rng rng(5);
+  circuit::CircuitGenOptions copts;
+  copts.num_inputs = 5;
+  copts.num_gates = 16;
+  auto instance = circuit::RandomCvpInstance(copts, &rng);
+  std::string data = core::CvpCircuitDataFactorization()
+                         .pi1(core::MakeCvpInstanceString(instance))
+                         .value();
+  std::vector<std::string> queries;
+  for (int i = 0; i < 4; ++i) {
+    std::string bits;
+    for (int b = 0; b < instance.circuit.num_inputs(); ++b) {
+      bits.push_back(rng.NextBool() ? '1' : '0');
+    }
+    queries.push_back(std::move(bits));
+  }
+  auto batch = engine->AnswerBatch("cvp-nand-eval", data, queries);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->mode, BatchAnswerMode::kScalar);
+}
+
+// ---------------------------------------------------------------------------
+// The pre-decoded scalar fallback: a witness with decode_query and
+// answer_view_decoded but no answer_view_batch still stops re-parsing
+// bytes per query.
+// ---------------------------------------------------------------------------
+
+TEST(BatchKernelTest, DecodedScalarFallbackRunsWhenNoKernelExists) {
+  auto engine = std::make_unique<QueryEngine>();
+  ProblemEntry entry;
+  entry.name = "member-no-kernel";
+  entry.has_language = true;
+  entry.problem = core::ListMembershipProblem();
+  entry.factorization = core::MemberFactorization();
+  entry.witness = core::MemberWitness();
+  ASSERT_TRUE(entry.witness.has_batch_kernel());
+  entry.witness.answer_view_batch = nullptr;
+  ASSERT_TRUE(entry.witness.has_decoded_answer());
+  ASSERT_TRUE(engine->Register(std::move(entry)).ok());
+
+  Rng rng(11);
+  std::vector<int64_t> list;
+  for (int i = 0; i < 64; ++i) {
+    list.push_back(static_cast<int64_t>(rng.NextBelow(256)));
+  }
+  std::string data = core::MemberFactorization()
+                         .pi1(core::MakeMemberInstance(256, list, 0))
+                         .value();
+  std::vector<std::string> queries;
+  for (int i = 0; i < 33; ++i) {
+    queries.push_back(std::to_string(rng.NextBelow(256)));
+  }
+  auto batch = engine->AnswerBatch("member-no-kernel", data, queries);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch->mode, BatchAnswerMode::kPreDecoded);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    bool expected = false;
+    const int64_t e = std::stoll(queries[i]);
+    for (int64_t m : list) expected = expected || m == e;
+    EXPECT_EQ(batch->answers[i], expected) << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Error parity: an invalid query fails the whole batch on every path with
+// the same status code (first-error-wins).
+// ---------------------------------------------------------------------------
+
+TEST(BatchKernelTest, InvalidQueriesFailTheBatchOnEveryPath) {
+  auto kernel_engine = MakeEngine();
+  BuiltinOptions no_kernels;
+  no_kernels.enable_batch_kernels = false;
+  auto scalar_engine = MakeEngine(no_kernels);
+
+  Rng rng(21);
+  auto g = graph::ErdosRenyi(32, 64, /*directed=*/false, &rng);
+  std::string conn_data =
+      core::ConnFactorization().pi1(core::MakeConnInstance(g, 0, 0)).value();
+  // Out-of-range endpoints (positive and negative) sandwiched between
+  // valid queries, and a malformed decode.
+  const std::vector<std::vector<std::string>> bad_batches = {
+      {"0#1", "5#999999", "2#3"},
+      {"0#1", "-7#2"},
+      {"0#1", "not-a-pair"},
+  };
+  for (const auto& queries : bad_batches) {
+    auto kernel = kernel_engine->AnswerBatch("connectivity", conn_data,
+                                             queries);
+    auto scalar = scalar_engine->AnswerBatch("connectivity", conn_data,
+                                             queries);
+    ASSERT_FALSE(kernel.ok()) << queries.back();
+    ASSERT_FALSE(scalar.ok()) << queries.back();
+    EXPECT_EQ(kernel.status().code(), scalar.status().code())
+        << queries.back();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Warm kernel batches keep the serving-layer counters clean: lock-free
+// snapshot hits, zero key builds, zero misses.
+// ---------------------------------------------------------------------------
+
+TEST(BatchKernelTest, WarmKernelBatchesStayLockFreeAndKeyBuildFree) {
+  auto engine = MakeEngine();
+  Rng rng(31);
+  std::vector<int64_t> list;
+  for (int i = 0; i < 256; ++i) {
+    list.push_back(static_cast<int64_t>(rng.NextBelow(1024)));
+  }
+  auto handle = engine->Intern(
+      "list-membership", core::MemberFactorization()
+                             .pi1(core::MakeMemberInstance(1024, list, 0))
+                             .value());
+  ASSERT_TRUE(handle.ok());
+  std::vector<std::string> queries;
+  for (int i = 0; i < 128; ++i) {
+    queries.push_back(std::to_string(rng.NextBelow(1024)));
+  }
+  // Cold batch runs Π; everything after is the warm steady state.
+  ASSERT_TRUE(engine->AnswerBatch(*handle, queries).ok());
+  const auto before = engine->store().stats();
+  for (int i = 0; i < 50; ++i) {
+    auto batch = engine->AnswerBatch(*handle, queries);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(batch->mode, BatchAnswerMode::kKernel);
+    EXPECT_TRUE(batch->cache_hit);
+    EXPECT_EQ(batch->prepare_runs, 0);
+    EXPECT_GT(batch->answer_bytes_read, 0);
+  }
+  const auto after = engine->store().stats();
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_EQ(after.key_builds, before.key_builds);
+  EXPECT_EQ(after.locked_hits, 0);
+  EXPECT_EQ(after.hits, before.hits + 50);
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: kernel batches racing ApplyDelta re-keys (run under TSan in
+// CI). Every batch must answer exactly its pinned version — never a torn
+// view — and the kernel path must stay engaged throughout.
+// ---------------------------------------------------------------------------
+
+TEST(BatchKernelTest, ConcurrentKernelBatchesRacingApplyDeltaStayConsistent) {
+  Rng rng(0xbead);
+  const int64_t universe = 512;
+  constexpr int kVersions = 5;
+
+  std::vector<std::vector<int64_t>> lists(kVersions);
+  for (int i = 0; i < 100; ++i) {
+    lists[0].push_back(
+        static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(universe))));
+  }
+  std::vector<DeltaBatch> deltas(kVersions - 1);
+  for (int v = 1; v < kVersions; ++v) {
+    lists[v] = lists[v - 1];
+    for (int i = 0; i < 4; ++i) {
+      DeltaOp op;
+      op.kind = DeltaOp::Kind::kListInsert;
+      op.a = static_cast<int64_t>(
+          rng.NextBelow(static_cast<uint64_t>(universe)));
+      deltas[static_cast<size_t>(v - 1)].ops.push_back(op);
+      lists[v].push_back(op.a);
+    }
+  }
+  std::vector<std::string> version_data(kVersions);
+  {
+    auto scratch = MakeEngine();
+    version_data[0] =
+        core::MemberFactorization()
+            .pi1(core::MakeMemberInstance(universe, lists[0], 0))
+            .value();
+    for (int v = 1; v < kVersions; ++v) {
+      auto outcome = scratch->ApplyDelta("list-membership",
+                                         version_data[v - 1],
+                                         deltas[static_cast<size_t>(v - 1)]);
+      ASSERT_TRUE(outcome.ok());
+      version_data[v] = outcome->new_data;
+    }
+  }
+  std::vector<std::string> queries;
+  for (int i = 0; i < 16; ++i) {
+    queries.push_back(std::to_string(rng.NextBelow(universe)));
+  }
+  std::vector<std::vector<bool>> expected(kVersions);
+  for (int v = 0; v < kVersions; ++v) {
+    for (const std::string& q : queries) {
+      const int64_t e = std::stoll(q);
+      bool found = false;
+      for (int64_t m : lists[static_cast<size_t>(v)]) found = found || m == e;
+      expected[static_cast<size_t>(v)].push_back(found);
+    }
+  }
+
+  auto engine = MakeEngine();
+  ASSERT_TRUE(
+      engine->AnswerBatch("list-membership", version_data[0], queries).ok());
+
+  std::atomic<int> mismatches{0};
+  std::atomic<int> scalar_batches{0};
+  std::atomic<int> errors{0};
+  std::atomic<bool> done{false};
+
+  std::thread updater([&] {
+    for (int v = 1; v < kVersions; ++v) {
+      auto outcome =
+          engine->ApplyDelta("list-membership", version_data[v - 1],
+                             deltas[static_cast<size_t>(v - 1)]);
+      if (!outcome.ok()) ++errors;
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> verifiers;
+  for (int t = 0; t < 4; ++t) {
+    verifiers.emplace_back([&, t] {
+      Rng thread_rng(500 + static_cast<uint64_t>(t));
+      while (!done.load(std::memory_order_acquire)) {
+        const int v = static_cast<int>(thread_rng.NextBelow(kVersions));
+        auto batch = engine->AnswerBatch("list-membership",
+                                         version_data[static_cast<size_t>(v)],
+                                         queries);
+        if (!batch.ok()) {
+          ++errors;
+          continue;
+        }
+        if (batch->answers != expected[static_cast<size_t>(v)]) ++mismatches;
+        if (batch->mode != BatchAnswerMode::kKernel) ++scalar_batches;
+      }
+    });
+  }
+  updater.join();
+  done.store(true, std::memory_order_release);
+  for (auto& t : verifiers) t.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0)
+      << "a kernel batch observed a torn or stale Π-view";
+  EXPECT_EQ(scalar_batches.load(), 0)
+      << "a racing batch fell off the kernel path";
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace pitract
