@@ -21,8 +21,12 @@ enum class StatusCode {
   kUnimplemented = 6,
   kInternal = 7,
   /// Transient contention (e.g. the serving layer refusing to re-key an
-  /// entry while a Π run for it is in flight): safe to retry or degrade.
+  /// entry while a Π run for it is in flight) or load shedding (an
+  /// admission queue at its configured depth): safe to retry or degrade.
   kUnavailable = 8,
+  /// The item's deadline passed before it could be answered; the serving
+  /// pipeline completes such items without burning answer work on them.
+  kDeadlineExceeded = 9,
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -57,6 +61,9 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

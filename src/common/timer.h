@@ -34,6 +34,28 @@ class Timer {
   Clock::time_point start_;
 };
 
+/// Current steady-clock reading in nanoseconds: the time base for serving
+/// deadlines. Only differences (and comparisons against deadlines built
+/// with DeadlineAfterNanos) are meaningful; the epoch is unspecified.
+inline int64_t MonotonicNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Absolute deadline `relative_nanos` from now on the monotonic clock.
+/// relative_nanos <= 0 means "no deadline" and maps to 0 (the sentinel
+/// DeadlineExpired treats as never-expiring).
+inline int64_t DeadlineAfterNanos(int64_t relative_nanos) {
+  return relative_nanos > 0 ? MonotonicNowNanos() + relative_nanos : 0;
+}
+
+/// True iff `deadline_nanos` (an absolute monotonic reading, 0 = none)
+/// has passed at `now_nanos`.
+inline bool DeadlineExpired(int64_t deadline_nanos, int64_t now_nanos) {
+  return deadline_nanos != 0 && now_nanos > deadline_nanos;
+}
+
 }  // namespace pitract
 
 #endif  // PITRACT_COMMON_TIMER_H_

@@ -53,20 +53,50 @@ class WitnessBatchPath : public BatchPath {
  public:
   WitnessBatchPath(const ProblemEntry& entry, PreparedStore* store,
                    const std::string& data,
-                   std::span<const std::string> queries)
-      : entry_(entry), store_(store), data_(&data), queries_(queries) {}
+                   std::span<const std::string> queries,
+                   const AnswerOptions& options = {})
+      : entry_(entry),
+        store_(store),
+        data_(&data),
+        queries_(queries),
+        options_(options) {}
   /// Pre-admitted flavor: reuses the handle's key, so Prepare does zero
   /// O(|D|) key work.
   WitnessBatchPath(const ProblemEntry& entry, PreparedStore* store,
                    const DataHandle& handle,
-                   std::span<const std::string> queries)
+                   std::span<const std::string> queries,
+                   const AnswerOptions& options = {})
       : entry_(entry),
         store_(store),
         data_(handle.data.get()),
         key_(&handle.key),
-        queries_(queries) {}
+        queries_(queries),
+        options_(options) {}
+  /// Warm-probe flavor (TryAnswerWarm): the caller already fetched the
+  /// entry's PreparedView from the published snapshot, so Prepare charges
+  /// the probe op and serves it — no second store lookup, no second hit
+  /// counted.
+  WitnessBatchPath(const ProblemEntry& entry, PreparedStore* store,
+                   PreparedStore::PreparedView prefetched,
+                   std::span<const std::string> queries,
+                   const AnswerOptions& options)
+      : entry_(entry),
+        store_(store),
+        queries_(queries),
+        options_(options),
+        prefetched_(std::move(prefetched)),
+        have_prefetched_(true) {}
 
   Result<PrepareOutcome> Prepare(CostMeter* meter) override {
+    if (have_prefetched_) {
+      prepared_ = std::move(prefetched_.prepared);
+      view_ = std::move(prefetched_.view);
+      // Parity with a served snapshot hit: ServeHit already counted the
+      // store-side hit when the caller probed; the batch still charges
+      // the one probe op so warm prepare_cost matches the blocking path.
+      if (meter != nullptr) meter->AddSerial(1);
+      return PrepareOutcome{/*ran_pi=*/false, /*cache_hit=*/true};
+    }
     bool hit = false;
     PreparedStore::EntryOptions entry_options = EntryOptionsFor(entry_);
     auto compute = [this](CostMeter* m) {
@@ -119,8 +149,32 @@ class WitnessBatchPath : public BatchPath {
     answers->reserve(n);
     if (kernel) {
       raw_answers_.resize(n);
-      PITRACT_RETURN_IF_ERROR(w.answer_view_batch(
-          view_.get(), decoded_, std::span<uint8_t>(raw_answers_), meter));
+      if (options_.sort_probes && n >= AnswerOptions::kSortProbesMinBatch) {
+        // Access-locality scheduling: probe the view in address order, not
+        // arrival order. The permutation is applied to a copy of the
+        // decoded span (so the kernel still sees a contiguous span) and
+        // inverted on the 0/1 answers, which is cheap — answers are one
+        // byte each, queries sixteen.
+        perm_.resize(n);
+        for (size_t i = 0; i < n; ++i) perm_[i] = i;
+        std::sort(perm_.begin(), perm_.end(), [this](size_t x, size_t y) {
+          const core::DecodedQuery& qx = decoded_[x];
+          const core::DecodedQuery& qy = decoded_[y];
+          return qx.a != qy.a ? qx.a < qy.a : qx.b < qy.b;
+        });
+        sorted_.resize(n);
+        for (size_t i = 0; i < n; ++i) sorted_[i] = decoded_[perm_[i]];
+        sorted_answers_.resize(n);
+        PITRACT_RETURN_IF_ERROR(w.answer_view_batch(
+            view_.get(), sorted_, std::span<uint8_t>(sorted_answers_),
+            meter));
+        for (size_t i = 0; i < n; ++i) {
+          raw_answers_[perm_[i]] = sorted_answers_[i];
+        }
+      } else {
+        PITRACT_RETURN_IF_ERROR(w.answer_view_batch(
+            view_.get(), decoded_, std::span<uint8_t>(raw_answers_), meter));
+      }
       answers->assign(raw_answers_.begin(), raw_answers_.end());
       *mode = BatchAnswerMode::kKernel;
       return true;
@@ -141,16 +195,23 @@ class WitnessBatchPath : public BatchPath {
  private:
   const ProblemEntry& entry_;
   PreparedStore* store_;
-  const std::string* data_;
+  const std::string* data_ = nullptr;
   const PreparedStore::Key* key_ = nullptr;
   std::span<const std::string> queries_;
+  AnswerOptions options_;
+  PreparedStore::PreparedView prefetched_;
+  bool have_prefetched_ = false;
   std::shared_ptr<const std::string> prepared_;
   std::shared_ptr<const void> view_;
   // Per-batch scratch (decoded queries, int64 decode buffer, kernel 0/1
-  // output) — sized once per batch, reused across its queries.
+  // output, probe-order permutation) — sized once per batch, reused
+  // across its queries.
   std::vector<core::DecodedQuery> decoded_;
   std::vector<int64_t> int_scratch_;
   std::vector<uint8_t> raw_answers_;
+  std::vector<size_t> perm_;
+  std::vector<core::DecodedQuery> sorted_;
+  std::vector<uint8_t> sorted_answers_;
 };
 
 /// Typed path: the deployed in-memory case behind the same interface.
@@ -277,13 +338,19 @@ std::vector<std::string> QueryEngine::Names() const {
 Result<BatchResult> QueryEngine::AnswerBatch(
     std::string_view problem, const std::string& data,
     std::span<const std::string> queries) {
+  return AnswerBatch(problem, data, queries, AnswerOptions{});
+}
+
+Result<BatchResult> QueryEngine::AnswerBatch(
+    std::string_view problem, const std::string& data,
+    std::span<const std::string> queries, const AnswerOptions& options) {
   auto entry = Find(problem);
   if (!entry.ok()) return entry.status();
   if (!(*entry)->has_language) {
     return Status::FailedPrecondition("problem '" + std::string(problem) +
                                       "' has no Σ*-level witness");
   }
-  WitnessBatchPath path(**entry, &store_, data, queries);
+  WitnessBatchPath path(**entry, &store_, data, queries, options);
   return RunBatch(&path);
 }
 
@@ -305,6 +372,12 @@ Result<DataHandle> QueryEngine::Intern(std::string_view problem,
 
 Result<BatchResult> QueryEngine::AnswerBatch(
     const DataHandle& handle, std::span<const std::string> queries) {
+  return AnswerBatch(handle, queries, AnswerOptions{});
+}
+
+Result<BatchResult> QueryEngine::AnswerBatch(
+    const DataHandle& handle, std::span<const std::string> queries,
+    const AnswerOptions& options) {
   if (handle.data == nullptr || handle.key.bytes == nullptr) {
     return Status::InvalidArgument("empty DataHandle (use Intern)");
   }
@@ -314,8 +387,87 @@ Result<BatchResult> QueryEngine::AnswerBatch(
     return Status::FailedPrecondition("problem '" + handle.problem +
                                       "' has no Σ*-level witness");
   }
-  WitnessBatchPath path(**entry, &store_, handle, queries);
+  WitnessBatchPath path(**entry, &store_, handle, queries, options);
   return RunBatch(&path);
+}
+
+Result<bool> QueryEngine::TryAnswerWarm(const DataHandle& handle,
+                                        std::span<const std::string> queries,
+                                        const AnswerOptions& options,
+                                        BatchResult* result) {
+  if (handle.data == nullptr || handle.key.bytes == nullptr) {
+    return Status::InvalidArgument("empty DataHandle (use Intern)");
+  }
+  auto entry = Find(handle.problem);
+  if (!entry.ok()) return entry.status();
+  if (!(*entry)->has_language) {
+    return Status::FailedPrecondition("problem '" + handle.problem +
+                                      "' has no Σ*-level witness");
+  }
+  PreparedStore::PreparedView view;
+  if (!store_.TryGetView(handle.key, EntryOptionsFor(**entry), nullptr,
+                         &view)) {
+    return false;  // cold: the caller parks the batch and prepares off-path
+  }
+  WitnessBatchPath path(**entry, &store_, std::move(view), queries, options);
+  auto answered = RunBatch(&path);
+  if (!answered.ok()) return answered.status();
+  *result = std::move(answered).value();
+  return true;
+}
+
+Result<bool> QueryEngine::TryAnswerWarm(std::string_view problem,
+                                        const std::string& data,
+                                        std::span<const std::string> queries,
+                                        const AnswerOptions& options,
+                                        BatchResult* result,
+                                        PreparedStore::Key* cold_key) {
+  auto entry = Find(problem);
+  if (!entry.ok()) return entry.status();
+  if (!(*entry)->has_language) {
+    return Status::FailedPrecondition("problem '" + std::string(problem) +
+                                      "' has no Σ*-level witness");
+  }
+  // The one O(|D|) key build this call pays, counted like every other
+  // string-keyed admission; a parked caller hands the key to its preparer
+  // so the bytes are never hashed twice.
+  PreparedStore::Key key =
+      store_.BuildKeyCounted((*entry)->name, (*entry)->witness.name, data);
+  PreparedStore::PreparedView view;
+  if (!store_.TryGetView(key, EntryOptionsFor(**entry), nullptr, &view)) {
+    if (cold_key != nullptr) *cold_key = std::move(key);
+    return false;
+  }
+  WitnessBatchPath path(**entry, &store_, std::move(view), queries, options);
+  auto answered = RunBatch(&path);
+  if (!answered.ok()) return answered.status();
+  *result = std::move(answered).value();
+  return true;
+}
+
+Status QueryEngine::Prepare(std::string_view problem,
+                            const std::shared_ptr<const std::string>& data,
+                            const PreparedStore::Key& key, CostMeter* meter,
+                            bool* ran_pi) {
+  if (data == nullptr || key.bytes == nullptr) {
+    return Status::InvalidArgument("Prepare needs a data part and its key");
+  }
+  auto entry = Find(problem);
+  if (!entry.ok()) return entry.status();
+  if (!(*entry)->has_language) {
+    return Status::FailedPrecondition("problem '" + std::string(problem) +
+                                      "' has no Σ*-level witness");
+  }
+  const ProblemEntry* e = *entry;
+  bool hit = false;
+  auto compute = [e, &data](CostMeter* m) {
+    return e->witness.preprocess(*data, m);
+  };
+  auto prepared =
+      store_.GetOrComputeView(key, compute, meter, &hit, EntryOptionsFor(*e));
+  if (!prepared.ok()) return prepared.status();
+  if (ran_pi != nullptr) *ran_pi = !hit;
+  return Status::OK();
 }
 
 Result<bool> QueryEngine::Answer(std::string_view problem,

@@ -74,6 +74,19 @@ struct DataHandle {
   PreparedStore::Key key;
 };
 
+/// Per-batch answering knobs (orthogonal to the per-entry EntryOptions the
+/// registry supplies).
+struct AnswerOptions {
+  /// Batch-local access-locality scheduling: for kernel-path batches of at
+  /// least kSortProbesMinBatch queries, sort the decoded span by probe
+  /// address before the kernel call and unpermute the answers after, so
+  /// random gathers over a big view become near-sequential ones. Below the
+  /// threshold the sort costs more than the locality buys, so small
+  /// batches always run in arrival order.
+  bool sort_probes = false;
+  static constexpr size_t kSortProbesMinBatch = 4096;
+};
+
 /// What Prepare did for this batch.
 struct PrepareOutcome {
   bool ran_pi = false;     // Π actually executed
@@ -202,6 +215,10 @@ class QueryEngine {
   Result<BatchResult> AnswerBatch(std::string_view problem,
                                   const std::string& data,
                                   std::span<const std::string> queries);
+  Result<BatchResult> AnswerBatch(std::string_view problem,
+                                  const std::string& data,
+                                  std::span<const std::string> queries,
+                                  const AnswerOptions& options);
 
   /// Digest-handle admission: computes the content digest and full store
   /// key for `data` once. Use with the `AnswerBatch(handle, ...)` overload
@@ -214,6 +231,42 @@ class QueryEngine {
   /// build, hash, or compare (Stats::key_builds stays untouched).
   Result<BatchResult> AnswerBatch(const DataHandle& handle,
                                   std::span<const std::string> queries);
+  Result<BatchResult> AnswerBatch(const DataHandle& handle,
+                                  std::span<const std::string> queries,
+                                  const AnswerOptions& options);
+
+  // --- completion-pipeline faces (see engine/pipeline.h) -------------------
+
+  /// Warm-only AnswerBatch: answers iff Π(data) is already resident in the
+  /// published store snapshot, returning true and filling `result` with
+  /// the same BatchResult the blocking overload would produce (cache_hit
+  /// == true, prepare_runs == 0). Returns false on a cold part — without
+  /// running Π, blocking on an in-flight Π, or touching a shard mutex —
+  /// so a serving worker can park the batch and keep draining warm
+  /// traffic. Errors (unknown problem, a query that fails to parse) are
+  /// real errors, not "cold".
+  Result<bool> TryAnswerWarm(const DataHandle& handle,
+                             std::span<const std::string> queries,
+                             const AnswerOptions& options,
+                             BatchResult* result);
+  /// String-keyed flavor: pays the one O(|D|) key build per call (counted
+  /// in Stats::key_builds, like the string-keyed AnswerBatch) and, when
+  /// the part is cold and `cold_key` is non-null, hands the built key back
+  /// so the caller's preparer can run Π without rebuilding it.
+  Result<bool> TryAnswerWarm(std::string_view problem, const std::string& data,
+                             std::span<const std::string> queries,
+                             const AnswerOptions& options, BatchResult* result,
+                             PreparedStore::Key* cold_key);
+
+  /// The preparer half of the completion pipeline: ensures Π(data) is
+  /// resident under `key`, running Π (with in-flight dedup) on a miss.
+  /// `ran_pi` reports whether this call executed Π; `meter` is charged Π's
+  /// cost exactly when it did. `data` is shared, not copied — pass the
+  /// handle's payload or an aliasing pointer to caller-owned bytes.
+  Status Prepare(std::string_view problem,
+                 const std::shared_ptr<const std::string>& data,
+                 const PreparedStore::Key& key, CostMeter* meter = nullptr,
+                 bool* ran_pi = nullptr);
 
   /// Single-query convenience; still routed through the PreparedStore, so a
   /// warm store answers without re-running Π. Prepare+answer costs are

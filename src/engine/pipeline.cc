@@ -1,0 +1,485 @@
+#include "engine/pipeline.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/timer.h"
+
+namespace pitract {
+namespace engine {
+
+ServePipeline::ServePipeline(QueryEngine* engine,
+                             const PipelineOptions& options)
+    : engine_(engine), opts_(options) {
+  if (opts_.threads <= 0) {
+    opts_.threads =
+        static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  }
+  if (opts_.preparers <= 0) opts_.preparers = opts_.threads;
+  opts_.claim_batch = std::max(opts_.claim_batch, 1);
+  opts_.max_requeues = std::max(opts_.max_requeues, 0);
+  answer_options_.sort_probes = opts_.sort_probes;
+
+  // vector(n) default-constructs in place — the tallies hold CostMeters,
+  // which are neither copyable nor movable.
+  worker_tallies_ =
+      std::vector<WorkerTally>(static_cast<size_t>(opts_.threads));
+  preparer_tallies_ =
+      std::vector<PreparerTally>(static_cast<size_t>(opts_.preparers));
+  workers_.reserve(static_cast<size_t>(opts_.threads));
+  preparers_.reserve(static_cast<size_t>(opts_.preparers));
+  for (int t = 0; t < opts_.threads; ++t) {
+    workers_.emplace_back(&ServePipeline::WorkerLoop, this,
+                          static_cast<size_t>(t));
+  }
+  for (int p = 0; p < opts_.preparers; ++p) {
+    preparers_.emplace_back(&ServePipeline::PreparerLoop, this,
+                            static_cast<size_t>(p));
+  }
+}
+
+ServePipeline::~ServePipeline() {
+  Drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_workers_ = true;
+  }
+  ready_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(prep_mu_);
+    stop_preparers_ = true;
+  }
+  prep_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+  for (std::thread& t : preparers_) t.join();
+}
+
+Status ServePipeline::Submit(ServeWorkItem item, Completion done, int client,
+                             int64_t deadline_ns) {
+  const int64_t now = MonotonicNowNanos();
+  auto unit = std::make_unique<Unit>();
+  unit->owned = std::move(item);
+  unit->work = &unit->owned;
+  unit->done = std::move(done);
+  unit->client = client;
+  unit->from_submit = true;
+  unit->submit_ns = now;
+  unit->deadline_ns =
+      deadline_ns != 0
+          ? deadline_ns
+          : (opts_.default_deadline_ns > 0 ? now + opts_.default_deadline_ns
+                                           : 0);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Load shedding at admission: a full queue answers *now* with
+    // Unavailable instead of queueing work it cannot serve in time.
+    if (opts_.queue_depth != 0 && backlog_ >= opts_.queue_depth) {
+      ++admission_shed_;
+      return Status::Unavailable("serving queue at depth " +
+                                 std::to_string(opts_.queue_depth));
+    }
+    if (opts_.per_client_depth != 0) {
+      size_t& per_client = client_backlog_[client];
+      if (per_client >= opts_.per_client_depth) {
+        ++admission_shed_;
+        return Status::Unavailable(
+            "client " + std::to_string(client) + " queue at depth " +
+            std::to_string(opts_.per_client_depth));
+      }
+      ++per_client;
+    }
+    ++backlog_;
+    admitted_.fetch_add(1, std::memory_order_acq_rel);
+    ready_.push_back(std::move(unit));
+    ready_size_.store(ready_.size(), std::memory_order_release);
+    queue_depth_max_ = std::max(
+        queue_depth_max_, static_cast<int64_t>(parked_ + ready_.size()));
+  }
+  ready_cv_.notify_one();
+  return Status::OK();
+}
+
+void ServePipeline::SubmitWorkload(std::span<const ServeWorkItem> workload,
+                                   int repeat, int64_t deadline_ns) {
+  repeat = std::max(repeat, 1);
+  const int64_t total =
+      static_cast<int64_t>(workload.size()) * static_cast<int64_t>(repeat);
+  if (total == 0) return;
+  admitted_.fetch_add(total, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workload_ = workload;
+    workload_deadline_ns_ = DeadlineAfterNanos(deadline_ns);
+    // The release store that makes workload_/deadline_ visible to workers
+    // observing the new total without taking mu_.
+    workload_total_.store(total, std::memory_order_release);
+  }
+  ready_cv_.notify_all();
+}
+
+void ServePipeline::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] {
+    return completed_.load(std::memory_order_acquire) ==
+           admitted_.load(std::memory_order_acquire);
+  });
+}
+
+void ServePipeline::FinishCompleted(int64_t n) {
+  if (n == 0) return;
+  const int64_t done =
+      completed_.fetch_add(n, std::memory_order_acq_rel) + n;
+  if (done == admitted_.load(std::memory_order_acquire)) {
+    // Empty critical section: pairs with Drain's predicate wait so the
+    // notify can't slip between its check and its sleep.
+    std::lock_guard<std::mutex> lock(mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+void ServePipeline::RecordAnswered(WorkerTally* tally,
+                                   const BatchResult& result) {
+  ++tally->batches;
+  tally->queries += static_cast<int64_t>(result.answers.size());
+  tally->pi_runs += result.prepare_runs;
+  if (result.cache_hit) ++tally->cache_hits;
+  if (result.mode == BatchAnswerMode::kKernel) ++tally->kernel_batches;
+  tally->answer_bytes_read += result.answer_bytes_read;
+  tally->prepare_meter.AddSequential(result.prepare_cost);
+  tally->answer_meter.AddSequential(result.answer_cost);
+}
+
+void ServePipeline::CompleteUnit(UnitPtr unit, const Status& status,
+                                 int64_t queries) {
+  if (unit->from_submit) {
+    std::lock_guard<std::mutex> lock(mu_);
+    --backlog_;
+    if (opts_.per_client_depth != 0) {
+      auto it = client_backlog_.find(unit->client);
+      if (it != client_backlog_.end() && it->second > 0) --it->second;
+    }
+  }
+  if (unit->done) {
+    ItemOutcome outcome;
+    outcome.status = status;
+    outcome.queries = queries;
+    outcome.latency_ns = MonotonicNowNanos() - unit->submit_ns;
+    unit->done(outcome);
+  }
+}
+
+bool ServePipeline::ParkUnit(UnitPtr unit, WorkerTally* tally) {
+  const uint64_t digest = unit->key.digest;
+  PrepareJob job;
+  bool enqueue_job = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Workload-mode shedding happens here (there is no admission step):
+    // a cold backlog at depth answers Unavailable instead of parking.
+    // Submit items were bounded at admission and always park.
+    if (!unit->from_submit && opts_.queue_depth != 0 &&
+        parked_ >= opts_.queue_depth) {
+      ++tally->shed;
+      return true;
+    }
+    std::vector<UnitPtr>& list = pending_[digest];
+    // The first unit on an empty list owns submitting the Π build; a
+    // parker landing after a preparer drained the list submits a fresh
+    // (possibly redundant) job, so a publish can never strand a unit —
+    // the redundant prepare is an instant store hit and requeues it.
+    enqueue_job = list.empty();
+    if (enqueue_job) {
+      job.problem = unit->problem;
+      job.data = unit->data;
+      job.key = unit->key;
+    }
+    list.push_back(std::move(unit));
+    ++parked_;
+    queue_depth_max_ = std::max(
+        queue_depth_max_, static_cast<int64_t>(parked_ + ready_.size()));
+  }
+  if (enqueue_job) {
+    {
+      std::lock_guard<std::mutex> lock(prep_mu_);
+      prep_jobs_.push_back(std::move(job));
+    }
+    prep_cv_.notify_one();
+  }
+  return false;
+}
+
+bool ServePipeline::ProcessUnit(UnitPtr unit, WorkerTally* tally) {
+  const ServeWorkItem& item = *unit->work;
+  if (unit->deadline_ns != 0 &&
+      DeadlineExpired(unit->deadline_ns, MonotonicNowNanos())) {
+    ++tally->deadline_expired;
+    CompleteUnit(std::move(unit),
+                 Status::DeadlineExceeded("deadline passed before dequeue"),
+                 0);
+    return true;
+  }
+  BatchResult result;
+  Result<bool> warm = false;
+  if (unit->key.bytes != nullptr) {
+    // Requeued after a prepare (or a handle item on its cold route): the
+    // key is already built, probe through it.
+    DataHandle route{unit->problem, unit->data, unit->key};
+    warm = engine_->TryAnswerWarm(route, item.queries, answer_options_,
+                                  &result);
+  } else if (item.handle != nullptr) {
+    warm = engine_->TryAnswerWarm(*item.handle, item.queries, answer_options_,
+                                  &result);
+  } else {
+    warm = engine_->TryAnswerWarm(item.problem, item.data, item.queries,
+                                  answer_options_, &result, &unit->key);
+  }
+  if (!warm.ok()) {
+    if (tally->errors++ == 0) tally->first_error = warm.status();
+    CompleteUnit(std::move(unit), warm.status(), 0);
+    return true;
+  }
+  if (*warm) {
+    RecordAnswered(tally, result);
+    const int64_t queries = static_cast<int64_t>(result.answers.size());
+    CompleteUnit(std::move(unit), Status::OK(), queries);
+    return true;
+  }
+  // Cold. Requeue budget spent (the entry keeps getting evicted between
+  // publish and probe): degrade to the blocking path, which terminates
+  // via the store's in-flight rendezvous.
+  if (unit->requeues >= opts_.max_requeues) {
+    auto answered =
+        item.handle != nullptr
+            ? engine_->AnswerBatch(*item.handle, item.queries,
+                                   answer_options_)
+            : (unit->key.bytes != nullptr
+                   ? engine_->AnswerBatch(
+                         DataHandle{unit->problem, unit->data, unit->key},
+                         item.queries, answer_options_)
+                   : engine_->AnswerBatch(item.problem, item.data,
+                                          item.queries, answer_options_));
+    if (!answered.ok()) {
+      if (tally->errors++ == 0) tally->first_error = answered.status();
+      CompleteUnit(std::move(unit), answered.status(), 0);
+      return true;
+    }
+    RecordAnswered(tally, *answered);
+    const int64_t queries = static_cast<int64_t>(answered->answers.size());
+    CompleteUnit(std::move(unit), Status::OK(), queries);
+    return true;
+  }
+  ++unit->requeues;
+  if (unit->key.bytes == nullptr) {
+    // First park of a handle item: the cold route aliases the handle.
+    unit->problem = item.handle->problem;
+    unit->data = item.handle->data;
+    unit->key = item.handle->key;
+  } else if (unit->data == nullptr) {
+    // First park of a string item: the probe built the key; the data
+    // bytes stay where they are (the item outlives the pipeline run).
+    unit->problem = item.problem;
+    unit->data = std::shared_ptr<const std::string>(
+        std::shared_ptr<const void>(), &item.data);
+  }
+  return ParkUnit(std::move(unit), tally);
+}
+
+bool ServePipeline::ProcessIndex(int64_t index, WorkerTally* tally) {
+  const ServeWorkItem& item =
+      workload_[static_cast<size_t>(index) % workload_.size()];
+  const int64_t deadline = workload_deadline_ns_;
+  if (deadline != 0 && DeadlineExpired(deadline, MonotonicNowNanos())) {
+    ++tally->deadline_expired;
+    return true;
+  }
+  // Warm fast path: no Unit allocation, no queue, no shared write beyond
+  // the store's own hit accounting — the whole item lives on this stack.
+  BatchResult result;
+  PreparedStore::Key cold_key;
+  auto warm =
+      item.handle != nullptr
+          ? engine_->TryAnswerWarm(*item.handle, item.queries,
+                                   answer_options_, &result)
+          : engine_->TryAnswerWarm(item.problem, item.data, item.queries,
+                                   answer_options_, &result, &cold_key);
+  if (!warm.ok()) {
+    if (tally->errors++ == 0) tally->first_error = warm.status();
+    return true;
+  }
+  if (*warm) {
+    RecordAnswered(tally, result);
+    return true;
+  }
+  // Cold: materialize a Unit and park it; this worker moves on to the
+  // next claimed item instead of blocking on Π.
+  auto unit = std::make_unique<Unit>();
+  unit->work = &item;
+  unit->deadline_ns = deadline;
+  unit->requeues = 1;
+  if (item.handle != nullptr) {
+    unit->problem = item.handle->problem;
+    unit->data = item.handle->data;
+    unit->key = item.handle->key;
+  } else {
+    unit->problem = item.problem;
+    unit->data = std::shared_ptr<const std::string>(
+        std::shared_ptr<const void>(), &item.data);
+    unit->key = std::move(cold_key);
+  }
+  return ParkUnit(std::move(unit), tally);
+}
+
+void ServePipeline::WorkerLoop(size_t worker_index) {
+  WorkerTally& tally = worker_tallies_[worker_index];
+  std::vector<UnitPtr> local;
+  const int64_t claim = opts_.claim_batch;
+  for (;;) {
+    // (1) Queued units first — requeued-after-prepare and submitted items
+    // are older than anything still unclaimed in the bulk workload. The
+    // atomic emptiness check keeps this branch off the warm bulk path.
+    if (ready_size_.load(std::memory_order_acquire) > 0) {
+      local.clear();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        while (!ready_.empty() &&
+               static_cast<int64_t>(local.size()) < claim) {
+          local.push_back(std::move(ready_.front()));
+          ready_.pop_front();
+        }
+        ready_size_.store(ready_.size(), std::memory_order_release);
+      }
+      if (!local.empty()) {
+        int64_t completed_here = 0;
+        for (UnitPtr& unit : local) {
+          if (ProcessUnit(std::move(unit), &tally)) ++completed_here;
+        }
+        FinishCompleted(completed_here);
+        continue;
+      }
+    }
+    // (2) Bulk workload: the PR 5 batched-cursor claim — one fetch_add
+    // per `claim` items is the loop's only shared write in warm steady
+    // state (completions are counted once per claimed span).
+    const int64_t total = workload_total_.load(std::memory_order_acquire);
+    if (cursor_.load(std::memory_order_relaxed) < total) {
+      const int64_t begin =
+          cursor_.fetch_add(claim, std::memory_order_relaxed);
+      if (begin < total) {
+        const int64_t end = std::min(begin + claim, total);
+        int64_t completed_here = 0;
+        for (int64_t index = begin; index < end; ++index) {
+          if (ProcessIndex(index, &tally)) ++completed_here;
+        }
+        FinishCompleted(completed_here);
+        continue;
+      }
+    }
+    // (3) Idle: wait for requeues, submissions, fresh workload, or stop.
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_cv_.wait(lock, [&] {
+      return stop_workers_ || !ready_.empty() ||
+             cursor_.load(std::memory_order_relaxed) <
+                 workload_total_.load(std::memory_order_relaxed);
+    });
+    if (stop_workers_ && ready_.empty()) return;
+  }
+}
+
+void ServePipeline::PreparerLoop(size_t preparer_index) {
+  PreparerTally& tally = preparer_tallies_[preparer_index];
+  for (;;) {
+    PrepareJob job;
+    {
+      std::unique_lock<std::mutex> lock(prep_mu_);
+      prep_cv_.wait(lock,
+                    [&] { return stop_preparers_ || !prep_jobs_.empty(); });
+      if (prep_jobs_.empty()) return;  // stop requested, queue drained
+      job = std::move(prep_jobs_.front());
+      prep_jobs_.pop_front();
+    }
+    // Π runs here — on a preparer, holding no pipeline lock — while the
+    // answer workers keep draining warm traffic. busy_ns is the
+    // head-of-line wall time this pool absorbed.
+    const int64_t t0 = MonotonicNowNanos();
+    bool ran_pi = false;
+    const Status prepared = engine_->Prepare(
+        job.problem, job.data, job.key, &tally.prepare_meter, &ran_pi);
+    tally.busy_ns += MonotonicNowNanos() - t0;
+    if (ran_pi) ++tally.pi_runs;
+    // Publish-then-wake: every unit parked under this key re-enters the
+    // ready queue (a unit parking concurrently misses this drain, but it
+    // submits its own job — see ParkUnit — so nothing is stranded).
+    std::vector<UnitPtr> woken;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = pending_.find(job.key.digest);
+      if (it != pending_.end()) {
+        woken = std::move(it->second);
+        pending_.erase(it);
+        parked_ -= woken.size();
+        if (prepared.ok()) {
+          for (UnitPtr& unit : woken) ready_.push_back(std::move(unit));
+          ready_size_.store(ready_.size(), std::memory_order_release);
+        }
+      }
+    }
+    if (woken.empty()) continue;
+    if (prepared.ok()) {
+      ready_cv_.notify_all();
+      continue;
+    }
+    // Π failed: every parked unit completes with the Π error — the same
+    // per-batch failures the blocking driver would have reported.
+    int64_t completed_here = 0;
+    for (UnitPtr& unit : woken) {
+      if (tally.errors++ == 0) tally.first_error = prepared;
+      CompleteUnit(std::move(unit), prepared, 0);
+      ++completed_here;
+    }
+    FinishCompleted(completed_here);
+  }
+}
+
+ServeReport ServePipeline::report() {
+  ServeReport report;
+  report.threads = opts_.threads;
+  report.preparers = opts_.preparers;
+  CostMeter prepare_total;
+  CostMeter answer_total;
+  for (const WorkerTally& tally : worker_tallies_) {
+    report.batches += tally.batches;
+    report.queries += tally.queries;
+    report.pi_runs += tally.pi_runs;
+    report.cache_hits += tally.cache_hits;
+    report.kernel_batches += tally.kernel_batches;
+    report.answer_bytes_read += tally.answer_bytes_read;
+    report.deadline_expired += tally.deadline_expired;
+    report.shed += tally.shed;
+    if (tally.errors > 0 && report.errors == 0) {
+      report.first_error = tally.first_error;
+    }
+    report.errors += tally.errors;
+    prepare_total.MergeFrom(tally.prepare_meter);
+    answer_total.MergeFrom(tally.answer_meter);
+  }
+  for (const PreparerTally& tally : preparer_tallies_) {
+    report.pi_runs += tally.pi_runs;
+    report.preparer_busy_ns += tally.busy_ns;
+    if (tally.errors > 0 && report.errors == 0) {
+      report.first_error = tally.first_error;
+    }
+    report.errors += tally.errors;
+    prepare_total.MergeFrom(tally.prepare_meter);
+  }
+  report.prepare_cost = prepare_total.cost();
+  report.answer_cost = answer_total.cost();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    report.queue_depth_max = queue_depth_max_;
+    report.shed += admission_shed_;
+  }
+  return report;
+}
+
+}  // namespace engine
+}  // namespace pitract

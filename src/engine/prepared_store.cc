@@ -323,6 +323,34 @@ Result<PreparedStore::PreparedView> PreparedStore::ServeHit(
   return PreparedView{entry->prepared, nullptr};
 }
 
+PreparedStore::Key PreparedStore::BuildKeyCounted(std::string_view problem,
+                                                  std::string_view witness,
+                                                  std::string_view data) const {
+  LocalStats().key_builds.fetch_add(1, std::memory_order_relaxed);
+  return InternKey(problem, witness, data);
+}
+
+bool PreparedStore::TryGetView(const Key& key,
+                               const EntryOptions& entry_options,
+                               CostMeter* meter, PreparedView* out) {
+  Shard& shard = ShardFor(key.digest);
+  EntryPtr entry;
+  {
+    TableRef table = shard.snapshot.Acquire();
+    auto it = table->find(key.digest);
+    if (it == table->end() || !EntryMatches(*it->second, key)) return false;
+    entry = it->second;
+  }
+  // ServeHit may still lock a stripe once per entry lifetime (the lazy
+  // post-Load view repair), but the steady-state warm probe is the same
+  // lock-free snapshot hit GetOrComputeView serves.
+  auto served = ServeHit(key, entry, entry_options, meter, nullptr,
+                         /*locked=*/false);
+  if (!served.ok()) return false;
+  *out = std::move(served).value();
+  return true;
+}
+
 Result<PreparedStore::PreparedView> PreparedStore::GetOrComputeView(
     const Key& key, const ComputeFn& compute, CostMeter* meter, bool* hit,
     const EntryOptions& entry_options) {
@@ -711,6 +739,7 @@ void PreparedStore::EvictUntilWithinBudget() {
     // an entry untouched since an older epoch always goes first.
     struct Candidate {
       uint64_t stamp;
+      bool second_chance;  // CLOCK bit was set at scan time (now cleared)
       size_t shard;
       uint64_t digest;
       EntryPtr entry;
@@ -720,9 +749,15 @@ void PreparedStore::EvictUntilWithinBudget() {
     for (size_t si = 0; si < shards_.size(); ++si) {
       TableRef table = shards_[si].snapshot.Acquire();
       for (const auto& [digest, entry] : *table) {
+        // CLOCK second chance: consume the referenced bit. An entry hit
+        // since the previous sweep sorts behind every unreferenced entry
+        // this pass (it is only taken when the unreferenced set cannot
+        // clear the deficit — the byte-budget invariant always wins).
+        const bool spare =
+            entry->referenced.exchange(false, std::memory_order_relaxed);
         candidates.push_back(
-            {entry->last_used.load(std::memory_order_relaxed), si, digest,
-             entry,
+            {entry->last_used.load(std::memory_order_relaxed), spare, si,
+             digest, entry,
              static_cast<int64_t>(
                  entry->size_bytes +
                  entry->view_size_bytes.load(std::memory_order_relaxed))});
@@ -731,6 +766,9 @@ void PreparedStore::EvictUntilWithinBudget() {
     if (candidates.empty()) return;  // store drained concurrently
     std::sort(candidates.begin(), candidates.end(),
               [](const Candidate& a, const Candidate& b) {
+                if (a.second_chance != b.second_chance) {
+                  return !a.second_chance;  // unreferenced entries go first
+                }
                 return a.stamp < b.stamp;
               });
     // Take the oldest prefix that clears both deficits (recomputed from

@@ -163,6 +163,12 @@ class PreparedStore {
   /// Builds a Key: the one place the O(|D|) copy + hash is paid.
   static Key InternKey(std::string_view problem, std::string_view witness,
                        std::string_view data);
+  /// InternKey plus the Stats::key_builds charge — for callers (e.g. the
+  /// engine's string-keyed TryAnswerWarm) that materialize a key outside
+  /// the string-keyed GetOrComputeView but must stay visible to the
+  /// admission-cost counters.
+  Key BuildKeyCounted(std::string_view problem, std::string_view witness,
+                      std::string_view data) const;
 
   /// One warm answer-path snapshot: the raw Σ* payload plus (when the
   /// entry carries a ViewFn and the build succeeded) its memoized decoded
@@ -205,6 +211,16 @@ class PreparedStore {
                                         const ComputeFn& compute,
                                         CostMeter* meter, bool* hit,
                                         const EntryOptions& entry_options);
+
+  /// Warm-only probe for the completion pipeline: serves the entry iff it
+  /// is resident in the published snapshot, and *never* runs Π, blocks on
+  /// an in-flight Π, or falls back to the shard mutex. Returns true (and
+  /// fills `out`, counting one hit) on a snapshot hit; false on anything
+  /// else — the caller owns the miss (typically by parking the work and
+  /// handing the key to a preparer thread). A false return counts nothing:
+  /// the miss is charged by whichever GetOrComputeView eventually runs Π.
+  bool TryGetView(const Key& key, const EntryOptions& entry_options,
+                  CostMeter* meter, PreparedView* out);
 
   /// True iff an entry for (problem, witness, data) is resident. Lock-free
   /// (probes the published snapshot).
@@ -291,6 +307,13 @@ class PreparedStore {
     /// actually changes, so a hot entry's line stays in shared state
     /// between writer events instead of ping-ponging.
     std::atomic<uint64_t> last_used{0};
+    /// CLOCK second-chance bit: set by hits (alongside the recency stamp),
+    /// cleared by the eviction scan. An entry whose bit is set when the
+    /// scan visits it is spared once — under zipf traffic a single sweep
+    /// stops evicting just-touched entries whose epoch stamp happens to
+    /// tie with genuinely cold ones. Never set on insert: an entry must
+    /// earn its second chance with a hit.
+    std::atomic<bool> referenced{false};
     size_t size_bytes = 0;
     /// Byte estimate charged for `view` against the eviction budget
     /// (≈ payload bytes when a view is resident — a typed decode of the
@@ -441,11 +464,16 @@ class PreparedStore {
   /// The stats slot for the calling thread.
   StatSlot& LocalStats() const;
   /// Stamps `entry` with the current recency epoch (relaxed, write-once
-  /// per epoch — the lock-free hit path's only potential shared write).
+  /// per epoch — the lock-free hit path's only potential shared write)
+  /// and grants its CLOCK second chance. Both stores are conditional, so
+  /// a hot entry's line stays in shared state between eviction passes.
   void Touch(Entry& entry) const {
     const uint64_t now = tick_.load(std::memory_order_relaxed) + 1;
     if (entry.last_used.load(std::memory_order_relaxed) != now) {
       entry.last_used.store(now, std::memory_order_relaxed);
+    }
+    if (!entry.referenced.load(std::memory_order_relaxed)) {
+      entry.referenced.store(true, std::memory_order_relaxed);
     }
   }
   /// Copies the shard's current table for a copy-on-write mutation.

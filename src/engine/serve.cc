@@ -1,122 +1,37 @@
 #include "engine/serve.h"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
-#include <thread>
+
+#include "engine/pipeline.h"
 
 namespace pitract {
 namespace engine {
 
-namespace {
-
-/// Per-worker tallies: plain (non-atomic) fields, private to one worker
-/// for the whole run and merged after the join. The worker loop writes no
-/// shared mutable state except the claim cursor, once per `batch` items;
-/// the alignment keeps adjacent workers' tallies off each other's cache
-/// lines so the per-item writes don't false-share either.
-struct alignas(64) WorkerTally {
-  int64_t batches = 0;
-  int64_t queries = 0;
-  int64_t pi_runs = 0;
-  int64_t cache_hits = 0;
-  int64_t kernel_batches = 0;
-  int64_t answer_bytes_read = 0;
-  int64_t errors = 0;
-  Status first_error;
-  /// Thread-local meters: each worker charges its own cache lines; the
-  /// report reads them once after the join.
-  CostMeter prepare_meter;
-  CostMeter answer_meter;
-};
-
-}  // namespace
-
 ServeReport ServeParallel(QueryEngine* engine,
                           std::span<const ServeWorkItem> workload,
                           const ServeOptions& options) {
+  // The batch driver is a thin wrapper over the completion pipeline's
+  // bulk face: warm items flow through the same atomic-cursor claiming as
+  // before (no queue mutex in warm steady state), while cold misses park
+  // on the preparer pool instead of blocking a worker on Π.
+  PipelineOptions pipeline_options;
+  pipeline_options.threads = options.threads;
+  pipeline_options.preparers = options.preparers;
+  pipeline_options.claim_batch = options.batch;
+  pipeline_options.queue_depth = options.queue_depth;
+  pipeline_options.sort_probes = options.sort_probes;
+
   ServeReport report;
-  const int threads =
-      options.threads > 0
-          ? options.threads
-          : static_cast<int>(
-                std::max(1u, std::thread::hardware_concurrency()));
-  report.threads = threads;
-  const int repeat = std::max(options.repeat, 1);
-  const int64_t batch = std::max(options.batch, 1);
-  const int64_t total =
-      static_cast<int64_t>(workload.size()) * static_cast<int64_t>(repeat);
-  if (total == 0) return report;
-
-  std::atomic<int64_t> cursor{0};
-  std::vector<WorkerTally> tallies(static_cast<size_t>(threads));
-
   const auto start = std::chrono::steady_clock::now();
-  auto worker = [&](WorkerTally* tally) {
-    for (;;) {
-      // Batched pull: one cursor fetch_add claims `batch` consecutive
-      // work items, so the only cross-worker cache-line traffic in the
-      // loop amortizes over the claimed span.
-      const int64_t begin = cursor.fetch_add(batch, std::memory_order_relaxed);
-      if (begin >= total) return;
-      const int64_t end = std::min(begin + batch, total);
-      for (int64_t index = begin; index < end; ++index) {
-        const ServeWorkItem& item =
-            workload[static_cast<size_t>(index) % workload.size()];
-        auto answered =
-            item.handle != nullptr
-                ? engine->AnswerBatch(*item.handle, item.queries)
-                : engine->AnswerBatch(item.problem, item.data, item.queries);
-        if (!answered.ok()) {
-          if (tally->errors++ == 0) tally->first_error = answered.status();
-          continue;
-        }
-        ++tally->batches;
-        tally->queries += static_cast<int64_t>(answered->answers.size());
-        tally->pi_runs += answered->prepare_runs;
-        if (answered->cache_hit) ++tally->cache_hits;
-        if (answered->mode == BatchAnswerMode::kKernel) {
-          ++tally->kernel_batches;
-        }
-        tally->answer_bytes_read += answered->answer_bytes_read;
-        tally->prepare_meter.AddSequential(answered->prepare_cost);
-        tally->answer_meter.AddSequential(answered->answer_cost);
-      }
-    }
-  };
-
-  if (threads == 1) {
-    worker(&tallies[0]);  // in-line: no thread spawn for the 1-worker case
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<size_t>(threads));
-    for (int t = 0; t < threads; ++t) {
-      pool.emplace_back(worker, &tallies[static_cast<size_t>(t)]);
-    }
-    for (std::thread& t : pool) t.join();
+  {
+    ServePipeline pipeline(engine, pipeline_options);
+    pipeline.SubmitWorkload(workload, options.repeat, options.deadline_ns);
+    pipeline.Drain();
+    report = pipeline.report();
   }
   const auto stop = std::chrono::steady_clock::now();
-
-  CostMeter prepare_total;
-  CostMeter answer_total;
-  for (const WorkerTally& tally : tallies) {
-    report.batches += tally.batches;
-    report.queries += tally.queries;
-    report.pi_runs += tally.pi_runs;
-    report.cache_hits += tally.cache_hits;
-    report.kernel_batches += tally.kernel_batches;
-    report.answer_bytes_read += tally.answer_bytes_read;
-    if (tally.errors > 0 && report.errors == 0) {
-      report.first_error = tally.first_error;
-    }
-    report.errors += tally.errors;
-    prepare_total.MergeFrom(tally.prepare_meter);
-    answer_total.MergeFrom(tally.answer_meter);
-  }
-  report.prepare_cost = prepare_total.cost();
-  report.answer_cost = answer_total.cost();
-  report.wall_seconds =
-      std::chrono::duration<double>(stop - start).count();
+  report.wall_seconds = std::chrono::duration<double>(stop - start).count();
   report.queries_per_second =
       report.wall_seconds > 0
           ? static_cast<double>(report.queries) / report.wall_seconds

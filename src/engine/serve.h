@@ -35,6 +35,23 @@ struct ServeOptions {
   /// fetch_add covers `batch` items), so N workers hammering a warm store
   /// contend on the cursor line 1/batch as often. Clamped to >= 1.
   int batch = 8;
+  /// Preparer threads running Π for cold misses off the answer workers
+  /// (see engine/pipeline.h). 0 = auto: as many as the resolved answer
+  /// worker count, so a pure cold storm keeps the same Π parallelism the
+  /// pre-pipeline driver had.
+  int preparers = 0;
+  /// Bound on cold work items parked awaiting a preparer; past it, further
+  /// misses are shed (counted in ServeReport::shed, completed with
+  /// Status::Unavailable). 0 = unbounded.
+  size_t queue_depth = 0;
+  /// Per-item deadline, relative to the run's start (this is the batch
+  /// driver; the pipeline's Submit face takes per-item deadlines). Items
+  /// dequeued after it complete with Status::DeadlineExceeded instead of
+  /// burning answer work (ServeReport::deadline_expired). 0 = none.
+  int64_t deadline_ns = 0;
+  /// Probe-address sorting for large warm kernel batches (see
+  /// AnswerOptions::sort_probes).
+  bool sort_probes = false;
 };
 
 /// Aggregate of one ServeParallel run.
@@ -53,23 +70,43 @@ struct ServeReport {
   Status first_error;  // OK when errors == 0
   double wall_seconds = 0;
   double queries_per_second = 0;
-  /// Summed Π cost across workers (charged only on actual Π runs).
+  /// Summed Π cost across workers and preparers (charged only on actual
+  /// Π runs plus the per-batch probe op).
   Cost prepare_cost;
   /// Summed per-query answering cost across workers.
   Cost answer_cost;
   int threads = 0;  // resolved worker count (after the 0 = auto default)
+  // --- completion-pipeline visibility (PR 5-style per-thread slots,
+  // merged after the join) --------------------------------------------------
+  /// Work items completed with Status::DeadlineExceeded at dequeue.
+  int64_t deadline_expired = 0;
+  /// Work items shed because an admission/pending queue was at depth
+  /// (completed with Status::Unavailable). Not counted in `errors`.
+  int64_t shed = 0;
+  /// High-water mark of items queued (parked cold + submitted-not-started).
+  int64_t queue_depth_max = 0;
+  /// Wall nanoseconds preparer threads spent inside Prepare (Π + store
+  /// admission) — the head-of-line blocking the pipeline keeps off the
+  /// answer workers.
+  int64_t preparer_busy_ns = 0;
+  int preparers = 0;  // resolved preparer count
 };
 
-/// Drives `workload` through `engine->AnswerBatch` from
-/// `options.threads` concurrent workers: the multi-threaded face of the
-/// prepare-once/answer-many contract. Workers claim `options.batch` work
-/// items per pull from a shared atomic cursor and keep every tally —
-/// batch/query counts and a thread-local CostMeter — in private storage,
-/// merged once after the join, so the serving loop itself touches no
-/// shared mutable state between pulls. Distinct data parts proceed in
-/// parallel; concurrent misses on the same data part dedup onto one Π run
-/// inside the store, and warm hits are lock-free end to end. Used by
-/// bench_x3_concurrency to measure queries/sec vs threads.
+/// Drives `workload` through the completion pipeline (engine/pipeline.h)
+/// from `options.threads` concurrent answer workers: the multi-threaded
+/// face of the prepare-once/answer-many contract. Workers claim
+/// `options.batch` work items per pull from a shared atomic cursor and
+/// keep every tally — batch/query counts and a thread-local CostMeter —
+/// in private storage, merged once after the join, so the warm serving
+/// loop touches no shared mutable state between pulls. Warm items answer
+/// immediately on the kernel path; a cold miss *parks* its item on the
+/// preparer pool (`options.preparers`) and the worker keeps draining warm
+/// traffic — no worker ever blocks on Π, so one expensive prepare cannot
+/// head-of-line-block cheap answers. Concurrent misses on the same data
+/// part still dedup onto one Π run inside the store, and warm hits stay
+/// lock-free end to end. Used by bench_x3_concurrency for both the
+/// closed-loop queries/sec rows and (through ServePipeline::Submit) the
+/// open-loop latency rows.
 ServeReport ServeParallel(QueryEngine* engine,
                           std::span<const ServeWorkItem> workload,
                           const ServeOptions& options);

@@ -468,6 +468,60 @@ TEST(PreparedStoreEvictionTest, EntryCapStillEnforced) {
   EXPECT_TRUE(store.Contains("p", "w", "d"));
 }
 
+// The CLOCK second-chance bit: a hit arms an entry's `referenced` bit, and
+// the next eviction sweep consumes it instead of evicting the entry — so
+// an entry that was *hit* survives one that was merely *inserted later*,
+// which pure recency stamps would get backwards. The hit-rate can only
+// improve: hot entries stay resident one sweep longer.
+TEST(PreparedStoreEvictionTest, ClockSecondChanceSparesHitEntriesOverNewerColdOnes) {
+  PreparedStore store(/*max_entries=*/2);
+  std::atomic<int> computes{0};
+  auto compute = [&computes](CostMeter*) -> Result<std::string> {
+    ++computes;
+    return std::string("x");
+  };
+
+  ASSERT_TRUE(store.GetOrCompute("p", "w", "a", compute).ok());
+  bool hit = false;
+  ASSERT_TRUE(store.GetOrCompute("p", "w", "a", compute, nullptr, &hit).ok());
+  EXPECT_TRUE(hit);  // arms "a"'s second-chance bit
+  ASSERT_TRUE(store.GetOrCompute("p", "w", "b", compute).ok());
+
+  // Over cap: "b" has the newest stamp but no second chance, "a" has an
+  // older stamp but was hit. Stamp-only LRU would evict "a"; CLOCK spares
+  // it and takes "b".
+  ASSERT_TRUE(store.GetOrCompute("p", "w", "c", compute).ok());
+  EXPECT_TRUE(store.Contains("p", "w", "a"));
+  EXPECT_FALSE(store.Contains("p", "w", "b"));
+  EXPECT_TRUE(store.Contains("p", "w", "c"));
+  EXPECT_EQ(store.stats().evictions, 1);
+
+  // Hit-rate no worse: the spared entry still answers warm (Π not re-run),
+  // and the hit re-arms its bit for the next sweep.
+  hit = false;
+  ASSERT_TRUE(store.GetOrCompute("p", "w", "a", compute, nullptr, &hit).ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(computes.load(), 3);  // a, b, c — never a recompute of "a"
+
+  // Re-armed: "a" survives the next sweep too ("c" goes, never hit).
+  ASSERT_TRUE(store.GetOrCompute("p", "w", "d", compute).ok());
+  EXPECT_TRUE(store.Contains("p", "w", "a"));
+  EXPECT_FALSE(store.Contains("p", "w", "c"));
+
+  // The bit is one-shot: that sweep consumed "a"'s chance, so without a
+  // fresh hit it is back to plain stamp order. Touch "d" into a newer
+  // epoch (recency stamps are per-epoch, and "a"'s last hit tied "d"'s
+  // insert epoch), and the next sweep takes "a" — its historical hits no
+  // longer protect it.
+  hit = false;
+  ASSERT_TRUE(store.GetOrCompute("p", "w", "d", compute, nullptr, &hit).ok());
+  EXPECT_TRUE(hit);
+  ASSERT_TRUE(store.GetOrCompute("p", "w", "e", compute).ok());
+  EXPECT_FALSE(store.Contains("p", "w", "a"));
+  EXPECT_TRUE(store.Contains("p", "w", "d"));
+  EXPECT_TRUE(store.Contains("p", "w", "e"));
+}
+
 // ---------------------------------------------------------------------------
 // Spill / Load persistence.
 // ---------------------------------------------------------------------------
