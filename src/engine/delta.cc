@@ -1,0 +1,110 @@
+#include "engine/delta.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+
+namespace pitract {
+namespace engine {
+
+namespace {
+
+/// Per-value multiset tally for the list algebra.
+struct ListNet {
+  int64_t count = 0;  // +inserts, -deletes
+  size_t first_seen = 0;
+};
+
+/// Per-edge op reduction for the edge algebra: the first and last op kinds
+/// seen for one (a, b) pair determine the shortest equivalent sequence.
+struct EdgeNet {
+  DeltaOp::Kind first = DeltaOp::Kind::kEdgeInsert;
+  DeltaOp::Kind last = DeltaOp::Kind::kEdgeInsert;
+  size_t first_seen = 0;
+};
+
+struct EdgeKeyHash {
+  size_t operator()(const std::pair<int64_t, int64_t>& e) const {
+    return std::hash<int64_t>()(e.first * 0x9E3779B97F4A7C15ll + e.second);
+  }
+};
+
+}  // namespace
+
+DeltaBatch Coalesce(const DeltaBatch& delta) {
+  std::unordered_map<int64_t, ListNet> list_net;
+  std::unordered_map<std::pair<int64_t, int64_t>, EdgeNet, EdgeKeyHash>
+      edge_net;
+  size_t seq = 0;
+  auto list_touch = [&](int64_t value, int64_t by) {
+    auto [it, inserted] = list_net.try_emplace(value);
+    if (inserted) it->second.first_seen = seq++;
+    it->second.count += by;
+  };
+  for (const DeltaOp& op : delta.ops) {
+    switch (op.kind) {
+      case DeltaOp::Kind::kListInsert:
+        list_touch(op.a, +1);
+        break;
+      case DeltaOp::Kind::kListDelete:
+        list_touch(op.a, -1);
+        break;
+      case DeltaOp::Kind::kValueUpdate:
+        // Algebraically delete-a + insert-b; a == b nets to nothing.
+        list_touch(op.a, -1);
+        list_touch(op.b, +1);
+        break;
+      case DeltaOp::Kind::kEdgeInsert:
+      case DeltaOp::Kind::kEdgeDelete: {
+        auto [it, inserted] = edge_net.try_emplace({op.a, op.b});
+        if (inserted) {
+          it->second.first = op.kind;
+          it->second.first_seen = seq++;
+        }
+        it->second.last = op.kind;
+        break;
+      }
+    }
+  }
+  // Emit list deletes before list inserts — the intermediate state of a
+  // shrinking-then-growing burst never exceeds either endpoint — each
+  // group in first-seen order; edge ops follow, also in first-seen order.
+  std::vector<std::pair<size_t, DeltaOp>> deletes, inserts, edges;
+  for (const auto& [value, net] : list_net) {
+    auto& group = net.count < 0 ? deletes : inserts;
+    const int64_t copies = net.count < 0 ? -net.count : net.count;
+    for (int64_t i = 0; i < copies; ++i) {
+      group.emplace_back(net.first_seen,
+                         DeltaOp{net.count < 0 ? DeltaOp::Kind::kListDelete
+                                               : DeltaOp::Kind::kListInsert,
+                                 value, 0});
+    }
+  }
+  for (const auto& [edge, net] : edge_net) {
+    edges.emplace_back(net.first_seen,
+                       DeltaOp{net.first, edge.first, edge.second});
+    if (net.first != net.last) {
+      // Different first/last kinds: both are needed — [insert, delete]
+      // stays valid on any initial state while [delete, insert] still
+      // demands initial presence — and together they pin final presence.
+      edges.emplace_back(net.first_seen,
+                         DeltaOp{net.last, edge.first, edge.second});
+    }
+  }
+  auto by_seq = [](const auto& lhs, const auto& rhs) {
+    return lhs.first < rhs.first;
+  };
+  std::stable_sort(deletes.begin(), deletes.end(), by_seq);
+  std::stable_sort(inserts.begin(), inserts.end(), by_seq);
+  std::stable_sort(edges.begin(), edges.end(), by_seq);
+  DeltaBatch out;
+  out.ops.reserve(deletes.size() + inserts.size() + edges.size());
+  for (const auto* group : {&deletes, &inserts, &edges}) {
+    for (const auto& [first_seen, op] : *group) out.ops.push_back(op);
+  }
+  return out;
+}
+
+}  // namespace engine
+}  // namespace pitract

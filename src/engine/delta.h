@@ -25,6 +25,12 @@ struct DeltaOp {
     kListDelete,
     /// Add the edge a -> b to a graph-shaped data part.
     kEdgeInsert,
+    /// Remove the edge a -> b from a graph-shaped data part (set
+    /// semantics, matching graph::Graph::FromEdges dedup).
+    kEdgeDelete,
+    /// Replace one occurrence of value `a` with value `b` in a
+    /// list-shaped data part (algebraically: delete `a`, insert `b`).
+    kValueUpdate,
   };
   Kind kind = Kind::kListInsert;
   int64_t a = 0;
@@ -36,6 +42,23 @@ struct DeltaOp {
 struct DeltaBatch {
   std::vector<DeltaOp> ops;
 };
+
+/// Collapses a burst of ±ops into the smallest batch with the same net
+/// effect, so ApplyDelta runs one bounded patch instead of |ops| of them.
+///
+///  * List ops are multiset-netted per value (kValueUpdate decomposes into
+///    delete-a + insert-b): net removals are emitted before net additions,
+///    each in first-seen order, and a value whose count nets to zero is
+///    dropped entirely.
+///  * Edge ops reduce per (a, b) to at most first-op-kind + last-op-kind
+///    (one op when they agree) — the shortest sequence with the same final
+///    presence *and* the same validity on every initial state.
+///
+/// Validation is against the net batch: a burst that cancels out (insert x
+/// then delete x on data without x) coalesces to a successful no-op even
+/// though replaying it op-by-op would fail — the batch is atomic, so only
+/// its net effect is observable.
+DeltaBatch Coalesce(const DeltaBatch& delta);
 
 /// D ⊕ ΔD: produces the post-delta data part (the Σ* encoding the engine
 /// re-keys the PreparedStore entry to). Pure PTIME bookkeeping — no

@@ -50,9 +50,21 @@ DataDeltaFn MemberDataDelta() {
           list->erase(it);
           break;
         }
+        case DeltaOp::Kind::kValueUpdate: {
+          auto it = std::find(list->begin(), list->end(), op.a);
+          if (it == list->end()) {
+            return Status::NotFound("update of absent value " +
+                                    std::to_string(op.a));
+          }
+          if (op.b < 0 || op.b >= *universe) {
+            return Status::OutOfRange("updated value outside universe");
+          }
+          *it = op.b;
+          break;
+        }
         default:
           return Status::InvalidArgument(
-              "member data accepts only list inserts/deletes");
+              "member data accepts only list inserts/deletes/updates");
       }
     }
     return codec::EncodeFields(
@@ -76,9 +88,11 @@ PreparedPatchFn MemberPreparedPatch() {
                                                           nullptr);
     if (!index.ok()) return index.status();
     std::vector<incremental::Delta> batch;
-    batch.reserve(delta.ops.size());
+    batch.reserve(delta.ops.size() + 1);
     for (const DeltaOp& op : delta.ops) {
       incremental::Delta d;
+      d.key = op.a;
+      d.row_id = 0;
       switch (op.kind) {
         case DeltaOp::Kind::kListInsert:
           d.op = incremental::Delta::Op::kInsert;
@@ -86,12 +100,18 @@ PreparedPatchFn MemberPreparedPatch() {
         case DeltaOp::Kind::kListDelete:
           d.op = incremental::Delta::Op::kDelete;
           break;
+        case DeltaOp::Kind::kValueUpdate: {
+          // One delete + one insert traversal: still O(log |D|) per op.
+          d.op = incremental::Delta::Op::kDelete;
+          batch.push_back(d);
+          d.op = incremental::Delta::Op::kInsert;
+          d.key = op.b;
+          break;
+        }
         default:
           return Status::InvalidArgument(
-              "member Π-patch accepts only list inserts/deletes");
+              "member Π-patch accepts only list inserts/deletes/updates");
       }
-      d.key = op.a;
-      d.row_id = 0;
       batch.push_back(d);
     }
     PITRACT_RETURN_IF_ERROR(index->ApplyDelta(batch, meter));
@@ -233,16 +253,31 @@ DataDeltaFn ReachDataDelta() {
     if (!g.ok()) return g.status();
     std::vector<std::pair<graph::NodeId, graph::NodeId>> edges = g->Edges();
     for (const DeltaOp& op : delta.ops) {
-      if (op.kind != DeltaOp::Kind::kEdgeInsert) {
+      if (op.kind != DeltaOp::Kind::kEdgeInsert &&
+          op.kind != DeltaOp::Kind::kEdgeDelete) {
         return Status::InvalidArgument(
-            "reach data accepts only edge inserts");
+            "reach data accepts only edge inserts/deletes");
       }
       if (op.a < 0 || op.a >= g->num_nodes() || op.b < 0 ||
           op.b >= g->num_nodes()) {
-        return Status::OutOfRange("inserted edge endpoint out of range");
+        return Status::OutOfRange("delta edge endpoint out of range");
       }
-      edges.emplace_back(static_cast<graph::NodeId>(op.a),
-                         static_cast<graph::NodeId>(op.b));
+      const auto u = static_cast<graph::NodeId>(op.a);
+      const auto v = static_cast<graph::NodeId>(op.b);
+      if (op.kind == DeltaOp::Kind::kEdgeInsert) {
+        edges.emplace_back(u, v);  // FromEdges dedups: set semantics
+      } else {
+        // Set semantics: remove every pending copy (the decoded edge list
+        // is dedup'd, but the batch itself may have re-inserted the arc).
+        auto it = std::remove(edges.begin(), edges.end(),
+                              std::make_pair(u, v));
+        if (it == edges.end()) {
+          return Status::NotFound("delete of absent edge " +
+                                  std::to_string(op.a) + "->" +
+                                  std::to_string(op.b));
+        }
+        edges.erase(it, edges.end());
+      }
     }
     auto patched = graph::Graph::FromEdges(g->num_nodes(), edges,
                                            /*directed=*/true);
@@ -255,18 +290,22 @@ PreparedPatchFn ReachPreparedPatch() {
   return [](std::string* prepared, const DeltaBatch& delta,
             CostMeter* meter) -> Status {
     // Rehydrating the closure image is uncharged decode bookkeeping (see
-    // MemberPreparedPatch); each InsertEdge below charges the bounded
-    // |CHANGED| maintenance cost of Ramalingam–Reps.
+    // MemberPreparedPatch); each edge op below charges the bounded
+    // |CHANGED| / affected-set maintenance cost of Ramalingam–Reps.
     auto tc =
         incremental::IncrementalTransitiveClosure::Deserialize(*prepared);
     if (!tc.ok()) return tc.status();
     for (const DeltaOp& op : delta.ops) {
-      if (op.kind != DeltaOp::Kind::kEdgeInsert) {
+      if (op.kind != DeltaOp::Kind::kEdgeInsert &&
+          op.kind != DeltaOp::Kind::kEdgeDelete) {
         return Status::InvalidArgument(
-            "reach Π-patch accepts only edge inserts (deletions rebuild)");
+            "reach Π-patch accepts only edge inserts/deletes");
       }
-      auto changed = tc->InsertEdge(static_cast<graph::NodeId>(op.a),
-                                    static_cast<graph::NodeId>(op.b), meter);
+      const auto u = static_cast<graph::NodeId>(op.a);
+      const auto v = static_cast<graph::NodeId>(op.b);
+      auto changed = op.kind == DeltaOp::Kind::kEdgeInsert
+                         ? tc->InsertEdge(u, v, meter)
+                         : tc->DeleteEdge(u, v, meter);
       if (!changed.ok()) return changed.status();
     }
     *prepared = tc->Serialize();

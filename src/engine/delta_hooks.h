@@ -17,14 +17,16 @@ namespace engine {
 // --- sorted-list problems (list-membership, predicate-selection) -----------
 
 /// D ⊕ ΔD over the (universe, list) data shape: kListInsert appends,
-/// kListDelete removes one occurrence (NotFound if absent). Values must
-/// stay inside the universe.
+/// kListDelete removes one occurrence (NotFound if absent), kValueUpdate
+/// replaces one occurrence of `a` with `b` (NotFound if `a` absent).
+/// Values must stay inside the universe.
 DataDeltaFn MemberDataDelta();
 
 /// Π-patch for the sort-once witnesses: rehydrates the sorted column into
 /// an incremental::DeltaMaintainedIndex (the Example 1 B+-tree), applies
-/// the batch through ApplyDelta at O(|ΔD| log |D|) charged cost, and
-/// re-encodes the maintained sorted keys.
+/// the batch through ApplyDelta at O(|ΔD| log |D|) charged cost — inserts,
+/// deletes, and updates (a kValueUpdate is one delete + one insert
+/// traversal) — and re-encodes the maintained sorted keys.
 PreparedPatchFn MemberPreparedPatch();
 
 // --- directed reachability (graph-reachability) ----------------------------
@@ -34,15 +36,16 @@ PreparedPatchFn MemberPreparedPatch();
 /// answering is one O(1) bit probe into the serialized closure image.
 core::PiWitness ReachClosureWitness();
 
-/// D ⊕ ΔD over the single-field graph data shape: kEdgeInsert adds an arc
-/// (node ids must exist; directed graphs only).
+/// D ⊕ ΔD over the single-field graph data shape: kEdgeInsert adds an arc,
+/// kEdgeDelete removes one (NotFound if absent; set semantics — the graph
+/// codec collapses parallel arcs). Node ids must exist; directed only.
 DataDeltaFn ReachDataDelta();
 
-/// Π-patch through IncrementalTransitiveClosure::InsertEdge: charged
-/// Θ(affected rows · row words) per arc — the Ramalingam–Reps |CHANGED|
-/// bound — versus the full O(n·m) closure rebuild. Deletions are not
-/// incrementally maintainable here and fail, degrading to
-/// recompute-on-miss.
+/// Π-patch through IncrementalTransitiveClosure::{Insert,Delete}Edge:
+/// insertions charge Θ(affected rows · row words) per arc — the
+/// Ramalingam–Reps |CHANGED| bound — and deletions charge the SES-style
+/// affected-set recompute (rows x with x ⇝ u ∧ v ∈ desc(x)), both versus
+/// the full O(n·m) closure rebuild.
 PreparedPatchFn ReachPreparedPatch();
 
 }  // namespace engine

@@ -510,9 +510,14 @@ Result<DeltaOutcome> QueryEngine::ApplyDelta(std::string_view problem,
     return Status::FailedPrecondition("problem '" + std::string(problem) +
                                       "' registers no data-delta hook");
   }
+  // Coalesce first: a burst of ±ops on the same key nets out before either
+  // hook runs, so both the data rewrite and the Π-patch pay for the net
+  // delta, not the raw op stream. A burst that nets to nothing reaches the
+  // hooks as an empty batch — zero per-op work, an in-place republish.
+  const DeltaBatch coalesced = Coalesce(delta);
   DeltaOutcome outcome;
   PITRACT_ASSIGN_OR_RETURN(outcome.new_data,
-                           (*entry)->apply_delta_to_data(data, delta));
+                           (*entry)->apply_delta_to_data(data, coalesced));
   if (!(*entry)->prepared_patch) {
     outcome.fallback_reason = Status::FailedPrecondition(
         "problem '" + std::string(problem) + "' registers no Π-patch hook");
@@ -525,8 +530,8 @@ Result<DeltaOutcome> QueryEngine::ApplyDelta(std::string_view problem,
   const PreparedPatchFn& patch = (*entry)->prepared_patch;
   Status patched = store_.UpdateData(
       (*entry)->name, (*entry)->witness.name, data, outcome.new_data,
-      [&patch, &delta](std::string* prepared, CostMeter* m) {
-        return patch(prepared, delta, m);
+      [&patch, &coalesced](std::string* prepared, CostMeter* m) {
+        return patch(prepared, coalesced, m);
       },
       meter, entry_options);
   if (patched.ok()) {

@@ -48,19 +48,58 @@ Status WriteSpillFile(const std::string& dir, uint64_t digest,
   serde::PutBytes(&framed, prepared);
   serde::PutU64(&framed, static_cast<uint64_t>(size_bytes));
   const fs::path path = fs::path(dir) / DigestFileName(digest);
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Status::Internal("cannot open spill file " + path.string());
+  // Write-then-rename: a concurrent Load never observes a half-written
+  // frame under the published name — it either sees the old complete file
+  // or the new complete file (rename is atomic within a directory).
+  const fs::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("cannot open spill file " + tmp.string());
+    }
+    out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+    // Close explicitly and re-check: a buffered write can fail only at
+    // flush time (e.g. ENOSPC), and returning OK on a truncated file
+    // would silently lose the warm cache.
+    out.close();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return Status::Internal("short write to spill file " + tmp.string());
+    }
   }
-  out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
-  // Close explicitly and re-check: a buffered write can fail only at
-  // flush time (e.g. ENOSPC), and returning OK on a truncated file
-  // would silently lose the warm cache.
-  out.close();
-  if (!out) {
-    return Status::Internal("short write to spill file " + path.string());
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code cleanup;
+    fs::remove(tmp, cleanup);
+    return Status::Internal("cannot publish spill file " + path.string() +
+                            ": " + ec.message());
   }
   return Status::OK();
+}
+
+/// Second, independent 64-bit hash of the key bytes (different offset
+/// basis and fold), guarding the first lineage-resolution hop: a stale
+/// probe mis-resolves only if the foreign key collides in *both* hashes.
+uint64_t AltKeyDigest(std::string_view bytes) {
+  uint64_t hash = 0x9e3779b97f4a7c15ull;
+  const char* p = bytes.data();
+  size_t remaining = bytes.size();
+  while (remaining >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    hash ^= word;
+    hash *= 0xff51afd7ed558ccdull;
+    hash ^= hash >> 33;
+    p += 8;
+    remaining -= 8;
+  }
+  for (; remaining > 0; --remaining) {
+    hash ^= static_cast<unsigned char>(*p++);
+    hash *= 0xff51afd7ed558ccdull;
+  }
+  return hash ^ (hash >> 29);
 }
 
 /// Options::shards == 0 means "size for the machine": the next power of
@@ -145,7 +184,8 @@ void PreparedStore::SnapshotCell::Publish(Table table) {
 
 PreparedStore::PreparedStore(const Options& options)
     : options_(Options{ResolveShards(options.shards), options.max_entries,
-                       options.byte_budget}),
+                       options.byte_budget,
+                       std::max<size_t>(options.versions, 1)}),
       shards_(options_.shards) {
   // Snapshots start as published empty tables, so the lock-free hit path
   // never has to special-case a null pointer.
@@ -255,21 +295,22 @@ void PreparedStore::AttachView(const EntryOptions& entry_options,
 }
 
 Result<PreparedStore::PreparedView> PreparedStore::RebuildViewLazily(
-    const Key& key, const EntryPtr& entry, const EntryOptions& entry_options,
+    const EntryPtr& entry, const EntryOptions& entry_options,
     CostMeter* meter) {
   // Decode outside every lock — the build is O(|Π(D)|) and must not stall
   // the stripe. Two racing hitters may both decode; exactly one publishes
   // (the miss-storm path never races: the in-flight winner builds before
-  // publishing the entry).
+  // publishing the entry). The entry is addressed by its *own* digest —
+  // a lineage-resolved hit's probe key lives in a different shard.
   std::shared_ptr<const void> built =
       BuildView(entry_options, entry->prepared, meter);
   std::shared_ptr<const void> serve = built;
   bool accounted = false;
   {
-    Shard& shard = ShardFor(key.digest);
+    Shard& shard = ShardFor(entry->digest);
     std::lock_guard<std::mutex> lock(shard.mutex);
     TableRef table = shard.snapshot.Acquire();
-    auto it = table->find(key.digest);
+    auto it = table->find(entry->digest);
     if (it != table->end() && it->second == entry) {
       if (entry->view_ready.load(std::memory_order_relaxed) != nullptr) {
         serve = entry->view;  // somebody else won the publish race
@@ -300,7 +341,7 @@ Result<PreparedStore::PreparedView> PreparedStore::RebuildViewLazily(
 }
 
 Result<PreparedStore::PreparedView> PreparedStore::ServeHit(
-    const Key& key, const EntryPtr& entry, const EntryOptions& entry_options,
+    const EntryPtr& entry, const EntryOptions& entry_options,
     CostMeter* meter, bool* hit, bool locked) {
   Touch(*entry);
   StatSlot& stats = LocalStats();
@@ -318,7 +359,7 @@ Result<PreparedStore::PreparedView> PreparedStore::ServeHit(
       !entry->view_build_failed.load(std::memory_order_relaxed)) {
     // Loaded entry: spill files carry only the payload, so the first warm
     // hit repairs the decoded view (outside every lock).
-    return RebuildViewLazily(key, entry, entry_options, meter);
+    return RebuildViewLazily(entry, entry_options, meter);
   }
   return PreparedView{entry->prepared, nullptr};
 }
@@ -338,17 +379,64 @@ bool PreparedStore::TryGetView(const Key& key,
   {
     TableRef table = shard.snapshot.Acquire();
     auto it = table->find(key.digest);
-    if (it == table->end() || !EntryMatches(*it->second, key)) return false;
-    entry = it->second;
+    if (it != table->end() && EntryMatches(*it->second, key)) {
+      entry = it->second;
+    }
+  }
+  if (entry == nullptr) {
+    // Not resident under the probe digest. If the version was re-keyed
+    // away by UpdateData and trimmed out of the MVCC window, serve the
+    // first resident successor instead of going cold — a delta-streaming
+    // reader wants the newer version, not a spurious Π rebuild of a
+    // retired one.
+    entry = ResolveLineage(key);
+    if (entry == nullptr) return false;
+    LocalStats().lineage_resolves.fetch_add(1, std::memory_order_relaxed);
   }
   // ServeHit may still lock a stripe once per entry lifetime (the lazy
   // post-Load view repair), but the steady-state warm probe is the same
   // lock-free snapshot hit GetOrComputeView serves.
-  auto served = ServeHit(key, entry, entry_options, meter, nullptr,
+  auto served = ServeHit(entry, entry_options, meter, nullptr,
                          /*locked=*/false);
   if (!served.ok()) return false;
   *out = std::move(served).value();
   return true;
+}
+
+PreparedStore::EntryPtr PreparedStore::ResolveLineage(const Key& key) const {
+  uint64_t prev = key.digest;
+  uint64_t next = 0;
+  {
+    std::lock_guard<std::mutex> lock(lineage_mutex_);
+    auto it = lineage_.find(key.digest);
+    if (it == lineage_.end() ||
+        it->second.alt_digest != AltKeyDigest(*key.bytes)) {
+      return nullptr;
+    }
+    next = it->second.successor;
+  }
+  for (int hop = 0; hop < kMaxLineageHops; ++hop) {
+    EntryPtr candidate;
+    {
+      const Shard& shard = ShardFor(next);
+      TableRef table = shard.snapshot.Acquire();
+      auto it = table->find(next);
+      if (it != table->end()) candidate = it->second;
+    }
+    if (candidate != nullptr && candidate->has_predecessor &&
+        candidate->predecessor_digest == prev) {
+      // The back-link ties the resident entry to the chain we walked: a
+      // foreign entry that merely collides on `next` fails this check.
+      return candidate;
+    }
+    // Not resident (trimmed or evicted): follow the record chain further.
+    std::lock_guard<std::mutex> lock(lineage_mutex_);
+    auto it = lineage_.find(next);
+    if (it == lineage_.end()) return nullptr;
+    prev = next;
+    next = it->second.successor;
+  }
+  return nullptr;
 }
 
 Result<PreparedStore::PreparedView> PreparedStore::GetOrComputeView(
@@ -364,7 +452,7 @@ Result<PreparedStore::PreparedView> PreparedStore::GetOrComputeView(
     TableRef table = shard.snapshot.Acquire();
     auto it = table->find(digest);
     if (it != table->end() && EntryMatches(*it->second, key)) {
-      return ServeHit(key, it->second, entry_options, meter, hit,
+      return ServeHit(it->second, entry_options, meter, hit,
                       /*locked=*/false);
     }
   }
@@ -396,7 +484,7 @@ Result<PreparedStore::PreparedView> PreparedStore::GetOrComputeView(
     }
   }
   if (resident != nullptr) {
-    return ServeHit(key, resident, entry_options, meter, hit,
+    return ServeHit(resident, entry_options, meter, hit,
                     /*locked=*/true);
   }
 
@@ -440,6 +528,7 @@ Result<PreparedStore::PreparedView> PreparedStore::GetOrComputeView(
 
   EntryPtr entry = std::make_shared<Entry>();
   entry->key = key.bytes;
+  entry->digest = digest;
   entry->prepared =
       std::make_shared<const std::string>(std::move(prepared).value());
   // The miss winner builds the decoded view before publishing, so the
@@ -541,6 +630,15 @@ Status PreparedStore::UpdateData(std::string_view problem,
                                                  std::memory_order_relaxed);
           return Status::NotFound("no resident Π for the pre-delta data part");
         }
+        if (it->second->superseded.load(std::memory_order_acquire)) {
+          // A concurrent delta already advanced this version: version
+          // retention keeps the entry resident for stale readers, but it
+          // must not fork the lineage into two successors.
+          LocalStats().patch_fallbacks.fetch_add(1,
+                                                 std::memory_order_relaxed);
+          return Status::Unavailable(
+              "pre-delta version already superseded; not forking the chain");
+        }
         old_entry = it->second;
       }
     }
@@ -590,7 +688,8 @@ Status PreparedStore::UpdateData(std::string_view problem,
     TableRef old_table = old_shard.snapshot.Acquire();
     auto it = old_table->find(old_digest);
     if (old_shard.inflight.find(*old_key.bytes) != old_shard.inflight.end() ||
-        it == old_table->end() || it->second != old_entry) {
+        it == old_table->end() || it->second != old_entry ||
+        old_entry->superseded.load(std::memory_order_acquire)) {
       // The slot moved while the patch ran unlocked (evicted, replaced by
       // a fresh Π or Load, re-keyed by a concurrent delta, or a new miss
       // storm started). The patched copy matches a payload that is no
@@ -602,10 +701,17 @@ Status PreparedStore::UpdateData(std::string_view problem,
     }
     fresh->last_used.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
                            std::memory_order_relaxed);
+    fresh->digest = new_digest;
+    fresh->version = old_entry->version + 1;
+    fresh->predecessor_digest = old_digest;
+    fresh->has_predecessor = true;
 
-    // Retire the pre-delta entry and publish the patched one under the
-    // post-delta digest (replacing a digest collision or a concurrently
-    // loaded duplicate), republishing each touched shard's snapshot.
+    // Publish the patched version k+1 under the post-delta digest
+    // (replacing a digest collision or a concurrently loaded duplicate).
+    // With versions >= 2 the pre-delta entry is *retained* — marked
+    // superseded so answer paths skip it, but still digest-addressable so
+    // a reader pinned on version k keeps getting version-k answers instead
+    // of a spurious Π rebuild; UpdateData trims the chain below.
     auto retire = [this](const EntryPtr& entry) {
       bytes_.fetch_sub(
           static_cast<int64_t>(
@@ -622,10 +728,19 @@ Status PreparedStore::UpdateData(std::string_view problem,
           std::memory_order_relaxed);
       count_.fetch_add(1, std::memory_order_relaxed);
     };
-    retire(old_entry);
+    const bool rekeyed = old_digest != new_digest;
+    const bool retain_old = rekeyed && options_.versions >= 2;
+    if (rekeyed) {
+      // Successor forwarding first, supersede marker second (release): a
+      // reader that observes `superseded` is guaranteed to see where the
+      // lineage went.
+      old_entry->successor_digest.store(new_digest, std::memory_order_relaxed);
+      old_entry->superseded.store(true, std::memory_order_release);
+    }
+    if (!retain_old) retire(old_entry);
     if (old_index == new_index) {
       Table table = *old_table;
-      table.erase(old_digest);
+      if (!retain_old) table.erase(old_digest);
       auto dest = table.find(new_digest);
       if (dest != table.end()) {
         retire(dest->second);
@@ -636,9 +751,11 @@ Status PreparedStore::UpdateData(std::string_view problem,
       admit(fresh);
       PublishTable(&old_shard, std::move(table));
     } else {
-      Table old_copy = *old_table;
-      old_copy.erase(old_digest);
-      PublishTable(&old_shard, std::move(old_copy));
+      if (!retain_old) {
+        Table old_copy = *old_table;
+        old_copy.erase(old_digest);
+        PublishTable(&old_shard, std::move(old_copy));
+      }
       Table new_copy = CopyTable(new_shard);
       auto dest = new_copy.find(new_digest);
       if (dest != new_copy.end()) {
@@ -651,6 +768,66 @@ Status PreparedStore::UpdateData(std::string_view problem,
       PublishTable(&new_shard, std::move(new_copy));
     }
     LocalStats().patches.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (old_digest != new_digest) {
+    // Record the forwarding hop old → new for ResolveLineage. The record
+    // stores a second, independent digest of the old key bytes so a stale
+    // probe mis-resolves only on a double hash collision. Bounded map: a
+    // sweep drops the oldest half once 2x the cap accumulates.
+    std::lock_guard<std::mutex> lock(lineage_mutex_);
+    if (lineage_.size() >= 2 * kMaxLineageRecords) {
+      const uint64_t horizon = lineage_seq_ - kMaxLineageRecords;
+      for (auto it = lineage_.begin(); it != lineage_.end();) {
+        it = it->second.seq < horizon ? lineage_.erase(it) : std::next(it);
+      }
+    }
+    lineage_[old_digest] =
+        LineageRecord{new_digest, AltKeyDigest(*old_key.bytes), lineage_seq_++};
+  }
+
+  if (options_.versions >= 2 && old_digest != new_digest) {
+    // Trim the version window: walk the predecessor back-links from the
+    // just-superseded entry (depth 1; the fresh head is depth 0) and drop
+    // every resident version at depth >= versions. Steady state removes
+    // exactly one entry per delta; the hop cap bounds a corrupted walk.
+    EntryPtr cur = old_entry;
+    size_t depth = 1;
+    for (int hops = 0; hops < kMaxLineageHops && cur->has_predecessor;
+         ++hops) {
+      const uint64_t pred_digest = cur->predecessor_digest;
+      Shard& shard = ShardFor(pred_digest);
+      EntryPtr pred;
+      {
+        TableRef table = shard.snapshot.Acquire();
+        auto found = table->find(pred_digest);
+        if (found != table->end()) pred = found->second;
+      }
+      if (pred == nullptr ||
+          !pred->superseded.load(std::memory_order_acquire) ||
+          pred->successor_digest.load(std::memory_order_relaxed) !=
+              cur->digest) {
+        break;  // chain end: already trimmed, evicted, or a digest reuse
+      }
+      if (depth + 1 >= options_.versions) {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        Table table = CopyTable(shard);
+        auto found = table.find(pred_digest);
+        if (found != table.end() && found->second == pred) {
+          table.erase(found);
+          bytes_.fetch_sub(
+              static_cast<int64_t>(
+                  pred->size_bytes +
+                  pred->view_size_bytes.load(std::memory_order_relaxed)),
+              std::memory_order_relaxed);
+          count_.fetch_sub(1, std::memory_order_relaxed);
+          LocalStats().evictions.fetch_add(1, std::memory_order_relaxed);
+          PublishTable(&shard, std::move(table));
+        }
+      }
+      cur = pred;
+      ++depth;
+    }
   }
 
   RespillPatched(old_digest, new_digest, *new_key.bytes, respill_payload,
@@ -704,7 +881,11 @@ bool PreparedStore::Contains(std::string_view problem, std::string_view witness,
   const Shard& shard = ShardFor(digest);
   TableRef table = shard.snapshot.Acquire();
   auto it = table->find(digest);
-  return it != table->end() && *it->second->key == key;
+  // Superseded versions stay digest-addressable for pinned readers but do
+  // not count as "the store knows this data part" — a fresh admission for
+  // the key must go through the normal miss path.
+  return it != table->end() && *it->second->key == key &&
+         !it->second->superseded.load(std::memory_order_relaxed);
 }
 
 bool PreparedStore::OverBudget() const {
@@ -740,6 +921,7 @@ void PreparedStore::EvictUntilWithinBudget() {
     struct Candidate {
       uint64_t stamp;
       bool second_chance;  // CLOCK bit was set at scan time (now cleared)
+      bool superseded;     // retained old version: preferred victim
       size_t shard;
       uint64_t digest;
       EntryPtr entry;
@@ -756,8 +938,9 @@ void PreparedStore::EvictUntilWithinBudget() {
         const bool spare =
             entry->referenced.exchange(false, std::memory_order_relaxed);
         candidates.push_back(
-            {entry->last_used.load(std::memory_order_relaxed), spare, si,
-             digest, entry,
+            {entry->last_used.load(std::memory_order_relaxed), spare,
+             entry->superseded.load(std::memory_order_relaxed), si, digest,
+             entry,
              static_cast<int64_t>(
                  entry->size_bytes +
                  entry->view_size_bytes.load(std::memory_order_relaxed))});
@@ -768,6 +951,11 @@ void PreparedStore::EvictUntilWithinBudget() {
               [](const Candidate& a, const Candidate& b) {
                 if (a.second_chance != b.second_chance) {
                   return !a.second_chance;  // unreferenced entries go first
+                }
+                if (a.superseded != b.superseded) {
+                  // Retained old versions exist only for pinned readers:
+                  // under pressure they go before any current version.
+                  return a.superseded;
                 }
                 return a.stamp < b.stamp;
               });
@@ -833,6 +1021,11 @@ Status PreparedStore::Spill(const std::string& dir) const {
     return Status::Internal("cannot create spill directory '" + dir +
                             "': " + ec.message());
   }
+  // Hold the directory lock across the writes, the stale-file sweep, and
+  // the spill_dir_ switch: a RespillPatched racing this pass could
+  // otherwise write a post-delta file that the sweep below (built from an
+  // older residency snapshot) would immediately delete.
+  std::lock_guard<std::mutex> dir_lock(spill_dir_mutex_);
   struct Snapshot {
     uint64_t digest;
     std::string key;
@@ -844,7 +1037,12 @@ Status PreparedStore::Spill(const std::string& dir) const {
     // The published table is immutable: iterating it needs no lock.
     TableRef table = shard.snapshot.Acquire();
     for (const auto& [digest, entry] : *table) {
-      if (!entry->spillable) continue;
+      // Superseded versions never spill: a restart should rehydrate the
+      // current head of each lineage, not a retired predecessor.
+      if (!entry->spillable ||
+          entry->superseded.load(std::memory_order_relaxed)) {
+        continue;
+      }
       snapshots.push_back({digest, *entry->key, entry->prepared,
                            entry->size_bytes});
     }
@@ -874,15 +1072,20 @@ Status PreparedStore::Spill(const std::string& dir) const {
   }
   LocalStats().spilled.fetch_add(static_cast<int64_t>(snapshots.size()),
                                  std::memory_order_relaxed);
-  {
-    // Remember the active spill directory so Δ-patches keep it current.
-    std::lock_guard<std::mutex> lock(spill_dir_mutex_);
-    spill_dir_ = dir;
-  }
+  // Remember the active spill directory so Δ-patches keep it current.
+  spill_dir_ = dir;
   return Status::OK();
 }
 
 Result<size_t> PreparedStore::Load(const std::string& dir) {
+  // The directory lock spans the whole scan-and-admit pass: a concurrent
+  // RespillPatched (which rewrites the post-delta file and removes the
+  // pre-delta one under the same lock) can run entirely before or entirely
+  // after this Load, never interleaved with it — so Load cannot read a
+  // file whose entry was re-keyed mid-scan and resurrect the stale
+  // payload. Released before the eviction pass below (the evictor takes
+  // shard locks of its own and must stay outside this ordering).
+  std::unique_lock<std::mutex> dir_lock(spill_dir_mutex_);
   std::error_code ec;
   fs::directory_iterator it(dir, ec);
   if (ec) {
@@ -921,7 +1124,9 @@ Result<size_t> PreparedStore::Load(const std::string& dir) {
     entry->size_bytes = static_cast<size_t>(*size_bytes);
     entry->spillable = true;
     const uint64_t digest = Fnv1a64(*entry->key);
+    entry->digest = digest;
     Shard& shard = ShardFor(digest);
+    bool admitted = false;
     {
       std::lock_guard<std::mutex> lock(shard.mutex);
       entry->last_used.store(
@@ -929,31 +1134,38 @@ Result<size_t> PreparedStore::Load(const std::string& dir) {
           std::memory_order_relaxed);
       Table table = CopyTable(shard);
       auto existing = table.find(digest);
-      if (existing != table.end()) {
-        bytes_.fetch_sub(
-            static_cast<int64_t>(existing->second->size_bytes +
-                                 existing->second->view_size_bytes.load(
-                                     std::memory_order_relaxed)),
-            std::memory_order_relaxed);
-        count_.fetch_sub(1, std::memory_order_relaxed);
-        existing->second = entry;
+      if (existing != table.end() &&
+          *existing->second->key == *entry->key) {
+        // The resident entry for this exact key wins: it carries the live
+        // MVCC lineage metadata and possibly a rebuilt view, while the
+        // file is at best an equal payload from an earlier spill. Loading
+        // over it could splice a stale payload into a live version chain.
       } else {
-        table.emplace(digest, entry);
+        if (existing != table.end()) {
+          bytes_.fetch_sub(
+              static_cast<int64_t>(existing->second->size_bytes +
+                                   existing->second->view_size_bytes.load(
+                                       std::memory_order_relaxed)),
+              std::memory_order_relaxed);
+          count_.fetch_sub(1, std::memory_order_relaxed);
+          existing->second = entry;
+        } else {
+          table.emplace(digest, entry);
+        }
+        // Freshly loaded entries carry no view yet (view_size_bytes == 0).
+        bytes_.fetch_add(static_cast<int64_t>(entry->size_bytes),
+                         std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        PublishTable(&shard, std::move(table));
+        admitted = true;
       }
-      // Freshly loaded entries carry no view yet (view_size_bytes == 0).
-      bytes_.fetch_add(static_cast<int64_t>(entry->size_bytes),
-                       std::memory_order_relaxed);
-      count_.fetch_add(1, std::memory_order_relaxed);
-      PublishTable(&shard, std::move(table));
     }
-    ++loaded;
+    if (admitted) ++loaded;
   }
   LocalStats().loaded.fetch_add(static_cast<int64_t>(loaded),
                                 std::memory_order_relaxed);
-  {
-    std::lock_guard<std::mutex> lock(spill_dir_mutex_);
-    spill_dir_ = dir;
-  }
+  spill_dir_ = dir;
+  dir_lock.unlock();
   EvictUntilWithinBudget();
   return loaded;
 }
@@ -976,6 +1188,8 @@ PreparedStore::Stats PreparedStore::stats() const {
     stats.locked_hits += slot.locked_hits.load(std::memory_order_relaxed);
     stats.update_retries +=
         slot.update_retries.load(std::memory_order_relaxed);
+    stats.lineage_resolves +=
+        slot.lineage_resolves.load(std::memory_order_relaxed);
   }
   return stats;
 }
@@ -1004,6 +1218,9 @@ void PreparedStore::Clear() {
     }
     PublishTable(&shard, Table{});
   }
+  std::lock_guard<std::mutex> lock(lineage_mutex_);
+  lineage_.clear();
+  lineage_seq_ = 0;
 }
 
 void PreparedStore::ResetStats() {
@@ -1020,6 +1237,7 @@ void PreparedStore::ResetStats() {
     slot.view_builds.store(0, std::memory_order_relaxed);
     slot.locked_hits.store(0, std::memory_order_relaxed);
     slot.update_retries.store(0, std::memory_order_relaxed);
+    slot.lineage_resolves.store(0, std::memory_order_relaxed);
   }
 }
 

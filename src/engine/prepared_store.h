@@ -65,6 +65,14 @@ uint64_t Fnv1a64(std::string_view bytes);
 ///    entry untouched since an older epoch is always evicted before one
 ///    touched since. Exact-LRU order is *not* guaranteed; the byte-budget
 ///    invariant is.
+///  * **MVCC version lineage.** UpdateData publishes the post-delta Π(D)
+///    under its new digest *without* dropping the pre-delta entry: the last
+///    `Options::versions` versions of a lineage stay resident (superseded
+///    but digest-addressable), so a reader holding a pre-delta Key keeps
+///    answering its pinned snapshot while deltas stream in. Once a version
+///    is trimmed out of the window, the old→successor digest chain lets
+///    TryGetView transparently resolve a stale probe to the first resident
+///    successor instead of going cold.
 ///  * **Persistence.** Spill serializes every spillable entry to one
 ///    serde-framed file per entry under a spill directory; Load rehydrates
 ///    a (possibly restarted) store from such a directory. Entries inserted
@@ -86,6 +94,16 @@ class PreparedStore {
     /// 0 = unbounded; otherwise approximate-LRU entries are evicted once
     /// the summed size estimates exceed this many bytes.
     size_t byte_budget = 0;
+    /// MVCC window: how many versions of one data lineage stay resident
+    /// after UpdateData re-keys (the current version plus versions-1
+    /// superseded predecessors). Readers holding a pre-delta Key keep
+    /// answering their pinned Π(D) while it is in the window; past it, a
+    /// TryGetView probe resolves through the lineage chain to the first
+    /// resident successor instead of going cold (Stats::lineage_resolves).
+    /// Superseded versions count bytes individually, evict normally, and
+    /// are skipped by Spill. Clamped to >= 1; 1 = pre-MVCC behavior (the
+    /// old version is dropped at publish, lineage records still resolve).
+    size_t versions = 2;
   };
 
   struct Stats {
@@ -120,6 +138,12 @@ class PreparedStore {
     /// blocked on its shared_future, and retried (instead of immediately
     /// degrading to recompute-on-miss).
     int64_t update_retries = 0;
+    /// TryGetView probes whose digest was no longer resident (trimmed out
+    /// of the MVCC window) but resolved through the lineage chain to a
+    /// resident successor version and were served warm — each also counts
+    /// as a hit. The stale-handle race fix's visible signature: readers
+    /// survive a re-key with zero spurious Π rebuilds.
+    int64_t lineage_resolves = 0;
   };
 
   /// Legacy convenience: an entry-capped store with auto sharding.
@@ -215,10 +239,17 @@ class PreparedStore {
   /// Warm-only probe for the completion pipeline: serves the entry iff it
   /// is resident in the published snapshot, and *never* runs Π, blocks on
   /// an in-flight Π, or falls back to the shard mutex. Returns true (and
-  /// fills `out`, counting one hit) on a snapshot hit; false on anything
-  /// else — the caller owns the miss (typically by parking the work and
-  /// handing the key to a preparer thread). A false return counts nothing:
-  /// the miss is charged by whichever GetOrComputeView eventually runs Π.
+  /// fills `out`, counting one hit) on a snapshot hit; when the digest is
+  /// not resident but was re-keyed away by UpdateData, the probe resolves
+  /// through the lineage chain and serves the first resident successor
+  /// version (Stats::lineage_resolves) — the answers are then against the
+  /// newer data, which is exactly what a delta-streaming reader wants
+  /// instead of a spurious Π rebuild of a retired version. False on
+  /// anything else — the caller owns the miss (typically by parking the
+  /// work and handing the key to a preparer thread). A false return counts
+  /// nothing: the miss is charged by whichever GetOrComputeView eventually
+  /// runs Π. (GetOrComputeView itself stays strictly content-addressed: a
+  /// probe with the data in hand recomputes its exact pinned version.)
   bool TryGetView(const Key& key, const EntryOptions& entry_options,
                   CostMeter* meter, PreparedView* out);
 
@@ -232,8 +263,10 @@ class PreparedStore {
   /// `patch` receives a private copy of the resident payload — concurrent
   /// readers keep their consistent pre-delta snapshot through their
   /// shared_ptr — and must leave it equal to Π(new_data). On success the
-  /// entry is re-keyed to the post-delta digest under the owning shards'
-  /// stripes, recency/byte accounting is fixed through
+  /// post-delta entry is published under the new digest within the owning
+  /// shards' stripes, the pre-delta version is retained as a superseded
+  /// predecessor (until it falls out of the `Options::versions` window —
+  /// see the MVCC bullet above), recency/byte accounting is fixed through
   /// `entry_options.size_of`, and (when a spill directory is active) the
   /// entry is respilled.
   ///
@@ -325,6 +358,23 @@ class PreparedStore {
     /// skip the O(|Π(D)|) rebuild attempt instead of failing it per hit.
     std::atomic<bool> view_build_failed{false};
     bool spillable = true;
+    // --- MVCC lineage ------------------------------------------------------
+    /// The digest this entry is resident under. Lets hit-path repairs
+    /// (RebuildViewLazily) find the entry's own shard even when it was
+    /// served through a lineage resolution of a different probe digest.
+    uint64_t digest = 0;
+    /// Version ordinal within its lineage (0 for a fresh Π, +1 per
+    /// UpdateData re-key) and the back-link the resolver verifies.
+    uint64_t version = 0;
+    uint64_t predecessor_digest = 0;
+    bool has_predecessor = false;
+    /// Set (with successor_digest) under the re-key critical section when
+    /// a newer version is published. A superseded version keeps serving
+    /// digest-addressed probes — its payload is still exactly Π(its data)
+    /// — but leaves Contains, Spill, and the current-version contract to
+    /// its successor.
+    std::atomic<bool> superseded{false};
+    std::atomic<uint64_t> successor_digest{0};
   };
   using EntryPtr = std::shared_ptr<Entry>;
   /// An immutable published table: digest -> shared entry. Readers probe
@@ -445,6 +495,7 @@ class PreparedStore {
     std::atomic<int64_t> view_builds{0};
     std::atomic<int64_t> locked_hits{0};
     std::atomic<int64_t> update_retries{0};
+    std::atomic<int64_t> lineage_resolves{0};
   };
   static constexpr size_t kStatSlots = 16;  // power of two
 
@@ -497,16 +548,24 @@ class PreparedStore {
   void AttachView(const EntryOptions& entry_options, Entry* entry,
                   CostMeter* meter);
   /// Serves one snapshot/table hit: recency stamp, stats, meter, and the
-  /// lazy view repair when the entry was Loaded without one.
-  Result<PreparedView> ServeHit(const Key& key, const EntryPtr& entry,
+  /// lazy view repair when the entry was Loaded without one. Addresses the
+  /// entry by its own digest (not the probe key's), so lineage-resolved
+  /// hits repair the shard the entry actually lives in.
+  Result<PreparedView> ServeHit(const EntryPtr& entry,
                                 const EntryOptions& entry_options,
                                 CostMeter* meter, bool* hit, bool locked);
   /// Hit-path view repair (post-Load entries have no view yet): decodes
   /// outside every lock, then publishes into the shared entry iff it is
   /// still resident and nobody else won the publish race.
-  Result<PreparedView> RebuildViewLazily(const Key& key, const EntryPtr& entry,
+  Result<PreparedView> RebuildViewLazily(const EntryPtr& entry,
                                          const EntryOptions& entry_options,
                                          CostMeter* meter);
+  /// Follows the lineage chain from a no-longer-resident probe digest to
+  /// the first resident successor version, or null. The first link is
+  /// guarded by a secondary digest of the probe key (a Fnv1a64 collision
+  /// must also collide the alternate hash to mis-resolve); each resident
+  /// candidate is verified through its predecessor back-link.
+  EntryPtr ResolveLineage(const Key& key) const;
   /// Evicts approximately-LRU entries until both budgets hold: scans the
   /// published snapshots for the globally oldest recency stamp (no locks),
   /// then removes the victim under its shard's mutex.
@@ -520,8 +579,26 @@ class PreparedStore {
                       const std::shared_ptr<const std::string>& prepared,
                       size_t size_bytes, bool spillable) const;
 
+  /// One supersession edge of the version DAG (it is a chain per lineage):
+  /// probe digest -> the digest UpdateData re-keyed it to, plus the
+  /// alternate key hash that guards the first resolution hop.
+  struct LineageRecord {
+    uint64_t successor = 0;
+    uint64_t alt_digest = 0;
+    uint64_t seq = 0;  // insertion order, for the bounded-size sweep
+  };
+  /// Records ResolveLineage walks after a version is trimmed out of the
+  /// MVCC window. Bounded: once it doubles past kMaxLineageRecords, the
+  /// oldest half is swept (a dropped record degrades a stale probe to a
+  /// cold miss — correct, just slower).
+  static constexpr size_t kMaxLineageRecords = 4096;
+  static constexpr int kMaxLineageHops = 16;
+
   const Options options_;
   std::vector<Shard> shards_;
+  mutable std::mutex lineage_mutex_;
+  std::unordered_map<uint64_t, LineageRecord> lineage_;
+  uint64_t lineage_seq_ = 0;
   /// Last directory handed to Spill/Load, so UpdateData can respill the
   /// one patched entry without a full Spill pass. Empty = no persistence.
   mutable std::mutex spill_dir_mutex_;

@@ -1,5 +1,6 @@
 #include "incremental/incremental_tc.h"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/serde.h"
@@ -12,12 +13,18 @@ namespace {
 /// Words per closure row for an n-node graph.
 int64_t WordsPerRow(int64_t n) { return (n + 63) / 64; }
 
+/// Serialize format tag: deliberately above any representable node count
+/// (NodeId is 32-bit), so a v1 image — whose first u64 was n itself —
+/// can never alias a v2 header.
+constexpr uint64_t kFormatTagV2 = 0xFFFFFFFF00000002ull;
+
 }  // namespace
 
 IncrementalTransitiveClosure::IncrementalTransitiveClosure(graph::NodeId n)
     : n_(n),
       desc_(static_cast<size_t>(n), reach::Bitset(n)),
-      anc_(static_cast<size_t>(n), reach::Bitset(n)) {
+      anc_(static_cast<size_t>(n), reach::Bitset(n)),
+      out_(static_cast<size_t>(n)) {
   for (graph::NodeId v = 0; v < n; ++v) {
     desc_[static_cast<size_t>(v)].Set(v);
     anc_[static_cast<size_t>(v)].Set(v);
@@ -43,6 +50,11 @@ Result<int64_t> IncrementalTransitiveClosure::InsertEdge(graph::NodeId u,
     return Status::OutOfRange("node id out of range");
   }
   last_insert_work_ = 1;
+  // Record the edge first: even an already-reachable insert must land in
+  // the edge set, or a later DeleteEdge would reconstruct the wrong graph.
+  auto& adj = out_[static_cast<size_t>(u)];
+  const auto pos = std::lower_bound(adj.begin(), adj.end(), v);
+  if (pos == adj.end() || *pos != v) adj.insert(pos, v);
   if (desc_[static_cast<size_t>(u)].Test(v)) {
     // Already reachable: a bounded incremental algorithm does O(1) work.
     if (meter != nullptr) meter->AddSerial(1);
@@ -83,6 +95,86 @@ Result<int64_t> IncrementalTransitiveClosure::InsertEdge(graph::NodeId u,
   return changed_pairs;
 }
 
+Result<int64_t> IncrementalTransitiveClosure::DeleteEdge(graph::NodeId u,
+                                                         graph::NodeId v,
+                                                         CostMeter* meter) {
+  if (u < 0 || u >= n_ || v < 0 || v >= n_) {
+    return Status::OutOfRange("node id out of range");
+  }
+  last_delete_work_ = 1;
+  auto& adj = out_[static_cast<size_t>(u)];
+  const auto pos = std::lower_bound(adj.begin(), adj.end(), v);
+  if (pos == adj.end() || *pos != v) {
+    return Status::NotFound("edge not present");
+  }
+  adj.erase(pos);
+  // SES affected set: every pair (x, y) that can die routes through
+  // (u, v), so x ⇝ u and v ∈ desc(x) pre-delete. Rows outside AFF are
+  // already final; only AFF rows are recomputed.
+  std::vector<graph::NodeId> aff;
+  const auto& anc_words = anc_[static_cast<size_t>(u)].words();
+  for (size_t w = 0; w < anc_words.size(); ++w) {
+    const uint64_t word = anc_words[w];
+    ++last_delete_work_;
+    if (word == 0) continue;  // skip unaffected id ranges wholesale
+    for (int bit = 0; bit < 64; ++bit) {
+      if (((word >> bit) & 1) == 0) continue;
+      const auto x = static_cast<graph::NodeId>(w * 64 + bit);
+      if (desc_[static_cast<size_t>(x)].Test(v)) aff.push_back(x);
+    }
+  }
+  // Snapshot the old rows (for the ancestor repair diff) and reseed each
+  // affected row at its reflexive bottom element.
+  std::vector<reach::Bitset> old_rows;
+  old_rows.reserve(aff.size());
+  for (graph::NodeId x : aff) {
+    reach::Bitset& dx = desc_[static_cast<size_t>(x)];
+    old_rows.push_back(dx);
+    last_delete_work_ += dx.num_words();
+    dx = reach::Bitset(n_);
+    dx.Set(x);
+  }
+  // Least-fixpoint sweep over AFF: desc(x) = {x} ∪ ⋃_{w ∈ out(x)} desc(w),
+  // with non-affected rows as the exact boundary. Monotone from below, so
+  // it converges to the true post-delete closure restricted to AFF.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (graph::NodeId x : aff) {
+      reach::Bitset& dx = desc_[static_cast<size_t>(x)];
+      for (graph::NodeId w : out_[static_cast<size_t>(x)]) {
+        ++last_delete_work_;
+        if (dx.UnionWith(desc_[static_cast<size_t>(w)])) changed = true;
+        last_delete_work_ += dx.num_words();
+      }
+    }
+  }
+  // Ancestor repair: clear exactly the bits that left each affected row.
+  int64_t removed_pairs = 0;
+  for (size_t i = 0; i < aff.size(); ++i) {
+    const graph::NodeId x = aff[i];
+    const auto& old_words = old_rows[i].words();
+    const auto& new_words = desc_[static_cast<size_t>(x)].words();
+    for (size_t w = 0; w < old_words.size(); ++w) {
+      ++last_delete_work_;
+      uint64_t gone = old_words[w] & ~new_words[w];
+      if (gone == 0) continue;
+      for (int bit = 0; bit < 64; ++bit) {
+        if (((gone >> bit) & 1) == 0) continue;
+        const auto y = static_cast<graph::NodeId>(w * 64 + bit);
+        anc_[static_cast<size_t>(y)].Clear(x);
+        ++removed_pairs;
+        ++last_delete_work_;
+      }
+    }
+  }
+  if (meter != nullptr) {
+    meter->AddSerial(last_delete_work_);
+    meter->AddBytesWritten(removed_pairs / 8 + 1);
+  }
+  return removed_pairs;
+}
+
 Result<bool> IncrementalTransitiveClosure::Reachable(graph::NodeId u,
                                                      graph::NodeId v,
                                                      CostMeter* meter) const {
@@ -96,14 +188,29 @@ Result<bool> IncrementalTransitiveClosure::Reachable(graph::NodeId u,
   return desc_[static_cast<size_t>(u)].Test(v);
 }
 
+int64_t IncrementalTransitiveClosure::NumEdges() const {
+  int64_t m = 0;
+  for (const auto& adj : out_) m += static_cast<int64_t>(adj.size());
+  return m;
+}
+
 std::string IncrementalTransitiveClosure::Serialize() const {
   std::string out;
   const int64_t wpr = WordsPerRow(n_);
-  out.reserve(static_cast<size_t>(8 + 2 * n_ * wpr * 8));
+  const int64_t m = NumEdges();
+  out.reserve(static_cast<size_t>(24 + 2 * n_ * wpr * 8 + 8 * m));
+  serde::PutU64(&out, kFormatTagV2);
   serde::PutU64(&out, static_cast<uint64_t>(n_));
+  serde::PutU64(&out, static_cast<uint64_t>(m));
   for (const auto* rows : {&desc_, &anc_}) {
     for (const reach::Bitset& row : *rows) {
       for (uint64_t word : row.words()) serde::PutU64(&out, word);
+    }
+  }
+  for (graph::NodeId u = 0; u < n_; ++u) {
+    for (graph::NodeId v : out_[static_cast<size_t>(u)]) {
+      serde::PutU64(&out, (static_cast<uint64_t>(u) << 32) |
+                              static_cast<uint64_t>(static_cast<uint32_t>(v)));
     }
   }
   return out;
@@ -112,13 +219,23 @@ std::string IncrementalTransitiveClosure::Serialize() const {
 Result<IncrementalTransitiveClosure>
 IncrementalTransitiveClosure::Deserialize(std::string_view bytes) {
   serde::Reader reader(bytes);
+  PITRACT_ASSIGN_OR_RETURN(uint64_t tag, reader.ReadU64());
+  if (tag != kFormatTagV2) {
+    return Status::InvalidArgument(
+        "closure image: unsupported format (pre-edge-list image?)");
+  }
   PITRACT_ASSIGN_OR_RETURN(uint64_t n_raw, reader.ReadU64());
   if (n_raw > static_cast<uint64_t>(std::numeric_limits<graph::NodeId>::max())) {
     return Status::InvalidArgument("closure image: node count overflows");
   }
   const auto n = static_cast<graph::NodeId>(n_raw);
   const int64_t wpr = WordsPerRow(n);
-  if (reader.remaining() != static_cast<size_t>(2 * n * wpr * 8)) {
+  PITRACT_ASSIGN_OR_RETURN(uint64_t m_raw, reader.ReadU64());
+  if (m_raw > static_cast<uint64_t>(n) * static_cast<uint64_t>(n)) {
+    return Status::InvalidArgument("closure image: edge count overflows");
+  }
+  const auto m = static_cast<int64_t>(m_raw);
+  if (reader.remaining() != static_cast<size_t>(2 * n * wpr * 8 + 8 * m)) {
     return Status::InvalidArgument("closure image: truncated or oversized");
   }
   IncrementalTransitiveClosure tc(n);
@@ -129,6 +246,25 @@ IncrementalTransitiveClosure::Deserialize(std::string_view bytes) {
         row.SetWord(w, word);
       }
     }
+  }
+  // Edges are written strictly increasing as (u << 32) | v keys, which
+  // both validates sorted/unique adjacency and lets them stream straight
+  // into the per-node lists.
+  uint64_t prev_key = 0;
+  bool have_prev = false;
+  for (int64_t e = 0; e < m; ++e) {
+    PITRACT_ASSIGN_OR_RETURN(uint64_t key, reader.ReadU64());
+    if (have_prev && key <= prev_key) {
+      return Status::InvalidArgument("closure image: edge list not sorted");
+    }
+    prev_key = key;
+    have_prev = true;
+    const auto u = static_cast<int64_t>(key >> 32);
+    const auto v = static_cast<int64_t>(key & 0xFFFFFFFFull);
+    if (u >= n || v >= n) {
+      return Status::InvalidArgument("closure image: edge endpoint overflows");
+    }
+    tc.out_[static_cast<size_t>(u)].push_back(static_cast<graph::NodeId>(v));
   }
   // A closure row must at least contain its own node (Build/ctor set the
   // reflexive bit), so an all-zero diagonal is a corrupt image, not data.
@@ -144,23 +280,33 @@ IncrementalTransitiveClosure::Deserialize(std::string_view bytes) {
 Result<bool> IncrementalTransitiveClosure::ReachableInSerialized(
     std::string_view bytes, int64_t u, int64_t v) {
   serde::Reader reader(bytes);
+  PITRACT_ASSIGN_OR_RETURN(uint64_t tag, reader.ReadU64());
+  if (tag != kFormatTagV2) {
+    return Status::InvalidArgument(
+        "closure image: unsupported format (pre-edge-list image?)");
+  }
   PITRACT_ASSIGN_OR_RETURN(uint64_t n_raw, reader.ReadU64());
-  // Bound n before any size arithmetic: an adversarial count would both
-  // overflow the expected-size product and defeat the u/v range checks,
-  // turning the offset probe below into an out-of-bounds read.
+  // Bound n (and m) before any size arithmetic: adversarial counts would
+  // both overflow the expected-size product and defeat the u/v range
+  // checks, turning the offset probe below into an out-of-bounds read.
   if (n_raw > static_cast<uint64_t>(std::numeric_limits<graph::NodeId>::max())) {
     return Status::InvalidArgument("closure image: node count overflows");
   }
   const auto n = static_cast<int64_t>(n_raw);
   const int64_t wpr = WordsPerRow(n);  // n <= 2^31: products fit in int64
-  if (bytes.size() != static_cast<size_t>(8 + 2 * n * wpr * 8)) {
+  PITRACT_ASSIGN_OR_RETURN(uint64_t m_raw, reader.ReadU64());
+  if (m_raw > static_cast<uint64_t>(n) * static_cast<uint64_t>(n)) {
+    return Status::InvalidArgument("closure image: edge count overflows");
+  }
+  const auto m = static_cast<int64_t>(m_raw);
+  if (bytes.size() != static_cast<size_t>(24 + 2 * n * wpr * 8 + 8 * m)) {
     return Status::InvalidArgument("closure image: truncated or oversized");
   }
   if (u < 0 || u >= n || v < 0 || v >= n) {
     return Status::OutOfRange("node id out of range");
   }
   const size_t offset =
-      static_cast<size_t>(8 + (u * wpr + (v >> 6)) * 8);
+      static_cast<size_t>(24 + (u * wpr + (v >> 6)) * 8);
   uint64_t word = 0;
   for (size_t i = 0; i < 8; ++i) {
     word |= static_cast<uint64_t>(

@@ -14,16 +14,21 @@
 namespace pitract {
 namespace incremental {
 
-/// Bounded incremental transitive closure under edge insertions (Section
-/// 4(7) and the incremental-preprocessing discussion of Section 1, after
-/// Ramalingam–Reps [35] and Italiano's incremental TC).
+/// Bounded incremental transitive closure under edge insertions *and*
+/// deletions (Section 4(7) and the incremental-preprocessing discussion of
+/// Section 1, after Ramalingam–Reps [35] and Italiano's incremental TC).
 ///
-/// The closure bit-matrix is maintained in place. Inserting (u, v) updates
-/// only rows of nodes x with x ⇝ u that actually gain descendants, and the
-/// update cost is Θ(affected rows · row words) — a function of |CHANGED|
-/// (the number of newly reachable pairs), *not* of |D|. The per-operation
-/// counters expose exactly the quantities Ramalingam–Reps analyse, so the
-/// E09 benchmark can plot cost against |CHANGED|.
+/// The closure bit-matrix is maintained in place alongside the edge set
+/// (sorted adjacency, set semantics — parallel edges collapse, matching
+/// graph::Graph::FromEdges dedup). Inserting (u, v) updates only rows of
+/// nodes x with x ⇝ u that actually gain descendants. Deleting (u, v)
+/// recomputes only the SES affected set AFF = {x : x ⇝ u ∧ v ∈ desc(x)} —
+/// every reachable pair that can die routes through the deleted edge, so
+/// rows outside AFF are final — via a least-fixpoint sweep seeded from the
+/// untouched boundary rows, then clears exactly the removed ancestor bits.
+/// Both costs are functions of the affected region / |CHANGED|, *not* of
+/// |D|; the per-operation counters expose exactly the quantities
+/// Ramalingam–Reps analyse, so benchmarks can plot cost against |CHANGED|.
 class IncrementalTransitiveClosure {
  public:
   /// Initializes the closure of `g` from scratch (the paper's "evaluate
@@ -36,7 +41,15 @@ class IncrementalTransitiveClosure {
 
   /// Inserts an edge and incrementally maintains the closure.
   /// Returns the number of newly reachable pairs (|CHANGED| for this op).
+  /// Re-inserting a present edge is a charged O(1) no-op (set semantics).
   Result<int64_t> InsertEdge(graph::NodeId u, graph::NodeId v,
+                             CostMeter* meter);
+
+  /// Deletes an edge and decrementally maintains the closure (SES-style
+  /// affected-set recompute; see the class comment). Returns the number of
+  /// reachable pairs removed (|CHANGED| for this op). NotFound if the edge
+  /// is not present.
+  Result<int64_t> DeleteEdge(graph::NodeId u, graph::NodeId v,
                              CostMeter* meter);
 
   /// O(1) closure probe (reflexive).
@@ -51,17 +64,24 @@ class IncrementalTransitiveClosure {
 
   graph::NodeId num_nodes() const { return n_; }
   int64_t NumReachablePairs() const;
+  /// Edges currently maintained (set semantics).
+  int64_t NumEdges() const;
 
-  /// Work spent by the last InsertEdge (unit ops), for boundedness plots.
+  /// Work spent by the last InsertEdge / DeleteEdge (unit ops), for
+  /// boundedness plots.
   int64_t last_insert_work() const { return last_insert_work_; }
+  int64_t last_delete_work() const { return last_delete_work_; }
 
   /// Binary image of the maintained closure, fit for a PreparedStore
-  /// payload: u64 n, then the n descendant rows, then the n ancestor rows,
-  /// each row (n+63)/64 little-endian u64 words (serde framing). The
-  /// layout is fixed-width, so a probe of bit (u, v) is plain offset
-  /// arithmetic — see ReachableInSerialized.
+  /// payload: u64 format tag, u64 n, u64 m, then the n descendant rows and
+  /// the n ancestor rows — each row (n+63)/64 little-endian u64 words —
+  /// then the m edges packed one u64 each ((u << 32) | v, strictly
+  /// increasing). The edge list is what makes deletions maintainable after
+  /// a round trip; the rows stay fixed-width, so a probe of bit (u, v) is
+  /// plain offset arithmetic — see ReachableInSerialized.
   std::string Serialize() const;
-  /// Inverse of Serialize; rejects truncated or size-inconsistent images.
+  /// Inverse of Serialize; rejects truncated, size-inconsistent, or
+  /// pre-edge-list (v1) images.
   static Result<IncrementalTransitiveClosure> Deserialize(
       std::string_view bytes);
   /// O(1) probe of a Serialize image without rehydrating it: the online
@@ -73,7 +93,12 @@ class IncrementalTransitiveClosure {
   graph::NodeId n_ = 0;
   std::vector<reach::Bitset> desc_;  // desc_[u]: nodes reachable from u
   std::vector<reach::Bitset> anc_;   // anc_[v]: nodes reaching v
+  /// Sorted out-neighbor lists: the maintained edge set. Required by the
+  /// decremental side (the fixpoint recompute re-derives affected rows
+  /// from surviving edges) and carried through Serialize for it.
+  std::vector<std::vector<graph::NodeId>> out_;
   int64_t last_insert_work_ = 0;
+  int64_t last_delete_work_ = 0;
 };
 
 }  // namespace incremental

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <string>
 #include <thread>
@@ -105,7 +106,7 @@ TEST_P(IncrementalEquivalenceTest, MemberDeltasMatchShadowModel) {
   // 25 operations per seed; with the 10-seed instantiation below the suite
   // runs 250 randomized iterations (the acceptance bar asks for 200+).
   for (int step = 0; step < 25; ++step) {
-    switch (rng.NextBelow(6)) {
+    switch (rng.NextBelow(8)) {
       case 0:    // plain batch answering
       case 1: {  // (weighted: answering dominates a serving mix)
         check_parity();
@@ -174,6 +175,74 @@ TEST_P(IncrementalEquivalenceTest, MemberDeltasMatchShadowModel) {
         check_parity();
         break;
       }
+      case 5: {  // Δ-patch: value updates (present a; absent must fail)
+        if (shadow.empty()) break;
+        DeltaBatch delta;
+        DeltaOp op;
+        op.kind = DeltaOp::Kind::kValueUpdate;
+        op.a = shadow[rng.NextBelow(shadow.size())];
+        op.b = static_cast<int64_t>(
+            rng.NextBelow(static_cast<uint64_t>(universe)));
+        delta.ops.push_back(op);
+        CostMeter meter;
+        auto outcome =
+            engine->ApplyDelta("list-membership", data, delta, &meter);
+        ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+        if (outcome->patched) {
+          // One update is algebraically delete-a + insert-b: at most two
+          // root-to-leaf traversals, never O(|D|).
+          const auto n_before = static_cast<int64_t>(shadow.size());
+          const int64_t per_change =
+              ncsim::CeilLog2(n_before < 1 ? 1 : n_before) + 2;
+          EXPECT_LE(meter.work(), 2 * per_change + 4)
+              << "update charged more than O(log |D|)";
+        }
+        if (op.a != op.b) {
+          *std::find(shadow.begin(), shadow.end(), op.a) = op.b;
+        }
+        data = outcome->new_data;
+
+        // An update whose old value is absent is rejected wholesale.
+        DeltaBatch bad;
+        DeltaOp absent;
+        absent.kind = DeltaOp::Kind::kValueUpdate;
+        absent.a = universe + 33;  // outside every generated value
+        absent.b = 1;
+        bad.ops.push_back(absent);
+        EXPECT_FALSE(engine->ApplyDelta("list-membership", data, bad).ok());
+        check_parity();
+        break;
+      }
+      case 6: {  // coalesced burst: ± ops that net to a single insert
+        DeltaBatch delta;
+        const auto value = static_cast<int64_t>(
+            rng.NextBelow(static_cast<uint64_t>(universe)));
+        DeltaOp ins;
+        ins.kind = DeltaOp::Kind::kListInsert;
+        ins.a = value;
+        DeltaOp del;
+        del.kind = DeltaOp::Kind::kListDelete;
+        del.a = value;
+        // insert, insert, delete → net one insert; and a fully canceling
+        // pair on an out-of-universe value must vanish before validation.
+        delta.ops.push_back(ins);
+        delta.ops.push_back(ins);
+        delta.ops.push_back(del);
+        DeltaOp ghost_ins;
+        ghost_ins.kind = DeltaOp::Kind::kListInsert;
+        ghost_ins.a = universe + 99;  // out of range — must coalesce away
+        DeltaOp ghost_del;
+        ghost_del.kind = DeltaOp::Kind::kListDelete;
+        ghost_del.a = universe + 99;
+        delta.ops.push_back(ghost_ins);
+        delta.ops.push_back(ghost_del);
+        auto outcome = engine->ApplyDelta("list-membership", data, delta);
+        ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+        shadow.push_back(value);
+        data = outcome->new_data;
+        check_parity();
+        break;
+      }
       default: {  // total eviction: everything recomputes from scratch
         engine->store().Clear();
         check_parity();
@@ -213,17 +282,30 @@ TEST_P(IncrementalEquivalenceTest, ReachabilityDeltasMatchShadowModel) {
 
   check_parity();  // cold Π
   for (int step = 0; step < 12; ++step) {
+    // A mixed insert/delete batch, built against a running shadow of the
+    // edge set so every delete targets a present edge (a delete of an
+    // absent edge is rejected wholesale, covered below).
     DeltaBatch delta;
     const int k = 1 + static_cast<int>(rng.NextBelow(3));
     std::vector<std::pair<graph::NodeId, graph::NodeId>> edges = g.Edges();
     for (int i = 0; i < k; ++i) {
       DeltaOp op;
-      op.kind = DeltaOp::Kind::kEdgeInsert;
-      op.a = static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(n)));
-      op.b = static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(n)));
+      if (!edges.empty() && rng.NextBool(0.4)) {
+        const auto pick = edges[rng.NextBelow(edges.size())];
+        op.kind = DeltaOp::Kind::kEdgeDelete;
+        op.a = static_cast<int64_t>(pick.first);
+        op.b = static_cast<int64_t>(pick.second);
+        // Set semantics: the delete drops the arc, parallel copies and all.
+        edges.erase(std::remove(edges.begin(), edges.end(), pick),
+                    edges.end());
+      } else {
+        op.kind = DeltaOp::Kind::kEdgeInsert;
+        op.a = static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(n)));
+        op.b = static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(n)));
+        edges.emplace_back(static_cast<graph::NodeId>(op.a),
+                           static_cast<graph::NodeId>(op.b));
+      }
       delta.ops.push_back(op);
-      edges.emplace_back(static_cast<graph::NodeId>(op.a),
-                         static_cast<graph::NodeId>(op.b));
     }
     auto outcome = engine->ApplyDelta("graph-reachability", data, delta);
     ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
@@ -234,15 +316,26 @@ TEST_P(IncrementalEquivalenceTest, ReachabilityDeltasMatchShadowModel) {
     g = std::move(patched_graph).value();
     check_parity();
   }
-  // The whole evolving chain ran exactly one Π: every delta was patched in
-  // place, every post-delta batch hit the re-keyed entry.
+  // The whole evolving chain ran exactly one Π: every delta — insertions
+  // and decremental deletions alike — was patched in place, every
+  // post-delta batch hit the re-keyed entry.
   EXPECT_EQ(engine->store().stats().misses, 1);
   EXPECT_EQ(engine->store().stats().patches, 12);
 
-  // Edge deletions are not incrementally maintainable: the hook refuses,
-  // ApplyDelta reports the fallback, and the data part is still updated…
-  // by failing loudly at the data hook (deletes are not in the reach data
-  // vocabulary either).
+  // A delete of an absent edge is rejected wholesale at the data hook:
+  // neither the data part nor the prepared closure moves.
+  {
+    DeltaBatch absent;
+    DeltaOp op;
+    op.kind = DeltaOp::Kind::kEdgeDelete;
+    op.a = 0;
+    op.b = 0;  // self-loops are never generated above
+    absent.ops.push_back(op);
+    EXPECT_FALSE(engine->ApplyDelta("graph-reachability", data, absent).ok());
+  }
+
+  // List-vocabulary ops stay outside the reach data algebra: the data hook
+  // refuses them loudly instead of guessing a meaning.
   DeltaBatch removal;
   DeltaOp op;
   op.kind = DeltaOp::Kind::kListDelete;
@@ -302,6 +395,54 @@ TEST(IncrementalCostTest, PatchWorkIsDeltaBoundedNeverLinearInData) {
   ASSERT_TRUE(warm.ok());
   EXPECT_TRUE(warm->cache_hit);
   EXPECT_EQ(warm->prepare_runs, 0);
+  EXPECT_EQ(engine->store().stats().misses, 1);
+}
+
+TEST(IncrementalCostTest, DeletePatchWorkTracksAffectedSetNotGraphSize) {
+  // Many small disjoint components: deleting one arc affects exactly one
+  // closure row, so the SES-style decremental patch must charge a small
+  // constant — while the recompute it replaces pays for the whole graph.
+  const graph::NodeId n = 512;
+  std::vector<std::pair<graph::NodeId, graph::NodeId>> pairs;
+  for (graph::NodeId i = 0; i + 1 < n; i += 2) pairs.emplace_back(i, i + 1);
+  auto g = graph::Graph::FromEdges(n, pairs, /*directed=*/true);
+  ASSERT_TRUE(g.ok());
+  std::string data = core::ReachFactorization()
+                         .pi1(core::MakeReachInstance(*g, 0, 0))
+                         .value();
+
+  auto engine = MakeEngine();
+  std::vector<std::string> queries{codec::EncodeFields({"0", "1"})};
+  auto cold = engine->AnswerBatch("graph-reachability", data, queries);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_TRUE(cold->answers[0]);
+  const int64_t recompute_work = cold->prepare_cost.work;
+
+  DeltaBatch delta;
+  DeltaOp op;
+  op.kind = DeltaOp::Kind::kEdgeDelete;
+  op.a = 0;
+  op.b = 1;
+  delta.ops.push_back(op);
+  CostMeter meter;
+  auto outcome = engine->ApplyDelta("graph-reachability", data, delta, &meter);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  ASSERT_TRUE(outcome->patched);
+
+  // AFF = {0}: the charge covers one ancestor-word scan plus one row
+  // recompute — a |ΔD|/|CHANGED| function, structurally incapable of
+  // reaching the Ω(n·m) closure rebuild.
+  EXPECT_LT(meter.work() * 50, recompute_work)
+      << "decremental patch charged like a rebuild";
+
+  // The patched entry serves the post-delete closure warm: 0 ⇝ 1 is gone,
+  // and Π never re-ran.
+  auto warm =
+      engine->AnswerBatch("graph-reachability", outcome->new_data, queries);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(warm->prepare_runs, 0);
+  EXPECT_FALSE(warm->answers[0]);
   EXPECT_EQ(engine->store().stats().misses, 1);
 }
 
@@ -583,6 +724,202 @@ TEST(IncrementalConcurrencyTest, ApplyDeltaWaitsOutInflightPiThenPatches) {
   EXPECT_EQ(warm->prepare_runs, 0);
   EXPECT_TRUE(warm->answers[0]);
   EXPECT_EQ(computes.load(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// MVCC lineage: a reader holding a DataHandle for a version that deltas
+// re-keyed away must either hit its still-retained version or resolve
+// forward to the first resident successor — never a spurious Π rebuild,
+// never a wrong answer.
+// ---------------------------------------------------------------------------
+
+/// Builds a kVersions-long chain of member lists, their Σ* encodings
+/// (derived through a scratch engine so digests match the live one), and
+/// the per-version ground-truth answers for `queries`.
+struct VersionChain {
+  std::vector<std::vector<int64_t>> lists;
+  std::vector<DeltaBatch> deltas;
+  std::vector<std::string> data;
+  std::vector<std::string> queries;
+  std::vector<std::vector<bool>> expected;
+};
+
+VersionChain MakeVersionChain(int versions, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t universe = 512;
+  VersionChain chain;
+  chain.lists.resize(static_cast<size_t>(versions));
+  for (int i = 0; i < 100; ++i) {
+    chain.lists[0].push_back(
+        static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(universe))));
+  }
+  chain.deltas.resize(static_cast<size_t>(versions - 1));
+  for (int v = 1; v < versions; ++v) {
+    chain.lists[static_cast<size_t>(v)] = chain.lists[static_cast<size_t>(v - 1)];
+    for (int i = 0; i < 4; ++i) {
+      DeltaOp op;
+      op.kind = DeltaOp::Kind::kListInsert;
+      op.a = static_cast<int64_t>(
+          rng.NextBelow(static_cast<uint64_t>(universe)));
+      chain.deltas[static_cast<size_t>(v - 1)].ops.push_back(op);
+      chain.lists[static_cast<size_t>(v)].push_back(op.a);
+    }
+  }
+  auto scratch = MakeEngine();
+  chain.data.resize(static_cast<size_t>(versions));
+  chain.data[0] = MemberData(universe, chain.lists[0]);
+  for (int v = 1; v < versions; ++v) {
+    auto outcome =
+        scratch->ApplyDelta("list-membership", chain.data[static_cast<size_t>(v - 1)],
+                            chain.deltas[static_cast<size_t>(v - 1)]);
+    EXPECT_TRUE(outcome.ok());
+    chain.data[static_cast<size_t>(v)] = outcome->new_data;
+  }
+  for (int i = 0; i < 10; ++i) {
+    chain.queries.push_back(std::to_string(rng.NextBelow(universe)));
+  }
+  chain.expected.resize(static_cast<size_t>(versions));
+  for (int v = 0; v < versions; ++v) {
+    for (const std::string& q : chain.queries) {
+      chain.expected[static_cast<size_t>(v)].push_back(
+          ShadowMember(chain.lists[static_cast<size_t>(v)], std::stoll(q)));
+    }
+  }
+  return chain;
+}
+
+TEST(MvccLineageTest, StaleHandleResolvesToFirstResidentSuccessor) {
+  constexpr int kVersions = 4;
+  VersionChain chain = MakeVersionChain(kVersions, 919);
+
+  PreparedStore::Options options;
+  options.shards = 4;
+  options.versions = 2;
+  auto engine = MakeEngine(options);
+
+  auto handle0 = engine->Intern("list-membership", chain.data[0]);
+  ASSERT_TRUE(handle0.ok());
+  ASSERT_TRUE(
+      engine->AnswerBatch(*handle0, chain.queries).ok());  // warm version 0
+  for (int v = 1; v < kVersions; ++v) {
+    auto outcome =
+        engine->ApplyDelta("list-membership", chain.data[static_cast<size_t>(v - 1)],
+                           chain.deltas[static_cast<size_t>(v - 1)]);
+    ASSERT_TRUE(outcome.ok());
+    ASSERT_TRUE(outcome->patched);
+  }
+  // Window of 2 over a 4-version chain: v3 (current) and v2 (retained)
+  // are resident, v0/v1 were trimmed.
+  EXPECT_EQ(engine->store().size(), 2u);
+
+  // The stale v0 handle stays warm: TryAnswerWarm walks the lineage
+  // records to the first resident successor (v2) and serves exactly its
+  // answers — no Π rebuild, no torn mix of versions.
+  BatchResult result;
+  auto served = engine->TryAnswerWarm(*handle0, chain.queries,
+                                      AnswerOptions{}, &result);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_TRUE(*served);
+  EXPECT_TRUE(result.cache_hit);
+  EXPECT_EQ(result.prepare_runs, 0);
+  EXPECT_EQ(result.answers, chain.expected[2]);
+  EXPECT_EQ(engine->store().stats().lineage_resolves, 1);
+  EXPECT_EQ(engine->store().stats().misses, 1);
+
+  // A still-resident retained version serves itself, not its successor.
+  auto handle2 = engine->Intern("list-membership", chain.data[2]);
+  ASSERT_TRUE(handle2.ok());
+  BatchResult retained;
+  auto warm2 = engine->TryAnswerWarm(*handle2, chain.queries, AnswerOptions{},
+                                     &retained);
+  ASSERT_TRUE(warm2.ok());
+  EXPECT_TRUE(*warm2);
+  EXPECT_EQ(retained.answers, chain.expected[2]);
+  EXPECT_EQ(engine->store().stats().lineage_resolves, 1);  // unchanged
+}
+
+TEST(IncrementalConcurrencyTest, ReadersRaceDeltaChainAcrossVersions) {
+  constexpr int kVersions = 5;
+  VersionChain chain = MakeVersionChain(kVersions, 929);
+
+  PreparedStore::Options options;
+  options.shards = 8;
+  options.versions = 2;
+  auto engine = MakeEngine(options);
+
+  std::vector<DataHandle> handles;
+  for (int v = 0; v < kVersions; ++v) {
+    auto handle =
+        engine->Intern("list-membership", chain.data[static_cast<size_t>(v)]);
+    ASSERT_TRUE(handle.ok());
+    handles.push_back(std::move(*handle));
+  }
+  ASSERT_TRUE(engine->AnswerBatch(handles[0], chain.queries).ok());
+
+  std::atomic<int> max_published{0};
+  std::atomic<int> mismatches{0};
+  std::atomic<int> cold_misses{0};
+  std::atomic<int> errors{0};
+  std::atomic<bool> done{false};
+
+  // Readers pin any already-published version: the answer must be exactly
+  // one version's answer vector, at least as new as the pinned one —
+  // a patch landing mid-probe may legally forward the reader to a
+  // successor, but never to a torn mix or a spurious rebuild.
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(3000 + static_cast<uint64_t>(t));
+      while (!done.load(std::memory_order_acquire)) {
+        const int v = static_cast<int>(rng.NextBelow(
+            static_cast<uint64_t>(max_published.load() + 1)));
+        BatchResult result;
+        auto served =
+            engine->TryAnswerWarm(handles[static_cast<size_t>(v)],
+                                  chain.queries, AnswerOptions{}, &result);
+        if (!served.ok()) {
+          ++errors;
+          continue;
+        }
+        if (!*served) {
+          // A pinned version must always be answerable warm: it is either
+          // inside the retained window or lineage-resolvable forward.
+          ++cold_misses;
+          continue;
+        }
+        bool matched = false;
+        for (int j = v; j < kVersions; ++j) {
+          if (result.answers == chain.expected[static_cast<size_t>(j)]) {
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) ++mismatches;
+      }
+    });
+  }
+
+  // The publisher walks the delta chain; with readers on the warm-only
+  // path there is no in-flight Π to collide with, so every patch lands.
+  for (int v = 1; v < kVersions; ++v) {
+    auto outcome =
+        engine->ApplyDelta("list-membership", chain.data[static_cast<size_t>(v - 1)],
+                           chain.deltas[static_cast<size_t>(v - 1)]);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    ASSERT_TRUE(outcome->patched);
+    max_published.store(v);
+    std::this_thread::yield();
+  }
+  // Let the readers hammer the fully-published chain for a moment.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(cold_misses.load(), 0) << "a pinned version went spuriously cold";
+  EXPECT_EQ(mismatches.load(), 0) << "a reader observed a torn answer set";
+  EXPECT_EQ(engine->store().stats().misses, 1) << "a version rebuilt Π";
+  EXPECT_EQ(engine->store().stats().patches, kVersions - 1);
 }
 
 }  // namespace

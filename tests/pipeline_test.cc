@@ -363,6 +363,83 @@ TEST(ServePipelineTest, WorkloadColdItemsShedWhenPendingQueueFull) {
 // order — the permutation must round-trip exactly.
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Version-race orphan fix: a unit addressing a data part that a Δ-patch
+// re-keyed away (the exact state a parked unit wakes up to) must answer
+// warm through the store's lineage resolution — not re-park, burn its
+// requeues, and fall back to a blocking second Π.
+// ---------------------------------------------------------------------------
+
+TEST(ServePipelineTest, ReKeyedPartAnswersThroughLineageNotASecondPi) {
+  PreparedStore::Options store_options;
+  store_options.versions = 1;  // worst case: the old version is erased
+  auto engine = MakeEngine(store_options);
+  std::atomic<int> computes{0};
+  ProblemEntry entry;
+  entry.name = "echo-delta";
+  entry.paper_anchor = "test-only";
+  entry.has_language = true;
+  entry.witness.name = "echo";
+  entry.witness.preprocess = [&](const std::string& data,
+                                 CostMeter*) -> Result<std::string> {
+    computes.fetch_add(1);
+    return "pi:" + data;
+  };
+  entry.witness.answer = [](const std::string& prepared,
+                            const std::string& query,
+                            CostMeter*) -> Result<bool> {
+    return prepared.find(query) != std::string::npos;
+  };
+  entry.apply_delta_to_data =
+      [](const std::string& data, const DeltaBatch&) -> Result<std::string> {
+    return data + "+d";
+  };
+  entry.prepared_patch = [](std::string* prepared, const DeltaBatch&,
+                            CostMeter*) {
+    *prepared += "+d";
+    return Status::OK();
+  };
+  ASSERT_TRUE(engine->Register(std::move(entry)).ok());
+
+  // Warm "base", then re-key it away: digest("base") now resolves only
+  // through the lineage record to the patched "base+d" entry.
+  ASSERT_TRUE(engine
+                  ->AnswerBatch("echo-delta", "base",
+                                std::vector<std::string>{"pi:base"})
+                  .ok());
+  auto outcome = engine->ApplyDelta("echo-delta", "base", DeltaBatch{});
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->patched);
+  ASSERT_EQ(computes.load(), 1);
+
+  PipelineOptions options;
+  options.threads = 1;
+  options.preparers = 1;
+  ServePipeline pipeline(engine.get(), options);
+  std::atomic<bool> served{false};
+  ServeWorkItem item;
+  item.problem = "echo-delta";
+  item.data = "base";  // the pre-delta part a parked unit would still hold
+  item.queries = {"pi:base+d"};
+  ASSERT_TRUE(pipeline
+                  .Submit(std::move(item),
+                          [&](const ItemOutcome& outcome) {
+                            EXPECT_TRUE(outcome.status.ok())
+                                << outcome.status.ToString();
+                            served.store(true, std::memory_order_release);
+                          })
+                  .ok());
+  pipeline.Drain();
+  EXPECT_TRUE(served.load(std::memory_order_acquire));
+
+  const auto report = pipeline.report();
+  EXPECT_EQ(report.errors, 0) << report.first_error.ToString();
+  EXPECT_EQ(report.batches, 1);
+  EXPECT_EQ(report.pi_runs, 0) << "stale unit re-ran Π instead of resolving";
+  EXPECT_EQ(computes.load(), 1);
+  EXPECT_EQ(engine->store().stats().lineage_resolves, 1);
+}
+
 TEST(AnswerOptionsTest, SortProbesMatchesArrivalOrderAnswers) {
   auto engine = MakeEngine();
   Rng rng(99);

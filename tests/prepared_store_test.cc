@@ -187,11 +187,13 @@ TEST(PreparedStoreUpdateTest, PatchReKeysEntryAndFixesAccounting) {
       &meter);
   ASSERT_TRUE(status.ok()) << status.ToString();
 
-  // Re-keyed: the old data part is gone, the new one serves the patched
-  // payload without running Π.
+  // Re-keyed: the old data part no longer counts as current (it is
+  // retained for pinned readers under the default two-version window, so
+  // size() still sees it), and the new one serves the patched payload
+  // without running Π.
   EXPECT_FALSE(store.Contains("p", "w", "old-data"));
   EXPECT_TRUE(store.Contains("p", "w", "new-data!"));
-  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.size(), 2u);
   bool hit = false;
   auto patched = store.GetOrCompute(
       "p", "w", "new-data!",
@@ -202,11 +204,99 @@ TEST(PreparedStoreUpdateTest, PatchReKeysEntryAndFixesAccounting) {
   ASSERT_TRUE(patched.ok());
   EXPECT_TRUE(hit);
   EXPECT_EQ(**patched, "payload-v1+delta");
-  // Byte accounting followed the payload (+6) and key (+1) growth.
-  EXPECT_EQ(store.bytes_resident(), bytes_before + 7);
+  // Both versions stay accounted: the retained v1 plus the patched v2,
+  // whose payload (+6) and key (+1) grew past the original.
+  EXPECT_EQ(store.bytes_resident(), 2 * bytes_before + 7);
   EXPECT_EQ(meter.work(), 1 + 3);  // digest probe + the patch's charges
   EXPECT_EQ(store.stats().patches, 1);
   EXPECT_EQ(store.stats().patch_fallbacks, 0);
+}
+
+TEST(PreparedStoreUpdateTest, RetainsVersionWindowTrimsAndResolvesLineage) {
+  PreparedStore::Options options;
+  options.shards = 4;
+  options.versions = 2;
+  PreparedStore store(options);
+  ASSERT_TRUE(store
+                  .GetOrCompute("p", "w", "d0",
+                                [](CostMeter*) -> Result<std::string> {
+                                  return std::string("v0");
+                                })
+                  .ok());
+  auto bump = [&](const std::string& from, const std::string& to,
+                  const std::string& suffix) {
+    return store.UpdateData("p", "w", from, to,
+                            [&suffix](std::string* prepared, CostMeter*) {
+                              *prepared += suffix;
+                              return Status::OK();
+                            });
+  };
+
+  ASSERT_TRUE(bump("d0", "d1", "+1").ok());
+  EXPECT_EQ(store.size(), 2u);  // the v1 head plus the retained v0
+  ASSERT_TRUE(bump("d1", "d2", "+2").ok());
+  EXPECT_EQ(store.size(), 2u);  // v2 + v1: the window trimmed v0
+  EXPECT_EQ(store.stats().evictions, 1);
+
+  // Only the head counts as current; the retained predecessor is
+  // digest-addressable but invisible to Contains.
+  EXPECT_TRUE(store.Contains("p", "w", "d2"));
+  EXPECT_FALSE(store.Contains("p", "w", "d1"));
+  EXPECT_FALSE(store.Contains("p", "w", "d0"));
+
+  // A reader pinned on the retained v1 keeps getting exactly v1's Π.
+  PreparedStore::Key k1 = store.BuildKeyCounted("p", "w", "d1");
+  PreparedStore::PreparedView view;
+  ASSERT_TRUE(store.TryGetView(k1, PreparedStore::EntryOptions{}, nullptr,
+                               &view));
+  EXPECT_EQ(*view.prepared, "v0+1");
+  EXPECT_EQ(store.stats().lineage_resolves, 0);
+
+  // A reader pinned on the trimmed v0 resolves forward to the first
+  // resident successor (v1) instead of going cold.
+  PreparedStore::Key k0 = store.BuildKeyCounted("p", "w", "d0");
+  ASSERT_TRUE(store.TryGetView(k0, PreparedStore::EntryOptions{}, nullptr,
+                               &view));
+  EXPECT_EQ(*view.prepared, "v0+1");
+  EXPECT_EQ(store.stats().lineage_resolves, 1);
+
+  // The retained v1 must not accept a second delta: the lineage has one
+  // successor per version, never a fork.
+  auto forked = bump("d1", "d9", "+X");
+  EXPECT_FALSE(forked.ok());
+  EXPECT_EQ(store.stats().patch_fallbacks, 1);
+  EXPECT_FALSE(store.Contains("p", "w", "d9"));
+}
+
+TEST(PreparedStoreUpdateTest, SingleVersionStoreStillForwardsStaleReaders) {
+  PreparedStore::Options options;
+  options.shards = 4;
+  options.versions = 1;  // PR-6 behavior: the old entry is erased outright
+  PreparedStore store(options);
+  ASSERT_TRUE(store
+                  .GetOrCompute("p", "w", "d0",
+                                [](CostMeter*) -> Result<std::string> {
+                                  return std::string("v0");
+                                })
+                  .ok());
+  ASSERT_TRUE(store
+                  .UpdateData("p", "w", "d0", "d1",
+                              [](std::string* prepared, CostMeter*) {
+                                *prepared += "+1";
+                                return Status::OK();
+                              })
+                  .ok());
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_FALSE(store.Contains("p", "w", "d0"));
+
+  // Even without retention the lineage record forwards a stale reader to
+  // the successor — the one consistent Π that still exists.
+  PreparedStore::Key k0 = store.BuildKeyCounted("p", "w", "d0");
+  PreparedStore::PreparedView view;
+  ASSERT_TRUE(store.TryGetView(k0, PreparedStore::EntryOptions{}, nullptr,
+                               &view));
+  EXPECT_EQ(*view.prepared, "v0+1");
+  EXPECT_EQ(store.stats().lineage_resolves, 1);
 }
 
 TEST(PreparedStoreUpdateTest, MissingEntryAndFailingPatchFallBack) {
@@ -616,6 +706,113 @@ TEST(PreparedStorePersistenceTest, RespillDropsStaleFilesFromEarlierSpills) {
   EXPECT_EQ(*loaded, 1u);
   EXPECT_TRUE(restarted.Contains("p", "w", "kept"));
   EXPECT_FALSE(restarted.Contains("p", "w", "old"));
+  fs::remove_all(dir);
+}
+
+// Satellite of the version-race fix: after a Δ-patch re-keys an entry,
+// the spill directory must hold exactly the post-delta head, and loading
+// that directory back into the *live* store must not clobber the resident
+// MVCC lineage (the resident entry carries the superseded/predecessor
+// metadata the on-disk frame does not).
+TEST(PreparedStorePersistenceTest, LoadAfterRespillSkipsResidentHead) {
+  const std::string dir = UniqueTempDir("load_respill");
+  PreparedStore store;
+  ASSERT_TRUE(store
+                  .GetOrCompute("p", "w", "d0",
+                                [](CostMeter*) -> Result<std::string> {
+                                  return std::string("v0");
+                                })
+                  .ok());
+  ASSERT_TRUE(store.Spill(dir).ok());
+  ASSERT_TRUE(store
+                  .UpdateData("p", "w", "d0", "d1",
+                              [](std::string* prepared, CostMeter*) {
+                                prepared->append("+1");
+                                return Status::OK();
+                              })
+                  .ok());
+  // The respill rewrote the directory: one file for the new head, the
+  // pre-delta file removed.
+  size_t pit_files = 0;
+  for (const auto& dirent : fs::directory_iterator(dir)) {
+    if (dirent.path().extension() == ".pit") ++pit_files;
+  }
+  EXPECT_EQ(pit_files, 1u);
+  // Loading into the live store is a no-op: the head is already resident
+  // under the same key, and the resident entry wins.
+  auto reloaded = store.Load(dir);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_EQ(*reloaded, 0u);
+  bool hit = false;
+  auto entry = store.GetOrCompute(
+      "p", "w", "d1",
+      [](CostMeter*) -> Result<std::string> {
+        return Status::Internal("must not recompute");
+      },
+      nullptr, &hit);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(**entry, "v0+1");
+  // A restart sees only the post-delta head.
+  PreparedStore restarted;
+  auto loaded = restarted.Load(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 1u);
+  EXPECT_TRUE(restarted.Contains("p", "w", "d1"));
+  EXPECT_FALSE(restarted.Contains("p", "w", "d0"));
+  fs::remove_all(dir);
+}
+
+// The UpdateData-vs-Load race: a loader replaying the spill directory
+// while a delta chain re-keys the entry underneath it must never
+// resurrect a pre-delta Π over the patched one. Both sides serialize on
+// spill_dir_mutex_ (Load's scan+admit vs RespillPatched's write+remove),
+// and Load's resident-key check keeps admitted frames from clobbering the
+// live head. Run under TSan in CI.
+TEST(PreparedStorePersistenceTest, ConcurrentLoadAndRespillKeepPatchedHead) {
+  const std::string dir = UniqueTempDir("load_race");
+  PreparedStore store;
+  ASSERT_TRUE(store
+                  .GetOrCompute("p", "w", "d0",
+                                [](CostMeter*) -> Result<std::string> {
+                                  return std::string("pi");
+                                })
+                  .ok());
+  ASSERT_TRUE(store.Spill(dir).ok());
+  constexpr int kVersions = 6;
+  std::atomic<bool> done{false};
+  std::thread loader([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      EXPECT_TRUE(store.Load(dir).ok());
+    }
+    // One final replay after the chain settles: still must not
+    // resurrect anything stale.
+    EXPECT_TRUE(store.Load(dir).ok());
+  });
+  std::string data = "d0";
+  for (int k = 1; k <= kVersions; ++k) {
+    const std::string next = "d" + std::to_string(k);
+    ASSERT_TRUE(store
+                    .UpdateData("p", "w", data, next,
+                                [k](std::string* prepared, CostMeter*) {
+                                  prepared->append("+" + std::to_string(k));
+                                  return Status::OK();
+                                })
+                    .ok());
+    data = next;
+  }
+  done.store(true, std::memory_order_release);
+  loader.join();
+  bool hit = false;
+  auto entry = store.GetOrCompute(
+      "p", "w", data,
+      [](CostMeter*) -> Result<std::string> {
+        return Status::Internal("must not recompute");
+      },
+      nullptr, &hit);
+  ASSERT_TRUE(entry.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(**entry, "pi+1+2+3+4+5+6");
   fs::remove_all(dir);
 }
 
