@@ -29,13 +29,22 @@
 //     warm p99 under cold_storm staying near the warm-only p99 at the
 //     same rate (target: within 2x; printed in the readout).
 //
+//  4. Fault-rate degradation ("x3_faults" rows, `faults` argument): the
+//     mixed open-loop traffic re-run with the "store.pi_build" failpoint
+//     armed at preparer failure rate f in {0, 0.01, 0.1} — each cold Π
+//     build fails with probability f and rides the pipeline's
+//     retry/quarantine policy. Rows record warm p99 plus the
+//     errors/shed/quarantined/pi_failures/pi_retries counters, so the
+//     degradation curve (how much tail latency and goodput a flaky Π
+//     costs) lands in the JSON artifact.
+//
 // One JSON line per (mode, threads[, distribution]) is appended to
 // BENCH_x3_concurrency.json (or argv[1]); every row records
 // hardware_concurrency so single-core container runs are distinguishable
 // from real multi-core runs.
 //
-// Usage: bench_x3_concurrency [json_path] [tiny] [openloop] [numbers...]
-//        (numbers are thread counts, or arrival rates with `openloop`)
+// Usage: bench_x3_concurrency [json_path] [tiny] [openloop|faults] [numbers...]
+//        (numbers are thread counts, or arrival rates with `openloop`/`faults`)
 
 #include <algorithm>
 #include <chrono>
@@ -48,6 +57,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "core/problems.h"
 #include "engine/builtins.h"
@@ -537,12 +547,207 @@ int RunOpenLoop(const Config& config, std::FILE* json, unsigned hw,
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// Fault-rate degradation: mixed open-loop traffic with a flaky Π.
+// ---------------------------------------------------------------------------
+
+int RunFaults(const Config& config, std::FILE* json, unsigned hw,
+              size_t* json_lines) {
+  const double fault_rates[] = {0.0, 0.01, 0.1};
+  std::printf(
+      "\n[faults] open-loop mixed traffic with \"store.pi_build\" armed at\n"
+      "         failure rate f: each cold Π build fails with probability f\n"
+      "         and rides the preparer retry (+ quarantine) policy. The\n"
+      "         degradation claim: warm p99 holds while failures convert\n"
+      "         to fast errors, never to stalls or wrong answers.\n\n");
+  std::printf("%8s %8s %9s %10s %10s %7s %7s %9s %8s %8s\n", "f", "rate/s",
+              "arrivals", "p99_us", "warmp99_us", "errors", "quar",
+              "pi_fails", "retries", "pi_runs");
+  std::printf(
+      "----------------------------------------------------------------------"
+      "--------\n");
+
+  for (double f : fault_rates) {
+    for (size_t ri = 0; ri < config.openloop_rates.size(); ++ri) {
+      const int rate = config.openloop_rates[ri];
+      const int n = config.openloop_arrivals;
+
+      engine::QueryEngine eng{engine::PreparedStore::Options{}};
+      auto status = engine::RegisterBuiltins(&eng);
+      if (!status.ok()) {
+        std::fprintf(stderr, "RegisterBuiltins failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      Rng rng(0xfa17 + static_cast<uint64_t>(rate) * 31 +
+              static_cast<uint64_t>(f * 1000));
+
+      std::vector<std::shared_ptr<const engine::DataHandle>> handles;
+      for (int part = 0; part < config.data_parts; ++part) {
+        auto handle = eng.Intern("list-membership",
+                                 MakeMemberData(&rng, config.list_length));
+        if (!handle.ok()) {
+          std::fprintf(stderr, "Intern failed: %s\n",
+                       handle.status().ToString().c_str());
+          return 1;
+        }
+        handles.push_back(std::make_shared<const engine::DataHandle>(
+            std::move(handle).value()));
+      }
+      const auto queries =
+          MakeQueries(&rng, config.queries_per_batch, 2 * config.list_length);
+      for (const auto& handle : handles) {
+        auto warm = eng.AnswerBatch(*handle, queries);
+        if (!warm.ok()) {
+          std::fprintf(stderr, "warm-up failed: %s\n",
+                       warm.status().ToString().c_str());
+          return 1;
+        }
+      }
+
+      // Mixed plan: a fresh cold part every ~32 arrivals keeps Π builds
+      // (the faultable edge) flowing through the whole run.
+      std::vector<int> cold_slot(static_cast<size_t>(n), -1);
+      std::vector<std::string> cold_parts;
+      for (int i = 0; i < n; ++i) {
+        if (rng.NextBelow(32) == 0) {
+          cold_slot[static_cast<size_t>(i)] =
+              static_cast<int>(cold_parts.size());
+          cold_parts.push_back(MakeMemberData(&rng, config.list_length));
+        }
+      }
+
+      engine::PipelineOptions popts;
+      popts.threads = config.openloop_threads;
+      popts.preparers = config.openloop_preparers;
+      popts.pi_retry_backoff_ns = 50'000;  // keep rows fast at f = 0.1
+
+      std::vector<int64_t> latency(static_cast<size_t>(n), -1);
+      std::vector<uint8_t> answered(static_cast<size_t>(n), 0);
+      long long report_errors = 0;
+      long long quarantined = 0;
+      long long pi_failures = 0;
+      long long pi_retries = 0;
+      long long pi_runs = 0;
+      long long shed = 0;
+
+      {
+        // Armed only around the measured run (warm-up already done), and
+        // seeded from the row config so a rerun replays the same faults.
+        pitract::failpoint::ScopedFailpoints guard;
+        if (f > 0.0) {
+          pitract::failpoint::Arm(
+              "store.pi_build",
+              pitract::failpoint::WithProbability(
+                  f, 0x5eed + static_cast<uint64_t>(rate) +
+                         static_cast<uint64_t>(f * 1000)));
+        }
+        engine::ServePipeline pipeline(&eng, popts);
+        auto next = std::chrono::steady_clock::now();
+        for (int i = 0; i < n; ++i) {
+          const double u = std::min(rng.NextDouble(), 0.999999999);
+          const double gap_seconds = -std::log(1.0 - u) / rate;
+          next += std::chrono::nanoseconds(
+              static_cast<int64_t>(gap_seconds * 1e9));
+          std::this_thread::sleep_until(next);
+
+          engine::ServeWorkItem item;
+          const int cold = cold_slot[static_cast<size_t>(i)];
+          if (cold >= 0) {
+            item.problem = "list-membership";
+            item.data = cold_parts[static_cast<size_t>(cold)];
+          } else {
+            item.handle = handles[static_cast<size_t>(
+                rng.NextZipf(handles.size(), /*theta=*/0.99))];
+          }
+          item.queries = queries;
+          int64_t* lat = &latency[static_cast<size_t>(i)];
+          uint8_t* okp = &answered[static_cast<size_t>(i)];
+          auto admit = pipeline.Submit(
+              std::move(item),
+              [lat, okp](const engine::ItemOutcome& outcome) {
+                *lat = outcome.latency_ns;
+                *okp = outcome.status.ok() ? 1 : 0;
+              });
+          if (!admit.ok()) {
+            std::fprintf(stderr, "Submit refused: %s\n",
+                         admit.ToString().c_str());
+            return 1;
+          }
+        }
+        pipeline.Drain();
+        auto report = pipeline.report();
+        // Errors are the *measurement* here, not a harness failure: at
+        // f > 0 some cold items terminally fail or quarantine by design.
+        report_errors = report.errors;
+        quarantined = report.quarantined;
+        pi_failures = report.pi_failures;
+        pi_retries = report.pi_retries;
+        pi_runs = report.pi_runs;
+        shed = report.shed;
+        if (f == 0.0 && report.errors != 0) {
+          std::fprintf(stderr, "fault-free row saw errors: %s\n",
+                       report.first_error.ToString().c_str());
+          return 1;
+        }
+      }
+
+      std::vector<int64_t> all;
+      std::vector<int64_t> warm;
+      for (int i = 0; i < n; ++i) {
+        if (answered[static_cast<size_t>(i)] == 0) continue;
+        all.push_back(latency[static_cast<size_t>(i)]);
+        if (cold_slot[static_cast<size_t>(i)] < 0) {
+          warm.push_back(latency[static_cast<size_t>(i)]);
+        }
+      }
+      std::sort(all.begin(), all.end());
+      std::sort(warm.begin(), warm.end());
+      const int64_t p50 = PercentileSorted(all, 0.50);
+      const int64_t p99 = PercentileSorted(all, 0.99);
+      const int64_t p999 = PercentileSorted(all, 0.999);
+      const int64_t warm_p99 = PercentileSorted(warm, 0.99);
+
+      std::printf(
+          "%8.2f %8d %9d %10.1f %10.1f %7lld %7lld %9lld %8lld %8lld\n", f,
+          rate, n, static_cast<double>(p99) / 1e3,
+          static_cast<double>(warm_p99) / 1e3, report_errors, quarantined,
+          pi_failures, pi_retries, pi_runs);
+      if (json != nullptr) {
+        std::fprintf(
+            json,
+            "{\"bench\":\"x3_faults\",\"fault_rate\":%.3f,\"rate\":%d,"
+            "\"arrivals\":%d,\"answered\":%zu,\"cold_arrivals\":%zu,"
+            "\"threads\":%d,\"preparers\":%d,"
+            "\"p50_ns\":%lld,\"p99_ns\":%lld,\"p999_ns\":%lld,"
+            "\"warm_p99_ns\":%lld,\"errors\":%lld,\"shed\":%lld,"
+            "\"quarantined\":%lld,\"pi_failures\":%lld,\"pi_retries\":%lld,"
+            "\"pi_runs\":%lld,\"hardware_concurrency\":%u}\n",
+            f, rate, n, all.size(), cold_parts.size(),
+            config.openloop_threads, config.openloop_preparers,
+            static_cast<long long>(p50), static_cast<long long>(p99),
+            static_cast<long long>(p999), static_cast<long long>(warm_p99),
+            report_errors, shed, quarantined, pi_failures, pi_retries,
+            pi_runs, hw);
+        ++(*json_lines);
+      }
+    }
+  }
+  std::printf(
+      "\n[faults] Reading: a flaky Π costs retries (and at f=0.1 a few\n"
+      "         terminal failures + quarantined items), but the warm tail\n"
+      "         holds — failures degrade to fast errors on the cold\n"
+      "         subset, never to head-of-line stalls on warm traffic.\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Config config;
   const char* json_path = "BENCH_x3_concurrency.json";
   bool openloop = false;
+  bool faults = false;
   std::vector<int> requested_numbers;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "tiny") == 0) {
@@ -559,6 +764,8 @@ int main(int argc, char** argv) {
       config.openloop_cold_parts = 16;
     } else if (std::strcmp(argv[i], "openloop") == 0) {
       openloop = true;  // run only the open-loop section
+    } else if (std::strcmp(argv[i], "faults") == 0) {
+      faults = true;  // run only the fault-degradation section
     } else if (argv[i][0] >= '0' && argv[i][0] <= '9') {
       requested_numbers.push_back(std::atoi(argv[i]));
     } else {
@@ -567,8 +774,8 @@ int main(int argc, char** argv) {
   }
   if (!requested_numbers.empty()) {
     // Plain numbers are thread counts for the closed-loop sections, or
-    // arrival rates when `openloop` is requested.
-    (openloop ? config.openloop_rates : config.thread_counts) =
+    // arrival rates when `openloop` or `faults` is requested.
+    (openloop || faults ? config.openloop_rates : config.thread_counts) =
         requested_numbers;
   }
 
@@ -585,7 +792,9 @@ int main(int argc, char** argv) {
 
   size_t json_lines = 0;
   int rc = 0;
-  if (openloop) {
+  if (faults) {
+    rc = RunFaults(config, json, hw, &json_lines);
+  } else if (openloop) {
     rc = RunOpenLoop(config, json, hw, &json_lines);
   } else {
     rc = RunColdScaling(config, json, hw, &json_lines);
@@ -599,6 +808,7 @@ int main(int argc, char** argv) {
     }
   }
   if (rc != 0) return rc;
+  if (faults) return 0;  // RunFaults prints its own reading
   if (openloop) {
     std::printf(
         "\nReading: open-loop latency includes queueing delay, so the tail\n"

@@ -1,0 +1,149 @@
+#include "common/failpoint.h"
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace pitract {
+namespace failpoint {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+/// One armed site: policy, counters, and (for kProbability) its own
+/// seeded stream, so two sites armed with the same seed draw identical,
+/// reproducible sequences independently of evaluation interleaving at
+/// *other* sites.
+struct Site {
+  Policy policy;
+  int64_t evaluations = 0;
+  int64_t fires = 0;
+  std::unique_ptr<Rng> rng;  // kProbability only
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::unordered_map<std::string, Site> sites;
+};
+
+/// Leaked singleton: failpoints may be evaluated from detached serving
+/// threads during process teardown, so the registry must outlive every
+/// static destructor.
+Registry& TheRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+}  // namespace
+
+Policy Never() { return Policy{}; }
+
+Policy Always() {
+  Policy policy;
+  policy.kind = Policy::Kind::kAlways;
+  return policy;
+}
+
+Policy Once() {
+  Policy policy;
+  policy.kind = Policy::Kind::kOnce;
+  return policy;
+}
+
+Policy EveryNth(uint64_t n) {
+  Policy policy;
+  policy.kind = Policy::Kind::kEveryNth;
+  policy.n = n == 0 ? 1 : n;
+  return policy;
+}
+
+Policy WithProbability(double p, uint64_t seed) {
+  Policy policy;
+  policy.kind = Policy::Kind::kProbability;
+  policy.p = p;
+  policy.seed = seed;
+  return policy;
+}
+
+void Arm(std::string_view site, const Policy& policy) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  Site& slot = registry.sites[std::string(site)];
+  slot.policy = policy;
+  slot.evaluations = 0;
+  slot.fires = 0;
+  slot.rng = policy.kind == Policy::Kind::kProbability
+                 ? std::make_unique<Rng>(policy.seed)
+                 : nullptr;
+  internal::g_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Disarm(std::string_view site) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.sites.erase(std::string(site));
+  if (registry.sites.empty()) {
+    internal::g_enabled.store(false, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.sites.clear();
+  internal::g_enabled.store(false, std::memory_order_relaxed);
+}
+
+bool ShouldFail(std::string_view site) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.sites.find(std::string(site));
+  if (it == registry.sites.end()) return false;
+  Site& slot = it->second;
+  ++slot.evaluations;
+  bool fire = false;
+  switch (slot.policy.kind) {
+    case Policy::Kind::kNever:
+      break;
+    case Policy::Kind::kAlways:
+      fire = true;
+      break;
+    case Policy::Kind::kOnce:
+      fire = slot.fires == 0;
+      break;
+    case Policy::Kind::kEveryNth:
+      fire = static_cast<uint64_t>(slot.evaluations) % slot.policy.n == 0;
+      break;
+    case Policy::Kind::kProbability:
+      fire = slot.rng != nullptr && slot.rng->NextBool(slot.policy.p);
+      break;
+  }
+  if (fire) ++slot.fires;
+  return fire;
+}
+
+SiteStats StatsFor(std::string_view site) {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.sites.find(std::string(site));
+  if (it == registry.sites.end()) return SiteStats{};
+  return SiteStats{it->second.evaluations, it->second.fires};
+}
+
+std::vector<std::string> ArmedSites() {
+  Registry& registry = TheRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<std::string> names;
+  names.reserve(registry.sites.size());
+  for (const auto& [name, site] : registry.sites) names.push_back(name);
+  return names;
+}
+
+}  // namespace failpoint
+}  // namespace pitract

@@ -1,0 +1,107 @@
+#ifndef PITRACT_COMMON_FAILPOINT_H_
+#define PITRACT_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pitract {
+
+/// Deterministic fault injection for the engine's failure edges.
+///
+/// A *site* is a named branch compiled into production code at a point
+/// where the surrounding logic already claims to survive a failure — a
+/// spill write, a Π build, a patch hook. Tests (and the chaos harness)
+/// *arm* sites with a policy; armed sites then report "fail here" to the
+/// call site, which takes its real degradation path with a synthetic
+/// error. Nothing is simulated: the code that runs is exactly the code a
+/// torn file or a throwing Π would exercise in production.
+///
+/// Cost when disarmed: the whole subsystem sits behind one process-wide
+/// atomic flag, so every `PITRACT_FAILPOINT(...)` in a hot path costs a
+/// single relaxed load and a never-taken branch until the first Arm()
+/// call of the process — a no-op branch in any build, no macros or
+/// compile-time configuration required.
+///
+/// Thread safety: Arm/Disarm/Evaluate may race freely; evaluation of an
+/// armed site serializes on one mutex (acceptable — sites only evaluate
+/// under fault-injection runs). Policies draw from a seeded pitract::Rng,
+/// so a schedule is reproducible from its seed alone.
+namespace failpoint {
+
+/// Per-site firing policy.
+struct Policy {
+  enum class Kind {
+    kNever,        // armed but inert (useful to count evaluations)
+    kAlways,       // every evaluation fires
+    kOnce,         // the first evaluation fires, the rest pass
+    kEveryNth,     // evaluations n, 2n, 3n, ... fire
+    kProbability,  // each evaluation fires with probability p (seeded)
+  };
+  Kind kind = Kind::kNever;
+  uint64_t n = 0;    // kEveryNth period (>= 1)
+  double p = 0.0;    // kProbability chance in [0, 1]
+  uint64_t seed = 0; // kProbability RNG seed
+};
+
+Policy Never();
+Policy Always();
+Policy Once();
+Policy EveryNth(uint64_t n);
+Policy WithProbability(double p, uint64_t seed);
+
+/// True iff any site is armed. The one relaxed load every disabled
+/// evaluation pays; see the PITRACT_FAILPOINT macro below.
+bool Enabled();
+
+/// Installs (or replaces) `site`'s policy and flips the global switch on.
+void Arm(std::string_view site, const Policy& policy);
+/// Removes one site; the global switch turns off with the last site.
+void Disarm(std::string_view site);
+/// Removes every site and turns the global switch off.
+void DisarmAll();
+
+/// Full policy evaluation for an armed site. Call through the
+/// PITRACT_FAILPOINT macro so disarmed processes never reach this.
+bool ShouldFail(std::string_view site);
+
+/// Observed activity of one site since it was armed.
+struct SiteStats {
+  int64_t evaluations = 0;  // times the armed site was reached
+  int64_t fires = 0;        // times it reported "fail here"
+};
+SiteStats StatsFor(std::string_view site);
+std::vector<std::string> ArmedSites();
+
+/// RAII guard for tests: disarms every site (and re-disables the global
+/// switch) on scope exit, so one test's schedule never leaks into the
+/// next.
+class ScopedFailpoints {
+ public:
+  ScopedFailpoints() = default;
+  ScopedFailpoints(const ScopedFailpoints&) = delete;
+  ScopedFailpoints& operator=(const ScopedFailpoints&) = delete;
+  ~ScopedFailpoints() { DisarmAll(); }
+};
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+}  // namespace failpoint
+}  // namespace pitract
+
+/// The call-site form: `if (PITRACT_FAILPOINT("spill.write")) { ...fail }`.
+/// Disarmed: one relaxed load, branch not taken. Armed: full policy
+/// evaluation under the registry mutex.
+#define PITRACT_FAILPOINT(site)          \
+  (::pitract::failpoint::Enabled() &&    \
+   ::pitract::failpoint::ShouldFail(site))
+
+#endif  // PITRACT_COMMON_FAILPOINT_H_

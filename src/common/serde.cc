@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "common/failpoint.h"
+
 namespace pitract {
 namespace serde {
 
@@ -22,6 +24,20 @@ void PutU64(std::string* out, uint64_t value) { PutLittleEndian(out, value); }
 void PutBytes(std::string* out, std::string_view bytes) {
   PutU64(out, static_cast<uint64_t>(bytes.size()));
   out->append(bytes);
+}
+
+uint64_t Checksum64(std::string_view bytes) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  // Final avalanche: FNV-1a's low bits are weak for short inputs; the
+  // xor-shift fold spreads every input bit into the stored word.
+  hash ^= hash >> 33;
+  hash *= 0xff51afd7ed558ccdull;
+  hash ^= hash >> 29;
+  return hash;
 }
 
 Result<uint32_t> Reader::ReadU32() {
@@ -53,6 +69,11 @@ Result<uint64_t> Reader::ReadU64() {
 }
 
 Result<std::string> Reader::ReadBytes() {
+  // Fault-injection edge for every serde consumer (spill frame decode):
+  // fires as if the length-prefixed frame were torn mid-read.
+  if (PITRACT_FAILPOINT("serde.read_bytes")) {
+    return Status::OutOfRange("serde: failpoint serde.read_bytes fired");
+  }
   const size_t mark = pos_;
   auto length = ReadU64();
   if (!length.ok()) return length.status();

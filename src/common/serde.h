@@ -26,6 +26,14 @@ void PutU64(std::string* out, uint64_t value);
 /// Appends `bytes` prefixed with its u64 length.
 void PutBytes(std::string* out, std::string_view bytes);
 
+/// 64-bit payload checksum (canonical byte-at-a-time FNV-1a with a final
+/// avalanche fold). Deliberately independent of the word-folded
+/// engine::Fnv1a64 content digest: spill frames carry this over their
+/// framed body so a flipped bit that still *parses* as valid frames is
+/// rejected instead of served. Detects any single-bit flip and any
+/// truncation/extension of the covered bytes.
+uint64_t Checksum64(std::string_view bytes);
+
 /// Sequential reader over a serde-framed buffer. Every read either advances
 /// past a well-formed frame or fails without consuming input, so corrupt or
 /// truncated spill files degrade to a clean error, never to garbage state.
@@ -40,6 +48,9 @@ class Reader {
 
   /// Bytes not yet consumed.
   size_t remaining() const { return buffer_.size() - pos_; }
+  /// Bytes already consumed (the current read offset) — lets a caller
+  /// checksum "everything after the header" without re-parsing it.
+  size_t consumed() const { return pos_; }
   bool exhausted() const { return pos_ == buffer_.size(); }
 
  private:

@@ -1,12 +1,29 @@
 #include "engine/pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/timer.h"
 
 namespace pitract {
 namespace engine {
+
+namespace {
+
+/// "digest=<16 hex>" for Π-failure statuses: the pipeline's completions
+/// are the wire-facing error surface, so they name the poisoned entry.
+std::string DigestTag(uint64_t digest) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string tag = "digest=";
+  for (int i = 15; i >= 0; --i) {
+    tag.push_back(kHex[(digest >> (4 * i)) & 0xf]);
+  }
+  return tag;
+}
+
+}  // namespace
 
 ServePipeline::ServePipeline(QueryEngine* engine,
                              const PipelineOptions& options)
@@ -18,6 +35,9 @@ ServePipeline::ServePipeline(QueryEngine* engine,
   if (opts_.preparers <= 0) opts_.preparers = opts_.threads;
   opts_.claim_batch = std::max(opts_.claim_batch, 1);
   opts_.max_requeues = std::max(opts_.max_requeues, 0);
+  opts_.pi_retries = std::max(opts_.pi_retries, 0);
+  opts_.pi_retry_backoff_ns = std::max<int64_t>(opts_.pi_retry_backoff_ns, 0);
+  opts_.quarantine_ttl_ns = std::max<int64_t>(opts_.quarantine_ttl_ns, 0);
   answer_options_.sort_probes = opts_.sort_probes;
 
   // vector(n) default-constructs in place — the tallies hold CostMeters,
@@ -172,31 +192,55 @@ bool ServePipeline::ParkUnit(UnitPtr unit, WorkerTally* tally) {
   const uint64_t digest = unit->key.digest;
   PrepareJob job;
   bool enqueue_job = false;
+  bool quarantined = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    // Workload-mode shedding happens here (there is no admission step):
-    // a cold backlog at depth answers Unavailable instead of parking.
-    // Submit items were bounded at admission and always park.
-    if (!unit->from_submit && opts_.queue_depth != 0 &&
-        parked_ >= opts_.queue_depth) {
-      ++tally->shed;
-      return true;
+    // Π-failure quarantine: a digest whose build just spent its whole
+    // retry budget fails new arrivals *fast* instead of re-running a Π
+    // that is known-poisoned. The entry is erased lazily once its TTL
+    // passes, so the next parker after expiry probes Π again.
+    auto quarantine = quarantine_.find(digest);
+    if (quarantine != quarantine_.end()) {
+      if (MonotonicNowNanos() < quarantine->second) {
+        quarantined = true;
+      } else {
+        quarantine_.erase(quarantine);
+      }
     }
-    std::vector<UnitPtr>& list = pending_[digest];
-    // The first unit on an empty list owns submitting the Π build; a
-    // parker landing after a preparer drained the list submits a fresh
-    // (possibly redundant) job, so a publish can never strand a unit —
-    // the redundant prepare is an instant store hit and requeues it.
-    enqueue_job = list.empty();
-    if (enqueue_job) {
-      job.problem = unit->problem;
-      job.data = unit->data;
-      job.key = unit->key;
+    if (!quarantined) {
+      // Workload-mode shedding happens here (there is no admission step):
+      // a cold backlog at depth answers Unavailable instead of parking.
+      // Submit items were bounded at admission and always park.
+      if (!unit->from_submit && opts_.queue_depth != 0 &&
+          parked_ >= opts_.queue_depth) {
+        ++tally->shed;
+        return true;
+      }
+      std::vector<UnitPtr>& list = pending_[digest];
+      // The first unit on an empty list owns submitting the Π build; a
+      // parker landing after a preparer drained the list submits a fresh
+      // (possibly redundant) job, so a publish can never strand a unit —
+      // the redundant prepare is an instant store hit and requeues it.
+      enqueue_job = list.empty();
+      if (enqueue_job) {
+        job.problem = unit->problem;
+        job.data = unit->data;
+        job.key = unit->key;
+      }
+      list.push_back(std::move(unit));
+      ++parked_;
+      queue_depth_max_ = std::max(
+          queue_depth_max_, static_cast<int64_t>(parked_ + ready_.size()));
     }
-    list.push_back(std::move(unit));
-    ++parked_;
-    queue_depth_max_ = std::max(
-        queue_depth_max_, static_cast<int64_t>(parked_ + ready_.size()));
+  }
+  if (quarantined) {
+    // Outside mu_: CompleteUnit takes it for Submit-side bookkeeping.
+    ++tally->quarantined;
+    const Status status = Status::Internal(
+        "Π quarantined after terminal failure (" + DigestTag(digest) + ")");
+    if (tally->errors++ == 0) tally->first_error = status;
+    CompleteUnit(std::move(unit), status, 0);
+    return true;
   }
   if (enqueue_job) {
     {
@@ -399,19 +443,58 @@ void ServePipeline::PreparerLoop(size_t preparer_index) {
     }
     // Π runs here — on a preparer, holding no pipeline lock — while the
     // answer workers keep draining warm traffic. busy_ns is the
-    // head-of-line wall time this pool absorbed.
+    // head-of-line wall time this pool absorbed. A failed Prepare is
+    // retried on this thread (parked items are already off the answer
+    // workers, so nothing else waits on the backoff sleeps) up to
+    // opts_.pi_retries more times before the failure is terminal.
     const int64_t t0 = MonotonicNowNanos();
-    bool ran_pi = false;
-    const Status prepared = engine_->Prepare(
-        job.problem, job.data, job.key, &tally.prepare_meter, &ran_pi);
+    Status prepared;
+    int attempts = 0;
+    for (;;) {
+      bool ran_pi = false;
+      prepared = engine_->Prepare(job.problem, job.data, job.key,
+                                  &tally.prepare_meter, &ran_pi);
+      if (ran_pi) ++tally.pi_runs;
+      // Preparer-completion failure edge: Π (and the store publish)
+      // succeeded but the preparer dies before waking its parked units.
+      // The retry re-probes, hits the already-published entry warm, and
+      // completes the handoff — chaos_test drives this site.
+      if (prepared.ok() && PITRACT_FAILPOINT("pipeline.preparer_publish")) {
+        prepared = Status::Internal(
+            "failpoint pipeline.preparer_publish fired (" +
+            DigestTag(job.key.digest) + ")");
+      }
+      ++attempts;
+      if (prepared.ok() || attempts > opts_.pi_retries) break;
+      ++tally.pi_retries;
+      const int64_t backoff = opts_.pi_retry_backoff_ns
+                              << std::min(attempts - 1, 20);
+      if (backoff > 0) {
+        std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+      }
+    }
     tally.busy_ns += MonotonicNowNanos() - t0;
-    if (ran_pi) ++tally.pi_runs;
+    if (!prepared.ok()) {
+      ++tally.pi_failures;
+      prepared = Status(prepared.code(),
+                        "Π failed terminally after " +
+                            std::to_string(attempts) + " attempt(s): " +
+                            std::string(prepared.message()));
+    }
     // Publish-then-wake: every unit parked under this key re-enters the
     // ready queue (a unit parking concurrently misses this drain, but it
     // submits its own job — see ParkUnit — so nothing is stranded).
     std::vector<UnitPtr> woken;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      // Terminal failure poisons the digest *in the same critical section
+      // that drains its parked units*: a parker racing this drain either
+      // lands in `woken` (completed with the Π error below) or parks
+      // after the insert and fails fast — no window re-runs the dead Π.
+      if (!prepared.ok() && opts_.quarantine_ttl_ns > 0) {
+        quarantine_[job.key.digest] =
+            MonotonicNowNanos() + opts_.quarantine_ttl_ns;
+      }
       auto it = pending_.find(job.key.digest);
       if (it != pending_.end()) {
         woken = std::move(it->second);
@@ -455,6 +538,7 @@ ServeReport ServePipeline::report() {
     report.answer_bytes_read += tally.answer_bytes_read;
     report.deadline_expired += tally.deadline_expired;
     report.shed += tally.shed;
+    report.quarantined += tally.quarantined;
     if (tally.errors > 0 && report.errors == 0) {
       report.first_error = tally.first_error;
     }
@@ -465,6 +549,8 @@ ServeReport ServePipeline::report() {
   for (const PreparerTally& tally : preparer_tallies_) {
     report.pi_runs += tally.pi_runs;
     report.preparer_busy_ns += tally.busy_ns;
+    report.pi_retries += tally.pi_retries;
+    report.pi_failures += tally.pi_failures;
     if (tally.errors > 0 && report.errors == 0) {
       report.first_error = tally.first_error;
     }

@@ -54,6 +54,23 @@ struct PipelineOptions {
   /// between publish and requeue would otherwise ping-pong forever; the
   /// blocking fallback terminates via the store's in-flight shared_future.
   int max_requeues = 2;
+  /// Π-failure policy. A failed Prepare is retried on the preparer (same
+  /// thread, nothing else blocked — the parked items are already off the
+  /// answer workers) up to `pi_retries` more times, sleeping
+  /// `pi_retry_backoff_ns << attempt` between attempts, before the
+  /// failure is terminal. Transient faults (an allocator hiccup, a
+  /// fault-injection schedule) heal invisibly; 0 disables retry.
+  int pi_retries = 2;
+  /// First retry backoff; doubles per attempt. Clamped to >= 0.
+  int64_t pi_retry_backoff_ns = 200'000;  // 0.2 ms
+  /// Per-digest quarantine (negative cache) after a *terminal* Π failure:
+  /// for this long, items parking on the poisoned digest complete
+  /// immediately with Status::Internal (ServeReport::quarantined) instead
+  /// of each re-running a Π that just failed its whole retry budget — a
+  /// poisoned hot key degrades to fast failures, not a retry storm. The
+  /// next park after the TTL expires probes Π again (one schedule's
+  /// recovery path). 0 disables quarantine.
+  int64_t quarantine_ttl_ns = 2'000'000'000;  // 2 s
 };
 
 /// How one submitted work item ended: handed to its completion callback.
@@ -166,6 +183,7 @@ class ServePipeline {
     int64_t errors = 0;
     int64_t deadline_expired = 0;
     int64_t shed = 0;
+    int64_t quarantined = 0;  // fail-fast completions at park time
     Status first_error;
     CostMeter prepare_meter;
     CostMeter answer_meter;
@@ -174,6 +192,8 @@ class ServePipeline {
     int64_t pi_runs = 0;
     int64_t busy_ns = 0;
     int64_t errors = 0;
+    int64_t pi_retries = 0;   // retry attempts after a failed Prepare
+    int64_t pi_failures = 0;  // terminal failures (retry budget spent)
     Status first_error;
     CostMeter prepare_meter;
   };
@@ -216,6 +236,10 @@ class ServePipeline {
   std::deque<UnitPtr> ready_;
   std::atomic<size_t> ready_size_{0};
   std::unordered_map<uint64_t, std::vector<UnitPtr>> pending_;  // by digest
+  /// Π-failure negative cache: digest -> absolute monotonic expiry of its
+  /// quarantine (entries erased lazily at the next park-time probe).
+  /// Guarded by mu_ — checked only at park time, never on the warm path.
+  std::unordered_map<uint64_t, int64_t> quarantine_;
   size_t parked_ = 0;   // units across pending_
   size_t backlog_ = 0;  // Submit items admitted, not yet completed
   std::unordered_map<int, size_t> client_backlog_;

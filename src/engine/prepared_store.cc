@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/serde.h"
 
 namespace pitract {
@@ -22,8 +23,25 @@ constexpr uint32_t kSpillMagic = 0x31544950;  // "PIT1"
 // from the stored key) but live under names the new hash can never point
 // at, so RespillPatched's remove-the-pre-delta-file guarantee would miss
 // them; bumping the version makes v1 files degrade to recompute-on-miss.
-constexpr uint32_t kSpillVersion = 2;
+// v3: a serde::Checksum64 of the framed body follows the version word.
+// v2 frames had no integrity cover beyond serde's structural lengths, so
+// a flipped bit inside the key/payload/size regions still parsed and was
+// *served*; v3 rejects any bit-level damage (Stats::load_corrupt) and v2
+// files degrade to recompute-on-miss like every older format.
+constexpr uint32_t kSpillVersion = 3;
 constexpr char kSpillExtension[] = ".pit";
+
+/// "digest=<16 hex>" — the entry-naming context every degradation-path
+/// status message carries, so chaos diagnostics and wire-protocol error
+/// responses can name the failing entry instead of a bare code.
+std::string DigestTag(uint64_t digest) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string tag = "digest=";
+  for (int i = 15; i >= 0; --i) {
+    tag.push_back(kHex[(digest >> (4 * i)) & 0xf]);
+  }
+  return tag;
+}
 
 std::string DigestFileName(uint64_t digest) {
   static const char kHex[] = "0123456789abcdef";
@@ -41,12 +59,21 @@ std::string DigestFileName(uint64_t digest) {
 Status WriteSpillFile(const std::string& dir, uint64_t digest,
                       const std::string& key, const std::string& prepared,
                       size_t size_bytes) {
+  // v3 frame: [magic u32][version u32][checksum u64][body], where body is
+  // PutBytes(key) + PutBytes(prepared) + PutU64(size_bytes) and the
+  // checksum covers exactly the body bytes. The header is validated
+  // structurally on Load; everything the store would *serve* is under the
+  // checksum, so bit rot can only ever degrade to recompute-on-miss.
+  std::string body;
+  serde::PutBytes(&body, key);
+  serde::PutBytes(&body, prepared);
+  serde::PutU64(&body, static_cast<uint64_t>(size_bytes));
   std::string framed;
+  framed.reserve(body.size() + 16);
   serde::PutU32(&framed, kSpillMagic);
   serde::PutU32(&framed, kSpillVersion);
-  serde::PutBytes(&framed, key);
-  serde::PutBytes(&framed, prepared);
-  serde::PutU64(&framed, static_cast<uint64_t>(size_bytes));
+  serde::PutU64(&framed, serde::Checksum64(body));
+  framed.append(body);
   const fs::path path = fs::path(dir) / DigestFileName(digest);
   // Write-then-rename: a concurrent Load never observes a half-written
   // frame under the published name — it either sees the old complete file
@@ -54,27 +81,42 @@ Status WriteSpillFile(const std::string& dir, uint64_t digest,
   const fs::path tmp = path.string() + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::Internal("cannot open spill file " + tmp.string());
+    if (!out || PITRACT_FAILPOINT("spill.write")) {
+      std::error_code cleanup;
+      fs::remove(tmp, cleanup);  // a fired site must not strand the tmp
+      return Status::Internal("spill.write: cannot open spill file " +
+                              tmp.string() + " (" + DigestTag(digest) + ")");
     }
     out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
     // Close explicitly and re-check: a buffered write can fail only at
     // flush time (e.g. ENOSPC), and returning OK on a truncated file
     // would silently lose the warm cache.
     out.close();
-    if (!out) {
+    if (!out || PITRACT_FAILPOINT("spill.short_write")) {
       std::error_code ec;
       fs::remove(tmp, ec);
-      return Status::Internal("short write to spill file " + tmp.string());
+      return Status::Internal("spill.write: short write to spill file " +
+                              tmp.string() + " (" + DigestTag(digest) + ")");
     }
+  }
+  // Fault-injection edge evaluated *before* the real rename: a fired site
+  // must leave the filesystem exactly like a failed rename would — tmp
+  // cleaned up, nothing published under the final name.
+  if (PITRACT_FAILPOINT("spill.rename")) {
+    std::error_code cleanup;
+    fs::remove(tmp, cleanup);
+    return Status::Internal("spill.rename: cannot publish spill file " +
+                            path.string() + " (" + DigestTag(digest) +
+                            "): failpoint fired");
   }
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
     std::error_code cleanup;
     fs::remove(tmp, cleanup);
-    return Status::Internal("cannot publish spill file " + path.string() +
-                            ": " + ec.message());
+    return Status::Internal("spill.rename: cannot publish spill file " +
+                            path.string() + " (" + DigestTag(digest) +
+                            "): " + ec.message());
   }
   return Status::OK();
 }
@@ -267,6 +309,10 @@ std::shared_ptr<const void> PreparedStore::BuildView(
     const EntryOptions& entry_options,
     const std::shared_ptr<const std::string>& prepared, CostMeter* meter) {
   if (!entry_options.make_view) return nullptr;
+  // Fault-injection edge for view deserialization: a fired site behaves
+  // exactly like a PiWitness::deserialize that rejected the payload — the
+  // entry serves the string path (and negative-caches the failure).
+  if (PITRACT_FAILPOINT("store.view_build")) return nullptr;
   Result<std::shared_ptr<const void>> view =
       Status::Internal("view build did not run");
   try {
@@ -509,21 +555,34 @@ Result<PreparedStore::PreparedView> PreparedStore::GetOrComputeView(
   // and take the same failure path as a Status-returning Π.
   if (hit != nullptr) *hit = false;
   Result<std::string> prepared = Status::Internal("Π did not run");
-  try {
-    prepared = compute(meter);
-  } catch (const std::exception& e) {
-    prepared = Status::Internal(std::string("Π threw: ") + e.what());
-  } catch (...) {
-    prepared = Status::Internal("Π threw a non-exception");
+  // Fault-injection edge for the Π build itself (the miss-storm winner
+  // path every Prepare and blocking AnswerBatch funnels into): a fired
+  // site is indistinguishable from a Π that failed mid-preprocess.
+  if (PITRACT_FAILPOINT("store.pi_build")) {
+    prepared = Status::Internal("failpoint store.pi_build fired");
+  } else {
+    try {
+      prepared = compute(meter);
+    } catch (const std::exception& e) {
+      prepared = Status::Internal(std::string("Π threw: ") + e.what());
+    } catch (...) {
+      prepared = Status::Internal("Π threw a non-exception");
+    }
   }
   if (!prepared.ok()) {
     {
       std::lock_guard<std::mutex> lock(shard.mutex);
       shard.inflight.erase(*key.bytes);
     }
-    flight->result = prepared.status();
+    // Name the failing entry: the winner's status fans out to every
+    // waiter on the shared_future and up through pipeline completions,
+    // where a bare "Π exploded" is undebuggable.
+    const Status failed(prepared.status().code(),
+                        "Π build failed (" + DigestTag(digest) +
+                            "): " + prepared.status().message());
+    flight->result = failed;
     flight->done.set_value();
-    return prepared.status();
+    return failed;
   }
 
   EntryPtr entry = std::make_shared<Entry>();
@@ -619,7 +678,9 @@ Status PreparedStore::UpdateData(std::string_view problem,
           LocalStats().patch_fallbacks.fetch_add(1,
                                                  std::memory_order_relaxed);
           return Status::Unavailable(
-              "Π(old data) still in flight after retry; not re-keying");
+              "store.patch: Π(old data) still in flight after retry; not "
+              "re-keying (" +
+              DigestTag(old_digest) + ")");
         }
         flight = in->second;
       } else {
@@ -628,7 +689,9 @@ Status PreparedStore::UpdateData(std::string_view problem,
         if (it == table->end() || !EntryMatches(*it->second, old_key)) {
           LocalStats().patch_fallbacks.fetch_add(1,
                                                  std::memory_order_relaxed);
-          return Status::NotFound("no resident Π for the pre-delta data part");
+          return Status::NotFound(
+              "store.patch: no resident Π for the pre-delta data part (" +
+              DigestTag(old_digest) + ")");
         }
         if (it->second->superseded.load(std::memory_order_acquire)) {
           // A concurrent delta already advanced this version: version
@@ -637,7 +700,9 @@ Status PreparedStore::UpdateData(std::string_view problem,
           LocalStats().patch_fallbacks.fetch_add(1,
                                                  std::memory_order_relaxed);
           return Status::Unavailable(
-              "pre-delta version already superseded; not forking the chain");
+              "store.patch: pre-delta version already superseded; not "
+              "forking the chain (" +
+              DigestTag(old_digest) + ")");
         }
         old_entry = it->second;
       }
@@ -652,10 +717,23 @@ Status PreparedStore::UpdateData(std::string_view problem,
   // old shared_ptr keep a consistent pre-delta snapshot throughout.
   if (meter != nullptr) meter->AddSerial(1);  // the digest probe
   std::string patched = *snapshot;
-  Status status = patch(&patched, meter);
+  Status status;
+  // Fault-injection edge for the Δ-patch hook: a fired site behaves like
+  // a PreparedPatchFn that errored mid-batch — the resident entry is
+  // untouched and the post-delta data recomputes on its first miss.
+  if (PITRACT_FAILPOINT("store.patch")) {
+    status = Status::Internal("failpoint store.patch fired");
+  } else {
+    status = patch(&patched, meter);
+  }
   if (!status.ok()) {
     LocalStats().patch_fallbacks.fetch_add(1, std::memory_order_relaxed);
-    return status;  // entry untouched; new data recomputes on miss
+    // Entry untouched; new data recomputes on miss. Name the lineage hop
+    // the failed hook was asked to make.
+    return Status(status.code(), "store.patch: Δ-patch hook failed (" +
+                                     DigestTag(old_digest) + " -> " +
+                                     DigestTag(new_digest) +
+                                     "): " + status.message());
   }
   EntryPtr fresh = std::make_shared<Entry>();
   fresh->key = new_key.bytes;
@@ -697,7 +775,8 @@ Status PreparedStore::UpdateData(std::string_view problem,
       // degrade to recompute-on-miss instead.
       LocalStats().patch_fallbacks.fetch_add(1, std::memory_order_relaxed);
       return Status::Unavailable(
-          "Π(old data) changed while patching; not re-keying");
+          "store.patch: Π(old data) changed while patching; not re-keying (" +
+          DigestTag(old_digest) + ")");
     }
     fresh->last_used.store(tick_.fetch_add(1, std::memory_order_relaxed) + 1,
                            std::memory_order_relaxed);
@@ -865,6 +944,11 @@ void PreparedStore::RespillPatched(
                                       size_bytes);
       if (written.ok()) {
         LocalStats().spilled.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        // The rewrite stays best-effort (Load degrades a missing/stale
+        // file to recompute-on-miss) but is no longer *silent*: a dying
+        // disk shows up in stats() instead of only after a restart.
+        LocalStats().respill_failures.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -1049,10 +1133,24 @@ Status PreparedStore::Spill(const std::string& dir) const {
   }
   std::vector<std::string> written;
   written.reserve(snapshots.size());
+  Status first_failure;
+  int64_t spilled = 0;
+  int64_t failures = 0;
   for (const Snapshot& snapshot : snapshots) {
-    PITRACT_RETURN_IF_ERROR(WriteSpillFile(dir, snapshot.digest, snapshot.key,
-                                           *snapshot.prepared,
-                                           snapshot.size_bytes));
+    Status wrote = WriteSpillFile(dir, snapshot.digest, snapshot.key,
+                                  *snapshot.prepared, snapshot.size_bytes);
+    if (!wrote.ok()) {
+      // One bad write must not lose the rest of the warm set: keep
+      // spilling, count the failure, and report the first error after the
+      // pass. The failed digest still lands in `written` so the sweep
+      // below keeps any *older* file for it — spill files are
+      // content-addressed, so an earlier file under the same digest holds
+      // the same payload and is strictly better than nothing.
+      ++failures;
+      if (first_failure.ok()) first_failure = wrote;
+    } else {
+      ++spilled;
+    }
     written.push_back(DigestFileName(snapshot.digest));
   }
   // Drop stale spill files from earlier spills (entries since evicted or
@@ -1070,11 +1168,11 @@ Status PreparedStore::Spill(const std::string& dir) const {
       fs::remove(dirent.path(), ec);
     }
   }
-  LocalStats().spilled.fetch_add(static_cast<int64_t>(snapshots.size()),
-                                 std::memory_order_relaxed);
+  LocalStats().spilled.fetch_add(spilled, std::memory_order_relaxed);
+  LocalStats().respill_failures.fetch_add(failures, std::memory_order_relaxed);
   // Remember the active spill directory so Δ-patches keep it current.
   spill_dir_ = dir;
-  return Status::OK();
+  return first_failure;
 }
 
 Result<size_t> PreparedStore::Load(const std::string& dir) {
@@ -1098,22 +1196,44 @@ Result<size_t> PreparedStore::Load(const std::string& dir) {
         dirent.path().extension() != kSpillExtension) {
       continue;
     }
+    // Fault-injection edge for spill-read I/O: a fired site behaves like
+    // a file the filesystem refused to open.
     std::ifstream in(dirent.path(), std::ios::binary);
-    if (!in) continue;
+    if (!in || PITRACT_FAILPOINT("spill.read")) {
+      LocalStats().load_skipped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     std::string framed((std::istreambuf_iterator<char>(in)),
                        std::istreambuf_iterator<char>());
     serde::Reader reader(framed);
     auto magic = reader.ReadU32();
     auto version = magic.ok() ? reader.ReadU32() : magic;
     if (!version.ok() || *magic != kSpillMagic || *version != kSpillVersion) {
-      continue;  // not ours / corrupt: degrade to recompute-on-miss
+      // Not ours: a foreign file, or an older/newer frame format. Not a
+      // data-integrity signal — expected after a version bump.
+      LocalStats().load_skipped.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Ours by magic+version: from here every rejection is *corruption*
+    // (torn frame or bit rot) and degrades to recompute-on-miss.
+    auto checksum = reader.ReadU64();
+    if (!checksum.ok() ||
+        *checksum != serde::Checksum64(
+                         std::string_view(framed).substr(reader.consumed()))) {
+      LocalStats().load_corrupt.fetch_add(1, std::memory_order_relaxed);
+      continue;
     }
     auto key = reader.ReadBytes();
-    if (!key.ok()) continue;
-    auto prepared = reader.ReadBytes();
-    if (!prepared.ok()) continue;
+    auto prepared = key.ok() ? reader.ReadBytes() : key;
     auto size_bytes = reader.ReadU64();
-    if (!size_bytes.ok() || !reader.exhausted()) continue;
+    if (!key.ok() || !prepared.ok() || !size_bytes.ok() ||
+        !reader.exhausted()) {
+      // Structurally torn behind a valid checksum header — only reachable
+      // when the checksum itself was forged or a decode failpoint fired,
+      // but the degradation contract is identical.
+      LocalStats().load_corrupt.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
 
     EntryPtr entry = std::make_shared<Entry>();
     entry->key = std::make_shared<const std::string>(std::move(key).value());
@@ -1190,6 +1310,10 @@ PreparedStore::Stats PreparedStore::stats() const {
         slot.update_retries.load(std::memory_order_relaxed);
     stats.lineage_resolves +=
         slot.lineage_resolves.load(std::memory_order_relaxed);
+    stats.respill_failures +=
+        slot.respill_failures.load(std::memory_order_relaxed);
+    stats.load_skipped += slot.load_skipped.load(std::memory_order_relaxed);
+    stats.load_corrupt += slot.load_corrupt.load(std::memory_order_relaxed);
   }
   return stats;
 }
@@ -1238,6 +1362,9 @@ void PreparedStore::ResetStats() {
     slot.locked_hits.store(0, std::memory_order_relaxed);
     slot.update_retries.store(0, std::memory_order_relaxed);
     slot.lineage_resolves.store(0, std::memory_order_relaxed);
+    slot.respill_failures.store(0, std::memory_order_relaxed);
+    slot.load_skipped.store(0, std::memory_order_relaxed);
+    slot.load_corrupt.store(0, std::memory_order_relaxed);
   }
 }
 

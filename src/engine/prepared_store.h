@@ -144,6 +144,22 @@ class PreparedStore {
     /// as a hit. The stale-handle race fix's visible signature: readers
     /// survive a re-key with zero spurious Π rebuilds.
     int64_t lineage_resolves = 0;
+    /// Spill-file writes that failed — per-entry errors in a Spill pass
+    /// (the pass continues; see Spill) and failed best-effort rewrites
+    /// after a Δ-patch. Each leaves a missing/stale file that Load already
+    /// degrades to recompute-on-miss; a climbing counter is the operator's
+    /// dying-disk signal, where these failures used to be invisible.
+    int64_t respill_failures = 0;
+    /// Load-pass files skipped for *non-corruption* reasons: foreign magic,
+    /// an older/newer spill format version, or an unreadable file. Expected
+    /// after a format bump; not a data-integrity signal.
+    int64_t load_skipped = 0;
+    /// Load-pass files rejected as corrupt: checksum mismatch (bit rot in
+    /// the key/payload/size regions) or a structurally torn frame behind a
+    /// valid magic+version header. Every rejection degrades to
+    /// recompute-on-miss — a non-zero counter means the spill medium
+    /// damaged bytes that would otherwise have been *served*.
+    int64_t load_corrupt = 0;
   };
 
   /// Legacy convenience: an entry-capped store with auto sharding.
@@ -288,13 +304,22 @@ class PreparedStore {
                     const EntryOptions& entry_options);
 
   /// Serializes every resident spillable entry to `dir` (created if
-  /// missing), one serde-framed file per entry, so a restarted engine can
-  /// rehydrate its warm cache with Load.
+  /// missing), one checksummed serde-framed file per entry, so a restarted
+  /// engine can rehydrate its warm cache with Load. Per-entry write
+  /// failures do not abort the pass: the remaining entries still spill
+  /// (each failure counts in Stats::respill_failures and leaves any older
+  /// file for its digest in place), and the first failure's status — site
+  /// and digest named in the message — is returned after the pass so
+  /// callers still observe that the directory is degraded.
   Status Spill(const std::string& dir) const;
 
   /// Loads every well-formed spill file under `dir` into the store and
-  /// returns how many entries were rehydrated. Corrupt or truncated files
-  /// are skipped (they degrade to recompute-on-miss); eviction runs
+  /// returns how many entries were rehydrated. Files that are not ours
+  /// (foreign magic, older format version, unreadable) are skipped
+  /// (Stats::load_skipped); files with a valid header but a torn frame or
+  /// a payload-checksum mismatch are rejected as corrupt
+  /// (Stats::load_corrupt). Both degrade to recompute-on-miss — Load
+  /// never admits bytes the checksum cannot vouch for. Eviction runs
   /// afterwards so the budget holds even for an over-budget spill set.
   Result<size_t> Load(const std::string& dir);
 
@@ -496,6 +521,9 @@ class PreparedStore {
     std::atomic<int64_t> locked_hits{0};
     std::atomic<int64_t> update_retries{0};
     std::atomic<int64_t> lineage_resolves{0};
+    std::atomic<int64_t> respill_failures{0};
+    std::atomic<int64_t> load_skipped{0};
+    std::atomic<int64_t> load_corrupt{0};
   };
   static constexpr size_t kStatSlots = 16;  // power of two
 

@@ -90,6 +90,19 @@ struct ServeReport {
   /// answer workers.
   int64_t preparer_busy_ns = 0;
   int preparers = 0;  // resolved preparer count
+  // --- Π-failure policy visibility (see PipelineOptions::pi_retries /
+  // quarantine_ttl_ns) -------------------------------------------------------
+  /// Π builds that exhausted the retry budget and failed terminally —
+  /// each fails its parked items and (with quarantine on) poisons the
+  /// digest for quarantine_ttl_ns.
+  int64_t pi_failures = 0;
+  /// Individual Π retry attempts made by the preparer pool (a build that
+  /// succeeds on attempt 3 contributes 2 here and 0 to pi_failures).
+  int64_t pi_retries = 0;
+  /// Work items failed *fast* with Status::Internal because their digest
+  /// was quarantined — the retry storm the negative cache absorbed. Also
+  /// counted in `errors`.
+  int64_t quarantined = 0;
 };
 
 /// Drives `workload` through the completion pipeline (engine/pipeline.h)

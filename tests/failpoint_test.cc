@@ -1,0 +1,174 @@
+// Coverage for the fault-injection subsystem (common/failpoint.h): policy
+// semantics (always / once / every-Nth / seeded probability), the global
+// enable switch, site stats, the RAII guard, and determinism of seeded
+// schedules.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+
+namespace pitract {
+namespace failpoint {
+namespace {
+
+TEST(FailpointTest, DisarmedProcessNeverFires) {
+  DisarmAll();
+  EXPECT_FALSE(Enabled());
+  // The macro's short-circuit: a disarmed process never even reaches
+  // ShouldFail, so an unknown site is free.
+  EXPECT_FALSE(PITRACT_FAILPOINT("no.such.site"));
+  EXPECT_TRUE(ArmedSites().empty());
+}
+
+TEST(FailpointTest, ArmingFlipsTheGlobalSwitchAndDisarmingRestoresIt) {
+  ScopedFailpoints guard;
+  EXPECT_FALSE(Enabled());
+  Arm("a", Never());
+  EXPECT_TRUE(Enabled());
+  Arm("b", Never());
+  Disarm("a");
+  EXPECT_TRUE(Enabled());  // "b" still armed
+  Disarm("b");
+  EXPECT_FALSE(Enabled());  // last site out turns the switch off
+}
+
+TEST(FailpointTest, UnknownSiteDoesNotFireEvenWhenEnabled) {
+  ScopedFailpoints guard;
+  Arm("known", Always());
+  EXPECT_FALSE(PITRACT_FAILPOINT("unknown"));
+  EXPECT_TRUE(PITRACT_FAILPOINT("known"));
+}
+
+TEST(FailpointTest, AlwaysPolicyFiresEveryEvaluation) {
+  ScopedFailpoints guard;
+  Arm("site", Always());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(PITRACT_FAILPOINT("site"));
+  }
+  const SiteStats stats = StatsFor("site");
+  EXPECT_EQ(stats.evaluations, 10);
+  EXPECT_EQ(stats.fires, 10);
+}
+
+TEST(FailpointTest, OncePolicyFiresExactlyOnce) {
+  ScopedFailpoints guard;
+  Arm("site", Once());
+  EXPECT_TRUE(PITRACT_FAILPOINT("site"));
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_FALSE(PITRACT_FAILPOINT("site"));
+  }
+  const SiteStats stats = StatsFor("site");
+  EXPECT_EQ(stats.evaluations, 10);
+  EXPECT_EQ(stats.fires, 1);
+}
+
+TEST(FailpointTest, EveryNthFiresOnTheNthEvaluation) {
+  ScopedFailpoints guard;
+  Arm("site", EveryNth(3));
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) {
+    fired.push_back(PITRACT_FAILPOINT("site"));
+  }
+  int fires = 0;
+  for (size_t i = 0; i < fired.size(); ++i) {
+    if (fired[i]) ++fires;
+  }
+  EXPECT_EQ(fires, 3);
+  // Exactly one fire per period of three.
+  for (size_t base = 0; base < 9; base += 3) {
+    EXPECT_TRUE(fired[base] || fired[base + 1] || fired[base + 2]);
+  }
+  EXPECT_EQ(StatsFor("site").fires, 3);
+}
+
+TEST(FailpointTest, ProbabilityScheduleIsDeterministicFromItsSeed) {
+  std::vector<bool> first;
+  {
+    ScopedFailpoints guard;
+    Arm("site", WithProbability(0.5, 42));
+    for (int i = 0; i < 64; ++i) first.push_back(PITRACT_FAILPOINT("site"));
+  }
+  std::vector<bool> second;
+  {
+    ScopedFailpoints guard;
+    Arm("site", WithProbability(0.5, 42));
+    for (int i = 0; i < 64; ++i) second.push_back(PITRACT_FAILPOINT("site"));
+  }
+  EXPECT_EQ(first, second);  // same seed, same schedule — bit for bit
+  // And it is a *mixed* schedule at p = 0.5 over 64 draws (the chance of
+  // all-true or all-false is 2^-63).
+  int fires = 0;
+  for (size_t i = 0; i < first.size(); ++i) {
+    if (first[i]) ++fires;
+  }
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 64);
+}
+
+TEST(FailpointTest, ProbabilityBoundsAreExact) {
+  ScopedFailpoints guard;
+  Arm("never", WithProbability(0.0, 7));
+  Arm("surely", WithProbability(1.0, 7));
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(PITRACT_FAILPOINT("never"));
+    EXPECT_TRUE(PITRACT_FAILPOINT("surely"));
+  }
+}
+
+TEST(FailpointTest, RearmingResetsCountersAndPolicy) {
+  ScopedFailpoints guard;
+  Arm("site", Once());
+  EXPECT_TRUE(PITRACT_FAILPOINT("site"));
+  EXPECT_FALSE(PITRACT_FAILPOINT("site"));
+  Arm("site", Once());  // re-arm: the "once" budget refills
+  EXPECT_TRUE(PITRACT_FAILPOINT("site"));
+  const SiteStats stats = StatsFor("site");
+  EXPECT_EQ(stats.evaluations, 1);
+  EXPECT_EQ(stats.fires, 1);
+}
+
+TEST(FailpointTest, ArmedSitesListsEverySite) {
+  ScopedFailpoints guard;
+  Arm("b.site", Never());
+  Arm("a.site", Never());
+  std::vector<std::string> sites = ArmedSites();
+  EXPECT_EQ(sites.size(), 2u);
+  bool saw_a = false;
+  bool saw_b = false;
+  for (const std::string& site : sites) {
+    saw_a = saw_a || site == "a.site";
+    saw_b = saw_b || site == "b.site";
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_b);
+}
+
+TEST(FailpointTest, ConcurrentEvaluationCountsEveryArrival) {
+  ScopedFailpoints guard;
+  Arm("site", EveryNth(2));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 250;
+  std::atomic<int> fires{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (PITRACT_FAILPOINT("site")) fires.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const SiteStats stats = StatsFor("site");
+  EXPECT_EQ(stats.evaluations, kThreads * kPerThread);
+  EXPECT_EQ(stats.fires, fires.load());
+  EXPECT_EQ(fires.load(), kThreads * kPerThread / 2);
+}
+
+}  // namespace
+}  // namespace failpoint
+}  // namespace pitract

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/rng.h"
 #include "common/serde.h"
 #include "core/problems.h"
@@ -845,6 +846,112 @@ TEST(PreparedStorePersistenceTest, CorruptSpillFilesAreSkipped) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(*loaded, 1u);  // only the well-formed file
   EXPECT_TRUE(restarted.Contains("p", "w", "d"));
+  // Neither bad file is a *corruption* signal: foreign magic and an old
+  // frame version are expected after upgrades, so both count as skips.
+  auto stats = restarted.stats();
+  EXPECT_EQ(stats.load_skipped, 2);
+  EXPECT_EQ(stats.load_corrupt, 0);
+  fs::remove_all(dir);
+}
+
+TEST(PreparedStorePersistenceTest, LoadClassifiesBitRotAsCorrupt) {
+  const std::string dir = UniqueTempDir("bitrot");
+  PreparedStore store;
+  ASSERT_TRUE(store
+                  .GetOrCompute("p", "w", "d",
+                                [](CostMeter*) -> Result<std::string> {
+                                  return std::string("payload-bytes");
+                                })
+                  .ok());
+  ASSERT_TRUE(store.Spill(dir).ok());
+  // Flip one bit somewhere in the body of the (only) spilled frame.
+  fs::path victim;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) victim = entry.path();
+  }
+  ASSERT_FALSE(victim.empty());
+  std::string framed;
+  {
+    std::ifstream in(victim, std::ios::binary);
+    framed.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(framed.size(), 24u);
+  framed[framed.size() / 2] =
+      static_cast<char>(static_cast<unsigned char>(framed[framed.size() / 2]) ^
+                        0x01);
+  {
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out << framed;
+  }
+  PreparedStore restarted;
+  auto loaded = restarted.Load(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 0u);
+  EXPECT_FALSE(restarted.Contains("p", "w", "d"));
+  auto stats = restarted.stats();
+  EXPECT_EQ(stats.load_corrupt, 1);  // valid header, checksum mismatch
+  EXPECT_EQ(stats.load_skipped, 0);
+  fs::remove_all(dir);
+}
+
+TEST(PreparedStorePersistenceTest, SpillFailuresAreCountedAndBestEffort) {
+  const std::string dir = UniqueTempDir("spill_fail");
+  PreparedStore store;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store
+                    .GetOrCompute("p", "w", "d" + std::to_string(i),
+                                  [i](CostMeter*) -> Result<std::string> {
+                                    return "pi" + std::to_string(i);
+                                  })
+                    .ok());
+  }
+  {
+    failpoint::ScopedFailpoints guard;
+    failpoint::Arm("spill.write", failpoint::EveryNth(2));  // 2nd write dies
+    auto status = store.Spill(dir);
+    // Best effort: the pass visits every entry, counts each failure, and
+    // returns the first error instead of aborting at it.
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("spill.write"), std::string::npos);
+    EXPECT_NE(status.message().find("digest="), std::string::npos);
+    auto stats = store.stats();
+    EXPECT_EQ(stats.respill_failures, 1);
+    EXPECT_EQ(stats.spilled, 2);  // the other two entries still landed
+  }
+  // With the fault cleared the full spill succeeds and a restart recovers
+  // every entry.
+  ASSERT_TRUE(store.Spill(dir).ok());
+  PreparedStore restarted;
+  auto loaded = restarted.Load(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 3u);
+  fs::remove_all(dir);
+}
+
+TEST(PreparedStorePersistenceTest, RenameFailpointLeavesNoPublishedFrame) {
+  const std::string dir = UniqueTempDir("rename_fail");
+  PreparedStore store;
+  ASSERT_TRUE(store
+                  .GetOrCompute("p", "w", "d",
+                                [](CostMeter*) -> Result<std::string> {
+                                  return std::string("pi");
+                                })
+                  .ok());
+  {
+    failpoint::ScopedFailpoints guard;
+    failpoint::Arm("spill.rename", failpoint::Always());
+    auto status = store.Spill(dir);
+    EXPECT_FALSE(status.ok());
+    EXPECT_NE(status.message().find("spill.rename"), std::string::npos);
+    EXPECT_EQ(store.stats().respill_failures, 1);
+  }
+  // Write-tmp-then-rename atomicity: an unpublished spill never becomes a
+  // loadable frame.
+  PreparedStore restarted;
+  auto loaded = restarted.Load(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, 0u);
   fs::remove_all(dir);
 }
 
