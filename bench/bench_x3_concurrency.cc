@@ -168,24 +168,18 @@ int RunColdScaling(const Config& config, std::FILE* json, unsigned hw,
                 static_cast<long long>(report.pi_runs), report.wall_seconds,
                 report.queries_per_second);
     if (json != nullptr) {
+      // Row identity + derived rates stay inline; every counter comes from
+      // the one ServeReport::ToJson() blob instead of a hand-picked subset.
       std::fprintf(json,
                    "{\"bench\":\"x3_concurrency\",\"threads\":%d,"
-                   "\"data_parts\":%d,\"batches\":%lld,\"queries\":%lld,"
-                   "\"pi_runs\":%lld,\"cache_hits\":%lld,\"seconds\":%.6f,"
-                   "\"wall_ns\":%.0f,\"ns_per_query\":%.1f,"
-                   "\"queries_per_second\":%.1f,"
-                   "\"hardware_concurrency\":%u}\n",
-                   threads, config.data_parts,
-                   static_cast<long long>(report.batches),
-                   static_cast<long long>(report.queries),
-                   static_cast<long long>(report.pi_runs),
-                   static_cast<long long>(report.cache_hits),
-                   report.wall_seconds, report.wall_seconds * 1e9,
+                   "\"data_parts\":%d,\"wall_ns\":%.0f,\"ns_per_query\":%.1f,"
+                   "\"hardware_concurrency\":%u,\"report\":%s}\n",
+                   threads, config.data_parts, report.wall_seconds * 1e9,
                    report.queries > 0
                        ? report.wall_seconds * 1e9 /
                              static_cast<double>(report.queries)
                        : 0.0,
-                   report.queries_per_second, hw);
+                   hw, report.ToJson().c_str());
       ++(*json_lines);
     }
   }
@@ -295,24 +289,21 @@ int RunWarmContention(const Config& config, std::FILE* json, unsigned hw,
                   report.wall_seconds, report.queries_per_second,
                   static_cast<long long>(stats.locked_hits));
       if (json != nullptr) {
+        // Serving-side counters via ServeReport::ToJson(), store-side (the
+        // locked_hits/key_builds proof) via Stats::ToJson() — two embedded
+        // blobs, no hand-formatted counter subset.
         std::fprintf(json,
                      "{\"bench\":\"x3_contention\",\"distribution\":\"%s\","
-                     "\"threads\":%d,\"data_parts\":%d,\"batches\":%lld,"
-                     "\"queries\":%lld,\"locked_hits\":%lld,"
-                     "\"key_builds\":%lld,\"seconds\":%.6f,\"wall_ns\":%.0f,"
-                     "\"ns_per_query\":%.1f,\"queries_per_second\":%.1f,"
-                     "\"hardware_concurrency\":%u}\n",
+                     "\"threads\":%d,\"data_parts\":%d,\"wall_ns\":%.0f,"
+                     "\"ns_per_query\":%.1f,\"hardware_concurrency\":%u,"
+                     "\"report\":%s,\"store\":%s}\n",
                      distribution, threads, config.data_parts,
-                     static_cast<long long>(report.batches),
-                     static_cast<long long>(report.queries),
-                     static_cast<long long>(stats.locked_hits),
-                     static_cast<long long>(stats.key_builds),
-                     report.wall_seconds, report.wall_seconds * 1e9,
+                     report.wall_seconds * 1e9,
                      report.queries > 0
                          ? report.wall_seconds * 1e9 /
                                static_cast<double>(report.queries)
                          : 0.0,
-                     report.queries_per_second, hw);
+                     hw, report.ToJson().c_str(), stats.ToJson().c_str());
         ++(*json_lines);
       }
     }

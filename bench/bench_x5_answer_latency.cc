@@ -449,12 +449,17 @@ int main(int argc, char** argv) {
                      "\"ns_per_query\":%.1f,\"qps_per_core\":%.0f,"
                      "\"bytes_per_query\":%.1f,"
                      "\"answer_work_per_query\":%.1f,"
-                     "\"hardware_concurrency\":%d}\n",
+                     "\"hardware_concurrency\":%d,"
+                     "\"store\":%s}\n",
                      bc.name, static_cast<long long>(bc.n), batch_size,
                      kernel_point.batches, kernel_point.ns_per_query,
                      kernel_qps_per_core, kernel_point.bytes_per_query,
                      kernel_point.answer_work_per_query,
-                     hardware_concurrency);
+                     hardware_concurrency,
+                     // The whole store-counter blob (the key_builds /
+                     // locked_hits lock-free proof included) in one
+                     // Stats::ToJson() object instead of picked fields.
+                     stats_after.ToJson().c_str());
         const double scalar_qps_per_core =
             scalar_point.ns_per_query > 0 ? 1e9 / scalar_point.ns_per_query
                                           : -1;

@@ -1,0 +1,292 @@
+// X6 — cost-model-driven witness selection, end to end.
+//
+// graph-reachability registers two Π-witnesses for the same language
+// (engine/builtins.cc): the incremental transitive closure — expensive
+// build, O(1) probes — and the edge-scan twin — near-free build, BFS per
+// query. Neither extreme is right for a whole serving mix: the closure
+// wastes its build on parts that are barely queried, the scan wastes BFS
+// on parts that are hammered. This harness measures the aggregate
+// wall-clock ns/query (builds *included* — that is the point) of three
+// policies over identical workloads:
+//
+//   * adaptive  — CostModel::Policy::kAdaptive: per-part selection from
+//     the static descriptors blended with measured CostProfiles, with
+//     power-of-two traffic triggers re-selecting parts that turn hot;
+//   * cheap     — edge-scan forced for every part (ForceWitness(1));
+//   * expensive — closure forced for every part (ForceWitness(0)).
+//
+// Rows cover two data sizes × two traffic shapes. Under zipf(0.99) the
+// optimal witness genuinely differs per part — the traffic head amortizes
+// a closure build, the tail never does — so the adaptive policy must beat
+// *both* extremes outright. Under uniform traffic every part sees the
+// same (low) volume, the per-part optimum is one witness everywhere, and
+// the best any policy can do is match the better extreme — the adaptive
+// row checks it converges there instead of paying for unamortized builds.
+// That is this PR's acceptance line, and the `dominates` field in every
+// acceptance JSON row makes it diffable. One JSON line per (row, policy)
+// plus one acceptance line per row is appended to BENCH_x6_adaptive.json
+// (or argv[1]); each policy row embeds the full PreparedStore::Stats
+// blob, so witness flips are visible as extra misses and `locked_hits`
+// (which must stay 0 — tiers are on by default — and is test-asserted in
+// engine_test) is in the artifact. A trailing "tiny" argument shrinks
+// every size so CI can smoke the emitters.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/problems.h"
+#include "engine/builtins.h"
+#include "engine/cost_model.h"
+#include "engine/engine.h"
+#include "graph/generators.h"
+
+namespace {
+
+using pitract::Rng;
+using pitract::engine::CostModel;
+using pitract::engine::QueryEngine;
+using pitract::engine::RegisterBuiltins;
+
+constexpr char kProblem[] = "graph-reachability";
+constexpr int kQueriesPerBatch = 8;
+
+struct Part {
+  std::string data;
+  int64_t n = 0;  // node count (query endpoints draw from [0, n))
+};
+
+/// One pre-generated batch event: every policy replays the identical
+/// (part, queries) sequence, so the only difference between runs is the
+/// witness each policy builds and answers through.
+struct Event {
+  int part = 0;
+  std::vector<std::string> queries;
+};
+
+struct RowConfig {
+  const char* scale;
+  int64_t n;        // nodes per part (4n directed edges)
+  int parts;        // pool size
+  int zipf_events;  // batch events for the zipf(0.99) row
+  int uniform_events_per_part;  // uniform row: events = parts * this
+};
+
+std::vector<Part> MakePool(const RowConfig& cfg, Rng* rng) {
+  std::vector<Part> pool;
+  pool.reserve(static_cast<size_t>(cfg.parts));
+  for (int i = 0; i < cfg.parts; ++i) {
+    auto g = pitract::graph::ErdosRenyi(
+        static_cast<pitract::graph::NodeId>(cfg.n), 4 * cfg.n,
+        /*directed=*/true, rng);
+    Part p;
+    p.n = cfg.n;
+    p.data = pitract::core::ReachFactorization()
+                 .pi1(pitract::core::MakeReachInstance(g, 0, 0))
+                 .value();
+    pool.push_back(std::move(p));
+  }
+  return pool;
+}
+
+std::vector<Event> MakeEvents(const std::vector<Part>& pool, int num_events,
+                              bool zipf, Rng* rng) {
+  // Shuffle the zipf rank -> part mapping so the traffic head is an
+  // arbitrary subset of the pool, exactly as a serving mix would see it.
+  std::vector<int64_t> rank_to_part =
+      rng->Permutation(static_cast<int64_t>(pool.size()));
+  std::vector<Event> events;
+  events.reserve(static_cast<size_t>(num_events));
+  for (int e = 0; e < num_events; ++e) {
+    Event ev;
+    ev.part = static_cast<int>(
+        zipf ? rank_to_part[rng->NextZipf(pool.size(), /*theta=*/0.99)]
+             : rng->NextBelow(pool.size()));
+    const auto n = static_cast<uint64_t>(pool[ev.part].n);
+    ev.queries.reserve(kQueriesPerBatch);
+    for (int q = 0; q < kQueriesPerBatch; ++q) {
+      ev.queries.push_back(std::to_string(rng->NextBelow(n)) + "#" +
+                           std::to_string(rng->NextBelow(n)));
+    }
+    events.push_back(std::move(ev));
+  }
+  return events;
+}
+
+struct PolicyResult {
+  double wall_ns = 0;
+  long long queries = 0;
+  std::string store_json;
+  long long locked_hits = 0;
+  long long pi_runs = 0;
+  bool ok = false;
+};
+
+PolicyResult RunPolicy(const char* policy, const std::vector<Part>& pool,
+                       const std::vector<Event>& events) {
+  QueryEngine engine;
+  PolicyResult result;
+  if (!RegisterBuiltins(&engine).ok()) return result;
+  if (std::strcmp(policy, "adaptive") == 0) {
+    engine.cost_model().SetPolicy(CostModel::Policy::kAdaptive);
+  } else if (std::strcmp(policy, "cheap") == 0) {
+    engine.cost_model().ForceWitness(1);  // edge-scan alternative
+  } else {
+    engine.cost_model().ForceWitness(0);  // closure primary
+  }
+  pitract_bench::WallTimer timer;
+  for (const Event& ev : events) {
+    auto answered =
+        engine.AnswerBatch(kProblem, pool[ev.part].data, ev.queries);
+    if (!answered.ok()) {
+      std::fprintf(stderr, "x6 %s: AnswerBatch failed: %s\n", policy,
+                   answered.status().ToString().c_str());
+      return result;
+    }
+    result.queries += static_cast<long long>(ev.queries.size());
+  }
+  result.wall_ns = static_cast<double>(timer.ElapsedNs());
+  const auto stats = engine.store().stats();
+  result.store_json = stats.ToJson();
+  result.locked_hits = static_cast<long long>(stats.locked_hits);
+  result.pi_runs = static_cast<long long>(stats.misses);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf(
+      "X6: adaptive witness selection vs static extremes.\n"
+      "graph-reachability pools at two data sizes under zipf(0.99) and\n"
+      "uniform batch traffic; aggregate wall ns/query *including builds*.\n"
+      "The adaptive cost model must meet or beat both cheap-always\n"
+      "(edge-scan) and expensive-always (closure) on every row.\n\n");
+
+  std::string json_path = "BENCH_x6_adaptive.json";
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "tiny") == 0) {
+      tiny = true;
+    } else if (argv[i][0] != '-') {
+      json_path = argv[i];
+    }
+  }
+  std::FILE* json = std::fopen(json_path.c_str(), "a");
+  if (json == nullptr) {
+    std::fprintf(stderr, "warning: cannot open %s; JSON lines skipped\n",
+                 json_path.c_str());
+  }
+
+  const std::vector<RowConfig> rows =
+      tiny ? std::vector<RowConfig>{{"tiny", 64, 16, 400, 2}}
+           : std::vector<RowConfig>{{"small", 64, 96, 2400, 3},
+                                    {"large", 256, 96, 4800, 3}};
+
+  int failures = 0;
+  int dominated_rows = 0;
+  int total_rows = 0;
+  std::printf("%-8s %-9s %-10s %12s %10s %8s %8s\n", "scale", "traffic",
+              "policy", "ns/query", "queries", "pi_runs", "locked");
+  std::printf(
+      "----------------------------------------------------------------------"
+      "\n");
+  for (const RowConfig& cfg : rows) {
+    Rng pool_rng(0x60001 + static_cast<uint64_t>(cfg.n));
+    const auto pool = MakePool(cfg, &pool_rng);
+    for (const bool zipf : {true, false}) {
+      const char* traffic = zipf ? "zipf0.99" : "uniform";
+      const int num_events =
+          zipf ? cfg.zipf_events : cfg.parts * cfg.uniform_events_per_part;
+      Rng event_rng(0x60002 + static_cast<uint64_t>(cfg.n) + (zipf ? 1 : 0));
+      const auto events = MakeEvents(pool, num_events, zipf, &event_rng);
+
+      double ns_per_query[3] = {0, 0, 0};
+      const char* policies[3] = {"adaptive", "cheap", "expensive"};
+      bool row_ok = true;
+      // Best of five fresh-engine runs per policy, *interleaved* so
+      // process warm-up (page cache, allocator arenas) is spread across
+      // policies instead of taxing whichever ran first. Each run rebuilds
+      // every witness from cold, so the repeat only damps noise.
+      PolicyResult best[3];
+      for (int rep = 0; rep < 5; ++rep) {
+        for (int p = 0; p < 3; ++p) {
+          auto result = RunPolicy(policies[p], pool, events);
+          if (result.ok &&
+              (!best[p].ok || result.wall_ns < best[p].wall_ns)) {
+            best[p] = std::move(result);
+          }
+        }
+      }
+      for (int p = 0; p < 3; ++p) {
+        PolicyResult& result = best[p];
+        if (!result.ok || result.queries == 0) {
+          ++failures;
+          row_ok = false;
+          continue;
+        }
+        ns_per_query[p] =
+            result.wall_ns / static_cast<double>(result.queries);
+        std::printf("%-8s %-9s %-10s %12.1f %10lld %8lld %8lld\n", cfg.scale,
+                    traffic, policies[p], ns_per_query[p], result.queries,
+                    result.pi_runs, result.locked_hits);
+        if (result.locked_hits != 0) {
+          std::fprintf(stderr,
+                       "x6 %s/%s/%s: locked_hits = %lld (warm path must stay "
+                       "lock-free with tiers enabled)\n",
+                       cfg.scale, traffic, policies[p], result.locked_hits);
+          ++failures;
+        }
+        if (json != nullptr) {
+          std::fprintf(json,
+                       "{\"bench\":\"x6_adaptive\",\"scale\":\"%s\","
+                       "\"distribution\":\"%s\",\"policy\":\"%s\","
+                       "\"parts\":%d,\"nodes\":%lld,"
+                       "\"batches\":%d,\"queries\":%lld,\"wall_ns\":%.0f,"
+                       "\"ns_per_query\":%.1f,\"store\":%s}\n",
+                       cfg.scale, traffic, policies[p], cfg.parts,
+                       static_cast<long long>(cfg.n), num_events,
+                       result.queries, result.wall_ns, ns_per_query[p],
+                       result.store_json.c_str());
+        }
+      }
+      if (!row_ok) continue;
+      // Acceptance: adaptive meets or beats both static extremes. The
+      // tolerance absorbs timer noise on rows where adaptive converges to
+      // the same witness mix as one extreme (uniform traffic below the
+      // reselect floor: both engines do identical work and should measure
+      // equal, so any gap is scheduler jitter on the cold builds).
+      const double tolerance = 1.05;
+      const bool dominates =
+          ns_per_query[0] <= ns_per_query[1] * tolerance &&
+          ns_per_query[0] <= ns_per_query[2] * tolerance;
+      ++total_rows;
+      if (dominates) ++dominated_rows;
+      std::printf("%-8s %-9s acceptance: adaptive %.1f vs cheap %.1f / "
+                  "expensive %.1f -> %s\n",
+                  cfg.scale, traffic, ns_per_query[0], ns_per_query[1],
+                  ns_per_query[2], dominates ? "DOMINATES" : "DOMINATED");
+      if (json != nullptr) {
+        std::fprintf(json,
+                     "{\"bench\":\"x6_adaptive\",\"row\":\"acceptance\","
+                     "\"scale\":\"%s\",\"distribution\":\"%s\","
+                     "\"adaptive_ns_per_query\":%.1f,"
+                     "\"cheap_ns_per_query\":%.1f,"
+                     "\"expensive_ns_per_query\":%.1f,\"dominates\":%s}\n",
+                     cfg.scale, traffic, ns_per_query[0], ns_per_query[1],
+                     ns_per_query[2], dominates ? "true" : "false");
+      }
+    }
+  }
+  if (json != nullptr) std::fclose(json);
+  std::printf("\nx6: %d/%d rows dominated, %d failures; JSON -> %s\n",
+              dominated_rows, total_rows, failures, json_path.c_str());
+  // Timing dominance is reported in the artifact rather than enforced as
+  // an exit code (CI smoke runs on noisy shared runners); hard failures —
+  // errors, a locked warm hit — do fail the process.
+  return failures == 0 ? 0 : 1;
+}

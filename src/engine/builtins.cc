@@ -92,15 +92,21 @@ Status RegisterBuiltins(QueryEngine* engine, const BuiltinOptions& options) {
   // disabled. Reduction-derived entries transport their target's witness
   // out of the registry, so stripping the direct registrations covers
   // them too.
-  auto register_entry = [engine, &options](ProblemEntry entry) {
+  auto strip_witness = [&options](core::PiWitness* w) {
     if (!options.enable_views) {
-      entry.witness.deserialize = nullptr;
-      entry.witness.answer_view = nullptr;
+      w->deserialize = nullptr;
+      w->answer_view = nullptr;
     }
     if (!options.enable_views || !options.enable_batch_kernels) {
-      entry.witness.decode_query = nullptr;
-      entry.witness.answer_view_decoded = nullptr;
-      entry.witness.answer_view_batch = nullptr;
+      w->decode_query = nullptr;
+      w->answer_view_decoded = nullptr;
+      w->answer_view_batch = nullptr;
+    }
+  };
+  auto register_entry = [engine, &strip_witness](ProblemEntry entry) {
+    strip_witness(&entry.witness);
+    for (WitnessAlternative& alt : entry.alternatives) {
+      strip_witness(&alt.witness);
     }
     return engine->Register(std::move(entry));
   };
@@ -122,6 +128,21 @@ Status RegisterBuiltins(QueryEngine* engine, const BuiltinOptions& options) {
       // Δ-maintained B+-tree instead of re-sorting the whole list.
       entry.apply_delta_to_data = MemberDataDelta();
       entry.prepared_patch = MemberPreparedPatch();
+      // Cost prior: sort-once build (n log n), branchless binary-search
+      // probes. The B+-tree alternative shares the payload (and so the
+      // patch hook) but pays node hops per probe — the solver keeps the
+      // flat column unless measured probes say otherwise.
+      entry.witness_descriptor.build_ops_per_byte = 2.0;
+      entry.witness_descriptor.answer_ops_base = 16.0;
+      {
+        WitnessAlternative tree;
+        tree.witness = MemberBptreeWitness();
+        tree.prepared_patch = MemberPreparedPatch();
+        tree.descriptor.build_ops_per_byte = 2.0;
+        tree.descriptor.bytes_per_byte = 2.0;  // payload + node overhead
+        tree.descriptor.answer_ops_base = 48.0;
+        entry.alternatives.push_back(std::move(tree));
+      }
     } else if (case_name == "graph-reachability") {
       // The Example 3 typed case gains its Σ*-level twin here: Π builds
       // the transitive closure *incrementally* (Section 4(7)), which is
@@ -137,6 +158,36 @@ Status RegisterBuiltins(QueryEngine* engine, const BuiltinOptions& options) {
       entry.prepared_size_of = [](const std::string& prepared) {
         return prepared.size() + PreparedStore::kEntryOverheadBytes;
       };
+      // Cost prior: the closure is the expensive-build/O(1)-answer
+      // extreme; the edge-scan alternative is the cheap-build/BFS-answer
+      // one. Small or cold parts select the scan, hot parts the closure —
+      // the trade bench_x6_adaptive measures end to end. The closure's
+      // build is superlinear in |D| (affected-region propagation per
+      // edge), so its prior is a two-point fit of the charged build cost
+      // at |D| ≈ 1.4KB (≈6.3K ops) and |D| ≈ 7.2KB (≈193K ops): the
+      // negative base is the fit's intercept, clamped to 0 by BuildOps for
+      // parts below the fit's root.
+      entry.witness_descriptor.build_ops_base = -38000.0;
+      entry.witness_descriptor.build_ops_per_byte = 32.0;
+      entry.witness_descriptor.bytes_per_byte = 2.0;
+      entry.witness_descriptor.answer_ops_base = 1.0;
+      {
+        WitnessAlternative scan;
+        scan.witness = ReachEdgeScanWitness();
+        scan.prepared_patch = ReachEdgeScanPatch();
+        scan.prepared_size_of = [](const std::string& prepared) {
+          return prepared.size() + PreparedStore::kEntryOverheadBytes;
+        };
+        // Fits of the charged costs: re-encode build ≈ 0.17 ops/byte and
+        // per-query BFS ≈ 9 + 0.035 ops/byte (average touched region of a
+        // 4n-edge digraph).
+        scan.descriptor.build_ops_base = 80.0;
+        scan.descriptor.build_ops_per_byte = 0.17;
+        scan.descriptor.bytes_per_byte = 1.0;
+        scan.descriptor.answer_ops_base = 9.0;
+        scan.descriptor.answer_ops_per_byte = 0.035;
+        entry.alternatives.push_back(std::move(scan));
+      }
     } else if (case_name == "breadth-depth-search") {
       entry.has_language = true;
       entry.problem = core::BdsProblem();
@@ -152,6 +203,28 @@ Status RegisterBuiltins(QueryEngine* engine, const BuiltinOptions& options) {
       entry.prepared_size_of = [](const std::string& prepared) {
         return prepared.size() + PreparedStore::kEntryOverheadBytes;
       };
+      // View-vs-string-path candidates over the *same* Π: the view-less
+      // alternative answers straight off the bitmap string (cheaper
+      // residency, costlier probes) — the "any builtin" cost trade.
+      entry.witness_descriptor.answer_ops_base = 2.0;
+      entry.witness_descriptor.bytes_per_byte = 2.0;  // payload + view
+      {
+        WitnessAlternative flat;
+        flat.witness = core::GvpWitness();
+        flat.witness.name = "evaluate-all-gates-string";
+        flat.witness.deserialize = nullptr;
+        flat.witness.answer_view = nullptr;
+        flat.witness.decode_query = nullptr;
+        flat.witness.answer_view_decoded = nullptr;
+        flat.witness.answer_view_batch = nullptr;
+        flat.prepared_size_of = [](const std::string& prepared) {
+          return prepared.size() + PreparedStore::kEntryOverheadBytes;
+        };
+        flat.descriptor.bytes_per_byte = 1.0;
+        flat.descriptor.answer_ops_base = 4.0;
+        flat.descriptor.answer_ops_per_byte = 0.125;  // per-query re-decode
+        entry.alternatives.push_back(std::move(flat));
+      }
     }
     PITRACT_RETURN_IF_ERROR(register_entry(std::move(entry)));
   }

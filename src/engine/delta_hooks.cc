@@ -13,6 +13,7 @@
 #include "graph/graph.h"
 #include "incremental/delta_index.h"
 #include "incremental/incremental_tc.h"
+#include "index/bptree.h"
 
 namespace pitract {
 namespace engine {
@@ -118,6 +119,42 @@ PreparedPatchFn MemberPreparedPatch() {
     *prepared = codec::EncodeInts(index->SortedKeys());
     return Status::OK();
   };
+}
+
+core::PiWitness MemberBptreeWitness() {
+  // Same Π (sort once), same payload (the encoded sorted column) — only
+  // the decoded view and its probe hooks differ. Sharing the payload is
+  // what lets this alternative reuse MemberPreparedPatch verbatim and
+  // makes a store entry transferable between the two candidates' keys
+  // byte-for-byte.
+  core::PiWitness w = core::MemberWitness();
+  w.name = "bptree-column";
+  w.deserialize = [](const std::shared_ptr<const std::string>& prepared,
+                     CostMeter*) -> Result<core::PiViewPtr> {
+    auto sorted = codec::DecodeInts(*prepared);
+    if (!sorted.ok()) return sorted.status();
+    std::vector<std::pair<int64_t, int64_t>> entries;
+    entries.reserve(sorted->size());
+    for (int64_t value : *sorted) entries.emplace_back(value, 0);
+    auto tree = std::make_shared<index::BPlusTree>();
+    PITRACT_RETURN_IF_ERROR(tree->BulkLoad(entries));
+    return core::PiViewPtr(std::move(tree));
+  };
+  w.answer_view = [](const void* view, const std::string& query,
+                     CostMeter* meter) -> Result<bool> {
+    auto e = DecodeSingleInt(query);
+    if (!e.ok()) return e.status();
+    return static_cast<const index::BPlusTree*>(view)->PointExists(*e, meter);
+  };
+  w.answer_view_decoded = [](const void* view, const core::DecodedQuery& query,
+                             CostMeter* meter) -> Result<bool> {
+    return static_cast<const index::BPlusTree*>(view)->PointExists(query.a,
+                                                                   meter);
+  };
+  // No branchless batch kernel over a node-linked tree: batches run the
+  // pre-decoded per-probe descent (the honest cost of this candidate).
+  w.answer_view_batch = nullptr;
+  return w;
 }
 
 // ---------------------------------------------------------------------------
@@ -283,6 +320,117 @@ DataDeltaFn ReachDataDelta() {
                                            /*directed=*/true);
     if (!patched.ok()) return patched.status();
     return codec::EncodeFields({patched->Encode()});
+  };
+}
+
+namespace {
+
+/// O(n+m)-charged breadth-first search — the edge-scan candidate's whole
+/// answer step. Touched nodes/edges are charged as serial ops plus 4 bytes
+/// per adjacency word read, so its CostProfile honestly reflects the slow
+/// answers the cost model trades against the closure's O(1) probes.
+Result<bool> BfsReachable(const graph::Graph& g, int64_t a, int64_t b,
+                          CostMeter* meter) {
+  if (a < 0 || a >= g.num_nodes() || b < 0 || b >= g.num_nodes()) {
+    return Status::OutOfRange("node id out of range");
+  }
+  int64_t touched = 1;
+  bool found = a == b;
+  if (!found) {
+    std::vector<char> seen(static_cast<size_t>(g.num_nodes()), 0);
+    std::vector<graph::NodeId> frontier{static_cast<graph::NodeId>(a)};
+    seen[static_cast<size_t>(a)] = 1;
+    std::vector<graph::NodeId> next;
+    while (!frontier.empty() && !found) {
+      next.clear();
+      for (graph::NodeId u : frontier) {
+        for (graph::NodeId v : g.OutNeighbors(u)) {
+          ++touched;
+          if (v == static_cast<graph::NodeId>(b)) {
+            found = true;
+            break;
+          }
+          if (!seen[static_cast<size_t>(v)]) {
+            seen[static_cast<size_t>(v)] = 1;
+            next.push_back(v);
+          }
+        }
+        if (found) break;
+      }
+      frontier.swap(next);
+    }
+  }
+  if (meter != nullptr) {
+    meter->AddSerial(touched);
+    meter->AddBytesRead(4 * touched);
+  }
+  return found;
+}
+
+}  // namespace
+
+core::PiWitness ReachEdgeScanWitness() {
+  core::PiWitness w;
+  w.name = "edge-scan";
+  // Π is just the validated canonical re-encode: O(n+m), no closure.
+  w.preprocess = [](const std::string& data,
+                    CostMeter* meter) -> Result<std::string> {
+    auto g = DecodeDirectedGraphDataPart(data);
+    if (!g.ok()) return g.status();
+    if (meter != nullptr) meter->AddSerial(g->num_nodes() + g->num_edges());
+    return codec::EncodeFields({g->Encode()});
+  };
+  w.answer = [](const std::string& prepared, const std::string& query,
+                CostMeter* meter) -> Result<bool> {
+    auto g = DecodeDirectedGraphDataPart(prepared);
+    if (!g.ok()) return g.status();
+    auto q = core::DecodeIntPairQuery(query, "reach query");
+    if (!q.ok()) return q.status();
+    return BfsReachable(*g, q->first, q->second, meter);
+  };
+  w.deserialize = [](const std::shared_ptr<const std::string>& prepared,
+                     CostMeter*) -> Result<core::PiViewPtr> {
+    auto g = DecodeDirectedGraphDataPart(*prepared);
+    if (!g.ok()) return g.status();
+    return core::PiViewPtr(std::make_shared<graph::Graph>(std::move(*g)));
+  };
+  w.answer_view = [](const void* view, const std::string& query,
+                     CostMeter* meter) -> Result<bool> {
+    auto q = core::DecodeIntPairQuery(query, "reach query");
+    if (!q.ok()) return q.status();
+    return BfsReachable(*static_cast<const graph::Graph*>(view), q->first,
+                        q->second, meter);
+  };
+  w.decode_query = [](const std::string& query, core::DecodedQuery* out,
+                      std::vector<int64_t>*) -> Status {
+    auto q = core::DecodeIntPairQuery(query, "reach query");
+    if (!q.ok()) return q.status();
+    out->a = q->first;
+    out->b = q->second;
+    return Status::OK();
+  };
+  w.answer_view_decoded = [](const void* view, const core::DecodedQuery& query,
+                             CostMeter* meter) -> Result<bool> {
+    return BfsReachable(*static_cast<const graph::Graph*>(view), query.a,
+                        query.b, meter);
+  };
+  // No batch kernel: each BFS is inherently per-query work.
+  return w;
+}
+
+PreparedPatchFn ReachEdgeScanPatch() {
+  return [](std::string* prepared, const DeltaBatch& delta,
+            CostMeter* meter) -> Status {
+    // The payload is the canonical data encoding, so patching it *is* the
+    // data-delta edit; per-op charge only, the re-encode is decode
+    // bookkeeping like the other patch hooks.
+    auto next = ReachDataDelta()(*prepared, delta);
+    if (!next.ok()) return next.status();
+    if (meter != nullptr) {
+      meter->AddSerial(static_cast<int64_t>(delta.ops.size()));
+    }
+    *prepared = std::move(*next);
+    return Status::OK();
   };
 }
 

@@ -29,6 +29,14 @@ DataDeltaFn MemberDataDelta();
 /// traversal) — and re-encodes the maintained sorted keys.
 PreparedPatchFn MemberPreparedPatch();
 
+/// *Alternative* membership witness (cost-model candidate): identical
+/// sorted-column Π(D) payload — so MemberPreparedPatch applies verbatim —
+/// but the decoded view is the Example 1 B+-tree from `src/index/` instead
+/// of a flat vector. Point probes pay Θ(height · log fanout) node hops;
+/// the flat column's branchless binary search is cheaper per probe, the
+/// tree's view decode is the structure a Δ-heavy deployment keeps anyway.
+core::PiWitness MemberBptreeWitness();
+
 // --- directed reachability (graph-reachability) ----------------------------
 
 /// Σ*-witness for L_reach on *directed* graphs: Π builds the transitive
@@ -47,6 +55,19 @@ DataDeltaFn ReachDataDelta();
 /// affected-set recompute (rows x with x ⇝ u ∧ v ∈ desc(x)), both versus
 /// the full O(n·m) closure rebuild.
 PreparedPatchFn ReachPreparedPatch();
+
+/// *Alternative* reachability witness (cost-model candidate): Π is the
+/// O(n+m) canonical re-encode of the graph itself — no closure is ever
+/// materialized — and each query answers by BFS over the decoded adjacency
+/// view at O(n+m) charged cost. The cheap-build/slow-answer extreme:
+/// right for small or cold data parts, wrong for hot ones — exactly the
+/// trade the CostModel arbitrates against ReachClosureWitness.
+core::PiWitness ReachEdgeScanWitness();
+
+/// Π-patch for the edge-scan payload: the payload *is* the canonical data
+/// encoding, so the patch is the data-delta edit itself (per-op charged;
+/// the re-encode is decode bookkeeping like the other patch hooks).
+PreparedPatchFn ReachEdgeScanPatch();
 
 }  // namespace engine
 }  // namespace pitract

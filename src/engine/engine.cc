@@ -36,37 +36,58 @@ Result<BatchResult> RunBatch(BatchPath* path) {
 
 namespace {
 
-/// The store-entry knobs a registry entry supplies for its Π(D) payloads,
-/// including the decoded-view builder when the witness carries one.
-PreparedStore::EntryOptions EntryOptionsFor(const ProblemEntry& entry) {
+/// The store-entry knobs one witness candidate supplies for its Π(D)
+/// payloads: the decoded-view builder when the witness carries one, plus
+/// the tiering layer's expected-loss estimates sized from the candidate's
+/// cost descriptor (view loss ≈ the decode the store would re-pay, evict
+/// loss ≈ the Π rebuild).
+PreparedStore::EntryOptions MakeEntryOptions(
+    const core::PiWitness& witness, const PreparedStore::SizeFn* size_of,
+    bool spillable, const CostDescriptor* descriptor, size_t data_bytes) {
   PreparedStore::EntryOptions options;
-  options.size_of = entry.prepared_size_of;
-  options.spillable = entry.spillable;
-  if (entry.witness.has_view()) options.make_view = entry.witness.deserialize;
+  if (size_of != nullptr && *size_of) options.size_of = *size_of;
+  options.spillable = spillable;
+  if (witness.has_view()) options.make_view = witness.deserialize;
+  if (descriptor != nullptr) {
+    options.evict_loss_ops = descriptor->BuildOps(data_bytes);
+    options.view_loss_ops = descriptor->Bytes(data_bytes);
+  }
   return options;
 }
 
-/// Σ*-string path: Π through the PreparedStore, answers via the witness —
-/// through the memoized decoded view when the witness provides one, else
-/// via the string `answer` hook.
+/// Σ*-string path: Π through the PreparedStore, answers via the *selected*
+/// witness (primary or a registered alternative) — through the memoized
+/// decoded view when that witness provides one, else via the string
+/// `answer` hook. The caller resolves which witness a key/data pair uses
+/// and hands in its hooks, entry options, and measured-cost profile.
 class WitnessBatchPath : public BatchPath {
  public:
-  WitnessBatchPath(const ProblemEntry& entry, PreparedStore* store,
-                   const std::string& data,
+  WitnessBatchPath(const ProblemEntry& entry, const core::PiWitness& witness,
+                   CostProfile* profile,
+                   PreparedStore::EntryOptions entry_options,
+                   PreparedStore* store, const std::string& data,
                    std::span<const std::string> queries,
                    const AnswerOptions& options = {})
       : entry_(entry),
+        witness_(witness),
+        profile_(profile),
+        entry_options_(std::move(entry_options)),
         store_(store),
         data_(&data),
         queries_(queries),
         options_(options) {}
   /// Pre-admitted flavor: reuses the handle's key, so Prepare does zero
   /// O(|D|) key work.
-  WitnessBatchPath(const ProblemEntry& entry, PreparedStore* store,
-                   const DataHandle& handle,
+  WitnessBatchPath(const ProblemEntry& entry, const core::PiWitness& witness,
+                   CostProfile* profile,
+                   PreparedStore::EntryOptions entry_options,
+                   PreparedStore* store, const DataHandle& handle,
                    std::span<const std::string> queries,
                    const AnswerOptions& options = {})
       : entry_(entry),
+        witness_(witness),
+        profile_(profile),
+        entry_options_(std::move(entry_options)),
         store_(store),
         data_(handle.data.get()),
         key_(&handle.key),
@@ -76,11 +97,14 @@ class WitnessBatchPath : public BatchPath {
   /// entry's PreparedView from the published snapshot, so Prepare charges
   /// the probe op and serves it — no second store lookup, no second hit
   /// counted.
-  WitnessBatchPath(const ProblemEntry& entry, PreparedStore* store,
+  WitnessBatchPath(const ProblemEntry& entry, const core::PiWitness& witness,
+                   CostProfile* profile, PreparedStore* store,
                    PreparedStore::PreparedView prefetched,
                    std::span<const std::string> queries,
                    const AnswerOptions& options)
       : entry_(entry),
+        witness_(witness),
+        profile_(profile),
         store_(store),
         queries_(queries),
         options_(options),
@@ -98,17 +122,24 @@ class WitnessBatchPath : public BatchPath {
       return PrepareOutcome{/*ran_pi=*/false, /*cache_hit=*/true};
     }
     bool hit = false;
-    PreparedStore::EntryOptions entry_options = EntryOptionsFor(entry_);
-    auto compute = [this](CostMeter* m) {
-      return entry_.witness.preprocess(*data_, m);
+    // Π runs against a local meter first so the measured build cost can be
+    // recorded into the witness's CostProfile; MergeFrom is an exact
+    // sequential fold, so the caller's meter sees identical charges.
+    auto compute = [this](CostMeter* m) -> Result<std::string> {
+      CostMeter local;
+      auto built = witness_.preprocess(*data_, &local);
+      if (m != nullptr) m->MergeFrom(local);
+      if (built.ok() && profile_ != nullptr) {
+        profile_->RecordBuild(data_->size(), built->size(), local.work());
+      }
+      return built;
     };
     auto prepared =
         key_ != nullptr
             ? store_->GetOrComputeView(*key_, compute, meter, &hit,
-                                       entry_options)
-            : store_->GetOrComputeView(entry_.name, entry_.witness.name,
-                                       *data_, compute, meter, &hit,
-                                       entry_options);
+                                       entry_options_)
+            : store_->GetOrComputeView(entry_.name, witness_.name, *data_,
+                                       compute, meter, &hit, entry_options_);
     if (!prepared.ok()) return prepared.status();
     prepared_ = std::move(prepared->prepared);
     view_ = std::move(prepared->view);
@@ -117,10 +148,10 @@ class WitnessBatchPath : public BatchPath {
 
   Result<bool> AnswerOne(int qi, CostMeter* meter) override {
     const std::string& query = queries_[static_cast<size_t>(qi)];
-    if (view_ != nullptr && entry_.witness.answer_view) {
-      return entry_.witness.answer_view(view_.get(), query, meter);
+    if (view_ != nullptr && witness_.answer_view) {
+      return witness_.answer_view(view_.get(), query, meter);
     }
-    return entry_.witness.answer(*prepared_, query, meter);
+    return witness_.answer(*prepared_, query, meter);
   }
 
   /// Amortized batch path: every query of the batch is decoded exactly
@@ -129,7 +160,7 @@ class WitnessBatchPath : public BatchPath {
   /// kernel when it has one, else by the decoded-scalar loop.
   Result<bool> TryAnswerAll(std::vector<bool>* answers, BatchAnswerMode* mode,
                             CostMeter* meter) override {
-    const core::PiWitness& w = entry_.witness;
+    const core::PiWitness& w = witness_;
     if (view_ == nullptr) return false;
     const bool kernel = w.has_batch_kernel();
     if (!kernel && !w.has_decoded_answer()) return false;
@@ -194,6 +225,9 @@ class WitnessBatchPath : public BatchPath {
 
  private:
   const ProblemEntry& entry_;
+  const core::PiWitness& witness_;
+  CostProfile* profile_ = nullptr;
+  PreparedStore::EntryOptions entry_options_;
   PreparedStore* store_;
   const std::string* data_ = nullptr;
   const PreparedStore::Key* key_ = nullptr;
@@ -249,6 +283,117 @@ QueryEngine::QueryEngine(const PreparedStore::Options& store_options,
                          size_t typed_capacity)
     : store_(store_options), typed_capacity_(typed_capacity) {}
 
+uint64_t QueryEngine::PartFingerprint(std::string_view data) {
+  return Fnv1a64(data);
+}
+
+QueryEngine::SelectedWitness QueryEngine::CandidateAt(
+    const ProblemEntry& entry, int index) {
+  SelectedWitness s;
+  if (index <= 0 || entry.alternatives.empty()) {
+    s.witness = &entry.witness;
+    s.descriptor = &entry.witness_descriptor;
+    s.profile = entry.witness_profile.get();
+    s.patch = &entry.prepared_patch;
+    s.size_of = &entry.prepared_size_of;
+    s.index = 0;
+    return s;
+  }
+  const int alt =
+      std::min<int>(index, static_cast<int>(entry.alternatives.size())) - 1;
+  const WitnessAlternative& a = entry.alternatives[static_cast<size_t>(alt)];
+  s.witness = &a.witness;
+  s.descriptor = &a.descriptor;
+  s.profile = a.profile.get();
+  s.patch = &a.prepared_patch;
+  s.size_of = &a.prepared_size_of;
+  s.index = alt + 1;
+  return s;
+}
+
+QueryEngine::SelectedWitness QueryEngine::ResolveWitnessFromKey(
+    const ProblemEntry& entry, const PreparedStore::Key& key) {
+  if (key.bytes != nullptr && !entry.alternatives.empty()) {
+    // Keys are `problem \x1f witness \x1f data`; the name between the
+    // separators says which candidate's hooks built (and can decode) the
+    // payload this key addresses.
+    const std::string_view bytes(*key.bytes);
+    const size_t first = bytes.find('\x1f');
+    if (first != std::string_view::npos) {
+      const size_t second = bytes.find('\x1f', first + 1);
+      if (second != std::string_view::npos) {
+        const std::string_view name =
+            bytes.substr(first + 1, second - first - 1);
+        if (name != entry.witness.name) {
+          for (size_t i = 0; i < entry.alternatives.size(); ++i) {
+            if (entry.alternatives[i].witness.name == name) {
+              return CandidateAt(entry, static_cast<int>(i) + 1);
+            }
+          }
+        }
+      }
+    }
+  }
+  return CandidateAt(entry, 0);
+}
+
+QueryEngine::SelectedWitness QueryEngine::SelectWitness(
+    const ProblemEntry& entry, const std::string* data,
+    uint64_t part_fingerprint) const {
+  const CostModel::Policy policy = cost_model_.policy();
+  if (entry.alternatives.empty() ||
+      policy == CostModel::Policy::kPrimaryOnly) {
+    return CandidateAt(entry, 0);
+  }
+  if (policy == CostModel::Policy::kAdaptive && part_fingerprint != 0) {
+    const int cached = cost_model_.ChoiceFor(part_fingerprint);
+    if (cached >= 0) return CandidateAt(entry, cached);
+  }
+  const size_t data_bytes = data != nullptr ? data->size() : 0;
+  std::vector<CostModel::Candidate> candidates;
+  candidates.reserve(entry.alternatives.size() + 1);
+  for (int i = 0; i <= static_cast<int>(entry.alternatives.size()); ++i) {
+    const SelectedWitness s = CandidateAt(entry, i);
+    CostModel::Candidate c;
+    c.name = s.witness->name;
+    c.descriptor = s.descriptor;
+    c.profile = s.profile;
+    c.resident = data != nullptr &&
+                 store_.Contains(entry.name, s.witness->name, *data);
+    candidates.push_back(c);
+  }
+  double pressure = 0.0;
+  if (store_.options().byte_budget > 0) {
+    pressure = std::min(
+        1.0, static_cast<double>(store_.bytes_resident()) /
+                 static_cast<double>(store_.options().byte_budget));
+  }
+  const int choice =
+      cost_model_.Select(candidates, data_bytes, part_fingerprint, pressure);
+  if (policy == CostModel::Policy::kAdaptive && part_fingerprint != 0) {
+    cost_model_.SetChoice(part_fingerprint, choice);
+  }
+  return CandidateAt(entry, choice);
+}
+
+void QueryEngine::NoteAnswered(const ProblemEntry& entry,
+                               const SelectedWitness& selected,
+                               uint64_t part_fingerprint, size_t data_bytes,
+                               int64_t queries, int64_t answer_ops) {
+  (void)data_bytes;
+  if (selected.profile != nullptr && queries > 0) {
+    selected.profile->RecordAnswer(queries, answer_ops);
+  }
+  if (entry.alternatives.empty() || part_fingerprint == 0) return;
+  if (cost_model_.policy() != CostModel::Policy::kAdaptive) return;
+  if (cost_model_.NoteTraffic(part_fingerprint, queries)) {
+    // Doubling boundary crossed: invalidate the sticky choice so the next
+    // admission re-scores with the fresh traffic count (a small part that
+    // turned hot graduates to the fast-answer Π at its next cold miss).
+    cost_model_.SetChoice(part_fingerprint, -1);
+  }
+}
+
 Status QueryEngine::Register(ProblemEntry entry) {
   if (entry.name.empty()) {
     return Status::InvalidArgument("problem entry needs a name");
@@ -257,6 +402,26 @@ Status QueryEngine::Register(ProblemEntry entry) {
     return Status::InvalidArgument("entry '" + entry.name +
                                    "' registers neither a language nor a "
                                    "typed case");
+  }
+  if (!entry.has_language && !entry.alternatives.empty()) {
+    return Status::InvalidArgument("entry '" + entry.name +
+                                   "' registers witness alternatives without "
+                                   "a Σ*-level witness");
+  }
+  for (const WitnessAlternative& alt : entry.alternatives) {
+    if (alt.witness.name.empty() || alt.witness.name == entry.witness.name) {
+      return Status::InvalidArgument(
+          "entry '" + entry.name +
+          "' has a witness alternative without a distinct name");
+    }
+  }
+  // Every candidate gets a measured-cost profile so selection can learn
+  // from real builds/answers without registration boilerplate.
+  if (entry.has_language && entry.witness_profile == nullptr) {
+    entry.witness_profile = std::make_shared<CostProfile>();
+  }
+  for (WitnessAlternative& alt : entry.alternatives) {
+    if (alt.profile == nullptr) alt.profile = std::make_shared<CostProfile>();
   }
   std::unique_lock<std::shared_mutex> lock(registry_mutex_);
   auto [it, inserted] = entries_.emplace(entry.name, std::move(entry));
@@ -350,8 +515,27 @@ Result<BatchResult> QueryEngine::AnswerBatch(
     return Status::FailedPrecondition("problem '" + std::string(problem) +
                                       "' has no Σ*-level witness");
   }
-  WitnessBatchPath path(**entry, &store_, data, queries, options);
-  return RunBatch(&path);
+  // Selection (and its O(|D|) fingerprint) only runs when this entry has
+  // alternatives and the model is live; the single-witness path is
+  // byte-for-byte the pre-adaptive one.
+  uint64_t fp = 0;
+  if (!(*entry)->alternatives.empty() &&
+      cost_model_.policy() != CostModel::Policy::kPrimaryOnly) {
+    fp = PartFingerprint(data);
+  }
+  const SelectedWitness sel = SelectWitness(**entry, &data, fp);
+  WitnessBatchPath path(
+      **entry, *sel.witness, sel.profile,
+      MakeEntryOptions(*sel.witness, sel.size_of, (*entry)->spillable,
+                       sel.descriptor, data.size()),
+      &store_, data, queries, options);
+  auto result = RunBatch(&path);
+  if (result.ok()) {
+    NoteAnswered(**entry, sel, fp, data.size(),
+                 static_cast<int64_t>(queries.size()),
+                 result->answer_cost.work);
+  }
+  return result;
 }
 
 Result<DataHandle> QueryEngine::Intern(std::string_view problem,
@@ -365,8 +549,14 @@ Result<DataHandle> QueryEngine::Intern(std::string_view problem,
   DataHandle handle;
   handle.problem = std::string(problem);
   handle.data = std::make_shared<const std::string>(std::move(data));
-  handle.key = PreparedStore::InternKey((*entry)->name,
-                                        (*entry)->witness.name, *handle.data);
+  handle.part_fingerprint = PartFingerprint(*handle.data);
+  // Admission is where the solver earns its keep: the handle's key embeds
+  // the witness the cost model picked for this part, and every later batch
+  // over the handle flows through that choice with zero re-selection work.
+  const SelectedWitness sel =
+      SelectWitness(**entry, handle.data.get(), handle.part_fingerprint);
+  handle.key = PreparedStore::InternKey((*entry)->name, sel.witness->name,
+                                        *handle.data);
   return handle;
 }
 
@@ -387,8 +577,21 @@ Result<BatchResult> QueryEngine::AnswerBatch(
     return Status::FailedPrecondition("problem '" + handle.problem +
                                       "' has no Σ*-level witness");
   }
-  WitnessBatchPath path(**entry, &store_, handle, queries, options);
-  return RunBatch(&path);
+  // The handle's key names the witness it was interned under — answer
+  // hooks must come from that candidate, never from the current selection.
+  const SelectedWitness sel = ResolveWitnessFromKey(**entry, handle.key);
+  WitnessBatchPath path(
+      **entry, *sel.witness, sel.profile,
+      MakeEntryOptions(*sel.witness, sel.size_of, (*entry)->spillable,
+                       sel.descriptor, handle.data->size()),
+      &store_, handle, queries, options);
+  auto result = RunBatch(&path);
+  if (result.ok()) {
+    NoteAnswered(**entry, sel, handle.part_fingerprint, handle.data->size(),
+                 static_cast<int64_t>(queries.size()),
+                 result->answer_cost.work);
+  }
+  return result;
 }
 
 Result<bool> QueryEngine::TryAnswerWarm(const DataHandle& handle,
@@ -404,14 +607,22 @@ Result<bool> QueryEngine::TryAnswerWarm(const DataHandle& handle,
     return Status::FailedPrecondition("problem '" + handle.problem +
                                       "' has no Σ*-level witness");
   }
+  const SelectedWitness sel = ResolveWitnessFromKey(**entry, handle.key);
   PreparedStore::PreparedView view;
-  if (!store_.TryGetView(handle.key, EntryOptionsFor(**entry), nullptr,
-                         &view)) {
+  if (!store_.TryGetView(handle.key,
+                         MakeEntryOptions(*sel.witness, sel.size_of,
+                                          (*entry)->spillable, sel.descriptor,
+                                          handle.data->size()),
+                         nullptr, &view)) {
     return false;  // cold: the caller parks the batch and prepares off-path
   }
-  WitnessBatchPath path(**entry, &store_, std::move(view), queries, options);
+  WitnessBatchPath path(**entry, *sel.witness, sel.profile, &store_,
+                        std::move(view), queries, options);
   auto answered = RunBatch(&path);
   if (!answered.ok()) return answered.status();
+  NoteAnswered(**entry, sel, handle.part_fingerprint, handle.data->size(),
+               static_cast<int64_t>(queries.size()),
+               answered->answer_cost.work);
   *result = std::move(answered).value();
   return true;
 }
@@ -428,19 +639,34 @@ Result<bool> QueryEngine::TryAnswerWarm(std::string_view problem,
     return Status::FailedPrecondition("problem '" + std::string(problem) +
                                       "' has no Σ*-level witness");
   }
+  uint64_t fp = 0;
+  if (!(*entry)->alternatives.empty() &&
+      cost_model_.policy() != CostModel::Policy::kPrimaryOnly) {
+    fp = PartFingerprint(data);
+  }
+  const SelectedWitness sel = SelectWitness(**entry, &data, fp);
   // The one O(|D|) key build this call pays, counted like every other
   // string-keyed admission; a parked caller hands the key to its preparer
-  // so the bytes are never hashed twice.
+  // so the bytes are never hashed twice — and the key carries the solver's
+  // witness choice, so the preparer builds the Π that was selected here.
   PreparedStore::Key key =
-      store_.BuildKeyCounted((*entry)->name, (*entry)->witness.name, data);
+      store_.BuildKeyCounted((*entry)->name, sel.witness->name, data);
   PreparedStore::PreparedView view;
-  if (!store_.TryGetView(key, EntryOptionsFor(**entry), nullptr, &view)) {
+  if (!store_.TryGetView(key,
+                         MakeEntryOptions(*sel.witness, sel.size_of,
+                                          (*entry)->spillable, sel.descriptor,
+                                          data.size()),
+                         nullptr, &view)) {
     if (cold_key != nullptr) *cold_key = std::move(key);
     return false;
   }
-  WitnessBatchPath path(**entry, &store_, std::move(view), queries, options);
+  WitnessBatchPath path(**entry, *sel.witness, sel.profile, &store_,
+                        std::move(view), queries, options);
   auto answered = RunBatch(&path);
   if (!answered.ok()) return answered.status();
+  NoteAnswered(**entry, sel, fp, data.size(),
+               static_cast<int64_t>(queries.size()),
+               answered->answer_cost.work);
   *result = std::move(answered).value();
   return true;
 }
@@ -459,12 +685,23 @@ Status QueryEngine::Prepare(std::string_view problem,
                                       "' has no Σ*-level witness");
   }
   const ProblemEntry* e = *entry;
+  // A parked cold key already embeds the witness the admission-time solver
+  // chose; parsing it back out makes the preparer build exactly that Π.
+  const SelectedWitness sel = ResolveWitnessFromKey(*e, key);
   bool hit = false;
-  auto compute = [e, &data](CostMeter* m) {
-    return e->witness.preprocess(*data, m);
+  auto compute = [&sel, &data](CostMeter* m) -> Result<std::string> {
+    CostMeter local;
+    auto built = sel.witness->preprocess(*data, &local);
+    if (m != nullptr) m->MergeFrom(local);
+    if (built.ok() && sel.profile != nullptr) {
+      sel.profile->RecordBuild(data->size(), built->size(), local.work());
+    }
+    return built;
   };
-  auto prepared =
-      store_.GetOrComputeView(key, compute, meter, &hit, EntryOptionsFor(*e));
+  auto prepared = store_.GetOrComputeView(
+      key, compute, meter, &hit,
+      MakeEntryOptions(*sel.witness, sel.size_of, e->spillable, sel.descriptor,
+                       data->size()));
   if (!prepared.ok()) return prepared.status();
   if (ran_pi != nullptr) *ran_pi = !hit;
   return Status::OK();
@@ -518,20 +755,57 @@ Result<DeltaOutcome> QueryEngine::ApplyDelta(std::string_view problem,
   DeltaOutcome outcome;
   PITRACT_ASSIGN_OR_RETURN(outcome.new_data,
                            (*entry)->apply_delta_to_data(data, coalesced));
-  if (!(*entry)->prepared_patch) {
+  // Patch the witness this part is actually resident under: under an
+  // adaptive/forced policy the sticky per-part choice (falling back to a
+  // residency probe) says which candidate's payload is in the store, and
+  // its popularity carries over to the post-delta fingerprint so one delta
+  // never resets a hot part to cold.
+  SelectedWitness sel = CandidateAt(**entry, 0);
+  if (!(*entry)->alternatives.empty() &&
+      cost_model_.policy() != CostModel::Policy::kPrimaryOnly) {
+    const uint64_t old_fp = PartFingerprint(data);
+    const uint64_t new_fp = PartFingerprint(outcome.new_data);
+    if (cost_model_.policy() == CostModel::Policy::kForced) {
+      sel = CandidateAt(**entry, cost_model_.forced_index());
+    } else {
+      const int cached = cost_model_.ChoiceFor(old_fp);
+      if (cached >= 0) {
+        sel = CandidateAt(**entry, cached);
+      } else {
+        for (int i = 0;
+             i <= static_cast<int>((*entry)->alternatives.size()); ++i) {
+          const SelectedWitness probe = CandidateAt(**entry, i);
+          if (store_.Contains((*entry)->name, probe.witness->name, data)) {
+            sel = probe;
+            break;
+          }
+        }
+      }
+    }
+    cost_model_.CarryTraffic(old_fp, new_fp);
+  }
+  if (sel.patch == nullptr || !*sel.patch) {
     outcome.fallback_reason = Status::FailedPrecondition(
-        "problem '" + std::string(problem) + "' registers no Π-patch hook");
+        "problem '" + std::string(problem) + "' registers no Π-patch hook" +
+        (sel.index > 0 ? " for witness '" + sel.witness->name + "'" : ""));
     return outcome;
   }
-  // EntryOptionsFor includes the witness's view builder, so a successful
-  // patch re-keys the entry with a freshly decoded post-delta view — a
-  // patched entry never serves its pre-patch view.
-  PreparedStore::EntryOptions entry_options = EntryOptionsFor(**entry);
-  const PreparedPatchFn& patch = (*entry)->prepared_patch;
+  // The entry options include the selected witness's view builder, so a
+  // successful patch re-keys the entry with a freshly decoded post-delta
+  // view — a patched entry never serves its pre-patch view.
+  PreparedStore::EntryOptions entry_options =
+      MakeEntryOptions(*sel.witness, sel.size_of, (*entry)->spillable,
+                       sel.descriptor, outcome.new_data.size());
+  const PreparedPatchFn& patch = *sel.patch;
+  CostProfile* profile = sel.profile;
   Status patched = store_.UpdateData(
-      (*entry)->name, (*entry)->witness.name, data, outcome.new_data,
-      [&patch, &coalesced](std::string* prepared, CostMeter* m) {
-        return patch(prepared, coalesced, m);
+      (*entry)->name, sel.witness->name, data, outcome.new_data,
+      [&patch, &coalesced, profile](std::string* prepared, CostMeter* m) {
+        CostMeter local;
+        Status s = patch(prepared, coalesced, &local);
+        if (m != nullptr) m->MergeFrom(local);
+        if (s.ok() && profile != nullptr) profile->RecordPatch(local.work());
+        return s;
       },
       meter, entry_options);
   if (patched.ok()) {

@@ -18,11 +18,32 @@
 #include "core/language.h"
 #include "core/query_class.h"
 #include "core/reduction.h"
+#include "engine/cost_model.h"
 #include "engine/delta.h"
 #include "engine/prepared_store.h"
 
 namespace pitract {
 namespace engine {
+
+/// One *alternative* Π-tractability witness for a registered problem: the
+/// same language, prepared differently (reach: closure bitmap vs edge-scan;
+/// member: sorted column vs B+-tree view). Each alternative carries its own
+/// static cost descriptor, patch hook, size estimator, and measured
+/// profile; the engine's CostModel picks among the primary witness and the
+/// alternatives per data part at admission/cold-miss time. Store keys embed
+/// the witness name, so two alternatives of the same part are distinct
+/// entries and a key always identifies which hooks built its payload.
+struct WitnessAlternative {
+  core::PiWitness witness;
+  CostDescriptor descriptor;
+  /// Π-patch hook for payloads built by *this* witness (unset: this
+  /// alternative degrades to recompute-on-miss after a delta).
+  PreparedPatchFn prepared_patch;
+  /// Size estimate override; unset: payload+key bytes.
+  PreparedStore::SizeFn prepared_size_of;
+  /// Measured totals (filled in by Register when left null).
+  std::shared_ptr<CostProfile> profile;
+};
 
 /// One registered problem: the Σ*-level artifacts of Definition 1
 /// (reference semantics, factorization Υ, Π-tractability witness) plus,
@@ -56,6 +77,17 @@ struct ProblemEntry {
   /// Unset (or failing): ApplyDelta degrades to recompute-on-miss for the
   /// post-delta data part.
   PreparedPatchFn prepared_patch;
+
+  /// Static cost prior for the primary witness (candidate index 0 in the
+  /// CostModel's enumeration). Defaults model an O(|D|)-build / O(1)-answer
+  /// witness, the common shape of the builtins.
+  CostDescriptor witness_descriptor;
+  /// Measured totals for the primary witness (filled in by Register when
+  /// left null).
+  std::shared_ptr<CostProfile> witness_profile;
+  /// Additional candidate Π's. Empty (the default): selection is a no-op
+  /// and the entry behaves exactly as a single-witness registration.
+  std::vector<WitnessAlternative> alternatives;
 };
 
 /// A pre-admitted data part for the Σ*-witness path. `QueryEngine::Intern`
@@ -72,6 +104,10 @@ struct DataHandle {
   /// without the handle's owner keeping a separate copy alive.
   std::shared_ptr<const std::string> data;
   PreparedStore::Key key;
+  /// Content fingerprint of the *data part alone* (witness-independent,
+  /// unlike `key`'s digest): the CostModel's per-part traffic/choice index.
+  /// Computed once at Intern; 0 on hand-rolled handles disables tracking.
+  uint64_t part_fingerprint = 0;
 };
 
 /// Per-batch answering knobs (orthogonal to the per-entry EntryOptions the
@@ -316,6 +352,17 @@ class QueryEngine {
   PreparedStore& store() { return store_; }
   const PreparedStore& store() const { return store_; }
 
+  /// The witness-selection solver. Policy::kPrimaryOnly (the default)
+  /// pins every entry to its registered primary witness — identical
+  /// behavior to the pre-adaptive engine. Switch to kAdaptive (or force an
+  /// index) before serving to let registered alternatives compete.
+  CostModel& cost_model() { return cost_model_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+  /// Witness-independent content fingerprint of a data part (the
+  /// CostModel's per-part index); exposed for tests and benches.
+  static uint64_t PartFingerprint(std::string_view data);
+
  private:
   /// Typed-case cache key, kept as its three components: lookups compare
   /// two integers before touching the (short) problem name — no per-batch
@@ -331,9 +378,43 @@ class QueryEngine {
     }
   };
 
+  /// The hooks/cost bundle of one selected witness candidate (index 0 =
+  /// the entry's primary witness, i ≥ 1 = alternatives[i-1]). Pointers
+  /// alias registry-owned state, which is never erased.
+  struct SelectedWitness {
+    const core::PiWitness* witness = nullptr;
+    const CostDescriptor* descriptor = nullptr;
+    CostProfile* profile = nullptr;
+    const PreparedPatchFn* patch = nullptr;
+    const PreparedStore::SizeFn* size_of = nullptr;
+    int index = 0;
+  };
+
+  static SelectedWitness CandidateAt(const ProblemEntry& entry, int index);
+  /// Parses the witness name out of a store key's bytes and returns the
+  /// matching candidate — the only correct way to pick answer hooks for a
+  /// key-addressed payload (trusting anything else risks decoding a view
+  /// with the wrong type). Unknown names fall back to the primary.
+  static SelectedWitness ResolveWitnessFromKey(const ProblemEntry& entry,
+                                               const PreparedStore::Key& key);
+  /// Runs the CostModel over the entry's candidates for this part (choice
+  /// cache first) and returns the winner. `data` sizes the linear models
+  /// and lets the solver probe per-candidate residency; fingerprint 0
+  /// skips the sticky-choice cache.
+  SelectedWitness SelectWitness(const ProblemEntry& entry,
+                                const std::string* data,
+                                uint64_t part_fingerprint) const;
+  /// Traffic bookkeeping after an answered batch: feeds the measured
+  /// profile and, under kAdaptive, re-runs selection when a part's traffic
+  /// crosses a doubling boundary.
+  void NoteAnswered(const ProblemEntry& entry, const SelectedWitness& selected,
+                    uint64_t part_fingerprint, size_t data_bytes,
+                    int64_t queries, int64_t answer_ops);
+
   mutable std::shared_mutex registry_mutex_;
   std::map<std::string, ProblemEntry, std::less<>> entries_;
   PreparedStore store_;
+  mutable CostModel cost_model_;
   const size_t typed_capacity_;
   std::mutex typed_mutex_;
   std::list<TypedSlot> typed_cache_;  // front = most recently used

@@ -227,7 +227,8 @@ void PreparedStore::SnapshotCell::Publish(Table table) {
 PreparedStore::PreparedStore(const Options& options)
     : options_(Options{ResolveShards(options.shards), options.max_entries,
                        options.byte_budget,
-                       std::max<size_t>(options.versions, 1)}),
+                       std::max<size_t>(options.versions, 1),
+                       options.tiered}),
       shards_(options_.shards) {
   // Snapshots start as published empty tables, so the lock-free hit path
   // never has to special-case a null pointer.
@@ -555,10 +556,27 @@ Result<PreparedStore::PreparedView> PreparedStore::GetOrComputeView(
   // and take the same failure path as a Status-returning Π.
   if (hit != nullptr) *hit = false;
   Result<std::string> prepared = Status::Internal("Π did not run");
+  // Cold-tier promotion: a previously demoted (or spilled) entry's v3
+  // frame under this digest holds exactly Π(this data part) — reading one
+  // file beats re-running Π. Any validation failure degrades silently to
+  // the compute below.
+  bool promoted = false;
+  if (options_.tiered) {
+    std::string cold_payload;
+    if (TryLoadColdPayload(key, &cold_payload)) {
+      if (meter != nullptr) {
+        meter->AddBytesRead(static_cast<int64_t>(cold_payload.size()));
+      }
+      prepared = std::move(cold_payload);
+      promoted = true;
+      LocalStats().cold_promotions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   // Fault-injection edge for the Π build itself (the miss-storm winner
   // path every Prepare and blocking AnswerBatch funnels into): a fired
   // site is indistinguishable from a Π that failed mid-preprocess.
-  if (PITRACT_FAILPOINT("store.pi_build")) {
+  if (promoted) {
+  } else if (PITRACT_FAILPOINT("store.pi_build")) {
     prepared = Status::Internal("failpoint store.pi_build fired");
   } else {
     try {
@@ -595,6 +613,8 @@ Result<PreparedStore::PreparedView> PreparedStore::GetOrComputeView(
   // shares exactly one build.
   AttachView(entry_options, entry.get(), meter);
   entry->spillable = entry_options.spillable;
+  entry->view_loss_ops = entry_options.view_loss_ops;
+  entry->evict_loss_ops = entry_options.evict_loss_ops;
   entry->size_bytes = entry_options.size_of
                           ? entry_options.size_of(*entry->prepared)
                           : DefaultSizeBytes(*entry);
@@ -743,6 +763,8 @@ Status PreparedStore::UpdateData(std::string_view problem,
   // build leaves a null view and the entry serves the string path.
   AttachView(entry_options, fresh.get(), meter);
   fresh->spillable = entry_options.spillable;
+  fresh->view_loss_ops = entry_options.view_loss_ops;
+  fresh->evict_loss_ops = entry_options.evict_loss_ops;
   fresh->size_bytes = entry_options.size_of
                           ? entry_options.size_of(*fresh->prepared)
                           : DefaultSizeBytes(*fresh);
@@ -983,25 +1005,85 @@ bool PreparedStore::OverBudget() const {
          bytes > static_cast<int64_t>(options_.byte_budget);
 }
 
+double PreparedStore::DecayedLoss(int64_t hits, uint64_t stamp, uint64_t now,
+                                  double loss_ops, int64_t bytes_freed) {
+  if (hits <= 0 || loss_ops <= 0) return 0.0;
+  // Halve the hit count once per epoch since the last touch: an entry
+  // hammered long ago risks far less re-pay cost than one hammered now.
+  const uint64_t age = now > stamp ? now - stamp : 0;
+  const int64_t decayed = age >= 62 ? 0 : hits >> age;
+  if (decayed <= 0) return 0.0;
+  return static_cast<double>(decayed) * loss_ops /
+         static_cast<double>(std::max<int64_t>(bytes_freed, 1));
+}
+
+int64_t PreparedStore::DemoteView(uint64_t digest, const EntryPtr& entry) {
+  // The demoted state is a *clone* without the view, published through
+  // the normal snapshot swap — the resident Entry is never mutated, so
+  // concurrent lock-free readers of the old entry keep a consistent
+  // (payload, view) pair and the warm hit path stays lock-free. An
+  // UpdateData or lazy rebuild racing this publish revalidates by entry
+  // pointer and degrades safely (patch fallback / serve-without-publish).
+  Shard& shard = ShardFor(digest);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  TableRef table = shard.snapshot.Acquire();
+  auto it = table->find(digest);
+  if (it == table->end() || it->second != entry) return 0;
+  const int64_t freed =
+      static_cast<int64_t>(entry->view_size_bytes.load(std::memory_order_relaxed));
+  if (freed <= 0) return 0;  // lazily dropped already or never built
+  EntryPtr warm = std::make_shared<Entry>();
+  warm->key = entry->key;
+  warm->prepared = entry->prepared;
+  // view / view_ready stay null and view_build_failed false: the next hit
+  // re-promotes hot through the existing lazy rebuild path.
+  warm->last_used.store(entry->last_used.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  warm->hit_count.store(entry->hit_count.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  warm->size_bytes = entry->size_bytes;
+  warm->spillable = entry->spillable;
+  warm->view_loss_ops = entry->view_loss_ops;
+  warm->evict_loss_ops = entry->evict_loss_ops;
+  warm->digest = entry->digest;
+  warm->version = entry->version;
+  warm->predecessor_digest = entry->predecessor_digest;
+  warm->has_predecessor = entry->has_predecessor;
+  warm->successor_digest.store(
+      entry->successor_digest.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  warm->superseded.store(entry->superseded.load(std::memory_order_acquire),
+                         std::memory_order_relaxed);
+  Table fresh = *table;
+  fresh[digest] = warm;
+  bytes_.fetch_sub(freed, std::memory_order_relaxed);
+  PublishTable(&shard, std::move(fresh));
+  LocalStats().view_demotions.fetch_add(1, std::memory_order_relaxed);
+  return freed;
+}
+
 void PreparedStore::EvictUntilWithinBudget() {
   // One evictor at a time: two publishers both observing OverBudget()
   // would otherwise each take a victim and over-evict below budget. The
   // eviction lock is never taken while holding a shard lock, so ordering
-  // is acyclic.
+  // is acyclic (spill_dir_mutex_ nests inside evict_mutex_; no path takes
+  // evict_mutex_ while holding it).
   std::lock_guard<std::mutex> evict_lock(evict_mutex_);
   if (!OverBudget()) return;
   // New recency epoch: entries touched after this pass stamp a value that
   // outranks every pre-pass stamp, so the next pass sees them as recent.
   tick_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t now = tick_.load(std::memory_order_relaxed);
   while (OverBudget()) {
-    // Approximate-LRU victim selection: one lock-free scan of the
-    // published snapshots collects every candidate with its recency
-    // stamp; sorting oldest-first then yields the whole victim *batch*
-    // for this pass (enough to clear the deficit), so a store pushed far
-    // over budget (e.g. an over-budget Load) pays one scan and at most
-    // one table copy per shard — not one full scan per victim. The stamp
-    // is an epoch, so entries touched in the same epoch tie arbitrarily;
-    // an entry untouched since an older epoch always goes first.
+    // Victim selection: one lock-free scan of the published snapshots
+    // collects every candidate with its recency stamp, CLOCK bit, hit
+    // count and byte charges; one sort then yields the whole demotion/
+    // eviction *batch* for this pass (enough to clear the deficit), so a
+    // store pushed far over budget (e.g. an over-budget Load) pays one
+    // scan and at most one table copy per shard — not one per victim.
+    // The stamp is an epoch, so entries touched in the same epoch tie
+    // arbitrarily; an entry untouched since an older epoch goes first,
+    // refined (among equals) by cheapest expected loss.
     struct Candidate {
       uint64_t stamp;
       bool second_chance;  // CLOCK bit was set at scan time (now cleared)
@@ -1009,7 +1091,10 @@ void PreparedStore::EvictUntilWithinBudget() {
       size_t shard;
       uint64_t digest;
       EntryPtr entry;
-      int64_t charge;  // bytes this entry frees
+      int64_t charge;      // bytes eviction frees (payload + view)
+      int64_t view_bytes;  // bytes a hot→warm demotion frees
+      double evict_loss;   // decayed expected cost of going cold
+      double view_loss;    // decayed expected cost of dropping the view
     };
     std::vector<Candidate> candidates;
     for (size_t si = 0; si < shards_.size(); ++si) {
@@ -1021,30 +1106,24 @@ void PreparedStore::EvictUntilWithinBudget() {
         // clear the deficit — the byte-budget invariant always wins).
         const bool spare =
             entry->referenced.exchange(false, std::memory_order_relaxed);
+        const uint64_t stamp =
+            entry->last_used.load(std::memory_order_relaxed);
+        const int64_t hits =
+            entry->hit_count.load(std::memory_order_relaxed);
+        const int64_t view_bytes = static_cast<int64_t>(
+            entry->view_size_bytes.load(std::memory_order_relaxed));
+        const int64_t charge =
+            static_cast<int64_t>(entry->size_bytes) + view_bytes;
         candidates.push_back(
-            {entry->last_used.load(std::memory_order_relaxed), spare,
+            {stamp, spare,
              entry->superseded.load(std::memory_order_relaxed), si, digest,
-             entry,
-             static_cast<int64_t>(
-                 entry->size_bytes +
-                 entry->view_size_bytes.load(std::memory_order_relaxed))});
+             entry, charge, view_bytes,
+             DecayedLoss(hits, stamp, now, entry->evict_loss_ops, charge),
+             DecayedLoss(hits, stamp, now, entry->view_loss_ops,
+                         view_bytes)});
       }
     }
     if (candidates.empty()) return;  // store drained concurrently
-    std::sort(candidates.begin(), candidates.end(),
-              [](const Candidate& a, const Candidate& b) {
-                if (a.second_chance != b.second_chance) {
-                  return !a.second_chance;  // unreferenced entries go first
-                }
-                if (a.superseded != b.superseded) {
-                  // Retained old versions exist only for pinned readers:
-                  // under pressure they go before any current version.
-                  return a.superseded;
-                }
-                return a.stamp < b.stamp;
-              });
-    // Take the oldest prefix that clears both deficits (recomputed from
-    // the live counters, which concurrent publishers may have moved).
     int64_t bytes_over =
         options_.byte_budget == 0
             ? 0
@@ -1055,6 +1134,62 @@ void PreparedStore::EvictUntilWithinBudget() {
             ? 0
             : count_.load(std::memory_order_relaxed) -
                   static_cast<int64_t>(options_.max_entries);
+
+    // Phase A (tiered, byte pressure only): demote hot→warm before
+    // evicting anything. Dropping a decoded view keeps the payload
+    // answering via the string path — strictly cheaper to undo (one lazy
+    // rebuild) than an eviction (a Π re-run), so views are always the
+    // first bytes to go. Victim order: cold views first (no CLOCK bit),
+    // then cheapest expected loss, then oldest.
+    if (options_.tiered && bytes_over > 0 && entries_over <= 0) {
+      std::vector<size_t> holders;
+      for (size_t i = 0; i < candidates.size(); ++i) {
+        if (candidates[i].view_bytes > 0) holders.push_back(i);
+      }
+      if (!holders.empty()) {
+        std::sort(holders.begin(), holders.end(),
+                  [&candidates](size_t ia, size_t ib) {
+                    const Candidate& a = candidates[ia];
+                    const Candidate& b = candidates[ib];
+                    if (a.second_chance != b.second_chance) {
+                      return !a.second_chance;
+                    }
+                    if (a.view_loss != b.view_loss) {
+                      return a.view_loss < b.view_loss;
+                    }
+                    return a.stamp < b.stamp;
+                  });
+        int64_t freed = 0;
+        for (size_t idx : holders) {
+          if (freed >= bytes_over) break;
+          freed += DemoteView(candidates[idx].digest, candidates[idx].entry);
+        }
+        if (freed > 0) continue;  // re-check the budget, rescan if needed
+      }
+      // No view bytes left to shed: fall through to eviction.
+    }
+
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.second_chance != b.second_chance) {
+                  return !a.second_chance;  // unreferenced entries go first
+                }
+                if (a.superseded != b.superseded) {
+                  // Retained old versions exist only for pinned readers:
+                  // under pressure they go before any current version.
+                  return a.superseded;
+                }
+                if (a.evict_loss != b.evict_loss) {
+                  // Cheapest expected loss first: among equally (un)recent
+                  // entries, evict the one whose re-build we are least
+                  // likely to pay for. Never-hit entries all score 0, so
+                  // pure recency order is preserved exactly for them.
+                  return a.evict_loss < b.evict_loss;
+                }
+                return a.stamp < b.stamp;
+              });
+    // Take the oldest prefix that clears both deficits (recomputed from
+    // the live counters, which concurrent publishers may have moved).
     size_t take = 0;
     while (take < candidates.size() && (bytes_over > 0 || entries_over > 0)) {
       bytes_over -= candidates[take].charge;
@@ -1066,6 +1201,13 @@ void PreparedStore::EvictUntilWithinBudget() {
     // touched shard. A candidate whose slot moved on since the scan
     // (replaced, re-keyed, already evicted) is skipped; the outer loop
     // re-checks the budget and rescans if the skips left us over.
+    struct ColdDemotion {
+      uint64_t digest;
+      std::shared_ptr<const std::string> key;
+      std::shared_ptr<const std::string> prepared;
+      size_t size_bytes;
+    };
+    std::vector<ColdDemotion> cold;
     for (size_t si = 0; si < shards_.size(); ++si) {
       bool touched = false;
       Shard& shard = shards_[si];
@@ -1092,10 +1234,85 @@ void PreparedStore::EvictUntilWithinBudget() {
             std::memory_order_relaxed);
         count_.fetch_sub(1, std::memory_order_relaxed);
         LocalStats().evictions.fetch_add(1, std::memory_order_relaxed);
+        if (options_.tiered && victim.entry->spillable &&
+            !victim.superseded) {
+          // Warm→cold: remember the payload so it can be written out as a
+          // spill frame after the shard locks drop. Until the write lands
+          // the entry simply recomputes on miss — the old frame from an
+          // earlier Spill pass (same content-addressed payload) may even
+          // still cover it.
+          cold.push_back({victim.digest, victim.entry->key,
+                          victim.entry->prepared, victim.entry->size_bytes});
+        }
       }
       if (touched) PublishTable(&shard, std::move(table));
     }
+    if (!cold.empty()) {
+      // Outside every shard lock; spill_dir_mutex_ serializes against
+      // Spill's stale-file sweep and RespillPatched's rewrite/remove.
+      std::lock_guard<std::mutex> dir_lock(spill_dir_mutex_);
+      if (!spill_dir_.empty()) {
+        for (const ColdDemotion& demotion : cold) {
+          Status wrote =
+              WriteSpillFile(spill_dir_, demotion.digest, *demotion.key,
+                             *demotion.prepared, demotion.size_bytes);
+          if (wrote.ok()) {
+            LocalStats().cold_demotions.fetch_add(1,
+                                                  std::memory_order_relaxed);
+          } else {
+            // Degrade-to-recompute, loudly: the miss will run Π and the
+            // dying disk shows up in stats().
+            LocalStats().respill_failures.fetch_add(
+                1, std::memory_order_relaxed);
+          }
+        }
+      }
+    }
   }
+}
+
+bool PreparedStore::TryLoadColdPayload(const Key& key,
+                                       std::string* payload) const {
+  std::string dir;
+  {
+    std::lock_guard<std::mutex> lock(spill_dir_mutex_);
+    if (spill_dir_.empty()) return false;
+    dir = spill_dir_;
+  }
+  // The read runs unlocked: a concurrent RespillPatched/Spill may remove
+  // or replace the file mid-read, but tmp+rename publication means we see
+  // either a complete old frame or a complete new one — and every
+  // validation failure just degrades to running Π.
+  std::ifstream in(fs::path(dir) / DigestFileName(key.digest),
+                   std::ios::binary);
+  if (!in || PITRACT_FAILPOINT("spill.read")) return false;
+  std::string framed((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  serde::Reader reader(framed);
+  auto magic = reader.ReadU32();
+  auto version = magic.ok() ? reader.ReadU32() : magic;
+  if (!version.ok() || *magic != kSpillMagic || *version != kSpillVersion) {
+    return false;
+  }
+  auto checksum = reader.ReadU64();
+  if (!checksum.ok() ||
+      *checksum != serde::Checksum64(
+                       std::string_view(framed).substr(reader.consumed()))) {
+    return false;
+  }
+  auto stored_key = reader.ReadBytes();
+  auto prepared = stored_key.ok() ? reader.ReadBytes() : stored_key;
+  auto size_bytes = reader.ReadU64();
+  if (!stored_key.ok() || !prepared.ok() || !size_bytes.ok() ||
+      !reader.exhausted()) {
+    return false;
+  }
+  // The full-key guard: a digest collision (file named like our digest
+  // but holding a foreign key) degrades to a plain Π run, never to a
+  // wrong structure.
+  if (*stored_key != *key.bytes) return false;
+  *payload = std::move(prepared).value();
+  return true;
 }
 
 Status PreparedStore::Spill(const std::string& dir) const {
@@ -1314,8 +1531,48 @@ PreparedStore::Stats PreparedStore::stats() const {
         slot.respill_failures.load(std::memory_order_relaxed);
     stats.load_skipped += slot.load_skipped.load(std::memory_order_relaxed);
     stats.load_corrupt += slot.load_corrupt.load(std::memory_order_relaxed);
+    stats.view_demotions +=
+        slot.view_demotions.load(std::memory_order_relaxed);
+    stats.cold_demotions +=
+        slot.cold_demotions.load(std::memory_order_relaxed);
+    stats.cold_promotions +=
+        slot.cold_promotions.load(std::memory_order_relaxed);
   }
   return stats;
+}
+
+std::string PreparedStore::Stats::ToJson() const {
+  std::string json = "{";
+  bool first = true;
+  auto field = [&json, &first](const char* name, int64_t value) {
+    if (!first) json.push_back(',');
+    first = false;
+    json.push_back('"');
+    json.append(name);
+    json.append("\":");
+    json.append(std::to_string(value));
+  };
+  field("hits", hits);
+  field("misses", misses);
+  field("evictions", evictions);
+  field("inflight_waits", inflight_waits);
+  field("spilled", spilled);
+  field("loaded", loaded);
+  field("patches", patches);
+  field("patch_fallbacks", patch_fallbacks);
+  field("key_builds", key_builds);
+  field("view_builds", view_builds);
+  field("locked_hits", locked_hits);
+  field("update_retries", update_retries);
+  field("lineage_resolves", lineage_resolves);
+  field("respill_failures", respill_failures);
+  field("load_skipped", load_skipped);
+  field("load_corrupt", load_corrupt);
+  field("view_demotions", view_demotions);
+  field("cold_demotions", cold_demotions);
+  field("cold_promotions", cold_promotions);
+  json.push_back('}');
+  return json;
 }
 
 size_t PreparedStore::size() const {
@@ -1365,6 +1622,9 @@ void PreparedStore::ResetStats() {
     slot.respill_failures.store(0, std::memory_order_relaxed);
     slot.load_skipped.store(0, std::memory_order_relaxed);
     slot.load_corrupt.store(0, std::memory_order_relaxed);
+    slot.view_demotions.store(0, std::memory_order_relaxed);
+    slot.cold_demotions.store(0, std::memory_order_relaxed);
+    slot.cold_promotions.store(0, std::memory_order_relaxed);
   }
 }
 

@@ -104,6 +104,25 @@ class PreparedStore {
     /// are skipped by Spill. Clamped to >= 1; 1 = pre-MVCC behavior (the
     /// old version is dropped at publish, lineage records still resolve).
     size_t versions = 2;
+    /// Tiered residency. When set, budget pressure moves entries down a
+    /// three-tier ladder instead of straight to eviction:
+    ///   hot  — payload + decoded view resident (the fast answer path);
+    ///   warm — payload only: the view is *demoted* (dropped) first, the
+    ///          entry keeps serving via the string path and re-promotes to
+    ///          hot through the existing lazy view rebuild on its next hit;
+    ///   cold — evicted from memory, but (when a spill directory is
+    ///          active) the payload is written as a v3 spill frame on the
+    ///          way out, so the next miss *promotes* it back by reading
+    ///          one file instead of re-running Π.
+    /// Victim order is cheapest-expected-loss first, not just oldest: the
+    /// decayed hit count weights each entry's caller-supplied rebuild
+    /// cost (EntryOptions::view_loss_ops / evict_loss_ops) per byte
+    /// freed. Entries that were never hit score zero, so the CLOCK +
+    /// recency-stamp order is preserved exactly for them. The warm hit
+    /// path is untouched: demotion publishes a view-less *clone* of the
+    /// entry through the normal snapshot-swap protocol, never a lock on
+    /// the read side.
+    bool tiered = true;
   };
 
   struct Stats {
@@ -160,6 +179,22 @@ class PreparedStore {
     /// recompute-on-miss — a non-zero counter means the spill medium
     /// damaged bytes that would otherwise have been *served*.
     int64_t load_corrupt = 0;
+    /// Hot→warm demotions: decoded views dropped under byte pressure while
+    /// the payload stayed resident (the entry re-promotes via the lazy
+    /// view rebuild on its next hit). Each saves an eviction.
+    int64_t view_demotions = 0;
+    /// Warm→cold demotions: evicted entries whose payload was written to
+    /// the active spill directory on the way out, so the next miss can
+    /// promote it back with one file read instead of a Π run.
+    int64_t cold_demotions = 0;
+    /// Cold→warm promotions: misses served by reading the digest's spill
+    /// frame instead of running Π (the miss is still counted; Π was not).
+    int64_t cold_promotions = 0;
+
+    /// One JSON object with every counter, e.g.
+    /// {"hits":12,"misses":3,...} — the single observability blob benches
+    /// and operators embed instead of hand-formatting counters.
+    std::string ToJson() const;
   };
 
   /// Legacy convenience: an entry-capped store with auto sharding.
@@ -189,6 +224,14 @@ class PreparedStore {
     SizeFn size_of;            // unset: payload + key + kEntryOverheadBytes
     bool spillable = true;     // false: Spill skips, recompute after restart
     ViewFn make_view;          // unset: no decoded view is memoized
+    /// Expected cost (abstract CostMeter ops) of rebuilding the decoded
+    /// view if it is demoted — what a hot→warm move risks. The tiered
+    /// sweep weighs hit-decayed loss per byte freed; 0 (the default)
+    /// means "no opinion", which preserves pure CLOCK+recency order.
+    double view_loss_ops = 0;
+    /// Expected cost of re-running Π if the entry is evicted — what a
+    /// warm→cold move risks. Same scoring and same 0 default.
+    double evict_loss_ops = 0;
   };
 
   /// A content-addressed store key, materialized once and reusable across
@@ -372,6 +415,10 @@ class PreparedStore {
     /// tie with genuinely cold ones. Never set on insert: an entry must
     /// earn its second chance with a hit.
     std::atomic<bool> referenced{false};
+    /// Lifetime hit count (relaxed, entry-local line — no shared
+    /// contention). The tiered sweep decays it by epoch age to estimate
+    /// how much re-answer cost a demotion would actually forfeit.
+    std::atomic<int64_t> hit_count{0};
     size_t size_bytes = 0;
     /// Byte estimate charged for `view` against the eviction budget
     /// (≈ payload bytes when a view is resident — a typed decode of the
@@ -383,6 +430,10 @@ class PreparedStore {
     /// skip the O(|Π(D)|) rebuild attempt instead of failing it per hit.
     std::atomic<bool> view_build_failed{false};
     bool spillable = true;
+    /// Demotion-loss hints copied from EntryOptions at admission (plain:
+    /// set before publication, immutable after).
+    double view_loss_ops = 0;
+    double evict_loss_ops = 0;
     // --- MVCC lineage ------------------------------------------------------
     /// The digest this entry is resident under. Lets hit-path repairs
     /// (RebuildViewLazily) find the entry's own shard even when it was
@@ -524,6 +575,9 @@ class PreparedStore {
     std::atomic<int64_t> respill_failures{0};
     std::atomic<int64_t> load_skipped{0};
     std::atomic<int64_t> load_corrupt{0};
+    std::atomic<int64_t> view_demotions{0};
+    std::atomic<int64_t> cold_demotions{0};
+    std::atomic<int64_t> cold_promotions{0};
   };
   static constexpr size_t kStatSlots = 16;  // power of two
 
@@ -554,6 +608,10 @@ class PreparedStore {
     if (!entry.referenced.load(std::memory_order_relaxed)) {
       entry.referenced.store(true, std::memory_order_relaxed);
     }
+    // Entry-local popularity for the tiered sweep's loss estimate. The
+    // line is already dirtied by the stamps above on epoch change; between
+    // epochs this is the only write, still confined to this entry's line.
+    entry.hit_count.fetch_add(1, std::memory_order_relaxed);
   }
   /// Copies the shard's current table for a copy-on-write mutation.
   /// Requires shard.mutex held.
@@ -596,9 +654,30 @@ class PreparedStore {
   EntryPtr ResolveLineage(const Key& key) const;
   /// Evicts approximately-LRU entries until both budgets hold: scans the
   /// published snapshots for the globally oldest recency stamp (no locks),
-  /// then removes the victim under its shard's mutex.
+  /// then removes the victim under its shard's mutex. With
+  /// Options::tiered, byte pressure first demotes hot entries to warm
+  /// (view drop via DemoteViews) and eviction writes spillable victims
+  /// out as cold spill frames (warm→cold) before removing them.
   void EvictUntilWithinBudget();
   bool OverBudget() const;
+  /// Hot→warm: publishes a view-less clone of `entry` (same key, payload,
+  /// MVCC metadata, recency and hit state) iff it is still the resident
+  /// entry for `digest`. Returns the bytes freed (0 = lost the race).
+  /// Readers holding the old entry keep its view alive; the clone
+  /// re-promotes through the lazy view rebuild on its next hit.
+  int64_t DemoteView(uint64_t digest, const EntryPtr& entry);
+  /// Cold-tier probe on the miss-winner path: reads the digest's v3 spill
+  /// frame from the active spill directory, validates magic/version/
+  /// checksum and the stored key, and returns the payload. Any failure —
+  /// no directory, no file, corrupt frame, key mismatch — degrades to
+  /// running Π (returns false, counts nothing).
+  bool TryLoadColdPayload(const Key& key, std::string* payload) const;
+  /// The tiered sweep's expected-loss estimate: `loss_ops` (the cost the
+  /// demotion risks re-paying) weighted by the entry's hit count decayed
+  /// by epoch age, per byte freed. Never-hit entries score 0, preserving
+  /// the CLOCK + recency order exactly for them.
+  static double DecayedLoss(int64_t hits, uint64_t stamp, uint64_t now,
+                            double loss_ops, int64_t bytes_freed);
   /// Best-effort spill-directory maintenance after a successful patch:
   /// rewrites the patched entry's file under its new digest and drops the
   /// old digest's file, so Load never resurrects the pre-delta Π(D).

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <string>
 
 #include "engine/pipeline.h"
 
@@ -37,6 +39,51 @@ ServeReport ServeParallel(QueryEngine* engine,
           ? static_cast<double>(report.queries) / report.wall_seconds
           : 0;
   return report;
+}
+
+std::string ServeReport::ToJson() const {
+  std::string json = "{";
+  bool first = true;
+  auto raw = [&json, &first](const char* name, const std::string& value) {
+    if (!first) json.push_back(',');
+    first = false;
+    json.push_back('"');
+    json.append(name);
+    json.append("\":");
+    json.append(value);
+  };
+  auto field = [&raw](const char* name, int64_t value) {
+    raw(name, std::to_string(value));
+  };
+  auto dfield = [&raw](const char* name, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    raw(name, buf);
+  };
+  field("batches", batches);
+  field("queries", queries);
+  field("pi_runs", pi_runs);
+  field("cache_hits", cache_hits);
+  field("kernel_batches", kernel_batches);
+  field("answer_bytes_read", answer_bytes_read);
+  field("errors", errors);
+  dfield("wall_seconds", wall_seconds);
+  dfield("queries_per_second", queries_per_second);
+  field("prepare_work", prepare_cost.work);
+  field("prepare_depth", prepare_cost.depth);
+  field("answer_work", answer_cost.work);
+  field("answer_depth", answer_cost.depth);
+  field("threads", threads);
+  field("deadline_expired", deadline_expired);
+  field("shed", shed);
+  field("queue_depth_max", queue_depth_max);
+  field("preparer_busy_ns", preparer_busy_ns);
+  field("preparers", preparers);
+  field("pi_failures", pi_failures);
+  field("pi_retries", pi_retries);
+  field("quarantined", quarantined);
+  json.push_back('}');
+  return json;
 }
 
 }  // namespace engine

@@ -103,6 +103,12 @@ struct ServeReport {
   /// was quarantined — the retry storm the negative cache absorbed. Also
   /// counted in `errors`.
   int64_t quarantined = 0;
+
+  /// One observability blob: every counter above as a flat JSON object
+  /// (costs flattened to `prepare_work`/`prepare_depth`/...), so benches
+  /// and operators embed the full report instead of hand-formatting a
+  /// subset in each emitter. Pairs with PreparedStore::Stats::ToJson().
+  std::string ToJson() const;
 };
 
 /// Drives `workload` through the completion pipeline (engine/pipeline.h)

@@ -351,6 +351,96 @@ TEST(ChaosTest, TwelveSeededSchedulesHoldEveryInvariant) {
 }
 
 // ---------------------------------------------------------------------------
+// Tiered-residency chaos: view-build and spill-write faults land exactly
+// where the demotion sweeps do their work. A byte-budgeted store with an
+// armed spill directory churns hot->warm view demotions, warm->cold frame
+// writes, and cold->hot promotions while both failure edges fire; a failed
+// view build must degrade to the string answer path and a failed frame
+// write must degrade to a plain eviction — never a wrong answer, never a
+// stuck sweep, never broken accounting.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosTest, TieredDemotionSweepsSurviveViewBuildAndSpillFaults) {
+  Rng rng(2026);
+  constexpr int kParts = 6;
+  std::vector<ShadowPart> parts;
+  for (int p = 0; p < kParts; ++p) {
+    parts.push_back(MakeShadowPart(&rng, /*stable_count=*/24,
+                                   /*volatile_count=*/16,
+                                   /*probe_count=*/12));
+  }
+
+  // Size the budget off a fault-free probe: room for ~2.5 parts, so six
+  // parts in rotation keep every sweep phase busy.
+  size_t per_part = 0;
+  {
+    auto probe = MakeEngine();
+    ASSERT_TRUE(
+        probe->AnswerBatch("list-membership", parts[0].data, parts[0].probes)
+            .ok());
+    per_part = probe->store().bytes_resident();
+    ASSERT_GT(per_part, 0u);
+  }
+
+  failpoint::ScopedFailpoints guard;
+  failpoint::Arm("store.view_build", failpoint::EveryNth(3));
+  failpoint::Arm("spill.write", failpoint::WithProbability(0.35, rng.Next()));
+
+  PreparedStore::Options options;
+  options.shards = 2;
+  options.byte_budget = per_part * 5 / 2;
+  auto engine = MakeEngine(options);
+  ASSERT_TRUE(options.tiered);
+  const std::string spill_dir = UniqueTempDir("chaos_tiered");
+  ASSERT_TRUE(engine->store().Spill(spill_dir).ok());
+
+  // The storm: three workers rotate through more parts than the budget
+  // holds. Every batch must come back OK and shadow-correct no matter
+  // which demotion/promotion edge it raced or which faults it absorbed.
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 3; ++w) {
+    const uint64_t worker_seed = rng.Next();
+    workers.emplace_back([&, worker_seed] {
+      Rng local(worker_seed);
+      for (int i = 0; i < 50; ++i) {
+        const ShadowPart& part =
+            parts[local.NextBelow(static_cast<uint64_t>(kParts))];
+        auto batch =
+            engine->AnswerBatch("list-membership", part.data, part.probes);
+        ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+        ExpectShadowAnswers(part, batch->answers, "tiered-storm");
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+
+  // The sweeps really ran across every tier boundary: views were shed in
+  // the hot->warm phase, entries left the warm set, and each spillable
+  // eviction either landed a cold frame or was charged as a respill
+  // failure by the fault schedule.
+  const PreparedStore::Stats stats = engine->store().stats();
+  EXPECT_GT(stats.view_demotions, 0);
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_GT(stats.cold_demotions + stats.respill_failures, 0);
+  EXPECT_LE(engine->store().bytes_resident(), options.byte_budget);
+
+  // Fault-free epilogue: every part still answers correctly, and the
+  // ledger clears to exactly zero — no bytes stranded by a sweep that a
+  // failpoint interrupted halfway.
+  failpoint::DisarmAll();
+  for (const ShadowPart& part : parts) {
+    auto batch =
+        engine->AnswerBatch("list-membership", part.data, part.probes);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    ExpectShadowAnswers(part, batch->answers, "tiered-post-storm");
+  }
+  engine->store().Clear();
+  EXPECT_EQ(engine->store().size(), 0u);
+  EXPECT_EQ(engine->store().bytes_resident(), 0u);
+  fs::remove_all(spill_dir);
+}
+
+// ---------------------------------------------------------------------------
 // Deterministic Π retry / quarantine policy tests (the acceptance pins).
 // ---------------------------------------------------------------------------
 

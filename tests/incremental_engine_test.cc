@@ -838,6 +838,129 @@ TEST(MvccLineageTest, StaleHandleResolvesToFirstResidentSuccessor) {
   EXPECT_EQ(engine->store().stats().lineage_resolves, 1);  // unchanged
 }
 
+// Tier × MVCC: under byte pressure the retained (superseded) predecessor
+// is the first eviction victim, its demotion keeps byte and entry
+// accounting exact, it is skipped by cold-frame spilling (a retired
+// version must never be promoted back as a servable head), and readers
+// still pinned on it resolve forward through the lineage records instead
+// of being stranded.
+TEST(MvccLineageTest, SupersededVersionEvictsFirstWithExactAccounting) {
+  VersionChain chain = MakeVersionChain(2, 1013);
+  const std::string filler_data =
+      MemberData(512, std::vector<int64_t>{7, 11, 13});
+
+  // Query the delta-inserted elements too, so the two versions provably
+  // answer differently and a lineage-resolved reader is distinguishable.
+  std::vector<std::string> queries = chain.queries;
+  for (const DeltaOp& op : chain.deltas[0].ops) {
+    queries.push_back(std::to_string(op.a));
+  }
+  std::vector<bool> expected0;
+  std::vector<bool> expected1;
+  for (const std::string& q : queries) {
+    expected0.push_back(ShadowMember(chain.lists[0], std::stoll(q)));
+    expected1.push_back(ShadowMember(chain.lists[1], std::stoll(q)));
+  }
+  ASSERT_NE(expected0, expected1);
+
+  // Views off: the byte assertions below are exact payload accounting,
+  // and the sweep exercises the eviction tier directly instead of first
+  // shedding view bytes in the hot->warm phase.
+  auto make_engine = [](size_t byte_budget) {
+    PreparedStore::Options options;
+    options.shards = 1;
+    options.versions = 2;
+    options.byte_budget = byte_budget;
+    auto engine = std::make_unique<QueryEngine>(options);
+    BuiltinOptions builtin_options;
+    builtin_options.enable_views = false;
+    auto status = RegisterBuiltins(engine.get(), builtin_options);
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return engine;
+  };
+
+  // Dry run, unbounded: measure the exact residency of every step.
+  auto probe = make_engine(0);
+  ASSERT_TRUE(
+      probe->AnswerBatch("list-membership", chain.data[0], queries)
+          .ok());
+  const size_t v0_bytes = probe->store().bytes_resident();
+  auto probe_delta =
+      probe->ApplyDelta("list-membership", chain.data[0], chain.deltas[0]);
+  ASSERT_TRUE(probe_delta.ok());
+  ASSERT_TRUE(probe_delta->patched);
+  const size_t chain_bytes = probe->store().bytes_resident();  // v0 + v1
+  ASSERT_GT(chain_bytes, v0_bytes);
+  ASSERT_TRUE(
+      probe->AnswerBatch("list-membership", filler_data, queries).ok());
+  const size_t filler_bytes = probe->store().bytes_resident() - chain_bytes;
+  ASSERT_GT(filler_bytes, 0u);
+  // Evicting the superseded version alone must clear the filler's deficit.
+  ASSERT_LT(filler_bytes, v0_bytes);
+
+  // Budgeted run: exactly enough bytes for the two-version chain.
+  const std::string dir = UniqueTempDir("superseded_evict");
+  auto engine = make_engine(chain_bytes);
+  auto handle0 = engine->Intern("list-membership", chain.data[0]);
+  ASSERT_TRUE(handle0.ok());
+  auto warm0 = engine->AnswerBatch(*handle0, queries);
+  ASSERT_TRUE(warm0.ok());
+  EXPECT_EQ(warm0->answers, expected0);
+  EXPECT_EQ(engine->store().bytes_resident(), v0_bytes);
+  // Arm the spill directory: evictions from here on write cold frames —
+  // except for superseded versions, which must never leave one behind.
+  ASSERT_TRUE(engine->store().Spill(dir).ok());
+
+  auto outcome =
+      engine->ApplyDelta("list-membership", chain.data[0], chain.deltas[0]);
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_TRUE(outcome->patched);
+  // Version retention is exactly accounted: superseded v0 + patched v1
+  // hold byte-for-byte what the unbounded engine holds, and both count.
+  EXPECT_EQ(engine->store().bytes_resident(), chain_bytes);
+  EXPECT_EQ(engine->store().size(), 2u);
+
+  auto current =
+      engine->AnswerBatch("list-membership", chain.data[1], queries);
+  ASSERT_TRUE(current.ok());
+  EXPECT_TRUE(current->cache_hit);
+  EXPECT_EQ(current->answers, expected1);
+
+  // The filler admission overflows the budget: the sweep takes the
+  // superseded version first — not the current head, not the newcomer —
+  // and the byte ledger moves by exactly (filler in, v0 out).
+  ASSERT_TRUE(
+      engine->AnswerBatch("list-membership", filler_data, queries).ok());
+  EXPECT_EQ(engine->store().stats().evictions, 1);
+  EXPECT_EQ(engine->store().size(), 2u);  // v1 + filler
+  EXPECT_EQ(engine->store().bytes_resident(),
+            chain_bytes - v0_bytes + filler_bytes);
+  // No cold frame for the retired version despite the armed directory.
+  EXPECT_EQ(engine->store().stats().cold_demotions, 0);
+
+  // The pinned reader is not stranded: the stale handle resolves through
+  // the lineage records to the resident successor — warm, no Π re-run.
+  const int64_t misses_before = engine->store().stats().misses;
+  BatchResult stale;
+  auto served = engine->TryAnswerWarm(*handle0, queries, AnswerOptions{},
+                                      &stale);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_TRUE(*served);
+  EXPECT_TRUE(stale.cache_hit);
+  EXPECT_EQ(stale.prepare_runs, 0);
+  EXPECT_EQ(stale.answers, expected1);
+  EXPECT_EQ(engine->store().stats().lineage_resolves, 1);
+  EXPECT_EQ(engine->store().stats().misses, misses_before);
+
+  // The current head still serves itself warm after the sweep.
+  auto again =
+      engine->AnswerBatch("list-membership", chain.data[1], queries);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->cache_hit);
+  EXPECT_EQ(again->answers, expected1);
+  fs::remove_all(dir);
+}
+
 TEST(IncrementalConcurrencyTest, ReadersRaceDeltaChainAcrossVersions) {
   constexpr int kVersions = 5;
   VersionChain chain = MakeVersionChain(kVersions, 929);

@@ -6,6 +6,7 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -1681,6 +1682,345 @@ TEST(PreparedStoreOptionsTest, ZeroShardsAutoSizesFromCoreCount) {
   PreparedStore legacy(/*max_entries=*/8);
   EXPECT_EQ(legacy.options().shards, shards);
   EXPECT_EQ(legacy.options().max_entries, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// Tiered residency: hot (payload + view) -> warm (payload only, view
+// demoted) -> cold (evicted, spilled when a directory is armed).
+// ---------------------------------------------------------------------------
+
+// The full ladder in one deterministic sequence: under byte pressure the
+// sweep sheds decoded views first (cheapest-expected-loss view first, even
+// when that view's entry is the *more* hit one), re-promotes them through
+// the lazy rebuild on the next hit, and only evicts a whole entry once
+// there are no view bytes left to shed — and then takes the never-hit
+// entry, not the hot ones.
+TEST(PreparedStoreTieringTest, DemotesViewsByExpectedLossBeforeEvicting) {
+  PreparedStore::Options options;
+  options.shards = 1;
+  options.byte_budget = 900;
+  ASSERT_TRUE(options.tiered);  // tiering is the default
+  PreparedStore store(options);
+
+  PreparedStore::EntryOptions size_only;
+  size_only.size_of = [](const std::string& s) { return s.size(); };
+
+  // "expensive": a view the caller declares very costly to rebuild.
+  std::atomic<int> builds_expensive{0};
+  PreparedStore::EntryOptions expensive_options = size_only;
+  expensive_options.make_view = CountingViewFn(&builds_expensive);
+  expensive_options.view_loss_ops = 10000;
+  const std::string expensive_payload(200, 'e');
+  auto compute_expensive = [&](CostMeter*) -> Result<std::string> {
+    return expensive_payload;
+  };
+
+  // "cheap": same size, same recency, MORE hits — but a near-free rebuild.
+  std::atomic<int> builds_cheap{0};
+  PreparedStore::EntryOptions cheap_options = size_only;
+  cheap_options.make_view = CountingViewFn(&builds_cheap);
+  cheap_options.view_loss_ops = 10;
+  const std::string cheap_payload(200, 'c');
+  auto compute_cheap = [&](CostMeter*) -> Result<std::string> {
+    return cheap_payload;
+  };
+
+  auto fail_compute = [](CostMeter*) -> Result<std::string> {
+    return Status::Internal("Π must not run on a warm entry");
+  };
+
+  // Admit both hot: payload 200 + view 200 = 400 bytes each.
+  auto cold_expensive = store.GetOrComputeView(
+      "p", "w", "expensive", compute_expensive, nullptr, nullptr,
+      expensive_options);
+  ASSERT_TRUE(cold_expensive.ok());
+  ASSERT_TRUE(store
+                  .GetOrComputeView("p", "w", "cheap", compute_cheap, nullptr,
+                                    nullptr, cheap_options)
+                  .ok());
+  EXPECT_EQ(store.bytes_resident(), 800u);
+
+  // Hit both in the same epoch; "cheap" twice as hard.
+  bool hit = false;
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_TRUE(store
+                    .GetOrComputeView("p", "w", "expensive", fail_compute,
+                                      nullptr, &hit, expensive_options)
+                    .ok());
+    ASSERT_TRUE(hit);
+  }
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_TRUE(store
+                    .GetOrComputeView("p", "w", "cheap", fail_compute, nullptr,
+                                      &hit, cheap_options)
+                    .ok());
+    ASSERT_TRUE(hit);
+  }
+
+  // 150 more bytes overflow the 900-byte budget by 50. Tiered Phase A:
+  // demote a view rather than evict anything — and the victim is the
+  // *cheap-to-rebuild* view despite its entry being hit twice as often.
+  PreparedStore::EntryOptions filler_options = size_only;
+  auto compute_filler = [](CostMeter*) -> Result<std::string> {
+    return std::string(150, 'f');
+  };
+  ASSERT_TRUE(store
+                  .GetOrCompute("p", "w", "filler", compute_filler, nullptr,
+                                nullptr, filler_options)
+                  .ok());
+  EXPECT_EQ(store.stats().view_demotions, 1);
+  EXPECT_EQ(store.stats().evictions, 0);
+  EXPECT_EQ(store.bytes_resident(), 750u);
+  EXPECT_TRUE(store.Contains("p", "w", "expensive"));
+  EXPECT_TRUE(store.Contains("p", "w", "cheap"));
+  EXPECT_TRUE(store.Contains("p", "w", "filler"));
+
+  // The expensive view was spared: still the memoized pointer, no rebuild.
+  auto warm_expensive = store.GetOrComputeView(
+      "p", "w", "expensive", fail_compute, nullptr, &hit, expensive_options);
+  ASSERT_TRUE(warm_expensive.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(warm_expensive->view, cold_expensive->view);
+  EXPECT_EQ(builds_expensive.load(), 1);
+
+  // The cheap view re-promotes hot through the lazy rebuild — Π never
+  // re-runs, the payload was resident the whole time.
+  auto repromoted = store.GetOrComputeView("p", "w", "cheap", fail_compute,
+                                           nullptr, &hit, cheap_options);
+  ASSERT_TRUE(repromoted.ok());
+  EXPECT_TRUE(hit);
+  ASSERT_NE(repromoted->view, nullptr);
+  EXPECT_EQ(ViewString(*repromoted), cheap_payload);
+  EXPECT_EQ(builds_cheap.load(), 2);
+  // The rebuild pushed the store back over budget; the sweep it triggers
+  // demotes the cheap view again (still the cheapest loss) — and still
+  // evicts nothing.
+  EXPECT_EQ(store.stats().view_demotions, 2);
+  EXPECT_EQ(store.stats().evictions, 0);
+  EXPECT_EQ(store.bytes_resident(), 750u);
+
+  // 400 more bytes: one view demotion (200) cannot cover the deficit, so
+  // the sweep falls through to eviction — and takes the never-hit filler,
+  // not the hot pair or the newcomer.
+  PreparedStore::EntryOptions big_options = size_only;
+  auto compute_big = [](CostMeter*) -> Result<std::string> {
+    return std::string(400, 'g');
+  };
+  ASSERT_TRUE(store
+                  .GetOrCompute("p", "w", "big", compute_big, nullptr, nullptr,
+                                big_options)
+                  .ok());
+  EXPECT_EQ(store.stats().view_demotions, 3);
+  EXPECT_EQ(store.stats().evictions, 1);
+  EXPECT_FALSE(store.Contains("p", "w", "filler"));
+  EXPECT_TRUE(store.Contains("p", "w", "expensive"));
+  EXPECT_TRUE(store.Contains("p", "w", "cheap"));
+  EXPECT_TRUE(store.Contains("p", "w", "big"));
+  EXPECT_EQ(store.bytes_resident(), 800u);  // 200 + 200 + 400, all warm
+
+  // Both demoted entries still answer correctly (and re-promote again).
+  auto check_expensive = store.GetOrComputeView(
+      "p", "w", "expensive", fail_compute, nullptr, &hit, expensive_options);
+  ASSERT_TRUE(check_expensive.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(*check_expensive->prepared, expensive_payload);
+  auto check_cheap = store.GetOrComputeView("p", "w", "cheap", fail_compute,
+                                            nullptr, &hit, cheap_options);
+  ASSERT_TRUE(check_cheap.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(*check_cheap->prepared, cheap_payload);
+}
+
+// Warm -> cold -> warm: with a spill directory armed, an evicted entry's
+// payload is written out as a spill frame (cold demotion), and the next
+// miss for it promotes the frame back instead of re-running Π.
+TEST(PreparedStoreTieringTest, ColdDemotionSpillsVictimAndPromotesOnNextMiss) {
+  const std::string dir = UniqueTempDir("cold_demotion");
+  PreparedStore::Options options;
+  options.shards = 1;
+  options.byte_budget = 250;
+  PreparedStore store(options);
+
+  PreparedStore::EntryOptions entry_options;
+  entry_options.size_of = [](const std::string& s) { return s.size(); };
+
+  std::map<std::string, int> computes;
+  auto make_compute = [&computes](const std::string& data) {
+    return [&computes, data](CostMeter*) -> Result<std::string> {
+      ++computes[data];
+      std::string payload = "payload-" + data;
+      payload.resize(100, '.');
+      return payload;
+    };
+  };
+  auto fail_compute = [](CostMeter*) -> Result<std::string> {
+    return Status::Internal("Π must not run: the spill frame covers this");
+  };
+
+  ASSERT_TRUE(store
+                  .GetOrCompute("p", "w", "a", make_compute("a"), nullptr,
+                                nullptr, entry_options)
+                  .ok());
+  // Spill arms the directory: from here on, evictions write cold frames.
+  ASSERT_TRUE(store.Spill(dir).ok());
+  ASSERT_TRUE(store
+                  .GetOrCompute("p", "w", "b", make_compute("b"), nullptr,
+                                nullptr, entry_options)
+                  .ok());
+  bool hit = false;
+  ASSERT_TRUE(store
+                  .GetOrCompute("p", "w", "b", fail_compute, nullptr, &hit,
+                                entry_options)
+                  .ok());
+  ASSERT_TRUE(hit);  // arms b's second chance: b survives the sweep
+  ASSERT_TRUE(store
+                  .GetOrCompute("p", "w", "c", make_compute("c"), nullptr,
+                                nullptr, entry_options)
+                  .ok());
+
+  // 300 > 250: exactly one of the never-hit entries went cold.
+  EXPECT_EQ(store.stats().evictions, 1);
+  EXPECT_EQ(store.stats().cold_demotions, 1);
+  EXPECT_TRUE(store.Contains("p", "w", "b"));
+  const bool a_resident = store.Contains("p", "w", "a");
+  const bool c_resident = store.Contains("p", "w", "c");
+  ASSERT_NE(a_resident, c_resident);
+  const std::string victim = a_resident ? "c" : "a";
+
+  // The re-miss promotes the cold frame: Π does not run, the payload is
+  // byte-identical, and the miss is still counted as a miss.
+  hit = true;
+  auto promoted = store.GetOrCompute("p", "w", victim, fail_compute, nullptr,
+                                     &hit, entry_options);
+  ASSERT_TRUE(promoted.ok()) << promoted.status().ToString();
+  EXPECT_FALSE(hit);
+  std::string expected = "payload-" + victim;
+  expected.resize(100, '.');
+  EXPECT_EQ(**promoted, expected);
+  EXPECT_EQ(store.stats().cold_promotions, 1);
+  EXPECT_EQ(store.stats().misses, 4);
+  EXPECT_EQ(computes[victim], 1);
+
+  // The promotion re-overflowed the budget: another (older) entry went
+  // cold in its place, and the freshly promoted entry survived.
+  EXPECT_EQ(store.stats().evictions, 2);
+  EXPECT_EQ(store.stats().cold_demotions, 2);
+  EXPECT_TRUE(store.Contains("p", "w", victim));
+  hit = false;
+  auto warm = store.GetOrCompute("p", "w", victim, fail_compute, nullptr,
+                                 &hit, entry_options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(computes["a"] + computes["b"] + computes["c"], 3);
+  fs::remove_all(dir);
+}
+
+// The tentpole's lock-freedom criterion, test-asserted: warm hitters
+// hammer a fixed set of view-carrying entries while admissions force
+// continuous demotion sweeps (hot -> warm) and churn evictions. Every hit
+// must be served from the published snapshot — locked_hits stays exactly
+// 0 with tiers enabled — and no hitter entry is ever evicted or answers
+// wrong. (TSan-exercised in CI.)
+TEST(PreparedStoreTieringTest, WarmHittersRaceDemotionSweepsWithoutLockedHits) {
+  PreparedStore::Options options;
+  options.shards = 4;
+  options.byte_budget = 3400;  // 8 hot hitters (3200) + slack < one churn
+  PreparedStore store(options);
+
+  constexpr int kHitters = 8;
+  constexpr int kChurn = 150;
+
+  PreparedStore::EntryOptions hitter_options;
+  hitter_options.size_of = [](const std::string& s) { return s.size(); };
+  std::atomic<int> rebuilds{0};
+  hitter_options.make_view = CountingViewFn(&rebuilds);
+  // Declared Π re-run cost: under pressure the sweep must prefer evicting
+  // loss-0 churn entries over any hammered hitter.
+  hitter_options.evict_loss_ops = 1e6;
+
+  std::vector<PreparedStore::Key> keys;
+  std::vector<std::string> payloads;
+  for (int i = 0; i < kHitters; ++i) {
+    const std::string data = "hot-" + std::to_string(i);
+    std::string payload = "prepared-" + data;
+    payload.resize(200, '#');
+    payloads.push_back(payload);
+    keys.push_back(PreparedStore::InternKey("p", "w", data));
+    ASSERT_TRUE(store
+                    .GetOrComputeView(
+                        keys.back(),
+                        [payload](CostMeter*) -> Result<std::string> {
+                          return payload;
+                        },
+                        nullptr, nullptr, hitter_options)
+                    .ok());
+  }
+
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> hitters;
+  for (int t = 0; t < 4; ++t) {
+    hitters.emplace_back([&, t] {
+      size_t i = static_cast<size_t>(t);
+      while (!done.load(std::memory_order_acquire)) {
+        const size_t k = i++ % kHitters;
+        bool hit = false;
+        auto result = store.GetOrComputeView(
+            keys[k],
+            [](CostMeter*) -> Result<std::string> {
+              return Status::Internal("Π must not run on a warm hitter");
+            },
+            nullptr, &hit, hitter_options);
+        if (!result.ok() || !hit || *result->prepared != payloads[k] ||
+            result->view == nullptr ||
+            ViewString(*result) != payloads[k]) {
+          ++failures;
+          return;
+        }
+      }
+    });
+  }
+
+  // Churn: every admission overflows the budget and forces a sweep that
+  // demotes hitter views (Phase A) or evicts older churn entries. The
+  // main thread re-touches every hitter between admissions so each sweep
+  // provably sees them referenced — hitter survival must not depend on
+  // the background threads winning a scheduling race.
+  PreparedStore::EntryOptions churn_options;
+  churn_options.size_of = [](const std::string& s) { return s.size(); };
+  for (int i = 0; i < kChurn; ++i) {
+    for (int k = 0; k < kHitters; ++k) {
+      bool hit = false;
+      auto touched = store.GetOrComputeView(
+          keys[static_cast<size_t>(k)],
+          [](CostMeter*) -> Result<std::string> {
+            return Status::Internal("Π must not run on a warm hitter");
+          },
+          nullptr, &hit, hitter_options);
+      ASSERT_TRUE(touched.ok());
+      ASSERT_TRUE(hit);
+    }
+    const std::string data = "churn-" + std::to_string(i);
+    ASSERT_TRUE(store
+                    .GetOrCompute(
+                        "p", "w", data,
+                        [](CostMeter*) -> Result<std::string> {
+                          return std::string(300, 'x');
+                        },
+                        nullptr, nullptr, churn_options)
+                    .ok());
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : hitters) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.locked_hits, 0);     // the warm path never took a mutex
+  EXPECT_GT(stats.view_demotions, 0);  // sweeps really did demote views
+  EXPECT_EQ(stats.misses, kHitters + kChurn);  // no hitter ever recomputed
+  for (int i = 0; i < kHitters; ++i) {
+    EXPECT_TRUE(store.Contains("p", "w", "hot-" + std::to_string(i)));
+  }
 }
 
 }  // namespace
